@@ -1,0 +1,118 @@
+//! Order-m Fibonacci sequences and their growth rates `φ_m`.
+//!
+//! An order-m Fibonacci sequence has each term equal to the sum of its `m`
+//! predecessors; its growth rate `φ_m` is the unique root in `(1, 2)` of
+//!
+//! ```text
+//! x^m = x^{m−1} + x^{m−2} + … + 1
+//! ```
+//!
+//! `φ_2 ≈ 1.618` (golden ratio), `φ_3 ≈ 1.839` (tribonacci),
+//! `φ_4 ≈ 1.928`, and `φ_m → 2` as `m → ∞`.
+//!
+//! Theorem 7 shows subtable peeling drives `β` down Fibonacci-exponentially
+//! with order `r − 1`, so `φ_{r−1}` governs the subround complexity:
+//! `(1 / log φ_{r−1}) log log n + O(1)` subrounds for `k = 2`.
+
+/// Characteristic polynomial `x^m − x^{m−1} − … − 1` of the order-m
+/// Fibonacci recurrence.
+fn characteristic(m: u32, x: f64) -> f64 {
+    // x^m − (x^m − 1)/(x − 1) for x ≠ 1.
+    let xm = x.powi(m as i32);
+    xm - (xm - 1.0) / (x - 1.0)
+}
+
+/// The growth rate `φ_m` of the order-m Fibonacci sequence.
+///
+/// # Panics
+/// Panics if `m < 2` (order-1 "Fibonacci" is constant and has no rate in
+/// `(1,2)`).
+pub fn fibonacci_growth_rate(m: u32) -> f64 {
+    assert!(m >= 2, "order must be >= 2");
+    // Bisection on (1, 2): characteristic(1+) < 0, characteristic(2) = 1 > 0.
+    let mut lo = 1.0 + 1e-9;
+    let mut hi = 2.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if characteristic(m, mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The first `len` terms of the order-m Fibonacci sequence, starting from
+/// `m − 1` ones (the paper's convention in Appendix B).
+pub fn fibonacci_sequence(m: u32, len: usize) -> Vec<u128> {
+    let m = m as usize;
+    let mut seq: Vec<u128> = Vec::with_capacity(len);
+    for _ in 0..(m - 1).min(len) {
+        seq.push(1);
+    }
+    while seq.len() < len {
+        let start = seq.len().saturating_sub(m);
+        let next: u128 = seq[start..].iter().sum();
+        seq.push(next);
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_ratio() {
+        let phi = fibonacci_growth_rate(2);
+        assert!((phi - 1.618_033_988_749_895).abs() < 1e-9, "{phi}");
+    }
+
+    #[test]
+    fn tribonacci_and_tetranacci() {
+        // Appendix B quotes ≈1.61 (r=3 ⇒ φ_2), ≈1.83 (r=4 ⇒ φ_3),
+        // ≈1.92 (r=5 ⇒ φ_4).
+        assert!((fibonacci_growth_rate(3) - 1.839_286_755_21).abs() < 1e-9);
+        assert!((fibonacci_growth_rate(4) - 1.927_561_975_48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_increase_towards_two() {
+        let mut prev = 0.0;
+        for m in 2..12 {
+            let phi = fibonacci_growth_rate(m);
+            assert!(phi > prev && phi < 2.0);
+            prev = phi;
+        }
+        assert!(fibonacci_growth_rate(30) > 1.999_999);
+    }
+
+    #[test]
+    fn sequence_matches_rate() {
+        // Ratio of consecutive large terms approaches φ_m.
+        for m in 2..6 {
+            let seq = fibonacci_sequence(m, 40);
+            let ratio = seq[39] as f64 / seq[38] as f64;
+            let phi = fibonacci_growth_rate(m);
+            assert!((ratio - phi).abs() < 1e-6, "order {m}: {ratio} vs {phi}");
+        }
+    }
+
+    #[test]
+    fn classic_fibonacci_terms() {
+        assert_eq!(fibonacci_sequence(2, 8), vec![1, 1, 2, 3, 5, 8, 13, 21]);
+    }
+
+    #[test]
+    fn tribonacci_terms() {
+        // Paper convention: first m−1 terms are 1.
+        assert_eq!(fibonacci_sequence(3, 8), vec![1, 1, 2, 4, 7, 13, 24, 44]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn order_one_rejected() {
+        fibonacci_growth_rate(1);
+    }
+}

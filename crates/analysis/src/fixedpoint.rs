@@ -1,0 +1,176 @@
+//! Above-threshold behaviour (Section 4).
+//!
+//! For `c > c*_{k,r}` the recurrence `β_{i+1} = g(β_i)` with
+//! `g(x) = rc · P(Poisson(x) ≥ k−1)^{r−1}` converges to a *positive* fixed
+//! point `β` (Eq. 4.1), the limiting core fraction is
+//! `λ = P(Poisson(β) ≥ k)`, and the approach is geometric with contraction
+//! rate
+//!
+//! ```text
+//! f'(0) = (r−1) · β · e^{−β} · β^{k−2} / ( (k−2)! · P(Poisson(β) ≥ k−1) )
+//! ```
+//!
+//! (Eq. 4.3). The paper's key observation: `0 < f'(0) < 1` strictly above
+//! the threshold, which forces `Ω(log n)` peeling rounds (Theorem 3),
+//! whereas below the threshold `β = 0` gives `f'(0) = 0` and the doubly
+//! exponential collapse of Theorem 1.
+
+use crate::poisson::tail_ge;
+
+/// Above-threshold limiting quantities for a `(k, r, c)` triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AboveThreshold {
+    /// The positive fixed point `β` of Eq. (4.1).
+    pub beta: f64,
+    /// Limiting vertex-survival probability `λ` — the k-core occupies
+    /// `λ·n + o(n)` vertices.
+    pub lambda: f64,
+    /// Limiting non-root survival probability `ρ`.
+    pub rho: f64,
+    /// The contraction rate `f'(0)` of Eq. (4.3); in `(0, 1)` strictly above
+    /// the threshold.
+    pub contraction: f64,
+    /// Number of recurrence iterations used to reach the fixed point.
+    pub iterations: u32,
+}
+
+/// Iterate the β recurrence to its fixed point.
+///
+/// Returns `None` if the fixed point is (numerically) zero — i.e. the edge
+/// density is at or below the threshold, where no positive core exists.
+pub fn above_threshold(k: u32, r: u32, c: f64) -> Option<AboveThreshold> {
+    assert!(k >= 2 && r >= 2);
+    assert!(c > 0.0 && c.is_finite());
+    let rc = r as f64 * c;
+    let mut beta = rc; // β_1 = rc (ρ_0 = 1)
+    let mut iterations = 0u32;
+    loop {
+        let next = rc * tail_ge(beta, k - 1).powi(r as i32 - 1);
+        iterations += 1;
+        let delta = (next - beta).abs();
+        beta = next;
+        if delta < 1e-14 {
+            break;
+        }
+        if beta < 1e-12 {
+            return None; // collapsed to zero: below threshold
+        }
+        if iterations > 1_000_000 {
+            break; // pathological slow convergence right at threshold
+        }
+    }
+    if beta < 1e-9 {
+        return None;
+    }
+    let rho = tail_ge(beta, k - 1);
+    let lambda = tail_ge(beta, k);
+    // f'(0) per Eq. (4.3): (r−1)·β·e^{−β}·β^{k−2} / ((k−2)!·ρ).
+    let km2_fact: f64 = (1..=(k.saturating_sub(2))).map(|i| i as f64).product();
+    let contraction =
+        (r as f64 - 1.0) * beta * (-beta).exp() * beta.powi(k as i32 - 2) / (km2_fact * rho);
+    Some(AboveThreshold {
+        beta,
+        lambda,
+        rho,
+        contraction,
+        iterations,
+    })
+}
+
+/// Predicted k-core size `λ·n` for `c > c*_{k,r}` (0 below threshold).
+pub fn core_size_prediction(k: u32, r: u32, c: f64, n: u64) -> f64 {
+    match above_threshold(k, r, c) {
+        Some(a) => a.lambda * n as f64,
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::c_star;
+
+    #[test]
+    fn table2_limit_value() {
+        // Table 2, c=0.85 column converges to 775,010 survivors at n=10^6;
+        // that limit is λ·n.
+        let a = above_threshold(2, 4, 0.85).expect("above threshold");
+        let predicted = a.lambda * 1_000_000.0;
+        assert!(
+            (predicted - 775_010.0).abs() < 2.0,
+            "core prediction {predicted}"
+        );
+    }
+
+    #[test]
+    fn below_threshold_returns_none() {
+        assert!(above_threshold(2, 4, 0.7).is_none());
+        assert!(above_threshold(2, 3, 0.5).is_none());
+        assert!(above_threshold(3, 3, 1.0).is_none());
+    }
+
+    #[test]
+    fn contraction_in_unit_interval_above_threshold() {
+        for &(k, r, margin) in &[(2u32, 4u32, 0.05), (2, 3, 0.05), (3, 3, 0.08)] {
+            let c = c_star(k, r).unwrap() + margin;
+            let a = above_threshold(k, r, c).unwrap();
+            assert!(
+                a.contraction > 0.0 && a.contraction < 1.0,
+                "({k},{r}) c={c}: f'(0) = {}",
+                a.contraction
+            );
+        }
+    }
+
+    #[test]
+    fn contraction_matches_numeric_derivative() {
+        // f'(0) should equal dg/dβ at the fixed point.
+        let k = 2u32;
+        let r = 4u32;
+        let c = 0.85;
+        let a = above_threshold(k, r, c).unwrap();
+        let rc = r as f64 * c;
+        let g = |x: f64| rc * tail_ge(x, k - 1).powi(r as i32 - 1);
+        let h = 1e-6;
+        let numeric = (g(a.beta + h) - g(a.beta - h)) / (2.0 * h);
+        assert!(
+            (numeric - a.contraction).abs() < 1e-6,
+            "analytic {} vs numeric {}",
+            a.contraction,
+            numeric
+        );
+    }
+
+    #[test]
+    fn fixed_point_satisfies_eq41() {
+        let a = above_threshold(3, 3, 1.8).unwrap();
+        let rc = 3.0 * 1.8;
+        let g = rc * tail_ge(a.beta, 2).powi(2);
+        assert!((g - a.beta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_grows_with_density() {
+        let s1 = core_size_prediction(2, 4, 0.80, 1_000_000);
+        let s2 = core_size_prediction(2, 4, 0.85, 1_000_000);
+        let s3 = core_size_prediction(2, 4, 0.95, 1_000_000);
+        assert!(s1 > 0.0 && s1 < s2 && s2 < s3);
+        assert_eq!(core_size_prediction(2, 4, 0.5, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn contraction_shrinks_near_threshold() {
+        // Just above the threshold convergence is slowest: f'(0) → 1 as
+        // c ↓ c*. Verify monotone trend.
+        let cs = c_star(2, 4).unwrap();
+        let near = above_threshold(2, 4, cs + 0.002).unwrap();
+        let far = above_threshold(2, 4, cs + 0.2).unwrap();
+        assert!(
+            near.contraction > far.contraction,
+            "near {} vs far {}",
+            near.contraction,
+            far.contraction
+        );
+        assert!(near.contraction > 0.9, "near-threshold f'(0) ≈ 1");
+    }
+}

@@ -1,0 +1,70 @@
+//! # peel-analysis — the theory of parallel peeling, executable
+//!
+//! This crate implements every analytic object from *Parallel Peeling
+//! Algorithms* (Jiang, Mitzenmacher, Thaler; SPAA 2014) so that the
+//! experiment harness can print paper-style "prediction vs experiment"
+//! tables and so library users can size their data structures:
+//!
+//! * [`poisson`] — Poisson pmf/cdf/tail probabilities (stable for the small
+//!   means that arise in peeling, `μ = rc ≲ 20`).
+//! * [`threshold`] — the edge-density threshold `c*_{k,r}` of Eq. (2.1),
+//!   `c*_{k,r} = min_{x>0} x / (r · P(Poisson(x) ≥ k−1)^{r−1})`, computed by
+//!   bracketed golden-section minimization; also the argmin `x*` used by the
+//!   Theorem 5 analysis.
+//! * [`recurrence`] — the idealized branching-process recurrence
+//!   (Eqs. 3.2–3.4): `β_i = ρ_{i−1}^{r−1}·rc`, `ρ_i = P(Poi(β_i) ≥ k−1)`,
+//!   `λ_i = P(Poi(β_i) ≥ k)`. `λ_t · n` is the paper's per-round survivor
+//!   prediction (Table 2).
+//! * [`subtable`] — the subtable variant (Eq. B.1) and the reported
+//!   `λ'_{i,j}` prediction (Table 6).
+//! * [`fibonacci`] — order-m Fibonacci growth rates `φ_m` (Theorems 4/7).
+//! * [`rounds`] — closed-form round-complexity predictions: Theorem 1's
+//!   `log log n / log((k−1)(r−1))`, Theorem 7's subround count, Gao's
+//!   alternative constant, and the subround inflation factor discussed in
+//!   Appendix B.
+//! * [`fixedpoint`] — above-threshold behaviour (Section 4): the fixed point
+//!   `β`, the limiting core fraction `λ`, and the contraction rate `f'(0)`
+//!   of Eq. (4.3) that drives the `Ω(log n)` lower bound.
+//! * [`theorem5`] — the near-threshold `Θ(√(1/ν))` plateau (Section 7 /
+//!   Appendix C) and the `β_i` trajectories plotted in Figure 1.
+//!
+//! The crate is dependency-free so every other crate can cheaply depend on
+//! it.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use peel_analysis::{c_star, Idealized, predicted_rounds_below};
+//!
+//! // The thresholds quoted in Section 2 of the paper:
+//! assert!((c_star(2, 3).unwrap() - 0.818).abs() < 1e-3);
+//! assert!((c_star(2, 4).unwrap() - 0.772).abs() < 1e-3);
+//! assert!((c_star(3, 3).unwrap() - 1.553).abs() < 1e-3);
+//!
+//! // Table 2, first row: with k=2, r=4, c=0.7 and n=1M, the predicted
+//! // number of unpeeled vertices after one round is 768,922.
+//! let lambda1 = Idealized::new(2, 4, 0.7).lambda_series(1)[0];
+//! assert_eq!((lambda1 * 1_000_000.0).round() as u64, 768_922);
+//!
+//! // Theorem 1's leading-order round prediction grows doubly-log in n.
+//! let t = predicted_rounds_below(2, 4, 1_000_000.0);
+//! assert!(t > 2.0 && t < 4.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fibonacci;
+pub mod fixedpoint;
+pub mod poisson;
+pub mod recurrence;
+pub mod rounds;
+pub mod subtable;
+pub mod theorem5;
+pub mod threshold;
+
+pub use fibonacci::fibonacci_growth_rate;
+pub use fixedpoint::AboveThreshold;
+pub use recurrence::{IdealStep, Idealized};
+pub use rounds::{predicted_rounds_below, predicted_subrounds_below, subround_inflation};
+pub use subtable::SubtableRecurrence;
+pub use threshold::{c_star, x_star, Threshold};

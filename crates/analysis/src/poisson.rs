@@ -1,0 +1,127 @@
+//! Poisson distribution functions.
+//!
+//! All peeling-theory quantities reduce to Poisson tail probabilities with
+//! small integer thresholds (`k ≤ ~10`) and moderate means (`μ = rc ≲ 20`),
+//! so simple ascending-term summation is both fast and accurate: terms are
+//! positive, the sum is dominated by its largest term, and no cancellation
+//! occurs.
+
+/// Poisson probability mass function `P(X = j)` for `X ~ Poisson(mu)`.
+pub fn pmf(mu: f64, j: u32) -> f64 {
+    assert!(mu >= 0.0);
+    if mu == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    let mut term = (-mu).exp();
+    for i in 0..j {
+        term *= mu / (i as f64 + 1.0);
+    }
+    term
+}
+
+/// `P(X <= j)` for `X ~ Poisson(mu)`.
+pub fn cdf(mu: f64, j: u32) -> f64 {
+    assert!(mu >= 0.0);
+    if mu == 0.0 {
+        return 1.0;
+    }
+    let mut term = (-mu).exp();
+    let mut acc = term;
+    for i in 0..j {
+        term *= mu / (i as f64 + 1.0);
+        acc += term;
+    }
+    acc.min(1.0)
+}
+
+/// The tail `P(X >= k)` for `X ~ Poisson(mu)`.
+///
+/// This is the expression `1 − e^{−μ} Σ_{j=0}^{k−1} μ^j/j!` that appears
+/// throughout the paper (with `k−1` in the vertex-survival recurrence and
+/// `k` in the root-survival recurrence).
+pub fn tail_ge(mu: f64, k: u32) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let c = cdf(mu, k - 1);
+    (1.0 - c).max(0.0)
+}
+
+/// The truncated exponential sum `S(a, x) = Σ_{j=0}^{a} x^j / j!` used in
+/// Eq. (2.1) and Appendix C. `S(-1, x)` is taken to be 0 (paper convention),
+/// encoded here by calling with `a = None`.
+pub fn exp_sum(a: Option<u32>, x: f64) -> f64 {
+    let Some(a) = a else { return 0.0 };
+    let mut term = 1.0;
+    let mut acc = 1.0;
+    for j in 0..a {
+        term *= x / (j as f64 + 1.0);
+        acc += term;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let mu = 2.8;
+        let total: f64 = (0..60).map(|j| pmf(mu, j)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_zero_mean() {
+        assert_eq!(pmf(0.0, 0), 1.0);
+        assert_eq!(pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let mu = 5.0;
+        let mut prev = 0.0;
+        for j in 0..30 {
+            let c = cdf(mu, j);
+            assert!(c >= prev && c <= 1.0);
+            prev = c;
+        }
+        assert!((cdf(mu, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_matches_paper_lambda1() {
+        // λ_1 for k=2, r=4, c=0.7 is P(Poisson(2.8) >= 2) = 0.768922 (Table 2).
+        let lam = tail_ge(2.8, 2);
+        assert!((lam - 0.768922).abs() < 5e-7, "got {lam}");
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(tail_ge(1.0, 0), 1.0);
+        assert_eq!(tail_ge(0.0, 1), 0.0);
+        assert!((tail_ge(1.0, 1) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_plus_cdf_is_one() {
+        for k in 1..8u32 {
+            for &mu in &[0.3, 1.0, 2.8, 7.5] {
+                assert!((tail_ge(mu, k) + cdf(mu, k - 1) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_sum_basics() {
+        assert_eq!(exp_sum(None, 3.0), 0.0);
+        assert_eq!(exp_sum(Some(0), 3.0), 1.0);
+        assert!((exp_sum(Some(2), 2.0) - (1.0 + 2.0 + 2.0)).abs() < 1e-12);
+        // e^{-x} S(k, x) = cdf(x, k)
+        for k in 0..6u32 {
+            let x: f64 = 1.7;
+            assert!(((-x).exp() * exp_sum(Some(k), x) - cdf(x, k)).abs() < 1e-12);
+        }
+    }
+}

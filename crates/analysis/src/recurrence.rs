@@ -1,0 +1,228 @@
+//! The idealized peeling recurrence (Eqs. 3.1–3.4).
+//!
+//! In the idealized (Poisson branching tree) model the survival
+//! probabilities evolve as
+//!
+//! ```text
+//! ρ_0 = 1
+//! β_i = ρ_{i−1}^{r−1} · rc           (mean surviving child edges)
+//! ρ_i = P(Poisson(β_i) ≥ k−1)        (non-root vertex survives round i)
+//! λ_i = P(Poisson(β_i) ≥ k)          (root vertex survives round i)
+//! ```
+//!
+//! `λ_t · n` predicts the number of unpeeled vertices after `t` rounds of
+//! the actual parallel peeling process — the paper's Table 2 shows the match
+//! is essentially exact at `n = 10^6`.
+//!
+//! Below the threshold `β_i → 0` doubly exponentially (rate
+//! `(k−1)(r−1)` in the exponent — Theorem 1); above it, `β_i → β > 0`
+//! geometrically (Section 4).
+
+use crate::poisson::tail_ge;
+
+/// One step of the idealized recurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealStep {
+    /// Round number `i` (1-based, matching the paper's `t` column).
+    pub i: u32,
+    /// `β_i`: mean number of surviving descendant edges entering round `i`.
+    pub beta: f64,
+    /// `ρ_i`: survival probability of a non-root vertex after `i` rounds.
+    pub rho: f64,
+    /// `λ_i`: survival probability of the root after `i` rounds.
+    pub lambda: f64,
+}
+
+/// Iterator over the idealized recurrence for fixed `(k, r, c)`.
+#[derive(Debug, Clone)]
+pub struct Idealized {
+    k: u32,
+    r: u32,
+    c: f64,
+    i: u32,
+    rho: f64,
+}
+
+impl Idealized {
+    /// Start the recurrence (`ρ_0 = 1`).
+    pub fn new(k: u32, r: u32, c: f64) -> Self {
+        assert!(k >= 2 && r >= 2, "peeling requires k, r >= 2");
+        assert!(c > 0.0 && c.is_finite());
+        Idealized {
+            k,
+            r,
+            c,
+            i: 0,
+            rho: 1.0,
+        }
+    }
+
+    /// Advance one round and return the new state.
+    pub fn step(&mut self) -> IdealStep {
+        self.i += 1;
+        let beta = self.rho.powi(self.r as i32 - 1) * self.r as f64 * self.c;
+        let rho = tail_ge(beta, self.k - 1);
+        let lambda = tail_ge(beta, self.k);
+        self.rho = rho;
+        IdealStep {
+            i: self.i,
+            beta,
+            rho,
+            lambda,
+        }
+    }
+
+    /// The series `λ_1, …, λ_t`.
+    pub fn lambda_series(mut self, t: u32) -> Vec<f64> {
+        (0..t).map(|_| self.step().lambda).collect()
+    }
+
+    /// The series `β_1, …, β_t` (the quantity plotted in Figure 1).
+    pub fn beta_series(mut self, t: u32) -> Vec<f64> {
+        (0..t).map(|_| self.step().beta).collect()
+    }
+
+    /// Predicted unpeeled-vertex counts `λ_i · n` for `i = 1..=t`
+    /// (the "Prediction" column of Table 2).
+    pub fn survivor_predictions(self, n: u64, t: u32) -> Vec<f64> {
+        self.lambda_series(t)
+            .into_iter()
+            .map(|l| l * n as f64)
+            .collect()
+    }
+
+    /// Number of rounds until the predicted survivor count `λ_t · n` drops
+    /// below `0.5` (i.e. the idealized model says the graph is empty), capped
+    /// at `max_rounds`. Returns `None` if the cap is hit (e.g. above the
+    /// threshold, where `λ_t → λ > 0`).
+    pub fn rounds_to_empty(mut self, n: u64, max_rounds: u32) -> Option<u32> {
+        for _ in 0..max_rounds {
+            let s = self.step();
+            if s.lambda * n as f64 <= 0.5 {
+                return Some(s.i);
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for Idealized {
+    type Item = IdealStep;
+
+    fn next(&mut self) -> Option<IdealStep> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2 of the paper, c = 0.7 (r=4, k=2, n = 10^6): predictions.
+    const TABLE2_C07: [f64; 12] = [
+        768_922.0, 673_647.0, 608_076.0, 553_064.0, 500_466.0, 444_828.0, 380_873.0, 302_531.0,
+        204_442.0, 93_245.0, 14_159.0, 74.0,
+    ];
+
+    /// Table 2 of the paper, c = 0.85: predictions.
+    const TABLE2_C085: [f64; 20] = [
+        853_158.0, 811_184.0, 793_026.0, 784_269.0, 779_841.0, 777_550.0, 776_350.0, 775_719.0,
+        775_385.0, 775_209.0, 775_115.0, 775_066.0, 775_039.0, 775_025.0, 775_018.0, 775_014.0,
+        775_012.0, 775_011.0, 775_010.0, 775_010.0,
+    ];
+
+    #[test]
+    fn reproduces_table2_below_threshold() {
+        let preds = Idealized::new(2, 4, 0.7).survivor_predictions(1_000_000, 12);
+        for (i, (&paper, got)) in TABLE2_C07.iter().zip(preds).enumerate() {
+            // The paper prints rounded integers; allow 1 count of rounding
+            // slack plus tiny relative error.
+            let tol = 1.0 + paper * 1e-5;
+            assert!(
+                (got - paper).abs() <= tol,
+                "round {}: prediction {} vs paper {}",
+                i + 1,
+                got,
+                paper
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_table2_above_threshold() {
+        let preds = Idealized::new(2, 4, 0.85).survivor_predictions(1_000_000, 20);
+        for (i, (&paper, got)) in TABLE2_C085.iter().zip(preds).enumerate() {
+            let tol = 1.0 + paper * 1e-5;
+            assert!(
+                (got - paper).abs() <= tol,
+                "round {}: prediction {} vs paper {}",
+                i + 1,
+                got,
+                paper
+            );
+        }
+    }
+
+    #[test]
+    fn below_threshold_lambda_vanishes() {
+        let lam = Idealized::new(2, 4, 0.7).lambda_series(20);
+        assert!(lam[19] < 1e-12, "λ_20 = {} should be ~0", lam[19]);
+    }
+
+    #[test]
+    fn rounds_to_empty_matches_table2() {
+        // Table 2 shows the process finishing in 13 rounds at n = 10^6
+        // (prediction 0.00001·10 at t=13 ⇒ below half a vertex).
+        let rounds = Idealized::new(2, 4, 0.7)
+            .rounds_to_empty(1_000_000, 100)
+            .unwrap();
+        assert_eq!(rounds, 13);
+    }
+
+    #[test]
+    fn above_threshold_never_empties() {
+        assert_eq!(
+            Idealized::new(2, 4, 0.85).rounds_to_empty(1_000_000, 500),
+            None
+        );
+    }
+
+    #[test]
+    fn beta_monotone_below_threshold() {
+        let betas = Idealized::new(2, 4, 0.7).beta_series(15);
+        for w in betas.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "β must be non-increasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn iterator_interface_agrees_with_series() {
+        let a: Vec<f64> = Idealized::new(3, 3, 1.2).take(8).map(|s| s.lambda).collect();
+        let b = Idealized::new(3, 3, 1.2).lambda_series(8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn doubly_exponential_decay_rate() {
+        // Below threshold, log log(1/β_i) grows ~ i·log((k−1)(r−1)).
+        // Check the ratio log(1/β_{i+1}) / log(1/β_i) approaches (k−1)(r−1).
+        let k = 2u32;
+        let r = 4u32;
+        let betas = Idealized::new(k, r, 0.5).beta_series(12);
+        let target = ((k - 1) * (r - 1)) as f64;
+        // Use late rounds where the asymptotics have kicked in but floats
+        // have not yet underflowed.
+        let mut checked = 0;
+        for w in betas.windows(2) {
+            if w[0] < 1e-3 && w[1] > 1e-200 {
+                let ratio = w[1].ln() / w[0].ln();
+                assert!(
+                    (ratio - target).abs() < 0.35,
+                    "decay exponent ratio {ratio} should approach {target}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 2, "need at least two asymptotic rounds");
+    }
+}

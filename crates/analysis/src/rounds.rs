@@ -1,0 +1,172 @@
+//! Closed-form round-complexity predictions.
+//!
+//! * Theorem 1: below the threshold, parallel peeling finishes in
+//!   `(1 / log((k−1)(r−1))) · log log n + O(1)` rounds.
+//! * Theorem 7: subtable peeling finishes in
+//!   `(1 / (r·log φ_{r−1} + log(k−1))) · log log n + O(1)` *rounds* of `r`
+//!   subrounds each.
+//! * Gao's simpler proof gives the larger constant `1 / log(k(r−1)/r)`.
+//! * Theorem 3: above the threshold, `Ω(log n)` rounds are required; the
+//!   per-round contraction factor is `f'(0)` of Eq. (4.3) (see
+//!   [`crate::fixedpoint`]).
+//!
+//! These are leading-order terms — the `O(1)` additive constants depend on
+//! the gap to the threshold (see [`crate::theorem5`]) — so they are meant
+//! for growth-rate comparisons, not exact counts.
+
+use crate::fibonacci::fibonacci_growth_rate;
+
+/// `log log n / log((k−1)(r−1))` — Theorem 1's leading term.
+///
+/// # Panics
+/// Panics for parameters where the rate `(k−1)(r−1) ≤ 1` (i.e. `k = r = 2`,
+/// which the paper excludes) or `n ≤ e`.
+pub fn predicted_rounds_below(k: u32, r: u32, n: f64) -> f64 {
+    assert!(k >= 2 && r >= 2 && k + r >= 5);
+    assert!(n > std::f64::consts::E, "need log log n > 0");
+    let rate = ((k - 1) * (r - 1)) as f64;
+    n.ln().ln() / rate.ln()
+}
+
+/// Gao's alternative (weaker) constant: `log log n / log(k(r−1)/r)`.
+///
+/// Returns `None` when `k(r−1)/r ≤ 1`, where her bound is vacuous.
+pub fn gao_rounds_below(k: u32, r: u32, n: f64) -> Option<f64> {
+    assert!(k >= 2 && r >= 2);
+    let rate = k as f64 * (r as f64 - 1.0) / r as f64;
+    if rate <= 1.0 {
+        return None;
+    }
+    Some(n.ln().ln() / rate.ln())
+}
+
+/// Theorem 7's *round* prediction for subtable peeling:
+/// `log log n / (r·log φ_{r−1} + log(k−1))`.
+///
+/// For `k = 2` the `log(k−1)` term vanishes and this is
+/// `log log n / (r·log φ_{r−1})` rounds, i.e.
+/// `log log n / log φ_{r−1}` subrounds.
+pub fn predicted_subtable_rounds_below(k: u32, r: u32, n: f64) -> f64 {
+    assert!(k >= 2 && r >= 3, "Theorem 7 requires r >= 3");
+    let phi = fibonacci_growth_rate(r - 1);
+    let denom = r as f64 * phi.ln() + ((k - 1) as f64).ln();
+    n.ln().ln() / denom
+}
+
+/// Theorem 4/7's *subround* prediction: `r ×` the round prediction.
+pub fn predicted_subrounds_below(k: u32, r: u32, n: f64) -> f64 {
+    r as f64 * predicted_subtable_rounds_below(k, r, n)
+}
+
+/// Asymptotic ratio of subtable subrounds to plain rounds (Appendix B):
+///
+/// ```text
+/// r · log((k−1)(r−1)) / (r·log φ_{r−1} + log(k−1))
+/// ```
+///
+/// For `k = 2` this is `log(r−1) / log φ_{r−1}` — ≈1.456 at r=3, tending to
+/// `log₂(r−1)` for large r. The point of Appendix B: it is *much* smaller
+/// than the naive factor `r`.
+pub fn subround_inflation(k: u32, r: u32) -> f64 {
+    assert!(k >= 2 && r >= 3 && k + r >= 5);
+    let phi = fibonacci_growth_rate(r - 1);
+    let plain_rate = (((k - 1) * (r - 1)) as f64).ln();
+    let sub_denom = r as f64 * phi.ln() + ((k - 1) as f64).ln();
+    r as f64 * plain_rate / sub_denom
+}
+
+/// Least-squares slope of `y` against `x` — a tiny helper the experiment
+/// harness uses to fit measured rounds against `log log n` (below threshold)
+/// or `log n` (above threshold).
+pub fn ls_slope(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2);
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        num += (xi - mx) * (yi - my);
+        den += (xi - mx) * (xi - mx);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_grow_doubly_log() {
+        let a = predicted_rounds_below(2, 4, 1e4);
+        let b = predicted_rounds_below(2, 4, 1e8);
+        let c = predicted_rounds_below(2, 4, 1e16);
+        // log log n: doubling the exponent adds log(2)/log(3) ≈ 0.63.
+        assert!(b - a > 0.0 && c - b > 0.0);
+        assert!((c - b) - (b - a) < 0.05, "increments shrink (double-log)");
+    }
+
+    #[test]
+    fn gao_constant_is_weaker() {
+        // Gao's rate k(r−1)/r < (k−1)(r−1) for the paper's parameter range,
+        // so her predicted round count is larger.
+        for &(k, r) in &[(2u32, 4u32), (3, 3), (2, 5), (4, 3)] {
+            let ours = predicted_rounds_below(k, r, 1e6);
+            let gao = gao_rounds_below(k, r, 1e6).unwrap();
+            assert!(
+                gao > ours,
+                "({k},{r}): Gao {gao} should exceed tight bound {ours}"
+            );
+        }
+    }
+
+    #[test]
+    fn gao_vacuous_when_rate_below_one() {
+        // k=2, r=2: rate = 1 → None (and the paper excludes it anyway).
+        assert!(gao_rounds_below(2, 2, 1e6).is_none());
+    }
+
+    #[test]
+    fn appendix_b_inflation_r3() {
+        // Appendix B: r=3, k=2 ⇒ log(2)/log(φ_2) ≈ 1.4404 ("less than 1.5").
+        let f = subround_inflation(2, 3);
+        let expected = 2.0f64.ln() / 1.618_033_988_75f64.ln();
+        assert!((f - expected).abs() < 1e-9);
+        assert!(f < 1.5 && f > 1.4);
+    }
+
+    #[test]
+    fn appendix_b_inflation_r4() {
+        // Table 1 vs Table 5 observe a factor ≈ 2 for r=4, k=2; the
+        // asymptotic constant is log(3)/log(φ_3) ≈ 1.80.
+        let f = subround_inflation(2, 4);
+        assert!((f - 3.0f64.ln() / 1.839_286_755_21f64.ln()).abs() < 1e-9);
+        assert!(f > 1.7 && f < 2.0, "inflation {f}");
+    }
+
+    #[test]
+    fn inflation_much_smaller_than_r() {
+        for r in 3..9u32 {
+            let f = subround_inflation(2, r);
+            assert!(f < r as f64 / 1.5, "r={r}: inflation {f} should be ≪ r");
+        }
+    }
+
+    #[test]
+    fn subrounds_are_r_times_rounds() {
+        let k = 2;
+        let r = 4;
+        let n = 1e6;
+        let rounds = predicted_subtable_rounds_below(k, r, n);
+        let subrounds = predicted_subrounds_below(k, r, n);
+        assert!((subrounds - r as f64 * rounds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_helper_recovers_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((ls_slope(&x, &y) - 3.0).abs() < 1e-12);
+    }
+}

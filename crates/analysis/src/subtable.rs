@@ -1,0 +1,254 @@
+//! The subtable peeling recurrence (Appendix B, Eq. B.1).
+//!
+//! When vertices are split into `r` subtables and subround `j` of round `i`
+//! peels only subtable `j`, the survival probabilities become table-indexed:
+//!
+//! ```text
+//! ρ_{0,j} = 1                              for all j
+//! β_{i,j} = rc · Π_{h<j} ρ_{i,h} · Π_{h>j} ρ_{i−1,h}
+//! ρ_{i,j} = P(Poisson(β_{i,j}) ≥ k−1)
+//! λ_{i,j} = P(Poisson(β_{i,j}) ≥ k)
+//! ```
+//!
+//! Subtables peeled earlier within the same round already reflect round-`i`
+//! survival; later ones still carry round-`i−1` values — exactly like
+//! Vöcking's asymmetric d-left load balancing, which is why the decay is
+//! *Fibonacci*-exponential (Theorem 7).
+//!
+//! The fraction of **all** vertices unpeeled right after subround `(i, j)` is
+//!
+//! ```text
+//! λ'_{i,j} = (1/r) ( Σ_{h≤j} λ_{i,h} + Σ_{h>j} λ_{i−1,h} )
+//! ```
+//!
+//! which is the "Prediction" column of Table 6.
+
+use crate::poisson::tail_ge;
+
+/// One subround of the subtable recurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubtableStep {
+    /// Round `i` (1-based).
+    pub round: u32,
+    /// Subtable `j` (1-based, `1..=r`, matching the paper's indices).
+    pub subtable: u32,
+    /// `β_{i,j}`.
+    pub beta: f64,
+    /// `ρ_{i,j}`.
+    pub rho: f64,
+    /// `λ_{i,j}` — survival probability of a root vertex *in subtable j*.
+    pub lambda: f64,
+    /// `λ'_{i,j}` — predicted fraction of all vertices unpeeled after this
+    /// subround (Table 6's prediction column is `λ'_{i,j} · n`).
+    pub lambda_prime: f64,
+}
+
+/// Iterator over the subtable recurrence for fixed `(k, r, c)`.
+#[derive(Debug, Clone)]
+pub struct SubtableRecurrence {
+    k: u32,
+    r: u32,
+    c: f64,
+    round: u32,
+    subtable: u32,
+    /// Latest ρ value per subtable (round i for tables already stepped this
+    /// round, round i−1 for the rest).
+    rho: Vec<f64>,
+    /// Latest λ value per subtable, same convention.
+    lambda: Vec<f64>,
+}
+
+impl SubtableRecurrence {
+    /// Start the recurrence (`ρ_{0,j} = λ_{0,j} = 1`).
+    pub fn new(k: u32, r: u32, c: f64) -> Self {
+        assert!(k >= 2 && r >= 2);
+        assert!(c > 0.0 && c.is_finite());
+        SubtableRecurrence {
+            k,
+            r,
+            c,
+            round: 1,
+            subtable: 1,
+            rho: vec![1.0; r as usize],
+            lambda: vec![1.0; r as usize],
+        }
+    }
+
+    /// Advance one subround and return the new state.
+    pub fn step(&mut self) -> SubtableStep {
+        let j = self.subtable as usize - 1;
+        // β_{i,j} = rc · product of latest ρ over the *other* subtables.
+        // Tables h < j already hold round-i values; tables h > j hold
+        // round-(i−1) values; both are exactly `self.rho[h]`.
+        let mut prod = 1.0;
+        for (h, &rho) in self.rho.iter().enumerate() {
+            if h != j {
+                prod *= rho;
+            }
+        }
+        let beta = self.r as f64 * self.c * prod;
+        let rho = tail_ge(beta, self.k - 1);
+        let lambda = tail_ge(beta, self.k);
+        self.rho[j] = rho;
+        self.lambda[j] = lambda;
+        let lambda_prime = self.lambda.iter().sum::<f64>() / self.r as f64;
+
+        let step = SubtableStep {
+            round: self.round,
+            subtable: self.subtable,
+            beta,
+            rho,
+            lambda,
+            lambda_prime,
+        };
+        if self.subtable == self.r {
+            self.subtable = 1;
+            self.round += 1;
+        } else {
+            self.subtable += 1;
+        }
+        step
+    }
+
+    /// All subround steps for rounds `1..=rounds`.
+    pub fn steps(mut self, rounds: u32) -> Vec<SubtableStep> {
+        (0..rounds * self.r).map(|_| self.step()).collect()
+    }
+
+    /// Predicted unpeeled-vertex counts `λ'_{i,j} · n` for the first
+    /// `rounds` rounds (Table 6's prediction column, row-major in `(i, j)`).
+    pub fn survivor_predictions(self, n: u64, rounds: u32) -> Vec<f64> {
+        self.steps(rounds)
+            .into_iter()
+            .map(|s| s.lambda_prime * n as f64)
+            .collect()
+    }
+
+    /// Number of *subrounds* until the predicted survivor count drops below
+    /// `0.5`, capped at `max_subrounds`.
+    pub fn subrounds_to_empty(mut self, n: u64, max_subrounds: u32) -> Option<u32> {
+        for s in 0..max_subrounds {
+            let st = self.step();
+            if st.lambda_prime * n as f64 <= 0.5 {
+                return Some(s + 1);
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for SubtableRecurrence {
+    type Item = SubtableStep;
+
+    fn next(&mut self) -> Option<SubtableStep> {
+        Some(self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 6 predictions for c=0.7, r=4, k=2, n=10^6 (rounds 1..=7).
+    const TABLE6: [(u32, u32, f64); 28] = [
+        (1, 1, 942_230.0),
+        (1, 2, 876_807.0),
+        (1, 3, 801_855.0),
+        (1, 4, 714_875.0),
+        (2, 1, 678_767.0),
+        (2, 2, 643_070.0),
+        (2, 3, 609_686.0),
+        (2, 4, 581_912.0),
+        (3, 1, 554_402.0),
+        (3, 2, 527_335.0),
+        (3, 3, 500_469.0),
+        (3, 4, 472_470.0),
+        (4, 1, 442_874.0),
+        (4, 2, 410_958.0),
+        (4, 3, 375_770.0),
+        (4, 4, 336_458.0),
+        (5, 1, 292_159.0),
+        (5, 2, 242_396.0),
+        (5, 3, 187_891.0),
+        (5, 4, 131_789.0),
+        (6, 1, 80_372.0),
+        (6, 2, 40_582.0),
+        (6, 3, 15_481.0),
+        (6, 4, 3_649.0),
+        (7, 1, 348.0),
+        (7, 2, 6.0),
+        (7, 3, 0.003),
+        (7, 4, 0.0),
+    ];
+
+    #[test]
+    fn reproduces_table6_predictions() {
+        let steps = SubtableRecurrence::new(2, 4, 0.7).steps(7);
+        assert_eq!(steps.len(), 28);
+        for (s, &(i, j, paper)) in steps.iter().zip(TABLE6.iter()) {
+            assert_eq!((s.round, s.subtable), (i, j));
+            let got = s.lambda_prime * 1_000_000.0;
+            let tol = if paper >= 1.0 { 1.0 + paper * 1e-5 } else { 0.01 };
+            assert!(
+                (got - paper).abs() <= tol,
+                "({i},{j}): prediction {got} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_subround_matches_plain_lambda1() {
+        // β_{1,1} = rc, so λ_{1,1} equals the plain λ_1.
+        let mut st = SubtableRecurrence::new(2, 4, 0.7);
+        let s = st.step();
+        assert!((s.beta - 2.8).abs() < 1e-12);
+        assert!((s.lambda - 0.768922).abs() < 5e-7);
+        // λ'_{1,1} = (λ_{1,1} + 3) / 4 (other tables still at λ_0 = 1).
+        assert!((s.lambda_prime - (s.lambda + 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subrounds_to_empty_matches_table6() {
+        // Table 6: survivors hit 0 at subround (7,4) = subround 28; the last
+        // *fractional* survivor count below 0.5 first occurs at (7,3) = 27.
+        let sr = SubtableRecurrence::new(2, 4, 0.7)
+            .subrounds_to_empty(1_000_000, 100)
+            .unwrap();
+        assert_eq!(sr, 27);
+    }
+
+    #[test]
+    fn above_threshold_never_empties() {
+        assert_eq!(
+            SubtableRecurrence::new(2, 4, 0.85).subrounds_to_empty(1_000_000, 400),
+            None
+        );
+    }
+
+    #[test]
+    fn lambda_prime_is_decreasing() {
+        let steps = SubtableRecurrence::new(2, 4, 0.7).steps(7);
+        for w in steps.windows(2) {
+            assert!(w[1].lambda_prime <= w[0].lambda_prime + 1e-12);
+        }
+    }
+
+    #[test]
+    fn subtable_beats_plain_per_round() {
+        // One subtable round peels at least as much as one plain round:
+        // λ_{i,r} (last subtable) ≤ plain λ_i for every i.
+        use crate::recurrence::Idealized;
+        let plain = Idealized::new(2, 4, 0.7).lambda_series(7);
+        let steps = SubtableRecurrence::new(2, 4, 0.7).steps(7);
+        for (i, lam_plain) in plain.iter().enumerate() {
+            let last = &steps[i * 4 + 3];
+            assert!(
+                last.lambda <= lam_plain + 1e-12,
+                "round {}: subtable λ {} should be ≤ plain λ {}",
+                i + 1,
+                last.lambda,
+                lam_plain
+            );
+        }
+    }
+}

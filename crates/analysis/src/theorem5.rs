@@ -1,0 +1,143 @@
+//! The near-threshold plateau (Theorem 5, Section 7, Appendix C).
+//!
+//! For `c` just below the threshold, `ν = c*_{k,r} − c` small, the number of
+//! peeling rounds is
+//!
+//! ```text
+//! Θ(√(1/ν)) + (1 / log((k−1)(r−1))) · log log n
+//! ```
+//!
+//! The `Θ(√(1/ν))` term is a *plateau*: writing `β_i = x* + δ_i`, the
+//! recurrence contracts `δ` by only `δ − c₁δ² − c₂ν` per round near the
+//! threshold fixed point `x*`, so crossing the window `|δ| = O(√ν)` costs
+//! `Θ(√(1/ν))` rounds (the long flat stretch in Figure 1).
+//!
+//! This module iterates the exact recurrence to expose the trajectory
+//! (Figure 1's series) and the plateau length, plus the `τ` constant used
+//! in the proof.
+
+use crate::recurrence::Idealized;
+use crate::threshold::threshold;
+
+/// The `β_i` trajectory for Figure 1: iterate the idealized recurrence until
+/// `β < floor` or `max_rounds` is hit, returning all intermediate values.
+pub fn beta_trajectory(k: u32, r: u32, c: f64, floor: f64, max_rounds: u32) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut it = Idealized::new(k, r, c);
+    for _ in 0..max_rounds {
+        let s = it.step();
+        out.push(s.beta);
+        if s.beta < floor {
+            break;
+        }
+    }
+    out
+}
+
+/// A safe choice of the proof's constant `τ`: strictly below both 1 and
+/// `(rc* / ((k−1)!)^{r−1})^{−1/((k−1)(r−1)−1)}`, so that once `β_i < τ` the
+/// doubly exponential collapse of Theorem 1 takes over.
+pub fn default_tau(k: u32, r: u32) -> f64 {
+    let t = threshold(k, r).expect("valid (k, r)");
+    let km1_fact: f64 = (1..=(k - 1)).map(|i| i as f64).product();
+    let rate = ((k - 1) * (r - 1)) as f64;
+    let bound = (r as f64 * t.c_star / km1_fact.powi(r as i32 - 1)).powf(-1.0 / (rate - 1.0));
+    0.9 * bound.min(1.0).min(t.x_star)
+}
+
+/// Number of rounds until `β_i` first drops below `tau` (the plateau length
+/// of Lemma 6). `None` if it never does within `max_rounds` (c above
+/// threshold).
+pub fn rounds_to_tau(k: u32, r: u32, c: f64, tau: f64, max_rounds: u32) -> Option<u32> {
+    let mut it = Idealized::new(k, r, c);
+    for _ in 0..max_rounds {
+        let s = it.step();
+        if s.beta < tau {
+            return Some(s.i);
+        }
+    }
+    None
+}
+
+/// Measure the plateau length for a sweep of gaps `ν` below the threshold.
+///
+/// Returns `(nu, rounds)` pairs; Lemma 6 predicts `rounds ≈ Θ(√(1/ν))`, so
+/// `rounds · √ν` should be roughly constant across the sweep.
+pub fn plateau_sweep(k: u32, r: u32, nus: &[f64], max_rounds: u32) -> Vec<(f64, u32)> {
+    let t = threshold(k, r).expect("valid (k, r)");
+    let tau = default_tau(k, r);
+    nus.iter()
+        .map(|&nu| {
+            let c = t.c_star - nu;
+            assert!(c > 0.0, "gap {nu} exceeds threshold {}", t.c_star);
+            let rounds = rounds_to_tau(k, r, c, tau, max_rounds)
+                .expect("below threshold must reach tau");
+            (nu, rounds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_has_plateau_near_threshold() {
+        // Figure 1: at c = 0.772 (ν ≈ 0.00028) the β_i sit near x* for a
+        // long stretch before collapsing.
+        let traj = beta_trajectory(2, 4, 0.772, 1e-6, 10_000);
+        let x_star = threshold(2, 4).unwrap().x_star;
+        let near: usize = traj
+            .iter()
+            .filter(|&&b| (b - x_star).abs() < 0.2)
+            .count();
+        assert!(
+            near > 50,
+            "expected a long plateau near x* = {x_star}, got {near} rounds"
+        );
+    }
+
+    #[test]
+    fn further_from_threshold_is_faster() {
+        let t77 = beta_trajectory(2, 4, 0.77, 1e-6, 10_000).len();
+        let t772 = beta_trajectory(2, 4, 0.772, 1e-6, 10_000).len();
+        assert!(
+            t772 > t77,
+            "c=0.772 ({t772} rounds) should be slower than c=0.77 ({t77})"
+        );
+        let t70 = beta_trajectory(2, 4, 0.70, 1e-6, 10_000).len();
+        assert!(t70 < t77);
+    }
+
+    #[test]
+    fn plateau_scales_as_inverse_sqrt_nu() {
+        // rounds ≈ K/√ν: the product rounds·√ν should be stable within a
+        // modest factor across two decades of ν.
+        let nus = [1e-2, 1e-3, 1e-4, 1e-5];
+        let sweep = plateau_sweep(2, 4, &nus, 1_000_000);
+        let products: Vec<f64> = sweep
+            .iter()
+            .map(|&(nu, rounds)| rounds as f64 * nu.sqrt())
+            .collect();
+        let max = products.iter().cloned().fold(f64::MIN, f64::max);
+        let min = products.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 3.0,
+            "rounds·√ν should be near-constant, got {products:?}"
+        );
+    }
+
+    #[test]
+    fn tau_is_sane() {
+        for &(k, r) in &[(2u32, 3u32), (2, 4), (3, 3)] {
+            let tau = default_tau(k, r);
+            assert!(tau > 0.0 && tau < 1.0, "τ({k},{r}) = {tau}");
+        }
+    }
+
+    #[test]
+    fn rounds_to_tau_none_above_threshold() {
+        let tau = default_tau(2, 4);
+        assert_eq!(rounds_to_tau(2, 4, 0.85, tau, 5_000), None);
+    }
+}

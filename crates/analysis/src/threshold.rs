@@ -1,0 +1,227 @@
+//! The k-core emergence threshold `c*_{k,r}` of Eq. (2.1).
+//!
+//! From Molloy's analysis, peeling an r-uniform hypergraph with edge density
+//! `c` to the empty k-core succeeds w.h.p. iff `c < c*_{k,r}`, where
+//!
+//! ```text
+//! c*_{k,r} = min_{x>0}  x / ( r · P(Poisson(x) ≥ k−1)^{r−1} )
+//! ```
+//!
+//! The minimizer `x*` is the fixed point of the survival recurrence exactly
+//! at threshold ("the expected number of surviving descendant edges of each
+//! node when c = c*", Appendix C) and drives the Theorem 5 analysis.
+//!
+//! The objective diverges at both ends of `(0, ∞)` (as `x^{1-(k-1)(r-1)}`
+//! near 0 when `(k−1)(r−1) > 1`, and as `x/r` at ∞) and is smooth in
+//! between, so we locate a bracket by coarse geometric scan and refine by
+//! golden-section search.
+
+use crate::poisson::tail_ge;
+
+/// Result of a threshold computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    /// The threshold edge density `c*_{k,r}`.
+    pub c_star: f64,
+    /// The minimizing `x*` (threshold fixed point of the β recurrence).
+    pub x_star: f64,
+}
+
+/// The objective `F(x) = x / (r · P(Poisson(x) ≥ k−1)^{r−1})` from Eq. (2.1).
+pub fn objective(k: u32, r: u32, x: f64) -> f64 {
+    let p = tail_ge(x, k - 1);
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    x / (r as f64 * p.powi(r as i32 - 1))
+}
+
+/// Compute the threshold `c*_{k,r}` together with its minimizer `x*`.
+///
+/// Requires `k, r ≥ 2` and `k + r ≥ 5` (the paper excludes the degenerate
+/// `k = r = 2` case, where the k-core threshold behaves differently).
+pub fn threshold(k: u32, r: u32) -> Result<Threshold, ThresholdError> {
+    if k < 2 || r < 2 {
+        return Err(ThresholdError::ParamTooSmall { k, r });
+    }
+    if k + r < 5 {
+        return Err(ThresholdError::DegenerateCase);
+    }
+
+    // Coarse geometric scan for a bracket around the minimum.
+    let mut best_x = f64::NAN;
+    let mut best_f = f64::INFINITY;
+    let mut x = 1e-3;
+    while x < 200.0 {
+        let f = objective(k, r, x);
+        if f < best_f {
+            best_f = f;
+            best_x = x;
+        }
+        x *= 1.05;
+    }
+    let lo = best_x / 1.05 / 1.05;
+    let hi = best_x * 1.05 * 1.05;
+
+    // Golden-section refinement.
+    let (x_star, c_star) = golden_section(|x| objective(k, r, x), lo, hi, 1e-12);
+    Ok(Threshold { c_star, x_star })
+}
+
+/// Convenience: just the threshold density `c*_{k,r}`.
+pub fn c_star(k: u32, r: u32) -> Result<f64, ThresholdError> {
+    threshold(k, r).map(|t| t.c_star)
+}
+
+/// Convenience: just the minimizer `x*`.
+pub fn x_star(k: u32, r: u32) -> Result<f64, ThresholdError> {
+    threshold(k, r).map(|t| t.x_star)
+}
+
+/// Errors from threshold computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdError {
+    /// `k` or `r` below 2.
+    ParamTooSmall {
+        /// The `k` requested.
+        k: u32,
+        /// The `r` requested.
+        r: u32,
+    },
+    /// The excluded `k = r = 2` case.
+    DegenerateCase,
+}
+
+impl std::fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThresholdError::ParamTooSmall { k, r } => {
+                write!(f, "k and r must both be >= 2 (got k={k}, r={r})")
+            }
+            ThresholdError::DegenerateCase => {
+                write!(f, "the case k = r = 2 is excluded (k + r must be >= 5)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+/// Minimize a unimodal function on `[lo, hi]` by golden-section search.
+/// Returns `(argmin, min)`.
+fn golden_section<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> (f64, f64) {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    while hi - lo > tol {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let xm = 0.5 * (lo + hi);
+    (xm, f(xm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_thresholds() {
+        // Section 2: c*_{2,3} ≈ 0.818, c*_{2,4} ≈ 0.772, c*_{3,3} ≈ 1.553.
+        assert!((c_star(2, 3).unwrap() - 0.818).abs() < 1.5e-3);
+        assert!((c_star(2, 4).unwrap() - 0.772).abs() < 1.5e-3);
+        assert!((c_star(3, 3).unwrap() - 1.553).abs() < 1.5e-3);
+    }
+
+    #[test]
+    fn known_precise_values() {
+        // Higher-precision literature values for the 2-core thresholds
+        // (cuckoo-hashing / XORSAT thresholds).
+        assert!((c_star(2, 3).unwrap() - 0.818469).abs() < 1e-5);
+        assert!((c_star(2, 4).unwrap() - 0.772280).abs() < 1e-5);
+        assert!((c_star(2, 5).unwrap() - 0.701780).abs() < 1e-4);
+    }
+
+    #[test]
+    fn figure1_threshold_value() {
+        // Section 7 quotes c*_{2,4} ≈ 0.77228.
+        let t = threshold(2, 4).unwrap();
+        assert!((t.c_star - 0.77228).abs() < 5e-6, "c* = {}", t.c_star);
+    }
+
+    #[test]
+    fn x_star_is_a_critical_point() {
+        // At x*, the derivative of the objective vanishes: check numerically.
+        for &(k, r) in &[(2u32, 3u32), (2, 4), (3, 3), (3, 4), (4, 3)] {
+            let t = threshold(k, r).unwrap();
+            let h = 1e-5;
+            let d =
+                (objective(k, r, t.x_star + h) - objective(k, r, t.x_star - h)) / (2.0 * h);
+            assert!(d.abs() < 1e-3, "dF/dx at x* for ({k},{r}) is {d}");
+        }
+    }
+
+    #[test]
+    fn x_star_exceeds_k_minus_one() {
+        // Appendix C proves x* >= k − 1 (used to show f''(0) < 0).
+        for &(k, r) in &[(2u32, 3u32), (2, 4), (3, 3), (4, 4), (5, 3)] {
+            let t = threshold(k, r).unwrap();
+            assert!(
+                t.x_star > (k - 1) as f64,
+                "x*({k},{r}) = {} should exceed {}",
+                t.x_star,
+                k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_and_tiny_params() {
+        assert_eq!(threshold(2, 2).unwrap_err(), ThresholdError::DegenerateCase);
+        assert!(matches!(
+            threshold(1, 3).unwrap_err(),
+            ThresholdError::ParamTooSmall { .. }
+        ));
+        assert!(matches!(
+            threshold(3, 1).unwrap_err(),
+            ThresholdError::ParamTooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn thresholds_decrease_in_r_for_k2() {
+        // More hash functions => lower 2-core threshold (for r >= 3).
+        let c3 = c_star(2, 3).unwrap();
+        let c4 = c_star(2, 4).unwrap();
+        let c5 = c_star(2, 5).unwrap();
+        assert!(c3 > c4 && c4 > c5);
+    }
+
+    #[test]
+    fn thresholds_increase_in_k() {
+        // Larger k => denser cores tolerated before emergence.
+        let a = c_star(2, 3).unwrap();
+        let b = c_star(3, 3).unwrap();
+        let c = c_star(4, 3).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn objective_diverges_at_extremes() {
+        assert!(objective(2, 4, 1e-9) > 1e6);
+        assert!(objective(2, 4, 1e4) > 1e3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the analytical toolkit: structural facts the
+//! theory guarantees for *all* valid parameters, not just the paper's
+//! examples.
+
+use proptest::prelude::*;
+
+use peel_analysis::fixedpoint::above_threshold;
+use peel_analysis::poisson::{cdf, pmf, tail_ge};
+use peel_analysis::recurrence::Idealized;
+use peel_analysis::subtable::SubtableRecurrence;
+use peel_analysis::threshold::{c_star, threshold};
+
+/// Valid (k, r) pairs: k, r >= 2, k + r >= 5, kept small enough for fast
+/// numerics.
+fn arb_kr() -> impl Strategy<Value = (u32, u32)> {
+    (2u32..=6, 2u32..=6).prop_filter("paper excludes k = r = 2", |&(k, r)| k + r >= 5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Poisson basics for arbitrary means: pmf sums to 1, cdf+tail = 1,
+    /// tails are monotone in both arguments.
+    #[test]
+    fn poisson_identities(mu in 0.0f64..30.0, k in 1u32..12) {
+        let total: f64 = (0..200).map(|j| pmf(mu, j)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((cdf(mu, k - 1) + tail_ge(mu, k) - 1.0).abs() < 1e-9);
+        prop_assert!(tail_ge(mu, k) >= tail_ge(mu, k + 1) - 1e-12);
+        prop_assert!(tail_ge(mu + 0.5, k) >= tail_ge(mu, k) - 1e-12);
+    }
+
+    /// The threshold is a true separatrix for the recurrence: strictly
+    /// below c*, β collapses to 0; strictly above, it stabilizes > 0.
+    #[test]
+    fn threshold_separates_recurrence((k, r) in arb_kr(), gap in 0.02f64..0.3) {
+        let t = threshold(k, r).unwrap();
+
+        let below = t.c_star * (1.0 - gap);
+        let mut it = Idealized::new(k, r, below);
+        let mut beta_end = f64::NAN;
+        for _ in 0..100_000 {
+            let s = it.step();
+            beta_end = s.beta;
+            if s.beta < 1e-12 { break; }
+        }
+        prop_assert!(beta_end < 1e-9,
+            "β should vanish below threshold (k={}, r={}, c={}): {}", k, r, below, beta_end);
+
+        let above = t.c_star * (1.0 + gap);
+        let a = above_threshold(k, r, above);
+        prop_assert!(a.is_some(), "β must stabilize above threshold");
+        let a = a.unwrap();
+        prop_assert!(a.beta > 0.0 && a.lambda > 0.0);
+        prop_assert!(a.contraction > 0.0 && a.contraction < 1.0,
+            "contraction {} outside (0,1)", a.contraction);
+    }
+
+    /// λ_i and ρ_i are probabilities, with λ_i <= ρ_i (root needs one more
+    /// surviving edge), and β_i is monotone non-increasing below threshold.
+    #[test]
+    fn recurrence_is_wellformed((k, r) in arb_kr(), frac in 0.1f64..0.95) {
+        let c = c_star(k, r).unwrap() * frac;
+        let mut prev_beta = f64::INFINITY;
+        let mut it = Idealized::new(k, r, c);
+        for _ in 0..60 {
+            let s = it.step();
+            prop_assert!((0.0..=1.0).contains(&s.rho));
+            prop_assert!((0.0..=1.0).contains(&s.lambda));
+            prop_assert!(s.lambda <= s.rho + 1e-12);
+            prop_assert!(s.beta <= prev_beta + 1e-12);
+            prev_beta = s.beta;
+        }
+    }
+
+    /// Subtable recurrence dominates the plain one: after any full round,
+    /// the subtable survivor fraction is <= the plain λ (peeling earlier
+    /// subtables within the round only helps), and per-subround λ' is
+    /// non-increasing.
+    #[test]
+    fn subtable_dominates_plain((k, r) in arb_kr(), frac in 0.1f64..0.9) {
+        prop_assume!(r >= 3); // Theorem 7 needs r >= 3
+        let c = c_star(k, r).unwrap() * frac;
+        let plain = Idealized::new(k, r, c).lambda_series(8);
+        let steps = SubtableRecurrence::new(k, r, c).steps(8);
+        let mut prev = f64::INFINITY;
+        for s in &steps {
+            prop_assert!(s.lambda_prime <= prev + 1e-12);
+            prev = s.lambda_prime;
+        }
+        for (i, lam) in plain.iter().enumerate() {
+            let end_of_round = &steps[(i + 1) * r as usize - 1];
+            prop_assert!(end_of_round.lambda <= lam + 1e-12,
+                "round {}: subtable λ {} > plain λ {}", i + 1, end_of_round.lambda, lam);
+        }
+    }
+
+    /// The fixed point returned above threshold really is one, and the core
+    /// fraction λ grows with c.
+    #[test]
+    fn fixed_point_properties((k, r) in arb_kr(), gap in 0.05f64..0.4) {
+        let cs = c_star(k, r).unwrap();
+        let a1 = above_threshold(k, r, cs * (1.0 + gap)).unwrap();
+        let a2 = above_threshold(k, r, cs * (1.0 + gap + 0.2)).unwrap();
+        // Fixed point equation (Eq. 4.1).
+        let rc = r as f64 * cs * (1.0 + gap);
+        let g = rc * tail_ge(a1.beta, k - 1).powi(r as i32 - 1);
+        prop_assert!((g - a1.beta).abs() < 1e-6);
+        // Monotone in c.
+        prop_assert!(a2.lambda > a1.lambda);
+        prop_assert!(a2.beta > a1.beta);
+    }
+}

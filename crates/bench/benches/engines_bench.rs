@@ -1,0 +1,82 @@
+//! Engine comparison bench (ablation: dense scan vs frontier vs serial
+//! baselines vs subtable discipline).
+//!
+//! Fixed workload: r=4, k=2, c=0.70 (below threshold — the regime peeling
+//! data structures are operated in). The dense engine mirrors the paper's
+//! GPU kernel (O(n+m) work per round); the frontier engine is the
+//! work-efficient CPU variant; `peel_greedy` is the serial baseline of the
+//! paper's timing tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use peel_core::parallel::{peel_parallel, ParallelOpts, Strategy};
+use peel_core::sequential::{peel_greedy, peel_rounds_serial};
+use peel_core::subtable::{peel_subtables, SubtableOpts};
+use peel_graph::models::{Gnm, Partitioned};
+use peel_graph::rng::Xoshiro256StarStar;
+use peel_graph::Hypergraph;
+
+fn workload(n: usize) -> Hypergraph {
+    Gnm::new(n, 0.70, 4).sample(&mut Xoshiro256StarStar::new(42))
+}
+
+fn partitioned_workload(n: usize) -> Hypergraph {
+    Partitioned::new(n, 0.70, 4).sample(&mut Xoshiro256StarStar::new(42))
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let n = 200_000usize;
+    let g = workload(n);
+    let gp = partitioned_workload(n);
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("greedy_serial", n), |b| {
+        b.iter(|| peel_greedy(&g, 2))
+    });
+    group.bench_function(BenchmarkId::new("rounds_serial", n), |b| {
+        b.iter(|| peel_rounds_serial(&g, 2))
+    });
+    group.bench_function(BenchmarkId::new("parallel_dense", n), |b| {
+        let opts = ParallelOpts {
+            strategy: Strategy::Dense,
+            ..Default::default()
+        };
+        b.iter(|| peel_parallel(&g, 2, &opts))
+    });
+    group.bench_function(BenchmarkId::new("parallel_frontier", n), |b| {
+        let opts = ParallelOpts::default();
+        b.iter(|| peel_parallel(&g, 2, &opts))
+    });
+    group.bench_function(BenchmarkId::new("subtable", n), |b| {
+        b.iter(|| peel_subtables(&gp, 2, &SubtableOpts::default()))
+    });
+    group.finish();
+}
+
+fn bench_density_sweep(c: &mut Criterion) {
+    // Above vs below threshold: above-threshold peeling runs Ω(log n)
+    // rounds, so the dense engine's per-round full scan hurts most there.
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("density_sweep");
+    group.sample_size(10);
+    for density in [0.5f64, 0.7, 0.8, 0.85] {
+        let g = Gnm::new(n, density, 4).sample(&mut Xoshiro256StarStar::new(7));
+        group.bench_function(BenchmarkId::new("frontier", format!("c={density}")), |b| {
+            b.iter(|| peel_parallel(&g, 2, &ParallelOpts::default()))
+        });
+        group.bench_function(BenchmarkId::new("dense", format!("c={density}")), |b| {
+            let opts = ParallelOpts {
+                strategy: Strategy::Dense,
+                ..Default::default()
+            };
+            b.iter(|| peel_parallel(&g, 2, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_density_sweep);
+criterion_main!(benches);

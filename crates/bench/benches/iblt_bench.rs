@@ -1,0 +1,98 @@
+//! IBLT timing bench — the Criterion counterpart of Tables 3 & 4, plus the
+//! atomic-vs-locked cell ablation from DESIGN.md.
+//!
+//! Loads 0.75 (full recovery) and 0.83 (partial recovery) at r=3, matching
+//! Table 3's rows; the table3_4 binary prints the paper-style summary,
+//! while this bench gives Criterion-quality timing distributions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use peel_graph::rng::Xoshiro256StarStar;
+use peel_iblt::locked::LockedIblt;
+use peel_iblt::{AtomicIblt, Iblt, IbltConfig};
+use rand::RngCore;
+
+const CELLS: usize = 1 << 18; // 262k cells: seconds-scale bench iterations
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let cfg = IbltConfig::with_total_cells(3, CELLS, 11);
+    let items = (0.75 * cfg.total_cells() as f64) as usize;
+    let ks = keys(items, 99);
+
+    let mut group = c.benchmark_group("iblt_insert");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(items as u64));
+    group.bench_function(BenchmarkId::new("serial", items), |b| {
+        b.iter_batched(
+            || Iblt::new(cfg),
+            |mut t| {
+                for &k in &ks {
+                    t.insert(k);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("atomic_parallel", items), |b| {
+        b.iter_batched(
+            || AtomicIblt::new(cfg),
+            |t| {
+                t.par_insert(&ks);
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("locked_parallel", items), |b| {
+        b.iter_batched(
+            || LockedIblt::new(cfg),
+            |t| {
+                t.par_insert(&ks);
+                t
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iblt_recover");
+    group.sample_size(10);
+    for load in [0.75f64, 0.83] {
+        let cfg = IbltConfig::with_total_cells(3, CELLS, 12);
+        let items = (load * cfg.total_cells() as f64) as usize;
+        let ks = keys(items, 101);
+        let reference = {
+            let t = AtomicIblt::new(cfg);
+            t.par_insert(&ks);
+            t.to_serial()
+        };
+
+        group.throughput(Throughput::Elements(items as u64));
+        group.bench_function(BenchmarkId::new("serial", format!("load={load}")), |b| {
+            b.iter_batched(
+                || reference.clone(),
+                |mut t| t.recover_destructive(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("parallel", format!("load={load}")), |b| {
+            b.iter_batched(
+                || AtomicIblt::from_serial(&reference),
+                |t| t.par_recover(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_recover);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Thread-scaling ablation: parallel peeling and parallel IBLT recovery
+//! under rayon pools of 1, 2, … threads (up to the machine's cores).
+//!
+//! With one thread the parallel engines degrade to (slightly overheadier)
+//! serial execution, so this bench quantifies both the parallel overhead
+//! and the achievable speedup on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peel_core::parallel::{peel_parallel, ParallelOpts};
+use peel_graph::models::Gnm;
+use peel_graph::rng::Xoshiro256StarStar;
+use peel_iblt::{AtomicIblt, IbltConfig};
+use rand::RngCore;
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut v = vec![1];
+    let mut t = 2;
+    while t <= max {
+        v.push(t);
+        t *= 2;
+    }
+    if *v.last().unwrap() != max {
+        v.push(max);
+    }
+    v
+}
+
+fn bench_peel_scaling(c: &mut Criterion) {
+    let g = Gnm::new(200_000, 0.70, 4).sample(&mut Xoshiro256StarStar::new(1));
+    let mut group = c.benchmark_group("peel_scaling");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::new("frontier", threads), |b| {
+            b.iter(|| pool.install(|| peel_parallel(&g, 2, &ParallelOpts::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recover_scaling(c: &mut Criterion) {
+    let cfg = IbltConfig::with_total_cells(3, 1 << 18, 5);
+    let items = (0.75 * cfg.total_cells() as f64) as usize;
+    let mut rng = Xoshiro256StarStar::new(2);
+    let keys: Vec<u64> = (0..items).map(|_| rng.next_u64()).collect();
+    let loaded = {
+        let t = AtomicIblt::new(cfg);
+        t.par_insert(&keys);
+        t.to_serial()
+    };
+
+    let mut group = c.benchmark_group("iblt_recover_scaling");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::new("par_recover", threads), |b| {
+            b.iter_batched(
+                || AtomicIblt::from_serial(&loaded),
+                |t| pool.install(|| t.par_recover()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_peel_scaling, bench_recover_scaling);
+criterion_main!(benches);

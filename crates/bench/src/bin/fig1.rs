@@ -1,0 +1,73 @@
+//! Figure 1 reproduction: trajectories of `β_i` under the idealized
+//! recurrence (Eq. C.1) for densities just below the threshold
+//! `c*_{2,4} ≈ 0.77228` — the long plateau near `x*` is Theorem 5's
+//! `Θ(√(1/ν))` middle phase.
+//!
+//! Also prints the Theorem 5 plateau sweep: rounds-to-τ times `√ν` should
+//! be approximately constant across two decades of `ν`.
+
+use peel_analysis::theorem5::{beta_trajectory, default_tau, plateau_sweep};
+use peel_analysis::threshold::threshold;
+use peel_bench::{row, Args};
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        eprintln!(
+            "fig1 [--max-rounds R]\n\
+             Reproduces Figure 1 (β_i trajectories near threshold, k=2, r=4)\n\
+             and the Theorem 5 plateau sweep. Output: CSV series."
+        );
+        return;
+    }
+    let max_rounds: u32 = args.get("max-rounds", 4000);
+    let k = 2u32;
+    let r = 4u32;
+    let t = threshold(k, r).unwrap();
+
+    println!("# Figure 1: beta_i trajectories, k={k}, r={r}");
+    println!("# c* = {:.6}, x* = {:.6}", t.c_star, t.x_star);
+
+    let cs = [0.77f64, 0.772];
+    let trajs: Vec<Vec<f64>> = cs
+        .iter()
+        .map(|&c| beta_trajectory(k, r, c, 1e-6, max_rounds))
+        .collect();
+    println!("round,beta(c=0.77),beta(c=0.772)");
+    let longest = trajs.iter().map(Vec::len).max().unwrap();
+    for i in 0..longest {
+        let cells: Vec<String> = trajs
+            .iter()
+            .map(|t| {
+                t.get(i)
+                    .map(|b| format!("{b:.6}"))
+                    .unwrap_or_else(|| "".to_string())
+            })
+            .collect();
+        println!("{},{}", i + 1, cells.join(","));
+    }
+
+    println!();
+    println!("# Theorem 5 plateau sweep: rounds until beta < tau, tau = {:.4}", default_tau(k, r));
+    let nus = [3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5];
+    let sweep = plateau_sweep(k, r, &nus, 10_000_000);
+    let widths = [12usize, 10, 16];
+    println!(
+        "{}",
+        row(&["nu".into(), "rounds".into(), "rounds*sqrt(nu)".into()], &widths)
+    );
+    for (nu, rounds) in sweep {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{nu:.0e}"),
+                    format!("{rounds}"),
+                    format!("{:.3}", rounds as f64 * nu.sqrt()),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("# Theorem 5: the last column should be ~constant (Θ(sqrt(1/nu)) plateau)");
+}

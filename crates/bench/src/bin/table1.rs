@@ -1,0 +1,68 @@
+//! Table 1 reproduction: parallel peeling rounds on `G^4_{n,cn}` with k=2.
+//!
+//! Paper parameters: n = 10000·2^i for i=0..8, c ∈ {0.70, 0.75, 0.80, 0.85},
+//! 1000 trials. Default here: n up to 640000 and 100 trials (≈ 1 minute on a
+//! small machine); pass `--full` for the paper's exact grid.
+//!
+//! Expected shape: below the threshold c*_{2,4} ≈ 0.772 all trials succeed
+//! and rounds grow like log log n (≈13 at c=0.70, ≈23.5 at c=0.75); above
+//! it all trials fail and rounds grow like log n (+~2 per doubling).
+
+use rayon::prelude::*;
+
+use peel_bench::{mean, row, Args};
+use peel_core::sequential::peel_rounds_serial;
+use peel_graph::models::Gnm;
+use peel_graph::rng::Xoshiro256StarStar;
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        eprintln!(
+            "table1 [--full] [--trials T] [--max-n N] [--seed S]\n\
+             Reproduces Table 1 (rounds of parallel peeling, r=4, k=2)."
+        );
+        return;
+    }
+    let full = args.flag("full");
+    let trials: u64 = args.get("trials", if full { 1000 } else { 100 });
+    let max_n: usize = args.get("max-n", if full { 2_560_000 } else { 640_000 });
+    let seed: u64 = args.get("seed", 20140623);
+    let densities: [f64; 4] = [0.70, 0.75, 0.80, 0.85];
+    let r = 4;
+    let k = 2;
+
+    println!("# Table 1: parallel peeling on G^4_(n,cn), k=2, {trials} trials");
+    println!("# c*_2,4 = {:.5}", peel_analysis::c_star(2, 4).unwrap());
+    let widths = [9usize, 7, 8, 7, 8, 7, 8, 7, 8];
+    let mut header = vec!["n".to_string()];
+    for c in densities {
+        header.push(format!("c={c}"));
+        header.push("rounds".to_string());
+    }
+    println!("{}", row(&header, &widths));
+
+    let mut n = 10_000usize;
+    while n <= max_n {
+        let mut cells = vec![format!("{n}")];
+        for &c in &densities {
+            let results: Vec<(bool, u32)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let mut rng =
+                        Xoshiro256StarStar::new(seed ^ (n as u64) ^ c.to_bits() ^ (t << 32));
+                    let g = Gnm::new(n, c, r).sample(&mut rng);
+                    let out = peel_rounds_serial(&g, k);
+                    (!out.success(), out.rounds)
+                })
+                .collect();
+            let failed = results.iter().filter(|(f, _)| *f).count();
+            let rounds = mean(&results.iter().map(|&(_, r)| r as f64).collect::<Vec<_>>());
+            cells.push(format!("{failed}"));
+            cells.push(format!("{rounds:.3}"));
+        }
+        println!("{}", row(&cells, &widths));
+        n *= 2;
+    }
+    println!("# columns per density: failed trials (of {trials}), mean rounds");
+}

@@ -1,0 +1,89 @@
+//! Table 2 reproduction: idealized recurrence `λ_t·n` vs the measured
+//! number of unpeeled vertices after each round (r=4, k=2, n=10^6).
+//!
+//! The paper runs c = 0.70 (below threshold) and c = 0.85 (above), 1000
+//! trials, n = 10^6. Default here: 10 trials at n = 10^6 (the prediction
+//! column is exact; the experiment column's sampling error at 10 trials is
+//! already below the rounding noise for all but the tiniest entries).
+
+use rayon::prelude::*;
+
+use peel_analysis::Idealized;
+use peel_bench::{mean, row, Args};
+use peel_core::parallel::{peel_parallel, ParallelOpts, Strategy};
+use peel_graph::models::Gnm;
+use peel_graph::rng::Xoshiro256StarStar;
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        eprintln!(
+            "table2 [--full] [--n N] [--trials T] [--rounds R] [--seed S]\n\
+             Reproduces Table 2 (prediction vs experiment, r=4, k=2)."
+        );
+        return;
+    }
+    let full = args.flag("full");
+    let n: usize = args.get("n", 1_000_000);
+    let trials: u64 = args.get("trials", if full { 1000 } else { 10 });
+    let t_max: u32 = args.get("rounds", 20);
+    let seed: u64 = args.get("seed", 7141);
+    let r = 4u32;
+    let k = 2u32;
+
+    for &c in &[0.70f64, 0.85] {
+        println!("# Table 2 (c = {c}): r={r}, k={k}, n={n}, {trials} trials");
+        // Average survivor counts per round over the trials.
+        let survivor_sums: Vec<Vec<u64>> = (0..trials)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = Xoshiro256StarStar::new(seed ^ c.to_bits() ^ (t << 24));
+                let g = Gnm::new(n, c, r as usize).sample(&mut rng);
+                let opts = ParallelOpts {
+                    strategy: Strategy::Frontier,
+                    max_rounds: t_max,
+                    collect_trace: true,
+                };
+                let out = peel_parallel(&g, k, &opts);
+                // Pad with the final survivor count (post-fixpoint rounds
+                // keep the same survivor count).
+                let mut series = out.survivor_series();
+                let last = series.last().copied().unwrap_or(n as u64);
+                series.resize(t_max as usize, last);
+                series
+            })
+            .collect();
+
+        let predictions = Idealized::new(k, r, c).survivor_predictions(n as u64, t_max);
+        let widths = [4usize, 14, 14];
+        println!(
+            "{}",
+            row(
+                &["t".into(), "Prediction".into(), "Experiment".into()],
+                &widths
+            )
+        );
+        for t in 0..t_max as usize {
+            let experiment = mean(
+                &survivor_sums
+                    .iter()
+                    .map(|s| s[t] as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let pred = predictions[t];
+            let pred_str = if pred >= 0.5 {
+                format!("{pred:.0}")
+            } else {
+                format!("{pred:.5}")
+            };
+            println!(
+                "{}",
+                row(
+                    &[format!("{}", t + 1), pred_str, format!("{experiment:.1}")],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+}

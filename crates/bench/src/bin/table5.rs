@@ -1,0 +1,68 @@
+//! Table 5 reproduction: peeling with subtables — failed trials and mean
+//! *subrounds* (r=4, k=2, c ∈ {0.70, 0.75}).
+//!
+//! Paper: n = 10000·2^i, 1000 trials; observes ≈27 subrounds at c=0.70 and
+//! ≈48 at c=0.75 — about 2× the plain round counts of Table 1, far below
+//! the naive factor r=4 (Appendix B's Fibonacci-exponential effect).
+
+use rayon::prelude::*;
+
+use peel_bench::{mean, row, Args};
+use peel_core::subtable::{peel_subtables, SubtableOpts};
+use peel_graph::models::Partitioned;
+use peel_graph::rng::Xoshiro256StarStar;
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        eprintln!(
+            "table5 [--full] [--trials T] [--max-n N] [--seed S]\n\
+             Reproduces Table 5 (subrounds of subtable peeling, r=4, k=2)."
+        );
+        return;
+    }
+    let full = args.flag("full");
+    let trials: u64 = args.get("trials", if full { 1000 } else { 100 });
+    let max_n: usize = args.get("max-n", if full { 2_560_000 } else { 640_000 });
+    let seed: u64 = args.get("seed", 555);
+    let densities = [0.70f64, 0.75];
+    let r = 4;
+    let k = 2;
+
+    println!("# Table 5: subtable peeling on partitioned graphs, r=4, k=2, {trials} trials");
+    println!(
+        "# predicted subround inflation over plain rounds: {:.3}",
+        peel_analysis::subround_inflation(k, r as u32)
+    );
+    let widths = [9usize, 8, 10, 8, 10];
+    let mut header = vec!["n".to_string()];
+    for c in densities {
+        header.push(format!("c={c}"));
+        header.push("subrounds".to_string());
+    }
+    println!("{}", row(&header, &widths));
+
+    let mut n = 10_000usize;
+    while n <= max_n {
+        let mut cells = vec![format!("{n}")];
+        for &c in &densities {
+            let results: Vec<(bool, u32)> = (0..trials)
+                .into_par_iter()
+                .map(|t| {
+                    let mut rng =
+                        Xoshiro256StarStar::new(seed ^ (n as u64) ^ c.to_bits() ^ (t << 32));
+                    let g = Partitioned::new(n, c, r).sample(&mut rng);
+                    let out = peel_subtables(&g, k, &SubtableOpts::default());
+                    (!out.success(), out.subrounds)
+                })
+                .collect();
+            let failed = results.iter().filter(|(f, _)| *f).count();
+            let subrounds = mean(&results.iter().map(|&(_, s)| s as f64).collect::<Vec<_>>());
+            cells.push(format!("{failed}"));
+            cells.push(format!("{subrounds:.3}"));
+        }
+        println!("{}", row(&cells, &widths));
+        n *= 2;
+    }
+    println!("# columns per density: failed trials (of {trials}), mean subrounds");
+}

@@ -1,0 +1,179 @@
+//! Biff codes — error correction (not just erasure recovery) from IBLT set
+//! reconciliation (Mitzenmacher & Varghese, ref [17] of the paper).
+//!
+//! Idea: view a message `m[0..n]` as the set of pairs `{(i, m[i])}`. The
+//! sender transmits the message plus a small IBLT *sketch* of that set,
+//! sized for the anticipated number of corrupted symbols `t` (cells
+//! `≈ 2.4t` for r=4 at load 0.7, independent of `n`). The receiver builds
+//! the same sketch from what it received and subtracts: corrupted
+//! positions surface as `(i, wrong)` with negative sign and `(i, right)`
+//! with positive sign. Decoding the difference — parallel peeling — both
+//! *locates* and *corrects* the errors.
+//!
+//! The pair `(i, value)` is packed into a single `u64` key (32-bit index,
+//! 32-bit value), so the plain key-only IBLT suffices and all of its
+//! recovery machinery (including the parallel subround kernel) is reused.
+
+use peel_iblt::{AtomicIblt, Iblt, IbltConfig};
+
+/// Pack a (position, symbol) pair into an IBLT key.
+#[inline]
+fn pack(pos: u32, symbol: u32) -> u64 {
+    ((pos as u64) << 32) | symbol as u64
+}
+
+/// Unpack an IBLT key into (position, symbol).
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// A Biff code sized for a maximum number of symbol errors.
+#[derive(Debug, Clone, Copy)]
+pub struct BiffCode {
+    cfg: IbltConfig,
+}
+
+/// Outcome of Biff decoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BiffOutcome {
+    /// Positions that were corrected.
+    pub corrected: Vec<u32>,
+    /// True iff the sketch difference decoded completely — i.e. all errors
+    /// were found (w.h.p.). When `false`, more errors occurred than the
+    /// sketch was provisioned for; the message may still contain errors.
+    pub complete: bool,
+}
+
+impl BiffCode {
+    /// A code correcting up to ~`max_errors` symbol corruptions. Each
+    /// error consumes two sketch entries (the wrong pair and the right
+    /// pair), so the sketch is provisioned for `2·max_errors` keys at
+    /// load 0.7 with r = 4 hash functions.
+    pub fn new(max_errors: usize, seed: u64) -> Self {
+        let cfg = IbltConfig::for_load(4, (2 * max_errors).max(4), 0.7, seed);
+        BiffCode { cfg }
+    }
+
+    /// Size of the sketch in cells (each cell is 24 bytes on the wire).
+    pub fn sketch_cells(&self) -> usize {
+        self.cfg.total_cells()
+    }
+
+    /// Sender: sketch a message.
+    pub fn sketch(&self, message: &[u32]) -> Iblt {
+        let t = AtomicIblt::new(self.cfg);
+        let pairs: Vec<u64> = message
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| pack(i as u32, s))
+            .collect();
+        t.par_insert(&pairs);
+        t.to_serial()
+    }
+
+    /// Receiver: correct `received` in place given the sender's sketch.
+    pub fn correct(&self, received: &mut [u32], sender_sketch: &Iblt) -> BiffOutcome {
+        let mine = self.sketch(received);
+        let mut diff = sender_sketch.subtract(&mine);
+        let rec = diff.recover_destructive();
+
+        // positive = sender-only pairs = the true (pos, symbol) at corrupted
+        // positions; negative = receiver-only pairs = the corruptions.
+        let mut corrected = Vec::with_capacity(rec.positive.len());
+        for &key in &rec.positive {
+            let (pos, symbol) = unpack(key);
+            if (pos as usize) < received.len() {
+                received[pos as usize] = symbol;
+                corrected.push(pos);
+            }
+        }
+        corrected.sort_unstable();
+        BiffOutcome {
+            corrected,
+            complete: rec.complete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn message(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect()
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        let code = BiffCode::new(50, 1);
+        let original = message(100_000);
+        let sketch = code.sketch(&original);
+
+        let mut corrupted = original.clone();
+        let error_positions: Vec<usize> = (0..40).map(|i| i * 2_499 + 7).collect();
+        for &p in &error_positions {
+            corrupted[p] ^= 0xdead_beef;
+        }
+
+        let out = code.correct(&mut corrupted, &sketch);
+        assert!(out.complete);
+        assert_eq!(out.corrected.len(), 40);
+        assert_eq!(corrupted, original);
+    }
+
+    #[test]
+    fn no_errors_is_a_noop() {
+        let code = BiffCode::new(10, 2);
+        let original = message(5_000);
+        let sketch = code.sketch(&original);
+        let mut rx = original.clone();
+        let out = code.correct(&mut rx, &sketch);
+        assert!(out.complete);
+        assert!(out.corrected.is_empty());
+        assert_eq!(rx, original);
+    }
+
+    #[test]
+    fn sketch_size_independent_of_message_length() {
+        let code = BiffCode::new(100, 3);
+        let cells = code.sketch_cells();
+        // Sketch a tiny and a huge message: same sketch size.
+        assert_eq!(code.sketch(&message(100)).cells().len(), cells);
+        assert_eq!(code.sketch(&message(200_000)).cells().len(), cells);
+        // And the size is O(max_errors), not O(n).
+        assert!(cells < 400, "sketch should be ~2.4 cells/error: {cells}");
+    }
+
+    #[test]
+    fn too_many_errors_reports_incomplete() {
+        let code = BiffCode::new(10, 4);
+        let original = message(10_000);
+        let sketch = code.sketch(&original);
+        let mut corrupted = original.clone();
+        for p in 0..200 {
+            corrupted[p * 50] ^= 1;
+        }
+        let out = code.correct(&mut corrupted, &sketch);
+        assert!(!out.complete, "200 errors cannot fit a 10-error sketch");
+        // Anything it did fix is a true fix.
+        for &p in &out.corrected {
+            assert_eq!(corrupted[p as usize], original[p as usize]);
+        }
+    }
+
+    #[test]
+    fn burst_errors_also_correct() {
+        let code = BiffCode::new(64, 5);
+        let original = message(50_000);
+        let sketch = code.sketch(&original);
+        let mut corrupted = original.clone();
+        for p in 20_000..20_050 {
+            corrupted[p] = corrupted[p].wrapping_add(p as u32 + 1);
+        }
+        let out = code.correct(&mut corrupted, &sketch);
+        assert!(out.complete);
+        assert_eq!(out.corrected.len(), 50);
+        assert_eq!(corrupted, original);
+    }
+}

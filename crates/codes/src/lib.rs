@@ -1,0 +1,451 @@
+//! # peel-codes — peeling-based erasure codes
+//!
+//! A systematic erasure code in the style the paper sketches in Section 6
+//! (and of Biff codes / simple LDPC erasure codes, refs [14, 17]): every
+//! message symbol is XORed into `r` *check cells*, one per check group.
+//! The receiver gets the message and check symbols with some of each
+//! erased; decoding peels:
+//!
+//! * vertices = received check cells,
+//! * edges    = erased (unknown) message symbols,
+//! * a check cell covering exactly one unknown symbol reveals it
+//!   (degree-1 vertex ⇔ "pure" cell),
+//!
+//! so full recovery succeeds iff the 2-core of that hypergraph is empty —
+//! when all checks arrive, exactly the condition *erased symbols / check
+//! cells `< c*_{2,r}`*.
+//!
+//! Two decoders are provided: a serial worklist decoder and a parallel
+//! round/subround decoder with the same subtable discipline as the paper's
+//! IBLT implementation (check groups are the subtables).
+//!
+//! ```
+//! use peel_codes::{PeelingCode, Symbol};
+//!
+//! let code = PeelingCode::new(1_000, 1_000, 4, 7); // 1000 msg, 1000 checks
+//! let message: Vec<u64> = (0..1_000u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+//! let checks = code.encode(&message);
+//!
+//! // Erase 60% of the message (load 0.6 < c*_{2,4} ≈ 0.772) and no checks.
+//! let mut rx: Vec<Symbol> = message.iter().map(|&s| Some(s)).collect();
+//! for i in 0..600 { rx[i] = None; }
+//! let rx_checks: Vec<Symbol> = checks.iter().map(|&s| Some(s)).collect();
+//!
+//! let out = code.decode(&mut rx, &rx_checks);
+//! assert!(out.complete);
+//! assert_eq!(rx.iter().map(|s| s.unwrap()).collect::<Vec<_>>(), message);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod biff;
+pub mod lt;
+
+pub use biff::{BiffCode, BiffOutcome};
+pub use lt::{LtCode, LtDecode, LtSymbol, RobustSoliton};
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+/// A possibly-erased symbol on the wire.
+pub type Symbol = Option<u64>;
+
+/// The 64-bit SplitMix finalizer used for symbol→cell placement.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of a decode attempt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeResult {
+    /// Number of erased message symbols recovered.
+    pub recovered: usize,
+    /// True iff every erased symbol was recovered.
+    pub complete: bool,
+    /// Peeling rounds used (serial decoder reports worklist *passes* = 1).
+    pub rounds: u32,
+    /// Subrounds used by the parallel decoder (0 for the serial one).
+    pub subrounds: u32,
+}
+
+/// A systematic peeling erasure code with `r` check groups.
+#[derive(Debug, Clone)]
+pub struct PeelingCode {
+    message_len: usize,
+    group_size: usize,
+    r: usize,
+    group_seeds: Vec<u64>,
+}
+
+impl PeelingCode {
+    /// Code for messages of `message_len` symbols with `check_cells` total
+    /// check symbols split into `r` groups (rounded up to a multiple of
+    /// `r`). For reliable decoding of an erasure fraction `p`, size so that
+    /// `p·message_len / check_cells < c*_{2,r}`.
+    pub fn new(message_len: usize, check_cells: usize, r: usize, seed: u64) -> Self {
+        assert!(r >= 2, "need at least 2 check groups");
+        assert!(message_len > 0 && check_cells >= r);
+        let group_size = check_cells.div_ceil(r);
+        PeelingCode {
+            message_len,
+            group_size,
+            r,
+            group_seeds: (0..r).map(|j| mix64(seed ^ mix64(j as u64 + 1))).collect(),
+        }
+    }
+
+    /// Message length in symbols.
+    pub fn message_len(&self) -> usize {
+        self.message_len
+    }
+
+    /// Total number of check cells (`r × group size`).
+    pub fn check_cells(&self) -> usize {
+        self.r * self.group_size
+    }
+
+    /// Number of check groups `r`.
+    pub fn groups(&self) -> usize {
+        self.r
+    }
+
+    /// Check cell (global index) covering message symbol `i` in group `g`.
+    #[inline]
+    fn cell_of(&self, g: usize, i: usize) -> usize {
+        let h = mix64(i as u64 ^ self.group_seeds[g]);
+        g * self.group_size + ((h as u128 * self.group_size as u128) >> 64) as usize
+    }
+
+    /// Encode: produce the check symbols for `message`.
+    ///
+    /// # Panics
+    /// Panics if `message.len() != message_len`.
+    pub fn encode(&self, message: &[u64]) -> Vec<u64> {
+        assert_eq!(message.len(), self.message_len);
+        let mut checks = vec![0u64; self.check_cells()];
+        for (i, &s) in message.iter().enumerate() {
+            for g in 0..self.r {
+                checks[self.cell_of(g, i)] ^= s;
+            }
+        }
+        checks
+    }
+
+    /// Parallel encode using per-group passes (group cells are disjoint, so
+    /// each group encodes independently; within a group, atomic XOR).
+    pub fn par_encode(&self, message: &[u64]) -> Vec<u64> {
+        assert_eq!(message.len(), self.message_len);
+        let checks: Vec<AtomicU64> = (0..self.check_cells()).map(|_| AtomicU64::new(0)).collect();
+        message.par_iter().enumerate().for_each(|(i, &s)| {
+            for g in 0..self.r {
+                checks[self.cell_of(g, i)].fetch_xor(s, Relaxed);
+            }
+        });
+        checks.into_iter().map(|a| a.into_inner()).collect()
+    }
+
+    /// Shared decode setup: returns `(residual, idx_sum, deg, available,
+    /// unknowns)` for the given reception state.
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &self,
+        message: &[Symbol],
+        checks: &[Symbol],
+    ) -> (Vec<u64>, Vec<u64>, Vec<u32>, Vec<bool>, usize) {
+        assert_eq!(message.len(), self.message_len);
+        assert_eq!(checks.len(), self.check_cells());
+        let cells = self.check_cells();
+        let mut residual = vec![0u64; cells];
+        let mut idx_sum = vec![0u64; cells];
+        let mut deg = vec![0u32; cells];
+        let mut available = vec![false; cells];
+        for (c, &recv) in checks.iter().enumerate() {
+            if let Some(v) = recv {
+                available[c] = true;
+                residual[c] = v;
+            }
+        }
+        let mut unknowns = 0usize;
+        for (i, &sym) in message.iter().enumerate() {
+            match sym {
+                Some(v) => {
+                    // Known symbol: cancel its contribution from its cells.
+                    for g in 0..self.r {
+                        let c = self.cell_of(g, i);
+                        if available[c] {
+                            residual[c] ^= v;
+                        }
+                    }
+                }
+                None => {
+                    unknowns += 1;
+                    for g in 0..self.r {
+                        let c = self.cell_of(g, i);
+                        if available[c] {
+                            deg[c] += 1;
+                            idx_sum[c] ^= i as u64;
+                        }
+                    }
+                }
+            }
+        }
+        (residual, idx_sum, deg, available, unknowns)
+    }
+
+    /// Serial worklist decode. Recovers erased entries of `message` in
+    /// place.
+    pub fn decode(&self, message: &mut [Symbol], checks: &[Symbol]) -> DecodeResult {
+        let (mut residual, mut idx_sum, mut deg, available, unknowns) =
+            self.prepare(message, checks);
+
+        let mut queue: Vec<usize> = (0..self.check_cells())
+            .filter(|&c| available[c] && deg[c] == 1)
+            .collect();
+        let mut recovered = 0usize;
+        while let Some(c) = queue.pop() {
+            if deg[c] != 1 {
+                continue; // stale
+            }
+            let i = idx_sum[c] as usize;
+            let v = residual[c];
+            debug_assert!(message[i].is_none());
+            message[i] = Some(v);
+            recovered += 1;
+            for g in 0..self.r {
+                let cg = self.cell_of(g, i);
+                if available[cg] {
+                    residual[cg] ^= v;
+                    idx_sum[cg] ^= i as u64;
+                    deg[cg] -= 1;
+                    if deg[cg] == 1 {
+                        queue.push(cg);
+                    }
+                }
+            }
+        }
+        DecodeResult {
+            recovered,
+            complete: recovered == unknowns,
+            rounds: 1,
+            subrounds: 0,
+        }
+    }
+
+    /// Parallel decode with the subtable/subround discipline: subround `s`
+    /// scans check group `s mod r` for degree-1 cells in parallel, then
+    /// applies all recoveries in parallel with atomic updates.
+    pub fn par_decode(&self, message: &mut [Symbol], checks: &[Symbol]) -> DecodeResult {
+        let (residual, idx_sum, deg, available, unknowns) = self.prepare(message, checks);
+        let residual: Vec<AtomicU64> = residual.into_iter().map(AtomicU64::new).collect();
+        let idx_sum: Vec<AtomicU64> = idx_sum.into_iter().map(AtomicU64::new).collect();
+        let deg: Vec<AtomicU32> = deg.into_iter().map(AtomicU32::new).collect();
+
+        // Recovered values land here; `message` is updated at the end.
+        let recovered_val: Vec<AtomicU64> = (0..self.message_len)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let recovered_flag: Vec<AtomicU32> = (0..self.message_len)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+
+        let mut subround = 0u32;
+        let mut last_productive = 0u32;
+        let mut idle_streak = 0usize;
+        let mut recovered = 0usize;
+
+        while idle_streak < self.r {
+            let g = (subround as usize) % self.r;
+            subround += 1;
+            let base = g * self.group_size;
+
+            // Phase 1: find degree-1 available cells in group g.
+            let found: Vec<(usize, u64)> = (base..base + self.group_size)
+                .into_par_iter()
+                .filter_map(|c| {
+                    (available[c] && deg[c].load(Relaxed) == 1)
+                        .then(|| (idx_sum[c].load(Relaxed) as usize, residual[c].load(Relaxed)))
+                })
+                .collect();
+
+            if found.is_empty() {
+                idle_streak += 1;
+                continue;
+            }
+            idle_streak = 0;
+            last_productive = subround;
+            recovered += found.len();
+
+            // Phase 2: apply every recovery (atomic updates; two recoveries
+            // may share cells in *other* groups).
+            found.par_iter().for_each(|&(i, v)| {
+                recovered_val[i].store(v, Relaxed);
+                recovered_flag[i].store(1, Relaxed);
+                for h in 0..self.r {
+                    let c = self.cell_of(h, i);
+                    if available[c] {
+                        residual[c].fetch_xor(v, Relaxed);
+                        idx_sum[c].fetch_xor(i as u64, Relaxed);
+                        deg[c].fetch_sub(1, Relaxed);
+                    }
+                }
+            });
+        }
+
+        for (i, slot) in message.iter_mut().enumerate() {
+            if slot.is_none() && recovered_flag[i].load(Relaxed) == 1 {
+                *slot = Some(recovered_val[i].load(Relaxed));
+            }
+        }
+        DecodeResult {
+            recovered,
+            complete: recovered == unknowns,
+            rounds: last_productive.div_ceil(self.r as u32),
+            subrounds: last_productive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| mix64(i ^ 0x1234)).collect()
+    }
+
+    fn erase_prefix(message: &[u64], erased: usize) -> Vec<Symbol> {
+        message
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if i < erased { None } else { Some(s) })
+            .collect()
+    }
+
+    #[test]
+    fn encode_is_xor_of_symbols() {
+        let code = PeelingCode::new(50, 64, 4, 1);
+        let m = msg(50);
+        let checks = code.encode(&m);
+        // XOR of all checks in one group == XOR of all message symbols
+        // (each symbol contributes once per group).
+        let all: u64 = m.iter().fold(0, |a, &b| a ^ b);
+        for g in 0..4 {
+            let group_xor: u64 = checks[g * 16..(g + 1) * 16].iter().fold(0, |a, &b| a ^ b);
+            assert_eq!(group_xor, all, "group {g}");
+        }
+    }
+
+    #[test]
+    fn par_encode_matches_serial() {
+        let code = PeelingCode::new(2_000, 2_048, 3, 2);
+        let m = msg(2_000);
+        assert_eq!(code.encode(&m), code.par_encode(&m));
+    }
+
+    #[test]
+    fn decode_below_threshold_succeeds() {
+        let code = PeelingCode::new(10_000, 10_000, 4, 3);
+        let m = msg(10_000);
+        let checks = code.encode(&m);
+        // 70% of the message erased: load 0.7 < 0.772.
+        let mut rx = erase_prefix(&m, 7_000);
+        let rx_checks: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+        let out = code.decode(&mut rx, &rx_checks);
+        assert!(out.complete);
+        assert_eq!(out.recovered, 7_000);
+        for (got, want) in rx.iter().zip(&m) {
+            assert_eq!(got.unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn decode_above_threshold_fails() {
+        let code = PeelingCode::new(10_000, 10_000, 4, 4);
+        let m = msg(10_000);
+        let checks = code.encode(&m);
+        let mut rx = erase_prefix(&m, 8_500); // load 0.85 > 0.772
+        let rx_checks: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+        let out = code.decode(&mut rx, &rx_checks);
+        assert!(!out.complete);
+        assert!(out.recovered < 8_500);
+    }
+
+    #[test]
+    fn par_decode_matches_serial() {
+        let code = PeelingCode::new(5_000, 5_000, 4, 5);
+        let m = msg(5_000);
+        let checks = code.encode(&m);
+        let rx_checks: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+
+        let mut rx_a = erase_prefix(&m, 3_400);
+        let a = code.decode(&mut rx_a, &rx_checks);
+        let mut rx_b = erase_prefix(&m, 3_400);
+        let b = code.par_decode(&mut rx_b, &rx_checks);
+        assert_eq!(a.complete, b.complete);
+        assert_eq!(a.recovered, b.recovered);
+        assert_eq!(rx_a, rx_b);
+        // Subround count is in the Appendix-B ballpark.
+        assert!(b.subrounds >= 8 && b.subrounds <= 40, "{}", b.subrounds);
+    }
+
+    #[test]
+    fn erased_checks_degrade_gracefully() {
+        let code = PeelingCode::new(10_000, 12_000, 4, 6);
+        let m = msg(10_000);
+        let checks = code.encode(&m);
+        // Erase 40% of message and 10% of checks.
+        let mut rx = erase_prefix(&m, 4_000);
+        let rx_checks: Vec<Symbol> = checks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i % 10 == 0 { None } else { Some(c) })
+            .collect();
+        let out = code.par_decode(&mut rx, &rx_checks);
+        assert!(out.complete, "effective load is still low: {out:?}");
+        for (got, want) in rx.iter().zip(&m) {
+            assert_eq!(got.unwrap(), *want);
+        }
+    }
+
+    #[test]
+    fn symbol_with_all_checks_erased_is_unrecoverable() {
+        let code = PeelingCode::new(100, 100, 3, 7);
+        let m = msg(100);
+        let checks = code.encode(&m);
+        let mut rx = erase_prefix(&m, 1); // only symbol 0 erased
+        // Erase exactly symbol 0's check cells.
+        let dead: Vec<usize> = (0..3).map(|g| code.cell_of(g, 0)).collect();
+        let rx_checks: Vec<Symbol> = checks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if dead.contains(&i) { None } else { Some(c) })
+            .collect();
+        let out = code.decode(&mut rx, &rx_checks);
+        assert!(!out.complete);
+        assert_eq!(out.recovered, 0);
+        assert!(rx[0].is_none());
+    }
+
+    #[test]
+    fn nothing_erased_is_trivially_complete() {
+        let code = PeelingCode::new(100, 128, 3, 8);
+        let m = msg(100);
+        let checks = code.encode(&m);
+        let mut rx: Vec<Symbol> = m.iter().map(|&s| Some(s)).collect();
+        let rx_checks: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+        let out = code.decode(&mut rx, &rx_checks);
+        assert!(out.complete);
+        assert_eq!(out.recovered, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_rejects_wrong_length() {
+        let code = PeelingCode::new(10, 16, 3, 9);
+        code.encode(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,429 @@
+//! LT (Luby Transform) fountain codes — peeling with *irregular* degrees.
+//!
+//! The paper's erasure-code discussion (Section 6, refs [14, 17]) covers
+//! the fixed-arity case its theory analyzes; practical rateless codes use
+//! a random degree per encoded symbol, drawn from the (robust) soliton
+//! distribution, tuned so that the peeling decoder keeps finding degree-1
+//! symbols until the whole message is released. This module implements the
+//! classic construction:
+//!
+//! * an encoded symbol's *id* deterministically seeds its degree and
+//!   neighbor set, so only `(id, value)` travels on the wire;
+//! * decoding is the same peeling process as everywhere else in this
+//!   workspace — repeatedly consume an encoded symbol with exactly one
+//!   unresolved neighbor — provided serially and as synchronous parallel
+//!   rounds.
+//!
+//! With the robust soliton distribution, `k + O(√k · ln²(k/δ))` received
+//! symbols decode a k-symbol message with probability ≥ 1 − δ.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+/// The 64-bit SplitMix finalizer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Tiny deterministic stream generator for per-symbol randomness.
+struct Stream(u64);
+
+impl Stream {
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.0)
+    }
+
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+
+    #[inline]
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The robust soliton distribution over degrees `1..=k`.
+#[derive(Debug, Clone)]
+pub struct RobustSoliton {
+    cumulative: Vec<f64>,
+}
+
+impl RobustSoliton {
+    /// Standard parameterization: spike location `k/R` with
+    /// `R = c·ln(k/δ)·√k`.
+    pub fn new(k: usize, c: f64, delta: f64) -> Self {
+        assert!(k >= 2 && c > 0.0 && delta > 0.0 && delta < 1.0);
+        let kf = k as f64;
+        let r = c * (kf / delta).ln() * kf.sqrt();
+        let spike = ((kf / r).floor() as usize).clamp(1, k);
+
+        let mut weights = vec![0.0f64; k + 1];
+        // Ideal soliton ρ.
+        weights[1] = 1.0 / kf;
+        for (d, w) in weights.iter_mut().enumerate().take(k + 1).skip(2) {
+            *w = 1.0 / (d as f64 * (d as f64 - 1.0));
+        }
+        // Robust addition τ.
+        for (d, w) in weights.iter_mut().enumerate().take(spike).skip(1) {
+            *w += r / (d as f64 * kf);
+        }
+        weights[spike] += r * (r / delta).ln() / kf;
+
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for &w in &weights[1..] {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        RobustSoliton { cumulative }
+    }
+
+    /// Sample a degree from the distribution.
+    fn sample(&self, s: &mut Stream) -> usize {
+        let u = s.unit();
+        // Binary search the cumulative table.
+        match self
+            .cumulative
+            .binary_search_by(|p| p.partial_cmp(&u).unwrap())
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cumulative.len()),
+        }
+    }
+
+    /// Expected degree (used in tests and overhead estimates).
+    pub fn mean_degree(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &c) in self.cumulative.iter().enumerate() {
+            mean += (i as f64 + 1.0) * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+/// An encoded symbol on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LtSymbol {
+    /// Symbol id (drives degree and neighbor derivation).
+    pub id: u64,
+    /// XOR of the neighbor message symbols.
+    pub value: u64,
+}
+
+/// Outcome of an LT decode attempt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LtDecode {
+    /// Message symbols recovered.
+    pub recovered: usize,
+    /// True iff the whole message was recovered.
+    pub complete: bool,
+    /// Peeling rounds used by the parallel decoder (1 for serial).
+    pub rounds: u32,
+}
+
+/// An LT code over `message_len` symbols.
+#[derive(Debug, Clone)]
+pub struct LtCode {
+    message_len: usize,
+    seed: u64,
+    soliton: RobustSoliton,
+}
+
+impl LtCode {
+    /// Code with the conventional robust-soliton parameters
+    /// `c = 0.03, δ = 0.05` (small c keeps the decode overhead near 15-20% at moderate k).
+    pub fn new(message_len: usize, seed: u64) -> Self {
+        LtCode::with_params(message_len, seed, 0.03, 0.05)
+    }
+
+    /// Code with explicit soliton parameters.
+    pub fn with_params(message_len: usize, seed: u64, c: f64, delta: f64) -> Self {
+        assert!(message_len >= 2);
+        LtCode {
+            message_len,
+            seed,
+            soliton: RobustSoliton::new(message_len, c, delta),
+        }
+    }
+
+    /// Message length `k`.
+    pub fn message_len(&self) -> usize {
+        self.message_len
+    }
+
+    /// The neighbor set of encoded symbol `id` (distinct message indices).
+    pub fn neighbors(&self, id: u64) -> Vec<u32> {
+        let mut s = Stream(self.seed ^ mix64(id));
+        let d = self.soliton.sample(&mut s);
+        let mut out: Vec<u32> = Vec::with_capacity(d);
+        while out.len() < d {
+            let cand = s.below(self.message_len as u64) as u32;
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    /// Encode one symbol.
+    pub fn encode_symbol(&self, id: u64, message: &[u64]) -> LtSymbol {
+        assert_eq!(message.len(), self.message_len);
+        let value = self
+            .neighbors(id)
+            .iter()
+            .fold(0u64, |acc, &i| acc ^ message[i as usize]);
+        LtSymbol { id, value }
+    }
+
+    /// Encode a batch of symbols with ids `0..count` (in parallel).
+    pub fn encode_block(&self, message: &[u64], count: usize) -> Vec<LtSymbol> {
+        (0..count as u64)
+            .into_par_iter()
+            .map(|id| self.encode_symbol(id, message))
+            .collect()
+    }
+
+    /// Serial peeling decode from any subset of encoded symbols.
+    pub fn decode(&self, symbols: &[LtSymbol]) -> (Vec<Option<u64>>, LtDecode) {
+        let k = self.message_len;
+        let mut message: Vec<Option<u64>> = vec![None; k];
+        // Per received symbol: remaining degree, running XOR value, XOR of
+        // unresolved neighbor indices.
+        let mut deg: Vec<u32> = Vec::with_capacity(symbols.len());
+        let mut val: Vec<u64> = Vec::with_capacity(symbols.len());
+        let mut idx: Vec<u64> = Vec::with_capacity(symbols.len());
+        // Message index → incident received symbols.
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (s, sym) in symbols.iter().enumerate() {
+            let nb = self.neighbors(sym.id);
+            deg.push(nb.len() as u32);
+            val.push(sym.value);
+            idx.push(nb.iter().fold(0u64, |a, &i| a ^ i as u64));
+            for &i in &nb {
+                incident[i as usize].push(s as u32);
+            }
+        }
+
+        let mut queue: Vec<usize> = (0..symbols.len()).filter(|&s| deg[s] == 1).collect();
+        let mut recovered = 0usize;
+        while let Some(s) = queue.pop() {
+            if deg[s] != 1 {
+                continue;
+            }
+            let i = idx[s] as usize;
+            if message[i].is_some() {
+                // Released concurrently by another symbol: just consume.
+                deg[s] = 0;
+                continue;
+            }
+            let v = val[s];
+            message[i] = Some(v);
+            recovered += 1;
+            for &t in &incident[i] {
+                let t = t as usize;
+                if deg[t] > 0 {
+                    deg[t] -= 1;
+                    val[t] ^= v;
+                    idx[t] ^= i as u64;
+                    if deg[t] == 1 {
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+        let outcome = LtDecode {
+            recovered,
+            complete: recovered == k,
+            rounds: 1,
+        };
+        (message, outcome)
+    }
+
+    /// Parallel round-synchronous decode: each round releases every message
+    /// symbol covered by a degree-1 encoded symbol, in parallel.
+    pub fn par_decode(&self, symbols: &[LtSymbol]) -> (Vec<Option<u64>>, LtDecode) {
+        let k = self.message_len;
+        let neighbor_lists: Vec<Vec<u32>> = symbols
+            .par_iter()
+            .map(|sym| self.neighbors(sym.id))
+            .collect();
+        let deg: Vec<AtomicU32> = neighbor_lists
+            .iter()
+            .map(|nb| AtomicU32::new(nb.len() as u32))
+            .collect();
+        let val: Vec<AtomicU64> = symbols.iter().map(|s| AtomicU64::new(s.value)).collect();
+        let idx: Vec<AtomicU64> = neighbor_lists
+            .iter()
+            .map(|nb| AtomicU64::new(nb.iter().fold(0u64, |a, &i| a ^ i as u64)))
+            .collect();
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (s, nb) in neighbor_lists.iter().enumerate() {
+            for &i in nb {
+                incident[i as usize].push(s as u32);
+            }
+        }
+
+        let claimed: Vec<AtomicU32> = (0..k).map(|_| AtomicU32::new(0)).collect();
+        let value_out: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        let mut rounds = 0u32;
+        let mut recovered = 0usize;
+
+        loop {
+            // Phase 1: find degree-1 symbols and claim their releases (two
+            // degree-1 symbols may cover the same message index; the CAS
+            // ensures one release per index).
+            let released: Vec<(usize, u64)> = (0..symbols.len())
+                .into_par_iter()
+                .filter_map(|s| {
+                    if deg[s].load(Relaxed) != 1 {
+                        return None;
+                    }
+                    let i = idx[s].load(Relaxed) as usize;
+                    let v = val[s].load(Relaxed);
+                    if claimed[i]
+                        .compare_exchange(0, 1, Relaxed, Relaxed)
+                        .is_ok()
+                    {
+                        value_out[i].store(v, Relaxed);
+                        Some((i, v))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if released.is_empty() {
+                break;
+            }
+            rounds += 1;
+            recovered += released.len();
+
+            // Phase 2: propagate each released symbol to its incident
+            // encoded symbols (atomic updates; a symbol may receive several
+            // releases in one round).
+            released.par_iter().for_each(|&(i, v)| {
+                for &t in &incident[i] {
+                    let t = t as usize;
+                    deg[t].fetch_sub(1, Relaxed);
+                    val[t].fetch_xor(v, Relaxed);
+                    idx[t].fetch_xor(i as u64, Relaxed);
+                }
+            });
+        }
+
+        let message: Vec<Option<u64>> = (0..k)
+            .map(|i| (claimed[i].load(Relaxed) == 1).then(|| value_out[i].load(Relaxed)))
+            .collect();
+        let outcome = LtDecode {
+            recovered,
+            complete: recovered == k,
+            rounds,
+        };
+        (message, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(k: usize) -> Vec<u64> {
+        (0..k as u64).map(|i| mix64(i ^ 0xbeef)).collect()
+    }
+
+    #[test]
+    fn soliton_is_a_distribution() {
+        let s = RobustSoliton::new(1000, 0.1, 0.05);
+        let last = *s.cumulative.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-9);
+        // Mean degree is O(ln k): roughly 4-12 for k=1000.
+        let mean = s.mean_degree();
+        assert!(mean > 3.0 && mean < 15.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn neighbors_are_deterministic_and_distinct() {
+        let code = LtCode::new(500, 42);
+        for id in 0..200u64 {
+            let a = code.neighbors(id);
+            let b = code.neighbors(id);
+            assert_eq!(a, b);
+            let mut s = a.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), a.len(), "neighbors must be distinct");
+            assert!(a.iter().all(|&i| (i as usize) < 500));
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn decodes_with_modest_overhead() {
+        let k = 2_000;
+        let code = LtCode::new(k, 7);
+        let message = msg(k);
+        // 25% overhead is comfortably enough for k = 2000 at these parameters.
+        let symbols = code.encode_block(&message, (k as f64 * 1.25) as usize);
+        let (decoded, out) = code.decode(&symbols);
+        assert!(out.complete, "decode failed: {} / {k}", out.recovered);
+        for (d, w) in decoded.iter().zip(&message) {
+            assert_eq!(d.unwrap(), *w);
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_serial() {
+        let k = 1_500;
+        let code = LtCode::new(k, 8);
+        let message = msg(k);
+        let symbols = code.encode_block(&message, (k as f64 * 1.3) as usize);
+        let (a, oa) = code.decode(&symbols);
+        let (b, ob) = code.par_decode(&symbols);
+        assert_eq!(oa.complete, ob.complete);
+        assert_eq!(oa.recovered, ob.recovered);
+        assert_eq!(a, b);
+        // Parallel decode takes log-ish rounds, far fewer than k.
+        assert!(ob.rounds > 1 && ob.rounds < 200, "rounds {}", ob.rounds);
+    }
+
+    #[test]
+    fn insufficient_symbols_decode_partially_and_soundly() {
+        let k = 1_000;
+        let code = LtCode::new(k, 9);
+        let message = msg(k);
+        let symbols = code.encode_block(&message, k / 2);
+        let (decoded, out) = code.par_decode(&symbols);
+        assert!(!out.complete);
+        assert!(out.recovered < k);
+        for (d, w) in decoded.iter().zip(&message) {
+            if let Some(v) = d {
+                assert_eq!(v, w, "fabricated symbol");
+            }
+        }
+    }
+
+    #[test]
+    fn losing_symbols_is_survivable_rateless() {
+        // Fountain property: ANY sufficiently large subset decodes.
+        let k = 1_000;
+        let code = LtCode::new(k, 10);
+        let message = msg(k);
+        let symbols = code.encode_block(&message, 2 * k);
+        // Keep an arbitrary slice of ~1.25k symbols from the middle.
+        let subset = &symbols[500..500 + (k as f64 * 1.35) as usize];
+        let (decoded, out) = code.decode(subset);
+        assert!(out.complete);
+        for (d, w) in decoded.iter().zip(&message) {
+            assert_eq!(d.unwrap(), *w);
+        }
+    }
+}

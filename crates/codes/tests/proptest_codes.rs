@@ -1,0 +1,124 @@
+//! Property-based tests for the erasure code: decoders never fabricate
+//! data, serial and parallel agree on arbitrary erasure patterns, and
+//! encoding is linear.
+
+use proptest::prelude::*;
+
+use peel_codes::{PeelingCode, Symbol};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    message: Vec<u64>,
+    erase_msg: Vec<bool>,
+    erase_chk: Vec<bool>,
+    r: usize,
+    check_cells: usize,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=4, 10usize..=120, 0u64..1000).prop_flat_map(|(r, n, seed)| {
+        let checks = (n + r).max(2 * r);
+        (
+            proptest::collection::vec(any::<u64>(), n),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(proptest::bool::weighted(0.15), checks),
+        )
+            .prop_map(move |(message, erase_msg, erase_chk)| Scenario {
+                message,
+                erase_msg,
+                erase_chk,
+                r,
+                check_cells: checks,
+                seed,
+            })
+    })
+}
+
+impl Scenario {
+    fn rx(&self, code: &PeelingCode) -> (Vec<Symbol>, Vec<Symbol>) {
+        let checks = code.encode(&self.message);
+        let rx_msg: Vec<Symbol> = self
+            .message
+            .iter()
+            .zip(&self.erase_msg)
+            .map(|(&s, &e)| if e { None } else { Some(s) })
+            .collect();
+        let rx_chk: Vec<Symbol> = checks
+            .iter()
+            .zip(self.erase_chk.iter().cycle())
+            .map(|(&c, &e)| if e { None } else { Some(c) })
+            .collect();
+        (rx_msg, rx_chk)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: every symbol the decoder fills in equals the original,
+    /// complete or not; `complete` is truthful.
+    #[test]
+    fn decode_never_fabricates(sc in arb_scenario()) {
+        let code = PeelingCode::new(sc.message.len(), sc.check_cells, sc.r, sc.seed);
+        let (mut rx, rx_chk) = sc.rx(&code);
+        let erased_before = rx.iter().filter(|s| s.is_none()).count();
+        let out = code.decode(&mut rx, &rx_chk);
+
+        let mut still_missing = 0usize;
+        for (got, want) in rx.iter().zip(&sc.message) {
+            match got {
+                Some(v) => prop_assert_eq!(v, want, "decoder fabricated a symbol"),
+                None => still_missing += 1,
+            }
+        }
+        prop_assert_eq!(out.recovered, erased_before - still_missing);
+        prop_assert_eq!(out.complete, still_missing == 0);
+    }
+
+    /// Serial and parallel decoders recover exactly the same symbols.
+    #[test]
+    fn parallel_decoder_matches_serial(sc in arb_scenario()) {
+        let code = PeelingCode::new(sc.message.len(), sc.check_cells, sc.r, sc.seed);
+        let (mut rx_a, rx_chk) = sc.rx(&code);
+        let (mut rx_b, _) = sc.rx(&code);
+        let a = code.decode(&mut rx_a, &rx_chk);
+        let b = code.par_decode(&mut rx_b, &rx_chk);
+        prop_assert_eq!(a.complete, b.complete);
+        prop_assert_eq!(a.recovered, b.recovered);
+        prop_assert_eq!(rx_a, rx_b);
+    }
+
+    /// Linearity: encode(m1 ^ m2) == encode(m1) ^ encode(m2).
+    #[test]
+    fn encoding_is_linear(
+        m1 in proptest::collection::vec(any::<u64>(), 40),
+        m2 in proptest::collection::vec(any::<u64>(), 40),
+        seed in 0u64..100,
+    ) {
+        let code = PeelingCode::new(40, 48, 3, seed);
+        let xored: Vec<u64> = m1.iter().zip(&m2).map(|(a, b)| a ^ b).collect();
+        let c1 = code.encode(&m1);
+        let c2 = code.encode(&m2);
+        let cx = code.encode(&xored);
+        for ((a, b), x) in c1.iter().zip(&c2).zip(&cx) {
+            prop_assert_eq!(a ^ b, *x);
+        }
+    }
+
+    /// With nothing erased, decoding is a no-op that reports completeness.
+    #[test]
+    fn no_erasures_is_identity(
+        message in proptest::collection::vec(any::<u64>(), 1..80),
+        seed in 0u64..100,
+    ) {
+        let code = PeelingCode::new(message.len(), message.len() + 4, 3, seed);
+        let checks = code.encode(&message);
+        let mut rx: Vec<Symbol> = message.iter().map(|&s| Some(s)).collect();
+        let rx_chk: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+        let out = code.par_decode(&mut rx, &rx_chk);
+        prop_assert!(out.complete);
+        prop_assert_eq!(out.recovered, 0);
+        prop_assert_eq!(rx.iter().map(|s| s.unwrap()).collect::<Vec<_>>(), message);
+    }
+}

@@ -1,0 +1,169 @@
+//! Full core decomposition: the *coreness* of every vertex.
+//!
+//! The paper peels for one fixed `k`; a natural library extension is the
+//! whole core hierarchy — `coreness(v)` is the largest `k` such that `v`
+//! belongs to the (non-empty) k-core. Equivalently: peel vertices in order
+//! of current degree; a vertex's coreness is the highest "water mark" of
+//! the minimum degree at the moment it is removed.
+//!
+//! Implemented with a bucket queue and lazy entries, `O(n + rm + maxdeg)`
+//! time. Degrees in hypergraphs count *live incident edges* (an edge dies
+//! with its first removed endpoint), matching the peeling semantics used
+//! everywhere else in this workspace, so for every `k`:
+//! `{v : coreness(v) ≥ k}` is exactly the k-core found by the engines.
+
+use peel_graph::Hypergraph;
+
+/// Compute the coreness of every vertex.
+pub fn coreness(g: &Hypergraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut deg: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let maxdeg = deg.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket queue with lazy entries: a vertex may appear in several
+    // buckets; an entry is live iff it matches the vertex's current degree.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); maxdeg + 1];
+    for (v, &d) in deg.iter().enumerate() {
+        buckets[d as usize].push(v as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut edge_alive = vec![true; m];
+    let mut core = vec![0u32; n];
+    let mut level = 0u32; // current water mark
+    let mut cursor = 0usize; // lowest possibly-non-empty bucket
+
+    for _ in 0..n {
+        // Find the lowest bucket with a live entry.
+        let (v, d) = loop {
+            while cursor <= maxdeg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            debug_assert!(cursor <= maxdeg, "ran out of vertices early");
+            let v = buckets[cursor].pop().unwrap();
+            if !removed[v as usize] && deg[v as usize] as usize == cursor {
+                break (v, cursor as u32);
+            }
+            // stale entry: skip
+        };
+
+        level = level.max(d);
+        core[v as usize] = level;
+        removed[v as usize] = true;
+
+        for &e in g.incident(v) {
+            if !edge_alive[e as usize] {
+                continue;
+            }
+            edge_alive[e as usize] = false;
+            for &w in g.edge(e) {
+                if removed[w as usize] {
+                    continue;
+                }
+                deg[w as usize] -= 1;
+                let nd = deg[w as usize] as usize;
+                buckets[nd].push(w);
+                if nd < cursor {
+                    cursor = nd;
+                }
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy of the hypergraph: the maximum coreness over all
+/// vertices (0 for an empty graph).
+pub fn degeneracy(g: &Hypergraph) -> u32 {
+    coreness(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::kcore_vertices;
+    use peel_graph::models::Gnm;
+    use peel_graph::rng::Xoshiro256StarStar;
+    use peel_graph::HypergraphBuilder;
+
+    #[test]
+    fn triangle_with_tail() {
+        let mut b = HypergraphBuilder::new(4, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[1, 2]);
+        b.push_edge(&[2, 0]);
+        b.push_edge(&[0, 3]);
+        let g = b.build().unwrap();
+        // Triangle vertices have coreness 2, the pendant has coreness 1.
+        assert_eq!(coreness(&g), vec![2, 2, 2, 1]);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn path_has_coreness_one() {
+        let mut b = HypergraphBuilder::new(5, 2);
+        for i in 0..4u32 {
+            b.push_edge(&[i, i + 1]);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(coreness(&g), vec![1; 5]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let mut b = HypergraphBuilder::new(4, 2);
+        b.push_edge(&[0, 1]);
+        let g = b.build().unwrap();
+        assert_eq!(coreness(&g), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = HypergraphBuilder::new(3, 2).build().unwrap();
+        assert_eq!(coreness(&g), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn hyperedge_clique() {
+        // Two overlapping 3-edges sharing two vertices.
+        let mut b = HypergraphBuilder::new(4, 3);
+        b.push_edge(&[0, 1, 2]);
+        b.push_edge(&[1, 2, 3]);
+        let g = b.build().unwrap();
+        // All degrees <= 2; removing 0 (deg 1) kills edge 0, then everyone
+        // has degree <= 1.
+        assert_eq!(coreness(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn coreness_consistent_with_kcore_engines() {
+        for seed in 0..4u64 {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let g = Gnm::new(3_000, 1.0, 3).sample(&mut rng);
+            let core = coreness(&g);
+            for k in 1..=4u32 {
+                let from_coreness: Vec<u32> = (0..g.num_vertices() as u32)
+                    .filter(|&v| core[v as usize] >= k)
+                    .collect();
+                let from_engine = kcore_vertices(&g, k);
+                assert_eq!(
+                    from_coreness, from_engine,
+                    "seed {seed}, k={k}: coreness and peeling disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coreness_zero_iff_never_in_1core() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        let g = Gnm::new(500, 0.3, 3).sample(&mut rng);
+        let core = coreness(&g);
+        for v in 0..500u32 {
+            // 1-core = vertices with at least one edge after peeling
+            // degree-0 vertices, i.e. every non-isolated vertex.
+            assert_eq!(core[v as usize] == 0, g.degree(v) == 0);
+        }
+    }
+}

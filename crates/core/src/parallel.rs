@@ -1,0 +1,477 @@
+//! Round-synchronous parallel peeling (Sections 1, 3–5 of the paper).
+//!
+//! Both strategies implement the same synchronous semantics — a vertex is
+//! peeled in round `t` iff it is alive with degree `< k` at the start of
+//! round `t` — so they produce identical round counts and survivor series;
+//! they differ only in how much work each round performs:
+//!
+//! * [`Strategy::Dense`] mirrors the paper's GPU implementation: every round
+//!   launches one task per vertex (to test the peel condition) and one task
+//!   per edge (to test removal). Total work `O((n+m)·rounds)`, perfectly
+//!   regular, fully deterministic (each edge is examined by exactly one task
+//!   per round, and the recorded claim is the smallest-index peeled
+//!   endpoint).
+//! * [`Strategy::Frontier`] is the work-efficient CPU variant: each round
+//!   touches only the frontier and its incident edges, for `O(n + rm)`
+//!   total work across all rounds. Edge removal races are resolved with a
+//!   compare-and-swap per edge, so claim winners (but nothing else) are
+//!   scheduling-dependent.
+//!
+//! ## Memory-ordering argument
+//!
+//! All atomics use `Relaxed` ordering. Correctness does not rest on
+//! intra-round ordering: within a phase each location has either a single
+//! logical writer (`peeled_round[v]` is written only by the task that owns
+//! frontier entry `v`; a dead edge's metadata is written only by the task
+//! that won its kill) or commutative RMWs (`fetch_sub` on degrees,
+//! `swap`/`compare_exchange` on flags). Cross-phase visibility is provided
+//! by rayon's fork-join barriers: every `par_iter` completes (with
+//! synchronizes-with edges to the caller) before the next phase starts.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
+
+use peel_graph::Hypergraph;
+
+use crate::trace::{PeelOutcome, RoundStats, UNPEELED};
+
+/// Work-distribution strategy for [`peel_parallel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// GPU-style full scan of vertices and edges each round; deterministic.
+    Dense,
+    /// Work-efficient frontier propagation (default).
+    #[default]
+    Frontier,
+}
+
+/// Options for [`peel_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelOpts {
+    /// Work-distribution strategy.
+    pub strategy: Strategy,
+    /// Stop after this many rounds even if not at fixpoint (useful for
+    /// "survivors after t rounds" experiments). `u32::MAX` = run to fixpoint.
+    pub max_rounds: u32,
+    /// Record the per-round [`RoundStats`] trace (cheap; on by default).
+    pub collect_trace: bool,
+}
+
+impl Default for ParallelOpts {
+    fn default() -> Self {
+        ParallelOpts {
+            strategy: Strategy::Frontier,
+            max_rounds: u32::MAX,
+            collect_trace: true,
+        }
+    }
+}
+
+/// State shared by both strategies.
+struct PeelState {
+    deg: Vec<AtomicU32>,
+    peeled_round: Vec<AtomicU32>,
+    edge_kill_round: Vec<AtomicU32>,
+    edge_killer: Vec<AtomicU32>,
+}
+
+impl PeelState {
+    fn new(g: &Hypergraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let deg: Vec<AtomicU32> = (0..n as u32).map(|v| AtomicU32::new(g.degree(v))).collect();
+        let peeled_round: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNPEELED)).collect();
+        let edge_kill_round: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNPEELED)).collect();
+        let edge_killer: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNPEELED)).collect();
+        PeelState {
+            deg,
+            peeled_round,
+            edge_kill_round,
+            edge_killer,
+        }
+    }
+
+    fn into_outcome(
+        self,
+        k: u32,
+        rounds: u32,
+        trace: Vec<RoundStats>,
+        unpeeled: u64,
+        live_edges: u64,
+    ) -> PeelOutcome {
+        PeelOutcome {
+            k,
+            rounds,
+            trace,
+            peel_round: self.peeled_round.into_iter().map(|a| a.into_inner()).collect(),
+            edge_kill_round: self
+                .edge_kill_round
+                .into_iter()
+                .map(|a| a.into_inner())
+                .collect(),
+            edge_killer: self.edge_killer.into_iter().map(|a| a.into_inner()).collect(),
+            core_vertices: unpeeled,
+            core_edges: live_edges,
+        }
+    }
+}
+
+/// Peel `g` to its k-core with synchronous parallel rounds.
+///
+/// Runs on the current rayon thread pool (install a custom pool around the
+/// call to control the thread count, e.g. for scaling experiments).
+pub fn peel_parallel(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
+    assert!(k >= 1, "peeling threshold k must be >= 1");
+    match opts.strategy {
+        Strategy::Dense => peel_dense(g, k, opts),
+        Strategy::Frontier => peel_frontier(g, k, opts),
+    }
+}
+
+fn peel_dense(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let st = PeelState::new(g);
+
+    let mut trace = Vec::new();
+    let mut round = 0u32;
+    let mut unpeeled = n as u64;
+    let mut live_edges = m as u64;
+
+    while round < opts.max_rounds {
+        let next_round = round + 1;
+
+        // Phase 1 (vertex scan): collect the frontier — alive vertices whose
+        // start-of-round degree is below k.
+        let frontier: Vec<u32> = (0..n as u32)
+            .into_par_iter()
+            .filter(|&v| {
+                st.peeled_round[v as usize].load(Relaxed) == UNPEELED
+                    && st.deg[v as usize].load(Relaxed) < k
+            })
+            .collect();
+        if frontier.is_empty() {
+            break;
+        }
+        round = next_round;
+
+        // Phase 2: mark the frontier peeled (before any edge removal, so the
+        // edge scan observes a consistent "peeled this round" predicate).
+        frontier.par_iter().for_each(|&v| {
+            st.peeled_round[v as usize].store(round, Relaxed);
+        });
+
+        // Phase 3 (edge scan): every live edge with a peeled endpoint dies;
+        // the claim goes to the first peeled endpoint in edge order (all
+        // peeled endpoints of a live edge were necessarily peeled *this*
+        // round, since an earlier peel would have killed the edge already).
+        let killed: u64 = (0..m as u32)
+            .into_par_iter()
+            .map(|e| {
+                if st.edge_kill_round[e as usize].load(Relaxed) != UNPEELED {
+                    return 0u64;
+                }
+                let verts = g.edge(e);
+                let killer = verts
+                    .iter()
+                    .copied()
+                    .find(|&w| st.peeled_round[w as usize].load(Relaxed) != UNPEELED);
+                let Some(killer) = killer else { return 0 };
+                st.edge_kill_round[e as usize].store(round, Relaxed);
+                st.edge_killer[e as usize].store(killer, Relaxed);
+                for &w in verts {
+                    st.deg[w as usize].fetch_sub(1, Relaxed);
+                }
+                1
+            })
+            .sum();
+
+        unpeeled -= frontier.len() as u64;
+        live_edges -= killed;
+        if opts.collect_trace {
+            trace.push(RoundStats {
+                round,
+                peeled_vertices: frontier.len() as u64,
+                peeled_edges: killed,
+                unpeeled_vertices: unpeeled,
+                live_edges,
+            });
+        }
+    }
+
+    st.into_outcome(k, round, trace, unpeeled, live_edges)
+}
+
+fn peel_frontier(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let st = PeelState::new(g);
+    let edge_alive: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(true)).collect();
+    let queued: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    // Round-1 frontier: dense scan once.
+    let mut frontier: Vec<u32> = (0..n as u32)
+        .into_par_iter()
+        .filter(|&v| st.deg[v as usize].load(Relaxed) < k)
+        .collect();
+
+    let mut trace = Vec::new();
+    let mut round = 0u32;
+    let mut unpeeled = n as u64;
+    let mut live_edges = m as u64;
+
+    while !frontier.is_empty() && round < opts.max_rounds {
+        round += 1;
+
+        // Phase 1: mark.
+        frontier.par_iter().for_each(|&v| {
+            st.peeled_round[v as usize].store(round, Relaxed);
+        });
+
+        // Phase 2: kill incident edges; each killed edge decrements its
+        // endpoints' degrees; endpoints that cross the threshold are claimed
+        // (once, via `queued`) for the next frontier.
+        let killed = AtomicU64::new(0);
+        let next: Vec<u32> = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &v| {
+                for &e in g.incident(v) {
+                    // First claimer wins; `swap` is the CAS here.
+                    if edge_alive[e as usize].swap(false, Relaxed) {
+                        st.edge_kill_round[e as usize].store(round, Relaxed);
+                        st.edge_killer[e as usize].store(v, Relaxed);
+                        killed.fetch_add(1, Relaxed);
+                        for &w in g.edge(e) {
+                            let old = st.deg[w as usize].fetch_sub(1, Relaxed);
+                            // The decrement that crosses the k boundary (and
+                            // any later one) sees old - 1 < k; `queued`
+                            // deduplicates, `peeled_round` excludes vertices
+                            // peeled this round or earlier.
+                            if old - 1 < k
+                                && st.peeled_round[w as usize].load(Relaxed) == UNPEELED
+                                && !queued[w as usize].swap(true, Relaxed)
+                            {
+                                acc.push(w);
+                            }
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+
+        unpeeled -= frontier.len() as u64;
+        let killed = killed.into_inner();
+        live_edges -= killed;
+        if opts.collect_trace {
+            trace.push(RoundStats {
+                round,
+                peeled_vertices: frontier.len() as u64,
+                peeled_edges: killed,
+                unpeeled_vertices: unpeeled,
+                live_edges,
+            });
+        }
+        frontier = next;
+    }
+
+    st.into_outcome(k, round, trace, unpeeled, live_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::{peel_greedy, peel_rounds_serial};
+    use peel_graph::models::{Gnm, Partitioned};
+    use peel_graph::rng::Xoshiro256StarStar;
+    use peel_graph::HypergraphBuilder;
+
+    fn both_strategies() -> [ParallelOpts; 2] {
+        [
+            ParallelOpts {
+                strategy: Strategy::Dense,
+                ..Default::default()
+            },
+            ParallelOpts {
+                strategy: Strategy::Frontier,
+                ..Default::default()
+            },
+        ]
+    }
+
+    fn path5() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(5, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[1, 2]);
+        b.push_edge(&[2, 3]);
+        b.push_edge(&[3, 4]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn path_rounds_match_both_strategies() {
+        for opts in both_strategies() {
+            let out = peel_parallel(&path5(), 2, &opts);
+            assert!(out.success());
+            assert_eq!(out.rounds, 3, "{:?}", opts.strategy);
+            assert_eq!(out.peel_round, vec![1, 2, 3, 2, 1]);
+            assert_eq!(out.survivor_series(), vec![3, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn agrees_with_serial_reference_on_random_graphs() {
+        for seed in 0..5u64 {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let g = Gnm::new(3000, 0.75, 3).sample(&mut rng);
+            let reference = peel_rounds_serial(&g, 2);
+            for opts in both_strategies() {
+                let out = peel_parallel(&g, 2, &opts);
+                assert_eq!(out.rounds, reference.rounds, "seed {seed}");
+                assert_eq!(out.peel_round, reference.peel_round, "seed {seed}");
+                assert_eq!(out.edge_kill_round, reference.edge_kill_round);
+                assert_eq!(out.core_vertices, reference.core_vertices);
+                assert_eq!(
+                    out.survivor_series(),
+                    reference.survivor_series(),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_greedy_core() {
+        for seed in 0..4u64 {
+            let mut rng = Xoshiro256StarStar::new(100 + seed);
+            let g = Gnm::new(2000, 0.9, 4).sample(&mut rng); // above c*_{2,4}: core likely
+            let greedy = peel_greedy(&g, 2);
+            for opts in both_strategies() {
+                let out = peel_parallel(&g, 2, &opts);
+                assert_eq!(out.core_vertices, greedy.core_vertices);
+                assert_eq!(out.core_edges, greedy.core_edges);
+            }
+        }
+    }
+
+    #[test]
+    fn k3_core_agreement() {
+        for seed in 0..3u64 {
+            let mut rng = Xoshiro256StarStar::new(200 + seed);
+            let g = Gnm::new(2000, 1.4, 3).sample(&mut rng); // near c*_{3,3}
+            let greedy = peel_greedy(&g, 3);
+            for opts in both_strategies() {
+                let out = peel_parallel(&g, 3, &opts);
+                assert_eq!(out.core_vertices, greedy.core_vertices, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_succeeds_with_loglog_rounds() {
+        let mut rng = Xoshiro256StarStar::new(7);
+        let g = Gnm::new(100_000, 0.70, 4).sample(&mut rng);
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        assert!(out.success());
+        // Table 1: ~12.9 rounds at n = 80k–160k.
+        assert!(
+            out.rounds >= 10 && out.rounds <= 16,
+            "rounds = {}",
+            out.rounds
+        );
+    }
+
+    #[test]
+    fn above_threshold_fails_with_nonempty_core() {
+        let mut rng = Xoshiro256StarStar::new(8);
+        let g = Gnm::new(100_000, 0.85, 4).sample(&mut rng);
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        assert!(!out.success());
+        // Section 4 / Table 2: the core holds ≈ 77.5% of vertices at c=0.85.
+        let frac = out.core_vertices as f64 / 100_000.0;
+        assert!((frac - 0.775).abs() < 0.01, "core fraction {frac}");
+    }
+
+    #[test]
+    fn max_rounds_truncates() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        let g = Gnm::new(50_000, 0.70, 4).sample(&mut rng);
+        let opts = ParallelOpts {
+            max_rounds: 3,
+            ..Default::default()
+        };
+        let out = peel_parallel(&g, 2, &opts);
+        assert_eq!(out.rounds, 3);
+        assert!(!out.success()); // truncated before the fixpoint
+        let full = peel_parallel(&g, 2, &ParallelOpts::default());
+        // The 3-round survivor count matches the full run's trace.
+        assert_eq!(
+            out.trace.last().unwrap().unpeeled_vertices,
+            full.trace[2].unpeeled_vertices
+        );
+    }
+
+    #[test]
+    fn dense_claims_are_deterministic_endpoints() {
+        let mut rng = Xoshiro256StarStar::new(10);
+        let g = Gnm::new(5000, 0.7, 3).sample(&mut rng);
+        let opts = ParallelOpts {
+            strategy: Strategy::Dense,
+            ..Default::default()
+        };
+        let a = peel_parallel(&g, 2, &opts);
+        let b = peel_parallel(&g, 2, &opts);
+        assert_eq!(a.edge_killer, b.edge_killer, "dense engine is deterministic");
+        for (e, &killer) in a.edge_killer.iter().enumerate() {
+            if killer != UNPEELED {
+                assert!(g.edge(e as u32).contains(&killer));
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_claims_are_valid_k2() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let g = Gnm::new(5000, 0.7, 3).sample(&mut rng);
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        // k=2 invariant: each vertex claims at most one edge, claimed in the
+        // round the vertex was peeled.
+        let mut claims = vec![0u32; g.num_vertices()];
+        for (e, (&killer, &kround)) in out
+            .edge_killer
+            .iter()
+            .zip(out.edge_kill_round.iter())
+            .enumerate()
+        {
+            if killer != UNPEELED {
+                claims[killer as usize] += 1;
+                assert!(g.edge(e as u32).contains(&killer));
+                assert_eq!(out.peel_round[killer as usize], kround);
+            }
+        }
+        assert!(claims.iter().all(|&c| c <= 1), "k=2: one claim per vertex");
+    }
+
+    #[test]
+    fn works_on_partitioned_graphs_too() {
+        let mut rng = Xoshiro256StarStar::new(12);
+        let g = Partitioned::new(40_000, 0.70, 4).sample(&mut rng);
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        assert!(out.success());
+    }
+
+    #[test]
+    fn trace_disabled_still_counts_rounds() {
+        let g = path5();
+        let opts = ParallelOpts {
+            collect_trace: false,
+            ..Default::default()
+        };
+        let out = peel_parallel(&g, 2, &opts);
+        assert_eq!(out.rounds, 3);
+        assert!(out.trace.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Sequential peeling engines.
+//!
+//! Two variants:
+//!
+//! * [`peel_greedy`] — the classic worklist peeler: pop any vertex of degree
+//!   `< k`, remove it and its incident edges, push newly sub-threshold
+//!   vertices. Total work `O(n + rm)`; no notion of rounds. This is the
+//!   serial baseline the paper's GPU implementation is compared against.
+//! * [`peel_rounds_serial`] — a *level-synchronized* serial peeler with the
+//!   exact same synchronous semantics (and output format) as the parallel
+//!   engines. It runs the frontier algorithm on one thread, so it is the
+//!   reference implementation tests compare the parallel engines against,
+//!   and the cheapest way to run thousands of simulation trials (each trial
+//!   on its own rayon task).
+
+use peel_graph::Hypergraph;
+
+use crate::trace::{PeelOutcome, RoundStats, UNPEELED};
+
+/// Greedy sequential peeling. Returns the peel order, per-edge claims, and
+/// the k-core — but no round structure (the greedy order is not round
+/// faithful).
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// The `k` threshold used.
+    pub k: u32,
+    /// Vertices in the order they were peeled.
+    pub peel_order: Vec<u32>,
+    /// For each edge, the vertex that claimed it (UNPEELED for core edges).
+    pub edge_killer: Vec<u32>,
+    /// Position in `peel_order` at which each edge was removed (UNPEELED
+    /// sentinel value for core edges).
+    pub edge_kill_pos: Vec<u32>,
+    /// Number of vertices left in the k-core.
+    pub core_vertices: u64,
+    /// Number of edges left in the k-core.
+    pub core_edges: u64,
+}
+
+impl GreedyOutcome {
+    /// Did peeling reach the empty k-core?
+    #[inline]
+    pub fn success(&self) -> bool {
+        self.core_vertices == 0
+    }
+}
+
+/// Classic queue-based sequential peeling to the k-core.
+pub fn peel_greedy(g: &Hypergraph, k: u32) -> GreedyOutcome {
+    assert!(k >= 1, "peeling threshold k must be >= 1");
+    let n = g.num_vertices();
+    let m = g.num_edges();
+
+    let mut deg: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut peeled = vec![false; n];
+    let mut edge_alive = vec![true; m];
+    let mut edge_killer = vec![UNPEELED; m];
+    let mut edge_kill_pos = vec![UNPEELED; m];
+    let mut peel_order: Vec<u32> = Vec::with_capacity(n);
+
+    // Seed the worklist with all initially sub-threshold vertices.
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
+
+    while let Some(v) = queue.pop() {
+        if peeled[v as usize] {
+            continue;
+        }
+        peeled[v as usize] = true;
+        let pos = peel_order.len() as u32;
+        peel_order.push(v);
+        for &e in g.incident(v) {
+            if !edge_alive[e as usize] {
+                continue;
+            }
+            edge_alive[e as usize] = false;
+            edge_killer[e as usize] = v;
+            edge_kill_pos[e as usize] = pos;
+            for &w in g.edge(e) {
+                deg[w as usize] -= 1;
+                if !peeled[w as usize] && deg[w as usize] < k {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+
+    let core_vertices = peeled.iter().filter(|&&p| !p).count() as u64;
+    let core_edges = edge_alive.iter().filter(|&&a| a).count() as u64;
+    GreedyOutcome {
+        k,
+        peel_order,
+        edge_killer,
+        edge_kill_pos,
+        core_vertices,
+        core_edges,
+    }
+}
+
+/// Ids of the k-core vertices of `g` (empty iff peeling succeeds).
+pub fn kcore_vertices(g: &Hypergraph, k: u32) -> Vec<u32> {
+    let out = peel_greedy(g, k);
+    let mut peeled = vec![false; g.num_vertices()];
+    for &v in &out.peel_order {
+        peeled[v as usize] = true;
+    }
+    (0..g.num_vertices() as u32)
+        .filter(|&v| !peeled[v as usize])
+        .collect()
+}
+
+/// Level-synchronized serial peeling: identical semantics and output as the
+/// parallel engines (same rounds, same survivor series), run on one thread.
+pub fn peel_rounds_serial(g: &Hypergraph, k: u32) -> PeelOutcome {
+    assert!(k >= 1);
+    let n = g.num_vertices();
+    let m = g.num_edges();
+
+    let mut deg: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut peel_round = vec![UNPEELED; n];
+    let mut edge_kill_round = vec![UNPEELED; m];
+    let mut edge_killer = vec![UNPEELED; m];
+    let mut queued = vec![false; n];
+
+    // Round-1 frontier: all initially sub-threshold vertices.
+    let mut frontier: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
+    for &v in &frontier {
+        queued[v as usize] = true;
+    }
+
+    let mut trace = Vec::new();
+    let mut round = 0u32;
+    let mut unpeeled = n as u64;
+    let mut live_edges = m as u64;
+    let mut next: Vec<u32> = Vec::new();
+
+    while !frontier.is_empty() {
+        round += 1;
+        // Mark the whole frontier as peeled *before* any edge removal, so
+        // that newly sub-threshold vertices discovered during this round are
+        // deferred to the next one (synchronous semantics).
+        for &v in &frontier {
+            peel_round[v as usize] = round;
+        }
+        let mut edges_killed = 0u64;
+        for &v in &frontier {
+            for &e in g.incident(v) {
+                if edge_kill_round[e as usize] != UNPEELED {
+                    continue;
+                }
+                edge_kill_round[e as usize] = round;
+                edge_killer[e as usize] = v;
+                edges_killed += 1;
+                for &w in g.edge(e) {
+                    deg[w as usize] -= 1;
+                    if peel_round[w as usize] == UNPEELED
+                        && deg[w as usize] < k
+                        && !queued[w as usize]
+                    {
+                        queued[w as usize] = true;
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        unpeeled -= frontier.len() as u64;
+        live_edges -= edges_killed;
+        trace.push(RoundStats {
+            round,
+            peeled_vertices: frontier.len() as u64,
+            peeled_edges: edges_killed,
+            unpeeled_vertices: unpeeled,
+            live_edges,
+        });
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+
+    PeelOutcome {
+        k,
+        rounds: round,
+        trace,
+        peel_round,
+        edge_kill_round,
+        edge_killer,
+        core_vertices: unpeeled,
+        core_edges: live_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peel_graph::HypergraphBuilder;
+
+    /// Path 0-1-2-3-4 as a 2-uniform graph.
+    fn path5() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(5, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[1, 2]);
+        b.push_edge(&[2, 3]);
+        b.push_edge(&[3, 4]);
+        b.build().unwrap()
+    }
+
+    /// Triangle 0-1-2 plus pendant 3 attached to 0.
+    fn triangle_with_tail() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(4, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[1, 2]);
+        b.push_edge(&[2, 0]);
+        b.push_edge(&[0, 3]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn greedy_peels_path_completely() {
+        let g = path5();
+        let out = peel_greedy(&g, 2);
+        assert!(out.success());
+        assert_eq!(out.peel_order.len(), 5);
+        assert_eq!(out.core_edges, 0);
+        // Every edge has a valid killer that is one of its endpoints.
+        for (e, &killer) in out.edge_killer.iter().enumerate() {
+            assert!(g.edge(e as u32).contains(&killer));
+        }
+    }
+
+    #[test]
+    fn greedy_finds_triangle_core() {
+        let g = triangle_with_tail();
+        let out = peel_greedy(&g, 2);
+        assert!(!out.success());
+        assert_eq!(out.core_vertices, 3);
+        assert_eq!(out.core_edges, 3);
+        assert_eq!(out.peel_order, vec![3]); // only the pendant is peeled
+        assert_eq!(kcore_vertices(&g, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn serial_rounds_on_path() {
+        // Path of 5 peels ends-inward: rounds = 3.
+        let out = peel_rounds_serial(&path5(), 2);
+        assert!(out.success());
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.peel_round, vec![1, 2, 3, 2, 1]);
+        assert_eq!(out.survivor_series(), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn serial_rounds_trace_is_consistent() {
+        let out = peel_rounds_serial(&path5(), 2);
+        let total_peeled: u64 = out.trace.iter().map(|s| s.peeled_vertices).sum();
+        assert_eq!(total_peeled + out.core_vertices, 5);
+        let total_edges: u64 = out.trace.iter().map(|s| s.peeled_edges).sum();
+        assert_eq!(total_edges + out.core_edges, 4);
+        assert_eq!(out.trace.last().unwrap().live_edges, out.core_edges);
+    }
+
+    #[test]
+    fn serial_rounds_on_triangle_tail() {
+        let out = peel_rounds_serial(&triangle_with_tail(), 2);
+        assert!(!out.success());
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.core_vertices, 3);
+        assert_eq!(out.peel_round[3], 1);
+        assert_eq!(out.peel_round[0], UNPEELED);
+    }
+
+    #[test]
+    fn k3_star_graph() {
+        // Star: center 0 with 4 leaves; k=2 peels everything in 2 rounds
+        // (leaves have degree 1; after they go the center has degree 0).
+        let mut b = HypergraphBuilder::new(5, 2);
+        for leaf in 1..5 {
+            b.push_edge(&[0, leaf]);
+        }
+        let g = b.build().unwrap();
+        let out = peel_rounds_serial(&g, 2);
+        assert!(out.success());
+        // Leaves AND the center peel in round 1? No: center has degree 4.
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.peel_round[0], 2);
+    }
+
+    #[test]
+    fn k1_peels_only_isolated() {
+        // k = 1: only isolated (degree-0) vertices peel.
+        let g = triangle_with_tail();
+        let out = peel_greedy(&g, 1);
+        assert_eq!(out.peel_order.len(), 0);
+        assert_eq!(out.core_vertices, 4);
+        // With an isolated vertex added:
+        let mut b = HypergraphBuilder::new(5, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[1, 2]);
+        b.push_edge(&[2, 0]);
+        let g = b.build().unwrap();
+        let out = peel_greedy(&g, 1);
+        // vertices 3 and 4 are isolated
+        assert_eq!(out.peel_order.len(), 2);
+    }
+
+    #[test]
+    fn greedy_claims_unique_for_k2() {
+        // For k = 2 every peeled vertex claims at most one edge.
+        let g = path5();
+        let out = peel_greedy(&g, 2);
+        let mut claims_per_vertex = vec![0u32; 5];
+        for &killer in &out.edge_killer {
+            if killer != UNPEELED {
+                claims_per_vertex[killer as usize] += 1;
+            }
+        }
+        assert!(claims_per_vertex.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = HypergraphBuilder::new(4, 2).build().unwrap();
+        let out = peel_rounds_serial(&g, 2);
+        assert!(out.success());
+        assert_eq!(out.rounds, 1); // one round peels all 4 isolated vertices
+        let out = peel_greedy(&g, 2);
+        assert_eq!(out.peel_order.len(), 4);
+    }
+
+    #[test]
+    fn three_uniform_hyperedges() {
+        // One 3-edge {0,1,2} and one {2,3,4}: every vertex has degree <= 2.
+        // k=2: vertices 0,1,3,4 have degree 1 -> peel round 1, killing both
+        // edges; vertex 2 peels round 2.
+        let mut b = HypergraphBuilder::new(5, 3);
+        b.push_edge(&[0, 1, 2]);
+        b.push_edge(&[2, 3, 4]);
+        let g = b.build().unwrap();
+        let out = peel_rounds_serial(&g, 2);
+        assert!(out.success());
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.peel_round, vec![1, 1, 2, 1, 1]);
+        // Both edges die in round 1.
+        assert_eq!(out.edge_kill_round, vec![1, 1]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Subtable (subround) peeling — the paper's Appendix B variant.
+//!
+//! Vertices are partitioned into `r` subtables and each *round* consists of
+//! `r` *subrounds*; subround `j` peels (in parallel) exactly the alive
+//! sub-threshold vertices of subtable `j`. Because every edge has one
+//! endpoint per subtable, within a subround **no two peeled vertices share
+//! an edge that both could claim from the same side** — each edge has
+//! exactly one endpoint in the active subtable, so claims are uncontended.
+//! This is precisely how the paper's IBLT implementation guarantees an item
+//! is deleted only once (Section 6), at the price of `r` serial subrounds
+//! per round.
+//!
+//! Theorem 7 shows the price is small: survival probabilities fall
+//! *Fibonacci-exponentially*, so the total number of subrounds is only
+//! `≈ log(r−1)/log(φ_{r−1})` times the plain round count (≈1.46× for r=3,
+//! ≈1.8–2× for r=4), not `r` times.
+//!
+//! Termination: the engine stops after `r` consecutive unproductive
+//! subrounds (a full silent round = global fixpoint). The reported
+//! [`SubtableOutcome::subrounds`] is the index of the last *productive*
+//! subround, matching Table 5's accounting.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+use peel_graph::{Hypergraph, Partition};
+
+use crate::trace::{SubroundStats, SubtableOutcome, UNPEELED};
+
+/// Options for [`peel_subtables`].
+#[derive(Debug, Clone)]
+pub struct SubtableOpts {
+    /// Stop after this many subrounds even if not at fixpoint.
+    pub max_subrounds: u32,
+    /// Record per-subround statistics (on by default).
+    pub collect_trace: bool,
+}
+
+impl Default for SubtableOpts {
+    fn default() -> Self {
+        SubtableOpts {
+            max_subrounds: u32::MAX,
+            collect_trace: true,
+        }
+    }
+}
+
+/// Peel a *partitioned* hypergraph with the subround discipline.
+///
+/// # Panics
+/// Panics if `g` carries no [`Partition`] (build it with
+/// [`peel_graph::models::Partitioned`] or declare a partition on the
+/// builder).
+pub fn peel_subtables(g: &Hypergraph, k: u32, opts: &SubtableOpts) -> SubtableOutcome {
+    assert!(k >= 1, "peeling threshold k must be >= 1");
+    let partition: Partition = g
+        .partition()
+        .expect("subtable peeling requires a partitioned hypergraph");
+    let parts = partition.parts;
+    let n = g.num_vertices();
+    let m = g.num_edges();
+
+    let deg: Vec<AtomicU32> = (0..n as u32).map(|v| AtomicU32::new(g.degree(v))).collect();
+    let peel_subround: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNPEELED)).collect();
+    let edge_kill_subround: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNPEELED)).collect();
+    let edge_killer: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNPEELED)).collect();
+
+    let mut trace = Vec::new();
+    let mut unpeeled = n as u64;
+    let mut live_edges = m as u64;
+    let mut subround = 0u32;
+    let mut last_productive = 0u32;
+    let mut idle_streak = 0usize;
+
+    while subround < opts.max_subrounds {
+        let j = (subround as usize) % parts; // subtable for this subround
+        subround += 1;
+
+        // Phase 1: frontier within subtable j (dense scan of the part's
+        // contiguous vertex range).
+        let range = partition.range(j);
+        let frontier: Vec<u32> = range
+            .into_par_iter()
+            .filter(|&v| {
+                peel_subround[v as usize].load(Relaxed) == UNPEELED
+                    && deg[v as usize].load(Relaxed) < k
+            })
+            .collect();
+
+        if frontier.is_empty() {
+            idle_streak += 1;
+            if idle_streak >= parts {
+                break; // a full silent round: global fixpoint
+            }
+            continue;
+        }
+        idle_streak = 0;
+        last_productive = subround;
+
+        // Phase 2: mark.
+        frontier.par_iter().for_each(|&v| {
+            peel_subround[v as usize].store(subround, Relaxed);
+        });
+
+        // Phase 3: kill incident live edges. Within this subround each live
+        // edge has exactly one endpoint in subtable j, so no two frontier
+        // vertices contend for the same edge: plain stores suffice (the
+        // atomics are only for cross-phase reuse of the arrays).
+        let killed = AtomicU64::new(0);
+        frontier.par_iter().for_each(|&v| {
+            for &e in g.incident(v) {
+                if edge_kill_subround[e as usize].load(Relaxed) != UNPEELED {
+                    continue;
+                }
+                edge_kill_subround[e as usize].store(subround, Relaxed);
+                edge_killer[e as usize].store(v, Relaxed);
+                killed.fetch_add(1, Relaxed);
+                for &w in g.edge(e) {
+                    deg[w as usize].fetch_sub(1, Relaxed);
+                }
+            }
+        });
+
+        unpeeled -= frontier.len() as u64;
+        let killed = killed.into_inner();
+        live_edges -= killed;
+        if opts.collect_trace {
+            trace.push(SubroundStats {
+                subround,
+                round: (subround - 1) / parts as u32 + 1,
+                subtable: (subround - 1) % parts as u32 + 1,
+                peeled_vertices: frontier.len() as u64,
+                peeled_edges: killed,
+                unpeeled_vertices: unpeeled,
+                live_edges,
+            });
+        }
+    }
+
+    SubtableOutcome {
+        k,
+        subrounds: last_productive,
+        rounds: last_productive.div_ceil(parts as u32),
+        trace,
+        peel_subround: peel_subround.into_iter().map(|a| a.into_inner()).collect(),
+        edge_kill_subround: edge_kill_subround
+            .into_iter()
+            .map(|a| a.into_inner())
+            .collect(),
+        edge_killer: edge_killer.into_iter().map(|a| a.into_inner()).collect(),
+        core_vertices: unpeeled,
+        core_edges: live_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::peel_greedy;
+    use peel_graph::models::Partitioned;
+    use peel_graph::rng::Xoshiro256StarStar;
+    use peel_graph::HypergraphBuilder;
+
+    fn tiny_partitioned() -> Hypergraph {
+        // 6 vertices in 3 parts: {0,1}, {2,3}, {4,5}.
+        let mut b = HypergraphBuilder::new(6, 3).with_partition(3);
+        b.push_edge(&[0, 2, 4]);
+        b.push_edge(&[1, 2, 5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn peels_tiny_graph() {
+        let g = tiny_partitioned();
+        let out = peel_subtables(&g, 2, &SubtableOpts::default());
+        assert!(out.success());
+        assert_eq!(out.core_edges, 0);
+        // Subround 1 peels subtable 1 = {0,1}, both degree 1 -> both edges
+        // die immediately; remaining vertices peel in subrounds 2 and 3.
+        assert_eq!(out.peel_subround[0], 1);
+        assert_eq!(out.peel_subround[1], 1);
+        assert_eq!(out.subrounds, 3);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn claims_are_uncontended_and_valid() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let g = Partitioned::new(9_000, 0.7, 3).sample(&mut rng);
+        let out = peel_subtables(&g, 2, &SubtableOpts::default());
+        assert!(out.success());
+        for (e, &killer) in out.edge_killer.iter().enumerate() {
+            assert_ne!(killer, UNPEELED, "edge {e} must be claimed on success");
+            assert!(g.edge(e as u32).contains(&killer));
+        }
+        // k=2: every vertex claims at most one edge.
+        let mut claims = vec![0u32; g.num_vertices()];
+        for &killer in &out.edge_killer {
+            claims[killer as usize] += 1;
+        }
+        assert!(claims.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn same_core_as_greedy() {
+        for &c in &[0.7f64, 0.85] {
+            let mut rng = Xoshiro256StarStar::new(4);
+            let g = Partitioned::new(20_000, c, 4).sample(&mut rng);
+            let greedy = peel_greedy(&g, 2);
+            let out = peel_subtables(&g, 2, &SubtableOpts::default());
+            assert_eq!(out.core_vertices, greedy.core_vertices, "c={c}");
+            assert_eq!(out.core_edges, greedy.core_edges, "c={c}");
+        }
+    }
+
+    #[test]
+    fn subrounds_close_to_recurrence_prediction() {
+        // Table 5: r=4, k=2, c=0.7 needs ≈26–27 subrounds at these sizes.
+        let mut rng = Xoshiro256StarStar::new(5);
+        let g = Partitioned::new(80_000, 0.7, 4).sample(&mut rng);
+        let out = peel_subtables(&g, 2, &SubtableOpts::default());
+        assert!(out.success());
+        assert!(
+            out.subrounds >= 22 && out.subrounds <= 32,
+            "subrounds = {}",
+            out.subrounds
+        );
+    }
+
+    #[test]
+    fn subrounds_beat_r_times_rounds() {
+        // Appendix B's point: subrounds ≪ r × plain-rounds.
+        use crate::parallel::{peel_parallel, ParallelOpts};
+        let mut rng = Xoshiro256StarStar::new(6);
+        let g = Partitioned::new(100_000, 0.7, 4).sample(&mut rng);
+        let plain = peel_parallel(&g, 2, &ParallelOpts::default());
+        let sub = peel_subtables(&g, 2, &SubtableOpts::default());
+        assert!(sub.success() && plain.success());
+        let naive = 4 * plain.rounds;
+        assert!(
+            sub.subrounds < naive,
+            "subrounds {} should beat naive {}",
+            sub.subrounds,
+            naive
+        );
+        // And the ratio should be near the predicted ~1.8–2.1 (allow slack).
+        let ratio = sub.subrounds as f64 / plain.rounds as f64;
+        assert!(ratio > 1.2 && ratio < 3.0, "inflation ratio {ratio}");
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let mut rng = Xoshiro256StarStar::new(7);
+        let g = Partitioned::new(8_000, 0.7, 4).sample(&mut rng);
+        let out = peel_subtables(&g, 2, &SubtableOpts::default());
+        let peeled: u64 = out.trace.iter().map(|s| s.peeled_vertices).sum();
+        assert_eq!(peeled + out.core_vertices, 8_000);
+        // Survivor series is non-increasing, subround ids strictly increase.
+        for w in out.trace.windows(2) {
+            assert!(w[1].unpeeled_vertices <= w[0].unpeeled_vertices);
+            assert!(w[1].subround > w[0].subround);
+        }
+        // Round/subtable arithmetic.
+        for s in &out.trace {
+            assert_eq!(s.round, (s.subround - 1) / 4 + 1);
+            assert_eq!(s.subtable, (s.subround - 1) % 4 + 1);
+        }
+    }
+
+    #[test]
+    fn above_threshold_leaves_core() {
+        let mut rng = Xoshiro256StarStar::new(8);
+        let g = Partitioned::new(40_000, 0.85, 4).sample(&mut rng);
+        let out = peel_subtables(&g, 2, &SubtableOpts::default());
+        assert!(!out.success());
+        let frac = out.core_vertices as f64 / 40_000.0;
+        assert!((frac - 0.775).abs() < 0.02, "core fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned")]
+    fn rejects_unpartitioned_graph() {
+        let mut b = HypergraphBuilder::new(4, 2);
+        b.push_edge(&[0, 1]);
+        let g = b.build().unwrap();
+        peel_subtables(&g, 2, &SubtableOpts::default());
+    }
+
+    #[test]
+    fn max_subrounds_truncates() {
+        let mut rng = Xoshiro256StarStar::new(9);
+        let g = Partitioned::new(20_000, 0.7, 4).sample(&mut rng);
+        let out = peel_subtables(
+            &g,
+            2,
+            &SubtableOpts {
+                max_subrounds: 5,
+                ..Default::default()
+            },
+        );
+        assert!(out.subrounds <= 5);
+        assert!(!out.success());
+    }
+}

@@ -1,0 +1,221 @@
+//! Peeling outcomes: per-round statistics, per-vertex/edge peel metadata,
+//! and claim schedules for downstream replay.
+
+/// Sentinel for "never peeled" in `peel_round` / `edge_kill_round` /
+/// `edge_killer` arrays.
+pub const UNPEELED: u32 = u32::MAX;
+
+/// Statistics of one synchronous peeling round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round number, 1-based (matches the paper's `t`).
+    pub round: u32,
+    /// Vertices peeled in this round.
+    pub peeled_vertices: u64,
+    /// Edges removed in this round.
+    pub peeled_edges: u64,
+    /// Vertices still unpeeled *after* this round (Table 2's "Experiment").
+    pub unpeeled_vertices: u64,
+    /// Edges still live after this round.
+    pub live_edges: u64,
+}
+
+/// Statistics of one subround of the subtable engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubroundStats {
+    /// Global subround index, 1-based (`(round−1)·r + subtable`).
+    pub subround: u32,
+    /// Round number `i`, 1-based.
+    pub round: u32,
+    /// Subtable `j` peeled in this subround, 1-based.
+    pub subtable: u32,
+    /// Vertices peeled in this subround.
+    pub peeled_vertices: u64,
+    /// Edges removed in this subround.
+    pub peeled_edges: u64,
+    /// Vertices (of the whole graph) unpeeled after this subround
+    /// (Table 6's "Experiment").
+    pub unpeeled_vertices: u64,
+    /// Edges live after this subround.
+    pub live_edges: u64,
+}
+
+/// Result of running a round-synchronous peeling engine to its fixpoint.
+#[derive(Debug, Clone)]
+pub struct PeelOutcome {
+    /// The `k` threshold used.
+    pub k: u32,
+    /// Number of *productive* rounds (rounds that peeled ≥ 1 vertex). The
+    /// paper's Table 1 reports exactly this quantity.
+    pub rounds: u32,
+    /// Per-round statistics (length = `rounds`); empty if tracing disabled.
+    pub trace: Vec<RoundStats>,
+    /// For each vertex, the round in which it was peeled ([`UNPEELED`] for
+    /// k-core vertices).
+    pub peel_round: Vec<u32>,
+    /// For each edge, the round in which it was removed ([`UNPEELED`] for
+    /// k-core edges).
+    pub edge_kill_round: Vec<u32>,
+    /// For each edge, the peeled endpoint that claimed/removed it
+    /// ([`UNPEELED`] for k-core edges). For `k = 2` the claiming vertex
+    /// always had degree exactly 1 at removal time, and claims at most one
+    /// edge — the invariant `peel-fn` and `peel-codes` rely on.
+    pub edge_killer: Vec<u32>,
+    /// Number of vertices in the k-core (0 iff peeling succeeded).
+    pub core_vertices: u64,
+    /// Number of edges in the k-core.
+    pub core_edges: u64,
+}
+
+impl PeelOutcome {
+    /// Did peeling reach the empty k-core?
+    #[inline]
+    pub fn success(&self) -> bool {
+        self.core_vertices == 0
+    }
+
+    /// Was vertex `v` left in the k-core?
+    #[inline]
+    pub fn is_core_vertex(&self, v: u32) -> bool {
+        self.peel_round[v as usize] == UNPEELED
+    }
+
+    /// Ids of the k-core vertices, ascending.
+    pub fn core_vertex_ids(&self) -> Vec<u32> {
+        self.peel_round
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == UNPEELED)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Ids of the k-core edges, ascending.
+    pub fn core_edge_ids(&self) -> Vec<u32> {
+        self.edge_kill_round
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == UNPEELED)
+            .map(|(e, _)| e as u32)
+            .collect()
+    }
+
+    /// Survivor counts after each round: `unpeeled_vertices` column of the
+    /// trace (Table 2's "Experiment" series).
+    pub fn survivor_series(&self) -> Vec<u64> {
+        self.trace.iter().map(|s| s.unpeeled_vertices).collect()
+    }
+
+    /// Claims grouped by round: `schedule[t]` lists `(edge, killer_vertex)`
+    /// pairs removed in round `t+1`. Within one round all claims are
+    /// mutually independent (see the `peel-fn` crate docs for the proof),
+    /// which is what makes reverse-order replay parallelizable.
+    pub fn claims_by_round(&self) -> Vec<Vec<(u32, u32)>> {
+        let mut schedule: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.rounds as usize];
+        for (e, (&round, &killer)) in self
+            .edge_kill_round
+            .iter()
+            .zip(self.edge_killer.iter())
+            .enumerate()
+        {
+            if round != UNPEELED {
+                schedule[(round - 1) as usize].push((e as u32, killer));
+            }
+        }
+        schedule
+    }
+}
+
+/// Result of running the subtable (subround) engine.
+#[derive(Debug, Clone)]
+pub struct SubtableOutcome {
+    /// The `k` threshold used.
+    pub k: u32,
+    /// Index of the last productive subround (Table 5's "Subrounds").
+    pub subrounds: u32,
+    /// Number of (possibly partial) rounds spanned: `ceil(subrounds / r)`.
+    pub rounds: u32,
+    /// Per-subround statistics; empty if tracing disabled.
+    pub trace: Vec<SubroundStats>,
+    /// For each vertex, the *subround* in which it was peeled
+    /// ([`UNPEELED`] for core vertices).
+    pub peel_subround: Vec<u32>,
+    /// For each edge, the subround in which it was removed.
+    pub edge_kill_subround: Vec<u32>,
+    /// For each edge, the peeled endpoint that removed it. Unlike the plain
+    /// parallel engine, within a subround every claim is uncontended: all
+    /// peeled vertices live in the same subtable and an edge has exactly one
+    /// endpoint there — this is precisely how the paper's IBLT
+    /// implementation avoids deleting an item twice.
+    pub edge_killer: Vec<u32>,
+    /// Number of vertices in the k-core.
+    pub core_vertices: u64,
+    /// Number of edges in the k-core.
+    pub core_edges: u64,
+}
+
+impl SubtableOutcome {
+    /// Did peeling reach the empty k-core?
+    #[inline]
+    pub fn success(&self) -> bool {
+        self.core_vertices == 0
+    }
+
+    /// Survivor counts after each subround (Table 6's "Experiment" series).
+    pub fn survivor_series(&self) -> Vec<u64> {
+        self.trace.iter().map(|s| s.unpeeled_vertices).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome() -> PeelOutcome {
+        PeelOutcome {
+            k: 2,
+            rounds: 2,
+            trace: vec![
+                RoundStats {
+                    round: 1,
+                    peeled_vertices: 2,
+                    peeled_edges: 1,
+                    unpeeled_vertices: 2,
+                    live_edges: 1,
+                },
+                RoundStats {
+                    round: 2,
+                    peeled_vertices: 1,
+                    peeled_edges: 1,
+                    unpeeled_vertices: 1,
+                    live_edges: 0,
+                },
+            ],
+            peel_round: vec![1, 1, 2, UNPEELED],
+            edge_kill_round: vec![1, 2],
+            edge_killer: vec![0, 2],
+            core_vertices: 1,
+            core_edges: 0,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let o = sample_outcome();
+        assert!(!o.success());
+        assert!(o.is_core_vertex(3));
+        assert!(!o.is_core_vertex(0));
+        assert_eq!(o.core_vertex_ids(), vec![3]);
+        assert_eq!(o.core_edge_ids(), Vec::<u32>::new());
+        assert_eq!(o.survivor_series(), vec![2, 1]);
+    }
+
+    #[test]
+    fn claims_schedule_groups_by_round() {
+        let o = sample_outcome();
+        let sched = o.claims_by_round();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched[0], vec![(0, 0)]);
+        assert_eq!(sched[1], vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based tests: all peeling engines agree, and their outputs
+//! satisfy the defining invariants of the k-core and of claim schedules.
+
+use proptest::prelude::*;
+
+use peel_core::parallel::{peel_parallel, ParallelOpts, Strategy as PeelStrategy};
+use peel_core::sequential::{peel_greedy, peel_rounds_serial};
+use peel_core::subtable::{peel_subtables, SubtableOpts};
+use peel_core::trace::UNPEELED;
+use peel_graph::{Hypergraph, HypergraphBuilder};
+
+/// Strategy: a random r-uniform hypergraph described by (n, r, edge list).
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (2usize..=5, 5usize..=80).prop_flat_map(|(r, n)| {
+        let n = n.max(r + 1);
+        let max_edges = 3 * n;
+        proptest::collection::vec(proptest::collection::vec(0..n as u32, r), 0..max_edges)
+            .prop_map(move |mut edges| {
+                // Repair duplicate endpoints inside an edge by re-rolling
+                // deterministically (shift until distinct).
+                for e in edges.iter_mut() {
+                    for i in 0..e.len() {
+                        let mut guard = 0;
+                        while e[..i].contains(&e[i]) {
+                            e[i] = (e[i] + 1) % n as u32;
+                            guard += 1;
+                            assert!(guard <= n, "cannot make edge distinct");
+                        }
+                    }
+                }
+                let mut b = HypergraphBuilder::new(n, r);
+                for e in &edges {
+                    b.push_edge(e);
+                }
+                b.build().expect("repaired edges are valid")
+            })
+    })
+}
+
+/// Strategy: a random partitioned hypergraph (one endpoint per subtable).
+fn arb_partitioned() -> impl Strategy<Value = Hypergraph> {
+    (2usize..=4, 3usize..=20).prop_flat_map(|(r, per_part)| {
+        let n = r * per_part;
+        let max_edges = 3 * n;
+        proptest::collection::vec(proptest::collection::vec(0..per_part as u32, r), 0..max_edges)
+            .prop_map(move |edges| {
+                let mut b = HypergraphBuilder::new(n, r).with_partition(r);
+                for e in &edges {
+                    let abs: Vec<u32> = e
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &off)| (j * per_part) as u32 + off)
+                        .collect();
+                    b.push_edge(&abs);
+                }
+                b.build().expect("partitioned edges are valid")
+            })
+    })
+}
+
+fn core_set(peel_round: &[u32]) -> Vec<u32> {
+    peel_round
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r == UNPEELED)
+        .map(|(v, _)| v as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The k-core is unique: greedy, serial-rounds, dense, and frontier all
+    /// find the same core vertex set.
+    #[test]
+    fn engines_agree_on_core(g in arb_hypergraph(), k in 1u32..=4) {
+        let greedy = peel_greedy(&g, k);
+        let serial = peel_rounds_serial(&g, k);
+        let dense = peel_parallel(&g, k, &ParallelOpts { strategy: PeelStrategy::Dense, ..Default::default() });
+        let frontier = peel_parallel(&g, k, &ParallelOpts::default());
+
+        prop_assert_eq!(serial.core_vertices, greedy.core_vertices);
+        prop_assert_eq!(serial.core_edges, greedy.core_edges);
+        let want = core_set(&serial.peel_round);
+        prop_assert_eq!(&core_set(&dense.peel_round), &want);
+        prop_assert_eq!(&core_set(&frontier.peel_round), &want);
+    }
+
+    /// Synchronous semantics are engine-independent: identical round counts,
+    /// per-vertex peel rounds, and survivor series.
+    #[test]
+    fn engines_agree_on_rounds(g in arb_hypergraph(), k in 1u32..=4) {
+        let serial = peel_rounds_serial(&g, k);
+        let dense = peel_parallel(&g, k, &ParallelOpts { strategy: PeelStrategy::Dense, ..Default::default() });
+        let frontier = peel_parallel(&g, k, &ParallelOpts::default());
+
+        prop_assert_eq!(dense.rounds, serial.rounds);
+        prop_assert_eq!(frontier.rounds, serial.rounds);
+        prop_assert_eq!(&dense.peel_round, &serial.peel_round);
+        prop_assert_eq!(&frontier.peel_round, &serial.peel_round);
+        prop_assert_eq!(&dense.edge_kill_round, &serial.edge_kill_round);
+        prop_assert_eq!(&frontier.edge_kill_round, &serial.edge_kill_round);
+        prop_assert_eq!(dense.survivor_series(), serial.survivor_series());
+    }
+
+    /// The surviving subgraph really is a k-core: every surviving vertex has
+    /// at least k surviving incident edges, and every surviving edge has all
+    /// endpoints surviving.
+    #[test]
+    fn core_satisfies_degree_invariant(g in arb_hypergraph(), k in 1u32..=4) {
+        let out = peel_rounds_serial(&g, k);
+        let alive_edge: Vec<bool> = out.edge_kill_round.iter().map(|&r| r == UNPEELED).collect();
+        for v in 0..g.num_vertices() as u32 {
+            if out.peel_round[v as usize] == UNPEELED {
+                let live_deg = g.incident(v).iter().filter(|&&e| alive_edge[e as usize]).count();
+                prop_assert!(live_deg >= k as usize,
+                    "core vertex {v} has live degree {live_deg} < k={k}");
+            }
+        }
+        for (e, &alive) in alive_edge.iter().enumerate() {
+            if alive {
+                for &w in g.edge(e as u32) {
+                    prop_assert_eq!(out.peel_round[w as usize], UNPEELED,
+                        "core edge {} touches peeled vertex {}", e, w);
+                }
+            }
+        }
+    }
+
+    /// Maximality: peeling the complement in any order is impossible — i.e.
+    /// re-running greedy on the core subgraph peels nothing.
+    #[test]
+    fn core_is_maximal(g in arb_hypergraph(), k in 1u32..=3) {
+        let out = peel_greedy(&g, k);
+        // Rebuild the core as its own graph.
+        let alive: Vec<bool> = {
+            let mut peeled = vec![false; g.num_vertices()];
+            for &v in &out.peel_order { peeled[v as usize] = true; }
+            peeled.iter().map(|&p| !p).collect()
+        };
+        let mut b = HypergraphBuilder::new(g.num_vertices(), g.arity());
+        for (e, vs) in g.edges() {
+            if out.edge_killer[e as usize] == UNPEELED {
+                prop_assert!(vs.iter().all(|&v| alive[v as usize]));
+                b.push_edge(vs);
+            }
+        }
+        let core_graph = b.build().unwrap();
+        let again = peel_greedy(&core_graph, k);
+        // Only vertices outside the core (now isolated) may peel.
+        for &v in &again.peel_order {
+            prop_assert!(!alive[v as usize],
+                "core vertex {v} peeled on re-run: core not maximal");
+        }
+    }
+
+    /// Claim validity: killers are endpoints, kill round equals the killer's
+    /// peel round, and for k<=2 each vertex claims at most one edge.
+    #[test]
+    fn claims_are_valid(g in arb_hypergraph(), k in 1u32..=4) {
+        for strategy in [PeelStrategy::Dense, PeelStrategy::Frontier] {
+            let out = peel_parallel(&g, k, &ParallelOpts { strategy, ..Default::default() });
+            let mut per_vertex = vec![0u32; g.num_vertices()];
+            for (e, (&killer, &kr)) in out.edge_killer.iter().zip(&out.edge_kill_round).enumerate() {
+                prop_assert_eq!(killer == UNPEELED, kr == UNPEELED);
+                if killer != UNPEELED {
+                    prop_assert!(g.edge(e as u32).contains(&killer));
+                    prop_assert_eq!(out.peel_round[killer as usize], kr);
+                    per_vertex[killer as usize] += 1;
+                }
+            }
+            if k <= 2 {
+                prop_assert!(per_vertex.iter().all(|&c| c <= 1),
+                    "k<=2 must give at most one claim per vertex");
+            }
+        }
+    }
+
+    /// Trace bookkeeping adds up.
+    #[test]
+    fn trace_is_conserved(g in arb_hypergraph(), k in 1u32..=4) {
+        let out = peel_parallel(&g, k, &ParallelOpts::default());
+        let peeled: u64 = out.trace.iter().map(|s| s.peeled_vertices).sum();
+        let killed: u64 = out.trace.iter().map(|s| s.peeled_edges).sum();
+        prop_assert_eq!(peeled + out.core_vertices, g.num_vertices() as u64);
+        prop_assert_eq!(killed + out.core_edges, g.num_edges() as u64);
+        for w in out.trace.windows(2) {
+            prop_assert!(w[1].unpeeled_vertices < w[0].unpeeled_vertices);
+            prop_assert!(w[1].live_edges <= w[0].live_edges);
+            prop_assert_eq!(w[1].round, w[0].round + 1);
+        }
+        if let Some(last) = out.trace.last() {
+            prop_assert_eq!(last.unpeeled_vertices, out.core_vertices);
+            prop_assert_eq!(last.live_edges, out.core_edges);
+        }
+    }
+
+    /// Subtable engine: same core as greedy, and a valid subround structure.
+    #[test]
+    fn subtable_agrees_and_is_wellformed(g in arb_partitioned(), k in 1u32..=3) {
+        let greedy = peel_greedy(&g, k);
+        let out = peel_subtables(&g, k, &SubtableOpts::default());
+        prop_assert_eq!(out.core_vertices, greedy.core_vertices);
+        prop_assert_eq!(out.core_edges, greedy.core_edges);
+
+        let parts = g.partition().unwrap();
+        // A vertex peeled in subround s must belong to subtable (s-1) % r.
+        for (v, &s) in out.peel_subround.iter().enumerate() {
+            if s != UNPEELED {
+                let expect = ((s - 1) as usize) % parts.parts;
+                prop_assert_eq!(parts.part_of(v as u32), expect);
+            }
+        }
+        // Claims valid.
+        for (e, &killer) in out.edge_killer.iter().enumerate() {
+            if killer != UNPEELED {
+                prop_assert!(g.edge(e as u32).contains(&killer));
+            }
+        }
+    }
+
+    /// Subtable peeling never needs more than r × the plain synchronous
+    /// rounds' subround budget (one plain round is at most r subrounds) and
+    /// never fewer subrounds than plain rounds.
+    #[test]
+    fn subtable_round_bounds(g in arb_partitioned()) {
+        let k = 2u32;
+        let plain = peel_rounds_serial(&g, k);
+        let sub = peel_subtables(&g, k, &SubtableOpts::default());
+        let r = g.partition().unwrap().parts as u32;
+        if plain.core_vertices == g.num_vertices() as u64 {
+            // Nothing peelable at all.
+            prop_assert_eq!(sub.subrounds, 0);
+        } else {
+            prop_assert!(sub.subrounds <= plain.rounds * r,
+                "subrounds {} > r*rounds {}", sub.subrounds, plain.rounds * r);
+            // Subround progress dominates plain progress round-for-round,
+            // so finishing cannot take more rounds (in full-round units).
+            prop_assert!(sub.rounds <= plain.rounds,
+                "subtable rounds {} > plain rounds {}", sub.rounds, plain.rounds);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Monte-Carlo simulation of the paper's idealized branching process.
+//!
+//! Section 3.1 of the paper models the depth-`t` neighborhood of a vertex as
+//! a Poisson branching tree: the root has `Poisson(rc)` child edges, each
+//! child edge has `r − 1` child vertices, and so on. A vertex at distance
+//! `t − i` from the root *survives* `i` rounds of peeling iff at least
+//! `k − 1` of its child edges survive (an edge survives iff all of its
+//! `r − 1` child vertices survive); the *root* needs `k` surviving edges.
+//!
+//! `λ_t` is the probability the root survives `t` rounds. The closed-form
+//! recurrence for `λ_t` lives in `peel-analysis`; this module estimates the
+//! same quantity by direct simulation of the tree, giving an independent
+//! implementation to validate the recurrence against (and a way to probe
+//! regimes where one doubts the idealization).
+
+use rand::RngCore;
+
+use crate::poisson::sample_poisson;
+
+/// Parameters of the idealized branching process.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchingProcess {
+    /// Peeling threshold: vertices with fewer than `k` surviving child edges
+    /// are peeled.
+    pub k: u32,
+    /// Edge arity.
+    pub r: u32,
+    /// Edge density.
+    pub c: f64,
+}
+
+impl BranchingProcess {
+    /// Create a process for the `(k, r, c)` triple.
+    pub fn new(k: u32, r: u32, c: f64) -> Self {
+        assert!(k >= 2 && r >= 2);
+        assert!(c > 0.0);
+        BranchingProcess { k, r, c }
+    }
+
+    /// Simulate whether a single vertex at depth `t − rounds` survives
+    /// `rounds` rounds (root semantics when `root == true`: needs `k`
+    /// surviving child edges rather than `k − 1`).
+    fn survives<R: RngCore>(&self, rng: &mut R, rounds: u32, root: bool) -> bool {
+        if rounds == 0 {
+            return true;
+        }
+        let need = if root { self.k } else { self.k - 1 };
+        let mean = self.r as f64 * self.c;
+        let child_edges = sample_poisson(rng, mean);
+        let mut surviving = 0u64;
+        for _ in 0..child_edges {
+            // An edge survives iff all of its r−1 child vertices survive
+            // rounds−1 rounds.
+            let mut edge_survives = true;
+            for _ in 0..(self.r - 1) {
+                if !self.survives(rng, rounds - 1, false) {
+                    edge_survives = false;
+                    break;
+                }
+            }
+            if edge_survives {
+                surviving += 1;
+                if surviving >= need as u64 {
+                    return true; // early exit: threshold reached
+                }
+            }
+        }
+        false
+    }
+
+    /// Monte-Carlo estimate of `λ_t`: the probability the root survives `t`
+    /// rounds. Runs `trials` independent tree simulations.
+    pub fn estimate_lambda<R: RngCore>(&self, rng: &mut R, t: u32, trials: u64) -> f64 {
+        let mut survived = 0u64;
+        for _ in 0..trials {
+            if self.survives(rng, t, true) {
+                survived += 1;
+            }
+        }
+        survived as f64 / trials as f64
+    }
+
+    /// Monte-Carlo estimate of `ρ_t`: the probability a *non-root* vertex
+    /// survives `t` rounds (threshold `k − 1`).
+    pub fn estimate_rho<R: RngCore>(&self, rng: &mut R, t: u32, trials: u64) -> f64 {
+        let mut survived = 0u64;
+        for _ in 0..trials {
+            if self.survives(rng, t, false) {
+                survived += 1;
+            }
+        }
+        survived as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn lambda_zero_rounds_is_one() {
+        let bp = BranchingProcess::new(2, 4, 0.7);
+        let mut rng = Xoshiro256StarStar::new(1);
+        assert_eq!(bp.estimate_lambda(&mut rng, 0, 100), 1.0);
+    }
+
+    #[test]
+    fn lambda_one_round_matches_poisson_tail() {
+        // λ_1 = P(Poisson(rc) >= k). For r=4, c=0.7, k=2: 1 - e^{-2.8}(1+2.8).
+        let bp = BranchingProcess::new(2, 4, 0.7);
+        let mut rng = Xoshiro256StarStar::new(2);
+        let est = bp.estimate_lambda(&mut rng, 1, 200_000);
+        let exact = 1.0 - (-2.8f64).exp() * (1.0 + 2.8);
+        assert!(
+            (est - exact).abs() < 0.005,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn lambda_decreases_with_rounds_below_threshold() {
+        let bp = BranchingProcess::new(2, 4, 0.7); // below c*_{2,4} ≈ 0.772
+        let mut rng = Xoshiro256StarStar::new(3);
+        let l2 = bp.estimate_lambda(&mut rng, 2, 20_000);
+        let l5 = bp.estimate_lambda(&mut rng, 5, 20_000);
+        assert!(l5 < l2, "survival must shrink with rounds: {l5} !< {l2}");
+    }
+
+    #[test]
+    fn rho_upper_bounds_lambda() {
+        // Threshold k−1 < k, so ρ_t >= λ_t.
+        let bp = BranchingProcess::new(3, 3, 1.0);
+        let mut rng = Xoshiro256StarStar::new(4);
+        let rho = bp.estimate_rho(&mut rng, 3, 20_000);
+        let lam = bp.estimate_lambda(&mut rng, 3, 20_000);
+        assert!(rho >= lam - 0.02, "rho {rho} should dominate lambda {lam}");
+    }
+
+    #[test]
+    fn above_threshold_survival_stabilizes_positive() {
+        // c = 0.85 > c*_{2,4}: λ_t converges to λ > 0 (≈ 0.775 for t→∞).
+        let bp = BranchingProcess::new(2, 4, 0.85);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let l8 = bp.estimate_lambda(&mut rng, 8, 20_000);
+        assert!(l8 > 0.7, "above threshold the core persists, got {l8}");
+    }
+}

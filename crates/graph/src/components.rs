@@ -1,0 +1,219 @@
+//! Connected components of a hypergraph (union-find over edges).
+//!
+//! Used to analyze peeling *residues*: above the threshold the 2-core is a
+//! single giant component w.h.p., while just below it, rare failures are
+//! tiny isolated structures (e.g. the duplicate-edge pairs of §3.2.2 of
+//! the paper). These helpers let users and tests inspect exactly that.
+
+use crate::hypergraph::Hypergraph;
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn component_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Summary of a hypergraph's connected components (isolated vertices count
+/// as singleton components).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component id per vertex (dense in `0..count`).
+    pub label: Vec<u32>,
+    /// Number of vertices in each component.
+    pub vertex_count: Vec<u64>,
+    /// Number of edges in each component.
+    pub edge_count: Vec<u64>,
+}
+
+impl Components {
+    /// Compute components: two vertices are connected when some edge
+    /// contains both.
+    pub fn compute(g: &Hypergraph) -> Self {
+        let n = g.num_vertices();
+        let mut uf = UnionFind::new(n);
+        for (_, vs) in g.edges() {
+            for w in vs.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+        // Dense relabeling.
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut vertex_count: Vec<u64> = Vec::new();
+        let mut roots: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            let r = uf.find(v);
+            let id = *roots.entry(r).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                vertex_count.push(0);
+                id
+            });
+            label[v as usize] = id;
+            vertex_count[id as usize] += 1;
+        }
+        let mut edge_count = vec![0u64; next as usize];
+        for (_, vs) in g.edges() {
+            edge_count[label[vs[0] as usize] as usize] += 1;
+        }
+        Components {
+            label,
+            vertex_count,
+            edge_count,
+        }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.vertex_count.len()
+    }
+
+    /// Vertex count of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> u64 {
+        self.vertex_count.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Extract the subgraph induced by an edge filter (e.g. the k-core residue
+/// after a peel). Vertex ids are preserved; dropped edges simply vanish.
+pub fn edge_subgraph<F: Fn(u32) -> bool>(g: &Hypergraph, keep: F) -> Hypergraph {
+    let mut b = crate::hypergraph::HypergraphBuilder::new(g.num_vertices(), g.arity())
+        .skip_distinct_check();
+    for (e, vs) in g.edges() {
+        if keep(e) {
+            b.push_edge(vs);
+        }
+    }
+    b.build().expect("subgraph of a valid graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+    use crate::models::Gnm;
+    use crate::rng::Xoshiro256StarStar;
+
+    fn two_triangles() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(7, 2);
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.push_edge(&[a, c]);
+        }
+        b.build().unwrap() // vertex 6 is isolated
+    }
+
+    #[test]
+    fn separates_triangles_and_isolated() {
+        let g = two_triangles();
+        let c = Components::compute(&g);
+        assert_eq!(c.count(), 3);
+        let mut sizes = c.vertex_count.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+        assert_eq!(c.largest(), 3);
+        // Edge counts: 3 + 3 + 0.
+        let mut edges = c.edge_count.clone();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![0, 3, 3]);
+        // Labels consistent within each triangle.
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[1], c.label[2]);
+        assert_eq!(c.label[3], c.label[5]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_ne!(c.label[6], c.label[0]);
+        assert_ne!(c.label[6], c.label[3]);
+    }
+
+    #[test]
+    fn hyperedges_connect_all_their_vertices() {
+        let mut b = HypergraphBuilder::new(6, 3);
+        b.push_edge(&[0, 2, 4]);
+        let g = b.build().unwrap();
+        let c = Components::compute(&g);
+        assert_eq!(c.label[0], c.label[2]);
+        assert_eq!(c.label[2], c.label[4]);
+        assert_eq!(c.count(), 4); // {0,2,4} plus three singletons
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 2);
+        assert_eq!(uf.component_size(0), 2);
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.component_size(2), 4);
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn dense_random_graph_is_mostly_one_component() {
+        let g = Gnm::new(10_000, 1.5, 3).sample(&mut Xoshiro256StarStar::new(4));
+        let c = Components::compute(&g);
+        // Mean degree 4.5 ≫ 1: giant component swallows nearly everything.
+        assert!(c.largest() > 9_000, "largest {}", c.largest());
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_selected_edges() {
+        let g = two_triangles();
+        let sub = edge_subgraph(&g, |e| e < 3); // first triangle only
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.num_vertices(), 7);
+        let c = Components::compute(&sub);
+        let mut sizes = c.vertex_count.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for hypergraph construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Hypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The flattened endpoint array length is not a multiple of the arity.
+    EndpointLengthNotMultipleOfArity {
+        /// Length of the endpoint array provided.
+        len: usize,
+        /// Arity (edge size) of the hypergraph.
+        arity: usize,
+    },
+    /// An endpoint refers to a vertex id `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// An edge contains the same vertex twice (edges must be r-*sets*).
+    DuplicateVertexInEdge {
+        /// Index of the offending edge.
+        edge: u32,
+    },
+    /// Arity must be at least 2.
+    ArityTooSmall {
+        /// The offending arity.
+        arity: usize,
+    },
+    /// A partitioned graph requires `n` divisible by the number of parts.
+    PartitionSizeMismatch {
+        /// Number of vertices.
+        n: usize,
+        /// Number of parts requested.
+        parts: usize,
+    },
+    /// An edge of a partitioned graph does not have exactly one endpoint in
+    /// each part.
+    EdgeViolatesPartition {
+        /// Index of the offending edge.
+        edge: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EndpointLengthNotMultipleOfArity { len, arity } => write!(
+                f,
+                "endpoint array length {len} is not a multiple of arity {arity}"
+            ),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex id {vertex} out of range for n={n}")
+            }
+            GraphError::DuplicateVertexInEdge { edge } => {
+                write!(f, "edge {edge} contains a duplicate vertex")
+            }
+            GraphError::ArityTooSmall { arity } => {
+                write!(f, "arity must be >= 2, got {arity}")
+            }
+            GraphError::PartitionSizeMismatch { n, parts } => {
+                write!(f, "n={n} is not divisible by parts={parts}")
+            }
+            GraphError::EdgeViolatesPartition { edge } => {
+                write!(f, "edge {edge} does not have one endpoint per part")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,431 @@
+//! The immutable r-uniform hypergraph in CSR form.
+//!
+//! Peeling engines need two traversal directions:
+//!
+//! * edge → endpoints ("which cells does this item hash to?"), stored as a
+//!   flat `Vec<u32>` with edge `e` occupying `endpoints[e*r .. (e+1)*r]`;
+//! * vertex → incident edges ("which items touch this cell?"), stored as a
+//!   classic CSR pair (`offsets`, `incidence`).
+//!
+//! Both tables are built once and never mutated; engines keep their own
+//! mutable state (alive flags, degrees) in parallel arrays indexed by the
+//! same ids. This keeps the graph shareable across threads (`&Hypergraph` is
+//! `Sync`) with zero synchronization.
+
+use crate::error::GraphError;
+
+/// Identifier of a vertex (a cell, in sketch applications). Dense in `0..n`.
+pub type VertexId = u32;
+/// Identifier of an edge (an item/key). Dense in `0..m`.
+pub type EdgeId = u32;
+
+/// Description of a partition of the vertex set into `parts` contiguous,
+/// equal-sized ranges ("subtables" in the paper's Section 6 / Appendix B).
+///
+/// Part `j` owns vertices `j*part_size .. (j+1)*part_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Number of parts (always equals the arity for partitioned models).
+    pub parts: usize,
+    /// Vertices per part (`n / parts`).
+    pub part_size: usize,
+}
+
+impl Partition {
+    /// The part that owns vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> usize {
+        (v as usize) / self.part_size
+    }
+
+    /// The contiguous vertex range owned by part `j`.
+    #[inline]
+    pub fn range(&self, j: usize) -> std::ops::Range<u32> {
+        let lo = (j * self.part_size) as u32;
+        lo..lo + self.part_size as u32
+    }
+}
+
+/// An immutable r-uniform hypergraph with `n` vertices and `m` edges.
+///
+/// Construct through [`HypergraphBuilder`] or one of the random models in
+/// [`crate::models`].
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    n: usize,
+    r: usize,
+    /// Flattened endpoint table, length `m * r`.
+    endpoints: Vec<u32>,
+    /// CSR offsets into `incidence`, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Incident edge ids grouped by vertex, length `m * r`.
+    incidence: Vec<u32>,
+    /// Present when the graph was built against a subtable partition.
+    partition: Option<Partition>,
+}
+
+impl Hypergraph {
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len() / self.r
+    }
+
+    /// Edge arity `r` (every edge has exactly `r` endpoints).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.r
+    }
+
+    /// Edge density `c = m / n`.
+    #[inline]
+    pub fn edge_density(&self) -> f64 {
+        self.num_edges() as f64 / self.n as f64
+    }
+
+    /// The endpoints of edge `e` (slice of length `r`).
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &[u32] {
+        let r = self.r;
+        let base = e as usize * r;
+        &self.endpoints[base..base + r]
+    }
+
+    /// The edges incident to vertex `v`.
+    #[inline]
+    pub fn incident(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.incidence[lo..hi]
+    }
+
+    /// Initial degree of vertex `v` (number of incident edges).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The raw flattened endpoint table (edge `e` at `e*r..(e+1)*r`).
+    #[inline]
+    pub fn endpoints_flat(&self) -> &[u32] {
+        &self.endpoints
+    }
+
+    /// The subtable partition, if this graph was built with one.
+    #[inline]
+    pub fn partition(&self) -> Option<Partition> {
+        self.partition
+    }
+
+    /// Iterate over `(edge_id, endpoints)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &[u32])> + '_ {
+        self.endpoints
+            .chunks_exact(self.r)
+            .enumerate()
+            .map(|(e, vs)| (e as EdgeId, vs))
+    }
+
+    /// Sum of all degrees; equals `m * r`.
+    pub fn total_degree(&self) -> u64 {
+        self.endpoints.len() as u64
+    }
+}
+
+/// Builder that validates an edge list and constructs the CSR tables.
+#[derive(Debug, Clone)]
+pub struct HypergraphBuilder {
+    n: usize,
+    r: usize,
+    endpoints: Vec<u32>,
+    partition: Option<Partition>,
+    validate_distinct: bool,
+}
+
+impl HypergraphBuilder {
+    /// Start a builder for a graph with `n` vertices and arity `r`.
+    pub fn new(n: usize, r: usize) -> Self {
+        HypergraphBuilder {
+            n,
+            r,
+            endpoints: Vec::new(),
+            partition: None,
+            validate_distinct: true,
+        }
+    }
+
+    /// Pre-allocate space for `m` edges.
+    pub fn with_capacity(mut self, m: usize) -> Self {
+        self.endpoints.reserve(m * self.r);
+        self
+    }
+
+    /// Declare that the graph respects a subtable partition into `parts`
+    /// contiguous equal ranges; [`Self::build`] verifies each edge has
+    /// exactly one endpoint per part.
+    pub fn with_partition(mut self, parts: usize) -> Self {
+        self.partition = Some(Partition {
+            parts,
+            part_size: self.n / parts.max(1),
+        });
+        self
+    }
+
+    /// Disable the per-edge distinct-endpoints check (useful when the caller
+    /// guarantees distinctness and the graph is huge).
+    pub fn skip_distinct_check(mut self) -> Self {
+        self.validate_distinct = false;
+        self
+    }
+
+    /// Append one edge given its endpoints.
+    pub fn push_edge(&mut self, endpoints: &[u32]) {
+        debug_assert_eq!(endpoints.len(), self.r);
+        self.endpoints.extend_from_slice(endpoints);
+    }
+
+    /// Append edges from a flattened endpoint array.
+    pub fn push_flat(&mut self, flat: &[u32]) {
+        self.endpoints.extend_from_slice(flat);
+    }
+
+    /// Number of edges currently staged.
+    pub fn staged_edges(&self) -> usize {
+        self.endpoints.len() / self.r
+    }
+
+    /// Validate and build the CSR representation.
+    pub fn build(self) -> Result<Hypergraph, GraphError> {
+        let HypergraphBuilder {
+            n,
+            r,
+            endpoints,
+            partition,
+            validate_distinct,
+        } = self;
+
+        if r < 2 {
+            return Err(GraphError::ArityTooSmall { arity: r });
+        }
+        if endpoints.len() % r != 0 {
+            return Err(GraphError::EndpointLengthNotMultipleOfArity {
+                len: endpoints.len(),
+                arity: r,
+            });
+        }
+        if let Some(p) = partition {
+            if p.parts == 0 || n % p.parts != 0 {
+                return Err(GraphError::PartitionSizeMismatch { n, parts: p.parts });
+            }
+        }
+
+        // Validate endpoints.
+        for (e, edge) in endpoints.chunks_exact(r).enumerate() {
+            for &v in edge {
+                if v as usize >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, n });
+                }
+            }
+            if validate_distinct {
+                // r is tiny; quadratic scan beats sorting.
+                for i in 0..r {
+                    for j in (i + 1)..r {
+                        if edge[i] == edge[j] {
+                            return Err(GraphError::DuplicateVertexInEdge { edge: e as u32 });
+                        }
+                    }
+                }
+            }
+            if let Some(p) = partition {
+                // Exactly one endpoint per part: since |edge| == parts == r,
+                // it suffices that all parts are distinct.
+                let mut seen = 0u64;
+                for &v in edge {
+                    let part = p.part_of(v);
+                    if seen & (1 << part) != 0 {
+                        return Err(GraphError::EdgeViolatesPartition { edge: e as u32 });
+                    }
+                    seen |= 1 << part;
+                }
+            }
+        }
+
+        // Counting sort to build CSR incidence.
+        let mut offsets = vec![0u32; n + 1];
+        for &v in &endpoints {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut incidence = vec![0u32; endpoints.len()];
+        for (e, edge) in endpoints.chunks_exact(r).enumerate() {
+            for &v in edge {
+                let slot = cursor[v as usize];
+                incidence[slot as usize] = e as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        Ok(Hypergraph {
+            n,
+            r,
+            endpoints,
+            offsets,
+            incidence,
+            partition,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hypergraph {
+        // 6 vertices, 3 edges of arity 3.
+        let mut b = HypergraphBuilder::new(6, 3);
+        b.push_edge(&[0, 1, 2]);
+        b.push_edge(&[2, 3, 4]);
+        b.push_edge(&[0, 4, 5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.arity(), 3);
+        assert_eq!(g.total_degree(), 9);
+        assert!((g.edge_density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_access() {
+        let g = tiny();
+        assert_eq!(g.edge(0), &[0, 1, 2]);
+        assert_eq!(g.edge(1), &[2, 3, 4]);
+        assert_eq!(g.edge(2), &[0, 4, 5]);
+    }
+
+    #[test]
+    fn incidence_is_inverse_of_edges() {
+        let g = tiny();
+        assert_eq!(g.incident(0), &[0, 2]);
+        assert_eq!(g.incident(1), &[0]);
+        assert_eq!(g.incident(2), &[0, 1]);
+        assert_eq!(g.incident(3), &[1]);
+        assert_eq!(g.incident(4), &[1, 2]);
+        assert_eq!(g.incident(5), &[2]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = tiny();
+        let degs: Vec<u32> = (0..6).map(|v| g.degree(v)).collect();
+        assert_eq!(degs, vec![2, 1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn edges_iterator_matches() {
+        let g = tiny();
+        let collected: Vec<(u32, Vec<u32>)> =
+            g.edges().map(|(e, vs)| (e, vs.to_vec())).collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], (1, vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = HypergraphBuilder::new(3, 2);
+        b.push_edge(&[0, 3]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 3, n: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_endpoint() {
+        let mut b = HypergraphBuilder::new(4, 3);
+        b.push_edge(&[1, 2, 1]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateVertexInEdge { edge: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let b = HypergraphBuilder::new(4, 1);
+        assert_eq!(b.build().unwrap_err(), GraphError::ArityTooSmall { arity: 1 });
+    }
+
+    #[test]
+    fn rejects_ragged_flat_input() {
+        let mut b = HypergraphBuilder::new(4, 3);
+        b.push_flat(&[0, 1]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::EndpointLengthNotMultipleOfArity { .. }
+        ));
+    }
+
+    #[test]
+    fn partition_accepts_valid() {
+        // 6 vertices, 3 parts of 2: parts {0,1}, {2,3}, {4,5}.
+        let mut b = HypergraphBuilder::new(6, 3).with_partition(3);
+        b.push_edge(&[0, 2, 4]);
+        b.push_edge(&[1, 3, 5]);
+        let g = b.build().unwrap();
+        let p = g.partition().unwrap();
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(3), 1);
+        assert_eq!(p.part_of(5), 2);
+        assert_eq!(p.range(1), 2..4);
+    }
+
+    #[test]
+    fn partition_rejects_two_endpoints_same_part() {
+        let mut b = HypergraphBuilder::new(6, 3).with_partition(3);
+        b.push_edge(&[0, 1, 4]); // 0 and 1 both in part 0
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::EdgeViolatesPartition { edge: 0 }
+        );
+    }
+
+    #[test]
+    fn partition_rejects_indivisible_n() {
+        let b = HypergraphBuilder::new(7, 3).with_partition(3);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::PartitionSizeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = HypergraphBuilder::new(5, 3).build().unwrap();
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.incident(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn skip_distinct_check_allows_duplicates() {
+        let mut b = HypergraphBuilder::new(4, 2).skip_distinct_check();
+        b.push_edge(&[1, 1]);
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(1), 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Random hypergraph models from the paper.
+//!
+//! * [`Gnm`] — `G^r_{n,cn}`: exactly `m = round(c·n)` edges, each an
+//!   independent uniformly random set of `r` distinct vertices. This is the
+//!   model of the paper's simulations (Section 5).
+//! * [`Binomial`] — `G^r_c`: each of the `C(n,r)` potential edges appears
+//!   independently with probability `q = cn / C(n,r)`. The paper's proofs
+//!   work in this model (Section 3.2.1, Lemma 1). We sample the edge count
+//!   from `Poisson(cn)` (total-variation distance `O(n^{2−r})` from the true
+//!   binomial, by Le Cam's theorem) and then draw that many distinct edges.
+//! * [`Partitioned`] — vertices split into `r` equal subtables; each edge has
+//!   exactly one uniformly random endpoint in each subtable. This is the
+//!   hypergraph of the IBLT implementation (Section 6 / Appendix B).
+//!
+//! All samplers are deterministic functions of the caller-provided RNG, so
+//! experiments are reproducible from a single seed. Each sampler also has a
+//! `sample_par`-friendly design: construction of the edge list is sequential
+//! (cheap), while the CSR build in [`HypergraphBuilder`] dominates and is
+//! shared across models.
+
+use rand::RngCore;
+
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use crate::poisson::sample_poisson;
+use crate::rng::{sample_distinct, uniform_u64};
+
+/// The `G^r_{n,cn}` model: exactly `m` edges, r distinct endpoints each.
+#[derive(Debug, Clone, Copy)]
+pub struct Gnm {
+    n: usize,
+    m: usize,
+    r: usize,
+}
+
+impl Gnm {
+    /// Graph on `n` vertices with `round(c·n)` edges of arity `r`.
+    pub fn new(n: usize, c: f64, r: usize) -> Self {
+        assert!(n > 0 && r >= 2 && c >= 0.0);
+        let m = (c * n as f64).round() as usize;
+        Gnm { n, m, r }
+    }
+
+    /// Graph on `n` vertices with exactly `m` edges of arity `r`.
+    pub fn with_edges(n: usize, m: usize, r: usize) -> Self {
+        assert!(n > 0 && r >= 2);
+        Gnm { n, m, r }
+    }
+
+    /// Number of edges this model will generate.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Draw one hypergraph.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(self.n, self.r)
+            .with_capacity(self.m)
+            .skip_distinct_check();
+        let mut buf = vec![0u32; self.r];
+        for _ in 0..self.m {
+            sample_distinct(rng, self.n as u64, self.r, &mut buf);
+            b.push_edge(&buf);
+        }
+        b.build().expect("Gnm sampler produces valid edges")
+    }
+}
+
+/// The `G^r_c` binomial model (independent edges).
+#[derive(Debug, Clone, Copy)]
+pub struct Binomial {
+    n: usize,
+    c: f64,
+    r: usize,
+}
+
+impl Binomial {
+    /// Graph on `n` vertices where each potential r-set appears independently
+    /// with probability `q = cn / C(n,r)`.
+    pub fn new(n: usize, c: f64, r: usize) -> Self {
+        assert!(n > 0 && r >= 2 && c >= 0.0);
+        Binomial { n, c, r }
+    }
+
+    /// Draw one hypergraph. The number of edges is `Poisson(cn)` (see module
+    /// docs for why this matches the binomial model to negligible error);
+    /// edges are distinct r-sets (duplicates are rejected and re-drawn).
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> Hypergraph {
+        let mean = self.c * self.n as f64;
+        let m = sample_poisson(rng, mean) as usize;
+        let mut b = HypergraphBuilder::new(self.n, self.r)
+            .with_capacity(m)
+            .skip_distinct_check();
+        // Deduplicate edges as r-sets via a sorted-key hash set.
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        let mut buf = vec![0u32; self.r];
+        let mut key = vec![0u32; self.r];
+        let mut produced = 0usize;
+        while produced < m {
+            sample_distinct(rng, self.n as u64, self.r, &mut buf);
+            key.copy_from_slice(&buf);
+            key.sort_unstable();
+            if seen.insert(key.clone()) {
+                b.push_edge(&buf);
+                produced += 1;
+            }
+        }
+        b.build().expect("binomial sampler produces valid edges")
+    }
+}
+
+/// The partitioned (subtable) model: `r` equal vertex classes, one endpoint
+/// per class per edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Partitioned {
+    n: usize,
+    m: usize,
+    r: usize,
+}
+
+impl Partitioned {
+    /// Graph on `n` vertices (`n` must be divisible by `r`) with
+    /// `round(c·n)` edges; each edge takes one uniform endpoint per subtable.
+    pub fn new(n: usize, c: f64, r: usize) -> Self {
+        assert!(n > 0 && r >= 2 && c >= 0.0);
+        assert!(n % r == 0, "partitioned model needs n divisible by r");
+        let m = (c * n as f64).round() as usize;
+        Partitioned { n, m, r }
+    }
+
+    /// Graph with exactly `m` edges.
+    pub fn with_edges(n: usize, m: usize, r: usize) -> Self {
+        assert!(n > 0 && r >= 2 && n % r == 0);
+        Partitioned { n, m, r }
+    }
+
+    /// Vertices per subtable.
+    pub fn part_size(&self) -> usize {
+        self.n / self.r
+    }
+
+    /// Draw one hypergraph. The returned graph carries its
+    /// [`crate::Partition`] so subtable-aware engines can exploit it.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> Hypergraph {
+        let part = self.part_size();
+        let mut b = HypergraphBuilder::new(self.n, self.r)
+            .with_capacity(self.m)
+            .with_partition(self.r)
+            .skip_distinct_check();
+        let mut buf = vec![0u32; self.r];
+        for _ in 0..self.m {
+            for (j, slot) in buf.iter_mut().enumerate() {
+                *slot = (j * part) as u32 + uniform_u64(rng, part as u64) as u32;
+            }
+            b.push_edge(&buf);
+        }
+        b.build().expect("partitioned sampler produces valid edges")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let g = Gnm::new(1000, 0.8, 3).sample(&mut rng);
+        assert_eq!(g.num_edges(), 800);
+        assert_eq!(g.num_vertices(), 1000);
+    }
+
+    #[test]
+    fn gnm_edges_are_distinct_vertex_sets() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let g = Gnm::new(50, 2.0, 4).sample(&mut rng);
+        for (_, vs) in g.edges() {
+            let mut s = vs.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4);
+        }
+    }
+
+    #[test]
+    fn gnm_is_reproducible() {
+        let g1 = Gnm::new(500, 0.7, 3).sample(&mut Xoshiro256StarStar::new(99));
+        let g2 = Gnm::new(500, 0.7, 3).sample(&mut Xoshiro256StarStar::new(99));
+        assert_eq!(g1.endpoints_flat(), g2.endpoints_flat());
+    }
+
+    #[test]
+    fn binomial_edge_count_near_mean() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let n = 20_000;
+        let c = 0.75;
+        let g = Binomial::new(n, c, 3).sample(&mut rng);
+        let mean = c * n as f64;
+        let sd = mean.sqrt();
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - mean).abs() < 6.0 * sd,
+            "edge count {m} too far from mean {mean}"
+        );
+    }
+
+    #[test]
+    fn binomial_edges_are_unique_sets() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        let g = Binomial::new(30, 3.0, 3).sample(&mut rng);
+        let mut keys: Vec<Vec<u32>> = g
+            .edges()
+            .map(|(_, vs)| {
+                let mut k = vs.to_vec();
+                k.sort_unstable();
+                k
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "binomial model must not repeat edges");
+    }
+
+    #[test]
+    fn partitioned_respects_parts() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let model = Partitioned::new(1200, 0.7, 4);
+        let g = model.sample(&mut rng);
+        let p = g.partition().expect("partition metadata present");
+        assert_eq!(p.parts, 4);
+        assert_eq!(p.part_size, 300);
+        for (_, vs) in g.edges() {
+            let mut parts: Vec<usize> = vs.iter().map(|&v| p.part_of(v)).collect();
+            parts.sort_unstable();
+            assert_eq!(parts, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn mean_degree_matches_rc() {
+        // Mean vertex degree must be r*c in every model.
+        let n = 40_000;
+        let c = 0.7;
+        let r = 4;
+        let mut rng = Xoshiro256StarStar::new(6);
+        for g in [
+            Gnm::new(n, c, r).sample(&mut rng),
+            Partitioned::new(n, c, r).sample(&mut rng),
+        ] {
+            let mean = g.total_degree() as f64 / n as f64;
+            assert!(
+                (mean - r as f64 * c).abs() < 0.05,
+                "mean degree {mean} should be near {}",
+                r as f64 * c
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn partitioned_panics_on_indivisible_n() {
+        Partitioned::new(1001, 0.7, 4);
+    }
+}

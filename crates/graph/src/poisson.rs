@@ -1,0 +1,196 @@
+//! Exact Poisson sampling.
+//!
+//! The binomial hypergraph model `G^r_c` needs the number of edges
+//! `M ~ Binomial(C(n,r), q)` with `q = cn / C(n,r)`. For the parameter ranges
+//! of interest (`n ≥ 10^3`, `r ≤ 8`) the binomial is within total variation
+//! distance `q·cn = O(n^{2-r})` of `Poisson(cn)` (Le Cam's theorem, Appendix A
+//! of the paper), so we sample the edge count from an *exact* Poisson sampler.
+//! The branching-process simulator also needs Poisson(rc) child counts.
+//!
+//! Implementation: Knuth's product-of-uniforms method for small means, and
+//! Hörmann's PTRS transformed-rejection method for large means. PTRS is exact
+//! (it is a rejection method, not an approximation) and needs only `log Γ`.
+
+use rand::RngCore;
+
+/// Natural log of the Gamma function, via the Stirling series with argument
+/// shifting. Absolute error below 1e-10 for all x > 0.
+pub fn ln_gamma(mut x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    let mut acc = 0.0;
+    // Shift x up until the Stirling series is accurate.
+    while x < 10.0 {
+        acc -= x.ln();
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    let series = inv
+        * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0 - inv2 * (1.0 / 1680.0))));
+    acc + (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + series
+}
+
+/// Draw one sample from `Poisson(mean)`.
+///
+/// Exact for all finite nonnegative means. `mean == 0` returns 0.
+pub fn sample_poisson<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "mean must be finite & >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 10.0 {
+        knuth(rng, mean)
+    } else {
+        ptrs(rng, mean)
+    }
+}
+
+/// Uniform f64 in (0, 1): 53 random mantissa bits, never exactly 0.
+#[inline]
+fn unit_open<R: RngCore>(rng: &mut R) -> f64 {
+    loop {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Knuth's method: count uniforms until their product drops below e^{-mean}.
+fn knuth<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
+    let threshold = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= unit_open(rng);
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Hörmann's PTRS: transformed rejection with squeeze, exact for mean >= 10.
+fn ptrs<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
+    let b = 0.931 + 2.53 * mean.sqrt();
+    let a = -0.059 + 0.02483 * b;
+    let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+    let v_r = 0.9277 - 3.6224 / (b - 2.0);
+    let ln_mean = mean.ln();
+    loop {
+        let u = unit_open(rng) - 0.5;
+        let v = unit_open(rng);
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+        if us >= 0.07 && v <= v_r {
+            return k as u64;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        let lhs = (v * inv_alpha / (a / (us * us) + b)).ln();
+        let rhs = k * ln_mean - mean - ln_gamma(k + 1.0);
+        if lhs <= rhs {
+            return k as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+        // Γ(11) = 10! = 3628800
+        assert!((ln_gamma(11.0) - 3_628_800.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..10 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    fn check_moments(mean: f64, n: usize, tol_sigmas: f64) {
+        let mut rng = Xoshiro256StarStar::new(42);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = sample_poisson(&mut rng, mean) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let emp_mean = sum / n as f64;
+        let emp_var = sumsq / n as f64 - emp_mean * emp_mean;
+        // Standard error of the sample mean is sqrt(mean/n).
+        let se = (mean / n as f64).sqrt();
+        assert!(
+            (emp_mean - mean).abs() < tol_sigmas * se,
+            "mean {mean}: sample mean {emp_mean} off by more than {tol_sigmas} SE ({se})"
+        );
+        // Variance should equal the mean for a Poisson; allow generous slack.
+        assert!(
+            (emp_var - mean).abs() < 0.1 * mean + 6.0 * se,
+            "mean {mean}: sample variance {emp_var} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        check_moments(2.8, 200_000, 5.0);
+    }
+
+    #[test]
+    fn poisson_boundary_mean_moments() {
+        check_moments(9.99, 100_000, 5.0);
+        check_moments(10.01, 100_000, 5.0);
+    }
+
+    #[test]
+    fn poisson_large_mean_moments() {
+        check_moments(1000.0, 50_000, 5.0);
+    }
+
+    #[test]
+    fn poisson_pmf_chi_square_small_mean() {
+        // Compare empirical frequencies to the exact pmf for mean 3.
+        let mean = 3.0;
+        let trials = 200_000usize;
+        let mut rng = Xoshiro256StarStar::new(7);
+        let mut counts = vec![0u64; 16];
+        for _ in 0..trials {
+            let x = sample_poisson(&mut rng, mean) as usize;
+            let idx = x.min(counts.len() - 1);
+            counts[idx] += 1;
+        }
+        // pmf
+        let mut pmf = vec![0.0f64; 16];
+        let mut term = (-mean).exp();
+        for (k, p) in pmf.iter_mut().enumerate() {
+            *p = term;
+            term *= mean / (k as f64 + 1.0);
+        }
+        // Lump the tail into the last bucket.
+        let head: f64 = pmf[..15].iter().sum();
+        pmf[15] = 1.0 - head;
+        let mut chi2 = 0.0;
+        for k in 0..16 {
+            let expected = pmf[k] * trials as f64;
+            if expected > 5.0 {
+                let d = counts[k] as f64 - expected;
+                chi2 += d * d / expected;
+            }
+        }
+        // 15 dof; the 0.999 quantile is ~37.7. Be generous.
+        assert!(chi2 < 45.0, "chi-square statistic too large: {chi2}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Small, fast, seedable PRNGs for deterministic experiments.
+//!
+//! The experiment harness runs hundreds of thousands of trials; we want
+//! generators that are (a) trivially seedable from a `u64` so every trial is
+//! reproducible, (b) fast enough to not dominate graph construction, and
+//! (c) free of global state so trials can run on rayon worker threads.
+//!
+//! [`SplitMix64`] is used for seeding and for hash mixing;
+//! [`Xoshiro256StarStar`] is the workhorse generator (it is the generator
+//! recommended by its authors for general 64-bit use). Both implement
+//! [`rand::RngCore`] + [`rand::SeedableRng`] so they compose with the `rand`
+//! ecosystem (`gen_range`, shuffling, …).
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// The 64-bit finalizer of SplitMix64 / MurmurHash3.
+///
+/// This is a high-quality bijective mixer; it is used both inside the PRNGs
+/// and as a standalone hash for keys in the IBLT and static-function crates.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64: a tiny splittable PRNG with 64 bits of state.
+///
+/// Every call advances the state by a fixed odd constant and returns the
+/// mixed state. Passes BigCrush when used as described by Vigna.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed. Any seed is fine (including 0).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        SplitMix64::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        SplitMix64::new(state)
+    }
+}
+
+/// Xoshiro256**: 256 bits of state, period 2^256 − 1, excellent statistical
+/// quality; the recommended general-purpose generator of Blackman & Vigna.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed via SplitMix64 as the reference implementation recommends
+    /// (guarantees the state is never all-zero).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next(), sm.next(), sm.next(), sm.next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The `jump` function: equivalent to 2^128 calls to [`Self::next`].
+    ///
+    /// Used to derive non-overlapping parallel streams from one seed: give
+    /// worker `i` a generator jumped `i` times.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut s = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j & (1u64 << b)) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next();
+            }
+        }
+        self.s = s;
+    }
+
+    /// Derive the generator for parallel stream `stream` from `seed`.
+    ///
+    /// Streams are guaranteed non-overlapping for at least 2^128 outputs.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        let mut g = Self::new(seed);
+        // Cheap alternative to repeated jumping for large stream indices:
+        // re-seed through SplitMix64, then jump once to decorrelate.
+        if stream > 0 {
+            let mut sm = SplitMix64::new(seed ^ mix64(stream));
+            g = Xoshiro256StarStar {
+                s: [sm.next(), sm.next(), sm.next(), sm.next()],
+            };
+            g.jump();
+        }
+        g
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if s == [0, 0, 0, 0] {
+            // All-zero state is a fixed point; fall back to a fixed seed.
+            return Xoshiro256StarStar::new(0xdead_beef);
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Xoshiro256StarStar::new(state)
+    }
+}
+
+fn fill_bytes_via_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
+    let mut chunks = dest.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let bytes = rng.next_u64().to_le_bytes();
+        rem.copy_from_slice(&bytes[..rem.len()]);
+    }
+}
+
+/// Sample `r` *distinct* values uniformly from `0..n` into `out`.
+///
+/// Uses rejection, which is fast because peeling applications have tiny `r`
+/// (2–8) and large `n`; the expected number of retries is `O(r^2 / n)`.
+///
+/// # Panics
+/// Panics if `r > n` (no distinct sample exists) or `out.len() < r`.
+#[inline]
+pub fn sample_distinct<R: RngCore>(rng: &mut R, n: u64, r: usize, out: &mut [u32]) {
+    assert!(r as u64 <= n, "cannot sample {r} distinct values from 0..{n}");
+    let mut filled = 0;
+    while filled < r {
+        let candidate = uniform_u64(rng, n) as u32;
+        if !out[..filled].contains(&candidate) {
+            out[filled] = candidate;
+            filled += 1;
+        }
+    }
+}
+
+/// Unbiased uniform sample from `0..n` using Lemire's multiply-shift method
+/// with rejection.
+#[inline]
+pub fn uniform_u64<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+        // Rejected: retry (probability < n / 2^64, essentially never).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // First outputs for seed 0 from the reference implementation.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next(), 0xe220a8397b1dcdaf);
+        assert_eq!(g.next(), 0x6e789e6aa1b965f4);
+        assert_eq!(g.next(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn xoshiro_differs_across_seeds() {
+        let mut a = Xoshiro256StarStar::new(1);
+        let mut b = Xoshiro256StarStar::new(2);
+        let same = (0..64).filter(|_| a.next() == b.next()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn xoshiro_streams_diverge() {
+        let mut a = Xoshiro256StarStar::stream(9, 0);
+        let mut b = Xoshiro256StarStar::stream(9, 1);
+        let same = (0..64).filter(|_| a.next() == b.next()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn jump_changes_state() {
+        let mut a = Xoshiro256StarStar::new(3);
+        let mut b = a.clone();
+        b.jump();
+        assert_ne!(a.next(), b.next());
+    }
+
+    #[test]
+    fn uniform_is_in_range_and_covers() {
+        let mut rng = SplitMix64::new(11);
+        let n = 10;
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = uniform_u64(&mut rng, n);
+            assert!(x < n);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn uniform_u64_is_roughly_unbiased() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 3u64;
+        let mut counts = [0u64; 3];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[uniform_u64(&mut rng, n) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = trials as f64 / n as f64;
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_distinct_gives_distinct() {
+        let mut rng = SplitMix64::new(13);
+        let mut buf = [0u32; 6];
+        for _ in 0..500 {
+            sample_distinct(&mut rng, 8, 6, &mut buf);
+            let mut sorted = buf;
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+            assert!(sorted.iter().all(|&v| v < 8));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_distinct_rejects_impossible() {
+        let mut rng = SplitMix64::new(13);
+        let mut buf = [0u32; 5];
+        sample_distinct(&mut rng, 3, 5, &mut buf);
+    }
+
+    #[test]
+    fn fill_bytes_handles_remainders() {
+        let mut rng = SplitMix64::new(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // Not all zero with overwhelming probability.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_sample() {
+        // Spot-check injectivity on a small sample.
+        let mut outs: Vec<u64> = (0..1000u64).map(mix64).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 1000);
+    }
+}

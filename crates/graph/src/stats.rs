@@ -1,0 +1,152 @@
+//! Degree statistics of hypergraphs.
+//!
+//! The branching-process analysis in the paper rests on vertex degrees being
+//! asymptotically `Poisson(rc)`. These helpers compute empirical degree
+//! distributions so tests (and users) can check how close a generated graph
+//! is to that idealization.
+
+use crate::hypergraph::Hypergraph;
+
+/// Summary of a hypergraph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// `histogram[d]` = number of vertices with degree `d`.
+    pub histogram: Vec<u64>,
+    /// Mean degree (= `r·m/n`).
+    pub mean: f64,
+    /// Population variance of the degree.
+    pub variance: f64,
+    /// Maximum degree observed.
+    pub max: u32,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: u64,
+}
+
+impl DegreeStats {
+    /// Compute the stats for `g`.
+    pub fn compute(g: &Hypergraph) -> Self {
+        let n = g.num_vertices();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut sum = 0u64;
+        let mut sumsq = 0u64;
+        let mut max = 0u32;
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            if d as usize >= histogram.len() {
+                histogram.resize(d as usize + 1, 0);
+            }
+            histogram[d as usize] += 1;
+            sum += d as u64;
+            sumsq += (d as u64) * (d as u64);
+            max = max.max(d);
+        }
+        let mean = sum as f64 / n as f64;
+        let variance = sumsq as f64 / n as f64 - mean * mean;
+        let isolated = histogram.first().copied().unwrap_or(0);
+        DegreeStats {
+            histogram,
+            mean,
+            variance,
+            max,
+            isolated,
+        }
+    }
+
+    /// Fraction of vertices with degree `>= k`. This is the quantity `λ_0`-ish
+    /// baseline used when comparing traces to the idealized recurrence.
+    pub fn fraction_degree_at_least(&self, k: u32) -> f64 {
+        let total: u64 = self.histogram.iter().sum();
+        let at_least: u64 = self.histogram.iter().skip(k as usize).sum();
+        at_least as f64 / total as f64
+    }
+
+    /// Pearson chi-square statistic of the empirical degree histogram against
+    /// `Poisson(mean)`, lumping buckets with expected count below
+    /// `min_expected` into the tail. Returns `(statistic, dof)`.
+    pub fn chi_square_vs_poisson(&self, mean: f64, min_expected: f64) -> (f64, usize) {
+        let n: u64 = self.histogram.iter().sum();
+        let nf = n as f64;
+        // Poisson pmf by ascending recurrence.
+        let mut pmf_term = (-mean).exp();
+        let mut chi2 = 0.0;
+        let mut dof = 0usize;
+        let mut lump_obs = 0.0f64;
+        let mut lump_exp = 0.0f64;
+        let kmax = self.histogram.len().max(1) + 10;
+        let mut cumulative = 0.0f64;
+        for k in 0..kmax {
+            let observed = self.histogram.get(k).copied().unwrap_or(0) as f64;
+            let expected = pmf_term * nf;
+            cumulative += pmf_term;
+            if expected >= min_expected {
+                let d = observed - expected;
+                chi2 += d * d / expected;
+                dof += 1;
+            } else {
+                lump_obs += observed;
+                lump_exp += expected;
+            }
+            pmf_term *= mean / (k as f64 + 1.0);
+        }
+        // Remaining tail probability beyond kmax joins the lump.
+        lump_exp += (1.0 - cumulative).max(0.0) * nf;
+        if lump_exp >= min_expected {
+            let d = lump_obs - lump_exp;
+            chi2 += d * d / lump_exp;
+            dof += 1;
+        }
+        (chi2, dof.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Gnm;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn stats_on_tiny_graph() {
+        use crate::hypergraph::HypergraphBuilder;
+        let mut b = HypergraphBuilder::new(4, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[0, 2]);
+        let g = b.build().unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.histogram, vec![1, 2, 1]); // deg0: v3; deg1: v1,v2; deg2: v0
+        assert_eq!(s.max, 2);
+        assert_eq!(s.isolated, 1);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_degree_at_least_works() {
+        use crate::hypergraph::HypergraphBuilder;
+        let mut b = HypergraphBuilder::new(4, 2);
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[0, 2]);
+        let g = b.build().unwrap();
+        let s = DegreeStats::compute(&g);
+        assert!((s.fraction_degree_at_least(1) - 0.75).abs() < 1e-12);
+        assert!((s.fraction_degree_at_least(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gnm_degrees_look_poisson() {
+        let n = 100_000;
+        let c = 0.7;
+        let r = 4;
+        let g = Gnm::new(n, c, r).sample(&mut Xoshiro256StarStar::new(12));
+        let s = DegreeStats::compute(&g);
+        let mean = r as f64 * c;
+        assert!((s.mean - mean).abs() < 0.02);
+        // Poisson has variance == mean.
+        assert!((s.variance - mean).abs() < 0.1, "variance {} vs {}", s.variance, mean);
+        let (chi2, dof) = s.chi_square_vs_poisson(mean, 5.0);
+        // Loose acceptance: chi2 should be comparable to dof, not wildly above.
+        assert!(
+            chi2 < dof as f64 * 3.0 + 30.0,
+            "chi2={chi2} dof={dof}: degrees not Poisson-like"
+        );
+    }
+}

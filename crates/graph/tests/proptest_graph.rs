@@ -1,0 +1,118 @@
+//! Property-based tests for the hypergraph substrate: CSR consistency and
+//! model guarantees.
+
+use proptest::prelude::*;
+
+use peel_graph::models::{Binomial, Gnm, Partitioned};
+use peel_graph::rng::Xoshiro256StarStar;
+use peel_graph::HypergraphBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR incidence is the exact inverse of the edge table, for arbitrary
+    /// valid edge lists.
+    #[test]
+    fn csr_is_inverse_of_edges(
+        (r, n) in (2usize..=5, 4usize..=50),
+        seed in any::<u64>(),
+    ) {
+        let n = n.max(r + 1);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let g = Gnm::new(n, 1.5, r).sample(&mut rng);
+
+        // Forward: every edge endpoint appears in that vertex's incidence.
+        for (e, vs) in g.edges() {
+            for &v in vs {
+                prop_assert!(g.incident(v).contains(&e),
+                    "edge {} missing from incidence of {}", e, v);
+            }
+        }
+        // Backward: every incidence entry is an edge containing the vertex.
+        let mut total = 0usize;
+        for v in 0..n as u32 {
+            for &e in g.incident(v) {
+                prop_assert!(g.edge(e).contains(&v));
+            }
+            total += g.incident(v).len();
+            prop_assert_eq!(g.degree(v) as usize, g.incident(v).len());
+        }
+        prop_assert_eq!(total, g.num_edges() * r);
+    }
+
+    /// Gnm: exact edge count, distinct endpoints per edge.
+    #[test]
+    fn gnm_guarantees(
+        (r, n, m) in (2usize..=5, 6usize..=60, 0usize..100),
+        seed in any::<u64>(),
+    ) {
+        let n = n.max(r + 1);
+        let g = Gnm::with_edges(n, m, r).sample(&mut Xoshiro256StarStar::new(seed));
+        prop_assert_eq!(g.num_edges(), m);
+        for (_, vs) in g.edges() {
+            let mut s = vs.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), r, "duplicate endpoint in edge");
+        }
+    }
+
+    /// Partitioned: one endpoint in each part, always.
+    #[test]
+    fn partitioned_guarantees(
+        (r, per_part, m) in (2usize..=5, 2usize..=20, 0usize..80),
+        seed in any::<u64>(),
+    ) {
+        let n = r * per_part;
+        let g = Partitioned::with_edges(n, m, r).sample(&mut Xoshiro256StarStar::new(seed));
+        let p = g.partition().expect("metadata");
+        prop_assert_eq!(p.parts, r);
+        for (_, vs) in g.edges() {
+            let mut parts: Vec<usize> = vs.iter().map(|&v| p.part_of(v)).collect();
+            parts.sort_unstable();
+            prop_assert_eq!(parts, (0..r).collect::<Vec<_>>());
+        }
+    }
+
+    /// Binomial: all edges distinct as sets.
+    #[test]
+    fn binomial_guarantees(seed in any::<u64>()) {
+        let g = Binomial::new(40, 1.0, 3).sample(&mut Xoshiro256StarStar::new(seed));
+        let mut keys: Vec<Vec<u32>> = g.edges().map(|(_, vs)| {
+            let mut k = vs.to_vec();
+            k.sort_unstable();
+            k
+        }).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+    }
+
+    /// Builder round-trip: pushing arbitrary valid edges preserves them in
+    /// order.
+    #[test]
+    fn builder_preserves_edges(
+        edges in proptest::collection::vec(
+            proptest::collection::vec(0u32..30, 3), 0..40),
+    ) {
+        // Repair duplicates within each edge.
+        let edges: Vec<Vec<u32>> = edges.into_iter().map(|mut e| {
+            for i in 0..e.len() {
+                while e[..i].contains(&e[i]) {
+                    e[i] = (e[i] + 1) % 30;
+                }
+            }
+            e
+        }).collect();
+        let mut b = HypergraphBuilder::new(30, 3);
+        for e in &edges {
+            b.push_edge(e);
+        }
+        let g = b.build().unwrap();
+        prop_assert_eq!(g.num_edges(), edges.len());
+        for (i, e) in edges.iter().enumerate() {
+            prop_assert_eq!(g.edge(i as u32), e.as_slice());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The IBLT cell.
+
+use crate::hashing::IbltHasher;
+
+/// One IBLT cell: signed count, XOR of keys, XOR of key checksums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cell {
+    /// Signed number of keys currently in the cell (negative after
+    /// subtraction when the other table contributed more keys here).
+    pub count: i64,
+    /// XOR of all keys in the cell.
+    pub key_sum: u64,
+    /// XOR of `checksum(key)` over all keys in the cell.
+    pub check_sum: u64,
+}
+
+impl Cell {
+    /// Apply an insert (`dir = +1`) or delete (`dir = −1`) of `key`.
+    #[inline]
+    pub fn apply(&mut self, key: u64, check: u64, dir: i64) {
+        self.count += dir;
+        self.key_sum ^= key;
+        self.check_sum ^= check;
+    }
+
+    /// Cell is exactly empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0 && self.key_sum == 0 && self.check_sum == 0
+    }
+
+    /// Pure-cell test: holds exactly one key (possibly with negative sign),
+    /// verified by the checksum. The checksum check is what makes the test
+    /// sound in the presence of cancellations (e.g. after subtraction) —
+    /// a `count == 1` cell containing three keys (two of them cancelled
+    /// signs) fails it with probability `1 − 2^{−64}`.
+    #[inline]
+    pub fn is_pure(&self, hasher: &IbltHasher) -> bool {
+        (self.count == 1 || self.count == -1) && hasher.checksum(self.key_sum) == self.check_sum
+    }
+
+    /// Cellwise difference `self − other` (for set reconciliation).
+    #[inline]
+    pub fn subtract(&self, other: &Cell) -> Cell {
+        Cell {
+            count: self.count - other.count,
+            key_sum: self.key_sum ^ other.key_sum,
+            check_sum: self.check_sum ^ other.check_sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IbltConfig;
+
+    fn hasher() -> IbltHasher {
+        IbltHasher::new(&IbltConfig::new(3, 64, 5))
+    }
+
+    #[test]
+    fn apply_roundtrip() {
+        let h = hasher();
+        let mut c = Cell::default();
+        c.apply(42, h.checksum(42), 1);
+        assert_eq!(c.count, 1);
+        assert!(c.is_pure(&h));
+        c.apply(42, h.checksum(42), -1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn two_keys_not_pure() {
+        let h = hasher();
+        let mut c = Cell::default();
+        c.apply(1, h.checksum(1), 1);
+        c.apply(2, h.checksum(2), 1);
+        assert_eq!(c.count, 2);
+        assert!(!c.is_pure(&h));
+    }
+
+    #[test]
+    fn negative_pure_detected() {
+        let h = hasher();
+        let mut c = Cell::default();
+        c.apply(7, h.checksum(7), -1);
+        assert_eq!(c.count, -1);
+        assert!(c.is_pure(&h));
+        assert_eq!(c.key_sum, 7);
+    }
+
+    #[test]
+    fn checksum_rejects_fake_pure() {
+        // count == 1 but key_sum is a XOR of three keys: checksum mismatch.
+        let h = hasher();
+        let mut c = Cell::default();
+        c.apply(1, h.checksum(1), 1);
+        c.apply(2, h.checksum(2), 1);
+        c.apply(3, h.checksum(3), -1);
+        assert_eq!(c.count, 1);
+        assert!(!c.is_pure(&h), "cancellation must not look pure");
+    }
+
+    #[test]
+    fn subtract_cancels_common_keys() {
+        let h = hasher();
+        let mut a = Cell::default();
+        let mut b = Cell::default();
+        a.apply(10, h.checksum(10), 1);
+        a.apply(11, h.checksum(11), 1);
+        b.apply(10, h.checksum(10), 1);
+        let d = a.subtract(&b);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.key_sum, 11);
+        assert!(d.is_pure(&h));
+    }
+
+    #[test]
+    fn zero_key_pure_cell_is_detected() {
+        // Key 0 has key_sum == 0 but a nonzero checksum, so a cell holding
+        // only key 0 is pure while an empty cell is not.
+        let h = hasher();
+        let mut c = Cell::default();
+        c.apply(0, h.checksum(0), 1);
+        assert!(c.is_pure(&h));
+        assert!(!Cell::default().is_pure(&h));
+    }
+}

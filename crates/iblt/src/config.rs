@@ -1,0 +1,98 @@
+//! IBLT sizing and configuration.
+
+/// Configuration shared by all IBLT variants.
+///
+/// The table has `hashes` subtables of `cells_per_table` cells each; a key
+/// occupies one cell per subtable. All hash functions derive from `seed`,
+/// so two IBLTs with equal configs are *compatible*: they can be subtracted
+/// for set reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IbltConfig {
+    /// Number of hash functions / subtables (`r` in the paper; ≥ 2,
+    /// practical values 3–5).
+    pub hashes: usize,
+    /// Cells per subtable.
+    pub cells_per_table: usize,
+    /// Seed from which all hash functions are derived.
+    pub seed: u64,
+}
+
+impl IbltConfig {
+    /// Config with an explicit per-subtable cell count.
+    pub fn new(hashes: usize, cells_per_table: usize, seed: u64) -> Self {
+        assert!(hashes >= 2, "need at least 2 hash functions");
+        assert!(cells_per_table >= 1);
+        IbltConfig {
+            hashes,
+            cells_per_table,
+            seed,
+        }
+    }
+
+    /// Config with (at least) `total_cells` cells split across `hashes`
+    /// subtables (rounds up to a multiple of `hashes`).
+    pub fn with_total_cells(hashes: usize, total_cells: usize, seed: u64) -> Self {
+        assert!(hashes >= 2);
+        let per_table = total_cells.div_ceil(hashes).max(1);
+        IbltConfig::new(hashes, per_table, seed)
+    }
+
+    /// Config sized so that `items` keys give table load ≈ `load`
+    /// (items / total cells). Choose `load` comfortably below the peeling
+    /// threshold `c*_{2,r}` (≈0.818 for r=3, ≈0.772 for r=4) for reliable
+    /// recovery.
+    pub fn for_load(hashes: usize, items: usize, load: f64, seed: u64) -> Self {
+        assert!(load > 0.0 && load < 1.0, "load must be in (0,1)");
+        let total = ((items as f64 / load).ceil() as usize).max(hashes);
+        IbltConfig::with_total_cells(hashes, total, seed)
+    }
+
+    /// Total number of cells across all subtables.
+    pub fn total_cells(&self) -> usize {
+        self.hashes * self.cells_per_table
+    }
+
+    /// The table load a given number of items would produce.
+    pub fn load_for_items(&self, items: usize) -> f64 {
+        items as f64 / self.total_cells() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cells_and_load() {
+        let cfg = IbltConfig::new(3, 100, 1);
+        assert_eq!(cfg.total_cells(), 300);
+        assert!((cfg.load_for_items(150) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_total_cells_rounds_up() {
+        let cfg = IbltConfig::with_total_cells(4, 1001, 1);
+        assert_eq!(cfg.cells_per_table, 251);
+        assert!(cfg.total_cells() >= 1001);
+    }
+
+    #[test]
+    fn for_load_produces_requested_load() {
+        let cfg = IbltConfig::for_load(3, 700, 0.7, 1);
+        let load = cfg.load_for_items(700);
+        assert!(load <= 0.7 + 1e-9, "load {load}");
+        assert!(load > 0.65, "not wildly oversized: {load}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_hash() {
+        IbltConfig::new(1, 100, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_load() {
+        IbltConfig::for_load(3, 100, 1.5, 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Lock-sharded IBLT — the ablation baseline for the atomic-cell design.
+//!
+//! The paper notes that atomic operations "can be a bottleneck in any
+//! parallel implementation". The natural alternative on a CPU is striped
+//! locking: guard groups of cells with `parking_lot::Mutex` shards. This
+//! module implements that variant so the benchmark suite can quantify the
+//! design choice (see `peel-bench`'s `iblt_bench`); the atomic variant in
+//! [`crate::parallel`] is the recommended one.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::cell::Cell;
+use crate::config::IbltConfig;
+use crate::hashing::IbltHasher;
+use crate::serial::Iblt;
+
+const SHARD_BITS: usize = 8;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// An IBLT whose cells are protected by `SHARDS` mutex stripes.
+pub struct LockedIblt {
+    cfg: IbltConfig,
+    hasher: IbltHasher,
+    /// Cells grouped into shards; cell `i` lives in shard `i % SHARDS` at
+    /// offset `i / SHARDS` (striping spreads adjacent cells across shards
+    /// to reduce contention on the hot subtable being scanned).
+    shards: Vec<Mutex<Vec<Cell>>>,
+}
+
+impl LockedIblt {
+    /// Fresh empty table.
+    pub fn new(cfg: IbltConfig) -> Self {
+        let total = cfg.total_cells();
+        let per_shard = total.div_ceil(SHARDS);
+        LockedIblt {
+            cfg,
+            hasher: IbltHasher::new(&cfg),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(vec![Cell::default(); per_shard]))
+                .collect(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IbltConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn locate(idx: usize) -> (usize, usize) {
+        (idx % SHARDS, idx / SHARDS)
+    }
+
+    fn update(&self, key: u64, dir: i64) {
+        let check = self.hasher.checksum(key);
+        for j in 0..self.cfg.hashes {
+            let (shard, off) = Self::locate(self.hasher.global_cell(j, key));
+            self.shards[shard].lock()[off].apply(key, check, dir);
+        }
+    }
+
+    /// Insert a key (thread-safe via shard locks).
+    pub fn insert(&self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Delete a key (thread-safe via shard locks).
+    pub fn delete(&self, key: u64) {
+        self.update(key, -1);
+    }
+
+    /// Bulk parallel insert.
+    pub fn par_insert(&self, keys: &[u64]) {
+        keys.par_iter().for_each(|&k| self.insert(k));
+    }
+
+    /// Convert to a serial IBLT (e.g. to recover its contents).
+    pub fn to_serial(&self) -> Iblt {
+        let total = self.cfg.total_cells();
+        let mut cells = vec![Cell::default(); total];
+        for (idx, slot) in cells.iter_mut().enumerate() {
+            let (shard, off) = Self::locate(idx);
+            *slot = self.shards[shard].lock()[off];
+        }
+        let mut t = Iblt::new(self.cfg);
+        t.overwrite_cells(cells);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_matches_atomic_contents() {
+        use crate::parallel::AtomicIblt;
+        let cfg = IbltConfig::for_load(3, 2_000, 0.6, 21);
+        let keys: Vec<u64> = (0..2_000u64).map(|i| i * 31 + 1).collect();
+        let locked = LockedIblt::new(cfg);
+        locked.par_insert(&keys);
+        let atomic = AtomicIblt::new(cfg);
+        atomic.par_insert(&keys);
+        assert_eq!(locked.to_serial().cells(), atomic.to_serial().cells());
+    }
+
+    #[test]
+    fn locked_roundtrip() {
+        let cfg = IbltConfig::for_load(3, 1_000, 0.6, 22);
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i * 17 + 3).collect();
+        let t = LockedIblt::new(cfg);
+        t.par_insert(&keys);
+        let got = t.to_serial().recover_destructive();
+        assert!(got.complete);
+        assert_eq!(got.positive.len(), 1_000);
+    }
+
+    #[test]
+    fn concurrent_mixed_updates() {
+        let cfg = IbltConfig::for_load(3, 500, 0.5, 23);
+        let t = LockedIblt::new(cfg);
+        let keys: Vec<u64> = (0..1_000u64).collect();
+        rayon::join(|| t.par_insert(&keys), || {
+            keys[500..].par_iter().for_each(|&k| t.delete(k))
+        });
+        let got = t.to_serial().recover_destructive();
+        assert!(got.complete);
+        assert_eq!(got.positive.len(), 500);
+    }
+}

@@ -1,0 +1,105 @@
+//! Set reconciliation via IBLT subtraction (Eppstein–Goodrich–Uyeda–
+//! Varghese, "What's the Difference?").
+//!
+//! Two hosts hold key sets `A` and `B` that differ in at most `d` keys.
+//! Each builds an IBLT of its set with a *shared* configuration sized for
+//! `d` (not `|A|`!), one table is shipped across the link, the receiver
+//! subtracts and decodes: keys only in `A` surface with `count = +1`, keys
+//! only in `B` with `count = −1`. Communication is `O(d)` — independent of
+//! the set sizes — and the decode succeeds w.h.p. as long as
+//! `d / total_cells` is below the peeling threshold `c*_{2,r}`.
+
+use crate::serial::Iblt;
+
+/// The decoded symmetric difference of two sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetDiff {
+    /// Keys present in `a` but not `b`.
+    pub only_in_a: Vec<u64>,
+    /// Keys present in `b` but not `a`.
+    pub only_in_b: Vec<u64>,
+    /// True iff the difference decoded completely. When `false`, the
+    /// difference exceeded the tables' capacity: retry with larger tables.
+    pub complete: bool,
+}
+
+/// Subtract `b`'s table from `a`'s and decode the symmetric difference.
+///
+/// # Panics
+/// Panics if the two IBLTs were built with different configs.
+pub fn reconcile(a: &Iblt, b: &Iblt) -> SetDiff {
+    let mut diff = a.subtract(b);
+    let rec = diff.recover_destructive();
+    let mut out = SetDiff {
+        only_in_a: rec.positive,
+        only_in_b: rec.negative,
+        complete: rec.complete,
+    };
+    out.only_in_a.sort_unstable();
+    out.only_in_b.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IbltConfig;
+
+    fn build(cfg: IbltConfig, keys: impl IntoIterator<Item = u64>) -> Iblt {
+        let mut t = Iblt::new(cfg);
+        for k in keys {
+            t.insert(k);
+        }
+        t
+    }
+
+    #[test]
+    fn small_difference_reconciles() {
+        // 100k-key sets differing in 40 keys, tables sized for ~64 diffs.
+        let cfg = IbltConfig::for_load(3, 64, 0.5, 7);
+        let shared: Vec<u64> = (0..100_000u64).map(|i| i * 3 + 7).collect();
+        let mut a_keys = shared.clone();
+        a_keys.extend(5_000_000..5_000_020u64); // 20 extras in A
+        let mut b_keys = shared;
+        b_keys.extend(6_000_000..6_000_020u64); // 20 extras in B
+
+        let a = build(cfg, a_keys);
+        let b = build(cfg, b_keys);
+        let diff = reconcile(&a, &b);
+        assert!(diff.complete);
+        assert_eq!(diff.only_in_a, (5_000_000..5_000_020).collect::<Vec<u64>>());
+        assert_eq!(diff.only_in_b, (6_000_000..6_000_020).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn identical_sets_reconcile_to_empty() {
+        let cfg = IbltConfig::for_load(3, 32, 0.5, 8);
+        let a = build(cfg, 0..1000u64);
+        let b = build(cfg, 0..1000u64);
+        let diff = reconcile(&a, &b);
+        assert!(diff.complete);
+        assert!(diff.only_in_a.is_empty());
+        assert!(diff.only_in_b.is_empty());
+    }
+
+    #[test]
+    fn oversized_difference_reports_incomplete() {
+        // Tables sized for ~16 diffs, but the sets differ in 2000 keys.
+        let cfg = IbltConfig::for_load(3, 16, 0.5, 9);
+        let a = build(cfg, 0..1000u64);
+        let b = build(cfg, 10_000..11_000u64);
+        let diff = reconcile(&a, &b);
+        assert!(!diff.complete, "difference of 2000 must overflow 32 cells");
+    }
+
+    #[test]
+    fn one_sided_difference() {
+        let cfg = IbltConfig::for_load(3, 32, 0.5, 10);
+        let a = build(cfg, 0..1010u64);
+        let b = build(cfg, 0..1000u64);
+        let diff = reconcile(&a, &b);
+        assert!(diff.complete);
+        assert_eq!(diff.only_in_a, (1000..1010).collect::<Vec<u64>>());
+        assert!(diff.only_in_b.is_empty());
+    }
+}

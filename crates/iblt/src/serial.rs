@@ -1,0 +1,308 @@
+//! The serial IBLT — baseline implementation with worklist recovery.
+
+use crate::cell::Cell;
+use crate::config::IbltConfig;
+use crate::hashing::IbltHasher;
+
+/// A serial Invertible Bloom Lookup Table.
+#[derive(Debug, Clone)]
+pub struct Iblt {
+    cfg: IbltConfig,
+    hasher: IbltHasher,
+    cells: Vec<Cell>,
+    items: i64,
+}
+
+/// Result of a recovery (listing) attempt.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Keys recovered with positive sign (inserted more than deleted).
+    pub positive: Vec<u64>,
+    /// Keys recovered with negative sign (appear only via deletion or via
+    /// the subtrahend of a subtraction).
+    pub negative: Vec<u64>,
+    /// True iff the table decoded completely (all cells empty at the end) —
+    /// i.e. the peeling reached the empty 2-core.
+    pub complete: bool,
+}
+
+impl Iblt {
+    /// Fresh empty table.
+    pub fn new(cfg: IbltConfig) -> Self {
+        let hasher = IbltHasher::new(&cfg);
+        Iblt {
+            cfg,
+            hasher,
+            cells: vec![Cell::default(); cfg.total_cells()],
+            items: 0,
+        }
+    }
+
+    /// The configuration (hash count, sizes, seed).
+    pub fn config(&self) -> &IbltConfig {
+        &self.cfg
+    }
+
+    /// Signed number of items currently stored (inserts − deletes).
+    pub fn items(&self) -> i64 {
+        self.items
+    }
+
+    /// Current table load: |items| / total cells.
+    pub fn load(&self) -> f64 {
+        self.items.unsigned_abs() as f64 / self.cfg.total_cells() as f64
+    }
+
+    /// Raw cell access (for tests and for the parallel variant's converter).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Replace the cell contents wholesale (used by converters between the
+    /// serial and atomic representations). The item counter is re-derived
+    /// from the cells: the sum of counts is `r ×` the signed item count.
+    pub fn overwrite_cells(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.cfg.total_cells());
+        let total: i64 = cells.iter().map(|c| c.count).sum();
+        self.items = total / self.cfg.hashes as i64;
+        self.cells = cells;
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Delete a key (inserting and deleting are symmetric; deleting a key
+    /// that was never inserted leaves a negative-signed entry).
+    pub fn delete(&mut self, key: u64) {
+        self.update(key, -1);
+    }
+
+    fn update(&mut self, key: u64, dir: i64) {
+        let check = self.hasher.checksum(key);
+        for j in 0..self.cfg.hashes {
+            let idx = self.hasher.global_cell(j, key);
+            self.cells[idx].apply(key, check, dir);
+        }
+        self.items += dir;
+    }
+
+    /// Cellwise difference `self − other`, valid when both share a config.
+    /// Recovering the result lists the symmetric difference of the two key
+    /// sets.
+    ///
+    /// # Panics
+    /// Panics if the configs differ (incompatible hash functions).
+    pub fn subtract(&self, other: &Iblt) -> Iblt {
+        assert_eq!(
+            self.cfg, other.cfg,
+            "subtracting incompatible IBLTs (configs differ)"
+        );
+        let cells = self
+            .cells
+            .iter()
+            .zip(&other.cells)
+            .map(|(a, b)| a.subtract(b))
+            .collect();
+        Iblt {
+            cfg: self.cfg,
+            hasher: IbltHasher::new(&self.cfg),
+            cells,
+            items: self.items - other.items,
+        }
+    }
+
+    /// Recover (list) the stored key set without consuming the table.
+    pub fn recover(&self) -> Recovery {
+        self.clone().recover_destructive()
+    }
+
+    /// Recover by peeling the table down in place (cheaper; the table is
+    /// left empty on success, or holding the un-decodable 2-core residue on
+    /// failure).
+    pub fn recover_destructive(&mut self) -> Recovery {
+        let mut out = Recovery::default();
+        // Worklist of candidate pure cells.
+        let mut queue: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| self.cells[i].is_pure(&self.hasher))
+            .collect();
+
+        while let Some(idx) = queue.pop() {
+            let cell = self.cells[idx];
+            if !cell.is_pure(&self.hasher) {
+                continue; // stale entry: already consumed
+            }
+            let key = cell.key_sum;
+            let dir = cell.count; // ±1
+            let check = self.hasher.checksum(key);
+            // Remove the key from all its cells (including this one).
+            for j in 0..self.cfg.hashes {
+                let c = self.hasher.global_cell(j, key);
+                self.cells[c].apply(key, check, -dir);
+                if self.cells[c].is_pure(&self.hasher) {
+                    queue.push(c);
+                }
+            }
+            self.items -= dir;
+            if dir > 0 {
+                out.positive.push(key);
+            } else {
+                out.negative.push(key);
+            }
+        }
+
+        out.complete = self.cells.iter().all(Cell::is_empty);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(items: usize, load: f64) -> IbltConfig {
+        IbltConfig::for_load(3, items, load, 99)
+    }
+
+    #[test]
+    fn roundtrip_small_set() {
+        let mut t = Iblt::new(cfg(100, 0.5));
+        for key in 0..100u64 {
+            t.insert(key * 7 + 1);
+        }
+        let got = t.recover();
+        assert!(got.complete);
+        assert!(got.negative.is_empty());
+        let mut keys = got.positive;
+        keys.sort_unstable();
+        let want: Vec<u64> = (0..100).map(|k| k * 7 + 1).collect();
+        assert_eq!(keys, want);
+        // Non-destructive: table still holds the items.
+        assert_eq!(t.items(), 100);
+    }
+
+    #[test]
+    fn insert_then_delete_leaves_empty() {
+        let mut t = Iblt::new(cfg(10, 0.5));
+        for key in 0..10u64 {
+            t.insert(key);
+        }
+        for key in 0..10u64 {
+            t.delete(key);
+        }
+        assert_eq!(t.items(), 0);
+        assert!(t.cells().iter().all(Cell::is_empty));
+        let got = t.recover();
+        assert!(got.complete);
+        assert!(got.positive.is_empty() && got.negative.is_empty());
+    }
+
+    #[test]
+    fn sparse_recovery_pattern() {
+        // Paper's motivating application: many inserts, most deleted.
+        let mut t = Iblt::new(cfg(200, 0.6));
+        for key in 0..10_000u64 {
+            t.insert(key);
+        }
+        for key in 0..10_000u64 {
+            if key % 50 != 0 {
+                t.delete(key);
+            }
+        }
+        let got = t.recover();
+        assert!(got.complete);
+        let mut keys = got.positive;
+        keys.sort_unstable();
+        let want: Vec<u64> = (0..10_000).filter(|k| k % 50 == 0).collect();
+        assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn deletion_only_keys_come_back_negative() {
+        let mut t = Iblt::new(cfg(10, 0.5));
+        t.insert(1);
+        t.delete(2);
+        let got = t.recover();
+        assert!(got.complete);
+        assert_eq!(got.positive, vec![1]);
+        assert_eq!(got.negative, vec![2]);
+    }
+
+    #[test]
+    fn overload_fails_gracefully() {
+        // Load ~0.95 ≫ c*_{2,3} ≈ 0.818: recovery must report incomplete.
+        let cfg = IbltConfig::new(3, 100, 3);
+        let mut t = Iblt::new(cfg);
+        for key in 0..285u64 {
+            t.insert(key);
+        }
+        let got = t.recover();
+        assert!(!got.complete, "overloaded table should not fully decode");
+        // Whatever was recovered is genuine.
+        assert!(got.positive.iter().all(|&k| k < 285));
+        assert!(got.negative.is_empty());
+    }
+
+    #[test]
+    fn destructive_recovery_empties_table() {
+        let mut t = Iblt::new(cfg(50, 0.5));
+        for key in 0..50u64 {
+            t.insert(key);
+        }
+        let got = t.recover_destructive();
+        assert!(got.complete);
+        assert_eq!(t.items(), 0);
+        assert!(t.cells().iter().all(Cell::is_empty));
+    }
+
+    #[test]
+    fn subtract_recovers_symmetric_difference() {
+        let c = cfg(100, 0.3);
+        let mut a = Iblt::new(c);
+        let mut b = Iblt::new(c);
+        // Shared keys 0..90; A also has 1000..1005, B also has 2000..2003.
+        for key in 0..90u64 {
+            a.insert(key);
+            b.insert(key);
+        }
+        for key in 1000..1005u64 {
+            a.insert(key);
+        }
+        for key in 2000..2003u64 {
+            b.insert(key);
+        }
+        let mut d = a.subtract(&b);
+        let got = d.recover_destructive();
+        assert!(got.complete);
+        let mut only_a = got.positive;
+        only_a.sort_unstable();
+        let mut only_b = got.negative;
+        only_b.sort_unstable();
+        assert_eq!(only_a, (1000..1005).collect::<Vec<u64>>());
+        assert_eq!(only_b, (2000..2003).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn subtract_requires_same_config() {
+        let a = Iblt::new(IbltConfig::new(3, 100, 1));
+        let b = Iblt::new(IbltConfig::new(3, 100, 2));
+        let _ = a.subtract(&b);
+    }
+
+    #[test]
+    fn duplicate_insertions_block_then_unblock() {
+        // Inserting the same key twice makes its cells have count 2 with
+        // key_sum 0 — unrecoverable as-is; deleting one copy restores it.
+        let mut t = Iblt::new(cfg(10, 0.4));
+        t.insert(5);
+        t.insert(5);
+        let got = t.recover();
+        assert!(!got.complete, "duplicate keys cannot be listed");
+        t.delete(5);
+        let got = t.recover();
+        assert!(got.complete);
+        assert_eq!(got.positive, vec![5]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Sparse recovery: the paper's motivating IBLT application (Section 6).
+//!
+//! `N` items stream into a set and all but `n ≪ N` are later deleted; the
+//! goal is to list the survivors using space `O(n)` — far below `O(N)`.
+//! The IBLT does this directly: inserts and deletes are symmetric cell
+//! updates, and at the end the table holds only the `n` survivors, which
+//! peeling lists as long as the final load is below the threshold.
+
+use crate::config::IbltConfig;
+use crate::parallel::AtomicIblt;
+use crate::serial::Recovery;
+
+/// A fixed-capacity sparse-recovery sketch.
+///
+/// Sized for `capacity` surviving items at a given target load; any number
+/// of transient items may pass through it.
+pub struct SparseRecovery {
+    table: AtomicIblt,
+    capacity: usize,
+}
+
+impl SparseRecovery {
+    /// A sketch able to list up to `capacity` surviving keys w.h.p. Uses
+    /// `r = 4` hash functions at load 0.7 (< c*_{2,4} ≈ 0.772) by default.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        let cfg = IbltConfig::for_load(4, capacity.max(1), 0.7, seed);
+        SparseRecovery {
+            table: AtomicIblt::new(cfg),
+            capacity,
+        }
+    }
+
+    /// A sketch with explicit IBLT parameters.
+    pub fn with_config(cfg: IbltConfig, capacity: usize) -> Self {
+        SparseRecovery {
+            table: AtomicIblt::new(cfg),
+            capacity,
+        }
+    }
+
+    /// Designed survivor capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record an item's arrival (thread-safe).
+    pub fn insert(&self, key: u64) {
+        self.table.insert(key);
+    }
+
+    /// Record an item's departure (thread-safe).
+    pub fn delete(&self, key: u64) {
+        self.table.delete(key);
+    }
+
+    /// Bulk parallel arrival.
+    pub fn par_insert(&self, keys: &[u64]) {
+        self.table.par_insert(keys);
+    }
+
+    /// Bulk parallel departure.
+    pub fn par_delete(&self, keys: &[u64]) {
+        self.table.par_delete(keys);
+    }
+
+    /// List the surviving set (destructive: the sketch is consumed into the
+    /// answer; clone the underlying table first if you need to keep it).
+    pub fn list(self) -> Recovery {
+        let par = self.table.par_recover();
+        Recovery {
+            positive: par.positive,
+            negative: par.negative,
+            complete: par.complete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survives_heavy_churn() {
+        let sketch = SparseRecovery::new(500, 3);
+        // 50k arrivals, all but 500 depart.
+        let all: Vec<u64> = (0..50_000u64).map(|i| i * 13 + 5).collect();
+        sketch.par_insert(&all);
+        sketch.par_delete(&all[500..]);
+        let out = sketch.list();
+        assert!(out.complete);
+        let mut got = out.positive;
+        got.sort_unstable();
+        let mut want = all[..500].to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_sketch_lists_nothing() {
+        let out = SparseRecovery::new(100, 4).list();
+        assert!(out.complete);
+        assert!(out.positive.is_empty());
+    }
+
+    #[test]
+    fn over_capacity_reports_incomplete() {
+        let sketch = SparseRecovery::new(100, 5);
+        let all: Vec<u64> = (0..1000u64).collect();
+        sketch.par_insert(&all); // 1000 survivors in a 100-capacity sketch
+        let out = sketch.list();
+        assert!(!out.complete);
+    }
+}

@@ -1,0 +1,405 @@
+//! # peel-sat — the pure literal rule as a parallel peeling process
+//!
+//! The paper's introduction lists "satisfiability of random boolean
+//! formulae" among the peeling applications (refs [3], [19]; Molloy's
+//! analysis of the pure-literal-rule threshold is the same machinery that
+//! yields `c*_{k,r}`). The *pure literal rule* repeatedly:
+//!
+//! 1. finds a **pure** variable — one whose occurrences all have the same
+//!    sign;
+//! 2. assigns it to satisfy those occurrences;
+//! 3. deletes every (now satisfied) clause containing it.
+//!
+//! Clause deletion can only *create* purity, never destroy it, so — exactly
+//! like vertex peeling — all pure variables of a round can be processed
+//! simultaneously, and the fixpoint is independent of order. This crate
+//! implements the round-synchronous rule serially and with rayon, with the
+//! same round accounting as `peel-core` (for random 3-CNF the number of
+//! rounds collapses `log log`-style below the pure-literal threshold
+//! density ≈ 1.63).
+//!
+//! ```
+//! use peel_sat::{random_kcnf, pure_literal_rounds};
+//! use peel_graph::rng::SplitMix64;
+//!
+//! let cnf = random_kcnf(2_000, 2_000, 3, &mut SplitMix64::new(5)); // density 1.0
+//! let out = pure_literal_rounds(&cnf);
+//! assert!(out.satisfied_all);
+//! assert!(cnf.is_satisfied_by(&out.assignment));
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::RngCore;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::Relaxed};
+
+use peel_graph::rng::sample_distinct;
+
+/// A CNF formula. Variables are `0..num_vars`; a literal is `(var, sign)`
+/// with `sign = true` for the positive literal.
+#[derive(Debug, Clone)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses as lists of literals.
+    pub clauses: Vec<Vec<(u32, bool)>>,
+}
+
+impl Cnf {
+    /// Check whether `assignment` (with `None` = unassigned) satisfies
+    /// every clause.
+    pub fn is_satisfied_by(&self, assignment: &[Option<bool>]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|&(v, sign)| assignment[v as usize] == Some(sign))
+        })
+    }
+}
+
+/// Sample a uniformly random k-CNF with `num_clauses` clauses over
+/// `num_vars` variables: each clause picks `k` distinct variables and
+/// independent random signs.
+pub fn random_kcnf<R: RngCore>(
+    num_vars: usize,
+    num_clauses: usize,
+    k: usize,
+    rng: &mut R,
+) -> Cnf {
+    assert!(k >= 1 && num_vars >= k);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    let mut buf = vec![0u32; k];
+    for _ in 0..num_clauses {
+        sample_distinct(rng, num_vars as u64, k, &mut buf);
+        let clause: Vec<(u32, bool)> = buf
+            .iter()
+            .map(|&v| (v, rng.next_u64() & 1 == 1))
+            .collect();
+        clauses.push(clause);
+    }
+    Cnf { num_vars, clauses }
+}
+
+/// Result of running the round-synchronous pure literal rule to fixpoint.
+#[derive(Debug, Clone)]
+pub struct PureLiteralOutcome {
+    /// True iff every clause was satisfied (the "empty core" analogue).
+    pub satisfied_all: bool,
+    /// Number of productive rounds.
+    pub rounds: u32,
+    /// The partial assignment produced (pure variables only).
+    pub assignment: Vec<Option<bool>>,
+    /// Clauses still unsatisfied at the fixpoint.
+    pub remaining_clauses: usize,
+    /// Clauses removed per round.
+    pub per_round: Vec<u64>,
+}
+
+/// Serial round-synchronous pure literal elimination.
+pub fn pure_literal_rounds(cnf: &Cnf) -> PureLiteralOutcome {
+    let n = cnf.num_vars;
+    let m = cnf.clauses.len();
+    let mut pos = vec![0u32; n];
+    let mut neg = vec![0u32; n];
+    for clause in &cnf.clauses {
+        for &(v, sign) in clause {
+            if sign {
+                pos[v as usize] += 1;
+            } else {
+                neg[v as usize] += 1;
+            }
+        }
+    }
+    // Occurrence lists.
+    let mut occ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (c, clause) in cnf.clauses.iter().enumerate() {
+        for &(v, _) in clause {
+            occ[v as usize].push(c as u32);
+        }
+    }
+
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    let mut clause_alive = vec![true; m];
+    let mut alive = m;
+    let mut rounds = 0u32;
+    let mut per_round = Vec::new();
+
+    loop {
+        // Find this round's pure variables (unassigned, occurrences all one
+        // sign, at least one occurrence).
+        let pure: Vec<(u32, bool)> = (0..n as u32)
+            .filter(|&v| assignment[v as usize].is_none())
+            .filter_map(|v| {
+                let (p, q) = (pos[v as usize], neg[v as usize]);
+                if p > 0 && q == 0 {
+                    Some((v, true))
+                } else if q > 0 && p == 0 {
+                    Some((v, false))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if pure.is_empty() {
+            break;
+        }
+        rounds += 1;
+        let mut removed = 0u64;
+        for &(v, sign) in &pure {
+            assignment[v as usize] = Some(sign);
+        }
+        for &(v, _) in &pure {
+            for &c in &occ[v as usize] {
+                if !clause_alive[c as usize] {
+                    continue;
+                }
+                clause_alive[c as usize] = false;
+                removed += 1;
+                for &(w, wsign) in &cnf.clauses[c as usize] {
+                    if wsign {
+                        pos[w as usize] -= 1;
+                    } else {
+                        neg[w as usize] -= 1;
+                    }
+                }
+            }
+        }
+        alive -= removed as usize;
+        per_round.push(removed);
+    }
+
+    PureLiteralOutcome {
+        satisfied_all: alive == 0,
+        rounds,
+        assignment,
+        remaining_clauses: alive,
+        per_round,
+    }
+}
+
+/// Parallel round-synchronous pure literal elimination (rayon).
+///
+/// Identical semantics (and round counts) as [`pure_literal_rounds`]:
+/// purity is evaluated against start-of-round occurrence counts; clause
+/// removals race benignly through a per-clause claim flag and atomic
+/// occurrence decrements.
+pub fn pure_literal_parallel(cnf: &Cnf) -> PureLiteralOutcome {
+    let n = cnf.num_vars;
+    let m = cnf.clauses.len();
+    let pos: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let neg: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    for clause in &cnf.clauses {
+        for &(v, sign) in clause {
+            if sign {
+                pos[v as usize].fetch_add(1, Relaxed);
+            } else {
+                neg[v as usize].fetch_add(1, Relaxed);
+            }
+        }
+    }
+    let mut occ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (c, clause) in cnf.clauses.iter().enumerate() {
+        for &(v, _) in clause {
+            occ[v as usize].push(c as u32);
+        }
+    }
+
+    let assigned: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(2)).collect(); // 2 = none
+    let clause_alive: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(true)).collect();
+    let mut alive = m as u64;
+    let mut rounds = 0u32;
+    let mut per_round = Vec::new();
+
+    loop {
+        // Phase 1: find pure variables against start-of-round counts.
+        let pure: Vec<(u32, bool)> = (0..n as u32)
+            .into_par_iter()
+            .filter(|&v| assigned[v as usize].load(Relaxed) == 2)
+            .filter_map(|v| {
+                let p = pos[v as usize].load(Relaxed);
+                let q = neg[v as usize].load(Relaxed);
+                if p > 0 && q == 0 {
+                    Some((v, true))
+                } else if q > 0 && p == 0 {
+                    Some((v, false))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if pure.is_empty() {
+            break;
+        }
+        rounds += 1;
+
+        // Phase 2: assign.
+        pure.par_iter().for_each(|&(v, sign)| {
+            assigned[v as usize].store(sign as u32, Relaxed);
+        });
+
+        // Phase 3: delete satisfied clauses (claim via swap) and decrement
+        // the occurrence counts of their literals.
+        let removed: u64 = pure
+            .par_iter()
+            .map(|&(v, _)| {
+                let mut cnt = 0u64;
+                for &c in &occ[v as usize] {
+                    if clause_alive[c as usize].swap(false, Relaxed) {
+                        cnt += 1;
+                        for &(w, wsign) in &cnf.clauses[c as usize] {
+                            if wsign {
+                                pos[w as usize].fetch_sub(1, Relaxed);
+                            } else {
+                                neg[w as usize].fetch_sub(1, Relaxed);
+                            }
+                        }
+                    }
+                }
+                cnt
+            })
+            .sum();
+        alive -= removed;
+        per_round.push(removed);
+    }
+
+    PureLiteralOutcome {
+        satisfied_all: alive == 0,
+        rounds,
+        assignment: assigned
+            .into_iter()
+            .map(|a| match a.into_inner() {
+                0 => Some(false),
+                1 => Some(true),
+                _ => None,
+            })
+            .collect(),
+        remaining_clauses: alive as usize,
+        per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peel_graph::rng::Xoshiro256StarStar;
+
+    fn lit(v: u32, sign: bool) -> (u32, bool) {
+        (v, sign)
+    }
+
+    #[test]
+    fn all_positive_formula_one_round() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![lit(0, true), lit(1, true)],
+                vec![lit(1, true), lit(2, true)],
+            ],
+        };
+        let out = pure_literal_rounds(&cnf);
+        assert!(out.satisfied_all);
+        assert_eq!(out.rounds, 1);
+        assert!(cnf.is_satisfied_by(&out.assignment));
+    }
+
+    #[test]
+    fn chained_purity_takes_multiple_rounds() {
+        // x0 pure (+). Removing its clause makes x1 pure (−), etc.
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![lit(0, true), lit(1, true)],
+                vec![lit(1, false), lit(2, true)],
+                vec![lit(2, false), lit(1, false)],
+            ],
+        };
+        // pos/neg: x0: 1/0 pure+. x1: 1/2 not pure. x2: 1/1 not pure.
+        let out = pure_literal_rounds(&cnf);
+        assert!(out.satisfied_all);
+        assert!(out.rounds >= 2, "rounds = {}", out.rounds);
+        assert!(cnf.is_satisfied_by(&out.assignment));
+    }
+
+    #[test]
+    fn stuck_formula_reports_remaining() {
+        // x0 ∨ x1, ¬x0 ∨ x1, x0 ∨ ¬x1, ¬x0 ∨ ¬x1: no pure literal exists.
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![
+                vec![lit(0, true), lit(1, true)],
+                vec![lit(0, false), lit(1, true)],
+                vec![lit(0, true), lit(1, false)],
+                vec![lit(0, false), lit(1, false)],
+            ],
+        };
+        let out = pure_literal_rounds(&cnf);
+        assert!(!out.satisfied_all);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.remaining_clauses, 4);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        for seed in 0..5u64 {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            let cnf = random_kcnf(3_000, 3_600, 3, &mut rng); // density 1.2
+            let a = pure_literal_rounds(&cnf);
+            let b = pure_literal_parallel(&cnf);
+            assert_eq!(a.satisfied_all, b.satisfied_all, "seed {seed}");
+            assert_eq!(a.rounds, b.rounds, "seed {seed}");
+            assert_eq!(a.remaining_clauses, b.remaining_clauses);
+            assert_eq!(a.per_round, b.per_round);
+            if b.satisfied_all {
+                assert!(cnf.is_satisfied_by(&b.assignment));
+            }
+        }
+    }
+
+    #[test]
+    fn low_density_random_3cnf_succeeds() {
+        let mut rng = Xoshiro256StarStar::new(42);
+        let cnf = random_kcnf(20_000, 20_000, 3, &mut rng); // density 1.0 < ~1.63
+        let out = pure_literal_rounds(&cnf);
+        assert!(out.satisfied_all);
+        assert!(cnf.is_satisfied_by(&out.assignment));
+        // Rounds should be modest (log log style), not linear.
+        assert!(out.rounds < 40, "rounds = {}", out.rounds);
+    }
+
+    #[test]
+    fn high_density_random_3cnf_gets_stuck() {
+        let mut rng = Xoshiro256StarStar::new(43);
+        let cnf = random_kcnf(10_000, 25_000, 3, &mut rng); // density 2.5 > ~1.63
+        let out = pure_literal_rounds(&cnf);
+        assert!(!out.satisfied_all);
+        assert!(out.remaining_clauses > 0);
+    }
+
+    #[test]
+    fn partial_assignment_never_falsifies_removed_clauses() {
+        let mut rng = Xoshiro256StarStar::new(44);
+        let cnf = random_kcnf(1_000, 1_500, 3, &mut rng);
+        let out = pure_literal_rounds(&cnf);
+        // Every clause NOT in the remaining set must be satisfied.
+        let satisfied = cnf
+            .clauses
+            .iter()
+            .filter(|clause| {
+                clause
+                    .iter()
+                    .any(|&(v, sign)| out.assignment[v as usize] == Some(sign))
+            })
+            .count();
+        assert_eq!(satisfied, cnf.clauses.len() - out.remaining_clauses);
+    }
+
+    #[test]
+    fn round_trace_sums_to_removed() {
+        let mut rng = Xoshiro256StarStar::new(45);
+        let cnf = random_kcnf(2_000, 2_400, 3, &mut rng);
+        let out = pure_literal_rounds(&cnf);
+        let removed: u64 = out.per_round.iter().sum();
+        assert_eq!(removed as usize + out.remaining_clauses, cnf.clauses.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the pure literal rule.
+
+use proptest::prelude::*;
+
+use peel_sat::{pure_literal_parallel, pure_literal_rounds, Cnf};
+
+/// Arbitrary CNF over a small variable set; clauses of width 1–4 with
+/// distinct variables.
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    (4usize..=30).prop_flat_map(|num_vars| {
+        let clause = proptest::collection::vec(
+            (0u32..num_vars as u32, any::<bool>()),
+            1..=4usize.min(num_vars),
+        )
+        .prop_map(move |mut lits| {
+            // Repair duplicate variables inside a clause (shift modulo the
+            // variable count; clause width <= num_vars so this terminates).
+            for i in 0..lits.len() {
+                while lits[..i].iter().any(|&(v, _)| v == lits[i].0) {
+                    lits[i].0 = (lits[i].0 + 1) % num_vars as u32;
+                }
+            }
+            lits
+        });
+        proptest::collection::vec(clause, 0..60)
+            .prop_map(move |clauses| Cnf { num_vars, clauses })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Serial and parallel elimination agree on everything observable.
+    #[test]
+    fn parallel_matches_serial(cnf in arb_cnf()) {
+        let a = pure_literal_rounds(&cnf);
+        let b = pure_literal_parallel(&cnf);
+        prop_assert_eq!(a.satisfied_all, b.satisfied_all);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.remaining_clauses, b.remaining_clauses);
+        prop_assert_eq!(a.per_round, b.per_round);
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+
+    /// Every clause the rule eliminated is genuinely satisfied by the
+    /// produced partial assignment; when all clauses are eliminated the
+    /// assignment satisfies the formula.
+    #[test]
+    fn eliminated_clauses_are_satisfied(cnf in arb_cnf()) {
+        let out = pure_literal_rounds(&cnf);
+        let satisfied = cnf.clauses.iter().filter(|clause| {
+            clause.iter().any(|&(v, sign)| out.assignment[v as usize] == Some(sign))
+        }).count();
+        prop_assert_eq!(satisfied, cnf.clauses.len() - out.remaining_clauses);
+        if out.satisfied_all {
+            prop_assert!(cnf.is_satisfied_by(&out.assignment));
+        }
+        let removed: u64 = out.per_round.iter().sum();
+        prop_assert_eq!(removed as usize + out.remaining_clauses, cnf.clauses.len());
+    }
+
+    /// The fixpoint really is stuck: no pure literal exists among the
+    /// remaining clauses.
+    #[test]
+    fn fixpoint_has_no_pure_literal(cnf in arb_cnf()) {
+        let out = pure_literal_rounds(&cnf);
+        // Rebuild the residual formula.
+        let residual: Vec<&Vec<(u32, bool)>> = cnf.clauses.iter().filter(|clause| {
+            !clause.iter().any(|&(v, sign)| out.assignment[v as usize] == Some(sign))
+        }).collect();
+        let mut pos = vec![0u32; cnf.num_vars];
+        let mut neg = vec![0u32; cnf.num_vars];
+        for clause in &residual {
+            for &(v, sign) in clause.iter() {
+                if sign { pos[v as usize] += 1 } else { neg[v as usize] += 1 }
+            }
+        }
+        for v in 0..cnf.num_vars {
+            let pure = (pos[v] > 0 && neg[v] == 0) || (neg[v] > 0 && pos[v] == 0);
+            prop_assert!(!pure, "variable {} is still pure at the fixpoint", v);
+        }
+    }
+
+    /// Adding clauses can only hurt: the satisfied-all outcome is monotone
+    /// under clause removal (test by comparing a formula with its prefix).
+    #[test]
+    fn prefix_monotonicity(cnf in arb_cnf(), cut in 0usize..30) {
+        prop_assume!(!cnf.clauses.is_empty());
+        let cut = cut % cnf.clauses.len();
+        let prefix = Cnf {
+            num_vars: cnf.num_vars,
+            clauses: cnf.clauses[..cut].to_vec(),
+        };
+        let full = pure_literal_rounds(&cnf);
+        let pre = pure_literal_rounds(&prefix);
+        if full.satisfied_all {
+            prop_assert!(pre.satisfied_all,
+                "a satisfiable-by-purity formula has satisfiable prefixes");
+        }
+    }
+}

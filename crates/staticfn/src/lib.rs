@@ -1,0 +1,502 @@
+//! # peel-fn — XORSAT solving and static functions by peeling
+//!
+//! Two closely related constructions from the paper's application orbit
+//! ("hash-based sketches", Bloomier filters [4], XORSAT [6]):
+//!
+//! * [`XorSystem`] — a sparse linear system over GF(2)^64: each equation
+//!   XORs `r` variables to a 64-bit right-hand side. Peeling solves it in
+//!   linear time whenever the associated hypergraph (variables = vertices,
+//!   equations = edges) has an empty 2-core: repeatedly defer an equation
+//!   containing a degree-1 variable, then back-substitute in reverse.
+//! * [`StaticFunction`] — a Bloomier-filter-style immutable map
+//!   `key → u64`: each key hashes to `r` table cells (one per group) and
+//!   the stored value is the XOR of those cells. Construction is exactly an
+//!   [`XorSystem`] solve.
+//!
+//! ## Parallel construction
+//!
+//! The peeling schedule from `peel-core` groups equation *claims* by round.
+//! Within one round, all assignments are mutually independent:
+//!
+//! * the claiming variable `v` of equation `e` had degree 1 when peeled, so
+//!   `v` appears in no other equation removed in this or any later round —
+//!   nobody else writes `v`'s cell;
+//! * another equation `f` of the same round cannot read `v`'s cell, since
+//!   `v ∈ f` would have given `v` degree ≥ 2.
+//!
+//! Processing rounds in *reverse* order guarantees all cells an equation
+//! reads are final, so each reverse round runs as one `par_iter` — giving a
+//! parallel construction whose depth is the peeling round count,
+//! `O(log log n)` below the threshold (Theorem 1).
+//!
+//! ```
+//! use peel_fn::{StaticFunction, BuildOptions};
+//!
+//! let keys: Vec<u64> = (0..10_000u64).map(|i| i * 2 + 1).collect();
+//! let values: Vec<u64> = keys.iter().map(|k| k.wrapping_mul(31)).collect();
+//! let f = StaticFunction::build(&keys, &values, &BuildOptions::default()).unwrap();
+//! for (k, v) in keys.iter().zip(&values) {
+//!     assert_eq!(f.get(*k), *v);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use peel_core::parallel::{peel_parallel, ParallelOpts};
+use peel_core::sequential::peel_greedy;
+use peel_core::trace::UNPEELED;
+use peel_graph::HypergraphBuilder;
+
+/// The 64-bit SplitMix finalizer used for key→cell placement.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sparse XOR (GF(2)^64) linear system with uniform equation arity.
+#[derive(Debug, Clone)]
+pub struct XorSystem {
+    num_vars: usize,
+    arity: usize,
+    /// Flattened variable indices: equation `e` at `e*arity..(e+1)*arity`.
+    vars: Vec<u32>,
+    rhs: Vec<u64>,
+}
+
+/// Why an [`XorSystem`] solve (or a [`StaticFunction`] build) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The hypergraph has a non-empty 2-core: peeling cannot triangulate
+    /// the system. Contains the number of equations left in the core.
+    CoreNonEmpty {
+        /// Equations stuck in the 2-core.
+        core_equations: u64,
+    },
+    /// Construction retried `attempts` times without finding a peelable
+    /// hash seed.
+    AttemptsExhausted {
+        /// Number of attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::CoreNonEmpty { core_equations } => {
+                write!(f, "2-core is non-empty ({core_equations} equations stuck)")
+            }
+            SolveError::AttemptsExhausted { attempts } => {
+                write!(f, "no peelable seed found in {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl XorSystem {
+    /// Empty system over `num_vars` variables with `arity` variables per
+    /// equation.
+    pub fn new(num_vars: usize, arity: usize) -> Self {
+        assert!(arity >= 2);
+        XorSystem {
+            num_vars,
+            arity,
+            vars: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Add the equation `vars[0] ^ vars[1] ^ … = rhs`. Variables must be
+    /// distinct and in range.
+    pub fn push(&mut self, vars: &[u32], rhs: u64) {
+        assert_eq!(vars.len(), self.arity, "arity mismatch");
+        for (i, &v) in vars.iter().enumerate() {
+            assert!((v as usize) < self.num_vars, "variable out of range");
+            assert!(!vars[..i].contains(&v), "duplicate variable in equation");
+        }
+        self.vars.extend_from_slice(vars);
+        self.rhs.push(rhs);
+    }
+
+    /// Number of equations.
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// True when the system has no equations.
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// Check a candidate solution.
+    pub fn check(&self, solution: &[u64]) -> bool {
+        assert_eq!(solution.len(), self.num_vars);
+        self.vars
+            .chunks_exact(self.arity)
+            .zip(&self.rhs)
+            .all(|(vars, &rhs)| {
+                vars.iter().fold(0u64, |acc, &v| acc ^ solution[v as usize]) == rhs
+            })
+    }
+
+    /// Solve by sequential peeling + back-substitution.
+    pub fn solve(&self) -> Result<Vec<u64>, SolveError> {
+        let g = self.graph();
+        let out = peel_greedy(&g, 2);
+        if out.core_edges > 0 {
+            return Err(SolveError::CoreNonEmpty {
+                core_equations: out.core_edges,
+            });
+        }
+        let mut solution = vec![0u64; self.num_vars];
+        // Back-substitute in reverse peel order: when edge e was claimed by
+        // v, all other endpoints' cells are final by the time we reach it.
+        let mut claimed: Vec<(u32, u32)> = out
+            .edge_killer
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != UNPEELED)
+            .map(|(e, _)| (out.edge_kill_pos[e], e as u32))
+            .collect();
+        claimed.sort_unstable(); // by peel position
+        for &(_, e) in claimed.iter().rev() {
+            let v = out.edge_killer[e as usize];
+            let base = e as usize * self.arity;
+            let mut acc = self.rhs[e as usize];
+            for &w in &self.vars[base..base + self.arity] {
+                if w != v {
+                    acc ^= solution[w as usize];
+                }
+            }
+            solution[v as usize] = acc;
+        }
+        debug_assert!(self.check(&solution));
+        Ok(solution)
+    }
+
+    /// Solve with parallel peeling and parallel per-round back-substitution
+    /// (see the crate docs for the independence argument).
+    pub fn solve_parallel(&self) -> Result<Vec<u64>, SolveError> {
+        let g = self.graph();
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        if out.core_edges > 0 {
+            return Err(SolveError::CoreNonEmpty {
+                core_equations: out.core_edges,
+            });
+        }
+        let solution: Vec<AtomicU64> = (0..self.num_vars).map(|_| AtomicU64::new(0)).collect();
+        let schedule = out.claims_by_round();
+        for round in schedule.iter().rev() {
+            round.par_iter().for_each(|&(e, v)| {
+                let base = e as usize * self.arity;
+                let mut acc = self.rhs[e as usize];
+                for &w in &self.vars[base..base + self.arity] {
+                    if w != v {
+                        acc ^= solution[w as usize].load(Relaxed);
+                    }
+                }
+                solution[v as usize].store(acc, Relaxed);
+            });
+        }
+        let solution: Vec<u64> = solution.into_iter().map(|a| a.into_inner()).collect();
+        debug_assert!(self.check(&solution));
+        Ok(solution)
+    }
+
+    fn graph(&self) -> peel_graph::Hypergraph {
+        let mut b = HypergraphBuilder::new(self.num_vars, self.arity)
+            .with_capacity(self.len())
+            .skip_distinct_check();
+        b.push_flat(&self.vars);
+        b.build().expect("validated on push")
+    }
+}
+
+/// Options for [`StaticFunction::build`].
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Hash functions / cell groups per key (default 3).
+    pub hashes: usize,
+    /// Table cells per key (default 1.30 — load ≈ 0.77, safely below
+    /// `c*_{2,3} ≈ 0.818`).
+    pub cells_per_key: f64,
+    /// Hash-seed retry budget when the 2-core is non-empty (default 16).
+    pub max_attempts: u32,
+    /// Use the parallel peeler + parallel assignment (default true).
+    pub parallel: bool,
+    /// Base hash seed.
+    pub seed: u64,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            hashes: 3,
+            cells_per_key: 1.30,
+            max_attempts: 16,
+            parallel: true,
+            seed: 0x5eed_f00d,
+        }
+    }
+}
+
+/// An immutable `u64 → u64` map built by peeling (Bloomier-filter style).
+///
+/// Lookups XOR `r` cells: `O(1)` time, no branches, ~`1.3·8` bytes/key at
+/// the default load. Querying a key that was **not** in the build set
+/// returns an arbitrary value — add a fingerprint to values if membership
+/// matters (classic Bloomier trade-off).
+#[derive(Debug, Clone)]
+pub struct StaticFunction {
+    group_size: usize,
+    hashes: usize,
+    group_seeds: Vec<u64>,
+    cells: Vec<u64>,
+}
+
+impl StaticFunction {
+    /// Build the function mapping `keys[i] → values[i]`.
+    ///
+    /// Keys must be distinct. Retries with derived seeds if the hash graph
+    /// has a non-empty 2-core (probability `O(1)` per attempt at the
+    /// default load, so failures are essentially impossible within the
+    /// default 16 attempts unless keys repeat).
+    pub fn build(
+        keys: &[u64],
+        values: &[u64],
+        opts: &BuildOptions,
+    ) -> Result<Self, SolveError> {
+        assert_eq!(keys.len(), values.len());
+        assert!(opts.hashes >= 2);
+        let total_cells =
+            ((keys.len() as f64 * opts.cells_per_key).ceil() as usize).max(opts.hashes);
+        // Floor the group size: with just a handful of cells per group,
+        // distinct keys collide on *all* r cells with non-negligible
+        // probability (a guaranteed-unpeelable duplicate edge), so tiny key
+        // sets would exhaust every retry. A few spare cells make that
+        // probability negligible and cost nothing in absolute terms.
+        let group_size = total_cells.div_ceil(opts.hashes).max(8);
+
+        for attempt in 0..opts.max_attempts {
+            let seed = mix64(opts.seed ^ mix64(attempt as u64));
+            let group_seeds: Vec<u64> = (0..opts.hashes)
+                .map(|j| mix64(seed ^ mix64(j as u64 + 1)))
+                .collect();
+
+            let mut sys = XorSystem::new(opts.hashes * group_size, opts.hashes);
+            let mut eq = vec![0u32; opts.hashes];
+            for (&k, &v) in keys.iter().zip(values) {
+                for (j, slot) in eq.iter_mut().enumerate() {
+                    *slot = cell_index(&group_seeds, group_size, j, k) as u32;
+                }
+                sys.push(&eq, v);
+            }
+
+            let solved = if opts.parallel {
+                sys.solve_parallel()
+            } else {
+                sys.solve()
+            };
+            match solved {
+                Ok(cells) => {
+                    return Ok(StaticFunction {
+                        group_size,
+                        hashes: opts.hashes,
+                        group_seeds,
+                        cells,
+                    })
+                }
+                Err(SolveError::CoreNonEmpty { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(SolveError::AttemptsExhausted {
+            attempts: opts.max_attempts,
+        })
+    }
+
+    /// Look up a key from the build set. Keys outside the build set return
+    /// arbitrary values.
+    #[inline]
+    pub fn get(&self, key: u64) -> u64 {
+        let mut acc = 0u64;
+        for j in 0..self.hashes {
+            acc ^= self.cells[cell_index(&self.group_seeds, self.group_size, j, key)];
+        }
+        acc
+    }
+
+    /// Total number of table cells.
+    pub fn table_size(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Bits of table storage per built key (space accounting helper).
+    pub fn bits_per_key(&self, num_keys: usize) -> f64 {
+        (self.cells.len() * 64) as f64 / num_keys as f64
+    }
+}
+
+#[inline]
+fn cell_index(group_seeds: &[u64], group_size: usize, j: usize, key: u64) -> usize {
+    let h = mix64(key ^ group_seeds[j]);
+    j * group_size + ((h as u128 * group_size as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_system() -> XorSystem {
+        // vars 0..5; a peelable chain of equations.
+        let mut s = XorSystem::new(5, 2);
+        s.push(&[0, 1], 0xa);
+        s.push(&[1, 2], 0xb);
+        s.push(&[2, 3], 0xc);
+        s.push(&[3, 4], 0xd);
+        s
+    }
+
+    #[test]
+    fn solves_chain_system() {
+        let s = demo_system();
+        let sol = s.solve().unwrap();
+        assert!(s.check(&sol));
+        let par = s.solve_parallel().unwrap();
+        assert!(s.check(&par));
+    }
+
+    #[test]
+    fn detects_unpeelable_core() {
+        // Triangle: x0^x1, x1^x2, x2^x0 — 2-core non-empty.
+        let mut s = XorSystem::new(3, 2);
+        s.push(&[0, 1], 1);
+        s.push(&[1, 2], 2);
+        s.push(&[2, 0], 3);
+        match s.solve() {
+            Err(SolveError::CoreNonEmpty { core_equations }) => {
+                assert_eq!(core_equations, 3)
+            }
+            other => panic!("expected core failure, got {other:?}"),
+        }
+        assert!(s.solve_parallel().is_err());
+    }
+
+    #[test]
+    fn random_sparse_system_solves() {
+        // 3-ary random system at density 0.7 < c*_{2,3} ≈ 0.818.
+        use peel_graph::models::Gnm;
+        use peel_graph::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::new(31);
+        let n = 20_000;
+        let g = Gnm::new(n, 0.7, 3).sample(&mut rng);
+        let mut s = XorSystem::new(n, 3);
+        for (e, vs) in g.edges() {
+            s.push(vs, mix64(e as u64));
+        }
+        let sol = s.solve().unwrap();
+        assert!(s.check(&sol));
+        let par = s.solve_parallel().unwrap();
+        assert!(s.check(&par));
+    }
+
+    #[test]
+    fn empty_system_is_trivial() {
+        let s = XorSystem::new(10, 3);
+        assert!(s.is_empty());
+        let sol = s.solve().unwrap();
+        assert_eq!(sol, vec![0u64; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_vars() {
+        let mut s = XorSystem::new(4, 3);
+        s.push(&[0, 1, 0], 7);
+    }
+
+    #[test]
+    fn static_function_roundtrip() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 977 + 13).collect();
+        let values: Vec<u64> = keys.iter().map(|&k| mix64(k)).collect();
+        let f = StaticFunction::build(&keys, &values, &BuildOptions::default()).unwrap();
+        for (k, v) in keys.iter().zip(&values) {
+            assert_eq!(f.get(*k), *v, "key {k}");
+        }
+        // Space accounting: ~1.3 cells/key × 64 bits.
+        let bpk = f.bits_per_key(keys.len());
+        assert!(bpk < 64.0 * 1.4, "bits/key {bpk}");
+    }
+
+    #[test]
+    fn static_function_serial_build_matches() {
+        let keys: Vec<u64> = (0..2_000u64).map(|i| mix64(i)).collect();
+        let values: Vec<u64> = keys.iter().map(|&k| k.rotate_left(17)).collect();
+        let serial = StaticFunction::build(
+            &keys,
+            &values,
+            &BuildOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (k, v) in keys.iter().zip(&values) {
+            assert_eq!(serial.get(*k), *v);
+        }
+    }
+
+    #[test]
+    fn static_function_r4_works() {
+        let keys: Vec<u64> = (0..3_000u64).map(|i| i ^ 0xf00d).collect();
+        let values: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let opts = BuildOptions {
+            hashes: 4,
+            cells_per_key: 1.35, // load ~0.74 < c*_{2,4} ≈ 0.772
+            ..Default::default()
+        };
+        let f = StaticFunction::build(&keys, &values, &opts).unwrap();
+        for (k, v) in keys.iter().zip(&values) {
+            assert_eq!(f.get(*k), *v);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_exhaust_attempts() {
+        // Two copies of one key form an unpeelable duplicate edge pair...
+        // actually two identical edges each of multiplicity 1 in the graph
+        // give every endpoint degree 2 — a 2-core — so every seed fails.
+        let keys = vec![42u64, 42];
+        let values = vec![1u64, 2];
+        let opts = BuildOptions {
+            max_attempts: 4,
+            ..Default::default()
+        };
+        match StaticFunction::build(&keys, &values, &opts) {
+            Err(SolveError::AttemptsExhausted { attempts }) => assert_eq!(attempts, 4),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overloaded_table_fails_then_bigger_succeeds() {
+        let keys: Vec<u64> = (0..1_000u64).map(|i| mix64(i ^ 99)).collect();
+        let values = vec![7u64; 1_000];
+        let tight = BuildOptions {
+            cells_per_key: 1.05, // load ~0.95 ≫ threshold
+            max_attempts: 3,
+            ..Default::default()
+        };
+        assert!(StaticFunction::build(&keys, &values, &tight).is_err());
+        let roomy = BuildOptions::default();
+        assert!(StaticFunction::build(&keys, &values, &roomy).is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for XORSAT solving and static functions.
+
+use proptest::prelude::*;
+
+use peel_fn::{BuildOptions, StaticFunction, XorSystem};
+
+/// Random uniform-arity XOR system over a small variable set, sparse enough
+/// that many instances peel completely.
+fn arb_system() -> impl Strategy<Value = XorSystem> {
+    (2usize..=4, 6usize..=40).prop_flat_map(|(arity, nvars)| {
+        let max_eqs = nvars; // density <= 1
+        proptest::collection::vec(
+            (proptest::collection::vec(0u32..nvars as u32, arity), any::<u64>()),
+            0..max_eqs,
+        )
+        .prop_map(move |rows| {
+            let mut sys = XorSystem::new(nvars, arity);
+            for (mut vars, rhs) in rows {
+                // Repair duplicates deterministically.
+                for i in 0..vars.len() {
+                    while vars[..i].contains(&vars[i]) {
+                        vars[i] = (vars[i] + 1) % nvars as u32;
+                    }
+                }
+                sys.push(&vars, rhs);
+            }
+            sys
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever the solver returns a solution, it satisfies the system;
+    /// serial and parallel agree on solvability.
+    #[test]
+    fn solutions_always_check(sys in arb_system()) {
+        let serial = sys.solve();
+        let parallel = sys.solve_parallel();
+        prop_assert_eq!(serial.is_ok(), parallel.is_ok(),
+            "solvers disagree on feasibility-by-peeling");
+        if let Ok(sol) = serial {
+            prop_assert!(sys.check(&sol));
+        }
+        if let Ok(sol) = parallel {
+            prop_assert!(sys.check(&sol));
+        }
+    }
+
+    /// A built static function answers every build key correctly — for any
+    /// key set (dedup'd) and any values.
+    #[test]
+    fn static_function_total_correctness(
+        pairs in proptest::collection::btree_map(any::<u64>(), any::<u64>(), 1..200),
+        hashes in 3usize..=4,
+    ) {
+        let keys: Vec<u64> = pairs.keys().copied().collect();
+        let values: Vec<u64> = pairs.values().copied().collect();
+        let opts = BuildOptions {
+            hashes,
+            cells_per_key: 1.5, // roomy: build failures become negligible
+            max_attempts: 24,
+            ..Default::default()
+        };
+        let f = StaticFunction::build(&keys, &values, &opts);
+        // With 24 attempts at load 2/3 this essentially cannot fail; treat
+        // failure as a bug rather than discarding the case.
+        let f = f.expect("build should succeed at this load");
+        for (k, v) in pairs {
+            prop_assert_eq!(f.get(k), v);
+        }
+    }
+
+    /// Serial and parallel builds produce functionally identical tables.
+    #[test]
+    fn serial_and_parallel_builds_agree(
+        keys in proptest::collection::btree_set(any::<u64>(), 1..120),
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let values: Vec<u64> = keys.iter().map(|k| k.wrapping_mul(3)).collect();
+        for parallel in [false, true] {
+            let opts = BuildOptions { parallel, cells_per_key: 1.5, max_attempts: 24, ..Default::default() };
+            let f = StaticFunction::build(&keys, &values, &opts).expect("build");
+            for (k, v) in keys.iter().zip(&values) {
+                prop_assert_eq!(f.get(*k), *v);
+            }
+        }
+    }
+}

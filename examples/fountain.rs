@@ -1,0 +1,54 @@
+//! Rateless transmission with an LT fountain code, plus Biff-code error
+//! correction — two more faces of peeling (paper refs [14], [17]).
+//!
+//! ```sh
+//! cargo run --release --example fountain
+//! ```
+
+use parallel_peeling::codes::{BiffCode, LtCode};
+
+fn main() {
+    // --- LT fountain: decode from ANY sufficiently large symbol subset ---
+    let k = 20_000usize;
+    let code = LtCode::new(k, 99);
+    let message: Vec<u64> = (0..k as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+
+    // The sender streams symbols forever; the receiver catches an arbitrary
+    // window of them.
+    let stream = code.encode_block(&message, 2 * k);
+    let window = &stream[3_000..3_000 + (k as f64 * 1.18) as usize];
+    let (decoded, out) = code.par_decode(window);
+    println!(
+        "LT fountain: {} symbols caught (overhead {:.1}%), complete = {}, {} parallel rounds",
+        window.len(),
+        100.0 * (window.len() as f64 / k as f64 - 1.0),
+        out.complete,
+        out.rounds
+    );
+    assert!(out.complete);
+    assert!(decoded.iter().zip(&message).all(|(d, w)| d.unwrap() == *w));
+
+    // --- Biff code: correct substitution errors with an O(t) sketch ------
+    let n = 500_000usize;
+    let original: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let biff = BiffCode::new(128, 7);
+    let sketch = biff.sketch(&original);
+    println!(
+        "\nBiff code: {n}-symbol message, sketch = {} cells (message-size independent)",
+        biff.sketch_cells()
+    );
+
+    let mut corrupted = original.clone();
+    for e in 0..100usize {
+        corrupted[e * 4_999 + 11] ^= 0x5a5a_5a5a;
+    }
+    let out = biff.correct(&mut corrupted, &sketch);
+    println!(
+        "corrected {} corrupted symbols, complete = {}",
+        out.corrected.len(),
+        out.complete
+    );
+    assert!(out.complete);
+    assert_eq!(corrupted, original);
+    println!("message restored exactly");
+}

@@ -1,0 +1,38 @@
+//! The pure literal rule on random 3-CNF as a parallel peeling process:
+//! below the pure-literal threshold density the formula empties in a
+//! handful of rounds; above it the process stalls at a positive "core" of
+//! clauses.
+//!
+//! ```sh
+//! cargo run --release --example pure_literals
+//! ```
+
+use parallel_peeling::graph::rng::Xoshiro256StarStar;
+use parallel_peeling::sat::{pure_literal_parallel, random_kcnf};
+
+fn main() {
+    let n_vars = 200_000usize;
+    println!("random 3-CNF over {n_vars} variables, parallel pure-literal elimination\n");
+    println!(
+        "{:>8} {:>9} {:>8} {:>12} {:>10}",
+        "density", "clauses", "rounds", "eliminated", "satisfied"
+    );
+    for density in [0.8f64, 1.2, 1.5, 1.7, 2.0, 2.5] {
+        let m = (density * n_vars as f64) as usize;
+        let cnf = random_kcnf(n_vars, m, 3, &mut Xoshiro256StarStar::new(17));
+        let out = pure_literal_parallel(&cnf);
+        if out.satisfied_all {
+            assert!(cnf.is_satisfied_by(&out.assignment));
+        }
+        println!(
+            "{:>8.1} {:>9} {:>8} {:>12} {:>10}",
+            density,
+            m,
+            out.rounds,
+            m - out.remaining_clauses,
+            out.satisfied_all
+        );
+    }
+    println!("\nthe pure-literal threshold for random 3-SAT sits near density ~1.63;");
+    println!("below it rounds stay ~log log n, above it a clause core survives");
+}

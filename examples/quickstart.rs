@@ -1,0 +1,49 @@
+//! Quickstart: peel a random hypergraph in parallel and compare against the
+//! paper's theory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use parallel_peeling::analysis::{self, c_star, predicted_rounds_below, Idealized};
+use parallel_peeling::core::{peel_parallel, ParallelOpts};
+use parallel_peeling::graph::models::Gnm;
+use parallel_peeling::graph::rng::SplitMix64;
+
+fn main() {
+    let (k, r, n) = (2u32, 4usize, 500_000usize);
+    let c = 0.70;
+    let threshold = c_star(k, r as u32).unwrap();
+    println!("k = {k}, r = {r}, n = {n}, edge density c = {c}");
+    println!("threshold c*_(k,r) = {threshold:.5} -> we are {} it", if c < threshold { "below" } else { "above" });
+
+    // Sample G^r_(n,cn) and peel it with synchronous parallel rounds.
+    let g = Gnm::new(n, c, r).sample(&mut SplitMix64::new(2014));
+    let out = peel_parallel(&g, k, &ParallelOpts::default());
+
+    println!("\npeeling {} edges over {} vertices:", g.num_edges(), n);
+    println!("  success (empty {k}-core): {}", out.success());
+    println!("  rounds used:              {}", out.rounds);
+    println!(
+        "  Theorem 1 leading term:   {:.2} (log log n / log((k-1)(r-1)))",
+        predicted_rounds_below(k, r as u32, n as f64)
+    );
+    println!(
+        "  recurrence rounds:        {:?} (idealized model, same n)",
+        Idealized::new(k, r as u32, c).rounds_to_empty(n as u64, 200)
+    );
+
+    // Per-round survivors vs the idealized prediction (Table 2 style).
+    let predictions = Idealized::new(k, r as u32, c).survivor_predictions(n as u64, out.rounds);
+    println!("\n  round | unpeeled (measured) | lambda_t*n (predicted)");
+    for (stats, pred) in out.trace.iter().zip(predictions) {
+        println!(
+            "  {:>5} | {:>19} | {:>21.1}",
+            stats.round, stats.unpeeled_vertices, pred
+        );
+    }
+
+    // What would happen above the threshold?
+    let above = analysis::fixedpoint::core_size_prediction(k, r as u32, 0.85, n as u64);
+    println!("\nat c = 0.85 (above threshold) the 2-core would hold ~{above:.0} vertices");
+}

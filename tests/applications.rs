@@ -1,0 +1,196 @@
+//! Integration tests across the application crates: the same peeling theory
+//! governs IBLTs, erasure codes, static functions, and the pure literal
+//! rule.
+
+use parallel_peeling::analysis::{c_star, predicted_subrounds_below, SubtableRecurrence};
+use parallel_peeling::codes::{PeelingCode, Symbol};
+use parallel_peeling::graph::rng::Xoshiro256StarStar;
+use parallel_peeling::iblt::{reconcile, AtomicIblt, Iblt, IbltConfig};
+use parallel_peeling::staticfn::{BuildOptions, StaticFunction};
+use rand::RngCore;
+
+/// IBLT recovery subrounds match the Appendix-B recurrence prediction.
+#[test]
+fn iblt_subrounds_match_subtable_recurrence() {
+    let (r, load) = (4usize, 0.70f64);
+    let cfg = IbltConfig::with_total_cells(r, 120_000, 9);
+    let items = (load * cfg.total_cells() as f64) as usize;
+    let mut rng = Xoshiro256StarStar::new(31);
+    let keys: Vec<u64> = (0..items).map(|_| rng.next_u64()).collect();
+    let t = AtomicIblt::new(cfg);
+    t.par_insert(&keys);
+    let out = t.par_recover();
+    assert!(out.complete);
+
+    let predicted = SubtableRecurrence::new(2, r as u32, load)
+        .subrounds_to_empty(cfg.total_cells() as u64, 500)
+        .unwrap();
+    // Accounting note: the recurrence predicts when the last *vertex* is
+    // peeled, but IBLT recovery stops when the last *key* (edge) is
+    // extracted; newly empty (degree-0) cells peel up to ~r subrounds after
+    // the last key, so the key-accounted measurement runs a few subrounds
+    // shorter.
+    let diff = predicted as i64 - out.subrounds as i64;
+    assert!(
+        (-2..=(r as i64 + 2)).contains(&diff),
+        "measured {} vs recurrence {predicted} subrounds",
+        out.subrounds
+    );
+    // And the closed-form Theorem 7 leading term is in the same ballpark.
+    let closed_form = predicted_subrounds_below(2, r as u32, cfg.total_cells() as f64);
+    assert!(
+        (out.subrounds as f64) < closed_form * 20.0,
+        "sanity: measured {} ≪ huge multiple of leading term {closed_form:.1}",
+        out.subrounds
+    );
+}
+
+/// The IBLT decodes iff the load is below c*_{2,r} — the same threshold
+/// that rules the erasure code and the static function.
+#[test]
+fn one_threshold_rules_all_applications() {
+    let r = 3usize;
+    let threshold = c_star(2, r as u32).unwrap(); // ≈ 0.818
+    let below = threshold - 0.06;
+    let above = threshold + 0.06;
+
+    // IBLT.
+    let cfg = IbltConfig::with_total_cells(r, 30_000, 1);
+    for (load, expect) in [(below, true), (above, false)] {
+        let items = (load * cfg.total_cells() as f64) as usize;
+        let mut rng = Xoshiro256StarStar::new(2);
+        let t = AtomicIblt::new(cfg);
+        let keys: Vec<u64> = (0..items).map(|_| rng.next_u64()).collect();
+        t.par_insert(&keys);
+        assert_eq!(t.par_recover().complete, expect, "IBLT at load {load}");
+    }
+
+    // Erasure code: erased-symbol / check-cell ratio plays the role of load.
+    let code = PeelingCode::new(30_000, 30_000, r, 3);
+    let message: Vec<u64> = (0..30_000u64).collect();
+    let checks = code.encode(&message);
+    let rx_checks: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+    for (load, expect) in [(below, true), (above, false)] {
+        let erased = (load * code.check_cells() as f64) as usize;
+        let mut rx: Vec<Symbol> = message.iter().map(|&s| Some(s)).collect();
+        for slot in rx.iter_mut().take(erased) {
+            *slot = None;
+        }
+        let out = code.par_decode(&mut rx, &rx_checks);
+        assert_eq!(out.complete, expect, "code at load {load}");
+    }
+
+    // Static function: cells_per_key = 1/load.
+    let keys: Vec<u64> = (0..20_000u64).map(|i| i * 7 + 1).collect();
+    let values: Vec<u64> = keys.iter().map(|&k| k ^ 0xdead).collect();
+    for (load, expect) in [(below, true), (above, false)] {
+        let opts = BuildOptions {
+            hashes: r,
+            cells_per_key: 1.0 / load,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let got = StaticFunction::build(&keys, &values, &opts);
+        assert_eq!(got.is_ok(), expect, "staticfn at load {load}");
+    }
+}
+
+/// End-to-end "what's the difference" workflow across serial/parallel IBLT
+/// representations.
+#[test]
+fn reconciliation_roundtrip_through_parallel_tables() {
+    let cfg = IbltConfig::for_load(4, 128, 0.6, 77);
+    let shared: Vec<u64> = (0..50_000u64).map(|i| i * 3).collect();
+
+    // Build both sides in parallel, convert to serial for "the wire".
+    let a = AtomicIblt::new(cfg);
+    a.par_insert(&shared);
+    a.insert(0xaaaa_0001);
+    a.insert(0xaaaa_0002);
+    let b = AtomicIblt::new(cfg);
+    b.par_insert(&shared);
+    b.insert(0xbbbb_0001);
+
+    let diff = reconcile(&a.to_serial(), &b.to_serial());
+    assert!(diff.complete);
+    assert_eq!(diff.only_in_a, vec![0xaaaa_0001, 0xaaaa_0002]);
+    assert_eq!(diff.only_in_b, vec![0xbbbb_0001]);
+}
+
+/// Codes and IBLT agree on recovery fraction above the threshold: both are
+/// governed by the same 2-core size.
+#[test]
+fn partial_recovery_fractions_are_consistent() {
+    let r = 4usize;
+    let load = 0.83f64;
+    let n_cells = 40_000usize;
+
+    // IBLT % recovered at load 0.83 (paper Table 4: ≈ 24.6%).
+    let cfg = IbltConfig::with_total_cells(r, n_cells, 5);
+    let items = (load * cfg.total_cells() as f64) as usize;
+    let mut rng = Xoshiro256StarStar::new(6);
+    let keys: Vec<u64> = (0..items).map(|_| rng.next_u64()).collect();
+    let t = AtomicIblt::new(cfg);
+    t.par_insert(&keys);
+    let out = t.par_recover();
+    assert!(!out.complete);
+    let iblt_frac = out.positive.len() as f64 / items as f64;
+    assert!(
+        (iblt_frac - 0.246).abs() < 0.04,
+        "IBLT recovered fraction {iblt_frac} (paper: ≈0.246)"
+    );
+
+    // Erasure code at the same effective load recovers a similar fraction.
+    let code = PeelingCode::new(items, n_cells, r, 7);
+    let message: Vec<u64> = (0..items as u64).collect();
+    let checks = code.encode(&message);
+    let mut rx: Vec<Symbol> = vec![None; items]; // erase everything
+    let rx_checks: Vec<Symbol> = checks.iter().map(|&c| Some(c)).collect();
+    let dec = code.par_decode(&mut rx, &rx_checks);
+    assert!(!dec.complete);
+    let code_frac = dec.recovered as f64 / items as f64;
+    assert!(
+        (code_frac - iblt_frac).abs() < 0.05,
+        "code fraction {code_frac} vs IBLT fraction {iblt_frac}"
+    );
+}
+
+/// Serial and parallel recovery find the same keys even under duplicate
+/// inserts and interleaved deletes (failure-injection style).
+#[test]
+fn recovery_robust_to_messy_update_sequences() {
+    let cfg = IbltConfig::for_load(3, 500, 0.5, 13);
+    let mut serial = Iblt::new(cfg);
+    let atomic = AtomicIblt::new(cfg);
+
+    // Messy sequence: inserts, duplicate inserts, deletes of absent keys.
+    let mut expect_positive: Vec<u64> = Vec::new();
+    let mut expect_negative: Vec<u64> = Vec::new();
+    for i in 0..200u64 {
+        serial.insert(i);
+        atomic.insert(i);
+        expect_positive.push(i);
+    }
+    for i in 500..520u64 {
+        serial.delete(i);
+        atomic.delete(i);
+        expect_negative.push(i);
+    }
+    // insert+delete pairs cancel.
+    for i in 900..950u64 {
+        serial.insert(i);
+        serial.delete(i);
+        atomic.insert(i);
+        atomic.delete(i);
+    }
+
+    let s = serial.recover();
+    let p = atomic.par_recover();
+    for out in [(s.positive, s.negative), (p.positive, p.negative)] {
+        let (mut pos, mut neg) = out;
+        pos.sort_unstable();
+        neg.sort_unstable();
+        assert_eq!(pos, expect_positive);
+        assert_eq!(neg, expect_negative);
+    }
+}

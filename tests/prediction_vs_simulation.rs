@@ -1,0 +1,155 @@
+//! Integration tests tying `peel-analysis` (theory) to `peel-graph` +
+//! `peel-core` (simulation): the paper's central claim that the idealized
+//! recurrences predict the real peeling process.
+
+use parallel_peeling::analysis::{c_star, Idealized, SubtableRecurrence};
+use parallel_peeling::core::{
+    peel_parallel, peel_subtables, ParallelOpts, SubtableOpts,
+};
+use parallel_peeling::graph::models::{Gnm, Partitioned};
+use parallel_peeling::graph::rng::Xoshiro256StarStar;
+
+const N: usize = 120_000;
+
+/// Table 2's phenomenon: measured survivors track λ_t·n within sampling
+/// error, below the threshold.
+#[test]
+fn recurrence_predicts_survivors_below_threshold() {
+    let (k, r, c) = (2u32, 4usize, 0.70);
+    let g = Gnm::new(N, c, r).sample(&mut Xoshiro256StarStar::new(1));
+    let out = peel_parallel(&g, k, &ParallelOpts::default());
+    assert!(out.success());
+    let preds = Idealized::new(k, r as u32, c).survivor_predictions(N as u64, out.rounds);
+    for (stats, pred) in out.trace.iter().zip(preds) {
+        // Generous tolerance: fluctuation scale is ~sqrt(n) ≈ 350, plus the
+        // late rounds where counts are tiny.
+        let tol = 6.0 * (N as f64).sqrt() + 0.05 * pred;
+        assert!(
+            (stats.unpeeled_vertices as f64 - pred).abs() < tol,
+            "round {}: measured {} vs predicted {pred:.0}",
+            stats.round,
+            stats.unpeeled_vertices
+        );
+    }
+}
+
+/// Above the threshold, the measured core matches the fixed-point λ·n.
+#[test]
+fn recurrence_predicts_core_above_threshold() {
+    let (k, r, c) = (2u32, 4usize, 0.85);
+    let g = Gnm::new(N, c, r).sample(&mut Xoshiro256StarStar::new(2));
+    let out = peel_parallel(&g, k, &ParallelOpts::default());
+    assert!(!out.success());
+    let predicted =
+        parallel_peeling::analysis::fixedpoint::core_size_prediction(k, r as u32, c, N as u64);
+    let tol = 8.0 * (N as f64).sqrt();
+    assert!(
+        (out.core_vertices as f64 - predicted).abs() < tol,
+        "core {} vs predicted {predicted:.0}",
+        out.core_vertices
+    );
+}
+
+/// Table 6's phenomenon: the subtable recurrence predicts per-subround
+/// survivors on partitioned graphs.
+#[test]
+fn subtable_recurrence_predicts_survivors() {
+    let (k, r, c) = (2u32, 4usize, 0.70);
+    let g = Partitioned::new(N, c, r).sample(&mut Xoshiro256StarStar::new(3));
+    let out = peel_subtables(&g, k, &SubtableOpts::default());
+    assert!(out.success());
+    let steps = SubtableRecurrence::new(k, r as u32, c).steps(out.rounds);
+    for stats in &out.trace {
+        let step = &steps[(stats.subround - 1) as usize];
+        let pred = step.lambda_prime * N as f64;
+        let tol = 6.0 * (N as f64).sqrt() + 0.05 * pred;
+        assert!(
+            (stats.unpeeled_vertices as f64 - pred).abs() < tol,
+            "subround {}: measured {} vs predicted {pred:.0}",
+            stats.subround,
+            stats.unpeeled_vertices
+        );
+    }
+}
+
+/// The threshold itself separates success from failure at moderate n.
+#[test]
+fn threshold_separates_success_and_failure() {
+    let threshold = c_star(2, 4).unwrap();
+    for (c, expect_success) in [(threshold - 0.05, true), (threshold + 0.05, false)] {
+        let g = Gnm::new(60_000, c, 4).sample(&mut Xoshiro256StarStar::new(4));
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        assert_eq!(
+            out.success(),
+            expect_success,
+            "c = {c} vs threshold {threshold}"
+        );
+    }
+}
+
+/// Round growth: below threshold rounds barely move with n; above threshold
+/// they grow roughly linearly in log n (Theorems 1 and 3).
+#[test]
+fn round_scaling_below_vs_above() {
+    let sizes = [20_000usize, 80_000, 320_000];
+    let mut below = Vec::new();
+    let mut above = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let g = Gnm::new(n, 0.70, 4).sample(&mut Xoshiro256StarStar::new(10 + i as u64));
+        below.push(peel_parallel(&g, 2, &ParallelOpts::default()).rounds as f64);
+        let g = Gnm::new(n, 0.85, 4).sample(&mut Xoshiro256StarStar::new(20 + i as u64));
+        above.push(peel_parallel(&g, 2, &ParallelOpts::default()).rounds as f64);
+    }
+    // 16x growth in n: below-threshold rounds move by at most ~2;
+    // above-threshold rounds increase by at least ~2 (≈1 per doubling of
+    // log n per Table 1).
+    assert!(
+        below[2] - below[0] <= 2.0,
+        "below threshold rounds grew too fast: {below:?}"
+    );
+    assert!(
+        above[2] - above[0] >= 2.0,
+        "above threshold rounds should grow with log n: {above:?}"
+    );
+}
+
+/// Above the threshold the 2-core residue is one giant connected component
+/// (Section 4's regime); extract it with the components utility and check.
+#[test]
+fn core_residue_is_a_giant_component() {
+    use parallel_peeling::graph::{edge_subgraph, Components};
+    let g = Gnm::new(60_000, 0.85, 4).sample(&mut Xoshiro256StarStar::new(77));
+    let out = peel_parallel(&g, 2, &ParallelOpts::default());
+    assert!(!out.success());
+    let core = edge_subgraph(&g, |e| {
+        out.edge_kill_round[e as usize] == parallel_peeling::core::UNPEELED
+    });
+    assert_eq!(core.num_edges() as u64, out.core_edges);
+    let comps = Components::compute(&core);
+    // The giant component holds (almost) all core vertices.
+    assert!(
+        comps.largest() as f64 > 0.99 * out.core_vertices as f64,
+        "largest component {} vs core {}",
+        comps.largest(),
+        out.core_vertices
+    );
+}
+
+/// The branching-process Monte Carlo simulator (independent implementation)
+/// agrees with the closed-form recurrence.
+#[test]
+fn branching_process_validates_recurrence() {
+    use parallel_peeling::graph::branching::BranchingProcess;
+    let (k, r, c) = (2u32, 4u32, 0.70);
+    let lambda = Idealized::new(k, r, c).lambda_series(4);
+    let bp = BranchingProcess::new(k, r, c);
+    let mut rng = Xoshiro256StarStar::new(5);
+    for (t, &lam) in lambda.iter().enumerate() {
+        let est = bp.estimate_lambda(&mut rng, t as u32 + 1, 40_000);
+        assert!(
+            (est - lam).abs() < 0.015,
+            "λ_{}: Monte Carlo {est} vs recurrence {lam}",
+            t + 1
+        );
+    }
+}
