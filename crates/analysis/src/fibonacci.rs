@@ -47,10 +47,8 @@ pub fn fibonacci_growth_rate(m: u32) -> f64 {
 /// `m − 1` ones (the paper's convention in Appendix B).
 pub fn fibonacci_sequence(m: u32, len: usize) -> Vec<u128> {
     let m = m as usize;
-    let mut seq: Vec<u128> = Vec::with_capacity(len);
-    for _ in 0..(m - 1).min(len) {
-        seq.push(1);
-    }
+    let mut seq: Vec<u128> = vec![1; (m - 1).min(len)];
+    seq.reserve(len - seq.len());
     while seq.len() < len {
         let start = seq.len().saturating_sub(m);
         let next: u128 = seq[start..].iter().sum();

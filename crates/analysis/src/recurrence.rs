@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn iterator_interface_agrees_with_series() {
-        let a: Vec<f64> = Idealized::new(3, 3, 1.2).take(8).map(|s| s.lambda).collect();
+        let a: Vec<f64> = Idealized::new(3, 3, 1.2)
+            .take(8)
+            .map(|s| s.lambda)
+            .collect();
         let b = Idealized::new(3, 3, 1.2).lambda_series(8);
         assert_eq!(a, b);
     }

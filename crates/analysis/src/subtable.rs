@@ -188,7 +188,11 @@ mod tests {
         for (s, &(i, j, paper)) in steps.iter().zip(TABLE6.iter()) {
             assert_eq!((s.round, s.subtable), (i, j));
             let got = s.lambda_prime * 1_000_000.0;
-            let tol = if paper >= 1.0 { 1.0 + paper * 1e-5 } else { 0.01 };
+            let tol = if paper >= 1.0 {
+                1.0 + paper * 1e-5
+            } else {
+                0.01
+            };
             assert!(
                 (got - paper).abs() <= tol,
                 "({i},{j}): prediction {got} vs paper {paper}"

@@ -70,8 +70,8 @@ pub fn plateau_sweep(k: u32, r: u32, nus: &[f64], max_rounds: u32) -> Vec<(f64, 
         .map(|&nu| {
             let c = t.c_star - nu;
             assert!(c > 0.0, "gap {nu} exceeds threshold {}", t.c_star);
-            let rounds = rounds_to_tau(k, r, c, tau, max_rounds)
-                .expect("below threshold must reach tau");
+            let rounds =
+                rounds_to_tau(k, r, c, tau, max_rounds).expect("below threshold must reach tau");
             (nu, rounds)
         })
         .collect()
@@ -87,10 +87,7 @@ mod tests {
         // long stretch before collapsing.
         let traj = beta_trajectory(2, 4, 0.772, 1e-6, 10_000);
         let x_star = threshold(2, 4).unwrap().x_star;
-        let near: usize = traj
-            .iter()
-            .filter(|&&b| (b - x_star).abs() < 0.2)
-            .count();
+        let near: usize = traj.iter().filter(|&&b| (b - x_star).abs() < 0.2).count();
         assert!(
             near > 50,
             "expected a long plateau near x* = {x_star}, got {near} rounds"

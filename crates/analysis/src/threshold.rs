@@ -168,8 +168,7 @@ mod tests {
         for &(k, r) in &[(2u32, 3u32), (2, 4), (3, 3), (3, 4), (4, 3)] {
             let t = threshold(k, r).unwrap();
             let h = 1e-5;
-            let d =
-                (objective(k, r, t.x_star + h) - objective(k, r, t.x_star - h)) / (2.0 * h);
+            let d = (objective(k, r, t.x_star + h) - objective(k, r, t.x_star - h)) / (2.0 * h);
             assert!(d.abs() < 1e-3, "dF/dx at x* for ({k},{r}) is {d}");
         }
     }

@@ -48,13 +48,19 @@ fn main() {
     }
 
     println!();
-    println!("# Theorem 5 plateau sweep: rounds until beta < tau, tau = {:.4}", default_tau(k, r));
+    println!(
+        "# Theorem 5 plateau sweep: rounds until beta < tau, tau = {:.4}",
+        default_tau(k, r)
+    );
     let nus = [3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5];
     let sweep = plateau_sweep(k, r, &nus, 10_000_000);
     let widths = [12usize, 10, 16];
     println!(
         "{}",
-        row(&["nu".into(), "rounds".into(), "rounds*sqrt(nu)".into()], &widths)
+        row(
+            &["nu".into(), "rounds".into(), "rounds*sqrt(nu)".into()],
+            &widths
+        )
     );
     for (nu, rounds) in sweep {
         println!(

@@ -70,7 +70,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["i".into(), "j".into(), "Prediction".into(), "Experiment".into()],
+            &[
+                "i".into(),
+                "j".into(),
+                "Prediction".into(),
+                "Experiment".into()
+            ],
             &widths
         )
     );

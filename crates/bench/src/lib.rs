@@ -36,6 +36,7 @@ impl Args {
     }
 
     /// Parse from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // arg parsing, not a generic collection conversion
     pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         let mut flags = Vec::new();

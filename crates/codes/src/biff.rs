@@ -168,8 +168,9 @@ mod tests {
         let original = message(50_000);
         let sketch = code.sketch(&original);
         let mut corrupted = original.clone();
-        for p in 20_000..20_050 {
-            corrupted[p] = corrupted[p].wrapping_add(p as u32 + 1);
+        for (i, c) in corrupted[20_000..20_050].iter_mut().enumerate() {
+            let p = 20_000 + i;
+            *c = c.wrapping_add(p as u32 + 1);
         }
         let out = code.correct(&mut corrupted, &sketch);
         assert!(out.complete);

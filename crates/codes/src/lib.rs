@@ -245,12 +245,10 @@ impl PeelingCode {
         let deg: Vec<AtomicU32> = deg.into_iter().map(AtomicU32::new).collect();
 
         // Recovered values land here; `message` is updated at the end.
-        let recovered_val: Vec<AtomicU64> = (0..self.message_len)
-            .map(|_| AtomicU64::new(0))
-            .collect();
-        let recovered_flag: Vec<AtomicU32> = (0..self.message_len)
-            .map(|_| AtomicU32::new(0))
-            .collect();
+        let recovered_val: Vec<AtomicU64> =
+            (0..self.message_len).map(|_| AtomicU64::new(0)).collect();
+        let recovered_flag: Vec<AtomicU32> =
+            (0..self.message_len).map(|_| AtomicU32::new(0)).collect();
 
         let mut subround = 0u32;
         let mut last_productive = 0u32;
@@ -417,7 +415,7 @@ mod tests {
         let m = msg(100);
         let checks = code.encode(&m);
         let mut rx = erase_prefix(&m, 1); // only symbol 0 erased
-        // Erase exactly symbol 0's check cells.
+                                          // Erase exactly symbol 0's check cells.
         let dead: Vec<usize> = (0..3).map(|g| code.cell_of(g, 0)).collect();
         let rx_checks: Vec<Symbol> = checks
             .iter()

@@ -290,10 +290,7 @@ impl LtCode {
                     }
                     let i = idx[s].load(Relaxed) as usize;
                     let v = val[s].load(Relaxed);
-                    if claimed[i]
-                        .compare_exchange(0, 1, Relaxed, Relaxed)
-                        .is_ok()
-                    {
+                    if claimed[i].compare_exchange(0, 1, Relaxed, Relaxed).is_ok() {
                         value_out[i].store(v, Relaxed);
                         Some((i, v))
                     } else {

@@ -103,13 +103,21 @@ impl PeelState {
             k,
             rounds,
             trace,
-            peel_round: self.peeled_round.into_iter().map(|a| a.into_inner()).collect(),
+            peel_round: self
+                .peeled_round
+                .into_iter()
+                .map(|a| a.into_inner())
+                .collect(),
             edge_kill_round: self
                 .edge_kill_round
                 .into_iter()
                 .map(|a| a.into_inner())
                 .collect(),
-            edge_killer: self.edge_killer.into_iter().map(|a| a.into_inner()).collect(),
+            edge_killer: self
+                .edge_killer
+                .into_iter()
+                .map(|a| a.into_inner())
+                .collect(),
             core_vertices: unpeeled,
             core_edges: live_edges,
         }
@@ -424,7 +432,10 @@ mod tests {
         };
         let a = peel_parallel(&g, 2, &opts);
         let b = peel_parallel(&g, 2, &opts);
-        assert_eq!(a.edge_killer, b.edge_killer, "dense engine is deterministic");
+        assert_eq!(
+            a.edge_killer, b.edge_killer,
+            "dense engine is deterministic"
+        );
         for (e, &killer) in a.edge_killer.iter().enumerate() {
             if killer != UNPEELED {
                 assert!(g.edge(e as u32).contains(&killer));

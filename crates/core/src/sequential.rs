@@ -305,7 +305,7 @@ mod tests {
         // For k = 2 every peeled vertex claims at most one edge.
         let g = path5();
         let out = peel_greedy(&g, 2);
-        let mut claims_per_vertex = vec![0u32; 5];
+        let mut claims_per_vertex = [0u32; 5];
         for &killer in &out.edge_killer {
             if killer != UNPEELED {
                 claims_per_vertex[killer as usize] += 1;

@@ -14,8 +14,8 @@ fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (2usize..=5, 5usize..=80).prop_flat_map(|(r, n)| {
         let n = n.max(r + 1);
         let max_edges = 3 * n;
-        proptest::collection::vec(proptest::collection::vec(0..n as u32, r), 0..max_edges)
-            .prop_map(move |mut edges| {
+        proptest::collection::vec(proptest::collection::vec(0..n as u32, r), 0..max_edges).prop_map(
+            move |mut edges| {
                 // Repair duplicate endpoints inside an edge by re-rolling
                 // deterministically (shift until distinct).
                 for e in edges.iter_mut() {
@@ -33,7 +33,8 @@ fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
                     b.push_edge(e);
                 }
                 b.build().expect("repaired edges are valid")
-            })
+            },
+        )
     })
 }
 
@@ -42,19 +43,22 @@ fn arb_partitioned() -> impl Strategy<Value = Hypergraph> {
     (2usize..=4, 3usize..=20).prop_flat_map(|(r, per_part)| {
         let n = r * per_part;
         let max_edges = 3 * n;
-        proptest::collection::vec(proptest::collection::vec(0..per_part as u32, r), 0..max_edges)
-            .prop_map(move |edges| {
-                let mut b = HypergraphBuilder::new(n, r).with_partition(r);
-                for e in &edges {
-                    let abs: Vec<u32> = e
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &off)| (j * per_part) as u32 + off)
-                        .collect();
-                    b.push_edge(&abs);
-                }
-                b.build().expect("partitioned edges are valid")
-            })
+        proptest::collection::vec(
+            proptest::collection::vec(0..per_part as u32, r),
+            0..max_edges,
+        )
+        .prop_map(move |edges| {
+            let mut b = HypergraphBuilder::new(n, r).with_partition(r);
+            for e in &edges {
+                let abs: Vec<u32> = e
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &off)| (j * per_part) as u32 + off)
+                    .collect();
+                b.push_edge(&abs);
+            }
+            b.build().expect("partitioned edges are valid")
+        })
     })
 }
 

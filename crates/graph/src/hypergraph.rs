@@ -336,8 +336,7 @@ mod tests {
     #[test]
     fn edges_iterator_matches() {
         let g = tiny();
-        let collected: Vec<(u32, Vec<u32>)> =
-            g.edges().map(|(e, vs)| (e, vs.to_vec())).collect();
+        let collected: Vec<(u32, Vec<u32>)> = g.edges().map(|(e, vs)| (e, vs.to_vec())).collect();
         assert_eq!(collected.len(), 3);
         assert_eq!(collected[1], (1, vec![2, 3, 4]));
     }
@@ -365,7 +364,10 @@ mod tests {
     #[test]
     fn rejects_bad_arity() {
         let b = HypergraphBuilder::new(4, 1);
-        assert_eq!(b.build().unwrap_err(), GraphError::ArityTooSmall { arity: 1 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::ArityTooSmall { arity: 1 }
+        );
     }
 
     #[test]

@@ -122,14 +122,17 @@ impl Partitioned {
     /// `round(c·n)` edges; each edge takes one uniform endpoint per subtable.
     pub fn new(n: usize, c: f64, r: usize) -> Self {
         assert!(n > 0 && r >= 2 && c >= 0.0);
-        assert!(n % r == 0, "partitioned model needs n divisible by r");
+        assert!(
+            n.is_multiple_of(r),
+            "partitioned model needs n divisible by r"
+        );
         let m = (c * n as f64).round() as usize;
         Partitioned { n, m, r }
     }
 
     /// Graph with exactly `m` edges.
     pub fn with_edges(n: usize, m: usize, r: usize) -> Self {
-        assert!(n > 0 && r >= 2 && n % r == 0);
+        assert!(n > 0 && r >= 2 && n.is_multiple_of(r));
         Partitioned { n, m, r }
     }
 

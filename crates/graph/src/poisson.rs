@@ -25,8 +25,8 @@ pub fn ln_gamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    let series = inv
-        * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0 - inv2 * (1.0 / 1680.0))));
+    let series =
+        inv * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0 - inv2 * (1.0 / 1680.0))));
     acc + (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + series
 }
 
@@ -34,7 +34,10 @@ pub fn ln_gamma(mut x: f64) -> f64 {
 ///
 /// Exact for all finite nonnegative means. `mean == 0` returns 0.
 pub fn sample_poisson<R: RngCore>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean >= 0.0 && mean.is_finite(), "mean must be finite & >= 0");
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "mean must be finite & >= 0"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -166,14 +169,14 @@ mod tests {
         let mean = 3.0;
         let trials = 200_000usize;
         let mut rng = Xoshiro256StarStar::new(7);
-        let mut counts = vec![0u64; 16];
+        let mut counts = [0u64; 16];
         for _ in 0..trials {
             let x = sample_poisson(&mut rng, mean) as usize;
             let idx = x.min(counts.len() - 1);
             counts[idx] += 1;
         }
         // pmf
-        let mut pmf = vec![0.0f64; 16];
+        let mut pmf = [0.0f64; 16];
         let mut term = (-mean).exp();
         for (k, p) in pmf.iter_mut().enumerate() {
             *p = term;

@@ -43,6 +43,7 @@ impl SplitMix64 {
 
     /// Next raw 64-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `next` matches the PRNG literature; not an Iterator
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
@@ -104,11 +105,9 @@ impl Xoshiro256StarStar {
 
     /// Next raw 64-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // `next` matches the PRNG literature; not an Iterator
     pub fn next(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -225,7 +224,10 @@ fn fill_bytes_via_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
 /// Panics if `r > n` (no distinct sample exists) or `out.len() < r`.
 #[inline]
 pub fn sample_distinct<R: RngCore>(rng: &mut R, n: u64, r: usize, out: &mut [u32]) {
-    assert!(r as u64 <= n, "cannot sample {r} distinct values from 0..{n}");
+    assert!(
+        r as u64 <= n,
+        "cannot sample {r} distinct values from 0..{n}"
+    );
     let mut filled = 0;
     while filled < r {
         let candidate = uniform_u64(rng, n) as u32;

@@ -141,7 +141,12 @@ mod tests {
         let mean = r as f64 * c;
         assert!((s.mean - mean).abs() < 0.02);
         // Poisson has variance == mean.
-        assert!((s.variance - mean).abs() < 0.1, "variance {} vs {}", s.variance, mean);
+        assert!(
+            (s.variance - mean).abs() < 0.1,
+            "variance {} vs {}",
+            s.variance,
+            mean
+        );
         let (chi2, dof) = s.chi_square_vs_poisson(mean, 5.0);
         // Loose acceptance: chi2 should be comparable to dof, not wildly above.
         assert!(

@@ -108,7 +108,10 @@ mod tests {
                 all_same += 1;
             }
         }
-        assert!(all_same <= 1, "tables look correlated ({all_same} collisions)");
+        assert!(
+            all_same <= 1,
+            "tables look correlated ({all_same} collisions)"
+        );
     }
 
     #[test]

@@ -128,8 +128,7 @@ impl KvIblt {
             if cell.is_empty() {
                 return GetResult::NotFound;
             }
-            if cell.count == 1 && cell.key_sum == key
-                && cell.check_sum == self.hasher.checksum(key)
+            if cell.count == 1 && cell.key_sum == key && cell.check_sum == self.hasher.checksum(key)
             {
                 return GetResult::Found(cell.value_sum);
             }

@@ -121,9 +121,10 @@ mod tests {
         let cfg = IbltConfig::for_load(3, 500, 0.5, 23);
         let t = LockedIblt::new(cfg);
         let keys: Vec<u64> = (0..1_000u64).collect();
-        rayon::join(|| t.par_insert(&keys), || {
-            keys[500..].par_iter().for_each(|&k| t.delete(k))
-        });
+        rayon::join(
+            || t.par_insert(&keys),
+            || keys[500..].par_iter().for_each(|&k| t.delete(k)),
+        );
         let got = t.to_serial().recover_destructive();
         assert!(got.complete);
         assert_eq!(got.positive.len(), 500);

@@ -133,7 +133,8 @@ impl AtomicIblt {
                 .into_par_iter()
                 .filter_map(|idx| {
                     let cell = self.read_cell(idx);
-                    cell.is_pure(&self.hasher).then_some((cell.key_sum, cell.count))
+                    cell.is_pure(&self.hasher)
+                        .then_some((cell.key_sum, cell.count))
                 })
                 .collect();
 
@@ -214,7 +215,8 @@ impl AtomicIblt {
                 .par_iter()
                 .filter_map(|&idx| {
                     let cell = self.read_cell(idx);
-                    cell.is_pure(&self.hasher).then_some((cell.key_sum, cell.count))
+                    cell.is_pure(&self.hasher)
+                        .then_some((cell.key_sum, cell.count))
                 })
                 .collect();
 
@@ -304,7 +306,9 @@ mod tests {
     use super::*;
 
     fn keys(n: u64) -> Vec<u64> {
-        (0..n).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) ^ 0xabcd).collect()
+        (0..n)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) ^ 0xabcd)
+            .collect()
     }
 
     #[test]
@@ -376,10 +380,7 @@ mod tests {
         let t = AtomicIblt::new(cfg);
         let ks = keys(4_000);
         // Insert everything and delete the second half concurrently.
-        rayon::join(
-            || t.par_insert(&ks),
-            || t.par_delete(&ks[2_000..]),
-        );
+        rayon::join(|| t.par_insert(&ks), || t.par_delete(&ks[2_000..]));
         // Net content: first 2000 keys inserted, second half cancelled...
         // except deletes of the second half may land before inserts; either
         // way the *net* cell state is identical because the ops commute.

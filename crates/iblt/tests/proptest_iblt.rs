@@ -20,7 +20,11 @@ struct Content {
 
 fn arb_content(max_live: usize, max_churn: usize) -> impl Strategy<Value = Content> {
     (
-        proptest::collection::btree_map(0u64..5_000, prop_oneof![Just(1i64), Just(-1)], 0..max_live),
+        proptest::collection::btree_map(
+            0u64..5_000,
+            prop_oneof![Just(1i64), Just(-1)],
+            0..max_live,
+        ),
         proptest::collection::vec(5_000u64..10_000, 0..max_churn),
     )
         .prop_map(|(net, churn)| Content { net, churn })

@@ -61,21 +61,13 @@ impl Cnf {
 /// Sample a uniformly random k-CNF with `num_clauses` clauses over
 /// `num_vars` variables: each clause picks `k` distinct variables and
 /// independent random signs.
-pub fn random_kcnf<R: RngCore>(
-    num_vars: usize,
-    num_clauses: usize,
-    k: usize,
-    rng: &mut R,
-) -> Cnf {
+pub fn random_kcnf<R: RngCore>(num_vars: usize, num_clauses: usize, k: usize, rng: &mut R) -> Cnf {
     assert!(k >= 1 && num_vars >= k);
     let mut clauses = Vec::with_capacity(num_clauses);
     let mut buf = vec![0u32; k];
     for _ in 0..num_clauses {
         sample_distinct(rng, num_vars as u64, k, &mut buf);
-        let clause: Vec<(u32, bool)> = buf
-            .iter()
-            .map(|&v| (v, rng.next_u64() & 1 == 1))
-            .collect();
+        let clause: Vec<(u32, bool)> = buf.iter().map(|&v| (v, rng.next_u64() & 1 == 1)).collect();
         clauses.push(clause);
     }
     Cnf { num_vars, clauses }

@@ -22,8 +22,7 @@ fn arb_cnf() -> impl Strategy<Value = Cnf> {
             }
             lits
         });
-        proptest::collection::vec(clause, 0..60)
-            .prop_map(move |clauses| Cnf { num_vars, clauses })
+        proptest::collection::vec(clause, 0..60).prop_map(move |clauses| Cnf { num_vars, clauses })
     })
 }
 

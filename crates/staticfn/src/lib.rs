@@ -142,9 +142,7 @@ impl XorSystem {
         self.vars
             .chunks_exact(self.arity)
             .zip(&self.rhs)
-            .all(|(vars, &rhs)| {
-                vars.iter().fold(0u64, |acc, &v| acc ^ solution[v as usize]) == rhs
-            })
+            .all(|(vars, &rhs)| vars.iter().fold(0u64, |acc, &v| acc ^ solution[v as usize]) == rhs)
     }
 
     /// Solve by sequential peeling + back-substitution.
@@ -269,11 +267,7 @@ impl StaticFunction {
     /// has a non-empty 2-core (probability `O(1)` per attempt at the
     /// default load, so failures are essentially impossible within the
     /// default 16 attempts unless keys repeat).
-    pub fn build(
-        keys: &[u64],
-        values: &[u64],
-        opts: &BuildOptions,
-    ) -> Result<Self, SolveError> {
+    pub fn build(keys: &[u64], values: &[u64], opts: &BuildOptions) -> Result<Self, SolveError> {
         assert_eq!(keys.len(), values.len());
         assert!(opts.hashes >= 2);
         let total_cells =
@@ -438,7 +432,7 @@ mod tests {
 
     #[test]
     fn static_function_serial_build_matches() {
-        let keys: Vec<u64> = (0..2_000u64).map(|i| mix64(i)).collect();
+        let keys: Vec<u64> = (0..2_000u64).map(mix64).collect();
         let values: Vec<u64> = keys.iter().map(|&k| k.rotate_left(17)).collect();
         let serial = StaticFunction::build(
             &keys,

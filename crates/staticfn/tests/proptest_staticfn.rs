@@ -10,7 +10,10 @@ fn arb_system() -> impl Strategy<Value = XorSystem> {
     (2usize..=4, 6usize..=40).prop_flat_map(|(arity, nvars)| {
         let max_eqs = nvars; // density <= 1
         proptest::collection::vec(
-            (proptest::collection::vec(0u32..nvars as u32, arity), any::<u64>()),
+            (
+                proptest::collection::vec(0u32..nvars as u32, arity),
+                any::<u64>(),
+            ),
             0..max_eqs,
         )
         .prop_map(move |rows| {

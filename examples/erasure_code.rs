@@ -15,7 +15,9 @@ fn main() {
     let msg_len = 200_000usize;
     let r = 4usize;
     let code = PeelingCode::new(msg_len, msg_len, r, 0xc0de);
-    let message: Vec<u64> = (0..msg_len as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+    let message: Vec<u64> = (0..msg_len as u64)
+        .map(|i| i.wrapping_mul(0x9e3779b9))
+        .collect();
     let checks = code.encode(&message);
     let threshold = c_star(2, r as u32).unwrap();
     println!(
@@ -23,7 +25,10 @@ fn main() {
         code.check_cells()
     );
     println!("\nerasure sweep (message symbols erased / check cells = effective load):");
-    println!("{:>10} {:>8} {:>10} {:>10}", "erased", "load", "recovered", "complete");
+    println!(
+        "{:>10} {:>8} {:>10} {:>10}",
+        "erased", "load", "recovered", "complete"
+    );
 
     let mut rng = Xoshiro256StarStar::new(3);
     for pct in [50usize, 65, 74, 79, 85] {

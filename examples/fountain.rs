@@ -11,7 +11,9 @@ fn main() {
     // --- LT fountain: decode from ANY sufficiently large symbol subset ---
     let k = 20_000usize;
     let code = LtCode::new(k, 99);
-    let message: Vec<u64> = (0..k as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)).collect();
+    let message: Vec<u64> = (0..k as u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+        .collect();
 
     // The sender streams symbols forever; the receiver catches an arbitrary
     // window of them.

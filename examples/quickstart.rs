@@ -15,7 +15,10 @@ fn main() {
     let c = 0.70;
     let threshold = c_star(k, r as u32).unwrap();
     println!("k = {k}, r = {r}, n = {n}, edge density c = {c}");
-    println!("threshold c*_(k,r) = {threshold:.5} -> we are {} it", if c < threshold { "below" } else { "above" });
+    println!(
+        "threshold c*_(k,r) = {threshold:.5} -> we are {} it",
+        if c < threshold { "below" } else { "above" }
+    );
 
     // Sample G^r_(n,cn) and peel it with synchronous parallel rounds.
     let g = Gnm::new(n, c, r).sample(&mut SplitMix64::new(2014));

@@ -15,11 +15,19 @@ use std::time::Instant;
 
 fn main() {
     let n = 1_000_000usize;
-    let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x2545f4914f6cdd1d) | 1).collect();
+    let keys: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x2545f4914f6cdd1d) | 1)
+        .collect();
     let values: Vec<u64> = keys.iter().map(|&k| k.rotate_left(23) ^ 0xffee).collect();
 
     for (label, opts) in [
-        ("serial build  ", BuildOptions { parallel: false, ..Default::default() }),
+        (
+            "serial build  ",
+            BuildOptions {
+                parallel: false,
+                ..Default::default()
+            },
+        ),
         ("parallel build", BuildOptions::default()),
     ] {
         let t0 = Instant::now();

@@ -1,0 +1,111 @@
+//! Round-synchronous engine agreement (ISSUE 1 satellite).
+//!
+//! The paper's analysis is about one process — synchronous round peeling —
+//! and this workspace ships three engines claiming to implement it:
+//! `peel_rounds_serial`, the dense parallel scan, and the work-efficient
+//! frontier engine. On any fixed graph all three must therefore produce
+//! *identical* per-round peel counts (vertices and edges per round) and the
+//! same final k-core, both below the threshold `c*_{2,4} ≈ 0.772` (empty
+//! 2-core, ~log log n rounds) and above it (large 2-core survives).
+
+use parallel_peeling::analysis::c_star;
+use parallel_peeling::core::{peel_parallel, peel_rounds_serial, ParallelOpts, Strategy};
+use parallel_peeling::graph::models::Gnm;
+use parallel_peeling::graph::rng::SplitMix64;
+use parallel_peeling::graph::Hypergraph;
+
+const N: usize = 40_000;
+const R: usize = 4;
+const K: u32 = 2;
+const SEED: u64 = 0xA5EED;
+
+fn instance(c: f64) -> Hypergraph {
+    Gnm::new(N, c, R).sample(&mut SplitMix64::new(SEED))
+}
+
+/// Per-round peels as `(round, count)` pairs.
+type RoundSeries = Vec<(u32, u64)>;
+
+/// (per-round vertex peels, per-round edge peels, sorted core vertices).
+fn summary(out: &parallel_peeling::core::PeelOutcome) -> (RoundSeries, RoundSeries, Vec<u32>) {
+    let vertices = out
+        .trace
+        .iter()
+        .map(|s| (s.round, s.peeled_vertices))
+        .collect();
+    let edges = out
+        .trace
+        .iter()
+        .map(|s| (s.round, s.peeled_edges))
+        .collect();
+    (vertices, edges, out.core_vertex_ids())
+}
+
+fn assert_engines_agree(g: &Hypergraph, expect_empty_core: bool) {
+    let serial = peel_rounds_serial(g, K);
+    let dense = peel_parallel(
+        g,
+        K,
+        &ParallelOpts {
+            strategy: Strategy::Dense,
+            ..Default::default()
+        },
+    );
+    let frontier = peel_parallel(
+        g,
+        K,
+        &ParallelOpts {
+            strategy: Strategy::Frontier,
+            ..Default::default()
+        },
+    );
+
+    let s = summary(&serial);
+    let d = summary(&dense);
+    let f = summary(&frontier);
+
+    assert_eq!(s.0, d.0, "serial vs dense per-round vertex peels differ");
+    assert_eq!(s.0, f.0, "serial vs frontier per-round vertex peels differ");
+    assert_eq!(s.1, d.1, "serial vs dense per-round edge peels differ");
+    assert_eq!(s.1, f.1, "serial vs frontier per-round edge peels differ");
+    assert_eq!(s.2, d.2, "serial vs dense final core differs");
+    assert_eq!(s.2, f.2, "serial vs frontier final core differs");
+    assert_eq!(serial.rounds, dense.rounds);
+    assert_eq!(serial.rounds, frontier.rounds);
+
+    assert_eq!(
+        serial.success(),
+        expect_empty_core,
+        "unexpected core outcome: {} core vertices at this density",
+        serial.core_vertices
+    );
+}
+
+#[test]
+fn engines_agree_below_threshold() {
+    let c = 0.70;
+    assert!(c < c_star(K, R as u32).unwrap());
+    assert_engines_agree(&instance(c), true);
+}
+
+#[test]
+fn engines_agree_above_threshold() {
+    let c = 0.85;
+    assert!(c > c_star(K, R as u32).unwrap());
+    assert_engines_agree(&instance(c), false);
+}
+
+#[test]
+fn engines_agree_under_multithreaded_pool() {
+    // Force a >1 worker pool so the parallel engines' atomic claiming runs
+    // genuinely concurrently even on single-core CI machines; round
+    // semantics must be unaffected by the worker count.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        assert_engines_agree(&instance(0.70), true);
+        assert_engines_agree(&instance(0.85), false);
+    });
+}

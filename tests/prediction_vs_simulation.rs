@@ -3,9 +3,7 @@
 //! recurrences predict the real peeling process.
 
 use parallel_peeling::analysis::{c_star, Idealized, SubtableRecurrence};
-use parallel_peeling::core::{
-    peel_parallel, peel_subtables, ParallelOpts, SubtableOpts,
-};
+use parallel_peeling::core::{peel_parallel, peel_subtables, ParallelOpts, SubtableOpts};
 use parallel_peeling::graph::models::{Gnm, Partitioned};
 use parallel_peeling::graph::rng::Xoshiro256StarStar;
 

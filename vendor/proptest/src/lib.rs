@@ -1,0 +1,736 @@
+//! Vendored minimal stand-in for the `proptest` API subset this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io. This crate
+//! reproduces the *macro surface* of real proptest — `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`, `ProptestConfig`,
+//! `any`, `Just`, range/tuple/collection strategies, and the `prop_map` /
+//! `prop_flat_map` / `prop_filter` combinators — on top of a simple
+//! deterministic random sampler.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and the values
+//!   are reproducible (the RNG is seeded from the test's module path and
+//!   name), but no minimization is attempted.
+//! * Sampling is plain uniform draws rather than proptest's bias-aware
+//!   generators.
+//!
+//! Swapping back to crates.io proptest is a one-line manifest change; the
+//! test sources need no edits.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Test configuration and the deterministic sampler.
+
+    /// Configuration for a `proptest!` block (subset of the real one).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic 64-bit sampler (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test identifier string.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `0..n` (n > 0).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128).wrapping_mul(n as u128);
+                if (m as u64) >= n.wrapping_neg() % n {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values through `f`.
+    fn prop_map<F, T>(self, f: F) -> PropMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        PropMap { base: self, f }
+    }
+
+    /// Build a dependent strategy from each produced value.
+    fn prop_flat_map<F, S>(self, f: F) -> PropFlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> S,
+        S: Strategy,
+    {
+        PropFlatMap { base: self, f }
+    }
+
+    /// Reject values failing `pred` (resampling, bounded retries).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> PropFilter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        PropFilter {
+            base: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct PropMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for PropMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct PropFlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for PropFlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> S2,
+    S2: Strategy,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+/// `prop_filter` combinator.
+pub struct PropFilter<S, F> {
+    base: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for PropFilter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}): could not satisfy predicate in 1000 draws",
+            self.reason
+        );
+    }
+}
+
+/// Always produce a clone of the given value (proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy choosing uniformly between boxed alternatives
+/// (the desugaring of [`prop_oneof!`]).
+pub struct OneOf<V> {
+    /// The alternatives to choose between. Must be non-empty.
+    pub options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one arm"
+        );
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+// --- Integer / float range strategies --------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+// --- Tuple strategies -------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+// --- `any` ------------------------------------------------------------------
+
+/// Full-domain strategy for primitives (proptest's `any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Produce the full-domain strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+// --- Collections ------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::{test_runner::TestRng, Strategy};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification: fixed or a range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            let span = (self.hi_inclusive - self.lo + 1) as u64;
+            self.lo + rng.below(span) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s. The target size is drawn from `size`; if
+    /// the element domain is too small to reach it, a smaller set results.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts: small domains may not reach `target`.
+            for _ in 0..(4 * target + 16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap`s, sized like [`btree_set`].
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.draw(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..(4 * target + 16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (subset of `proptest::bool`).
+
+    use super::{test_runner::TestRng, Strategy};
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    /// See [`weighted`].
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.p
+        }
+    }
+}
+
+// Re-exports so fully qualified `proptest::collection::vec` etc. work and
+// the items above are nameable from the crate root.
+pub use self::collection::SizeRange;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+// --- Macros -----------------------------------------------------------------
+
+/// Outcome of one generated case (implementation detail of [`proptest!`]
+/// and [`prop_assume!`]).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The case ran to completion.
+    Accepted,
+    /// The case was rejected by `prop_assume!` and does not count.
+    Rejected,
+}
+
+/// Skip the current case unless the condition holds (no failure recorded).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return $crate::CaseOutcome::Rejected;
+        }
+    };
+}
+
+/// Assert inside a property test (panics on failure; no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf { options: vec![$($crate::Strategy::boxed($strategy)),+] }
+    };
+}
+
+/// The `proptest!` block: defines `#[test]` functions whose arguments are
+/// drawn from strategies. Mirrors real proptest's grammar for the subset
+/// `fn name(pat in strategy, ...) { body }` with an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            // `prop_assume!` rejections redraw rather than consuming the
+            // case budget (as in real proptest), with a cap so a
+            // never-satisfiable assumption fails instead of spinning.
+            let max_rejects = (config.cases as u64) * 16 + 1024;
+            let mut accepted: u32 = 0;
+            let mut rejected: u64 = 0;
+            while accepted < config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || {
+                        $body
+                        $crate::CaseOutcome::Accepted
+                    },
+                ));
+                match outcome {
+                    Ok($crate::CaseOutcome::Accepted) => accepted += 1,
+                    Ok($crate::CaseOutcome::Rejected) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= max_rejects,
+                            "`{}`: prop_assume! rejected {} draws before reaching {} cases",
+                            stringify!($name),
+                            rejected,
+                            config.cases,
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed (deterministic seed; rerun reproduces it)",
+                            accepted + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (1u64..5, 10u64..20), flag in any::<bool>()) {
+            prop_assert!(a < 5 && b >= 10);
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(any::<u64>(), 2..6),
+            s in crate::collection::btree_set(0u64..1000, 0..10),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+        }
+
+        #[test]
+        fn combinators_compose(
+            n in (1usize..4).prop_flat_map(|k| crate::collection::vec(Just(k), k)),
+            sign in prop_oneof![Just(1i64), Just(-1)],
+        ) {
+            prop_assert!(!n.is_empty() && n.iter().all(|&x| x == n.len()));
+            prop_assert!(sign == 1 || sign == -1);
+        }
+    }
+
+    static ASSUME_BODY_RUNS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        // No #[test] attribute: driven by the wrapper below so the run
+        // count can be asserted exactly once.
+        fn assume_heavy_body(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            ASSUME_BODY_RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn prop_assume_redraws_instead_of_consuming_budget() {
+        assume_heavy_body();
+        // ~half the draws are rejected; all 20 configured cases must still
+        // execute the body.
+        assert_eq!(
+            ASSUME_BODY_RUNS.load(std::sync::atomic::Ordering::Relaxed),
+            20
+        );
+    }
+}

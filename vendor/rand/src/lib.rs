@@ -1,0 +1,204 @@
+//! Vendored minimal stand-in for the `rand` 0.8 trait surface.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides exactly the subset of `rand` 0.8 the workspace uses: the
+//! [`RngCore`] and [`SeedableRng`] traits (implemented by the generators in
+//! `peel-graph`), the [`Rng`] extension trait with `gen_range`, and the
+//! opaque [`Error`] type referenced by `try_fill_bytes`. Swapping this for
+//! the real crates.io `rand` is a one-line change in the workspace manifest.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Opaque error type for fallible RNG operations (mirrors `rand::Error`).
+///
+/// The deterministic generators in this workspace never fail, so this type
+/// is never constructed; it exists so `try_fill_bytes` signatures match the
+/// real `rand` 0.8 API.
+pub struct Error {
+    _private: (),
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rand::Error")
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random bytes, reporting failure (never fails here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A random number generator seedable from fixed entropy
+/// (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a generator from a `u64` (expanded via SplitMix64, as the real
+    /// `rand` does).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step, the same expansion rand 0.8 uses.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A range that can be sampled uniformly (subset of `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample a uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (uniform_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Unbiased uniform draw from `0..n` (Lemire multiply-shift with rejection).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(n as u128);
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Convenience extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a uniform value from `range`.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence through a mixer: good enough to exercise ranges.
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&y));
+            let f: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_fills_seed() {
+        struct S([u8; 32]);
+        impl SeedableRng for S {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                S(seed)
+            }
+        }
+        let s = S::seed_from_u64(7);
+        assert!(s.0.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,722 @@
+//! Vendored minimal stand-in for the `rayon` API subset this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements — with genuine data parallelism on `std::thread::scope` —
+//! exactly the surface the peeling engines need:
+//!
+//! * `par_iter()` on slices, `into_par_iter()` on integer ranges and `Vec`;
+//! * the adapters `map`, `filter`, `filter_map`, `enumerate`;
+//! * the terminals `for_each`, `collect` (into `Vec`), `sum`, `all`,
+//!   `reduce`, and rayon's two-level `fold(..).reduce(..)` pattern;
+//! * [`join`], [`current_num_threads`], and a [`ThreadPoolBuilder`] /
+//!   [`ThreadPool::install`] pair that bounds the worker count.
+//!
+//! Execution model: every pipeline bottoms out in an *indexed, splittable*
+//! source (range, slice, or vec). A terminal operation splits the source
+//! into one contiguous chunk per worker, runs the fused sequential pipeline
+//! on each chunk in a scoped thread, and combines the per-chunk results in
+//! source order. This preserves the properties the engines rely on: `collect`
+//! is order-stable, side effects in `for_each`/`map` run concurrently (so
+//! atomic-based claiming logic is genuinely exercised), and `fold` produces
+//! one accumulator per chunk exactly like rayon's per-split accumulators.
+//!
+//! Not implemented (panics or compile error if reached): work stealing,
+//! nested pool scheduling, `scope`/`spawn`, parallel sorts.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::resume_unwind;
+
+/// Sequential fallback threshold: sources smaller than this run inline.
+const MIN_CHUNK: usize = 1024;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`];
+    /// 0 means "use the machine default".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads terminal operations will use on this thread.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+/// Builder for a [`ThreadPool`] (API subset of rayon's).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the number of worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "thread pool": in this shim, a worker-count bound applied while a
+/// closure runs via [`ThreadPool::install`]. Threads themselves are scoped
+/// per terminal operation rather than pooled.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker-count bound installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = POOL_THREADS.with(Cell::get);
+        let _restore = Restore(prev);
+        POOL_THREADS.with(|c| c.set(self.num_threads));
+        op()
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        // Propagate the caller's worker-count bound into the spawned side so
+        // nested parallel ops inside `b` still respect an installed pool.
+        let hb = s.spawn(move || {
+            POOL_THREADS.with(|c| c.set(threads));
+            b()
+        });
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// The parallel iterator trait: an indexed, splittable pipeline.
+///
+/// `par_len` counts *source* elements (adapters like `filter` do not change
+/// it — it exists only to balance chunking), `split_at` splits the source,
+/// and `seq` yields the fused sequential pipeline for one chunk.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced by the pipeline.
+    type Item: Send;
+    /// The fused sequential iterator for one chunk.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Number of source elements remaining in this part.
+    fn par_len(&self) -> usize;
+    /// Split the source after `mid` elements.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential iterator over this part.
+    fn seq(self) -> Self::Seq;
+
+    /// Map each element through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep elements satisfying `pred`.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send + Clone,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Map-and-filter in one pass.
+    fn filter_map<F, R>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync + Send + Clone,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Consume the pipeline, running `f` on every element concurrently.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        execute(self, &|part: Self| {
+            part.seq().for_each(&f);
+        });
+    }
+
+    /// Collect the pipeline, preserving source order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_chunks(execute(self, &|part: Self| part.seq().collect::<Vec<_>>()))
+    }
+
+    /// Sum the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        execute(self, &|part: Self| part.seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Test whether every element satisfies `pred`.
+    fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        execute(self, &|part: Self| part.seq().all(&pred))
+            .into_iter()
+            .all(|b| b)
+    }
+
+    /// Rayon-style parallel fold: produces one accumulator per chunk.
+    ///
+    /// The result is itself a parallel iterator over the accumulators,
+    /// typically combined with [`ParallelIterator::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParVec<T>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+    {
+        ParVec {
+            items: execute(self, &|part: Self| part.seq().fold(identity(), &fold_op)),
+        }
+    }
+
+    /// Reduce all elements to one value with an associative operation.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        execute(self, &|part: Self| part.seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Marker for pipelines where each source element maps to exactly one output
+/// element at its source position (no `filter`/`filter_map` upstream). Only
+/// indexed pipelines may be enumerated — mirroring real rayon, where
+/// `enumerate` requires `IndexedParallelIterator`, this turns the
+/// wrong-indices-after-filter trap into a compile error.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pair each element with its source index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+}
+
+/// Split `p` into roughly even chunks and run `run` on each, in scoped
+/// threads when the source is large enough to be worth it.
+fn execute<P, R, F>(p: P, run: &F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = current_num_threads().max(1);
+    let len = p.par_len();
+    if threads == 1 || len < 2 * MIN_CHUNK {
+        return vec![run(p)];
+    }
+    let chunk = len.div_ceil(threads).max(MIN_CHUNK);
+    let mut parts = Vec::with_capacity(threads);
+    let mut rest = p;
+    let mut remaining = len;
+    while remaining > chunk {
+        let (head, tail) = rest.split_at(chunk);
+        parts.push(head);
+        rest = tail;
+        remaining -= chunk;
+    }
+    parts.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    // Propagate the caller's worker-count bound so nested
+                    // parallel ops inside `run` respect an installed pool.
+                    POOL_THREADS.with(|c| c.set(threads));
+                    run(part)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Conversion from ordered per-chunk results (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send> {
+    /// Build the collection from per-chunk partial results, in source order.
+    fn from_par_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for mut c in chunks {
+            out.append(&mut c);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+#[derive(Clone)]
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn par_len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let pivot = self.range.start + mid as $t;
+                (
+                    ParRange { range: self.range.start..pivot },
+                    ParRange { range: pivot..self.range.end },
+                )
+            }
+            fn seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IndexedParallelIterator for ParRange<$t> {}
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(u32, u64, usize);
+
+/// Parallel iterator over a slice (by reference).
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at(mid);
+        (ParSliceIter { slice: head }, ParSliceIter { slice: tail })
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for ParSliceIter<'_, T> {}
+
+/// Owning parallel iterator over a `Vec` — also the accumulator carrier for
+/// [`ParallelIterator::fold`].
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.items.split_off(mid);
+        (self, ParVec { items: tail })
+    }
+    fn seq(self) -> Self::Seq {
+        self.items.into_iter()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParVec<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Types convertible into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on slices (and, via deref, `Vec`s and arrays).
+pub trait ParallelSlice<T: Sync> {
+    /// Borrowing parallel iterator over the elements.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// `map` adapter.
+#[derive(Clone)]
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.base.seq().map(self.f)
+    }
+}
+
+impl<P, F, R> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+}
+
+/// `filter` adapter.
+#[derive(Clone)]
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send + Clone,
+{
+    type Item = P::Item;
+    type Seq = std::iter::Filter<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Filter {
+                base: a,
+                pred: self.pred.clone(),
+            },
+            Filter {
+                base: b,
+                pred: self.pred,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.base.seq().filter(self.pred)
+    }
+}
+
+/// `filter_map` adapter.
+#[derive(Clone)]
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> Option<R> + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::FilterMap<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            FilterMap {
+                base: a,
+                f: self.f.clone(),
+            },
+            FilterMap { base: b, f: self.f },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.base.seq().filter_map(self.f)
+    }
+}
+
+/// `enumerate` adapter (indexed pipelines only, as in rayon).
+#[derive(Clone)]
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P> ParallelIterator for Enumerate<P>
+where
+    P: ParallelIterator,
+{
+    type Item = (usize, P::Item);
+    type Seq = std::iter::Zip<Range<usize>, P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        let start = self.offset;
+        let end = start + self.base.par_len();
+        (start..end).zip(self.base.seq())
+    }
+}
+
+impl<P> IndexedParallelIterator for Enumerate<P> where P: IndexedParallelIterator {}
+
+/// The traits needed for `par_iter()` / `into_par_iter()` method syntax.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+        ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+    /// Run `f` both with the machine default worker count and under an
+    /// installed 4-thread pool, so the chunked scoped-thread path is
+    /// exercised even on single-core machines (where the default degrades
+    /// to the sequential fast path).
+    fn with_and_without_pool(f: impl Fn()) {
+        f();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(&f);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        with_and_without_pool(|| {
+            let v: Vec<u32> = (0u32..100_000).into_par_iter().map(|x| x * 2).collect();
+            assert_eq!(v.len(), 100_000);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(v[7], 14);
+        });
+    }
+
+    #[test]
+    fn filter_sum_matches_serial() {
+        with_and_without_pool(|| {
+            let par: u64 = (0u64..1_000_000)
+                .into_par_iter()
+                .filter(|&x| x % 3 == 0)
+                .map(|x| x)
+                .sum();
+            let ser: u64 = (0u64..1_000_000).filter(|&x| x % 3 == 0).sum();
+            assert_eq!(par, ser);
+        });
+    }
+
+    #[test]
+    fn for_each_runs_every_element() {
+        with_and_without_pool(|| {
+            let total = AtomicU64::new(0);
+            let data: Vec<u64> = (1..=10_000).collect();
+            data.par_iter().for_each(|&x| {
+                total.fetch_add(x, Relaxed);
+            });
+            assert_eq!(total.load(Relaxed), 10_000 * 10_001 / 2);
+        });
+    }
+
+    #[test]
+    fn fold_reduce_concatenates() {
+        with_and_without_pool(|| {
+            let data: Vec<u32> = (0..50_000).collect();
+            let out: Vec<u32> = data
+                .par_iter()
+                .fold(Vec::new, |mut acc, &x| {
+                    acc.push(x);
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            assert_eq!(out, data);
+        });
+    }
+
+    #[test]
+    fn enumerate_gives_global_indices() {
+        with_and_without_pool(|| {
+            let data: Vec<u64> = (0..30_000).map(|x| x * 10).collect();
+            data.par_iter().enumerate().for_each(|(i, &x)| {
+                assert_eq!(x, i as u64 * 10);
+            });
+        });
+    }
+
+    #[test]
+    fn installed_pool_actually_splits_work() {
+        // Under a 4-thread pool a large source must be driven by more than
+        // one worker thread; thread ids observed inside `for_each` prove
+        // the scoped-thread path ran (this would see exactly one id if the
+        // sequential fast path were taken).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        let items = AtomicUsize::new(0);
+        pool.install(|| {
+            (0usize..100_000).into_par_iter().for_each(|_| {
+                items.fetch_add(1, Relaxed);
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert_eq!(items.load(Relaxed), 100_000);
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected multiple worker threads under an installed pool"
+        );
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 2);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn all_short_circuits_logically() {
+        assert!((0u32..10_000).into_par_iter().all(|x| x < 10_000));
+        assert!(!(0u32..10_000).into_par_iter().all(|x| x < 9_999));
+    }
+}
