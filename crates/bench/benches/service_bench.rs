@@ -1,0 +1,85 @@
+//! Service-layer timing: batched ingest throughput through the shard
+//! router + worker pool, and end-to-end reconciliation latency
+//! (snapshot → subtract → subround parallel recovery), in-process (no
+//! TCP — `bench_json` measures the wire path; this isolates the service
+//! core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use peel_graph::rng::Xoshiro256StarStar;
+use peel_service::{build_shard_digests, PeelService, ServiceConfig};
+use rand::RngCore;
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn cfg(shards: u32) -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 1024,
+        queue_depth: 64,
+        ..ServiceConfig::for_diff_budget(shards, 2_048)
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    const N: usize = 200_000;
+    let ks = keys(N, 42);
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+    for shards in [1u32, 4, 8] {
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                let svc = PeelService::start(cfg(shards));
+                svc.insert(&ks);
+                svc.flush();
+                svc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconcile(c: &mut Criterion) {
+    const N: usize = 100_000;
+    const DIFF: usize = 1_000;
+    let mut group = c.benchmark_group("service_reconcile");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(DIFF as u64));
+    for shards in [1u32, 4, 8] {
+        // A server set and a peer set differing in DIFF keys.
+        let server_set = keys(N, 7);
+        let mut peer_set = server_set[..N - DIFF / 2].to_vec();
+        peer_set.extend(keys(DIFF / 2, 999));
+
+        let svc = PeelService::start(cfg(shards));
+        svc.insert(&server_set);
+        svc.flush();
+        let hello = svc.hello();
+        let digests = build_shard_digests(
+            &peer_set,
+            hello.shards,
+            hello.router_seed,
+            hello.base_config,
+        );
+
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for (i, d) in digests.iter().enumerate() {
+                    let diff = svc.reconcile_shard(i as u32, d).unwrap();
+                    assert!(diff.complete);
+                    found += diff.only_local.len() + diff.only_remote.len();
+                }
+                assert_eq!(found, DIFF);
+                found
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_reconcile);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Machine-readable service benchmark: runs the full wire path (TCP
+//! loopback server + client) plus the in-process service core, and
+//! writes the measurements to `BENCH_service.json` so the repo's perf
+//! trajectory can be tracked across PRs.
+//!
+//! ```sh
+//! cargo run --release -p peel-bench --bin bench_json             # laptop scale
+//! cargo run --release -p peel-bench --bin bench_json -- --full   # 10× keys
+//! cargo run --release -p peel-bench --bin bench_json -- --out results.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use peel_bench::Args;
+use peel_graph::rng::Xoshiro256StarStar;
+use peel_service::{build_shard_digests, Client, PeelService, Server, ServiceConfig};
+use rand::RngCore;
+
+fn keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn cfg(shards: u32, diff_budget: usize) -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 1024,
+        queue_depth: 64,
+        ..ServiceConfig::for_diff_budget(shards, diff_budget)
+    }
+}
+
+struct Measurement {
+    ingest_ms: f64,
+    reconcile_ms: f64,
+    subrounds_max: u32,
+    complete: bool,
+    diff_found: usize,
+}
+
+/// One full cycle — seed N keys, reconcile a `diff`-key difference —
+/// through a closure that runs the two phases and reports their wall
+/// times.
+fn run_tcp(n: usize, diff: usize, shards: u32) -> Measurement {
+    let server = Server::bind("127.0.0.1:0", cfg(shards, diff * 2)).expect("bind");
+    let mut client =
+        Client::connect_retry(server.local_addr(), Duration::from_secs(5)).expect("connect");
+
+    let server_set = keys(n, 7);
+    let mut peer_set = server_set[..n - diff / 2].to_vec();
+    peer_set.extend(keys(diff - diff / 2, 999));
+
+    let t = Instant::now();
+    for chunk in server_set.chunks(8_192) {
+        client.insert(chunk).expect("insert");
+    }
+    client.flush().expect("flush");
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let out = client.reconcile(&peer_set).expect("reconcile");
+    let reconcile_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    Measurement {
+        ingest_ms,
+        reconcile_ms,
+        subrounds_max: out.max_subrounds(),
+        complete: out.complete,
+        diff_found: out.only_server.len() + out.only_client.len(),
+    }
+}
+
+fn run_inproc(n: usize, diff: usize, shards: u32) -> Measurement {
+    let svc = PeelService::start(cfg(shards, diff * 2));
+    let server_set = keys(n, 7);
+    let mut peer_set = server_set[..n - diff / 2].to_vec();
+    peer_set.extend(keys(diff - diff / 2, 999));
+
+    let t = Instant::now();
+    svc.insert(&server_set);
+    svc.flush();
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let hello = svc.hello();
+    let t = Instant::now();
+    let digests = build_shard_digests(
+        &peer_set,
+        hello.shards,
+        hello.router_seed,
+        hello.base_config,
+    );
+    let mut subrounds_max = 0;
+    let mut complete = true;
+    let mut diff_found = 0;
+    for (i, d) in digests.iter().enumerate() {
+        let out = svc.reconcile_shard(i as u32, d).expect("reconcile");
+        subrounds_max = subrounds_max.max(out.subrounds);
+        complete &= out.complete;
+        diff_found += out.only_local.len() + out.only_remote.len();
+    }
+    let reconcile_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    Measurement {
+        ingest_ms,
+        reconcile_ms,
+        subrounds_max,
+        complete,
+        diff_found,
+    }
+}
+
+fn json_entry(out: &mut String, label: &str, n: usize, diff: usize, shards: u32, m: &Measurement) {
+    let _ = write!(
+        out,
+        "    {{\"path\": \"{label}\", \"n_keys\": {n}, \"diff\": {diff}, \"shards\": {shards}, \
+         \"ingest_ms\": {:.3}, \"ingest_ops_per_sec\": {:.0}, \"reconcile_ms\": {:.3}, \
+         \"subrounds_max\": {}, \"complete\": {}, \"diff_found\": {}}}",
+        m.ingest_ms,
+        n as f64 / (m.ingest_ms / 1e3),
+        m.reconcile_ms,
+        m.subrounds_max,
+        m.complete,
+        m.diff_found,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        eprintln!(
+            "bench_json [--full] [--n N] [--diff D] [--out PATH]\n\
+             Measures service ingest throughput and reconcile latency (TCP and\n\
+             in-process) and writes machine-readable JSON (default\n\
+             BENCH_service.json)."
+        );
+        return;
+    }
+    let full = args.flag("full");
+    let n: usize = args.get("n", if full { 1_000_000 } else { 200_000 });
+    let diff: usize = args.get("diff", 1_000);
+    let out_path: String = args.get("out", "BENCH_service.json".to_string());
+
+    let mut body = String::from("{\n  \"bench\": \"peel-service\",\n  \"results\": [\n");
+    let mut first = true;
+    for shards in [1u32, 4, 8] {
+        for (label, m) in [
+            ("tcp", run_tcp(n, diff, shards)),
+            ("inproc", run_inproc(n, diff, shards)),
+        ] {
+            assert!(m.complete, "{label}/{shards}: recovery incomplete");
+            assert_eq!(m.diff_found, diff, "{label}/{shards}: wrong diff size");
+            if !first {
+                body.push_str(",\n");
+            }
+            first = false;
+            json_entry(&mut body, label, n, diff, shards, &m);
+            println!(
+                "{label:>7} shards={shards}: ingest {:>9.1} ms ({:>10.0} ops/s), \
+                 reconcile {:>7.1} ms, {} subrounds",
+                m.ingest_ms,
+                n as f64 / (m.ingest_ms / 1e3),
+                m.reconcile_ms,
+                m.subrounds_max,
+            );
+        }
+    }
+    body.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &body).expect("write results");
+    println!("wrote {out_path}");
+}

@@ -272,11 +272,21 @@ impl AtomicIblt {
         out
     }
 
-    /// Convert to a serial [`Iblt`] (e.g. to ship over the network).
-    pub fn to_serial(&self) -> Iblt {
+    /// Copy the current cell contents into a serial [`Iblt`] snapshot
+    /// (e.g. to ship over the network or to run recovery on a frozen view
+    /// while ingest continues on `self`).
+    ///
+    /// The copy is sequential on purpose: callers typically hold an
+    /// update fence while snapshotting (see below), and for realistic
+    /// table sizes a straight copy of three flat arrays is faster than
+    /// any fork/join overhead — keeping the fenced window minimal.
+    ///
+    /// The loads are relaxed and per-cell: if updates race with the
+    /// snapshot, a key's `r` cell writes may be only partially captured.
+    /// Callers that need a consistent view (such as `peel-service`'s
+    /// recovery scheduler) must fence updates around the copy.
+    pub fn snapshot(&self) -> Iblt {
         let mut t = Iblt::new(self.cfg);
-        // Rebuild through raw cells: reuse serial recovery of a clone is
-        // wasteful, so copy cells directly.
         let cells: Vec<Cell> = (0..self.cfg.total_cells())
             .map(|i| self.read_cell(i))
             .collect();
@@ -284,8 +294,14 @@ impl AtomicIblt {
         t
     }
 
-    /// Build from a serial table (e.g. received from a peer).
-    pub fn from_serial(t: &Iblt) -> Self {
+    /// Convert to a serial [`Iblt`] (alias of [`Self::snapshot`]).
+    pub fn to_serial(&self) -> Iblt {
+        self.snapshot()
+    }
+
+    /// Build an atomic table holding exactly a serial table's contents
+    /// (e.g. a subtracted difference about to be recovered in parallel).
+    pub fn from_iblt(t: &Iblt) -> Self {
         let out = AtomicIblt::new(*t.config());
         for (i, c) in t.cells().iter().enumerate() {
             out.count[i].store(c.count, Relaxed);
@@ -293,6 +309,11 @@ impl AtomicIblt {
             out.check_sum[i].store(c.check_sum, Relaxed);
         }
         out
+    }
+
+    /// Build from a serial table (alias of [`Self::from_iblt`]).
+    pub fn from_serial(t: &Iblt) -> Self {
+        Self::from_iblt(t)
     }
 
     /// Serial recovery of the same table contents (for baseline timing).
@@ -430,6 +451,71 @@ mod tests {
         let mut neg = got.negative;
         neg.sort_unstable();
         assert_eq!(neg, extra);
+    }
+
+    #[test]
+    fn snapshot_then_recover_matches_locked_and_serial() {
+        use crate::locked::LockedIblt;
+        // Same key set through three paths: atomic + snapshot, locked,
+        // and a plain serial table. All recoveries must agree exactly.
+        let cfg = IbltConfig::for_load(3, 3_000, 0.65, 31);
+        let ks = keys(3_000);
+
+        let atomic = AtomicIblt::new(cfg);
+        atomic.par_insert(&ks);
+        let mut from_snapshot = atomic.snapshot().recover_destructive();
+
+        let locked = LockedIblt::new(cfg);
+        locked.par_insert(&ks);
+        let mut from_locked = locked.to_serial().recover_destructive();
+
+        let mut serial = Iblt::new(cfg);
+        for &k in &ks {
+            serial.insert(k);
+        }
+        let mut from_serial = serial.recover_destructive();
+
+        for rec in [&mut from_snapshot, &mut from_locked, &mut from_serial] {
+            rec.positive.sort_unstable();
+        }
+        assert!(from_snapshot.complete && from_locked.complete && from_serial.complete);
+        assert_eq!(from_snapshot.positive, from_locked.positive);
+        assert_eq!(from_snapshot.positive, from_serial.positive);
+        assert!(from_snapshot.negative.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_copy() {
+        // Mutating the source after the snapshot must not affect it.
+        let cfg = IbltConfig::for_load(3, 1_000, 0.5, 32);
+        let t = AtomicIblt::new(cfg);
+        t.par_insert(&keys(1_000));
+        let snap = t.snapshot();
+        t.par_delete(&keys(1_000));
+        assert_eq!(snap.items(), 1_000);
+        let got = snap.recover();
+        assert!(got.complete);
+        assert_eq!(got.positive.len(), 1_000);
+    }
+
+    #[test]
+    fn from_iblt_roundtrips_signed_contents() {
+        // Signed (post-subtraction-style) contents survive the conversion
+        // in both directions.
+        let cfg = IbltConfig::for_load(4, 200, 0.4, 33);
+        let mut serial = Iblt::new(cfg);
+        for k in 0..80u64 {
+            serial.insert(k);
+        }
+        for k in 1_000..1_040u64 {
+            serial.delete(k);
+        }
+        let atomic = AtomicIblt::from_iblt(&serial);
+        assert_eq!(atomic.snapshot(), serial);
+        let got = atomic.par_recover();
+        assert!(got.complete);
+        assert_eq!(got.positive.len(), 80);
+        assert_eq!(got.negative.len(), 40);
     }
 
     #[test]

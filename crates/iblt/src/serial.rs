@@ -13,6 +13,16 @@ pub struct Iblt {
     items: i64,
 }
 
+/// Two tables are equal when they have the same configuration and the same
+/// cell contents (the hasher and item counter are derived from those).
+impl PartialEq for Iblt {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg && self.cells == other.cells
+    }
+}
+
+impl Eq for Iblt {}
+
 /// Result of a recovery (listing) attempt.
 #[derive(Debug, Clone, Default)]
 pub struct Recovery {

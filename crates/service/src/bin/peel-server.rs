@@ -1,0 +1,76 @@
+//! The reconciliation server binary.
+//!
+//! ```sh
+//! peel-server [--addr 127.0.0.1:7744] [--shards 4] [--diff-budget 2048]
+//!             [--batch-size 1024] [--queue-depth 64] [--workers N]
+//! ```
+//!
+//! Binds, prints `listening on <addr>`, and serves until a client sends
+//! `Shutdown` (see `examples/reconcile_service.rs` for a full client).
+//! On exit it prints the final service metrics.
+
+use peel_service::server::Server;
+use peel_service::service::ServiceConfig;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") {
+        eprintln!(
+            "peel-server [--addr 127.0.0.1:7744] [--shards 4] [--diff-budget 2048]\n\
+             \x20           [--batch-size 1024] [--queue-depth 64] [--workers N]\n\
+             Sharded IBLT set-reconciliation server; stops on a Shutdown request."
+        );
+        return;
+    }
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7744".into());
+    let shards: u32 = parse(&args, "--shards", 4);
+    let diff_budget: usize = parse(&args, "--diff-budget", 2048);
+    let mut cfg = ServiceConfig::for_diff_budget(shards, diff_budget);
+    cfg.batch_size = parse(&args, "--batch-size", cfg.batch_size);
+    cfg.queue_depth = parse(&args, "--queue-depth", cfg.queue_depth);
+    cfg.workers = parse(&args, "--workers", cfg.workers);
+
+    let mut server = match Server::bind(addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("peel-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "peel-server listening on {} ({} shards × {} cells, batch {}, queue {}, {} workers)",
+        server.local_addr(),
+        cfg.shards,
+        cfg.shard_iblt.total_cells(),
+        cfg.batch_size,
+        cfg.queue_depth,
+        cfg.workers,
+    );
+
+    server.wait();
+    server.shutdown();
+    let m = server.service().metrics();
+    println!(
+        "peel-server: shut down after {} ops in {} batches (occupancy {:.1}), \
+         {} stalls, {} recoveries ({} incomplete, {} subrounds total)",
+        m.ops_applied,
+        m.batches_applied,
+        m.mean_batch_occupancy(),
+        m.queue_stalls,
+        m.recoveries,
+        m.recoveries_incomplete,
+        m.recovery_subrounds,
+    );
+}

@@ -1,0 +1,186 @@
+//! Blocking client library for the reconciliation service.
+//!
+//! [`Client`] wraps one TCP connection with typed request/response calls;
+//! [`Client::reconcile`] is the high-level entry point: it learns the
+//! server's sharding from the `Hello` handshake, digests the caller's key
+//! set per shard, reconciles every shard, and merges the result into a
+//! single [`ServiceDiff`].
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use peel_iblt::Iblt;
+
+use crate::metrics::MetricsSnapshot;
+use crate::router::build_shard_digests;
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, HelloInfo, Request, Response,
+    ShardDiff, WireError,
+};
+
+/// The merged outcome of reconciling every shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceDiff {
+    /// Keys the server has that the client does not (sorted).
+    pub only_server: Vec<u64>,
+    /// Keys the client has that the server does not (sorted).
+    pub only_client: Vec<u64>,
+    /// True iff every shard decoded completely.
+    pub complete: bool,
+    /// The per-shard results (epochs, subround counts, raw key lists).
+    pub shards: Vec<ShardDiff>,
+}
+
+impl ServiceDiff {
+    /// Largest subround count over all shards (the recovery's critical
+    /// path if shards were reconciled in parallel).
+    pub fn max_subrounds(&self) -> u32 {
+        self.shards.iter().map(|d| d.subrounds).max().unwrap_or(0)
+    }
+}
+
+/// A blocking connection to a reconciliation server.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    hello: Option<HelloInfo>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connect, retrying for up to `timeout` while the server comes up
+    /// (useful when the server is a freshly spawned separate process).
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Client, WireError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) if Instant::now() >= deadline => return Err(WireError::Io(e)),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, WireError> {
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            hello: None,
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        let payload = read_frame(&mut self.reader)?.ok_or(WireError::UnexpectedEof)?;
+        match decode_response(&payload)? {
+            Response::Error(msg) => Err(WireError::Remote(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Fetch (and cache) the server's sharding parameters.
+    pub fn hello(&mut self) -> Result<HelloInfo, WireError> {
+        if let Some(h) = self.hello {
+            return Ok(h);
+        }
+        match self.call(&Request::Hello)? {
+            Response::Hello(h) => {
+                self.hello = Some(h);
+                Ok(h)
+            }
+            _ => Err(WireError::UnexpectedResponse("expected Hello")),
+        }
+    }
+
+    /// Insert keys; returns how many the server accepted.
+    pub fn insert(&mut self, keys: &[u64]) -> Result<u64, WireError> {
+        match self.call(&Request::Insert(keys.to_vec()))? {
+            Response::Ok { accepted } => Ok(accepted),
+            _ => Err(WireError::UnexpectedResponse("expected Ok")),
+        }
+    }
+
+    /// Delete keys; returns how many the server accepted.
+    pub fn delete(&mut self, keys: &[u64]) -> Result<u64, WireError> {
+        match self.call(&Request::Delete(keys.to_vec()))? {
+            Response::Ok { accepted } => Ok(accepted),
+            _ => Err(WireError::UnexpectedResponse("expected Ok")),
+        }
+    }
+
+    /// Block until everything submitted so far is applied server-side.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Flush)? {
+            Response::Ok { .. } => Ok(()),
+            _ => Err(WireError::UnexpectedResponse("expected Ok")),
+        }
+    }
+
+    /// Fetch a snapshot digest of one server shard.
+    pub fn digest(&mut self, shard: u32) -> Result<(u64, Iblt), WireError> {
+        match self.call(&Request::Digest { shard })? {
+            Response::Digest { epoch, iblt } => Ok((epoch, iblt)),
+            _ => Err(WireError::UnexpectedResponse("expected Digest")),
+        }
+    }
+
+    /// Reconcile one shard against a locally built digest.
+    pub fn reconcile_shard(&mut self, shard: u32, digest: &Iblt) -> Result<ShardDiff, WireError> {
+        match self.call(&Request::Reconcile {
+            shard,
+            digest: digest.clone(),
+        })? {
+            Response::Diff(d) => Ok(d),
+            _ => Err(WireError::UnexpectedResponse("expected Diff")),
+        }
+    }
+
+    /// Reconcile the caller's entire key set against the server: digest
+    /// the keys per shard (using the handshake parameters) and merge the
+    /// per-shard differences.
+    pub fn reconcile(&mut self, keys: &[u64]) -> Result<ServiceDiff, WireError> {
+        let hello = self.hello()?;
+        let digests = build_shard_digests(keys, hello.shards, hello.router_seed, hello.base_config);
+        let mut out = ServiceDiff {
+            complete: true,
+            ..ServiceDiff::default()
+        };
+        for (i, digest) in digests.iter().enumerate() {
+            let d = self.reconcile_shard(i as u32, digest)?;
+            out.complete &= d.complete;
+            out.only_server.extend_from_slice(&d.only_local);
+            out.only_client.extend_from_slice(&d.only_remote);
+            out.shards.push(d);
+        }
+        out.only_server.sort_unstable();
+        out.only_client.sort_unstable();
+        Ok(out)
+    }
+
+    /// Fetch service metrics.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, WireError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(WireError::UnexpectedResponse("expected Stats")),
+        }
+    }
+
+    /// Ask the server process to shut down cleanly.
+    pub fn shutdown_server(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok { .. } => Ok(()),
+            _ => Err(WireError::UnexpectedResponse("expected Ok")),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # peel-service — a sharded, batched set-reconciliation service on the
+//! atomic IBLT
+//!
+//! The paper's headline application of parallel peeling is IBLT recovery
+//! under concurrent atomic-XOR updates (Section 6). This crate wraps that
+//! kernel — [`peel_iblt::AtomicIblt`] plus its subround parallel recovery
+//! — in the layers a servable system needs:
+//!
+//! * **Shard router** ([`router`]): a keyspace partitioned across `S`
+//!   independent IBLT shards, each with its own hash seed and a per-shard
+//!   epoch counter. Routing is pure arithmetic over handshake values, so
+//!   clients shard identically without coordination.
+//! * **Batched ingest** ([`service`], [`queue`]): submitted insert/delete
+//!   ops accumulate into fixed-size batches, flow through a bounded queue
+//!   (backpressure), and are applied by a worker pool via the atomic
+//!   `fetch_add`/`fetch_xor` paths — the paper's concurrent-update model,
+//!   operated as a pipeline.
+//! * **Epoch-based recovery scheduler** ([`service`]): reconciliation
+//!   snapshots a shard (a gated cell copy, not a stop-the-world), subtracts
+//!   the peer's digest, and runs subround parallel recovery on the frozen
+//!   copy while ingest keeps flowing. Results carry the snapshot epoch.
+//! * **Wire protocol** ([`wire`]): length-prefixed binary frames over
+//!   `std::net` TCP — `Hello`/`Insert`/`Delete`/`Flush`/`Digest`/
+//!   `Reconcile`/`Stats`/`Shutdown` — with total, panic-free decoding.
+//! * **Server & client** ([`server`], [`client`]): a blocking TCP server
+//!   (`peel-server` binary) and a typed client whose
+//!   [`client::Client::reconcile`] runs the whole per-shard protocol.
+//! * **Metrics** ([`metrics`]): per-shard op counts and epochs, batch
+//!   occupancy, queue stalls, and the per-subround recovery traces the
+//!   paper's Tables 5–6 analyze — observable over the wire via `Stats`.
+//!
+//! ## Why the table stays small
+//!
+//! A shard's IBLT is sized for the expected *difference* against a peer,
+//! not for the ingested volume: inserting a million keys into a
+//! 2 000-cell shard is fine, because reconciliation subtracts a peer
+//! digest that cancels everything common before recovery runs. That is
+//! the Eppstein et al. O(d) set-reconciliation guarantee, served.
+//!
+//! ## Example (in-process; see `examples/reconcile_service.rs` for the
+//! two-process version)
+//!
+//! ```
+//! use peel_service::server::Server;
+//! use peel_service::client::Client;
+//! use peel_service::service::ServiceConfig;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServiceConfig::for_diff_budget(4, 256)).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! // Server holds keys 0..1000 and 5000; client holds 0..1000 and 6000.
+//! let mut server_keys: Vec<u64> = (0..1000).collect();
+//! server_keys.push(5000);
+//! client.insert(&server_keys).unwrap();
+//! client.flush().unwrap();
+//!
+//! let mut client_keys: Vec<u64> = (0..1000).collect();
+//! client_keys.push(6000);
+//! let diff = client.reconcile(&client_keys).unwrap();
+//! assert!(diff.complete);
+//! assert_eq!(diff.only_server, vec![5000]);
+//! assert_eq!(diff.only_client, vec![6000]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{Client, ServiceDiff};
+pub use metrics::{Metrics, MetricsSnapshot, ShardStats};
+pub use router::{build_shard_digests, shard_iblt_config, ShardRouter};
+pub use server::Server;
+pub use service::{PeelService, ServiceConfig, ServiceError};
+pub use wire::{HelloInfo, Request, Response, ShardDiff, WireError};

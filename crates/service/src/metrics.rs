@@ -1,0 +1,129 @@
+//! Service counters: per-shard op counts, batch occupancy, queue
+//! backpressure stalls, and recovery subround traces.
+//!
+//! All counters are relaxed atomics updated on the hot paths; a
+//! [`MetricsSnapshot`] is a plain-data copy that the wire protocol can
+//! ship to clients (`Stats` request).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use parking_lot::Mutex;
+
+/// Live service counters (shared between workers, connections, and the
+/// recovery scheduler).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Batches drained from the ingest queue and applied.
+    pub batches_applied: AtomicU64,
+    /// Individual operations applied (inserts + deletes).
+    pub ops_applied: AtomicU64,
+    /// Times a producer blocked because the bounded queue was full.
+    pub queue_stalls: AtomicU64,
+    /// Recoveries (reconciliations) run.
+    pub recoveries: AtomicU64,
+    /// Recoveries that did not decode completely.
+    pub recoveries_incomplete: AtomicU64,
+    /// Total parallel subrounds across all recoveries.
+    pub recovery_subrounds: AtomicU64,
+    /// Per-subround key counts of the most recent recovery (the paper's
+    /// Table 5/6 trace, observable in production).
+    last_trace: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// Record one finished recovery.
+    pub fn record_recovery(&self, complete: bool, subrounds: u32, per_subround: &[u64]) {
+        self.recoveries.fetch_add(1, Relaxed);
+        if !complete {
+            self.recoveries_incomplete.fetch_add(1, Relaxed);
+        }
+        self.recovery_subrounds.fetch_add(subrounds as u64, Relaxed);
+        *self.last_trace.lock() = per_subround.to_vec();
+    }
+
+    /// Plain-data copy of the global counters (per-shard stats are filled
+    /// in by the service, which owns the shards).
+    pub fn snapshot(&self, shards: Vec<ShardStats>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            batches_applied: self.batches_applied.load(Relaxed),
+            ops_applied: self.ops_applied.load(Relaxed),
+            queue_stalls: self.queue_stalls.load(Relaxed),
+            recoveries: self.recoveries.load(Relaxed),
+            recoveries_incomplete: self.recoveries_incomplete.load(Relaxed),
+            recovery_subrounds: self.recovery_subrounds.load(Relaxed),
+            last_recovery_trace: self.last_trace.lock().clone(),
+            shards,
+        }
+    }
+}
+
+/// Per-shard counters at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Batches applied to this shard (the shard's epoch).
+    pub epoch: u64,
+    /// Keys inserted into this shard.
+    pub inserts: u64,
+    /// Keys deleted from this shard.
+    pub deletes: u64,
+}
+
+/// Point-in-time copy of all service counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Batches drained from the ingest queue and applied.
+    pub batches_applied: u64,
+    /// Individual operations applied.
+    pub ops_applied: u64,
+    /// Producer stalls on the bounded queue (backpressure events).
+    pub queue_stalls: u64,
+    /// Recoveries run.
+    pub recoveries: u64,
+    /// Recoveries that did not decode completely.
+    pub recoveries_incomplete: u64,
+    /// Total subrounds across all recoveries.
+    pub recovery_subrounds: u64,
+    /// Per-subround key counts of the most recent recovery.
+    pub last_recovery_trace: Vec<u64>,
+    /// One entry per shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl MetricsSnapshot {
+    /// Mean ops per applied batch (the batching layer's occupancy).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches_applied == 0 {
+            return 0.0;
+        }
+        self.ops_applied as f64 / self.batches_applied as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::default();
+        m.batches_applied.store(3, Relaxed);
+        m.ops_applied.store(12, Relaxed);
+        m.record_recovery(true, 9, &[4, 2, 1]);
+        m.record_recovery(false, 5, &[1]);
+        let s = m.snapshot(vec![ShardStats::default(); 2]);
+        assert_eq!(s.batches_applied, 3);
+        assert_eq!(s.ops_applied, 12);
+        assert_eq!(s.recoveries, 2);
+        assert_eq!(s.recoveries_incomplete, 1);
+        assert_eq!(s.recovery_subrounds, 14);
+        assert_eq!(s.last_recovery_trace, vec![1]);
+        assert_eq!(s.shards.len(), 2);
+        assert!((s.mean_batch_occupancy() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_occupancy() {
+        let s = Metrics::default().snapshot(Vec::new());
+        assert_eq!(s.mean_batch_occupancy(), 0.0);
+    }
+}

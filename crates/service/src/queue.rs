@@ -1,0 +1,223 @@
+//! Bounded batch queue: the backpressure point between connection
+//! handlers (producers) and the ingest worker pool (consumers).
+//!
+//! `std::sync::{Mutex, Condvar}` rather than the `parking_lot` shim
+//! because the shim deliberately omits condvars; the queue is cold
+//! relative to the atomic IBLT updates it feeds, so the std primitives
+//! are plenty.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Condvar, Mutex};
+
+/// One signed key operation: insert (`dir = +1`) or delete (`dir = −1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// The key.
+    pub key: u64,
+    /// +1 for insert, −1 for delete.
+    pub dir: i64,
+}
+
+/// A batch of operations, as drained by a worker.
+pub type Batch = Vec<Op>;
+
+struct State {
+    batches: VecDeque<Batch>,
+    /// Batches popped but not yet `task_done`d.
+    in_flight: usize,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of batches with a drain ("idle") waiter.
+pub struct BoundedQueue {
+    state: Mutex<State>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    idle: Condvar,
+    capacity: usize,
+    stalls: AtomicU64,
+}
+
+impl BoundedQueue {
+    /// Queue holding at most `capacity` pending batches (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(State {
+                batches: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            idle: Condvar::new(),
+            capacity,
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a batch, blocking while the queue is full (backpressure).
+    /// Returns `false` — dropping the batch — iff the queue is closed.
+    pub fn push(&self, batch: Batch) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.batches.len() >= self.capacity {
+            self.stalls.fetch_add(1, Relaxed);
+            while st.batches.len() >= self.capacity && !st.closed {
+                st = self.not_full.wait(st).unwrap();
+            }
+        }
+        if st.closed {
+            return false;
+        }
+        st.batches.push_back(batch);
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeue the next batch, blocking while empty. Returns `None` once
+    /// the queue is closed *and* drained. The caller must follow every
+    /// successful pop with [`Self::task_done`].
+    pub fn pop(&self) -> Option<Batch> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(b) = st.batches.pop_front() {
+                st.in_flight += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(b);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Mark a popped batch as fully applied.
+    pub fn task_done(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight -= 1;
+        if st.in_flight == 0 && st.batches.is_empty() {
+            drop(st);
+            self.idle.notify_all();
+        }
+    }
+
+    /// Block until the queue is empty and no batch is being applied.
+    pub fn wait_idle(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !(st.batches.is_empty() && st.in_flight == 0) {
+            st = self.idle.wait(st).unwrap();
+        }
+    }
+
+    /// Close the queue: producers are rejected, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// True once [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Times a producer has blocked on a full queue.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Relaxed)
+    }
+
+    /// Pending batches (excluding in-flight).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().batches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn batch(n: u64) -> Batch {
+        vec![Op { key: n, dir: 1 }]
+    }
+
+    #[test]
+    fn fifo_through_one_worker() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(b) = q.pop() {
+                    seen.push(b[0].key);
+                    q.task_done();
+                }
+                seen
+            })
+        };
+        for i in 0..20 {
+            assert!(q.push(batch(i)));
+        }
+        q.wait_idle();
+        q.close();
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn full_queue_blocks_and_counts_stalls() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(batch(0)));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(batch(1)))
+        };
+        // Give the producer time to block on the full queue.
+        while q.stalls() == 0 {
+            thread::yield_now();
+        }
+        assert_eq!(q.depth(), 1);
+        // Draining unblocks it.
+        q.pop().unwrap();
+        q.task_done();
+        assert!(producer.join().unwrap());
+        assert_eq!(q.stalls(), 1);
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumers() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(batch(0)));
+        q.close();
+        assert!(!q.push(batch(1)), "push after close must be rejected");
+        assert!(q.pop().is_some(), "close drains pending batches");
+        q.task_done();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn wait_idle_waits_for_in_flight_batches() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(batch(0));
+        let b = q.pop().unwrap();
+        let waiter = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.wait_idle())
+        };
+        // The batch is in flight, so the waiter must not finish yet.
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished());
+        drop(b);
+        q.task_done();
+        waiter.join().unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! Keyspace sharding: key → shard, and per-shard IBLT configurations.
+//!
+//! Client and server must agree on both mappings, so the router is pure,
+//! deterministic arithmetic over values exchanged in the `Hello` handshake
+//! (shard count, router seed, base IBLT config). Each shard gets its own
+//! hash-function seed so that a key colliding in one shard's table is
+//! independent of its placement everywhere else.
+
+use peel_iblt::{Iblt, IbltConfig};
+
+/// The 64-bit SplitMix finalizer (same mixer family as `peel-iblt`'s
+/// hashing; duplicated here because the service must not depend on the
+/// IBLT's private internals for its *routing* decisions).
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic key → shard mapping shared by clients and servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+    seed: u64,
+}
+
+impl ShardRouter {
+    /// Router over `shards` shards (≥ 1) under a shared seed.
+    pub fn new(shards: u32, seed: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardRouter { shards, seed }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning `key` (multiply-shift range reduction, no modulo bias).
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        let h = mix64(key ^ self.seed);
+        ((h as u128 * self.shards as u128) >> 64) as usize
+    }
+
+    /// Partition a key list into per-shard buckets.
+    pub fn partition(&self, keys: &[u64]) -> Vec<Vec<u64>> {
+        let mut out = vec![Vec::new(); self.shards as usize];
+        for &k in keys {
+            out[self.shard_of(k)].push(k);
+        }
+        out
+    }
+}
+
+/// The IBLT configuration of shard `shard` under a service-wide base
+/// config: same geometry, per-shard hash seed.
+pub fn shard_iblt_config(base: IbltConfig, shard: u32) -> IbltConfig {
+    IbltConfig {
+        seed: mix64(base.seed ^ (0x5eed_0000_0000_0000 | shard as u64)),
+        ..base
+    }
+}
+
+/// Build the per-shard IBLT digests of a key set — the client half of a
+/// reconciliation. Uses exactly the routing and per-shard configs a
+/// server advertising (`shards`, `router_seed`, `base`) applies on its
+/// side, so digest `i` is subtraction-compatible with server shard `i`.
+pub fn build_shard_digests(
+    keys: &[u64],
+    shards: u32,
+    router_seed: u64,
+    base: IbltConfig,
+) -> Vec<Iblt> {
+    let router = ShardRouter::new(shards, router_seed);
+    let mut out: Vec<Iblt> = (0..shards)
+        .map(|i| Iblt::new(shard_iblt_config(base, i)))
+        .collect();
+    for &k in keys {
+        out[router.shard_of(k)].insert(k);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_in_range_and_deterministic() {
+        let r = ShardRouter::new(7, 42);
+        for key in 0..10_000u64 {
+            let s = r.shard_of(key);
+            assert!(s < 7);
+            assert_eq!(s, ShardRouter::new(7, 42).shard_of(key));
+        }
+    }
+
+    #[test]
+    fn partition_is_roughly_balanced() {
+        let r = ShardRouter::new(8, 9);
+        let keys: Vec<u64> = (0..80_000u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        let parts = r.partition(&keys);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), keys.len());
+        for p in &parts {
+            // Expect 10k ± a generous 20%.
+            assert!(p.len() > 8_000 && p.len() < 12_000, "bucket = {}", p.len());
+        }
+    }
+
+    #[test]
+    fn seed_changes_routing() {
+        let a = ShardRouter::new(16, 1);
+        let b = ShardRouter::new(16, 2);
+        let moved = (0..1_000u64)
+            .filter(|&k| a.shard_of(k) != b.shard_of(k))
+            .count();
+        assert!(moved > 800, "only {moved} keys moved");
+    }
+
+    #[test]
+    fn shard_configs_differ_only_in_seed() {
+        let base = IbltConfig::new(4, 100, 77);
+        let a = shard_iblt_config(base, 0);
+        let b = shard_iblt_config(base, 1);
+        assert_eq!(a.hashes, base.hashes);
+        assert_eq!(a.cells_per_table, base.cells_per_table);
+        assert_ne!(a.seed, b.seed);
+        // Stable across calls (the client derives the same configs).
+        assert_eq!(a, shard_iblt_config(base, 0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Blocking TCP server over `std::net` (no async runtime — crates.io is
+//! unavailable; see ROADMAP for the tokio follow-on).
+//!
+//! One accept thread plus one handler thread per connection. Handlers
+//! translate wire [`Request`]s into [`PeelService`] calls; every
+//! service-level failure becomes a protocol `Error` response, never a
+//! dropped connection. A `Shutdown` request stops the accept loop, closes
+//! the open connections, and unblocks [`Server::wait`].
+
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::service::{PeelService, ServiceConfig};
+use crate::wire::{decode_request, encode_response, read_frame, write_frame, Request, Response};
+
+struct Shared {
+    service: PeelService,
+    stopping: AtomicBool,
+    stop_lock: Mutex<bool>,
+    stop_cv: Condvar,
+    /// One stream clone per *live* connection (keyed by connection id;
+    /// handlers remove their entry on exit so closed sockets don't leak
+    /// fds), so shutdown can unblock handler threads parked in
+    /// `read_frame`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    fn signal_stop(&self) {
+        self.stopping.store(true, SeqCst);
+        *self.stop_lock.lock().unwrap() = true;
+        self.stop_cv.notify_all();
+        for (_, c) in self.conns.lock().unwrap().drain() {
+            let _ = c.shutdown(SockShutdown::Both);
+        }
+    }
+}
+
+/// A listening reconciliation server.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), start
+    /// the service worker pool, and begin accepting connections.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service: PeelService::start(cfg),
+            stopping: AtomicBool::new(false),
+            stop_lock: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &handlers))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying service (for in-process inspection in tests and
+    /// tools).
+    pub fn service(&self) -> &PeelService {
+        &self.shared.service
+    }
+
+    /// Number of currently live client connections (closed connections
+    /// are removed by their handler on exit).
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
+    }
+
+    /// Block until a client sends `Shutdown` (or [`Server::shutdown`] is
+    /// called from another thread via a clone of the shared state).
+    pub fn wait(&self) {
+        let mut stopped = self.shared.stop_lock.lock().unwrap();
+        while !*stopped {
+            stopped = self.shared.stop_cv.wait(stopped).unwrap();
+        }
+    }
+
+    /// Stop accepting, close open connections, join all threads, and shut
+    /// the service down (flushing pending batches). Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.signal_stop();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared.service.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.stopping.load(SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_id = next_id;
+        next_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        let shared_for_handler = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            handle_connection(stream, &shared_for_handler);
+            shared_for_handler.conns.lock().unwrap().remove(&conn_id);
+        });
+        // Reap finished handlers so a long-running server doesn't grow a
+        // JoinHandle per past connection.
+        let mut slots = handlers.lock().unwrap();
+        let mut live = Vec::with_capacity(slots.len() + 1);
+        for h in slots.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        live.push(handle);
+        *slots = live;
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean close, transport error, or shutdown-induced reset:
+            // the connection is done either way.
+            Ok(None) | Err(_) => return,
+        };
+        let (resp, stop_after) = match decode_request(&payload) {
+            Err(e) => (Response::Error(format!("bad request: {e}")), false),
+            Ok(req) => respond(&shared.service, req),
+        };
+        if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+            return;
+        }
+        if stop_after {
+            shared.signal_stop();
+            return;
+        }
+    }
+}
+
+/// Map one request to one response; the bool asks the server to stop.
+fn respond(service: &PeelService, req: Request) -> (Response, bool) {
+    let resp = match req {
+        Request::Hello => Response::Hello(service.hello()),
+        Request::Insert(keys) => Response::Ok {
+            accepted: service.insert(&keys),
+        },
+        Request::Delete(keys) => Response::Ok {
+            accepted: service.delete(&keys),
+        },
+        Request::Flush => {
+            service.flush();
+            Response::Ok { accepted: 0 }
+        }
+        Request::Digest { shard } => match service.snapshot_shard(shard) {
+            Ok((epoch, iblt)) => Response::Digest { epoch, iblt },
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Reconcile { shard, digest } => match service.reconcile_shard(shard, &digest) {
+            Ok(diff) => Response::Diff(diff),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Stats => Response::Stats(service.metrics()),
+        Request::Shutdown => return (Response::Ok { accepted: 0 }, true),
+    };
+    (resp, false)
+}

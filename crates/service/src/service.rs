@@ -1,0 +1,631 @@
+//! The reconciliation service core: sharded atomic IBLTs fed by a batched
+//! ingest pipeline, with an epoch-based recovery scheduler.
+//!
+//! ## Ingest
+//!
+//! Submitted operations accumulate in a shared buffer; every
+//! `batch_size` ops a batch is sealed and enqueued on a bounded queue
+//! (producers block when it fills — that is the service's backpressure).
+//! Worker threads drain batches, bucket the ops by shard, and apply each
+//! bucket through the atomic `fetch_add` / `fetch_xor` paths of
+//! [`AtomicIblt`] while holding the shard's **apply gate** in shared mode.
+//! Applying a bucket bumps the shard's **epoch**.
+//!
+//! ## Recovery
+//!
+//! A reconciliation takes the shard gate exclusively just long enough to
+//! copy the cells ([`AtomicIblt::snapshot`]) and read the epoch — a
+//! memcpy, not a decode — then releases it and runs subtraction plus
+//! subround parallel recovery ([`AtomicIblt::par_recover`]) entirely on
+//! the snapshot. Ingest to other shards is never touched; ingest to the
+//! snapshotted shard resumes as soon as the copy is done. The returned
+//! epoch tells the caller exactly which prefix of applied batches the
+//! diff covers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
+use peel_iblt::{AtomicIblt, Iblt, IbltConfig};
+
+use crate::metrics::{Metrics, MetricsSnapshot, ShardStats};
+use crate::queue::{Batch, BoundedQueue, Op};
+use crate::router::{shard_iblt_config, ShardRouter};
+use crate::wire::{HelloInfo, ShardDiff, PROTOCOL_VERSION};
+
+/// Tunables for a [`PeelService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of independent IBLT shards (≥ 1).
+    pub shards: u32,
+    /// Base per-shard IBLT config; shard `i` uses
+    /// [`shard_iblt_config`]`(shard_iblt, i)`. Size it for the expected
+    /// per-shard *difference*, not the ingested set — the table is a
+    /// constant-size sketch regardless of traffic volume.
+    pub shard_iblt: IbltConfig,
+    /// Ops per sealed ingest batch (≥ 1).
+    pub batch_size: usize,
+    /// Bounded queue capacity in batches (≥ 1); the backpressure knob.
+    pub queue_depth: usize,
+    /// Ingest worker threads (≥ 1).
+    pub workers: usize,
+    /// Seed of the key → shard router.
+    pub router_seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            shard_iblt: IbltConfig::for_load(4, 1024, 0.5, 0x1b17_5eed),
+            batch_size: 1024,
+            queue_depth: 64,
+            workers: default_workers(),
+            router_seed: 0x7007_1e55_0000_0001,
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+impl ServiceConfig {
+    /// Config sized so that a total symmetric difference of `total_diff`
+    /// keys (spread across `shards` shards by the router) decodes
+    /// reliably: each shard's table gets 2× headroom over its expected
+    /// share, at load 0.5 with r = 4 hash functions.
+    pub fn for_diff_budget(shards: u32, total_diff: usize) -> Self {
+        let per_shard = total_diff.div_ceil(shards.max(1) as usize);
+        let sized = (per_shard * 2).max(64);
+        ServiceConfig {
+            shards,
+            shard_iblt: IbltConfig::for_load(4, sized, 0.5, 0x1b17_5eed),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// The handshake info a server built from this config advertises.
+    pub fn hello(&self) -> HelloInfo {
+        HelloInfo {
+            version: PROTOCOL_VERSION,
+            shards: self.shards,
+            router_seed: self.router_seed,
+            base_config: self.shard_iblt,
+            batch_size: self.batch_size as u32,
+        }
+    }
+}
+
+/// Service-level failures (surfaced to clients as protocol `Error`
+/// responses, never as panics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Shard index out of range.
+    NoSuchShard {
+        /// Requested shard.
+        shard: u32,
+        /// Shards available.
+        shards: u32,
+    },
+    /// A peer digest was built with a different IBLT config than the
+    /// shard it targets (subtraction would be meaningless).
+    ConfigMismatch {
+        /// The shard's config.
+        expected: IbltConfig,
+        /// The digest's config.
+        got: IbltConfig,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::NoSuchShard { shard, shards } => {
+                write!(f, "shard {shard} out of range (service has {shards})")
+            }
+            ServiceError::ConfigMismatch { expected, got } => write!(
+                f,
+                "digest config {got:?} does not match shard config {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Shard {
+    table: AtomicIblt,
+    /// Shared: a worker applying a batch bucket. Exclusive: the recovery
+    /// scheduler copying cells. Guards snapshot *consistency* only — the
+    /// cell updates themselves are atomic.
+    gate: RwLock<()>,
+    /// Batch buckets applied to this shard.
+    epoch: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    queue: BoundedQueue,
+    /// The shared accumulator batches are sealed from.
+    pending: Mutex<Batch>,
+    metrics: Metrics,
+}
+
+/// A running reconciliation service: shard router, ingest worker pool,
+/// and recovery scheduler. Cheap to share via `Arc`; shuts down (and
+/// joins its workers) on drop.
+pub struct PeelService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PeelService {
+    /// Validate the config, build the shards, and start the worker pool.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.batch_size >= 1, "batch size must be at least 1");
+        assert!(cfg.workers >= 1, "need at least one worker");
+        // A shard's serialized digest (config + 24 bytes/cell + frame
+        // header slack) must fit in one wire frame, or every
+        // Digest/Reconcile response would die in `write_frame` after the
+        // server came up healthy.
+        assert!(
+            cfg.shard_iblt.total_cells() * 24 + 64 <= crate::wire::MAX_FRAME,
+            "shard tables of {} cells serialize past the {} byte wire frame cap; \
+             shrink the per-shard diff budget or raise shard count",
+            cfg.shard_iblt.total_cells(),
+            crate::wire::MAX_FRAME,
+        );
+        let shards = (0..cfg.shards)
+            .map(|i| Shard {
+                table: AtomicIblt::new(shard_iblt_config(cfg.shard_iblt, i)),
+                gate: RwLock::new(()),
+                epoch: AtomicU64::new(0),
+                inserts: AtomicU64::new(0),
+                deletes: AtomicU64::new(0),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            router: ShardRouter::new(cfg.shards, cfg.router_seed),
+            shards,
+            queue: BoundedQueue::new(cfg.queue_depth),
+            pending: Mutex::new(Vec::with_capacity(cfg.batch_size)),
+            metrics: Metrics::default(),
+            cfg,
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        PeelService {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+
+    /// The handshake info this service advertises.
+    pub fn hello(&self) -> HelloInfo {
+        self.inner.cfg.hello()
+    }
+
+    /// The key → shard router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.inner.router
+    }
+
+    /// Submit keys for insertion. Returns the number accepted (everything,
+    /// unless the service is shutting down).
+    pub fn insert(&self, keys: &[u64]) -> u64 {
+        self.submit(keys, 1)
+    }
+
+    /// Submit keys for deletion.
+    pub fn delete(&self, keys: &[u64]) -> u64 {
+        self.submit(keys, -1)
+    }
+
+    fn submit(&self, keys: &[u64], dir: i64) -> u64 {
+        let inner = &self.inner;
+        // After shutdown nothing in the accumulator will ever be applied
+        // (the queue rejects sealed batches), so accepting keys into it
+        // would silently lose them while reporting them accepted.
+        if inner.queue.is_closed() {
+            return 0;
+        }
+        let batch_size = inner.cfg.batch_size;
+        let mut sealed: Vec<Batch> = Vec::new();
+        {
+            let mut pending = inner.pending.lock();
+            for &key in keys {
+                pending.push(Op { key, dir });
+                if pending.len() >= batch_size {
+                    let full = std::mem::replace(&mut *pending, Vec::with_capacity(batch_size));
+                    sealed.push(full);
+                }
+            }
+        }
+        // Push outside the accumulator lock: a full queue blocks here
+        // (backpressure) without stalling other submitters' accumulation.
+        let mut dropped = 0u64;
+        for b in sealed {
+            let n = b.len() as u64;
+            if !inner.queue.push(b) {
+                dropped += n;
+            }
+        }
+        (keys.len() as u64).saturating_sub(dropped)
+    }
+
+    /// Seal whatever is in the accumulator into a (possibly short) batch.
+    fn seal_pending(&self) {
+        let batch = {
+            let mut pending = self.inner.pending.lock();
+            if pending.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *pending)
+        };
+        self.inner.queue.push(batch);
+    }
+
+    /// Block until every op submitted before this call is applied to its
+    /// shard (partial batches are sealed and flushed too).
+    pub fn flush(&self) {
+        self.seal_pending();
+        self.inner.queue.wait_idle();
+    }
+
+    /// Consistent snapshot of one shard: its epoch and a frozen copy of
+    /// its table. Blocks that shard's ingest only for the cell copy.
+    pub fn snapshot_shard(&self, shard: u32) -> Result<(u64, Iblt), ServiceError> {
+        let s = self.shard(shard)?;
+        let _gate = s.gate.write();
+        let epoch = s.epoch.load(Relaxed);
+        Ok((epoch, s.table.snapshot()))
+    }
+
+    fn shard(&self, shard: u32) -> Result<&Shard, ServiceError> {
+        self.inner.shards.get(shard as usize).ok_or({
+            ServiceError::NoSuchShard {
+                shard,
+                shards: self.inner.cfg.shards,
+            }
+        })
+    }
+
+    /// Reconcile one shard against a peer digest: snapshot at the current
+    /// epoch, subtract, and run subround parallel recovery on the copy.
+    /// Keys only in this service's shard come back in
+    /// [`ShardDiff::only_local`]; keys only in the digest in
+    /// [`ShardDiff::only_remote`] (both sorted).
+    pub fn reconcile_shard(&self, shard: u32, digest: &Iblt) -> Result<ShardDiff, ServiceError> {
+        let (epoch, snap) = self.snapshot_shard(shard)?;
+        if snap.config() != digest.config() {
+            return Err(ServiceError::ConfigMismatch {
+                expected: *snap.config(),
+                got: *digest.config(),
+            });
+        }
+        // Everything below runs on the frozen copy — ingest is live again.
+        let diff = snap.subtract(digest);
+        let rec = AtomicIblt::from_iblt(&diff).par_recover();
+        self.inner
+            .metrics
+            .record_recovery(rec.complete, rec.subrounds, &rec.per_subround);
+        let mut only_local = rec.positive;
+        let mut only_remote = rec.negative;
+        only_local.sort_unstable();
+        only_remote.sort_unstable();
+        Ok(ShardDiff {
+            shard,
+            epoch,
+            complete: rec.complete,
+            subrounds: rec.subrounds,
+            only_local,
+            only_remote,
+        })
+    }
+
+    /// Point-in-time service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        inner
+            .metrics
+            .queue_stalls
+            .store(inner.queue.stalls(), Relaxed);
+        let shards = inner
+            .shards
+            .iter()
+            .map(|s| ShardStats {
+                epoch: s.epoch.load(Relaxed),
+                inserts: s.inserts.load(Relaxed),
+                deletes: s.deletes.load(Relaxed),
+            })
+            .collect();
+        inner.metrics.snapshot(shards)
+    }
+
+    /// Flush remaining ops, stop the workers, and join them. Idempotent.
+    pub fn shutdown(&self) {
+        self.seal_pending();
+        self.inner.queue.close();
+        let mut ws = self.workers.lock();
+        for w in ws.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for PeelService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let nshards = inner.shards.len();
+    while let Some(batch) = inner.queue.pop() {
+        let mut buckets: Vec<Vec<Op>> = vec![Vec::new(); nshards];
+        for op in &batch {
+            buckets[inner.router.shard_of(op.key)].push(*op);
+        }
+        for (i, ops) in buckets.into_iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let shard = &inner.shards[i];
+            let mut inserts = 0u64;
+            {
+                let _gate = shard.gate.read();
+                for op in &ops {
+                    if op.dir > 0 {
+                        shard.table.insert(op.key);
+                        inserts += 1;
+                    } else {
+                        shard.table.delete(op.key);
+                    }
+                }
+                // Bump under the gate so a snapshot's epoch counts exactly
+                // the buckets whose cells it observed.
+                shard.epoch.fetch_add(1, Relaxed);
+            }
+            shard.inserts.fetch_add(inserts, Relaxed);
+            shard.deletes.fetch_add(ops.len() as u64 - inserts, Relaxed);
+        }
+        inner.metrics.batches_applied.fetch_add(1, Relaxed);
+        inner
+            .metrics
+            .ops_applied
+            .fetch_add(batch.len() as u64, Relaxed);
+        inner.queue.task_done();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::build_shard_digests;
+
+    fn keys(n: u64, tag: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag)
+            .collect()
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            batch_size: 64,
+            queue_depth: 4,
+            workers: 2,
+            ..ServiceConfig::for_diff_budget(4, 512)
+        }
+    }
+
+    #[test]
+    fn ingest_lands_in_the_right_shards() {
+        let svc = PeelService::start(small_cfg());
+        let ks = keys(300, 0xa);
+        assert_eq!(svc.insert(&ks), 300);
+        svc.flush();
+        let m = svc.metrics();
+        assert_eq!(m.ops_applied, 300);
+        assert_eq!(m.shards.iter().map(|s| s.inserts).sum::<u64>(), 300);
+        // Every shard's content decodes to exactly the keys routed to it.
+        let parts = svc.router().partition(&ks);
+        for (i, part) in parts.iter().enumerate() {
+            let (_epoch, snap) = svc.snapshot_shard(i as u32).unwrap();
+            let rec = snap.recover();
+            assert!(rec.complete, "shard {i}");
+            let mut got = rec.positive;
+            got.sort_unstable();
+            let mut want = part.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn reconcile_shard_decodes_the_difference() {
+        let svc = PeelService::start(small_cfg());
+        let shared = keys(5_000, 0xb);
+        let local_only: Vec<u64> = (0..40u64).map(|i| 0x10c0_0000 | i).collect();
+        let remote_only: Vec<u64> = (0..30u64).map(|i| 0x4e40_0000 | i).collect();
+
+        let mut local = shared.clone();
+        local.extend(&local_only);
+        svc.insert(&local);
+        svc.flush();
+
+        let mut remote = shared;
+        remote.extend(&remote_only);
+        let hello = svc.hello();
+        let digests =
+            build_shard_digests(&remote, hello.shards, hello.router_seed, hello.base_config);
+
+        let mut got_local = Vec::new();
+        let mut got_remote = Vec::new();
+        for (i, digest) in digests.iter().enumerate() {
+            let d = svc.reconcile_shard(i as u32, digest).unwrap();
+            assert!(d.complete, "shard {i}");
+            assert!(d.epoch > 0 || d.only_local.is_empty());
+            got_local.extend(d.only_local);
+            got_remote.extend(d.only_remote);
+        }
+        got_local.sort_unstable();
+        got_remote.sort_unstable();
+        let mut want_local = local_only;
+        want_local.sort_unstable();
+        let mut want_remote = remote_only;
+        want_remote.sort_unstable();
+        assert_eq!(got_local, want_local);
+        assert_eq!(got_remote, want_remote);
+
+        let m = svc.metrics();
+        assert_eq!(m.recoveries, 4);
+        assert_eq!(m.recoveries_incomplete, 0);
+        assert!(m.recovery_subrounds > 0);
+    }
+
+    #[test]
+    fn bad_shard_and_bad_config_are_errors() {
+        let svc = PeelService::start(small_cfg());
+        let hello = svc.hello();
+        let wrong = Iblt::new(IbltConfig::new(3, 10, 1));
+        assert!(matches!(
+            svc.reconcile_shard(99, &wrong),
+            Err(ServiceError::NoSuchShard { shard: 99, .. })
+        ));
+        assert!(matches!(
+            svc.reconcile_shard(0, &wrong),
+            Err(ServiceError::ConfigMismatch { .. })
+        ));
+        // A digest with the *base* config is also wrong for shard 0 (the
+        // per-shard seed differs) — exactly the client bug the check
+        // exists to catch.
+        let base = Iblt::new(hello.base_config);
+        assert!(matches!(
+            svc.reconcile_shard(0, &base),
+            Err(ServiceError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_applies_partial_batches() {
+        let svc = PeelService::start(small_cfg());
+        svc.insert(&[1, 2, 3]); // far below batch_size
+        assert_eq!(svc.metrics().ops_applied, 0, "nothing sealed yet");
+        svc.flush();
+        assert_eq!(svc.metrics().ops_applied, 3);
+    }
+
+    #[test]
+    fn ingest_continues_while_a_shard_recovers() {
+        // Reconcile in a loop while another thread streams inserts; the
+        // service must neither deadlock nor corrupt either side.
+        let svc = std::sync::Arc::new(PeelService::start(small_cfg()));
+        let hello = svc.hello();
+        let base = keys(2_000, 0xc);
+        svc.insert(&base);
+        svc.flush();
+        let digests =
+            build_shard_digests(&base, hello.shards, hello.router_seed, hello.base_config);
+
+        let racing: Vec<u64> = (0..256u64).map(|i| 0xface_0000 | i).collect();
+        let ingester = {
+            let svc = std::sync::Arc::clone(&svc);
+            let racing = racing.clone();
+            std::thread::spawn(move || {
+                for chunk in racing.chunks(16) {
+                    svc.insert(chunk);
+                }
+                svc.flush();
+            })
+        };
+        for round in 0..8 {
+            for (i, d) in digests.iter().enumerate() {
+                let diff = svc.reconcile_shard(i as u32, d).unwrap();
+                // Any key the racing ingester has landed shows up as
+                // local-only; it must be one of the racing keys.
+                for k in diff.only_local {
+                    assert!(racing.contains(&k), "round {round}: stray key {k:#x}");
+                }
+                assert!(diff.only_remote.is_empty());
+            }
+        }
+        ingester.join().unwrap();
+        svc.flush();
+        // After the dust settles: exactly the racing keys differ.
+        let mut got = Vec::new();
+        for (i, d) in digests.iter().enumerate() {
+            let diff = svc.reconcile_shard(i as u32, d).unwrap();
+            assert!(diff.complete);
+            got.extend(diff.only_local);
+        }
+        got.sort_unstable();
+        let mut want = racing;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn backpressure_stalls_are_counted() {
+        // One slow-ish worker, capacity-1 queue, many batches.
+        let cfg = ServiceConfig {
+            batch_size: 8,
+            queue_depth: 1,
+            workers: 1,
+            ..ServiceConfig::for_diff_budget(2, 64)
+        };
+        let svc = PeelService::start(cfg);
+        svc.insert(&keys(4_096, 0xd));
+        svc.flush();
+        let m = svc.metrics();
+        assert_eq!(m.ops_applied, 4_096);
+        assert!(m.batches_applied >= 512);
+        // With 512 batches through a depth-1 queue, some push stalled.
+        assert!(m.queue_stalls > 0, "stalls = {}", m.queue_stalls);
+    }
+
+    #[test]
+    fn shutdown_flushes_and_is_idempotent() {
+        let svc = PeelService::start(small_cfg());
+        svc.insert(&[10, 20, 30]);
+        svc.shutdown();
+        svc.shutdown();
+        // The pending partial batch was sealed and applied before close.
+        assert_eq!(svc.metrics().ops_applied, 3);
+        // Post-shutdown submissions are dropped, not queued — including
+        // sub-batch-size ones that would otherwise sit in the
+        // accumulator forever while being reported accepted.
+        assert_eq!(svc.insert(&keys(128, 0xe)), 0);
+        assert_eq!(svc.insert(&[7, 8, 9]), 0);
+        assert_eq!(svc.metrics().ops_applied, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire frame cap")]
+    fn oversized_shard_tables_are_rejected_at_start() {
+        // ~2.8M cells serialize to ~67 MB — past the 16 MiB frame cap;
+        // starting such a service must fail loudly, not let every later
+        // Digest/Reconcile response die mid-write.
+        let cfg = ServiceConfig::for_diff_budget(4, 1_000_000);
+        let _ = PeelService::start(cfg);
+    }
+}

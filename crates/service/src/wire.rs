@@ -1,0 +1,686 @@
+//! Length-prefixed binary wire protocol for the reconciliation service.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` payload
+//! length followed by the payload; the payload's first byte is a message
+//! tag. Frames are capped at [`MAX_FRAME`] bytes so a corrupt or hostile
+//! length prefix cannot trigger an unbounded allocation. All decoding is
+//! total: truncated, oversized, or malformed input returns a
+//! [`WireError`] — it never panics — which the round-trip and corruption
+//! property tests in `tests/proptest_wire.rs` enforce.
+//!
+//! The protocol is deliberately `std`-only (no serde — crates.io is
+//! unavailable in this build environment) and versioned by a magic byte in
+//! the `Hello` exchange so future revisions can detect mismatches.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use peel_iblt::{Cell, Iblt, IbltConfig};
+
+use crate::metrics::{MetricsSnapshot, ShardStats};
+
+/// Maximum frame payload size (16 MiB). Large enough for an IBLT digest of
+/// hundreds of thousands of cells; small enough that a garbage length
+/// prefix cannot exhaust memory.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Protocol revision carried in `Hello` responses.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Everything that can go wrong encoding, decoding, or transporting a
+/// message.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error.
+    Io(io::Error),
+    /// The payload ended before the message did (truncated frame).
+    UnexpectedEof,
+    /// A frame announced a payload larger than [`MAX_FRAME`].
+    FrameTooLarge(u64),
+    /// Unknown message or enum tag.
+    BadTag(u8),
+    /// A length field is inconsistent with the bytes actually present.
+    BadLength(u64),
+    /// Decoded bytes violate an invariant (e.g. an IBLT config with fewer
+    /// than two hash functions).
+    Malformed(String),
+    /// The message decoded but left unconsumed trailing bytes.
+    TrailingBytes(usize),
+    /// The peer answered with a protocol-level `Error` response.
+    Remote(String),
+    /// The peer answered with a response of the wrong kind.
+    UnexpectedResponse(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::UnexpectedEof => write!(f, "truncated message"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadLength(n) => write!(f, "length field {n} inconsistent with payload"),
+            WireError::Malformed(m) => write!(f, "malformed message: {m}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Remote(m) => write!(f, "server error: {m}"),
+            WireError::UnexpectedResponse(k) => write!(f, "unexpected response kind: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        // A clean EOF mid-frame is a truncation, not a transport fault.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::UnexpectedEof
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Service parameters a client learns from the `Hello` handshake —
+/// everything needed to route keys and build compatible shard digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// Protocol revision ([`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Number of shards.
+    pub shards: u32,
+    /// Seed of the key → shard router.
+    pub router_seed: u64,
+    /// Base IBLT config; shard `i` uses `shard_iblt_config(base, i)`.
+    pub base_config: IbltConfig,
+    /// Ingest batch size (advisory; helps clients pick frame sizes).
+    pub batch_size: u32,
+}
+
+/// Decoded symmetric difference for one shard, stamped with the epoch of
+/// the snapshot it was computed from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardDiff {
+    /// Which shard.
+    pub shard: u32,
+    /// Shard epoch (applied-batch count) at snapshot time.
+    pub epoch: u64,
+    /// True iff the difference decoded completely.
+    pub complete: bool,
+    /// Parallel subrounds the recovery took.
+    pub subrounds: u32,
+    /// Keys only in the server's shard (sorted).
+    pub only_local: Vec<u64>,
+    /// Keys only in the peer digest (sorted).
+    pub only_remote: Vec<u64>,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ask for the service parameters.
+    Hello,
+    /// Insert a batch of keys.
+    Insert(Vec<u64>),
+    /// Delete a batch of keys.
+    Delete(Vec<u64>),
+    /// Block until every previously submitted op is applied.
+    Flush,
+    /// Fetch a snapshot digest of one shard.
+    Digest {
+        /// Shard index.
+        shard: u32,
+    },
+    /// Reconcile one shard against a peer digest: the server snapshots the
+    /// shard, subtracts `digest`, runs parallel recovery, and returns the
+    /// symmetric difference.
+    Reconcile {
+        /// Shard index.
+        shard: u32,
+        /// The peer's digest of its own keys for this shard (must use the
+        /// shard's config from the `Hello` handshake).
+        digest: Iblt,
+    },
+    /// Fetch service metrics.
+    Stats,
+    /// Ask the server process to shut down cleanly.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Service parameters.
+    Hello(HelloInfo),
+    /// Generic acknowledgement; `accepted` counts the keys enqueued.
+    Ok {
+        /// Number of keys accepted (0 for ops without a count).
+        accepted: u64,
+    },
+    /// A shard snapshot: epoch + serial IBLT.
+    Digest {
+        /// Shard epoch at snapshot time.
+        epoch: u64,
+        /// The snapshot.
+        iblt: Iblt,
+    },
+    /// The decoded per-shard symmetric difference.
+    Diff(ShardDiff),
+    /// Service metrics.
+    Stats(MetricsSnapshot),
+    /// The request failed; human-readable reason.
+    Error(String),
+}
+
+// --- Primitive cursor ------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u32` element count, validated against the bytes actually left so
+    /// a corrupt count cannot cause a huge up-front allocation.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes) > self.remaining() {
+            return Err(WireError::BadLength(n as u64));
+        }
+        Ok(n)
+    }
+
+    fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("invalid UTF-8 in string".into()))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_vec(out: &mut Vec<u8>, v: &[u64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u64(out, x);
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- IBLT (de)serialization ------------------------------------------------
+
+fn put_config(out: &mut Vec<u8>, cfg: &IbltConfig) {
+    put_u32(out, cfg.hashes as u32);
+    put_u64(out, cfg.cells_per_table as u64);
+    put_u64(out, cfg.seed);
+}
+
+fn read_config(r: &mut Reader) -> Result<IbltConfig, WireError> {
+    let hashes = r.u32()? as usize;
+    let cells_per_table = r.u64()? as usize;
+    let seed = r.u64()?;
+    // `IbltConfig::new` asserts these; validate so hostile input errors
+    // instead of panicking.
+    if hashes < 2 {
+        return Err(WireError::Malformed(format!(
+            "IBLT config needs ≥ 2 hash functions, got {hashes}"
+        )));
+    }
+    if cells_per_table == 0 {
+        return Err(WireError::Malformed("IBLT config with 0 cells".into()));
+    }
+    // 24 wire bytes per cell must fit in a frame.
+    let total = hashes.saturating_mul(cells_per_table);
+    if total.saturating_mul(24) > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "IBLT of {total} cells exceeds the frame cap"
+        )));
+    }
+    Ok(IbltConfig::new(hashes, cells_per_table, seed))
+}
+
+/// Serialize a serial IBLT (config + raw cells).
+fn encode_iblt(out: &mut Vec<u8>, t: &Iblt) {
+    put_config(out, t.config());
+    for c in t.cells() {
+        put_i64(out, c.count);
+        put_u64(out, c.key_sum);
+        put_u64(out, c.check_sum);
+    }
+}
+
+/// Decode a serial IBLT. The cell count is implied by the config; the
+/// payload must contain exactly that many cells.
+fn decode_iblt(r: &mut Reader) -> Result<Iblt, WireError> {
+    let cfg = read_config(r)?;
+    let total = cfg.total_cells();
+    if r.remaining() < total * 24 {
+        return Err(WireError::UnexpectedEof);
+    }
+    let mut cells = Vec::with_capacity(total);
+    for _ in 0..total {
+        cells.push(Cell {
+            count: r.i64()?,
+            key_sum: r.u64()?,
+            check_sum: r.u64()?,
+        });
+    }
+    let mut t = Iblt::new(cfg);
+    t.overwrite_cells(cells);
+    Ok(t)
+}
+
+// --- Messages ---------------------------------------------------------------
+
+const REQ_HELLO: u8 = 0x01;
+const REQ_INSERT: u8 = 0x02;
+const REQ_DELETE: u8 = 0x03;
+const REQ_FLUSH: u8 = 0x04;
+const REQ_DIGEST: u8 = 0x05;
+const REQ_RECONCILE: u8 = 0x06;
+const REQ_STATS: u8 = 0x07;
+const REQ_SHUTDOWN: u8 = 0x08;
+
+const RESP_HELLO: u8 = 0x81;
+const RESP_OK: u8 = 0x82;
+const RESP_DIGEST: u8 = 0x83;
+const RESP_DIFF: u8 = 0x84;
+const RESP_STATS: u8 = 0x85;
+const RESP_ERROR: u8 = 0x86;
+
+/// Encode a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Hello => out.push(REQ_HELLO),
+        Request::Insert(keys) => {
+            out.push(REQ_INSERT);
+            put_u64_vec(&mut out, keys);
+        }
+        Request::Delete(keys) => {
+            out.push(REQ_DELETE);
+            put_u64_vec(&mut out, keys);
+        }
+        Request::Flush => out.push(REQ_FLUSH),
+        Request::Digest { shard } => {
+            out.push(REQ_DIGEST);
+            put_u32(&mut out, *shard);
+        }
+        Request::Reconcile { shard, digest } => {
+            out.push(REQ_RECONCILE);
+            put_u32(&mut out, *shard);
+            encode_iblt(&mut out, digest);
+        }
+        Request::Stats => out.push(REQ_STATS),
+        Request::Shutdown => out.push(REQ_SHUTDOWN),
+    }
+    out
+}
+
+/// Decode a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.u8()? {
+        REQ_HELLO => Request::Hello,
+        REQ_INSERT => Request::Insert(r.u64_vec()?),
+        REQ_DELETE => Request::Delete(r.u64_vec()?),
+        REQ_FLUSH => Request::Flush,
+        REQ_DIGEST => Request::Digest { shard: r.u32()? },
+        REQ_RECONCILE => Request::Reconcile {
+            shard: r.u32()?,
+            digest: decode_iblt(&mut r)?,
+        },
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+fn put_shard_diff(out: &mut Vec<u8>, d: &ShardDiff) {
+    put_u32(out, d.shard);
+    put_u64(out, d.epoch);
+    out.push(d.complete as u8);
+    put_u32(out, d.subrounds);
+    put_u64_vec(out, &d.only_local);
+    put_u64_vec(out, &d.only_remote);
+}
+
+fn read_shard_diff(r: &mut Reader) -> Result<ShardDiff, WireError> {
+    Ok(ShardDiff {
+        shard: r.u32()?,
+        epoch: r.u64()?,
+        complete: r.bool()?,
+        subrounds: r.u32()?,
+        only_local: r.u64_vec()?,
+        only_remote: r.u64_vec()?,
+    })
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
+    put_u64(out, s.batches_applied);
+    put_u64(out, s.ops_applied);
+    put_u64(out, s.queue_stalls);
+    put_u64(out, s.recoveries);
+    put_u64(out, s.recoveries_incomplete);
+    put_u64(out, s.recovery_subrounds);
+    put_u64_vec(out, &s.last_recovery_trace);
+    put_u32(out, s.shards.len() as u32);
+    for sh in &s.shards {
+        put_u64(out, sh.epoch);
+        put_u64(out, sh.inserts);
+        put_u64(out, sh.deletes);
+    }
+}
+
+fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
+    let batches_applied = r.u64()?;
+    let ops_applied = r.u64()?;
+    let queue_stalls = r.u64()?;
+    let recoveries = r.u64()?;
+    let recoveries_incomplete = r.u64()?;
+    let recovery_subrounds = r.u64()?;
+    let last_recovery_trace = r.u64_vec()?;
+    let n = r.len(24)?;
+    let shards = (0..n)
+        .map(|_| {
+            Ok(ShardStats {
+                epoch: r.u64()?,
+                inserts: r.u64()?,
+                deletes: r.u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(MetricsSnapshot {
+        batches_applied,
+        ops_applied,
+        queue_stalls,
+        recoveries,
+        recoveries_incomplete,
+        recovery_subrounds,
+        last_recovery_trace,
+        shards,
+    })
+}
+
+/// Encode a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Hello(h) => {
+            out.push(RESP_HELLO);
+            out.push(h.version);
+            put_u32(&mut out, h.shards);
+            put_u64(&mut out, h.router_seed);
+            put_config(&mut out, &h.base_config);
+            put_u32(&mut out, h.batch_size);
+        }
+        Response::Ok { accepted } => {
+            out.push(RESP_OK);
+            put_u64(&mut out, *accepted);
+        }
+        Response::Digest { epoch, iblt } => {
+            out.push(RESP_DIGEST);
+            put_u64(&mut out, *epoch);
+            encode_iblt(&mut out, iblt);
+        }
+        Response::Diff(d) => {
+            out.push(RESP_DIFF);
+            put_shard_diff(&mut out, d);
+        }
+        Response::Stats(s) => {
+            out.push(RESP_STATS);
+            put_stats(&mut out, s);
+        }
+        Response::Error(msg) => {
+            out.push(RESP_ERROR);
+            put_string(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Decode a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        RESP_HELLO => Response::Hello(HelloInfo {
+            version: r.u8()?,
+            shards: r.u32()?,
+            router_seed: r.u64()?,
+            base_config: read_config(&mut r)?,
+            batch_size: r.u32()?,
+        }),
+        RESP_OK => Response::Ok { accepted: r.u64()? },
+        RESP_DIGEST => Response::Digest {
+            epoch: r.u64()?,
+            iblt: decode_iblt(&mut r)?,
+        },
+        RESP_DIFF => Response::Diff(read_shard_diff(&mut r)?),
+        RESP_STATS => Response::Stats(read_stats(&mut r)?),
+        RESP_ERROR => Response::Error(r.string()?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// --- Frame transport --------------------------------------------------------
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(payload.len() as u64));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on a clean EOF *before*
+/// the length prefix (peer closed between messages); a mid-frame EOF is a
+/// [`WireError::UnexpectedEof`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "closed before a frame" from "closed mid-frame".
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(WireError::UnexpectedEof);
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Decode an IBLT from a standalone byte slice (helper for tests and
+/// tooling; message decoding uses the cursor internally).
+pub fn iblt_from_bytes(bytes: &[u8]) -> Result<Iblt, WireError> {
+    let mut r = Reader::new(bytes);
+    let t = decode_iblt(&mut r)?;
+    r.finish()?;
+    Ok(t)
+}
+
+/// Encode an IBLT to a standalone byte vector.
+pub fn iblt_to_bytes(t: &Iblt) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_iblt(&mut out, t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error_not_a_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(7); // length prefix + 3 payload bytes
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn iblt_roundtrip_preserves_cells_and_items() {
+        let mut t = Iblt::new(IbltConfig::new(3, 50, 9));
+        for k in 0..40u64 {
+            t.insert(k * 3);
+        }
+        t.delete(999);
+        let bytes = iblt_to_bytes(&t);
+        let back = iblt_from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.items(), t.items());
+    }
+
+    #[test]
+    fn hostile_config_errors_instead_of_panicking() {
+        // hashes = 1 violates the IbltConfig invariant.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1);
+        put_u64(&mut bytes, 10);
+        put_u64(&mut bytes, 0);
+        assert!(matches!(
+            iblt_from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+        // A cell count that would blow past the frame cap.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 4);
+        put_u64(&mut bytes, u64::MAX / 8);
+        put_u64(&mut bytes, 0);
+        assert!(matches!(
+            iblt_from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn insert_count_mismatch_is_bad_length() {
+        // Announce 1000 keys but supply 1.
+        let mut payload = vec![REQ_INSERT];
+        put_u32(&mut payload, 1000);
+        put_u64(&mut payload, 7);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadLength(1000))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Flush);
+        payload.push(0xff);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+}

@@ -1,0 +1,226 @@
+//! Wire-format property tests: every protocol message and serialized
+//! IBLT round-trips to an equal value, and truncated or corrupted frames
+//! return errors instead of panicking.
+
+use proptest::prelude::*;
+
+use peel_iblt::{Iblt, IbltConfig};
+use peel_service::metrics::{MetricsSnapshot, ShardStats};
+use peel_service::wire::{
+    decode_request, decode_response, encode_request, encode_response, iblt_from_bytes,
+    iblt_to_bytes, read_frame, write_frame, HelloInfo, Request, Response, ShardDiff, WireError,
+    PROTOCOL_VERSION,
+};
+
+// --- Strategies -------------------------------------------------------------
+
+fn arb_config() -> impl Strategy<Value = IbltConfig> {
+    (2usize..6, 1usize..40, any::<u64>())
+        .prop_map(|(hashes, cells, seed)| IbltConfig::new(hashes, cells, seed))
+}
+
+fn arb_iblt() -> impl Strategy<Value = Iblt> {
+    (
+        arb_config(),
+        proptest::collection::vec(any::<u64>(), 0..60),
+        proptest::collection::vec(any::<u64>(), 0..20),
+    )
+        .prop_map(|(cfg, inserts, deletes)| {
+            let mut t = Iblt::new(cfg);
+            for k in inserts {
+                t.insert(k);
+            }
+            for k in deletes {
+                t.delete(k);
+            }
+            t
+        })
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..200)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Hello),
+        arb_keys().prop_map(Request::Insert),
+        arb_keys().prop_map(Request::Delete),
+        Just(Request::Flush),
+        (0u32..16).prop_map(|shard| Request::Digest { shard }),
+        (0u32..16, arb_iblt()).prop_map(|(shard, digest)| Request::Reconcile { shard, digest }),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_shard_diff() -> impl Strategy<Value = ShardDiff> {
+    (
+        0u32..64,
+        any::<u64>(),
+        any::<bool>(),
+        0u32..1000,
+        arb_keys(),
+        arb_keys(),
+    )
+        .prop_map(
+            |(shard, epoch, complete, subrounds, only_local, only_remote)| ShardDiff {
+                shard,
+                epoch,
+                complete,
+                subrounds,
+                only_local,
+                only_remote,
+            },
+        )
+}
+
+fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        proptest::collection::vec(any::<u64>(), 0..32),
+        proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16),
+    )
+        .prop_map(|(a, b, trace, shards)| MetricsSnapshot {
+            batches_applied: a.0,
+            ops_applied: a.1,
+            queue_stalls: a.2,
+            recoveries: b.0,
+            recoveries_incomplete: b.1,
+            recovery_subrounds: b.2,
+            last_recovery_trace: trace,
+            shards: shards
+                .into_iter()
+                .map(|(epoch, inserts, deletes)| ShardStats {
+                    epoch,
+                    inserts,
+                    deletes,
+                })
+                .collect(),
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), arb_config(), any::<u32>()).prop_map(
+            |(shards, router_seed, base_config, batch_size)| {
+                Response::Hello(HelloInfo {
+                    version: PROTOCOL_VERSION,
+                    shards,
+                    router_seed,
+                    base_config,
+                    batch_size,
+                })
+            }
+        ),
+        any::<u64>().prop_map(|accepted| Response::Ok { accepted }),
+        (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::Digest { epoch, iblt }),
+        arb_shard_diff().prop_map(Response::Diff),
+        arb_stats().prop_map(Response::Stats),
+        // The shim has no string strategies; synthesize UTF-8 (including
+        // multi-byte chars) from arbitrary bytes via lossy conversion.
+        proptest::collection::vec(any::<u8>(), 0..40)
+            .prop_map(|b| Response::Error(String::from_utf8_lossy(&b).into_owned())),
+    ]
+}
+
+// --- Properties -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// decode(encode(request)) == request, and the encoding survives a
+    /// framed trip through a byte buffer.
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let payload = encode_request(&req);
+        prop_assert_eq!(decode_request(&payload).unwrap(), req.clone());
+
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(framed);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(decode_request(&back).unwrap(), req);
+    }
+
+    /// decode(encode(response)) == response.
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let payload = encode_response(&resp);
+        prop_assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    /// Serialized IBLTs decode to an equal table (config, cells, and the
+    /// derived item counter all agree).
+    #[test]
+    fn iblt_roundtrip(t in arb_iblt()) {
+        let bytes = iblt_to_bytes(&t);
+        let back = iblt_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.items(), t.items());
+        prop_assert_eq!(back.config(), t.config());
+    }
+
+    /// Every strict prefix of an encoded message fails to decode with an
+    /// error — never a panic, and never a bogus success.
+    #[test]
+    fn truncated_requests_error(req in arb_request(), cut in 0.0f64..1.0) {
+        let payload = encode_request(&req);
+        prop_assume!(!payload.is_empty());
+        let cut = (payload.len() as f64 * cut) as usize; // < len
+        prop_assert!(decode_request(&payload[..cut]).is_err());
+    }
+
+    /// Same for responses.
+    #[test]
+    fn truncated_responses_error(resp in arb_response(), cut in 0.0f64..1.0) {
+        let payload = encode_response(&resp);
+        prop_assume!(!payload.is_empty());
+        let cut = (payload.len() as f64 * cut) as usize;
+        prop_assert!(decode_response(&payload[..cut]).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoders (errors are fine;
+    /// an accidental clean decode of random bytes is fine too).
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = iblt_from_bytes(&bytes);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame(&mut cursor);
+    }
+
+    /// Single-byte corruption of a valid encoding never panics, and
+    /// corrupting the *tag* byte of a non-tag-colliding value errors.
+    #[test]
+    fn corrupted_requests_never_panic(
+        req in arb_request(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut payload = encode_request(&req);
+        prop_assume!(!payload.is_empty());
+        let pos = (payload.len() as f64 * pos_frac) as usize % payload.len();
+        payload[pos] ^= flip;
+        let _ = decode_request(&payload); // must not panic
+    }
+
+    /// A truncated *frame* (length prefix promising more bytes than
+    /// arrive) is an UnexpectedEof, not a hang or panic.
+    #[test]
+    fn truncated_frames_error(req in arb_request(), keep in 0.0f64..1.0) {
+        let payload = encode_request(&req);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let keep = 4 + ((framed.len() - 4) as f64 * keep) as usize;
+        prop_assume!(keep < framed.len());
+        framed.truncate(keep);
+        let mut cursor = std::io::Cursor::new(framed);
+        prop_assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::UnexpectedEof)
+        ));
+    }
+}

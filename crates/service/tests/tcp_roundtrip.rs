@@ -1,0 +1,131 @@
+//! End-to-end exercises of the TCP server/client pair on loopback:
+//! the full request surface, error paths, and clean shutdown.
+
+use std::time::Duration;
+
+use peel_iblt::{Iblt, IbltConfig};
+use peel_service::{Client, Server, ServiceConfig, WireError};
+
+fn test_cfg() -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 128,
+        workers: 2,
+        ..ServiceConfig::for_diff_budget(4, 256)
+    }
+}
+
+#[test]
+fn full_request_surface() {
+    let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+    let mut c = Client::connect_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+
+    let hello = c.hello().unwrap();
+    assert_eq!(hello.shards, 4);
+
+    let keys: Vec<u64> = (0..500u64).map(|i| i * 7 + 3).collect();
+    assert_eq!(c.insert(&keys).unwrap(), 500);
+    assert_eq!(c.delete(&keys[..100]).unwrap(), 100);
+    c.flush().unwrap();
+
+    // Digest: the four shard snapshots decode to the net content.
+    let mut total = 0;
+    for shard in 0..4 {
+        let (epoch, iblt) = c.digest(shard).unwrap();
+        assert!(epoch > 0);
+        let rec = iblt.recover();
+        assert!(rec.complete);
+        assert!(rec.negative.is_empty());
+        total += rec.positive.len();
+    }
+    assert_eq!(total, 400);
+
+    // Reconcile against our own view of the key set: empty difference.
+    let diff = c.reconcile(&keys[100..]).unwrap();
+    assert!(diff.complete);
+    assert!(diff.only_server.is_empty());
+    assert!(diff.only_client.is_empty());
+    assert_eq!(diff.shards.len(), 4);
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.ops_applied, 600);
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(stats.recoveries, 4);
+    assert!(stats.mean_batch_occupancy() > 0.0);
+}
+
+#[test]
+fn service_errors_come_back_as_remote_errors() {
+    let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // Shard out of range.
+    match c.digest(99) {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    // Digest with the wrong config.
+    let bogus = Iblt::new(IbltConfig::new(3, 17, 1));
+    match c.reconcile_shard(0, &bogus) {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("does not match"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    // The connection survives errors: a normal call still works.
+    assert!(c.hello().is_ok());
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.insert(&[1, 2, 3]).unwrap();
+    c.shutdown_server().unwrap();
+    // wait() returns because the client's Shutdown fired.
+    server.wait();
+    // The pending partial batch was flushed during shutdown.
+    drop(c);
+}
+
+#[test]
+fn closed_connections_are_reaped() {
+    let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+    let addr = server.local_addr();
+    for _ in 0..20 {
+        let mut c = Client::connect(addr).unwrap();
+        c.hello().unwrap();
+        drop(c);
+    }
+    // Handlers remove their connection entry on exit; give them a beat.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.live_connections() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{} connections still tracked after close",
+            server.live_connections()
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn concurrent_clients_share_one_service() {
+    let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+    let addr = server.local_addr();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let keys: Vec<u64> = (0..250u64).map(|i| t * 1_000 + i).collect();
+                assert_eq!(c.insert(&keys).unwrap(), 250);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut c = Client::connect(addr).unwrap();
+    c.flush().unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.ops_applied, 1_000);
+    assert_eq!(stats.shards.iter().map(|s| s.inserts).sum::<u64>(), 1_000);
+}
