@@ -1,7 +1,9 @@
 //! Machine-readable service benchmark: runs the full wire path (TCP
-//! loopback server + client) plus the in-process service core, and
-//! writes the measurements to `BENCH_service.json` so the repo's perf
-//! trajectory can be tracked across PRs.
+//! loopback server + client), the in-process service core, and the
+//! primary→follower replication path (ingest-to-convergence catch-up
+//! time plus observed stream lag), and writes the measurements to
+//! `BENCH_service.json` so the repo's perf trajectory can be tracked
+//! across PRs.
 //!
 //! ```sh
 //! cargo run --release -p peel-bench --bin bench_json             # laptop scale
@@ -12,9 +14,13 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use peel_bench::Args;
 use peel_graph::rng::Xoshiro256StarStar;
-use peel_service::{build_shard_digests, Client, PeelService, Server, ServiceConfig};
+use peel_service::{
+    build_shard_digests, Client, Follower, FollowerConfig, PeelService, Server, ServiceConfig,
+};
 use rand::RngCore;
 
 fn keys(n: usize, seed: u64) -> Vec<u64> {
@@ -109,6 +115,81 @@ fn run_inproc(n: usize, diff: usize, shards: u32) -> Measurement {
     }
 }
 
+struct ReplMeasurement {
+    ingest_ms: f64,
+    catchup_ms: f64,
+    max_lag_seen: u64,
+    batches_streamed: u64,
+    batches_dropped: u64,
+    anti_entropy_keys: u64,
+}
+
+/// Replication lag: one primary + one TCP follower; ingest `n` keys
+/// through the primary, then measure the time until the follower serves
+/// cell-identical shard digests. `max_lag_seen` samples the primary's
+/// per-follower lag gauge (in batches) throughout.
+fn run_replication(n: usize, shards: u32) -> ReplMeasurement {
+    let mut c = cfg(shards, 4_096);
+    // Keep the stream lossless at this scale so the numbers measure the
+    // fast path; drops would shunt work to anti-entropy.
+    c.repl_queue_depth = n / c.batch_size + 64;
+    let primary = Server::bind("127.0.0.1:0", c).expect("bind");
+    let fsvc = Arc::new(PeelService::start(c));
+    let _follower = Follower::start(
+        Arc::clone(&fsvc),
+        primary.local_addr(),
+        FollowerConfig {
+            anti_entropy_interval: Duration::from_millis(100),
+            ..FollowerConfig::default()
+        },
+    );
+    let mut client =
+        Client::connect_retry(primary.local_addr(), Duration::from_secs(5)).expect("connect");
+    while client.stats().expect("stats").replication.followers == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let server_set = keys(n, 7);
+    let t = Instant::now();
+    let mut max_lag_seen = 0;
+    for chunk in server_set.chunks(8_192) {
+        client.insert(chunk).expect("insert");
+        max_lag_seen = max_lag_seen.max(client.stats().expect("stats").replication.max_lag);
+    }
+    client.flush().expect("flush");
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    loop {
+        let identical = (0..shards).all(|shard| {
+            let (_e, p) = client.digest(shard).expect("digest");
+            let (_e, f) = fsvc.snapshot_shard(shard).expect("snapshot");
+            p == f
+        });
+        if identical {
+            break;
+        }
+        max_lag_seen = max_lag_seen.max(client.stats().expect("stats").replication.max_lag);
+        assert!(
+            t.elapsed() < Duration::from_secs(120),
+            "follower never converged"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let catchup_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let ps = client.stats().expect("stats");
+    let fm = fsvc.metrics();
+    ReplMeasurement {
+        ingest_ms,
+        catchup_ms,
+        max_lag_seen,
+        batches_streamed: ps.replication.batches_streamed,
+        batches_dropped: ps.replication.batches_dropped,
+        anti_entropy_keys: fm.replication.anti_entropy_keys,
+    }
+}
+
 fn json_entry(out: &mut String, label: &str, n: usize, diff: usize, shards: u32, m: &Measurement) {
     let _ = write!(
         out,
@@ -163,6 +244,25 @@ fn main() {
                 m.subrounds_max,
             );
         }
+    }
+    // Replication lag: ingest-to-convergence catch-up of one TCP
+    // follower at 1 and 4 shards.
+    for shards in [1u32, 4] {
+        let m = run_replication(n, shards);
+        assert_eq!(m.batches_dropped, 0, "replication stream dropped batches");
+        body.push_str(",\n");
+        let _ = write!(
+            body,
+            "    {{\"path\": \"replication\", \"n_keys\": {n}, \"shards\": {shards}, \
+             \"ingest_ms\": {:.3}, \"catchup_ms\": {:.3}, \"max_lag_batches\": {}, \
+             \"batches_streamed\": {}, \"anti_entropy_keys\": {}}}",
+            m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
+        );
+        println!(
+            "replica shards={shards}: ingest {:>9.1} ms, follower caught up {:>7.1} ms \
+             after flush (max lag {} batches, {} streamed, {} healed by anti-entropy)",
+            m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
+        );
     }
     body.push_str("\n  ]\n}\n");
 

@@ -1,16 +1,30 @@
 //! The reconciliation server binary.
 //!
 //! ```sh
+//! # Primary:
 //! peel-server [--addr 127.0.0.1:7744] [--shards 4] [--diff-budget 2048]
 //!             [--batch-size 1024] [--queue-depth 64] [--workers N]
+//!             [--repl-queue-depth 256]
+//!
+//! # Follower (adopts the primary's sharding from its Hello handshake,
+//! # streams its sealed batches, and repairs divergence by anti-entropy):
+//! peel-server --addr 127.0.0.1:7745 --follow 127.0.0.1:7744
+//!             [--anti-entropy-ms 200]
 //! ```
 //!
 //! Binds, prints `listening on <addr>`, and serves until a client sends
-//! `Shutdown` (see `examples/reconcile_service.rs` for a full client).
-//! On exit it prints the final service metrics.
+//! `Shutdown` (see `examples/replicated_service.rs` for a full
+//! primary + follower + client flow). On exit it prints the final
+//! service metrics, including the replication counters.
 
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use peel_service::client::Client;
+use peel_service::follower::{Follower, FollowerConfig};
 use peel_service::server::Server;
-use peel_service::service::ServiceConfig;
+use peel_service::service::{PeelService, ServiceConfig};
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -30,19 +44,50 @@ fn main() {
         eprintln!(
             "peel-server [--addr 127.0.0.1:7744] [--shards 4] [--diff-budget 2048]\n\
              \x20           [--batch-size 1024] [--queue-depth 64] [--workers N]\n\
-             Sharded IBLT set-reconciliation server; stops on a Shutdown request."
+             \x20           [--repl-queue-depth 256]\n\
+             \x20           [--follow PRIMARY_ADDR] [--anti-entropy-ms 200]\n\
+             Sharded IBLT set-reconciliation server; stops on a Shutdown request.\n\
+             With --follow it runs as a replication follower of PRIMARY_ADDR,\n\
+             adopting the primary's sharding and healing divergence by\n\
+             anti-entropy."
         );
         return;
     }
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7744".into());
-    let shards: u32 = parse(&args, "--shards", 4);
-    let diff_budget: usize = parse(&args, "--diff-budget", 2048);
-    let mut cfg = ServiceConfig::for_diff_budget(shards, diff_budget);
+    let follow = arg_value(&args, "--follow");
+
+    // A follower must shard exactly like its primary, so its config
+    // comes from the primary's Hello handshake, not from CLI knobs.
+    let mut cfg = match &follow {
+        Some(primary) => {
+            let mut probe = match Client::connect_retry(primary.as_str(), Duration::from_secs(10)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("peel-server: cannot reach primary {primary}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match probe.hello() {
+                Ok(h) => ServiceConfig::from_hello(&h),
+                Err(e) => {
+                    eprintln!("peel-server: bad handshake from primary {primary}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let shards: u32 = parse(&args, "--shards", 4);
+            let diff_budget: usize = parse(&args, "--diff-budget", 2048);
+            ServiceConfig::for_diff_budget(shards, diff_budget)
+        }
+    };
     cfg.batch_size = parse(&args, "--batch-size", cfg.batch_size);
     cfg.queue_depth = parse(&args, "--queue-depth", cfg.queue_depth);
     cfg.workers = parse(&args, "--workers", cfg.workers);
+    cfg.repl_queue_depth = parse(&args, "--repl-queue-depth", cfg.repl_queue_depth);
 
-    let mut server = match Server::bind(addr.as_str(), cfg) {
+    let service = Arc::new(PeelService::start(cfg));
+    let mut server = match Server::bind_with(addr.as_str(), Arc::clone(&service)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("peel-server: cannot bind {addr}: {e}");
@@ -50,16 +95,43 @@ fn main() {
         }
     };
     println!(
-        "peel-server listening on {} ({} shards × {} cells, batch {}, queue {}, {} workers)",
+        "peel-server listening on {} ({} shards × {} cells, batch {}, queue {}, {} workers{})",
         server.local_addr(),
         cfg.shards,
         cfg.shard_iblt.total_cells(),
         cfg.batch_size,
         cfg.queue_depth,
         cfg.workers,
+        match &follow {
+            Some(p) => format!(", following {p}"),
+            None => String::new(),
+        },
     );
 
+    let mut follower = follow.map(|primary| {
+        use std::net::ToSocketAddrs;
+        let primary_addr: SocketAddr = match primary
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+        {
+            Some(a) => a,
+            None => {
+                eprintln!("peel-server: bad primary address {primary}");
+                std::process::exit(1);
+            }
+        };
+        let fcfg = FollowerConfig {
+            anti_entropy_interval: Duration::from_millis(parse(&args, "--anti-entropy-ms", 200)),
+            ..FollowerConfig::default()
+        };
+        Follower::start(Arc::clone(&service), primary_addr, fcfg)
+    });
+
     server.wait();
+    if let Some(f) = follower.as_mut() {
+        f.stop();
+    }
     server.shutdown();
     let m = server.service().metrics();
     println!(
@@ -72,5 +144,22 @@ fn main() {
         m.recoveries,
         m.recoveries_incomplete,
         m.recovery_subrounds,
+    );
+    let r = &m.replication;
+    println!(
+        "peel-server: replication: {} followers, seq {} published / {} acked (max lag {}), \
+         {} streamed, {} dropped; follower side: {} applied, {} skipped, {} torn frames, \
+         {} anti-entropy rounds healing {} keys",
+        r.followers,
+        r.published_seq,
+        r.acked_min,
+        r.max_lag,
+        r.batches_streamed,
+        r.batches_dropped,
+        r.batches_applied,
+        r.batches_skipped,
+        r.decode_errors,
+        r.anti_entropy_rounds,
+        r.anti_entropy_keys,
     );
 }

@@ -14,6 +14,7 @@ use peel_iblt::Iblt;
 
 use crate::metrics::MetricsSnapshot;
 use crate::router::build_shard_digests;
+use crate::transport::FramedTcp;
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, HelloInfo, Request, Response,
     ShardDiff, WireError,
@@ -182,5 +183,22 @@ impl Client {
             Response::Ok { .. } => Ok(()),
             _ => Err(WireError::UnexpectedResponse("expected Ok")),
         }
+    }
+
+    /// Convert this connection into a replication subscription: after
+    /// the server acknowledges, it streams `Replicate` frames for every
+    /// batch sealed after `last_seq`. Returns the framed transport to
+    /// drive with [`crate::replication::apply_replication_stream`].
+    pub fn subscribe(mut self, last_seq: u64) -> Result<FramedTcp, WireError> {
+        match self.call(&Request::Subscribe { last_seq })? {
+            Response::Ok { .. } => Ok(FramedTcp::from_parts(self.reader, self.writer)),
+            _ => Err(WireError::UnexpectedResponse("expected Ok")),
+        }
+    }
+
+    /// A clone of the underlying socket, for out-of-band shutdown of a
+    /// call blocked in another thread.
+    pub fn raw_stream(&self) -> std::io::Result<TcpStream> {
+        self.reader.try_clone()
     }
 }

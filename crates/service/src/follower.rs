@@ -1,0 +1,322 @@
+//! The follower driver: keeps a local [`PeelService`] converged with a
+//! primary server.
+//!
+//! Two background threads per follower:
+//!
+//! * **Stream thread** (fast path): connects to the primary, sends
+//!   `Subscribe`, and applies the replicated batch stream through
+//!   [`apply_replication_stream`]. On any connection failure it backs
+//!   off and reconnects, resuming from the highest applied sequence
+//!   number so nothing is double-applied.
+//! * **Anti-entropy thread** (repair path): every
+//!   [`FollowerConfig::anti_entropy_interval`], snapshots each local
+//!   shard, sends it to the primary as a `Reconcile` digest, and applies
+//!   the decoded symmetric difference — inserting keys only the primary
+//!   has, deleting keys only this follower has. This provably converges
+//!   the follower to the primary no matter what the stream dropped:
+//!   each round's repair is exactly the per-shard symmetric difference
+//!   the IBLT subtraction peels out, and repairs are applied even when a
+//!   round decodes incompletely (peeled keys are always genuine), so
+//!   successive rounds shrink any divergence to zero.
+//!
+//! The driver refuses a primary whose `Hello` parameters (shard count,
+//! router seed, base IBLT config) don't match the local service — shard
+//! digests would not be subtraction-compatible.
+
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::client::Client;
+use crate::lock::{plock, pwait_timeout};
+use crate::replication::apply_replication_stream;
+use crate::service::PeelService;
+use crate::wire::WireError;
+
+/// Tunables for a [`Follower`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FollowerConfig {
+    /// How often the anti-entropy loop reconciles against the primary.
+    pub anti_entropy_interval: Duration,
+    /// Delay between reconnection attempts after a connection failure.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        FollowerConfig {
+            anti_entropy_interval: Duration::from_millis(200),
+            reconnect_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+struct StopSignal {
+    stop: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+    /// Socket clones for the stream and anti-entropy connections, so
+    /// `stop` can unblock threads parked in blocking reads.
+    socks: [Mutex<Option<TcpStream>>; 2],
+}
+
+impl StopSignal {
+    fn stopped(&self) -> bool {
+        self.stop.load(Relaxed)
+    }
+
+    /// Sleep up to `dur`, returning early (true) if stop was raised.
+    fn sleep(&self, dur: Duration) -> bool {
+        let guard = plock(&self.lock);
+        if self.stopped() {
+            return true;
+        }
+        let _ = pwait_timeout(&self.cv, guard, dur);
+        self.stopped()
+    }
+
+    fn register(&self, slot: usize, sock: Option<TcpStream>) {
+        *plock(&self.socks[slot]) = sock;
+    }
+
+    fn raise(&self) {
+        self.stop.store(true, Relaxed);
+        let _guard = plock(&self.lock);
+        self.cv.notify_all();
+        drop(_guard);
+        for slot in &self.socks {
+            if let Some(s) = plock(slot).take() {
+                let _ = s.shutdown(SockShutdown::Both);
+            }
+        }
+    }
+}
+
+const SLOT_STREAM: usize = 0;
+const SLOT_REPAIR: usize = 1;
+
+/// A running primary→follower replication driver. Stops (and joins its
+/// threads) on [`Follower::stop`] or drop.
+pub struct Follower {
+    signal: Arc<StopSignal>,
+    threads: Vec<JoinHandle<()>>,
+    last_applied: Arc<AtomicU64>,
+}
+
+impl Follower {
+    /// Start replicating `primary` into `svc`. Connections are
+    /// established (and re-established) in the background, so the
+    /// primary does not need to be up yet.
+    pub fn start(svc: Arc<PeelService>, primary: SocketAddr, cfg: FollowerConfig) -> Follower {
+        let signal = Arc::new(StopSignal {
+            stop: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            socks: [Mutex::new(None), Mutex::new(None)],
+        });
+        let last_applied = Arc::new(AtomicU64::new(0));
+        let stream_thread = {
+            let svc = Arc::clone(&svc);
+            let signal = Arc::clone(&signal);
+            let last = Arc::clone(&last_applied);
+            std::thread::spawn(move || stream_loop(&svc, primary, &cfg, &signal, &last))
+        };
+        let repair_thread = {
+            let signal = Arc::clone(&signal);
+            let last = Arc::clone(&last_applied);
+            std::thread::spawn(move || repair_loop(&svc, primary, &cfg, &signal, &last))
+        };
+        Follower {
+            signal,
+            threads: vec![stream_thread, repair_thread],
+            last_applied,
+        }
+    }
+
+    /// Highest replicated sequence number applied via the stream.
+    pub fn last_applied_seq(&self) -> u64 {
+        self.last_applied.load(Relaxed)
+    }
+
+    /// Stop both loops and join them. Idempotent.
+    pub fn stop(&mut self) {
+        self.signal.raise();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// True iff the primary's advertised sharding parameters are
+/// digest-compatible with the local service's.
+fn hello_compatible(svc: &PeelService, primary: &crate::wire::HelloInfo) -> bool {
+    let local = svc.hello();
+    local.shards == primary.shards
+        && local.router_seed == primary.router_seed
+        && local.base_config == primary.base_config
+}
+
+fn stream_loop(
+    svc: &PeelService,
+    primary: SocketAddr,
+    cfg: &FollowerConfig,
+    signal: &StopSignal,
+    last_applied: &AtomicU64,
+) {
+    while !signal.stopped() {
+        let attempt = (|| -> Result<(), WireError> {
+            let mut client = Client::connect(primary)?;
+            let hello = client.hello()?;
+            if !hello_compatible(svc, &hello) {
+                return Err(WireError::Remote(format!(
+                    "primary sharding {:?} is incompatible with this follower",
+                    hello
+                )));
+            }
+            let mut transport = client.subscribe(last_applied.load(Relaxed))?;
+            signal.register(SLOT_STREAM, transport.peer().ok());
+            let r = apply_replication_stream(&mut transport, svc, &signal.stop, last_applied);
+            signal.register(SLOT_STREAM, None);
+            r.map(|_| ())
+        })();
+        if signal.stopped() {
+            return;
+        }
+        if let Err(e) = attempt {
+            // Incompatible primaries never become compatible; stop
+            // trying rather than spin forever.
+            if matches!(e, WireError::Remote(_)) {
+                eprintln!("follower: giving up on replication stream: {e}");
+                return;
+            }
+        }
+        // Connection ended or failed: back off, then resubscribe from
+        // the last applied sequence number.
+        if signal.sleep(cfg.reconnect_backoff) {
+            return;
+        }
+    }
+}
+
+/// Consecutive rounds the repair loop may defer to an actively
+/// advancing stream before repairing anyway. Deferral avoids the
+/// duplicate churn of repairing keys the stream is about to deliver;
+/// the bound keeps sustained primary traffic from starving repair.
+const MAX_REPAIR_DEFERRALS: u32 = 3;
+
+fn repair_loop(
+    svc: &Arc<PeelService>,
+    primary: SocketAddr,
+    cfg: &FollowerConfig,
+    signal: &StopSignal,
+    last_applied: &AtomicU64,
+) {
+    let mut conn: Option<Client> = None;
+    let mut deferrals = 0u32;
+    loop {
+        if signal.sleep(cfg.anti_entropy_interval) {
+            return;
+        }
+        if conn.is_none() {
+            match Client::connect(primary) {
+                Ok(mut c) => match c.hello() {
+                    // Same refusal as the stream loop: repairs computed
+                    // against an incompatible sharding would insert
+                    // garbage forever instead of converging.
+                    Ok(h) if hello_compatible(svc, &h) => {
+                        signal.register(SLOT_REPAIR, c.raw_stream().ok());
+                        conn = Some(c);
+                    }
+                    Ok(_) => {
+                        eprintln!("follower: giving up on anti-entropy: incompatible primary");
+                        return;
+                    }
+                    Err(_) => continue,
+                },
+                Err(_) => continue,
+            }
+        }
+        let Some(mut client) = conn.take() else {
+            continue;
+        };
+        let seq_before = last_applied.load(Relaxed);
+        match collect_repairs(svc, &mut client) {
+            Ok(diffs) => {
+                // If the stream applied batches while we reconciled, the
+                // diffs are a moving target: much of `only_local` is
+                // already in flight, and applying it would just create
+                // duplicate copies for later rounds to delete. Defer —
+                // but boundedly, so repair still happens under
+                // continuous primary traffic.
+                let advanced = last_applied.load(Relaxed) != seq_before;
+                if advanced && deferrals < MAX_REPAIR_DEFERRALS {
+                    deferrals += 1;
+                } else {
+                    deferrals = 0;
+                    let healed = apply_repairs(svc, &diffs);
+                    let m = svc.metrics_handle();
+                    m.anti_entropy_rounds.fetch_add(1, Relaxed);
+                    m.anti_entropy_keys.fetch_add(healed, Relaxed);
+                }
+                conn = Some(client);
+            }
+            Err(_) => {
+                // Drop the connection; next tick reconnects.
+                signal.register(SLOT_REPAIR, None);
+            }
+        }
+    }
+}
+
+/// The reconcile half of an anti-entropy pass: digest every local shard
+/// against the primary and return the decoded per-shard differences
+/// without applying anything.
+pub fn collect_repairs(
+    svc: &PeelService,
+    client: &mut Client,
+) -> Result<Vec<crate::wire::ShardDiff>, WireError> {
+    (0..svc.config().shards)
+        .map(|shard| {
+            let (_epoch, snap) = svc
+                .snapshot_shard(shard)
+                .expect("shard index from own config");
+            client.reconcile_shard(shard, &snap)
+        })
+        .collect()
+}
+
+/// The apply half: `only_local` = keys the *primary* has that we lack
+/// (insert them); `only_remote` = keys only we have (delete them).
+/// Repairs are applied even when a round decoded incompletely — peeled
+/// keys are always genuine, so partial repair still shrinks the
+/// divergence for the next round. Returns the number of keys healed.
+pub fn apply_repairs(svc: &PeelService, diffs: &[crate::wire::ShardDiff]) -> u64 {
+    let mut healed = 0u64;
+    for diff in diffs {
+        healed += (diff.only_local.len() + diff.only_remote.len()) as u64;
+        if !diff.only_local.is_empty() {
+            svc.insert(&diff.only_local);
+        }
+        if !diff.only_remote.is_empty() {
+            svc.delete(&diff.only_remote);
+        }
+    }
+    svc.flush();
+    healed
+}
+
+/// One full anti-entropy pass: reconcile every local shard against the
+/// primary and apply the decoded symmetric difference locally. Returns
+/// the number of keys healed.
+pub fn anti_entropy_round(svc: &PeelService, client: &mut Client) -> Result<u64, WireError> {
+    let diffs = collect_repairs(svc, client)?;
+    Ok(apply_repairs(svc, &diffs))
+}

@@ -25,9 +25,17 @@
 //! * **Server & client** ([`server`], [`client`]): a blocking TCP server
 //!   (`peel-server` binary) and a typed client whose
 //!   [`client::Client::reconcile`] runs the whole per-shard protocol.
+//! * **Replication** ([`replication`], [`follower`], [`transport`]):
+//!   primary→follower replication with the sealed-batch stream as the
+//!   fast path (`Subscribe`/`Replicate`/`ReplicateAck` frames, teed off
+//!   the ingest pipeline without blocking it) and periodic IBLT
+//!   anti-entropy via the existing `Reconcile` machinery as the repair
+//!   path — a follower that missed arbitrary frames provably converges.
+//!   `peel-server --follow <addr>` runs a serving follower.
 //! * **Metrics** ([`metrics`]): per-shard op counts and epochs, batch
-//!   occupancy, queue stalls, and the per-subround recovery traces the
-//!   paper's Tables 5–6 analyze — observable over the wire via `Stats`.
+//!   occupancy, queue stalls, per-follower replication lag, and the
+//!   per-subround recovery traces the paper's Tables 5–6 analyze —
+//!   observable over the wire via `Stats`.
 //!
 //! ## Why the table stays small
 //!
@@ -65,16 +73,23 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod follower;
+mod lock;
 pub mod metrics;
 pub mod queue;
+pub mod replication;
 pub mod router;
 pub mod server;
 pub mod service;
+pub mod transport;
 pub mod wire;
 
 pub use client::{Client, ServiceDiff};
-pub use metrics::{Metrics, MetricsSnapshot, ShardStats};
+pub use follower::{anti_entropy_round, apply_repairs, collect_repairs, Follower, FollowerConfig};
+pub use metrics::{Metrics, MetricsSnapshot, ReplicationStats, ShardStats};
+pub use replication::{apply_replication_stream, stream_to_follower, ReplicationHub, Subscription};
 pub use router::{build_shard_digests, shard_iblt_config, ShardRouter};
 pub use server::Server;
 pub use service::{PeelService, ServiceConfig, ServiceError};
+pub use transport::{FaultPlan, FramedTcp, SimTransport, Transport};
 pub use wire::{HelloInfo, Request, Response, ShardDiff, WireError};

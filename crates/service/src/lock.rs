@@ -1,0 +1,51 @@
+//! Poison-tolerant wrappers over `std::sync` locking.
+//!
+//! A panicking connection handler (or test thread) poisons any `std`
+//! mutex it holds; the next `.lock().unwrap()` then panics too, which can
+//! cascade a single handler panic into a poisoned-shutdown panic in
+//! `Server::shutdown`. None of the state guarded by these locks can be
+//! left logically torn by a panic (they protect registries and
+//! counters mutated in single statements), so recovering the guard from
+//! the `PoisonError` is always safe here.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on a condvar, recovering the guard if the mutex is poisoned.
+pub(crate) fn pwait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Timed condvar wait, recovering the guard if the mutex is poisoned.
+pub(crate) fn pwait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn plock_recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*plock(&m), 7);
+    }
+}

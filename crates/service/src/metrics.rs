@@ -25,6 +25,18 @@ pub struct Metrics {
     pub recoveries_incomplete: AtomicU64,
     /// Total parallel subrounds across all recoveries.
     pub recovery_subrounds: AtomicU64,
+    /// Replicated batches applied by this service when acting as a
+    /// follower (deduplicated by sequence number).
+    pub repl_applied: AtomicU64,
+    /// Replicated batches skipped as duplicates or stale reorders.
+    pub repl_skipped: AtomicU64,
+    /// Replication frames that failed to decode (dropped; healed by
+    /// anti-entropy).
+    pub repl_decode_errors: AtomicU64,
+    /// Anti-entropy repair rounds completed against the primary.
+    pub anti_entropy_rounds: AtomicU64,
+    /// Keys healed (inserted or deleted) by anti-entropy repair.
+    pub anti_entropy_keys: AtomicU64,
     /// Per-subround key counts of the most recent recovery (the paper's
     /// Table 5/6 trace, observable in production).
     last_trace: Mutex<Vec<u64>>,
@@ -41,9 +53,19 @@ impl Metrics {
         *self.last_trace.lock() = per_subround.to_vec();
     }
 
-    /// Plain-data copy of the global counters (per-shard stats are filled
-    /// in by the service, which owns the shards).
-    pub fn snapshot(&self, shards: Vec<ShardStats>) -> MetricsSnapshot {
+    /// Plain-data copy of the global counters. Per-shard stats and the
+    /// hub half of the replication stats are filled in by the service,
+    /// which owns the shards and the replication hub; the follower-side
+    /// replication counters live here and are merged in.
+    pub fn snapshot(&self, shards: Vec<ShardStats>, hub: ReplicationStats) -> MetricsSnapshot {
+        let replication = ReplicationStats {
+            batches_applied: self.repl_applied.load(Relaxed),
+            batches_skipped: self.repl_skipped.load(Relaxed),
+            decode_errors: self.repl_decode_errors.load(Relaxed),
+            anti_entropy_rounds: self.anti_entropy_rounds.load(Relaxed),
+            anti_entropy_keys: self.anti_entropy_keys.load(Relaxed),
+            ..hub
+        };
         MetricsSnapshot {
             batches_applied: self.batches_applied.load(Relaxed),
             ops_applied: self.ops_applied.load(Relaxed),
@@ -53,8 +75,43 @@ impl Metrics {
             recovery_subrounds: self.recovery_subrounds.load(Relaxed),
             last_recovery_trace: self.last_trace.lock().clone(),
             shards,
+            replication,
         }
     }
+}
+
+/// Replication state at snapshot time: the primary half (follower count,
+/// sequence numbers, per-follower lag, stream drops) comes from the
+/// replication hub; the follower half (applied/skipped batches, decode
+/// errors, anti-entropy repairs) from the service's own counters. Lag is
+/// measured in sealed batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Live follower subscriptions.
+    pub followers: u64,
+    /// Highest batch sequence number sealed (and offered to followers).
+    pub published_seq: u64,
+    /// Lowest acknowledged sequence number across followers
+    /// (= `published_seq` when there are no followers).
+    pub acked_min: u64,
+    /// Largest per-follower replication lag, in batches:
+    /// `published_seq − acked`, maximized over followers.
+    pub max_lag: u64,
+    /// Batches written to follower connections.
+    pub batches_streamed: u64,
+    /// Batches dropped because a follower's stream queue overflowed
+    /// (healed later by anti-entropy).
+    pub batches_dropped: u64,
+    /// Follower side: replicated batches applied (deduplicated).
+    pub batches_applied: u64,
+    /// Follower side: replicated batches skipped (duplicate or stale).
+    pub batches_skipped: u64,
+    /// Follower side: replication frames that failed to decode.
+    pub decode_errors: u64,
+    /// Follower side: anti-entropy repair rounds completed.
+    pub anti_entropy_rounds: u64,
+    /// Follower side: keys healed by anti-entropy repair.
+    pub anti_entropy_keys: u64,
 }
 
 /// Per-shard counters at snapshot time.
@@ -87,6 +144,8 @@ pub struct MetricsSnapshot {
     pub last_recovery_trace: Vec<u64>,
     /// One entry per shard.
     pub shards: Vec<ShardStats>,
+    /// Replication state (primary and follower halves).
+    pub replication: ReplicationStats,
 }
 
 impl MetricsSnapshot {
@@ -110,7 +169,16 @@ mod tests {
         m.ops_applied.store(12, Relaxed);
         m.record_recovery(true, 9, &[4, 2, 1]);
         m.record_recovery(false, 5, &[1]);
-        let s = m.snapshot(vec![ShardStats::default(); 2]);
+        m.repl_applied.store(6, Relaxed);
+        m.anti_entropy_keys.store(17, Relaxed);
+        let hub = ReplicationStats {
+            followers: 2,
+            published_seq: 10,
+            acked_min: 8,
+            max_lag: 2,
+            ..ReplicationStats::default()
+        };
+        let s = m.snapshot(vec![ShardStats::default(); 2], hub);
         assert_eq!(s.batches_applied, 3);
         assert_eq!(s.ops_applied, 12);
         assert_eq!(s.recoveries, 2);
@@ -119,11 +187,16 @@ mod tests {
         assert_eq!(s.last_recovery_trace, vec![1]);
         assert_eq!(s.shards.len(), 2);
         assert!((s.mean_batch_occupancy() - 4.0).abs() < 1e-12);
+        // The replication block merges hub gauges with local counters.
+        assert_eq!(s.replication.followers, 2);
+        assert_eq!(s.replication.max_lag, 2);
+        assert_eq!(s.replication.batches_applied, 6);
+        assert_eq!(s.replication.anti_entropy_keys, 17);
     }
 
     #[test]
     fn empty_snapshot_has_zero_occupancy() {
-        let s = Metrics::default().snapshot(Vec::new());
+        let s = Metrics::default().snapshot(Vec::new(), ReplicationStats::default());
         assert_eq!(s.mean_batch_occupancy(), 0.0);
     }
 }

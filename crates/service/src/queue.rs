@@ -4,11 +4,15 @@
 //! `std::sync::{Mutex, Condvar}` rather than the `parking_lot` shim
 //! because the shim deliberately omits condvars; the queue is cold
 //! relative to the atomic IBLT updates it feeds, so the std primitives
-//! are plenty.
+//! are plenty. All locking goes through the poison-tolerant wrappers in
+//! [`crate::lock`] so a panicking producer or worker cannot cascade
+//! into queue-poisoning panics during shutdown.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Condvar, Mutex};
+
+use crate::lock::{plock, pwait};
 
 /// One signed key operation: insert (`dir = +1`) or delete (`dir = −1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,11 +64,11 @@ impl BoundedQueue {
     /// Enqueue a batch, blocking while the queue is full (backpressure).
     /// Returns `false` — dropping the batch — iff the queue is closed.
     pub fn push(&self, batch: Batch) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = plock(&self.state);
         if st.batches.len() >= self.capacity {
             self.stalls.fetch_add(1, Relaxed);
             while st.batches.len() >= self.capacity && !st.closed {
-                st = self.not_full.wait(st).unwrap();
+                st = pwait(&self.not_full, st);
             }
         }
         if st.closed {
@@ -80,7 +84,7 @@ impl BoundedQueue {
     /// the queue is closed *and* drained. The caller must follow every
     /// successful pop with [`Self::task_done`].
     pub fn pop(&self) -> Option<Batch> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = plock(&self.state);
         loop {
             if let Some(b) = st.batches.pop_front() {
                 st.in_flight += 1;
@@ -91,13 +95,13 @@ impl BoundedQueue {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).unwrap();
+            st = pwait(&self.not_empty, st);
         }
     }
 
     /// Mark a popped batch as fully applied.
     pub fn task_done(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = plock(&self.state);
         st.in_flight -= 1;
         if st.in_flight == 0 && st.batches.is_empty() {
             drop(st);
@@ -107,16 +111,16 @@ impl BoundedQueue {
 
     /// Block until the queue is empty and no batch is being applied.
     pub fn wait_idle(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = plock(&self.state);
         while !(st.batches.is_empty() && st.in_flight == 0) {
-            st = self.idle.wait(st).unwrap();
+            st = pwait(&self.idle, st);
         }
     }
 
     /// Close the queue: producers are rejected, consumers drain what is
     /// left and then see `None`.
     pub fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = plock(&self.state);
         st.closed = true;
         drop(st);
         self.not_full.notify_all();
@@ -126,7 +130,7 @@ impl BoundedQueue {
 
     /// True once [`Self::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().unwrap().closed
+        plock(&self.state).closed
     }
 
     /// Times a producer has blocked on a full queue.
@@ -136,7 +140,7 @@ impl BoundedQueue {
 
     /// Pending batches (excluding in-flight).
     pub fn depth(&self) -> usize {
-        self.state.lock().unwrap().batches.len()
+        plock(&self.state).batches.len()
     }
 }
 

@@ -1,0 +1,417 @@
+//! Primary→follower replication: the sealed-batch tee and the stream
+//! loops on both ends.
+//!
+//! ## Fast path
+//!
+//! Every batch the ingest pipeline seals is *published* to the
+//! [`ReplicationHub`] — assigned a global sequence number and offered to
+//! each live follower [`Subscription`]. Publishing never blocks: a
+//! follower whose bounded stream queue is full loses its **oldest**
+//! queued batch (counted, and healed later by anti-entropy), so a slow
+//! or dead follower can never apply backpressure to primary ingest.
+//!
+//! On a subscribed connection the primary runs [`stream_to_follower`]:
+//! pop a batch from the subscription, write a `Replicate` frame, read
+//! one `ReplicateAck` carrying the follower's highest applied sequence
+//! number (that ack is what the per-follower lag gauge measures). The
+//! follower runs [`apply_replication_stream`]: decode, deduplicate by
+//! sequence number, apply through its own ingest pipeline, ack.
+//!
+//! ## Repair path
+//!
+//! The stream is deliberately best-effort; whatever it drops (queue
+//! overflow, follower crash, torn frames) is repaired by the follower's
+//! periodic anti-entropy loop ([`crate::follower`]), which digests each
+//! local shard against the primary via the existing `Reconcile`
+//! machinery and applies the decoded symmetric difference. Both loops
+//! are written against [`Transport`](crate::transport::Transport) so the
+//! fault-injection tests can drive them over an in-memory double.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::lock::{plock, pwait};
+use crate::metrics::ReplicationStats;
+use crate::queue::Batch;
+use crate::service::PeelService;
+use crate::transport::Transport;
+use crate::wire::{
+    decode_request, decode_response, encode_replicate, encode_request, Request, Response, WireError,
+};
+
+struct SubState {
+    queue: VecDeque<(u64, Arc<Batch>)>,
+    closed: bool,
+}
+
+struct SubShared {
+    state: Mutex<SubState>,
+    ready: Condvar,
+    /// Highest sequence number the follower has acknowledged applying.
+    acked: AtomicU64,
+}
+
+struct HubShared {
+    subs: Mutex<Vec<Arc<SubShared>>>,
+    /// Sequence number of the most recently published batch (they start
+    /// at 1, so this doubles as a published-batch count).
+    published: AtomicU64,
+    /// Batches written to follower connections.
+    streamed: AtomicU64,
+    /// Batches evicted from overflowing follower queues.
+    dropped: AtomicU64,
+    closed: AtomicBool,
+    capacity: usize,
+}
+
+/// The fan-out point between the ingest pipeline and follower
+/// connections: sealed batches go in, per-follower bounded streams come
+/// out. Owned by the [`PeelService`]; followers attach via
+/// [`ReplicationHub::subscribe`].
+pub struct ReplicationHub {
+    shared: Arc<HubShared>,
+}
+
+impl ReplicationHub {
+    /// A hub whose per-follower stream queues hold at most `capacity`
+    /// batches (overflow evicts the oldest).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "replication queue capacity must be ≥ 1");
+        ReplicationHub {
+            shared: Arc::new(HubShared {
+                subs: Mutex::new(Vec::new()),
+                published: AtomicU64::new(0),
+                streamed: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+                capacity,
+            }),
+        }
+    }
+
+    /// Assign the next sequence number to `batch` and offer it to every
+    /// live follower. Never blocks on followers; bounded work per
+    /// follower (one shared clone of the batch total, not one per
+    /// follower).
+    pub fn publish(&self, batch: &Batch) -> u64 {
+        let h = &self.shared;
+        // Sequence assignment and fan-out share one critical section:
+        // concurrent publishers serialize here, so queue order always
+        // matches sequence order — the follower's high-water dedup
+        // would otherwise permanently skip a batch that two racing
+        // submitters enqueued out of order.
+        let subs = plock(&h.subs);
+        let seq = h.published.fetch_add(1, Relaxed) + 1;
+        if h.closed.load(Relaxed) || subs.is_empty() {
+            return seq;
+        }
+        let shared_batch = Arc::new(batch.clone());
+        for sub in subs.iter() {
+            let mut st = plock(&sub.state);
+            if st.closed {
+                continue;
+            }
+            if st.queue.len() >= h.capacity {
+                st.queue.pop_front();
+                h.dropped.fetch_add(1, Relaxed);
+            }
+            st.queue.push_back((seq, Arc::clone(&shared_batch)));
+            drop(st);
+            sub.ready.notify_one();
+        }
+        seq
+    }
+
+    /// Attach a follower. The subscription sees batches published from
+    /// now on; history is the anti-entropy loop's job.
+    pub fn subscribe(&self) -> Subscription {
+        let sub = Arc::new(SubShared {
+            state: Mutex::new(SubState {
+                queue: VecDeque::new(),
+                closed: self.shared.closed.load(Relaxed),
+            }),
+            ready: Condvar::new(),
+            acked: AtomicU64::new(self.shared.published.load(Relaxed)),
+        });
+        plock(&self.shared.subs).push(Arc::clone(&sub));
+        Subscription {
+            shared: sub,
+            hub: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Close every subscription (drained, then `recv` returns `None`)
+    /// and refuse new traffic. Idempotent.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Relaxed);
+        for sub in plock(&self.shared.subs).iter() {
+            plock(&sub.state).closed = true;
+            sub.ready.notify_all();
+        }
+    }
+
+    /// Live follower subscriptions.
+    pub fn followers(&self) -> usize {
+        plock(&self.shared.subs).len()
+    }
+
+    /// Sequence number of the most recently published batch.
+    pub fn published_seq(&self) -> u64 {
+        self.shared.published.load(Relaxed)
+    }
+
+    /// The hub half of the replication stats: follower count, sequence
+    /// gauges, per-follower lag, stream counters.
+    pub fn stats(&self) -> ReplicationStats {
+        let published = self.shared.published.load(Relaxed);
+        let mut acked_min = published;
+        let mut max_lag = 0u64;
+        let subs = plock(&self.shared.subs);
+        for sub in subs.iter() {
+            let acked = sub.acked.load(Relaxed);
+            acked_min = acked_min.min(acked);
+            max_lag = max_lag.max(published.saturating_sub(acked));
+        }
+        ReplicationStats {
+            followers: subs.len() as u64,
+            published_seq: published,
+            acked_min,
+            max_lag,
+            batches_streamed: self.shared.streamed.load(Relaxed),
+            batches_dropped: self.shared.dropped.load(Relaxed),
+            ..ReplicationStats::default()
+        }
+    }
+}
+
+/// One follower's view of the hub: a bounded stream of `(seq, batch)`
+/// pairs. Dropping the subscription detaches the follower.
+pub struct Subscription {
+    shared: Arc<SubShared>,
+    hub: Arc<HubShared>,
+}
+
+impl Subscription {
+    /// Next batch, blocking while the stream is empty. `None` once the
+    /// hub has closed and the queue is drained.
+    pub fn recv(&self) -> Option<(u64, Arc<Batch>)> {
+        let mut st = plock(&self.shared.state);
+        loop {
+            if let Some(x) = st.queue.pop_front() {
+                return Some(x);
+            }
+            if st.closed {
+                return None;
+            }
+            st = pwait(&self.shared.ready, st);
+        }
+    }
+
+    /// Next batch if one is already queued (test and drain helper).
+    pub fn try_recv(&self) -> Option<(u64, Arc<Batch>)> {
+        plock(&self.shared.state).queue.pop_front()
+    }
+
+    /// Record the follower's highest applied sequence number.
+    pub fn ack(&self, seq: u64) {
+        self.shared.acked.fetch_max(seq, Relaxed);
+    }
+
+    /// Highest acknowledged sequence number.
+    pub fn acked(&self) -> u64 {
+        self.shared.acked.load(Relaxed)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        plock(&self.hub.subs).retain(|s| !Arc::ptr_eq(s, &self.shared));
+    }
+}
+
+/// Primary-side sender: stream a subscription's batches to one follower
+/// as `Replicate` frames, reading one `ReplicateAck` per frame (the ack
+/// carries the follower's highest applied sequence number and feeds the
+/// lag gauge). Batches at or below `resume_after` are skipped — the
+/// follower already has them. Returns when the hub closes, the follower
+/// disconnects, or the transport fails.
+pub fn stream_to_follower<T: Transport>(
+    transport: &mut T,
+    sub: &Subscription,
+    resume_after: u64,
+) -> Result<(), WireError> {
+    while let Some((seq, ops)) = sub.recv() {
+        if seq <= resume_after {
+            continue;
+        }
+        transport.send(&encode_replicate(seq, &ops))?;
+        sub.hub.streamed.fetch_add(1, Relaxed);
+        match transport.recv()? {
+            None => break,
+            Some(payload) => match decode_request(&payload) {
+                Ok(Request::ReplicateAck { seq }) => sub.ack(seq),
+                // Anything else on a subscribed connection is a protocol
+                // violation; drop the follower (it will reconnect).
+                _ => break,
+            },
+        }
+    }
+    Ok(())
+}
+
+/// What one run of [`apply_replication_stream`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Batches applied to the local service.
+    pub applied: u64,
+    /// Batches skipped as duplicates or stale reorders.
+    pub skipped: u64,
+    /// Frames that failed to decode (dropped).
+    pub decode_errors: u64,
+}
+
+/// Follower-side applier: read `Replicate` frames from `transport`,
+/// apply each batch exactly once to `svc` (frames whose sequence number
+/// is not strictly greater than `last_applied` are duplicates or stale
+/// reorders and are skipped), and answer every frame with a
+/// `ReplicateAck` carrying the highest applied sequence number.
+///
+/// `last_applied` persists across reconnects so a resumed stream cannot
+/// double-apply. Frames that fail to decode are counted and dropped —
+/// anti-entropy repairs whatever they carried. Returns on clean close,
+/// transport error, or when `stop` is raised.
+pub fn apply_replication_stream<T: Transport>(
+    transport: &mut T,
+    svc: &PeelService,
+    stop: &AtomicBool,
+    last_applied: &AtomicU64,
+) -> Result<ApplyOutcome, WireError> {
+    let metrics = svc.metrics_handle();
+    let mut out = ApplyOutcome::default();
+    while !stop.load(Relaxed) {
+        let Some(payload) = transport.recv()? else {
+            break;
+        };
+        match decode_response(&payload) {
+            Ok(Response::Replicate { seq, ops }) => {
+                if seq > last_applied.load(Relaxed) {
+                    if !svc.ingest_batch(ops) {
+                        // The local service is shutting down and refused
+                        // the batch: don't claim it, don't ack it.
+                        break;
+                    }
+                    last_applied.store(seq, Relaxed);
+                    metrics.repl_applied.fetch_add(1, Relaxed);
+                    out.applied += 1;
+                } else {
+                    metrics.repl_skipped.fetch_add(1, Relaxed);
+                    out.skipped += 1;
+                }
+                transport.send(&encode_request(&Request::ReplicateAck {
+                    seq: last_applied.load(Relaxed),
+                }))?;
+            }
+            Ok(_) | Err(_) => {
+                // Torn or foreign frame: count it and move on. No ack is
+                // owed — over TCP a frame is either whole or the
+                // connection is already dead.
+                metrics.repl_decode_errors.fetch_add(1, Relaxed);
+                out.decode_errors += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Op;
+
+    fn batch(tag: u64, n: u64) -> Batch {
+        (0..n)
+            .map(|i| Op {
+                key: tag * 1000 + i,
+                dir: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_fans_out_in_order_with_sequence_numbers() {
+        let hub = ReplicationHub::new(8);
+        let a = hub.subscribe();
+        let b = hub.subscribe();
+        assert_eq!(hub.followers(), 2);
+        assert_eq!(hub.publish(&batch(1, 3)), 1);
+        assert_eq!(hub.publish(&batch(2, 3)), 2);
+        for sub in [&a, &b] {
+            assert_eq!(sub.try_recv().unwrap().0, 1);
+            assert_eq!(sub.try_recv().unwrap().0, 2);
+            assert!(sub.try_recv().is_none());
+        }
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts_drops() {
+        let hub = ReplicationHub::new(2);
+        let sub = hub.subscribe();
+        for i in 0..5 {
+            hub.publish(&batch(i, 1));
+        }
+        // Queue holds the newest two; three were evicted.
+        assert_eq!(sub.try_recv().unwrap().0, 4);
+        assert_eq!(sub.try_recv().unwrap().0, 5);
+        assert!(sub.try_recv().is_none());
+        assert_eq!(hub.stats().batches_dropped, 3);
+    }
+
+    #[test]
+    fn lag_tracks_acks_and_drop_detaches() {
+        let hub = ReplicationHub::new(8);
+        let sub = hub.subscribe();
+        hub.publish(&batch(1, 1));
+        hub.publish(&batch(2, 1));
+        let s = hub.stats();
+        assert_eq!(s.published_seq, 2);
+        assert_eq!(s.max_lag, 2);
+        sub.ack(2);
+        let s = hub.stats();
+        assert_eq!(s.max_lag, 0);
+        assert_eq!(s.acked_min, 2);
+        drop(sub);
+        assert_eq!(hub.followers(), 0);
+        // With no followers the gauges read "caught up".
+        assert_eq!(hub.stats().max_lag, 0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_receivers() {
+        let hub = Arc::new(ReplicationHub::new(4));
+        let sub = hub.subscribe();
+        let h = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                hub.close();
+            })
+        };
+        assert!(sub.recv().is_none(), "recv must return None after close");
+        h.join().unwrap();
+        // A post-close subscription is born closed.
+        assert!(hub.subscribe().recv().is_none());
+    }
+
+    #[test]
+    fn subscriptions_start_acked_at_current_seq() {
+        // A follower that attaches late must not read as "lagging" by
+        // the entire pre-subscription history.
+        let hub = ReplicationHub::new(4);
+        for i in 0..10 {
+            hub.publish(&batch(i, 1));
+        }
+        let _sub = hub.subscribe();
+        assert_eq!(hub.stats().max_lag, 0);
+    }
+}

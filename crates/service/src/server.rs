@@ -4,23 +4,39 @@
 //! One accept thread plus one handler thread per connection. Handlers
 //! translate wire [`Request`]s into [`PeelService`] calls; every
 //! service-level failure becomes a protocol `Error` response, never a
-//! dropped connection. A `Shutdown` request stops the accept loop, closes
-//! the open connections, and unblocks [`Server::wait`].
+//! dropped connection. A `Subscribe` request converts its connection
+//! into a replication stream: the handler thread becomes that
+//! follower's sender, pushing `Replicate` frames and reading acks until
+//! the follower disconnects or the server stops. A `Shutdown` request
+//! stops the accept loop, closes the open connections, and unblocks
+//! [`Server::wait`].
+//!
+//! Shutdown paths use poison-tolerant locking (`parking_lot` for plain
+//! registries, [`crate::lock`] recovery for the std condvar pair) so a
+//! panicking handler can never cascade into a poisoned-shutdown panic.
 
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 
+use parking_lot::Mutex;
+
+use crate::lock::{plock, pwait};
+use crate::replication::stream_to_follower;
 use crate::service::{PeelService, ServiceConfig};
+use crate::transport::FramedTcp;
 use crate::wire::{decode_request, encode_response, read_frame, write_frame, Request, Response};
 
 struct Shared {
-    service: PeelService,
+    service: Arc<PeelService>,
     stopping: AtomicBool,
-    stop_lock: Mutex<bool>,
+    // The stop flag + condvar stay on std primitives (the parking_lot
+    // shim has no condvar); waits recover from poisoning via
+    // `crate::lock`.
+    stop_lock: StdMutex<bool>,
     stop_cv: Condvar,
     /// One stream clone per *live* connection (keyed by connection id;
     /// handlers remove their entry on exit so closed sockets don't leak
@@ -32,9 +48,12 @@ struct Shared {
 impl Shared {
     fn signal_stop(&self) {
         self.stopping.store(true, SeqCst);
-        *self.stop_lock.lock().unwrap() = true;
+        *plock(&self.stop_lock) = true;
         self.stop_cv.notify_all();
-        for (_, c) in self.conns.lock().unwrap().drain() {
+        // Wake replication senders parked on their subscriptions before
+        // tearing the sockets down under them.
+        self.service.replication().close();
+        for (_, c) in self.conns.lock().drain() {
             let _ = c.shutdown(SockShutdown::Both);
         }
     }
@@ -52,12 +71,22 @@ impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), start
     /// the service worker pool, and begin accepting connections.
     pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServiceConfig) -> std::io::Result<Server> {
+        Self::bind_with(addr, Arc::new(PeelService::start(cfg)))
+    }
+
+    /// Serve an existing service — the follower deployment shape, where
+    /// the same [`PeelService`] is shared between this server (read
+    /// traffic) and a [`crate::follower::Follower`] driver (replication).
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<PeelService>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            service: PeelService::start(cfg),
+            service,
             stopping: AtomicBool::new(false),
-            stop_lock: Mutex::new(false),
+            stop_lock: StdMutex::new(false),
             stop_cv: Condvar::new(),
             conns: Mutex::new(HashMap::new()),
         });
@@ -86,23 +115,29 @@ impl Server {
         &self.shared.service
     }
 
+    /// A shareable handle to the underlying service.
+    pub fn service_arc(&self) -> Arc<PeelService> {
+        Arc::clone(&self.shared.service)
+    }
+
     /// Number of currently live client connections (closed connections
     /// are removed by their handler on exit).
     pub fn live_connections(&self) -> usize {
-        self.shared.conns.lock().unwrap().len()
+        self.shared.conns.lock().len()
     }
 
     /// Block until a client sends `Shutdown` (or [`Server::shutdown`] is
     /// called from another thread via a clone of the shared state).
     pub fn wait(&self) {
-        let mut stopped = self.shared.stop_lock.lock().unwrap();
+        let mut stopped = plock(&self.shared.stop_lock);
         while !*stopped {
-            stopped = self.shared.stop_cv.wait(stopped).unwrap();
+            stopped = pwait(&self.shared.stop_cv, stopped);
         }
     }
 
     /// Stop accepting, close open connections, join all threads, and shut
-    /// the service down (flushing pending batches). Idempotent.
+    /// the service down (flushing pending batches). Idempotent, and
+    /// tolerant of locks poisoned by panicking handler threads.
     pub fn shutdown(&mut self) {
         self.shared.signal_stop();
         // Unblock the accept loop with a throwaway connection.
@@ -110,7 +145,7 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let handlers: Vec<_> = self.handlers.lock().unwrap().drain(..).collect();
+        let handlers: Vec<_> = self.handlers.lock().drain(..).collect();
         for h in handlers {
             let _ = h.join();
         }
@@ -135,19 +170,23 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
+        // The replication stream is ack-paced frame-by-frame; without
+        // nodelay, Nagle + delayed ACKs turn every batch into a ~40 ms
+        // stall.
+        let _ = stream.set_nodelay(true);
         let conn_id = next_id;
         next_id += 1;
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().insert(conn_id, clone);
+            shared.conns.lock().insert(conn_id, clone);
         }
         let shared_for_handler = Arc::clone(shared);
         let handle = std::thread::spawn(move || {
             handle_connection(stream, &shared_for_handler);
-            shared_for_handler.conns.lock().unwrap().remove(&conn_id);
+            shared_for_handler.conns.lock().remove(&conn_id);
         });
         // Reap finished handlers so a long-running server doesn't grow a
         // JoinHandle per past connection.
-        let mut slots = handlers.lock().unwrap();
+        let mut slots = handlers.lock();
         let mut live = Vec::with_capacity(slots.len() + 1);
         for h in slots.drain(..) {
             if h.is_finished() {
@@ -174,10 +213,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             // the connection is done either way.
             Ok(None) | Err(_) => return,
         };
-        let (resp, stop_after) = match decode_request(&payload) {
-            Err(e) => (Response::Error(format!("bad request: {e}")), false),
-            Ok(req) => respond(&shared.service, req),
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                let resp = Response::Error(format!("bad request: {e}"));
+                if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                    return;
+                }
+                continue;
+            }
         };
+        // Subscribe converts this connection into a replication stream:
+        // ack the subscription, then this thread is the follower's
+        // sender until it disconnects or the hub closes.
+        if let Request::Subscribe { last_seq } = req {
+            let ok = Response::Ok { accepted: 0 };
+            if write_frame(&mut writer, &encode_response(&ok)).is_err() {
+                return;
+            }
+            let sub = shared.service.replication().subscribe();
+            let mut transport = FramedTcp::from_parts(reader, writer);
+            let _ = stream_to_follower(&mut transport, &sub, last_seq);
+            return;
+        }
+        let (resp, stop_after) = respond(&shared.service, req);
         if write_frame(&mut writer, &encode_response(&resp)).is_err() {
             return;
         }
@@ -212,6 +271,68 @@ fn respond(service: &PeelService, req: Request) -> (Response, bool) {
         },
         Request::Stats => Response::Stats(service.metrics()),
         Request::Shutdown => return (Response::Ok { accepted: 0 }, true),
+        // Subscribe is intercepted in `handle_connection`; a stray ack
+        // outside a subscribed stream is a client bug.
+        Request::Subscribe { .. } | Request::ReplicateAck { .. } => {
+            Response::Error("replication frame outside a subscribed stream".into())
+        }
     };
     (resp, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peel_iblt::IbltConfig;
+
+    fn tiny_cfg() -> ServiceConfig {
+        ServiceConfig {
+            shards: 2,
+            shard_iblt: IbltConfig::for_load(4, 64, 0.5, 1),
+            batch_size: 16,
+            queue_depth: 4,
+            workers: 1,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Regression test for the poisoned-shutdown cascade: a thread that
+    /// panics while holding the server's std stop lock used to make
+    /// every later `wait`/`shutdown` panic on `.lock().unwrap()`.
+    #[test]
+    fn shutdown_survives_poisoned_locks() {
+        let mut server = Server::bind("127.0.0.1:0", tiny_cfg()).unwrap();
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.stop_lock.lock().unwrap();
+            panic!("poison the stop lock while holding it");
+        })
+        .join();
+        assert!(server.shared.stop_lock.is_poisoned());
+        // Both the condvar path and the teardown path must still work.
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn shutdown_survives_a_panicked_subscriber_thread() {
+        let mut server = Server::bind("127.0.0.1:0", tiny_cfg()).unwrap();
+        let service = server.service_arc();
+        // A replication consumer that dies mid-stream must not wedge or
+        // poison anything the server needs to stop.
+        let sub_thread = std::thread::spawn(move || {
+            let sub = service.replication().subscribe();
+            let _ = sub.recv();
+            panic!("consumer dies while subscribed");
+        });
+        // Publish only once the subscription is registered, or the
+        // consumer would block forever on a stream that misses it.
+        while server.service().replication().followers() == 0 {
+            std::thread::yield_now();
+        }
+        server.service().insert(&[1, 2, 3]);
+        server.service().flush();
+        let _ = sub_thread.join();
+        server.shutdown();
+    }
 }

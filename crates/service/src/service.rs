@@ -32,6 +32,7 @@ use peel_iblt::{AtomicIblt, Iblt, IbltConfig};
 
 use crate::metrics::{Metrics, MetricsSnapshot, ShardStats};
 use crate::queue::{Batch, BoundedQueue, Op};
+use crate::replication::ReplicationHub;
 use crate::router::{shard_iblt_config, ShardRouter};
 use crate::wire::{HelloInfo, ShardDiff, PROTOCOL_VERSION};
 
@@ -53,6 +54,11 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Seed of the key → shard router.
     pub router_seed: u64,
+    /// Per-follower replication stream queue depth, in batches (≥ 1).
+    /// Publishing to a full follower queue evicts the oldest batch
+    /// instead of blocking ingest; evicted batches are healed by
+    /// anti-entropy.
+    pub repl_queue_depth: usize,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +70,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             workers: default_workers(),
             router_seed: 0x7007_1e55_0000_0001,
+            repl_queue_depth: 256,
         }
     }
 }
@@ -86,6 +93,22 @@ impl ServiceConfig {
         ServiceConfig {
             shards,
             shard_iblt: IbltConfig::for_load(4, sized, 0.5, 0x1b17_5eed),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// The config a follower should run so its shards are
+    /// digest-compatible with the primary that sent `hello`: same shard
+    /// count, router seed, base IBLT config, and batch size; local
+    /// defaults for everything else. Values are clamped to the
+    /// constructor invariants so a hostile handshake cannot panic
+    /// [`PeelService::start`].
+    pub fn from_hello(hello: &HelloInfo) -> Self {
+        ServiceConfig {
+            shards: hello.shards.max(1),
+            shard_iblt: hello.base_config,
+            batch_size: (hello.batch_size as usize).max(1),
+            router_seed: hello.router_seed,
             ..ServiceConfig::default()
         }
     }
@@ -158,7 +181,20 @@ struct Inner {
     queue: BoundedQueue,
     /// The shared accumulator batches are sealed from.
     pending: Mutex<Batch>,
+    /// The replication tee: every sealed batch is published here before
+    /// it enters the local queue.
+    hub: ReplicationHub,
     metrics: Metrics,
+}
+
+impl Inner {
+    /// Tee a sealed batch to the replication hub, then enqueue it
+    /// locally. The publish never blocks; the local push is where
+    /// backpressure lives.
+    fn enqueue_sealed(&self, batch: Batch) -> bool {
+        self.hub.publish(&batch);
+        self.queue.push(batch)
+    }
 }
 
 /// A running reconciliation service: shard router, ingest worker pool,
@@ -200,6 +236,7 @@ impl PeelService {
             shards,
             queue: BoundedQueue::new(cfg.queue_depth),
             pending: Mutex::new(Vec::with_capacity(cfg.batch_size)),
+            hub: ReplicationHub::new(cfg.repl_queue_depth.max(1)),
             metrics: Metrics::default(),
             cfg,
         });
@@ -266,7 +303,7 @@ impl PeelService {
         let mut dropped = 0u64;
         for b in sealed {
             let n = b.len() as u64;
-            if !inner.queue.push(b) {
+            if !inner.enqueue_sealed(b) {
                 dropped += n;
             }
         }
@@ -282,7 +319,34 @@ impl PeelService {
             }
             std::mem::take(&mut *pending)
         };
-        self.inner.queue.push(batch);
+        self.inner.enqueue_sealed(batch);
+    }
+
+    /// Apply one already-sealed batch through the ingest pipeline,
+    /// preserving each op's direction — the follower-side entry point
+    /// for replicated batches. The batch is re-published to this
+    /// service's own replication hub first, so replication chains
+    /// (primary → follower → sub-follower) keep streaming. Returns
+    /// `false` if the service is shutting down.
+    pub fn ingest_batch(&self, batch: Batch) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        if self.inner.queue.is_closed() {
+            return false;
+        }
+        self.inner.enqueue_sealed(batch)
+    }
+
+    /// The replication tee — subscribe here to stream this service's
+    /// sealed batches.
+    pub fn replication(&self) -> &ReplicationHub {
+        &self.inner.hub
+    }
+
+    /// The raw metric counters (for in-crate replication plumbing).
+    pub(crate) fn metrics_handle(&self) -> &Metrics {
+        &self.inner.metrics
     }
 
     /// Block until every op submitted before this call is applied to its
@@ -359,12 +423,16 @@ impl PeelService {
                 deletes: s.deletes.load(Relaxed),
             })
             .collect();
-        inner.metrics.snapshot(shards)
+        inner.metrics.snapshot(shards, inner.hub.stats())
     }
 
     /// Flush remaining ops, stop the workers, and join them. Idempotent.
     pub fn shutdown(&self) {
         self.seal_pending();
+        // Close the hub first so replication senders parked in
+        // `Subscription::recv` wake and drain before their connections
+        // are torn down.
+        self.inner.hub.close();
         self.inner.queue.close();
         let mut ws = self.workers.lock();
         for w in ws.drain(..) {
@@ -617,6 +685,60 @@ mod tests {
         assert_eq!(svc.insert(&keys(128, 0xe)), 0);
         assert_eq!(svc.insert(&[7, 8, 9]), 0);
         assert_eq!(svc.metrics().ops_applied, 3);
+    }
+
+    #[test]
+    fn sealed_batches_are_teed_to_subscribers() {
+        let svc = PeelService::start(small_cfg());
+        let sub = svc.replication().subscribe();
+        let ks = keys(150, 0xf);
+        svc.insert(&ks);
+        svc.flush();
+        // The streamed batches carry consecutive sequence numbers and
+        // exactly the submitted ops (150 keys = 2 full 64-op batches
+        // plus the flush-sealed partial).
+        let mut streamed = Vec::new();
+        let mut seqs = Vec::new();
+        while let Some((seq, b)) = sub.try_recv() {
+            seqs.push(seq);
+            streamed.extend(b.iter().map(|op| op.key));
+        }
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "{seqs:?}");
+        assert_eq!(seqs.len(), 3);
+        streamed.sort_unstable();
+        let mut want = ks;
+        want.sort_unstable();
+        assert_eq!(streamed, want);
+        let m = svc.metrics();
+        assert_eq!(m.replication.followers, 1);
+        assert_eq!(m.replication.published_seq, 3);
+    }
+
+    #[test]
+    fn ingest_batch_applies_directions_and_republishes() {
+        let svc = PeelService::start(small_cfg());
+        let sub = svc.replication().subscribe();
+        let batch = vec![
+            Op { key: 5, dir: 1 },
+            Op { key: 9, dir: 1 },
+            Op { key: 5, dir: -1 },
+        ];
+        assert!(svc.ingest_batch(batch.clone()));
+        svc.flush();
+        // Net content across all shards is exactly {9}.
+        let mut content = Vec::new();
+        for i in 0..svc.config().shards {
+            let (_e, snap) = svc.snapshot_shard(i).unwrap();
+            let rec = snap.recover();
+            assert!(rec.complete && rec.negative.is_empty());
+            content.extend(rec.positive);
+        }
+        assert_eq!(content, vec![9]);
+        // The batch was re-published for chained followers, unaltered.
+        assert_eq!(*sub.try_recv().unwrap().1, batch);
+        // After shutdown replicated batches are refused, not lost silently.
+        svc.shutdown();
+        assert!(!svc.ingest_batch(vec![Op { key: 1, dir: 1 }]));
     }
 
     #[test]

@@ -17,15 +17,18 @@ use std::io::{self, Read, Write};
 
 use peel_iblt::{Cell, Iblt, IbltConfig};
 
-use crate::metrics::{MetricsSnapshot, ShardStats};
+use crate::metrics::{MetricsSnapshot, ReplicationStats, ShardStats};
+use crate::queue::Op;
 
 /// Maximum frame payload size (16 MiB). Large enough for an IBLT digest of
 /// hundreds of thousands of cells; small enough that a garbage length
 /// prefix cannot exhaust memory.
 pub const MAX_FRAME: usize = 16 << 20;
 
-/// Protocol revision carried in `Hello` responses.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol revision carried in `Hello` responses. Revision 2 added the
+/// replication frames (`Subscribe`, `Replicate`, `ReplicateAck`) and the
+/// replication block of `Stats`.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Everything that can go wrong encoding, decoding, or transporting a
 /// message.
@@ -145,6 +148,23 @@ pub enum Request {
     Stats,
     /// Ask the server process to shut down cleanly.
     Shutdown,
+    /// Register this connection as a replication follower. The server
+    /// answers `Ok` once, then streams [`Response::Replicate`] frames
+    /// down the same connection; the follower answers each with
+    /// [`Request::ReplicateAck`].
+    Subscribe {
+        /// Highest replicated sequence number the follower has already
+        /// applied (0 for a fresh follower); batches at or below it are
+        /// not re-streamed.
+        last_seq: u64,
+    },
+    /// Follower → primary: acknowledges receipt of one `Replicate`
+    /// frame, carrying the highest sequence number applied so far (which
+    /// is how the primary measures replication lag).
+    ReplicateAck {
+        /// Highest sequence number the follower has applied.
+        seq: u64,
+    },
 }
 
 /// Server → client messages.
@@ -170,6 +190,16 @@ pub enum Response {
     Stats(MetricsSnapshot),
     /// The request failed; human-readable reason.
     Error(String),
+    /// Primary → follower: one sealed ingest batch, streamed on a
+    /// subscribed connection. Sequence numbers start at 1 and increase
+    /// by one per sealed batch; the follower uses them to drop
+    /// duplicates and to resume after a reconnect.
+    Replicate {
+        /// The batch's replication sequence number.
+        seq: u64,
+        /// The batch, in the ingest queue's shape.
+        ops: Vec<Op>,
+    },
 }
 
 // --- Primitive cursor ------------------------------------------------------
@@ -348,6 +378,8 @@ const REQ_DIGEST: u8 = 0x05;
 const REQ_RECONCILE: u8 = 0x06;
 const REQ_STATS: u8 = 0x07;
 const REQ_SHUTDOWN: u8 = 0x08;
+const REQ_SUBSCRIBE: u8 = 0x09;
+const REQ_REPLICATE_ACK: u8 = 0x0a;
 
 const RESP_HELLO: u8 = 0x81;
 const RESP_OK: u8 = 0x82;
@@ -355,6 +387,35 @@ const RESP_DIGEST: u8 = 0x83;
 const RESP_DIFF: u8 = 0x84;
 const RESP_STATS: u8 = 0x85;
 const RESP_ERROR: u8 = 0x86;
+const RESP_REPLICATE: u8 = 0x87;
+
+// Wire encoding of one ingest op: 8-byte key + 1-byte direction.
+const OP_BYTES: usize = 9;
+const OP_DELETE: u8 = 0;
+const OP_INSERT: u8 = 1;
+
+fn put_ops(out: &mut Vec<u8>, ops: &[Op]) {
+    put_u32(out, ops.len() as u32);
+    for op in ops {
+        put_u64(out, op.key);
+        out.push(if op.dir > 0 { OP_INSERT } else { OP_DELETE });
+    }
+}
+
+fn read_ops(r: &mut Reader) -> Result<Vec<Op>, WireError> {
+    let n = r.len(OP_BYTES)?;
+    (0..n)
+        .map(|_| {
+            let key = r.u64()?;
+            let dir = match r.u8()? {
+                OP_INSERT => 1,
+                OP_DELETE => -1,
+                t => return Err(WireError::BadTag(t)),
+            };
+            Ok(Op { key, dir })
+        })
+        .collect()
+}
 
 /// Encode a request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -381,6 +442,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => out.push(REQ_STATS),
         Request::Shutdown => out.push(REQ_SHUTDOWN),
+        Request::Subscribe { last_seq } => {
+            out.push(REQ_SUBSCRIBE);
+            put_u64(&mut out, *last_seq);
+        }
+        Request::ReplicateAck { seq } => {
+            out.push(REQ_REPLICATE_ACK);
+            put_u64(&mut out, *seq);
+        }
     }
     out
 }
@@ -400,6 +469,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         },
         REQ_STATS => Request::Stats,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_SUBSCRIBE => Request::Subscribe { last_seq: r.u64()? },
+        REQ_REPLICATE_ACK => Request::ReplicateAck { seq: r.u64()? },
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;
@@ -440,6 +511,22 @@ fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
         put_u64(out, sh.inserts);
         put_u64(out, sh.deletes);
     }
+    let r = &s.replication;
+    for v in [
+        r.followers,
+        r.published_seq,
+        r.acked_min,
+        r.max_lag,
+        r.batches_streamed,
+        r.batches_dropped,
+        r.batches_applied,
+        r.batches_skipped,
+        r.decode_errors,
+        r.anti_entropy_rounds,
+        r.anti_entropy_keys,
+    ] {
+        put_u64(out, v);
+    }
 }
 
 fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
@@ -460,6 +547,19 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
             })
         })
         .collect::<Result<Vec<_>, WireError>>()?;
+    let replication = ReplicationStats {
+        followers: r.u64()?,
+        published_seq: r.u64()?,
+        acked_min: r.u64()?,
+        max_lag: r.u64()?,
+        batches_streamed: r.u64()?,
+        batches_dropped: r.u64()?,
+        batches_applied: r.u64()?,
+        batches_skipped: r.u64()?,
+        decode_errors: r.u64()?,
+        anti_entropy_rounds: r.u64()?,
+        anti_entropy_keys: r.u64()?,
+    };
     Ok(MetricsSnapshot {
         batches_applied,
         ops_applied,
@@ -469,6 +569,7 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         recovery_subrounds,
         last_recovery_trace,
         shards,
+        replication,
     })
 }
 
@@ -505,7 +606,19 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(RESP_ERROR);
             put_string(&mut out, msg);
         }
+        Response::Replicate { seq, ops } => return encode_replicate(*seq, ops),
     }
+    out
+}
+
+/// Encode a `Replicate` frame directly from a borrowed batch — the
+/// streaming hot path, which avoids cloning the ops into a [`Response`]
+/// just to serialize them. Byte-identical to encoding
+/// [`Response::Replicate`].
+pub fn encode_replicate(seq: u64, ops: &[Op]) -> Vec<u8> {
+    let mut out = vec![RESP_REPLICATE];
+    put_u64(&mut out, seq);
+    put_ops(&mut out, ops);
     out
 }
 
@@ -528,6 +641,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         RESP_DIFF => Response::Diff(read_shard_diff(&mut r)?),
         RESP_STATS => Response::Stats(read_stats(&mut r)?),
         RESP_ERROR => Response::Error(r.string()?),
+        RESP_REPLICATE => Response::Replicate {
+            seq: r.u64()?,
+            ops: read_ops(&mut r)?,
+        },
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;
@@ -671,6 +788,36 @@ mod tests {
         assert!(matches!(
             decode_request(&payload),
             Err(WireError::BadLength(1000))
+        ));
+    }
+
+    #[test]
+    fn replication_frames_roundtrip() {
+        let req = Request::Subscribe { last_seq: 42 };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let req = Request::ReplicateAck { seq: u64::MAX };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let resp = Response::Replicate {
+            seq: 7,
+            ops: vec![Op { key: 11, dir: 1 }, Op { key: 12, dir: -1 }],
+        };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        // The borrowed-batch fast path produces identical bytes.
+        if let Response::Replicate { seq, ops } = &resp {
+            assert_eq!(encode_replicate(*seq, ops), encode_response(&resp));
+        }
+    }
+
+    #[test]
+    fn replicate_with_bad_direction_byte_errors() {
+        let mut payload = vec![RESP_REPLICATE];
+        put_u64(&mut payload, 1); // seq
+        put_u32(&mut payload, 1); // one op
+        put_u64(&mut payload, 99); // key
+        payload.push(7); // neither OP_INSERT nor OP_DELETE
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::BadTag(7))
         ));
     }
 

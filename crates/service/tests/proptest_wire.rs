@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use peel_iblt::{Iblt, IbltConfig};
-use peel_service::metrics::{MetricsSnapshot, ShardStats};
+use peel_service::metrics::{MetricsSnapshot, ReplicationStats, ShardStats};
+use peel_service::queue::Op;
 use peel_service::wire::{
     decode_request, decode_response, encode_request, encode_response, iblt_from_bytes,
     iblt_to_bytes, read_frame, write_frame, HelloInfo, Request, Response, ShardDiff, WireError,
@@ -41,6 +42,18 @@ fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(any::<u64>(), 0..200)
 }
 
+/// A replicated ingest batch: signed ops whose direction is ±1, exactly
+/// as the queue seals them.
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (any::<u64>(), any::<bool>()).prop_map(|(key, ins)| Op {
+            key,
+            dir: if ins { 1 } else { -1 },
+        }),
+        0..100,
+    )
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Hello),
@@ -51,6 +64,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         (0u32..16, arb_iblt()).prop_map(|(shard, digest)| Request::Reconcile { shard, digest }),
         Just(Request::Stats),
         Just(Request::Shutdown),
+        any::<u64>().prop_map(|last_seq| Request::Subscribe { last_seq }),
+        any::<u64>().prop_map(|seq| Request::ReplicateAck { seq }),
     ]
 }
 
@@ -75,14 +90,36 @@ fn arb_shard_diff() -> impl Strategy<Value = ShardDiff> {
         )
 }
 
+fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(a, b, c)| ReplicationStats {
+            followers: a.0,
+            published_seq: a.1,
+            acked_min: a.2,
+            max_lag: a.3,
+            batches_streamed: b.0,
+            batches_dropped: b.1,
+            batches_applied: b.2,
+            batches_skipped: b.3,
+            decode_errors: c.0,
+            anti_entropy_rounds: c.1,
+            anti_entropy_keys: c.2,
+        })
+}
+
 fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
         proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16),
+        arb_replication(),
     )
-        .prop_map(|(a, b, trace, shards)| MetricsSnapshot {
+        .prop_map(|(a, b, trace, shards, replication)| MetricsSnapshot {
             batches_applied: a.0,
             ops_applied: a.1,
             queue_stalls: a.2,
@@ -98,6 +135,7 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
                     deletes,
                 })
                 .collect(),
+            replication,
         })
 }
 
@@ -118,6 +156,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::Digest { epoch, iblt }),
         arb_shard_diff().prop_map(Response::Diff),
         arb_stats().prop_map(Response::Stats),
+        (any::<u64>(), arb_ops()).prop_map(|(seq, ops)| Response::Replicate { seq, ops }),
         // The shim has no string strategies; synthesize UTF-8 (including
         // multi-byte chars) from arbitrary bytes via lossy conversion.
         proptest::collection::vec(any::<u8>(), 0..40)
@@ -205,6 +244,22 @@ proptest! {
         let pos = (payload.len() as f64 * pos_frac) as usize % payload.len();
         payload[pos] ^= flip;
         let _ = decode_request(&payload); // must not panic
+    }
+
+    /// Same for responses — in particular the `Replicate` stream frames,
+    /// whose corruption a follower must survive (it skips the frame and
+    /// lets anti-entropy heal the loss).
+    #[test]
+    fn corrupted_responses_never_panic(
+        resp in arb_response(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut payload = encode_response(&resp);
+        prop_assume!(!payload.is_empty());
+        let pos = (payload.len() as f64 * pos_frac) as usize % payload.len();
+        payload[pos] ^= flip;
+        let _ = decode_response(&payload); // must not panic
     }
 
     /// A truncated *frame* (length prefix promising more bytes than

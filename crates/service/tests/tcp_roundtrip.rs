@@ -1,10 +1,13 @@
 //! End-to-end exercises of the TCP server/client pair on loopback:
 //! the full request surface, error paths, and clean shutdown.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use peel_iblt::{Iblt, IbltConfig};
-use peel_service::{Client, Server, ServiceConfig, WireError};
+use peel_service::{
+    Client, Follower, FollowerConfig, PeelService, Server, ServiceConfig, WireError,
+};
 
 fn test_cfg() -> ServiceConfig {
     ServiceConfig {
@@ -105,6 +108,69 @@ fn closed_connections_are_reaped() {
         );
         std::thread::yield_now();
     }
+}
+
+#[test]
+fn follower_driver_replicates_over_tcp() {
+    // Budget headroom over the planned churn so anti-entropy could heal
+    // even a fully missed stream window.
+    let cfg = ServiceConfig {
+        batch_size: 128,
+        workers: 2,
+        ..ServiceConfig::for_diff_budget(4, 4_000)
+    };
+    let primary = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let fsvc = Arc::new(PeelService::start(cfg));
+    let mut follower = Follower::start(
+        Arc::clone(&fsvc),
+        primary.local_addr(),
+        FollowerConfig {
+            anti_entropy_interval: Duration::from_millis(50),
+            ..FollowerConfig::default()
+        },
+    );
+
+    let mut c = Client::connect_retry(primary.local_addr(), Duration::from_secs(5)).unwrap();
+    // Let the stream subscription attach before traffic flows, so the
+    // fast path (not just repair) is exercised.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while c.stats().unwrap().replication.followers == 0 {
+        assert!(Instant::now() < deadline, "follower never subscribed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let keys: Vec<u64> = (0..2_000u64)
+        .map(|i| i.wrapping_mul(0x9e37) ^ 0xf0)
+        .collect();
+    c.insert(&keys).unwrap();
+    c.delete(&keys[..250]).unwrap();
+    c.flush().unwrap();
+
+    // The follower converges to cell-identical shard digests (stream
+    // fast path, with anti-entropy mopping up whatever raced).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let identical = (0..4u32).all(|shard| {
+            let (_e, p) = primary.service().snapshot_shard(shard).unwrap();
+            let (_e, f) = fsvc.snapshot_shard(shard).unwrap();
+            p == f
+        });
+        if identical {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never converged");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The primary sees its follower; the follower accounted the stream.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.replication.followers, 1);
+    assert!(stats.replication.batches_streamed > 0);
+    let fm = fsvc.metrics();
+    assert!(
+        fm.replication.batches_applied > 0,
+        "stream applied nothing; convergence came only from repair"
+    );
+    follower.stop();
 }
 
 #[test]

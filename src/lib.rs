@@ -15,7 +15,8 @@
 //! * [`staticfn`] — XORSAT solving and Bloomier-style static functions
 //!   (`peel-fn`).
 //! * [`sat`] — the pure literal rule as parallel peeling (`peel-sat`).
-//! * [`service`] — sharded, batched set-reconciliation service over TCP
+//! * [`service`] — sharded, batched set-reconciliation service over TCP,
+//!   with primary→follower replication healed by IBLT anti-entropy
 //!   (`peel-service`).
 //!
 //! See the repository README for the architecture overview, DESIGN.md for
@@ -53,5 +54,6 @@ pub use peel_graph as graph;
 pub use peel_iblt as iblt;
 /// Pure literal rule (`peel-sat`).
 pub use peel_sat as sat;
-/// Sharded, batched set-reconciliation service (`peel-service`).
+/// Sharded, batched, replicated set-reconciliation service
+/// (`peel-service`).
 pub use peel_service as service;
