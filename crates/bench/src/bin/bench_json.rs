@@ -1,14 +1,18 @@
-//! Machine-readable service benchmark: runs the full wire path (TCP
-//! loopback server + client), the in-process service core, and the
-//! primary→follower replication path (ingest-to-convergence catch-up
-//! time plus observed stream lag), and writes the measurements to
-//! `BENCH_service.json` so the repo's perf trajectory can be tracked
-//! across PRs.
+//! Machine-readable benchmark: the core peeling engines (per-engine
+//! ns/edge across load factors, with the adaptive engine audited against
+//! the dense/frontier envelope, plus pooled-vs-allocating repeated
+//! reconcile throughput), the full wire path (TCP loopback server +
+//! client), the in-process service core, and the primary→follower
+//! replication path (ingest-to-convergence catch-up time plus observed
+//! stream lag). Measurements are written to `BENCH_service.json` so the
+//! repo's perf trajectory can be tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p peel-bench --bin bench_json             # laptop scale
 //! cargo run --release -p peel-bench --bin bench_json -- --full   # 10× keys
 //! cargo run --release -p peel-bench --bin bench_json -- --out results.json
+//! # CI smoke: just the core-engine section, small sizes, fast:
+//! cargo run --release -p peel-bench --bin bench_json -- --section peel --smoke
 //! ```
 
 use std::fmt::Write as _;
@@ -17,7 +21,10 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use peel_bench::Args;
+use peel_core::{peel_parallel_in, peel_rounds_serial, ParallelOpts, PeelWorkspace, Strategy};
+use peel_graph::models::Gnm;
 use peel_graph::rng::Xoshiro256StarStar;
+use peel_iblt::AtomicIblt;
 use peel_service::{
     build_shard_digests, Client, Follower, FollowerConfig, PeelService, Server, ServiceConfig,
 };
@@ -190,6 +197,186 @@ fn run_replication(n: usize, shards: u32) -> ReplMeasurement {
     }
 }
 
+struct PeelEngineMeasure {
+    engine: &'static str,
+    ms: f64,
+    ns_per_edge: f64,
+    rounds: u32,
+}
+
+/// Best-of-`reps` wall time per engine on one `Gnm(n, c, 4)` instance,
+/// k = 2. The parallel engines share one reused [`PeelWorkspace`] (with a
+/// warm-up run first), so the numbers measure the steady-state
+/// allocation-free path. Always asserts that every engine reports the
+/// serial round count; with `enforce` also asserts Adaptive is not
+/// slower than the worse of Dense/Frontier (the direction-optimizing
+/// contract) with 10% timing slack — smoke runs on shared CI boxes print
+/// a warning instead so a noisy neighbor can't fail a PR without a code
+/// regression.
+fn run_peel_engines(n: usize, c: f64, reps: usize, enforce: bool) -> Vec<PeelEngineMeasure> {
+    let mut rng = Xoshiro256StarStar::new(42);
+    let g = Gnm::new(n, c, 4).sample(&mut rng);
+    let edges = g.num_edges() as f64;
+    let mut out = Vec::new();
+
+    let mut serial_ms = f64::MAX;
+    let mut serial_rounds = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let o = peel_rounds_serial(&g, 2);
+        serial_ms = serial_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        serial_rounds = o.rounds;
+    }
+    out.push(PeelEngineMeasure {
+        engine: "serial",
+        ms: serial_ms,
+        ns_per_edge: serial_ms * 1e6 / edges,
+        rounds: serial_rounds,
+    });
+
+    let mut ws = PeelWorkspace::new();
+    for (engine, strategy) in [
+        ("dense", Strategy::Dense),
+        ("frontier", Strategy::Frontier),
+        ("adaptive", Strategy::Adaptive),
+    ] {
+        let opts = ParallelOpts {
+            strategy,
+            collect_trace: false,
+            ..Default::default()
+        };
+        peel_parallel_in(&g, 2, &opts, &mut ws); // warm-up: size the buffers
+        let mut best_ms = f64::MAX;
+        let mut rounds = 0;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let run = peel_parallel_in(&g, 2, &opts, &mut ws);
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            rounds = run.rounds;
+        }
+        assert_eq!(
+            rounds, serial_rounds,
+            "{engine} diverged from the serial reference at n={n} c={c}"
+        );
+        out.push(PeelEngineMeasure {
+            engine,
+            ms: best_ms,
+            ns_per_edge: best_ms * 1e6 / edges,
+            rounds,
+        });
+    }
+
+    let by = |name: &str| out.iter().find(|m| m.engine == name).unwrap().ms;
+    let worse = by("dense").max(by("frontier"));
+    if by("adaptive") > worse * 1.10 {
+        let msg = format!(
+            "adaptive ({:.3} ms) slower than the worse of dense/frontier ({:.3} ms) at n={n} c={c}",
+            by("adaptive"),
+            worse,
+        );
+        assert!(!enforce, "{msg}");
+        eprintln!("WARNING: {msg}");
+    }
+    out
+}
+
+struct ReconcileRepeatMeasure {
+    unpooled_ms_per_cycle: f64,
+    pooled_ms_per_cycle: f64,
+    speedup: f64,
+}
+
+/// Repeated in-process reconciliation of an *unchanged* workload — the
+/// steady-state epoch loop of the recovery scheduler. The "unpooled"
+/// baseline replays the pre-pooling hot path through the same public
+/// API (owned snapshot → owned subtraction → fresh atomic table → dense
+/// recovery, allocating four table-sized buffers per shard per epoch);
+/// "pooled" is [`PeelService::reconcile_shard`], which runs one fused
+/// sweep into pooled buffers. `budget_factor` scales the provisioned
+/// diff budget relative to the actual diff: ×2 is a tightly sized sketch
+/// (decode cost dominated by cell scans either way), larger factors are
+/// the headroom a deployed service carries — there the pooled engine's
+/// sparse candidate mode also skips the per-subround O(cells) scans.
+fn run_reconcile_repeat(
+    n: usize,
+    diff: usize,
+    shards: u32,
+    reps: usize,
+    budget_factor: usize,
+) -> ReconcileRepeatMeasure {
+    let svc = PeelService::start(cfg(shards, diff * budget_factor));
+    let server_set = keys(n, 7);
+    let mut peer_set = server_set[..n - diff / 2].to_vec();
+    peer_set.extend(keys(diff - diff / 2, 999));
+    svc.insert(&server_set);
+    svc.flush();
+    let hello = svc.hello();
+    let digests = build_shard_digests(
+        &peer_set,
+        hello.shards,
+        hello.router_seed,
+        hello.base_config,
+    );
+
+    // Faithful replay of the pre-pooling `reconcile_shard` body through
+    // the public API, sorted diff vectors included.
+    let unpooled_cycle = || {
+        let mut found = 0;
+        for (i, digest) in digests.iter().enumerate() {
+            let (_epoch, snap) = svc.snapshot_shard(i as u32).expect("snapshot");
+            let d = snap.subtract(digest);
+            let rec = AtomicIblt::from_iblt(&d).par_recover();
+            assert!(rec.complete);
+            let mut only_local = rec.positive;
+            let mut only_remote = rec.negative;
+            only_local.sort_unstable();
+            only_remote.sort_unstable();
+            found += only_local.len() + only_remote.len();
+        }
+        assert_eq!(found, diff);
+    };
+    let pooled_cycle = || {
+        let mut found = 0;
+        for (i, digest) in digests.iter().enumerate() {
+            let out = svc.reconcile_shard(i as u32, digest).expect("reconcile");
+            assert!(out.complete);
+            found += out.only_local.len() + out.only_remote.len();
+        }
+        assert_eq!(found, diff);
+    };
+
+    // Warm up both paths (pool sizing, page faults), then time in
+    // alternating blocks and keep each path's best block — robust to
+    // frequency ramping and background drift, which at sub-millisecond
+    // cycles otherwise swamp the difference.
+    unpooled_cycle();
+    pooled_cycle();
+    let blocks = 4;
+    let block_reps = reps.div_ceil(blocks);
+    let mut unpooled_ms_per_cycle = f64::MAX;
+    let mut pooled_ms_per_cycle = f64::MAX;
+    for _ in 0..blocks {
+        let t = Instant::now();
+        for _ in 0..block_reps {
+            unpooled_cycle();
+        }
+        unpooled_ms_per_cycle =
+            unpooled_ms_per_cycle.min(t.elapsed().as_secs_f64() * 1e3 / block_reps as f64);
+        let t = Instant::now();
+        for _ in 0..block_reps {
+            pooled_cycle();
+        }
+        pooled_ms_per_cycle =
+            pooled_ms_per_cycle.min(t.elapsed().as_secs_f64() * 1e3 / block_reps as f64);
+    }
+
+    ReconcileRepeatMeasure {
+        unpooled_ms_per_cycle,
+        pooled_ms_per_cycle,
+        speedup: unpooled_ms_per_cycle / pooled_ms_per_cycle,
+    }
+}
+
 fn json_entry(out: &mut String, label: &str, n: usize, diff: usize, shards: u32, m: &Measurement) {
     let _ = write!(
         out,
@@ -209,62 +396,168 @@ fn main() {
     let args = Args::parse();
     if args.flag("help") {
         eprintln!(
-            "bench_json [--full] [--n N] [--diff D] [--out PATH]\n\
-             Measures service ingest throughput and reconcile latency (TCP and\n\
-             in-process) and writes machine-readable JSON (default\n\
-             BENCH_service.json)."
+            "bench_json [--full] [--smoke] [--section all|peel|service] [--n N] \
+             [--diff D] [--out PATH]\n\
+             Measures core peeling-engine throughput (ns/edge per engine ×\n\
+             load factor, pooled repeated-reconcile speedup) and service\n\
+             ingest/reconcile/replication performance, writing\n\
+             machine-readable JSON (default BENCH_service.json).\n\
+             --section peel runs only the core-engine section; --smoke\n\
+             shrinks every size for CI."
         );
         return;
     }
     let full = args.flag("full");
-    let n: usize = args.get("n", if full { 1_000_000 } else { 200_000 });
-    let diff: usize = args.get("diff", 1_000);
-    let out_path: String = args.get("out", "BENCH_service.json".to_string());
+    let smoke = args.flag("smoke");
+    let section: String = args.get("section", "all".to_string());
+    let n: usize = args.get(
+        "n",
+        match (full, smoke) {
+            (true, _) => 1_000_000,
+            (_, true) => 30_000,
+            _ => 200_000,
+        },
+    );
+    let diff: usize = args.get("diff", if smoke { 200 } else { 1_000 });
+    let run_service = section == "all" || section == "service";
+    let run_peel = section == "all" || section == "peel";
+    assert!(
+        run_service || run_peel,
+        "unknown --section {section:?} (expected all, peel, or service)"
+    );
+    // Partial-section runs default to their own file so they can't
+    // silently overwrite the committed full results with empty sections.
+    let default_out = if section == "all" {
+        "BENCH_service.json".to_string()
+    } else {
+        format!("BENCH_{section}.json")
+    };
+    let out_path: String = args.get("out", default_out);
 
     let mut body = String::from("{\n  \"bench\": \"peel-service\",\n  \"results\": [\n");
     let mut first = true;
-    for shards in [1u32, 4, 8] {
-        for (label, m) in [
-            ("tcp", run_tcp(n, diff, shards)),
-            ("inproc", run_inproc(n, diff, shards)),
-        ] {
-            assert!(m.complete, "{label}/{shards}: recovery incomplete");
-            assert_eq!(m.diff_found, diff, "{label}/{shards}: wrong diff size");
+    if run_service {
+        for shards in [1u32, 4, 8] {
+            for (label, m) in [
+                ("tcp", run_tcp(n, diff, shards)),
+                ("inproc", run_inproc(n, diff, shards)),
+            ] {
+                assert!(m.complete, "{label}/{shards}: recovery incomplete");
+                assert_eq!(m.diff_found, diff, "{label}/{shards}: wrong diff size");
+                if !first {
+                    body.push_str(",\n");
+                }
+                first = false;
+                json_entry(&mut body, label, n, diff, shards, &m);
+                println!(
+                    "{label:>7} shards={shards}: ingest {:>9.1} ms ({:>10.0} ops/s), \
+                     reconcile {:>7.1} ms, {} subrounds",
+                    m.ingest_ms,
+                    n as f64 / (m.ingest_ms / 1e3),
+                    m.reconcile_ms,
+                    m.subrounds_max,
+                );
+            }
+        }
+        // Replication lag: ingest-to-convergence catch-up of one TCP
+        // follower at 1 and 4 shards.
+        for shards in [1u32, 4] {
+            let m = run_replication(n, shards);
+            assert_eq!(m.batches_dropped, 0, "replication stream dropped batches");
+            body.push_str(",\n");
+            let _ = write!(
+                body,
+                "    {{\"path\": \"replication\", \"n_keys\": {n}, \"shards\": {shards}, \
+                 \"ingest_ms\": {:.3}, \"catchup_ms\": {:.3}, \"max_lag_batches\": {}, \
+                 \"batches_streamed\": {}, \"anti_entropy_keys\": {}}}",
+                m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
+            );
+            println!(
+                "replica shards={shards}: ingest {:>9.1} ms, follower caught up {:>7.1} ms \
+                 after flush (max lag {} batches, {} streamed, {} healed by anti-entropy)",
+                m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
+            );
+        }
+    }
+    body.push_str("\n  ],\n  \"peel\": {\n    \"engines\": [\n");
+
+    if run_peel {
+        // Core-engine section: engine × load factor × n, plus the pooled
+        // repeated-reconcile throughput. c = 0.70 is below c*_{2,4} (full
+        // peel, ~log log n rounds); c = 0.85 is above (peeling stalls at a
+        // large 2-core) — the two regimes with opposite frontier shapes.
+        let peel_sizes: &[usize] = if smoke {
+            &[30_000]
+        } else if full {
+            &[250_000, 1_000_000]
+        } else {
+            &[100_000, 400_000]
+        };
+        let reps = if smoke { 3 } else { 5 };
+        let mut first = true;
+        for &pn in peel_sizes {
+            for c in [0.70, 0.85] {
+                for m in run_peel_engines(pn, c, reps, !smoke) {
+                    if !first {
+                        body.push_str(",\n");
+                    }
+                    first = false;
+                    let _ = write!(
+                        body,
+                        "      {{\"engine\": \"{}\", \"n\": {pn}, \"c\": {c:.2}, \
+                         \"ms\": {:.3}, \"ns_per_edge\": {:.2}, \"rounds\": {}}}",
+                        m.engine, m.ms, m.ns_per_edge, m.rounds,
+                    );
+                    println!(
+                        "peel {:>8} n={pn:>8} c={c:.2}: {:>8.3} ms ({:>7.2} ns/edge, {} rounds)",
+                        m.engine, m.ms, m.ns_per_edge, m.rounds,
+                    );
+                }
+            }
+        }
+        body.push_str("\n    ],\n    \"reconcile_repeat\": [\n");
+        // Cycles are sub-millisecond: enough reps to swamp timer noise
+        // and frequency ramping.
+        let rr_reps = if smoke { 100 } else { 400 };
+        let mut first = true;
+        for (regime, budget_factor) in [("tight", 2usize), ("provisioned", 16)] {
+            let m = run_reconcile_repeat(n, diff, 4, rr_reps, budget_factor);
+            // The tight sketch is scan-bound on both paths (pooling can
+            // only tie or nudge ahead); with provisioning headroom the
+            // pooled sparse engine must win outright. As above, smoke
+            // runs warn instead of failing — CI boxes are too noisy for
+            // a zero-margin wall-clock gate.
+            if regime == "provisioned" && m.speedup <= 1.0 {
+                let msg = format!(
+                    "pooled repeated reconcile ({:.3} ms) not faster than the \
+                     allocate-per-epoch path ({:.3} ms)",
+                    m.pooled_ms_per_cycle, m.unpooled_ms_per_cycle,
+                );
+                assert!(smoke, "{msg}");
+                eprintln!("WARNING: {msg}");
+            }
             if !first {
                 body.push_str(",\n");
             }
             first = false;
-            json_entry(&mut body, label, n, diff, shards, &m);
+            let _ = write!(
+                body,
+                "      {{\"regime\": \"{regime}\", \"n_keys\": {n}, \"diff\": {diff}, \
+                 \"budget_factor\": {budget_factor}, \"shards\": 4, \"reps\": {rr_reps}, \
+                 \"unpooled_ms_per_cycle\": {:.3}, \"pooled_ms_per_cycle\": {:.3}, \
+                 \"speedup\": {:.3}}}",
+                m.unpooled_ms_per_cycle, m.pooled_ms_per_cycle, m.speedup,
+            );
             println!(
-                "{label:>7} shards={shards}: ingest {:>9.1} ms ({:>10.0} ops/s), \
-                 reconcile {:>7.1} ms, {} subrounds",
-                m.ingest_ms,
-                n as f64 / (m.ingest_ms / 1e3),
-                m.reconcile_ms,
-                m.subrounds_max,
+                "reconcile-repeat [{regime}] n={n} diff={diff} budget x{budget_factor} shards=4: \
+                 allocate-per-epoch {:>7.3} ms/cycle, pooled {:>7.3} ms/cycle ({:.2}x)",
+                m.unpooled_ms_per_cycle, m.pooled_ms_per_cycle, m.speedup,
             );
         }
+        body.push_str("\n    ]\n  }\n}\n");
+    } else {
+        body.push_str("\n    ],\n    \"reconcile_repeat\": [\n    ]\n  }\n}\n");
     }
-    // Replication lag: ingest-to-convergence catch-up of one TCP
-    // follower at 1 and 4 shards.
-    for shards in [1u32, 4] {
-        let m = run_replication(n, shards);
-        assert_eq!(m.batches_dropped, 0, "replication stream dropped batches");
-        body.push_str(",\n");
-        let _ = write!(
-            body,
-            "    {{\"path\": \"replication\", \"n_keys\": {n}, \"shards\": {shards}, \
-             \"ingest_ms\": {:.3}, \"catchup_ms\": {:.3}, \"max_lag_batches\": {}, \
-             \"batches_streamed\": {}, \"anti_entropy_keys\": {}}}",
-            m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
-        );
-        println!(
-            "replica shards={shards}: ingest {:>9.1} ms, follower caught up {:>7.1} ms \
-             after flush (max lag {} batches, {} streamed, {} healed by anti-entropy)",
-            m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
-        );
-    }
-    body.push_str("\n  ]\n}\n");
 
     std::fs::write(&out_path, &body).expect("write results");
     println!("wrote {out_path}");

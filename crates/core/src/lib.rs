@@ -19,7 +19,14 @@
 //! | Serial round-synchronous | [`sequential::peel_rounds_serial`] | `O(frontier)` | same semantics as the parallel engines, useful for cross-validation and cheap trials |
 //! | Parallel dense | [`parallel::peel_parallel`] with [`Strategy::Dense`] | `O(n + m)` scan | GPU-style: one task per vertex and per edge every round; deterministic |
 //! | Parallel frontier | [`parallel::peel_parallel`] with [`Strategy::Frontier`] | `O(frontier + touched edges)` | work-efficient CPU variant; identical rounds, nondeterministic claim winners |
+//! | Parallel adaptive | [`parallel::peel_parallel`] with [`Strategy::Adaptive`] (default) | min of the above | direction-optimizing: dense edge scan while the frontier is broad, frontier propagation once it collapses |
 //! | Subtable / subround | [`subtable::peel_subtables`] | `O(part + touched)` | Appendix B's variant: `r` subrounds per round, one subtable each — the IBLT discipline that avoids double-peeling |
+//!
+//! The parallel engines run out of a reusable [`workspace::PeelWorkspace`]
+//! (degrees, rounds, kill metadata, bitsets, frontier buffers): call
+//! [`parallel::peel_parallel_in`] with your own workspace and repeated
+//! peels are allocation-free in steady state — the hot-path contract the
+//! `peel-service` reconcile scheduler and the benches rely on.
 //!
 //! All engines produce a [`trace::PeelOutcome`] recording, per round, how
 //! many vertices/edges were peeled and how many survive — exactly the series
@@ -50,9 +57,11 @@ pub mod parallel;
 pub mod sequential;
 pub mod subtable;
 pub mod trace;
+pub mod workspace;
 
 pub use coreness::{coreness, degeneracy};
-pub use parallel::{peel_parallel, ParallelOpts, Strategy};
+pub use parallel::{peel_parallel, peel_parallel_in, ParallelOpts, Strategy};
 pub use sequential::{kcore_vertices, peel_greedy, peel_rounds_serial};
 pub use subtable::{peel_subtables, SubtableOpts};
 pub use trace::{PeelOutcome, RoundStats, SubroundStats, SubtableOutcome, UNPEELED};
+pub use workspace::{PeelRun, PeelWorkspace};

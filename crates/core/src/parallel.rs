@@ -1,9 +1,11 @@
-//! Round-synchronous parallel peeling (Sections 1, 3–5 of the paper).
+//! Round-synchronous parallel peeling (Sections 1, 3–5 of the paper),
+//! direction-optimizing and allocation-free in steady state.
 //!
-//! Both strategies implement the same synchronous semantics — a vertex is
+//! All strategies implement the same synchronous semantics — a vertex is
 //! peeled in round `t` iff it is alive with degree `< k` at the start of
-//! round `t` — so they produce identical round counts and survivor series;
-//! they differ only in how much work each round performs:
+//! round `t` — so they produce identical round counts, per-round peel
+//! counts, and survivor series; they differ only in how much work each
+//! round performs:
 //!
 //! * [`Strategy::Dense`] mirrors the paper's GPU implementation: every round
 //!   launches one task per vertex (to test the peel condition) and one task
@@ -13,36 +15,79 @@
 //!   endpoint).
 //! * [`Strategy::Frontier`] is the work-efficient CPU variant: each round
 //!   touches only the frontier and its incident edges, for `O(n + rm)`
-//!   total work across all rounds. Edge removal races are resolved with a
-//!   compare-and-swap per edge, so claim winners (but nothing else) are
-//!   scheduling-dependent.
+//!   total work across all rounds. Edge removal races are resolved with an
+//!   atomic test-and-clear per edge, so claim winners (but nothing else)
+//!   are scheduling-dependent.
+//! * [`Strategy::Adaptive`] (the default) switches per round between the two
+//!   kill phases, Beamer-style direction optimization: early rounds with a
+//!   broad frontier take the dense edge scan (sequential memory traffic, no
+//!   claim contention); as the frontier collapses — and below the threshold
+//!   it collapses doubly exponentially — rounds switch to frontier
+//!   propagation and stop paying the full-table scan. See
+//!   [`ADAPTIVE_DENSE_ALPHA`] for the switch rule.
+//!
+//! Every engine runs out of a [`PeelWorkspace`]: degrees, peel rounds, kill
+//! metadata, the alive/queued bitsets, the frontier, and striped per-thread
+//! collection buffers are allocated once and reused across runs
+//! ([`peel_parallel_in`]); the next frontier is gathered into the striped
+//! buffers and merged by offset instead of the old `fold(Vec::new)` /
+//! `reduce(append)` churn.
 //!
 //! ## Memory-ordering argument
 //!
 //! All atomics use `Relaxed` ordering. Correctness does not rest on
 //! intra-round ordering: within a phase each location has either a single
-//! logical writer (`peeled_round[v]` is written only by the task that owns
+//! logical writer (`peel_round[v]` is written only by the task that owns
 //! frontier entry `v`; a dead edge's metadata is written only by the task
 //! that won its kill) or commutative RMWs (`fetch_sub` on degrees,
-//! `swap`/`compare_exchange` on flags). Cross-phase visibility is provided
-//! by rayon's fork-join barriers: every `par_iter` completes (with
-//! synchronizes-with edges to the caller) before the next phase starts.
+//! `fetch_or`/`fetch_and` on the bitset words). The bitsets pack 64 flags
+//! per atomic word, so two tasks claiming *different* edges may now RMW the
+//! *same* word — that is still a commutative update of disjoint bits, and
+//! the winner of any single bit is decided by the one `fetch_and` that
+//! observed it set, exactly as the old per-edge `AtomicBool::swap` did.
+//! Cross-phase visibility is provided by rayon's fork-join barriers: every
+//! `par_iter` completes (with synchronizes-with edges to the caller) before
+//! the next phase starts.
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
+use peel_graph::bits::{AtomicBitset, Striped};
 use peel_graph::Hypergraph;
 
 use crate::trace::{PeelOutcome, RoundStats, UNPEELED};
+use crate::workspace::{PeelRun, PeelWorkspace};
 
 /// Work-distribution strategy for [`peel_parallel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// GPU-style full scan of vertices and edges each round; deterministic.
     Dense,
-    /// Work-efficient frontier propagation (default).
-    #[default]
+    /// Work-efficient frontier propagation.
     Frontier,
+    /// Direction-optimizing: dense edge scan while the frontier is broad,
+    /// frontier propagation once it collapses (default).
+    #[default]
+    Adaptive,
+}
+
+/// [`Strategy::Adaptive`]'s switch rule: a round takes the dense edge scan
+/// when the frontier's expected incident endpoints (`|F| · m·r/n`, i.e.
+/// frontier size × average degree — the propagation cost) exceed `1/α` of
+/// the dense scan's cost (`m` bitset probes plus `live·r` endpoint loads),
+/// with `α =` this constant. Rearranged to the division-free integer test
+/// in [`adaptive_picks_dense`]. Larger α switches to dense earlier.
+pub const ADAPTIVE_DENSE_ALPHA: u64 = 8;
+
+/// The per-round direction decision of [`Strategy::Adaptive`]:
+/// `true` = dense edge scan, `false` = frontier propagation. Exposed so
+/// tests and benches can audit which direction a recorded round took.
+#[inline]
+pub fn adaptive_picks_dense(frontier_len: u64, n: u64, m: u64, r: u64, live_edges: u64) -> bool {
+    // frontier_len · (m·r/n) · α  >  m + live·r, division-free. u128: the
+    // left side multiplies four u64s that can each be large.
+    (frontier_len as u128) * (m as u128) * (r as u128) * (ADAPTIVE_DENSE_ALPHA as u128)
+        > (n as u128) * ((m as u128) + (live_edges as u128) * (r as u128))
 }
 
 /// Options for [`peel_parallel`].
@@ -60,170 +105,59 @@ pub struct ParallelOpts {
 impl Default for ParallelOpts {
     fn default() -> Self {
         ParallelOpts {
-            strategy: Strategy::Frontier,
+            strategy: Strategy::Adaptive,
             max_rounds: u32::MAX,
             collect_trace: true,
         }
     }
 }
 
-/// State shared by both strategies.
-struct PeelState {
-    deg: Vec<AtomicU32>,
-    peeled_round: Vec<AtomicU32>,
-    edge_kill_round: Vec<AtomicU32>,
-    edge_killer: Vec<AtomicU32>,
-}
-
-impl PeelState {
-    fn new(g: &Hypergraph) -> Self {
-        let n = g.num_vertices();
-        let m = g.num_edges();
-        let deg: Vec<AtomicU32> = (0..n as u32).map(|v| AtomicU32::new(g.degree(v))).collect();
-        let peeled_round: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNPEELED)).collect();
-        let edge_kill_round: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNPEELED)).collect();
-        let edge_killer: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(UNPEELED)).collect();
-        PeelState {
-            deg,
-            peeled_round,
-            edge_kill_round,
-            edge_killer,
-        }
-    }
-
-    fn into_outcome(
-        self,
-        k: u32,
-        rounds: u32,
-        trace: Vec<RoundStats>,
-        unpeeled: u64,
-        live_edges: u64,
-    ) -> PeelOutcome {
-        PeelOutcome {
-            k,
-            rounds,
-            trace,
-            peel_round: self
-                .peeled_round
-                .into_iter()
-                .map(|a| a.into_inner())
-                .collect(),
-            edge_kill_round: self
-                .edge_kill_round
-                .into_iter()
-                .map(|a| a.into_inner())
-                .collect(),
-            edge_killer: self
-                .edge_killer
-                .into_iter()
-                .map(|a| a.into_inner())
-                .collect(),
-            core_vertices: unpeeled,
-            core_edges: live_edges,
-        }
-    }
-}
-
-/// Peel `g` to its k-core with synchronous parallel rounds.
+/// Peel `g` to its k-core with synchronous parallel rounds, using a
+/// throwaway workspace.
 ///
 /// Runs on the current rayon thread pool (install a custom pool around the
-/// call to control the thread count, e.g. for scaling experiments).
+/// call to control the thread count, e.g. for scaling experiments). For
+/// repeated peeling, keep a [`PeelWorkspace`] and call
+/// [`peel_parallel_in`] — this wrapper allocates the full working set per
+/// call.
 pub fn peel_parallel(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
+    let mut ws = PeelWorkspace::new();
+    let run = peel_parallel_in(g, k, opts, &mut ws);
+    ws.outcome(&run)
+}
+
+/// Peel `g` to its k-core inside `ws`, reusing its buffers.
+///
+/// Steady-state allocation-free: once `ws` has peeled a graph with at
+/// least as many vertices/edges, no call touches the allocator. The
+/// per-vertex/per-edge results stay in `ws` (accessors, or
+/// [`PeelWorkspace::outcome`] to materialize them).
+pub fn peel_parallel_in(
+    g: &Hypergraph,
+    k: u32,
+    opts: &ParallelOpts,
+    ws: &mut PeelWorkspace,
+) -> PeelRun {
     assert!(k >= 1, "peeling threshold k must be >= 1");
-    match opts.strategy {
-        Strategy::Dense => peel_dense(g, k, opts),
-        Strategy::Frontier => peel_frontier(g, k, opts),
-    }
-}
-
-fn peel_dense(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
+    ws.reset_for(g);
     let n = g.num_vertices();
     let m = g.num_edges();
-    let st = PeelState::new(g);
+    let PeelWorkspace {
+        deg,
+        peel_round,
+        edge_kill_round,
+        edge_killer,
+        edge_alive,
+        queued,
+        frontier,
+        stripes,
+        trace,
+    } = ws;
 
-    let mut trace = Vec::new();
-    let mut round = 0u32;
-    let mut unpeeled = n as u64;
-    let mut live_edges = m as u64;
+    // Round-1 frontier: dense vertex scan (all strategies start here; no
+    // cheaper source of the initial sub-threshold set exists).
+    collect_frontier_scan(g, k, deg, peel_round, stripes, frontier);
 
-    while round < opts.max_rounds {
-        let next_round = round + 1;
-
-        // Phase 1 (vertex scan): collect the frontier — alive vertices whose
-        // start-of-round degree is below k.
-        let frontier: Vec<u32> = (0..n as u32)
-            .into_par_iter()
-            .filter(|&v| {
-                st.peeled_round[v as usize].load(Relaxed) == UNPEELED
-                    && st.deg[v as usize].load(Relaxed) < k
-            })
-            .collect();
-        if frontier.is_empty() {
-            break;
-        }
-        round = next_round;
-
-        // Phase 2: mark the frontier peeled (before any edge removal, so the
-        // edge scan observes a consistent "peeled this round" predicate).
-        frontier.par_iter().for_each(|&v| {
-            st.peeled_round[v as usize].store(round, Relaxed);
-        });
-
-        // Phase 3 (edge scan): every live edge with a peeled endpoint dies;
-        // the claim goes to the first peeled endpoint in edge order (all
-        // peeled endpoints of a live edge were necessarily peeled *this*
-        // round, since an earlier peel would have killed the edge already).
-        let killed: u64 = (0..m as u32)
-            .into_par_iter()
-            .map(|e| {
-                if st.edge_kill_round[e as usize].load(Relaxed) != UNPEELED {
-                    return 0u64;
-                }
-                let verts = g.edge(e);
-                let killer = verts
-                    .iter()
-                    .copied()
-                    .find(|&w| st.peeled_round[w as usize].load(Relaxed) != UNPEELED);
-                let Some(killer) = killer else { return 0 };
-                st.edge_kill_round[e as usize].store(round, Relaxed);
-                st.edge_killer[e as usize].store(killer, Relaxed);
-                for &w in verts {
-                    st.deg[w as usize].fetch_sub(1, Relaxed);
-                }
-                1
-            })
-            .sum();
-
-        unpeeled -= frontier.len() as u64;
-        live_edges -= killed;
-        if opts.collect_trace {
-            trace.push(RoundStats {
-                round,
-                peeled_vertices: frontier.len() as u64,
-                peeled_edges: killed,
-                unpeeled_vertices: unpeeled,
-                live_edges,
-            });
-        }
-    }
-
-    st.into_outcome(k, round, trace, unpeeled, live_edges)
-}
-
-fn peel_frontier(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
-    let n = g.num_vertices();
-    let m = g.num_edges();
-    let st = PeelState::new(g);
-    let edge_alive: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(true)).collect();
-    let queued: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-
-    // Round-1 frontier: dense scan once.
-    let mut frontier: Vec<u32> = (0..n as u32)
-        .into_par_iter()
-        .filter(|&v| st.deg[v as usize].load(Relaxed) < k)
-        .collect();
-
-    let mut trace = Vec::new();
     let mut round = 0u32;
     let mut unpeeled = n as u64;
     let mut live_edges = m as u64;
@@ -231,48 +165,65 @@ fn peel_frontier(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
     while !frontier.is_empty() && round < opts.max_rounds {
         round += 1;
 
-        // Phase 1: mark.
+        // Phase 1: mark the frontier peeled (before any edge removal, so
+        // the kill phase observes a consistent "peeled this round"
+        // predicate).
         frontier.par_iter().for_each(|&v| {
-            st.peeled_round[v as usize].store(round, Relaxed);
+            peel_round[v as usize].store(round, Relaxed);
         });
 
-        // Phase 2: kill incident edges; each killed edge decrements its
-        // endpoints' degrees; endpoints that cross the threshold are claimed
-        // (once, via `queued`) for the next frontier.
-        let killed = AtomicU64::new(0);
-        let next: Vec<u32> = frontier
-            .par_iter()
-            .fold(Vec::new, |mut acc, &v| {
-                for &e in g.incident(v) {
-                    // First claimer wins; `swap` is the CAS here.
-                    if edge_alive[e as usize].swap(false, Relaxed) {
-                        st.edge_kill_round[e as usize].store(round, Relaxed);
-                        st.edge_killer[e as usize].store(v, Relaxed);
-                        killed.fetch_add(1, Relaxed);
-                        for &w in g.edge(e) {
-                            let old = st.deg[w as usize].fetch_sub(1, Relaxed);
-                            // The decrement that crosses the k boundary (and
-                            // any later one) sees old - 1 < k; `queued`
-                            // deduplicates, `peeled_round` excludes vertices
-                            // peeled this round or earlier.
-                            if old - 1 < k
-                                && st.peeled_round[w as usize].load(Relaxed) == UNPEELED
-                                && !queued[w as usize].swap(true, Relaxed)
-                            {
-                                acc.push(w);
-                            }
-                        }
-                    }
-                }
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
-            });
+        // Direction choice for this round's kill phase. Pure strategies
+        // pin it; Adaptive compares the frontier's expected incident
+        // endpoints against the live endpoints (see
+        // [`ADAPTIVE_DENSE_ALPHA`]).
+        let dense = match opts.strategy {
+            Strategy::Dense => true,
+            Strategy::Frontier => false,
+            Strategy::Adaptive => adaptive_picks_dense(
+                frontier.len() as u64,
+                n as u64,
+                m as u64,
+                g.arity() as u64,
+                live_edges,
+            ),
+        };
+        // Pure Dense rediscovers each frontier by vertex scan (that full
+        // rescan is its documented work profile); the other strategies
+        // collect crossing vertices during the kill phase.
+        let collect_next = opts.strategy != Strategy::Dense;
+
+        // Phase 2: kill edges incident to the frontier.
+        let killed = if dense {
+            kill_dense(
+                g,
+                k,
+                round,
+                deg,
+                peel_round,
+                edge_kill_round,
+                edge_killer,
+                edge_alive,
+                queued,
+                stripes,
+                collect_next,
+            )
+        } else {
+            kill_frontier(
+                g,
+                k,
+                round,
+                frontier,
+                deg,
+                peel_round,
+                edge_kill_round,
+                edge_killer,
+                edge_alive,
+                queued,
+                stripes,
+            )
+        };
 
         unpeeled -= frontier.len() as u64;
-        let killed = killed.into_inner();
         live_edges -= killed;
         if opts.collect_trace {
             trace.push(RoundStats {
@@ -283,10 +234,175 @@ fn peel_frontier(g: &Hypergraph, k: u32, opts: &ParallelOpts) -> PeelOutcome {
                 live_edges,
             });
         }
-        frontier = next;
+
+        // Phase 3: assemble the next frontier (skipped when max_rounds
+        // truncates the run here).
+        frontier.clear();
+        if round < opts.max_rounds {
+            if collect_next {
+                stripes.drain_into(frontier);
+            } else {
+                collect_frontier_scan(g, k, deg, peel_round, stripes, frontier);
+            }
+        }
     }
 
-    st.into_outcome(k, round, trace, unpeeled, live_edges)
+    PeelRun {
+        k,
+        rounds: round,
+        core_vertices: unpeeled,
+        core_edges: live_edges,
+    }
+}
+
+/// Dense vertex scan: gather every alive vertex with degree `< k` into
+/// `out` via the striped buffers (source order per stripe, stripes merged
+/// by offset — no per-round allocation).
+fn collect_frontier_scan(
+    g: &Hypergraph,
+    k: u32,
+    deg: &[AtomicU32],
+    peel_round: &[AtomicU32],
+    stripes: &mut Striped<u32>,
+    out: &mut Vec<u32>,
+) {
+    let n = g.num_vertices();
+    {
+        let stripes = &*stripes;
+        (0..n as u32).into_par_iter().for_each(|v| {
+            if peel_round[v as usize].load(Relaxed) == UNPEELED && deg[v as usize].load(Relaxed) < k
+            {
+                stripes
+                    .lock(Striped::<u32>::stripe_of(v as usize, n))
+                    .push(v);
+            }
+        });
+    }
+    stripes.drain_into(out);
+}
+
+/// Dense kill phase: one task per edge; a live edge with a peeled endpoint
+/// dies, claimed by its first peeled endpoint in edge order (all peeled
+/// endpoints of a live edge were necessarily peeled *this* round, since an
+/// earlier peel would have killed the edge already). With `collect_next`,
+/// endpoints whose decrement crosses the threshold are claimed (once, via
+/// the `queued` bitset) for the next frontier.
+#[allow(clippy::too_many_arguments)] // engine phase over one shared state bundle
+fn kill_dense(
+    g: &Hypergraph,
+    k: u32,
+    round: u32,
+    deg: &[AtomicU32],
+    peel_round: &[AtomicU32],
+    edge_kill_round: &[AtomicU32],
+    edge_killer: &[AtomicU32],
+    edge_alive: &AtomicBitset,
+    queued: &AtomicBitset,
+    stripes: &Striped<u32>,
+    collect_next: bool,
+) -> u64 {
+    let m = g.num_edges();
+    (0..m as u32)
+        .into_par_iter()
+        .map(|e| {
+            // Exactly one task examines each edge per round: plain loads
+            // and stores suffice, the bitset is only cleared (never
+            // contended) here.
+            if !edge_alive.get(e as usize) {
+                return 0u64;
+            }
+            let verts = g.edge(e);
+            let killer = verts
+                .iter()
+                .copied()
+                .find(|&w| peel_round[w as usize].load(Relaxed) != UNPEELED);
+            let Some(killer) = killer else { return 0 };
+            edge_alive.clear(e as usize);
+            edge_kill_round[e as usize].store(round, Relaxed);
+            edge_killer[e as usize].store(killer, Relaxed);
+            let mut pushed = None;
+            for &w in verts {
+                let old = deg[w as usize].fetch_sub(1, Relaxed);
+                debug_assert!(
+                    old > 0,
+                    "degree underflow at vertex {w}: edge {e} decremented past zero \
+                     (graph built with repeated endpoints beyond its incidence table?)"
+                );
+                if collect_next
+                    && old - 1 < k
+                    && peel_round[w as usize].load(Relaxed) == UNPEELED
+                    && !queued.test_and_set(w as usize)
+                {
+                    pushed
+                        .get_or_insert_with(|| {
+                            stripes.lock(Striped::<u32>::stripe_of(e as usize, m))
+                        })
+                        .push(w);
+                }
+            }
+            1
+        })
+        .sum()
+}
+
+/// Frontier kill phase: each frontier vertex claims its live incident
+/// edges via an atomic test-and-clear on the edge-alive bitset (first
+/// claimer wins), decrements the endpoints, and queues endpoints that
+/// cross the threshold for the next frontier.
+#[allow(clippy::too_many_arguments)] // engine phase over one shared state bundle
+fn kill_frontier(
+    g: &Hypergraph,
+    k: u32,
+    round: u32,
+    frontier: &[u32],
+    deg: &[AtomicU32],
+    peel_round: &[AtomicU32],
+    edge_kill_round: &[AtomicU32],
+    edge_killer: &[AtomicU32],
+    edge_alive: &AtomicBitset,
+    queued: &AtomicBitset,
+    stripes: &Striped<u32>,
+) -> u64 {
+    let len = frontier.len();
+    let killed = AtomicU64::new(0);
+    frontier.par_iter().enumerate().for_each(|(i, &v)| {
+        // One stripe guard per frontier vertex, taken lazily on the first
+        // queued discovery.
+        let mut pushed = None;
+        let mut local_killed = 0u64;
+        for &e in g.incident(v) {
+            // First claimer wins; the bitset test-and-clear is the CAS.
+            if edge_alive.test_and_clear(e as usize) {
+                edge_kill_round[e as usize].store(round, Relaxed);
+                edge_killer[e as usize].store(v, Relaxed);
+                local_killed += 1;
+                for &w in g.edge(e) {
+                    let old = deg[w as usize].fetch_sub(1, Relaxed);
+                    debug_assert!(
+                        old > 0,
+                        "degree underflow at vertex {w}: edge {e} decremented past zero \
+                         (graph built with repeated endpoints beyond its incidence table?)"
+                    );
+                    // The decrement that crosses the k boundary (and any
+                    // later one) sees old - 1 < k; `queued` deduplicates,
+                    // `peel_round` excludes vertices peeled this round or
+                    // earlier.
+                    if old - 1 < k
+                        && peel_round[w as usize].load(Relaxed) == UNPEELED
+                        && !queued.test_and_set(w as usize)
+                    {
+                        pushed
+                            .get_or_insert_with(|| stripes.lock(Striped::<u32>::stripe_of(i, len)))
+                            .push(w);
+                    }
+                }
+            }
+        }
+        if local_killed > 0 {
+            killed.fetch_add(local_killed, Relaxed);
+        }
+    });
+    killed.into_inner()
 }
 
 #[cfg(test)]
@@ -297,7 +413,7 @@ mod tests {
     use peel_graph::rng::Xoshiro256StarStar;
     use peel_graph::HypergraphBuilder;
 
-    fn both_strategies() -> [ParallelOpts; 2] {
+    fn all_strategies() -> [ParallelOpts; 3] {
         [
             ParallelOpts {
                 strategy: Strategy::Dense,
@@ -305,6 +421,10 @@ mod tests {
             },
             ParallelOpts {
                 strategy: Strategy::Frontier,
+                ..Default::default()
+            },
+            ParallelOpts {
+                strategy: Strategy::Adaptive,
                 ..Default::default()
             },
         ]
@@ -320,8 +440,8 @@ mod tests {
     }
 
     #[test]
-    fn path_rounds_match_both_strategies() {
-        for opts in both_strategies() {
+    fn path_rounds_match_all_strategies() {
+        for opts in all_strategies() {
             let out = peel_parallel(&path5(), 2, &opts);
             assert!(out.success());
             assert_eq!(out.rounds, 3, "{:?}", opts.strategy);
@@ -336,7 +456,7 @@ mod tests {
             let mut rng = Xoshiro256StarStar::new(seed);
             let g = Gnm::new(3000, 0.75, 3).sample(&mut rng);
             let reference = peel_rounds_serial(&g, 2);
-            for opts in both_strategies() {
+            for opts in all_strategies() {
                 let out = peel_parallel(&g, 2, &opts);
                 assert_eq!(out.rounds, reference.rounds, "seed {seed}");
                 assert_eq!(out.peel_round, reference.peel_round, "seed {seed}");
@@ -357,7 +477,7 @@ mod tests {
             let mut rng = Xoshiro256StarStar::new(100 + seed);
             let g = Gnm::new(2000, 0.9, 4).sample(&mut rng); // above c*_{2,4}: core likely
             let greedy = peel_greedy(&g, 2);
-            for opts in both_strategies() {
+            for opts in all_strategies() {
                 let out = peel_parallel(&g, 2, &opts);
                 assert_eq!(out.core_vertices, greedy.core_vertices);
                 assert_eq!(out.core_edges, greedy.core_edges);
@@ -371,7 +491,7 @@ mod tests {
             let mut rng = Xoshiro256StarStar::new(200 + seed);
             let g = Gnm::new(2000, 1.4, 3).sample(&mut rng); // near c*_{3,3}
             let greedy = peel_greedy(&g, 3);
-            for opts in both_strategies() {
+            for opts in all_strategies() {
                 let out = peel_parallel(&g, 3, &opts);
                 assert_eq!(out.core_vertices, greedy.core_vertices, "seed {seed}");
             }
@@ -407,19 +527,29 @@ mod tests {
     fn max_rounds_truncates() {
         let mut rng = Xoshiro256StarStar::new(9);
         let g = Gnm::new(50_000, 0.70, 4).sample(&mut rng);
-        let opts = ParallelOpts {
-            max_rounds: 3,
-            ..Default::default()
-        };
-        let out = peel_parallel(&g, 2, &opts);
-        assert_eq!(out.rounds, 3);
-        assert!(!out.success()); // truncated before the fixpoint
-        let full = peel_parallel(&g, 2, &ParallelOpts::default());
-        // The 3-round survivor count matches the full run's trace.
-        assert_eq!(
-            out.trace.last().unwrap().unpeeled_vertices,
-            full.trace[2].unpeeled_vertices
-        );
+        for strategy in [Strategy::Dense, Strategy::Frontier, Strategy::Adaptive] {
+            let opts = ParallelOpts {
+                strategy,
+                max_rounds: 3,
+                ..Default::default()
+            };
+            let out = peel_parallel(&g, 2, &opts);
+            assert_eq!(out.rounds, 3);
+            assert!(!out.success()); // truncated before the fixpoint
+            let full = peel_parallel(
+                &g,
+                2,
+                &ParallelOpts {
+                    strategy,
+                    ..Default::default()
+                },
+            );
+            // The 3-round survivor count matches the full run's trace.
+            assert_eq!(
+                out.trace.last().unwrap().unpeeled_vertices,
+                full.trace[2].unpeeled_vertices
+            );
+        }
     }
 
     #[test]
@@ -447,23 +577,25 @@ mod tests {
     fn frontier_claims_are_valid_k2() {
         let mut rng = Xoshiro256StarStar::new(11);
         let g = Gnm::new(5000, 0.7, 3).sample(&mut rng);
-        let out = peel_parallel(&g, 2, &ParallelOpts::default());
-        // k=2 invariant: each vertex claims at most one edge, claimed in the
-        // round the vertex was peeled.
-        let mut claims = vec![0u32; g.num_vertices()];
-        for (e, (&killer, &kround)) in out
-            .edge_killer
-            .iter()
-            .zip(out.edge_kill_round.iter())
-            .enumerate()
-        {
-            if killer != UNPEELED {
-                claims[killer as usize] += 1;
-                assert!(g.edge(e as u32).contains(&killer));
-                assert_eq!(out.peel_round[killer as usize], kround);
+        for opts in all_strategies() {
+            let out = peel_parallel(&g, 2, &opts);
+            // k=2 invariant: each vertex claims at most one edge, claimed in
+            // the round the vertex was peeled.
+            let mut claims = vec![0u32; g.num_vertices()];
+            for (e, (&killer, &kround)) in out
+                .edge_killer
+                .iter()
+                .zip(out.edge_kill_round.iter())
+                .enumerate()
+            {
+                if killer != UNPEELED {
+                    claims[killer as usize] += 1;
+                    assert!(g.edge(e as u32).contains(&killer));
+                    assert_eq!(out.peel_round[killer as usize], kround);
+                }
             }
+            assert!(claims.iter().all(|&c| c <= 1), "k=2: one claim per vertex");
         }
-        assert!(claims.iter().all(|&c| c <= 1), "k=2: one claim per vertex");
     }
 
     #[test]
@@ -484,5 +616,131 @@ mod tests {
         let out = peel_parallel(&g, 2, &opts);
         assert_eq!(out.rounds, 3);
         assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable_across_runs_and_sizes() {
+        // One workspace peels a large graph, then a smaller one, then the
+        // large one again (buffer shrink + regrow paths); every run must
+        // match a fresh-workspace reference exactly.
+        let mut ws = PeelWorkspace::new();
+        let mut rng = Xoshiro256StarStar::new(21);
+        let big = Gnm::new(20_000, 0.72, 4).sample(&mut rng);
+        let small = Gnm::new(500, 0.9, 3).sample(&mut rng);
+        for g in [&big, &small, &big, &small] {
+            let reference = peel_rounds_serial(g, 2);
+            for strategy in [Strategy::Dense, Strategy::Frontier, Strategy::Adaptive] {
+                let opts = ParallelOpts {
+                    strategy,
+                    ..Default::default()
+                };
+                let run = peel_parallel_in(g, 2, &opts, &mut ws);
+                assert_eq!(run.rounds, reference.rounds);
+                assert_eq!(run.core_vertices, reference.core_vertices);
+                assert_eq!(run.core_edges, reference.core_edges);
+                let out = ws.outcome(&run);
+                assert_eq!(out.peel_round, reference.peel_round);
+                assert_eq!(out.edge_kill_round, reference.edge_kill_round);
+                assert_eq!(ws.trace().len(), reference.trace.len());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_after_truncated_run() {
+        // A max_rounds-truncated run leaves partial state (and, for the
+        // propagating strategies, a collected-but-unused next frontier);
+        // the following full run on the same workspace must be unaffected.
+        let mut rng = Xoshiro256StarStar::new(22);
+        let g = Gnm::new(10_000, 0.70, 4).sample(&mut rng);
+        let reference = peel_rounds_serial(&g, 2);
+        let mut ws = PeelWorkspace::new();
+        for strategy in [Strategy::Dense, Strategy::Frontier, Strategy::Adaptive] {
+            let truncated = ParallelOpts {
+                strategy,
+                max_rounds: 2,
+                ..Default::default()
+            };
+            let run = peel_parallel_in(&g, 2, &truncated, &mut ws);
+            assert_eq!(run.rounds, 2);
+            let full = ParallelOpts {
+                strategy,
+                ..Default::default()
+            };
+            let run = peel_parallel_in(&g, 2, &full, &mut ws);
+            assert_eq!(run.rounds, reference.rounds, "{strategy:?}");
+            assert_eq!(run.core_vertices, reference.core_vertices);
+        }
+    }
+
+    #[test]
+    fn repeated_endpoint_edges_do_not_underflow_degrees() {
+        // Regression (ISSUE 4 satellite): an edge listing the same vertex
+        // twice contributes two incidence slots to it, so the kill-phase
+        // decrement runs twice for one edge — the engines must neither
+        // underflow the degree counter (the debug_assert in the kill
+        // phases) nor disagree with the serial reference. Such graphs only
+        // arise via `skip_distinct_check`; the builder rejects them by
+        // default.
+        let mut b = HypergraphBuilder::new(6, 2).skip_distinct_check();
+        b.push_edge(&[0, 0]); // self-loop: deg(0) = 2
+        b.push_edge(&[0, 1]);
+        b.push_edge(&[1, 2]);
+        b.push_edge(&[3, 3]); // isolated self-loop component
+        b.push_edge(&[4, 5]);
+        let g = b.build().unwrap();
+        let reference = peel_rounds_serial(&g, 2);
+        for opts in all_strategies() {
+            let out = peel_parallel(&g, 2, &opts);
+            assert_eq!(out.rounds, reference.rounds, "{:?}", opts.strategy);
+            assert_eq!(out.peel_round, reference.peel_round, "{:?}", opts.strategy);
+            assert_eq!(out.edge_kill_round, reference.edge_kill_round);
+            assert_eq!(out.core_vertices, reference.core_vertices);
+        }
+        // Larger randomized variant with a sprinkle of duplicate-endpoint
+        // edges, k = 3 to exercise multi-decrement crossings.
+        let mut rng = Xoshiro256StarStar::new(23);
+        let base = Gnm::new(2_000, 1.2, 3).sample(&mut rng);
+        let mut b = HypergraphBuilder::new(2_000, 3).skip_distinct_check();
+        for (_, vs) in base.edges() {
+            b.push_edge(vs);
+        }
+        for i in 0..50u32 {
+            let v = (i * 37) % 2_000;
+            b.push_edge(&[v, v, (v + 1) % 2_000]);
+        }
+        let g = b.build().unwrap();
+        let reference = peel_rounds_serial(&g, 3);
+        for opts in all_strategies() {
+            let out = peel_parallel(&g, 3, &opts);
+            assert_eq!(out.peel_round, reference.peel_round, "{:?}", opts.strategy);
+        }
+    }
+
+    #[test]
+    fn adaptive_uses_both_directions_below_threshold() {
+        // Sanity check on the direction heuristic itself: at c = 0.70 the
+        // first rounds have a broad frontier (dense pays off) and the tail
+        // rounds a collapsing one (propagation pays off). The switch rule
+        // must actually select dense at round 1 and frontier by the end —
+        // otherwise "adaptive" is silently degenerate.
+        let mut rng = Xoshiro256StarStar::new(24);
+        let g = Gnm::new(50_000, 0.70, 4).sample(&mut rng);
+        let out = peel_parallel(&g, 2, &ParallelOpts::default());
+        assert!(out.success());
+        let n = g.num_vertices() as u64;
+        let m = g.num_edges() as u64;
+        let r = g.arity() as u64;
+        let mut live = m;
+        let mut modes = Vec::new();
+        for s in &out.trace {
+            modes.push(adaptive_picks_dense(s.peeled_vertices, n, m, r, live));
+            live -= s.peeled_edges;
+        }
+        assert!(modes[0], "round 1 should take the dense direction");
+        assert!(
+            !modes.last().unwrap(),
+            "final rounds should take the frontier direction"
+        );
     }
 }

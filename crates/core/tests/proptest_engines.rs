@@ -4,9 +4,13 @@
 use proptest::prelude::*;
 
 use peel_core::parallel::{peel_parallel, ParallelOpts, Strategy as PeelStrategy};
+use peel_core::peel_parallel_in;
 use peel_core::sequential::{peel_greedy, peel_rounds_serial};
 use peel_core::subtable::{peel_subtables, SubtableOpts};
 use peel_core::trace::UNPEELED;
+use peel_core::workspace::PeelWorkspace;
+use peel_graph::models::{Gnm, Partitioned};
+use peel_graph::rng::Xoshiro256StarStar;
 use peel_graph::{Hypergraph, HypergraphBuilder};
 
 /// Strategy: a random r-uniform hypergraph described by (n, r, edge list).
@@ -74,20 +78,20 @@ fn core_set(peel_round: &[u32]) -> Vec<u32> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The k-core is unique: greedy, serial-rounds, dense, and frontier all
-    /// find the same core vertex set.
+    /// The k-core is unique: greedy, serial-rounds, dense, frontier, and
+    /// adaptive all find the same core vertex set.
     #[test]
     fn engines_agree_on_core(g in arb_hypergraph(), k in 1u32..=4) {
         let greedy = peel_greedy(&g, k);
         let serial = peel_rounds_serial(&g, k);
-        let dense = peel_parallel(&g, k, &ParallelOpts { strategy: PeelStrategy::Dense, ..Default::default() });
-        let frontier = peel_parallel(&g, k, &ParallelOpts::default());
 
         prop_assert_eq!(serial.core_vertices, greedy.core_vertices);
         prop_assert_eq!(serial.core_edges, greedy.core_edges);
         let want = core_set(&serial.peel_round);
-        prop_assert_eq!(&core_set(&dense.peel_round), &want);
-        prop_assert_eq!(&core_set(&frontier.peel_round), &want);
+        for strategy in [PeelStrategy::Dense, PeelStrategy::Frontier, PeelStrategy::Adaptive] {
+            let out = peel_parallel(&g, k, &ParallelOpts { strategy, ..Default::default() });
+            prop_assert_eq!(&core_set(&out.peel_round), &want, "{:?}", strategy);
+        }
     }
 
     /// Synchronous semantics are engine-independent: identical round counts,
@@ -95,16 +99,56 @@ proptest! {
     #[test]
     fn engines_agree_on_rounds(g in arb_hypergraph(), k in 1u32..=4) {
         let serial = peel_rounds_serial(&g, k);
-        let dense = peel_parallel(&g, k, &ParallelOpts { strategy: PeelStrategy::Dense, ..Default::default() });
-        let frontier = peel_parallel(&g, k, &ParallelOpts::default());
+        for strategy in [PeelStrategy::Dense, PeelStrategy::Frontier, PeelStrategy::Adaptive] {
+            let out = peel_parallel(&g, k, &ParallelOpts { strategy, ..Default::default() });
+            prop_assert_eq!(out.rounds, serial.rounds, "{:?}", strategy);
+            prop_assert_eq!(&out.peel_round, &serial.peel_round, "{:?}", strategy);
+            prop_assert_eq!(&out.edge_kill_round, &serial.edge_kill_round, "{:?}", strategy);
+            prop_assert_eq!(out.survivor_series(), serial.survivor_series(), "{:?}", strategy);
+        }
+    }
 
-        prop_assert_eq!(dense.rounds, serial.rounds);
-        prop_assert_eq!(frontier.rounds, serial.rounds);
-        prop_assert_eq!(&dense.peel_round, &serial.peel_round);
-        prop_assert_eq!(&frontier.peel_round, &serial.peel_round);
-        prop_assert_eq!(&dense.edge_kill_round, &serial.edge_kill_round);
-        prop_assert_eq!(&frontier.edge_kill_round, &serial.edge_kill_round);
-        prop_assert_eq!(dense.survivor_series(), serial.survivor_series());
+    /// ISSUE 4 satellite: `Strategy::Adaptive` agrees with the serial
+    /// reference (rounds, per-vertex peel rounds, core size) on random
+    /// `Gnm` instances across seeds and k ∈ {2, 3} — run through a reused
+    /// workspace, so the steady-state pooled path is what's validated.
+    #[test]
+    fn adaptive_agrees_with_serial_on_gnm(
+        seed in any::<u64>(),
+        n in 100usize..1500,
+        c in 0.3f64..1.2,
+        r in 3usize..=4,
+        k in 2u32..=3,
+    ) {
+        let g = Gnm::new(n, c, r).sample(&mut Xoshiro256StarStar::new(seed));
+        let serial = peel_rounds_serial(&g, k);
+        let mut ws = PeelWorkspace::new();
+        let opts = ParallelOpts { strategy: PeelStrategy::Adaptive, ..Default::default() };
+        let run = peel_parallel_in(&g, k, &opts, &mut ws);
+        prop_assert_eq!(run.rounds, serial.rounds);
+        prop_assert_eq!(run.core_vertices, serial.core_vertices);
+        prop_assert_eq!(run.core_edges, serial.core_edges);
+        let out = ws.outcome(&run);
+        prop_assert_eq!(&out.peel_round, &serial.peel_round);
+        prop_assert_eq!(&out.edge_kill_round, &serial.edge_kill_round);
+    }
+
+    /// Same agreement on the partitioned (subtable) model.
+    #[test]
+    fn adaptive_agrees_with_serial_on_partitioned(
+        seed in any::<u64>(),
+        per_part in 30usize..400,
+        c in 0.3f64..1.2,
+        r in 3usize..=4,
+        k in 2u32..=3,
+    ) {
+        let g = Partitioned::new(per_part * r, c, r).sample(&mut Xoshiro256StarStar::new(seed));
+        let serial = peel_rounds_serial(&g, k);
+        let opts = ParallelOpts { strategy: PeelStrategy::Adaptive, ..Default::default() };
+        let out = peel_parallel(&g, k, &opts);
+        prop_assert_eq!(out.rounds, serial.rounds);
+        prop_assert_eq!(out.core_vertices, serial.core_vertices);
+        prop_assert_eq!(&out.peel_round, &serial.peel_round);
     }
 
     /// The surviving subgraph really is a k-core: every surviving vertex has

@@ -1,0 +1,344 @@
+//! Shared-memory primitives for the parallel peeling engines: an atomic
+//! bitset and striped collection buffers.
+//!
+//! Both exist to make the hot loops of `peel-core` and `peel-iblt`
+//! allocation-free in steady state:
+//!
+//! * [`AtomicBitset`] packs per-edge / per-cell boolean state (alive flags,
+//!   queued flags) 64 entries to the cache line instead of one `AtomicBool`
+//!   per entry, cutting the memory traffic of the scan phases by ~8× while
+//!   keeping the same relaxed-RMW claiming semantics (`fetch_or` /
+//!   `fetch_and` are commutative, so concurrent claims on neighbouring bits
+//!   of one word compose exactly like independent `swap`s on separate
+//!   bools).
+//! * [`Striped`] replaces the `fold(Vec::new).reduce(append)` frontier
+//!   collection pattern — which allocates one accumulator per rayon chunk
+//!   per round — with a fixed set of reusable buffers. Producers push into
+//!   the stripe owning their source index (contiguous source ranges map to
+//!   contiguous stripes, so threads working on disjoint ranges rarely share
+//!   a stripe), and a sequential drain merges the stripes into one output
+//!   vector by offset. `clear()` keeps every buffer's capacity, so after
+//!   warm-up no round allocates.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard};
+
+/// A fixed-length bitset over atomic 64-bit words.
+///
+/// All atomic operations are `Relaxed`: callers sequence phases with
+/// fork-join barriers (see the memory-ordering notes in `peel-core`), and
+/// within a phase the word-level RMWs commute.
+#[derive(Debug, Default)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitset {
+    /// Empty bitset (length 0); grow it with [`AtomicBitset::reset`].
+    pub fn new() -> Self {
+        AtomicBitset::default()
+    }
+
+    /// Bitset of `len` bits, all set to `fill`.
+    pub fn with_len(len: usize, fill: bool) -> Self {
+        let mut s = AtomicBitset::new();
+        s.reset(len, fill);
+        s
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the bitset has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize to `len` bits and set every bit to `fill`, reusing the word
+    /// buffer when capacity allows (the steady-state path allocates
+    /// nothing).
+    pub fn reset(&mut self, len: usize, fill: bool) {
+        let words = len.div_ceil(64);
+        let word = if fill { u64::MAX } else { 0 };
+        self.words.truncate(words);
+        for w in &mut self.words {
+            *w.get_mut() = word;
+        }
+        self.words.resize_with(words, || AtomicU64::new(word));
+        self.len = len;
+        if fill {
+            self.mask_tail();
+        }
+    }
+
+    /// Zero the bits past `len` in the last word so whole-word scans (e.g.
+    /// [`AtomicBitset::count_ones`]) never see phantom entries.
+    fn mask_tail(&mut self) {
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last.get_mut() &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64].load(Relaxed) & (1 << (i % 64)) != 0
+    }
+
+    /// Set bit `i`, returning its previous value (atomic test-and-set).
+    #[inline]
+    pub fn test_and_set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_or(mask, Relaxed) & mask != 0
+    }
+
+    /// Clear bit `i`, returning its previous value (atomic test-and-clear —
+    /// the "first claimer wins" primitive: exactly one concurrent caller
+    /// observes `true`).
+    #[inline]
+    pub fn test_and_clear(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        self.words[i / 64].fetch_and(!mask, Relaxed) & mask != 0
+    }
+
+    /// Clear bit `i` without reading it.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64].fetch_and(!(1u64 << (i % 64)), Relaxed);
+    }
+
+    /// Set bit `i` through exclusive access — a plain read-modify-write,
+    /// no atomic RMW, for single-threaded seeding phases.
+    #[inline]
+    pub fn set_mut(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        *self.words[i / 64].get_mut() |= 1u64 << (i % 64);
+    }
+
+    /// Clear every bit in `lo..hi` with word-granularity RMWs (edge words
+    /// masked, interior words stored whole) — O(range/64) operations, for
+    /// consumers that retire a contiguous block of flags at once.
+    pub fn clear_range(&self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return;
+        }
+        let (first_word, last_word) = (lo / 64, (hi - 1) / 64);
+        for w in first_word..=last_word {
+            let mut keep = 0u64;
+            if w == first_word && !lo.is_multiple_of(64) {
+                keep |= (1u64 << (lo % 64)) - 1; // bits below lo survive
+            }
+            if w == last_word && !hi.is_multiple_of(64) {
+                keep |= !((1u64 << (hi % 64)) - 1); // bits at/above hi survive
+            }
+            if keep == 0 {
+                self.words[w].store(0, Relaxed);
+            } else {
+                self.words[w].fetch_and(keep, Relaxed);
+            }
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Number of stripes a [`Striped`] buffer set uses. Comfortably above any
+/// realistic worker count, so contiguous source chunks (one per rayon
+/// worker) touch mostly disjoint stripes; small enough that draining stays
+/// a handful of `memcpy`s.
+pub const STRIPES: usize = 32;
+
+/// Reusable striped collection buffers: `STRIPES` mutex-guarded vectors
+/// that parallel producers push into by source index, merged by offset into
+/// one output vector afterwards.
+#[derive(Debug)]
+pub struct Striped<T> {
+    bufs: Vec<Mutex<Vec<T>>>,
+}
+
+impl<T> Default for Striped<T> {
+    fn default() -> Self {
+        Striped {
+            bufs: (0..STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+impl<T> Striped<T> {
+    /// Fresh buffer set (buffers start empty and grow on first use).
+    pub fn new() -> Self {
+        Striped::default()
+    }
+
+    /// The stripe owning source index `i` of a source of length `len`.
+    /// Contiguous index ranges map to contiguous stripes.
+    #[inline]
+    pub fn stripe_of(i: usize, len: usize) -> usize {
+        debug_assert!(i < len.max(1));
+        i * STRIPES / len.max(1)
+    }
+
+    /// Lock one stripe for pushing. Producers working on one source element
+    /// should take the guard once and push all of that element's outputs
+    /// through it, rather than locking per push.
+    #[inline]
+    pub fn lock(&self, stripe: usize) -> MutexGuard<'_, Vec<T>> {
+        // A poisoned stripe means a producer panicked mid-round; the whole
+        // peel is abandoned then, so propagating the panic is correct.
+        self.bufs[stripe].lock().unwrap()
+    }
+
+    /// Move every stripe's contents into `out` (appended in stripe order —
+    /// the merge-by-offset step), leaving all stripes empty *with their
+    /// capacity intact*.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        for buf in &mut self.bufs {
+            out.append(buf.get_mut().unwrap());
+        }
+    }
+
+    /// Visit and remove every element (for consumers that route elements to
+    /// different destinations instead of one vector). Buffer capacity is
+    /// kept.
+    pub fn drain_each(&mut self, mut f: impl FnMut(T)) {
+        for buf in &mut self.bufs {
+            for item in buf.get_mut().unwrap().drain(..) {
+                f(item);
+            }
+        }
+    }
+
+    /// Total buffered elements (diagnostics/tests).
+    pub fn len(&mut self) -> usize {
+        self.bufs
+            .iter_mut()
+            .map(|b| b.get_mut().unwrap().len())
+            .sum()
+    }
+
+    /// True iff no stripe holds an element.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_clear_roundtrip() {
+        let bs = AtomicBitset::with_len(130, false);
+        assert_eq!(bs.len(), 130);
+        assert!(!bs.get(0) && !bs.get(129));
+        assert!(!bs.test_and_set(65));
+        assert!(bs.test_and_set(65));
+        assert!(bs.get(65));
+        assert!(bs.test_and_clear(65));
+        assert!(!bs.test_and_clear(65));
+        assert!(!bs.get(65));
+    }
+
+    #[test]
+    fn bitset_reset_refills_and_masks_tail() {
+        let mut bs = AtomicBitset::with_len(70, true);
+        assert_eq!(bs.count_ones(), 70);
+        bs.reset(10, false);
+        assert_eq!(bs.len(), 10);
+        assert_eq!(bs.count_ones(), 0);
+        bs.reset(100, true);
+        assert_eq!(bs.count_ones(), 100);
+        assert!(bs.get(99));
+    }
+
+    #[test]
+    fn bitset_clear_range_hits_exact_bits() {
+        for (lo, hi) in [(0, 0), (0, 130), (3, 64), (64, 128), (5, 200), (63, 65)] {
+            let bs = AtomicBitset::with_len(200, true);
+            bs.clear_range(lo, hi);
+            for i in 0..200 {
+                assert_eq!(
+                    bs.get(i),
+                    !(lo <= i && i < hi),
+                    "bit {i} after clear {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_claims_are_exclusive_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        let bs = AtomicBitset::with_len(4096, true);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..4096 {
+                        if bs.test_and_clear(i) {
+                            wins.fetch_add(1, Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Relaxed), 4096, "each bit claimed exactly once");
+        assert_eq!(bs.count_ones(), 0);
+    }
+
+    #[test]
+    fn striped_drain_preserves_per_stripe_order() {
+        let mut st: Striped<u32> = Striped::new();
+        let len = 100;
+        for i in (0..len).rev() {
+            st.lock(Striped::<u32>::stripe_of(i, len)).push(i as u32);
+        }
+        let mut out = Vec::new();
+        st.drain_into(&mut out);
+        assert_eq!(out.len(), len);
+        // Stripes drain in index order: the stripe of each element never
+        // decreases along the drained output.
+        let stripes: Vec<usize> = out
+            .iter()
+            .map(|&v| Striped::<u32>::stripe_of(v as usize, len))
+            .collect();
+        assert!(stripes.windows(2).all(|w| w[0] <= w[1]));
+        assert!(st.is_empty());
+        // Buffers kept their capacity for reuse.
+        assert!(st
+            .bufs
+            .iter_mut()
+            .any(|b| b.get_mut().unwrap().capacity() > 0));
+    }
+
+    #[test]
+    fn stripe_of_is_monotone_and_in_range() {
+        for len in [1usize, 5, 31, 32, 33, 1000] {
+            let mut prev = 0;
+            for i in 0..len {
+                let s = Striped::<u32>::stripe_of(i, len);
+                assert!(s < STRIPES);
+                assert!(s >= prev);
+                prev = s;
+            }
+        }
+    }
+}

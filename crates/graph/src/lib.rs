@@ -35,6 +35,10 @@
 //!   `peel-analysis` against an independent implementation.
 //! * [`stats`] — degree statistics of generated graphs (used in tests to
 //!   check that empirical degrees match the Poisson(rc) prediction).
+//! * [`bits`] — shared parallel-engine primitives: an atomic bitset and
+//!   striped, reusable collection buffers (the allocation-free substitutes
+//!   for per-round `AtomicBool` arrays and `fold`/`reduce` vector churn in
+//!   `peel-core` and `peel-iblt`).
 //!
 //! ## Quick example
 //!
@@ -56,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod branching;
 pub mod components;
 pub mod error;
@@ -65,6 +70,7 @@ pub mod poisson;
 pub mod rng;
 pub mod stats;
 
+pub use bits::{AtomicBitset, Striped};
 pub use components::{edge_subgraph, Components, UnionFind};
 pub use error::GraphError;
 pub use hypergraph::{EdgeId, Hypergraph, HypergraphBuilder, Partition, VertexId};

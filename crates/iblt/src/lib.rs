@@ -47,6 +47,14 @@
 //! recurrence of Appendix B (implemented in `peel_analysis::subtable`)
 //! governs the subround count.
 //!
+//! For repeated decoding (a reconciliation service running every epoch),
+//! [`AtomicIblt::par_recover_in`] runs the candidate-tracking variant out
+//! of a reusable [`RecoveryWorkspace`], and
+//! [`AtomicIblt::snapshot_into`] / [`AtomicIblt::load_iblt`] /
+//! [`Iblt::subtract_assign`] overwrite pooled tables in place — together
+//! they make the whole snapshot → subtract → recover cycle
+//! allocation-free in steady state.
+//!
 //! ## Applications included
 //!
 //! * [`sparse::SparseRecovery`] — insert N keys, delete all but n, list the
@@ -81,6 +89,7 @@ pub mod parallel;
 pub mod reconcile;
 pub mod serial;
 pub mod sparse;
+pub mod workspace;
 
 pub use cell::Cell;
 pub use config::IbltConfig;
@@ -89,3 +98,4 @@ pub use kv::{AtomicKvIblt, GetResult, KvIblt, KvRecovery};
 pub use parallel::{AtomicIblt, ParRecovery};
 pub use reconcile::{reconcile, SetDiff};
 pub use serial::{Iblt, Recovery};
+pub use workspace::RecoveryWorkspace;

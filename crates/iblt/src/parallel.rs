@@ -19,11 +19,15 @@
 
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use peel_graph::bits::Striped;
 
 use crate::cell::Cell;
 use crate::config::IbltConfig;
 use crate::hashing::IbltHasher;
 use crate::serial::{Iblt, Recovery};
+use crate::workspace::RecoveryWorkspace;
 
 /// A concurrently updatable IBLT with parallel (subround) recovery.
 pub struct AtomicIblt {
@@ -48,8 +52,25 @@ pub struct ParRecovery {
     pub subrounds: u32,
     /// Full rounds spanned (`ceil(subrounds / r)`).
     pub rounds: u32,
-    /// Keys recovered in each subround (length = last productive subround).
+    /// Keys recovered in each productive subround.
     pub per_subround: Vec<u64>,
+    /// Wall time of each productive subround, in nanoseconds (scan +
+    /// deletion phases), aligned with `per_subround` — the attribution
+    /// trace `peel-service` ships in its `Stats` metrics.
+    pub per_subround_ns: Vec<u64>,
+}
+
+impl ParRecovery {
+    /// Clear for reuse, keeping every vector's capacity.
+    pub(crate) fn clear(&mut self) {
+        self.positive.clear();
+        self.negative.clear();
+        self.complete = false;
+        self.subrounds = 0;
+        self.rounds = 0;
+        self.per_subround.clear();
+        self.per_subround_ns.clear();
+    }
 }
 
 impl AtomicIblt {
@@ -126,6 +147,7 @@ impl AtomicIblt {
         loop {
             let j = (subround as usize) % r;
             subround += 1;
+            let started = Instant::now();
 
             // Phase 1: scan subtable j for pure cells (no mutation).
             let base = j * per_table;
@@ -155,6 +177,8 @@ impl AtomicIblt {
 
             out.subrounds = subround;
             out.per_subround.push(found.len() as u64);
+            out.per_subround_ns
+                .push(started.elapsed().as_nanos() as u64);
             for (key, dir) in found {
                 if dir > 0 {
                     out.positive.push(key);
@@ -171,33 +195,162 @@ impl AtomicIblt {
         out
     }
 
-    /// Parallel recovery with *candidate tracking*: like
-    /// [`Self::par_recover`], but each subround scans only cells that were
-    /// touched (by a deletion) since their subtable's previous scan, instead
-    /// of the whole subtable.
+    /// Parallel recovery with *candidate tracking*, throwaway-workspace
+    /// form of [`Self::par_recover_in`]: each subround scans only cells
+    /// that were touched (by a deletion) since their subtable's previous
+    /// scan, instead of the whole subtable.
     ///
-    /// Semantically identical to `par_recover` — a cell can only *become*
-    /// pure when its contents change, so unscanned untouched cells are never
-    /// missed, and the subround structure (hence the recovered set and the
-    /// subround count) is preserved. On wide machines (the paper's GPU) the
-    /// dense scan is free because cells-per-thread is O(1); on CPUs with few
-    /// cores this variant removes the `O(cells × subrounds)` scan term that
-    /// otherwise dominates below-threshold recovery.
+    /// Semantically identical to [`Self::par_recover`] — a cell can only
+    /// *become* pure when its contents change, so unscanned untouched
+    /// cells are never missed, and the subround structure (hence the
+    /// recovered set and the subround count) is preserved. On wide
+    /// machines (the paper's GPU) the dense scan is free because
+    /// cells-per-thread is O(1); on CPUs with few cores this variant
+    /// removes the `O(cells × subrounds)` scan term that otherwise
+    /// dominates below-threshold recovery.
     pub fn par_recover_frontier(&self) -> ParRecovery {
+        let mut ws = RecoveryWorkspace::new();
+        self.par_recover_in(&mut ws);
+        ws.out
+    }
+
+    /// Direction-optimizing parallel recovery into a reusable
+    /// [`RecoveryWorkspace`] — the steady-state-allocation-free engine
+    /// behind [`Self::par_recover_frontier`], and the one
+    /// `peel-service`'s pooled reconcile path runs every epoch.
+    ///
+    /// Each subround scans its subtable in whichever direction is
+    /// cheaper: a **dense** linear sweep of the whole subtable when the
+    /// candidate list is broad (sequential loads, no per-cell
+    /// bookkeeping), or a **candidate** scan of just the queued cells
+    /// when it is sparse (skipping the `O(cells)` term entirely). Both
+    /// find exactly the same pure cells — the queued-cell bitset
+    /// maintains the invariant that every cell that changed since its
+    /// subtable's last scan is in its pending list, and an unchanged or
+    /// empty cell cannot have become pure — so the subround trace is
+    /// identical to [`Self::par_recover`]'s either way. The purity scan
+    /// and the deletion phase collect into striped reusable buffers
+    /// merged by offset, replacing the old per-subround
+    /// `collect`/`fold`/`reduce` allocations. Returns a borrow of the
+    /// workspace's [`ParRecovery`].
+    pub fn par_recover_in<'ws>(&self, ws: &'ws mut RecoveryWorkspace) -> &'ws ParRecovery {
+        let per_table = self.cfg.cells_per_table;
+        let total = self.cfg.total_cells();
+        ws.reset(self.cfg.hashes, per_table);
+
+        // Direction decision, one occupancy probe per run. An empty cell
+        // cannot test pure, and any cell a deletion later touches is
+        // queued then — so only nonempty cells matter. If more than 1/8
+        // of the table is occupied, run **dense mode**: full subtable
+        // sweeps with zero queue bookkeeping, which sequential
+        // prefetching makes cheaper than index-chasing unless the table
+        // is mostly air. The probe seeds the candidate lists as it goes
+        // (plain stores — the workspace is exclusively borrowed) and
+        // bails out the moment the threshold is crossed, so
+        // ordinarily-loaded tables pay a fraction of one pass. Sparse
+        // tables (a few diff keys in a generously provisioned sketch)
+        // finish the walk seeded and run **candidate mode**, touching
+        // O(keys·r) cells per round instead of O(cells).
+        let mut nonempty = 0usize;
+        let mut dense_mode = false;
+        for idx in 0..total {
+            if self.count[idx].load(Relaxed) != 0
+                || self.key_sum[idx].load(Relaxed) != 0
+                || self.check_sum[idx].load(Relaxed) != 0
+            {
+                nonempty += 1;
+                if nonempty * 8 > total {
+                    dense_mode = true;
+                    break;
+                }
+                ws.queued.set_mut(idx);
+                ws.pending[idx / per_table].push(idx);
+            }
+        }
+        if dense_mode {
+            // Abandon the partial seed; dense mode never reads it.
+            for p in ws.pending.iter_mut() {
+                p.clear();
+            }
+            ws.queued.reset(total, false);
+        }
+        self.recover_core(ws, dense_mode)
+    }
+
+    /// Fused reconcile decode: overwrite this pooled table with the
+    /// cellwise difference `a − b`, seed the recovery workspace from the
+    /// very same pass (the diff cells are in registers as they are
+    /// stored, so occupancy probing and candidate seeding cost nothing
+    /// extra), and decode. One sweep over the table replaces the
+    /// subtract + load + probe passes of the unfused path — this is what
+    /// `peel-service` runs per shard per reconcile epoch.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` have different configs.
+    pub fn recover_subtracted_in<'ws>(
+        &mut self,
+        a: &Iblt,
+        b: &Iblt,
+        ws: &'ws mut RecoveryWorkspace,
+    ) -> &'ws ParRecovery {
+        assert_eq!(
+            a.config(),
+            b.config(),
+            "subtracting incompatible IBLTs (configs differ)"
+        );
+        self.retarget(*a.config());
+        let per_table = self.cfg.cells_per_table;
+        let total = self.cfg.total_cells();
+        ws.reset(self.cfg.hashes, per_table);
+
+        let mut nonempty = 0usize;
+        for (idx, (ca, cb)) in a.cells().iter().zip(b.cells()).enumerate() {
+            let d = ca.subtract(cb);
+            *self.count[idx].get_mut() = d.count;
+            *self.key_sum[idx].get_mut() = d.key_sum;
+            *self.check_sum[idx].get_mut() = d.check_sum;
+            if !d.is_empty() {
+                nonempty += 1;
+                // Seed only while candidate mode is still possible; once
+                // the occupancy crosses the dense threshold further
+                // bookkeeping would be discarded anyway.
+                if nonempty * 8 <= total {
+                    ws.queued.set_mut(idx);
+                    ws.pending[idx / per_table].push(idx);
+                }
+            }
+        }
+        let dense_mode = nonempty * 8 > total;
+        if dense_mode {
+            for p in ws.pending.iter_mut() {
+                p.clear();
+            }
+            ws.queued.reset(total, false);
+        }
+        self.recover_core(ws, dense_mode)
+    }
+
+    /// The shared subround loop of the pooled recoveries. `ws` must be
+    /// reset for this table's geometry; in candidate mode (`dense_mode ==
+    /// false`) the pending lists must hold every nonempty cell.
+    fn recover_core<'ws>(
+        &self,
+        ws: &'ws mut RecoveryWorkspace,
+        dense_mode: bool,
+    ) -> &'ws ParRecovery {
         let r = self.cfg.hashes;
         let per_table = self.cfg.cells_per_table;
         let total = self.cfg.total_cells();
-        let mut out = ParRecovery::default();
-
-        // pending[j]: candidate cell indices for subtable j's next scan;
-        // `queued` deduplicates (a cell appears at most once across pending
-        // lists — it always belongs to table idx/per_table).
-        let queued: Vec<std::sync::atomic::AtomicBool> = (0..total)
-            .map(|_| std::sync::atomic::AtomicBool::new(true))
-            .collect();
-        let mut pending: Vec<Vec<usize>> = (0..r)
-            .map(|j| (j * per_table..(j + 1) * per_table).collect())
-            .collect();
+        let RecoveryWorkspace {
+            queued,
+            pending,
+            found,
+            slot_key,
+            slot_dir,
+            slot_cursor,
+            touched_stripes,
+            out,
+        } = ws;
 
         let mut subround = 0u32;
         let mut idle_streak = 0usize;
@@ -205,20 +358,58 @@ impl AtomicIblt {
         loop {
             let j = (subround as usize) % r;
             subround += 1;
+            let started = Instant::now();
 
-            // Phase 1: scan this table's candidates (consume the list).
-            let candidates = std::mem::take(&mut pending[j]);
-            candidates.par_iter().for_each(|&idx| {
-                queued[idx].store(false, Relaxed);
-            });
-            let found: Vec<(u64, i64)> = candidates
-                .par_iter()
-                .filter_map(|&idx| {
-                    let cell = self.read_cell(idx);
-                    cell.is_pure(&self.hasher)
-                        .then_some((cell.key_sum, cell.count))
-                })
-                .collect();
+            // Phase 1: find this subtable's pure cells. In candidate
+            // mode, every cell that could have become pure since the last
+            // scan is in the pending list (see above); a broad list is
+            // still swept linearly — cheaper per cell than chasing
+            // indices and unmarking bits one by one. One task handles
+            // each cell exactly once, so the unmark and the purity read
+            // don't race within the phase. Either direction finds exactly
+            // the same pure set, so the subround trace matches
+            // [`Self::par_recover`]'s. Finds land in the lock-free slot
+            // array: one cursor `fetch_add` claims a slot (a subround
+            // scans one subtable, so `per_table` slots always suffice).
+            let candidates = &mut pending[j];
+            let dense_sweep = dense_mode || candidates.len() * 4 > per_table;
+            {
+                let (slot_key, slot_dir, cursor) = (&*slot_key, &*slot_dir, &*slot_cursor);
+                let queued = &*queued;
+                let put = |cell: Cell| {
+                    let s = cursor.fetch_add(1, Relaxed);
+                    slot_key[s].store(cell.key_sum, Relaxed);
+                    slot_dir[s].store(cell.count, Relaxed);
+                };
+                if dense_sweep {
+                    let base = j * per_table;
+                    (base..base + per_table).into_par_iter().for_each(|idx| {
+                        let cell = self.read_cell(idx);
+                        if cell.is_pure(&self.hasher) {
+                            put(cell);
+                        }
+                    });
+                    if !dense_mode {
+                        // The sweep visited every cell: retire the whole
+                        // subtable's queued flags at word granularity.
+                        queued.clear_range(base, base + per_table);
+                    }
+                } else {
+                    candidates.par_iter().for_each(|&idx| {
+                        queued.clear(idx);
+                        let cell = self.read_cell(idx);
+                        if cell.is_pure(&self.hasher) {
+                            put(cell);
+                        }
+                    });
+                }
+            }
+            candidates.clear();
+            found.clear();
+            let nfound = slot_cursor.swap(0, Relaxed);
+            found.extend(
+                (0..nfound).map(|s| (slot_key[s].load(Relaxed), slot_dir[s].load(Relaxed))),
+            );
 
             if found.is_empty() {
                 idle_streak += 1;
@@ -229,34 +420,43 @@ impl AtomicIblt {
             }
             idle_streak = 0;
 
-            // Phase 2: delete recovered keys; collect the cells they touch
-            // as candidates for their tables' next scans.
-            let touched: Vec<usize> = found
-                .par_iter()
-                .fold(Vec::new, |mut acc, &(key, dir)| {
+            // Phase 2: delete recovered keys (atomics resolve collisions
+            // between distinct keys). In candidate mode, cells they touch
+            // become candidates for their subtables' next scans,
+            // deduplicated by the queued bitset; dense mode sweeps
+            // everything anyway and skips the bookkeeping.
+            if dense_mode {
+                found.par_iter().for_each(|&(key, dir)| {
+                    self.update(key, -dir);
+                });
+            } else {
+                let len = found.len();
+                let (stripes, queued) = (&*touched_stripes, &*queued);
+                found.par_iter().enumerate().for_each(|(i, &(key, dir))| {
                     let check = self.hasher.checksum(key);
+                    let mut guard = None;
                     for h in 0..r {
                         let idx = self.hasher.global_cell(h, key);
                         self.count[idx].fetch_add(-dir, Relaxed);
                         self.key_sum[idx].fetch_xor(key, Relaxed);
                         self.check_sum[idx].fetch_xor(check, Relaxed);
-                        if !queued[idx].swap(true, Relaxed) {
-                            acc.push(idx);
+                        if !queued.test_and_set(idx) {
+                            guard
+                                .get_or_insert_with(|| {
+                                    stripes.lock(Striped::<usize>::stripe_of(i, len))
+                                })
+                                .push(idx);
                         }
                     }
-                    acc
-                })
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
                 });
-            for idx in touched {
-                pending[idx / per_table].push(idx);
+                touched_stripes.drain_each(|idx| pending[idx / per_table].push(idx));
             }
 
             out.subrounds = subround;
             out.per_subround.push(found.len() as u64);
-            for (key, dir) in found {
+            out.per_subround_ns
+                .push(started.elapsed().as_nanos() as u64);
+            for &(key, dir) in found.iter() {
                 if dir > 0 {
                     out.positive.push(key);
                 } else {
@@ -287,11 +487,22 @@ impl AtomicIblt {
     /// recovery scheduler) must fence updates around the copy.
     pub fn snapshot(&self) -> Iblt {
         let mut t = Iblt::new(self.cfg);
-        let cells: Vec<Cell> = (0..self.cfg.total_cells())
-            .map(|i| self.read_cell(i))
-            .collect();
-        t.overwrite_cells(cells);
+        self.snapshot_into(&mut t);
         t
+    }
+
+    /// Copy the current cell contents into an existing serial [`Iblt`],
+    /// retargeting its config and reusing its cell buffer — the
+    /// allocation-free form of [`Self::snapshot`] for pooled snapshots
+    /// (`peel-service` re-snapshots the same shard every reconcile
+    /// epoch). Same consistency caveats as [`Self::snapshot`]: callers
+    /// needing a consistent view must fence updates around the copy.
+    pub fn snapshot_into(&self, out: &mut Iblt) {
+        let cells = out.prepare_overwrite(self.cfg);
+        for (i, c) in cells.iter_mut().enumerate() {
+            *c = self.read_cell(i);
+        }
+        out.refresh_items();
     }
 
     /// Convert to a serial [`Iblt`] (alias of [`Self::snapshot`]).
@@ -302,13 +513,60 @@ impl AtomicIblt {
     /// Build an atomic table holding exactly a serial table's contents
     /// (e.g. a subtracted difference about to be recovered in parallel).
     pub fn from_iblt(t: &Iblt) -> Self {
-        let out = AtomicIblt::new(*t.config());
-        for (i, c) in t.cells().iter().enumerate() {
-            out.count[i].store(c.count, Relaxed);
-            out.key_sum[i].store(c.key_sum, Relaxed);
-            out.check_sum[i].store(c.check_sum, Relaxed);
-        }
+        let mut out = AtomicIblt::new(*t.config());
+        out.load_iblt(t);
         out
+    }
+
+    /// Overwrite this table with a serial table's contents, retargeting
+    /// the config and reusing the cell arrays — the allocation-free form
+    /// of [`Self::from_iblt`] for pooled diff tables that are reloaded
+    /// every reconcile epoch. Exclusive access makes the writes plain
+    /// stores, not atomic RMWs.
+    pub fn load_iblt(&mut self, t: &Iblt) {
+        self.retarget(*t.config());
+        for (i, c) in t.cells().iter().enumerate() {
+            *self.count[i].get_mut() = c.count;
+            *self.key_sum[i].get_mut() = c.key_sum;
+            *self.check_sum[i].get_mut() = c.check_sum;
+        }
+    }
+
+    /// Overwrite this table with the cellwise difference `a − b` in one
+    /// pass — [`Iblt::subtract`] and [`Self::load_iblt`] fused, so the
+    /// reconcile hot path (snapshot − digest → decode) writes the diff
+    /// straight into the pooled atomic table instead of materializing it
+    /// in a serial intermediary first.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` have different configs (incompatible hash
+    /// functions).
+    pub fn load_subtract(&mut self, a: &Iblt, b: &Iblt) {
+        assert_eq!(
+            a.config(),
+            b.config(),
+            "subtracting incompatible IBLTs (configs differ)"
+        );
+        self.retarget(*a.config());
+        for (i, (ca, cb)) in a.cells().iter().zip(b.cells()).enumerate() {
+            let d = ca.subtract(cb);
+            *self.count[i].get_mut() = d.count;
+            *self.key_sum[i].get_mut() = d.key_sum;
+            *self.check_sum[i].get_mut() = d.check_sum;
+        }
+    }
+
+    /// Adopt `cfg`, resizing the cell arrays (reusing capacity where
+    /// possible) and rebuilding the hasher only on an actual change.
+    fn retarget(&mut self, cfg: IbltConfig) {
+        if self.cfg != cfg {
+            self.hasher = IbltHasher::new(&cfg);
+            self.cfg = cfg;
+        }
+        let total = cfg.total_cells();
+        self.count.resize_with(total, || AtomicI64::new(0));
+        self.key_sum.resize_with(total, || AtomicU64::new(0));
+        self.check_sum.resize_with(total, || AtomicU64::new(0));
     }
 
     /// Build from a serial table (alias of [`Self::from_iblt`]).
@@ -516,6 +774,110 @@ mod tests {
         assert!(got.complete);
         assert_eq!(got.positive.len(), 80);
         assert_eq!(got.negative.len(), 40);
+    }
+
+    #[test]
+    fn workspace_recovery_reuse_matches_dense_across_tables() {
+        // One workspace decodes tables of different sizes and configs in a
+        // row; every decode must match the dense reference, and timing
+        // trace stays aligned with the per-subround key counts.
+        let mut ws = RecoveryWorkspace::new();
+        for (r, items, seed) in [(4usize, 3_000u64, 40u64), (3, 500, 41), (4, 3_000, 42)] {
+            let cfg = IbltConfig::for_load(r, items as usize, 0.65, seed);
+            let a = AtomicIblt::new(cfg);
+            a.par_insert(&keys(items));
+            let b = AtomicIblt::new(cfg);
+            b.par_insert(&keys(items));
+            let dense = a.par_recover();
+            let got = b.par_recover_in(&mut ws);
+            assert_eq!(got.complete, dense.complete);
+            assert_eq!(got.subrounds, dense.subrounds);
+            assert_eq!(got.per_subround, dense.per_subround);
+            assert_eq!(got.per_subround_ns.len(), got.per_subround.len());
+            let mut x = got.positive.clone();
+            x.sort_unstable();
+            let mut y = dense.positive.clone();
+            y.sort_unstable();
+            assert_eq!(x, y);
+            // The workspace keeps the last recovery readable.
+            assert_eq!(ws.recovery().subrounds, dense.subrounds);
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_and_retargets() {
+        let cfg_a = IbltConfig::for_load(3, 1_000, 0.5, 50);
+        let cfg_b = IbltConfig::for_load(4, 200, 0.5, 51);
+        let a = AtomicIblt::new(cfg_a);
+        a.par_insert(&keys(1_000));
+        let b = AtomicIblt::new(cfg_b);
+        b.par_insert(&keys(200));
+        // One pooled snapshot target serves both tables, config switch
+        // included, and matches the allocating snapshot exactly.
+        let mut snap = Iblt::new(cfg_b);
+        a.snapshot_into(&mut snap);
+        assert_eq!(snap, a.snapshot());
+        assert_eq!(snap.items(), 1_000);
+        b.snapshot_into(&mut snap);
+        assert_eq!(snap, b.snapshot());
+        assert_eq!(snap.items(), 200);
+    }
+
+    #[test]
+    fn load_iblt_reuses_and_retargets() {
+        let cfg_a = IbltConfig::for_load(3, 800, 0.5, 52);
+        let cfg_b = IbltConfig::for_load(4, 100, 0.4, 53);
+        let mut serial_a = Iblt::new(cfg_a);
+        for k in keys(800) {
+            serial_a.insert(k);
+        }
+        let mut serial_b = Iblt::new(cfg_b);
+        for k in keys(100) {
+            serial_b.insert(k);
+        }
+        let mut pooled = AtomicIblt::new(cfg_b);
+        pooled.load_iblt(&serial_a);
+        assert_eq!(pooled.snapshot(), serial_a);
+        assert!(pooled.par_recover().complete);
+        // Recovery peeled the pooled table down; reload with the other
+        // config and decode again.
+        pooled.load_iblt(&serial_b);
+        assert_eq!(pooled.snapshot(), serial_b);
+        let got = pooled.par_recover();
+        assert!(got.complete);
+        assert_eq!(got.positive.len(), 100);
+    }
+
+    #[test]
+    fn load_subtract_matches_subtract_then_load() {
+        let cfg = IbltConfig::for_load(4, 300, 0.4, 54);
+        let mut a = Iblt::new(cfg);
+        let mut b = Iblt::new(cfg);
+        for k in keys(250) {
+            a.insert(k);
+            b.insert(k);
+        }
+        for k in 0..30u64 {
+            a.insert(k);
+        }
+        for k in 100..120u64 {
+            b.insert(k);
+        }
+        let mut fused = AtomicIblt::new(IbltConfig::new(2, 7, 0));
+        fused.load_subtract(&a, &b);
+        assert_eq!(fused.snapshot(), a.subtract(&b));
+        let got = fused.par_recover();
+        assert!(got.complete);
+        assert_eq!(got.positive.len(), 30);
+        assert_eq!(got.negative.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn load_subtract_requires_same_config() {
+        let a = Iblt::new(IbltConfig::new(3, 50, 1));
+        let b = Iblt::new(IbltConfig::new(3, 50, 2));
+        AtomicIblt::new(IbltConfig::new(3, 50, 1)).load_subtract(&a, &b);
     }
 
     #[test]

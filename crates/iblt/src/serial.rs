@@ -73,9 +73,29 @@ impl Iblt {
     /// from the cells: the sum of counts is `r ×` the signed item count.
     pub fn overwrite_cells(&mut self, cells: Vec<Cell>) {
         assert_eq!(cells.len(), self.cfg.total_cells());
-        let total: i64 = cells.iter().map(|c| c.count).sum();
-        self.items = total / self.cfg.hashes as i64;
         self.cells = cells;
+        self.refresh_items();
+    }
+
+    /// Retarget this table to `cfg` and hand out its cell buffer for a
+    /// wholesale overwrite, reusing the existing allocation when capacity
+    /// allows. The caller must write every cell (stale contents are *not*
+    /// zeroed) and then call [`Iblt::refresh_items`]. This is the
+    /// allocation-free half of [`crate::AtomicIblt::snapshot_into`].
+    pub(crate) fn prepare_overwrite(&mut self, cfg: IbltConfig) -> &mut [Cell] {
+        if self.cfg != cfg {
+            self.hasher = IbltHasher::new(&cfg);
+            self.cfg = cfg;
+        }
+        self.cells.resize(cfg.total_cells(), Cell::default());
+        &mut self.cells
+    }
+
+    /// Re-derive the signed item counter from the cells (the sum of counts
+    /// is `r ×` the signed item count).
+    pub(crate) fn refresh_items(&mut self) {
+        let total: i64 = self.cells.iter().map(|c| c.count).sum();
+        self.items = total / self.cfg.hashes as i64;
     }
 
     /// Insert a key.
@@ -96,6 +116,24 @@ impl Iblt {
             self.cells[idx].apply(key, check, dir);
         }
         self.items += dir;
+    }
+
+    /// In-place cellwise difference `self -= other`, valid when both share
+    /// a config — the allocation-free form of [`Iblt::subtract`] for
+    /// callers (like `peel-service`'s reconcile pool) that overwrite a
+    /// pooled snapshot with the diff it is about to decode.
+    ///
+    /// # Panics
+    /// Panics if the configs differ (incompatible hash functions).
+    pub fn subtract_assign(&mut self, other: &Iblt) {
+        assert_eq!(
+            self.cfg, other.cfg,
+            "subtracting incompatible IBLTs (configs differ)"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a = a.subtract(b);
+        }
+        self.items -= other.items;
     }
 
     /// Cellwise difference `self − other`, valid when both share a config.
@@ -291,6 +329,36 @@ mod tests {
         only_b.sort_unstable();
         assert_eq!(only_a, (1000..1005).collect::<Vec<u64>>());
         assert_eq!(only_b, (2000..2003).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn subtract_assign_matches_subtract() {
+        let c = cfg(100, 0.3);
+        let mut a = Iblt::new(c);
+        let mut b = Iblt::new(c);
+        for key in 0..80u64 {
+            a.insert(key);
+            b.insert(key);
+        }
+        a.insert(500);
+        b.insert(600);
+        let by_value = a.subtract(&b);
+        let mut in_place = a.clone();
+        in_place.subtract_assign(&b);
+        assert_eq!(in_place, by_value);
+        assert_eq!(in_place.items(), by_value.items());
+        let got = in_place.recover();
+        assert!(got.complete);
+        assert_eq!(got.positive, vec![500]);
+        assert_eq!(got.negative, vec![600]);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn subtract_assign_requires_same_config() {
+        let mut a = Iblt::new(IbltConfig::new(3, 100, 1));
+        let b = Iblt::new(IbltConfig::new(3, 100, 2));
+        a.subtract_assign(&b);
     }
 
     #[test]

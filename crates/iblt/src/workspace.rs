@@ -1,0 +1,70 @@
+//! Reusable recovery state: decode many tables, allocate once.
+//!
+//! A subround recovery ([`crate::AtomicIblt::par_recover_in`]) needs a
+//! queued-cell bitset, per-subtable candidate lists, a scratch list of the
+//! keys found in the current subround, striped collection buffers, and the
+//! output [`ParRecovery`] vectors. A [`RecoveryWorkspace`] owns all of
+//! them; reusing one across recoveries (as `peel-service`'s reconcile
+//! pool does every epoch) makes repeated decoding allocation-free in
+//! steady state.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize};
+
+use peel_graph::bits::{AtomicBitset, Striped};
+
+use crate::parallel::ParRecovery;
+
+/// Reusable buffers for [`crate::AtomicIblt::par_recover_in`].
+#[derive(Debug, Default)]
+pub struct RecoveryWorkspace {
+    /// One bit per cell: queued for its subtable's next candidate scan?
+    pub(crate) queued: AtomicBitset,
+    /// Candidate cell indices per subtable.
+    pub(crate) pending: Vec<Vec<usize>>,
+    /// Keys (with signs) recovered in the current subround.
+    pub(crate) found: Vec<(u64, i64)>,
+    /// Lock-free collection slots for the purity scan: a find claims the
+    /// next slot with one `fetch_add` on the cursor (a subround scans one
+    /// subtable, so `cells_per_table` slots always suffice).
+    pub(crate) slot_key: Vec<AtomicU64>,
+    pub(crate) slot_dir: Vec<AtomicI64>,
+    pub(crate) slot_cursor: AtomicUsize,
+    /// Striped buffers the deletion phase collects touched cells into.
+    pub(crate) touched_stripes: Striped<usize>,
+    /// The recovery being (or last) built; vectors are reused run-to-run.
+    pub(crate) out: ParRecovery,
+}
+
+impl RecoveryWorkspace {
+    /// Fresh, empty workspace (sized lazily by the first recovery).
+    pub fn new() -> Self {
+        RecoveryWorkspace::default()
+    }
+
+    /// The last recovery decoded in this workspace.
+    pub fn recovery(&self) -> &ParRecovery {
+        &self.out
+    }
+
+    /// Reinitialize for a table of `r` subtables × `per_table` cells with
+    /// empty candidate lists (the recovery seeds them with the table's
+    /// nonempty cells — an empty cell can never test pure, and any cell a
+    /// deletion later touches is queued then, so skipping empties changes
+    /// nothing about which subround finds which key). Allocation-free
+    /// once the workspace has decoded a table at least this large.
+    pub(crate) fn reset(&mut self, r: usize, per_table: usize) {
+        self.queued.reset(r * per_table, false);
+        self.pending.resize_with(r, Vec::new);
+        for p in self.pending.iter_mut() {
+            p.clear();
+        }
+        self.found.clear();
+        self.slot_key.resize_with(per_table, || AtomicU64::new(0));
+        self.slot_dir.resize_with(per_table, || AtomicI64::new(0));
+        *self.slot_cursor.get_mut() = 0;
+        // A panic mid-recovery could strand stripe residue; drain
+        // defensively (no-op in the common case).
+        self.touched_stripes.drain_each(|_| {});
+        self.out.clear();
+    }
+}

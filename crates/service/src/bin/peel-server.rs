@@ -136,7 +136,7 @@ fn main() {
     let m = server.service().metrics();
     println!(
         "peel-server: shut down after {} ops in {} batches (occupancy {:.1}), \
-         {} stalls, {} recoveries ({} incomplete, {} subrounds total)",
+         {} stalls, {} recoveries ({} incomplete, {} subrounds, {:.3} ms decoding total)",
         m.ops_applied,
         m.batches_applied,
         m.mean_batch_occupancy(),
@@ -144,6 +144,7 @@ fn main() {
         m.recoveries,
         m.recoveries_incomplete,
         m.recovery_subrounds,
+        m.recovery_ns as f64 / 1e6,
     );
     let r = &m.replication;
     println!(

@@ -25,6 +25,9 @@ pub struct Metrics {
     pub recoveries_incomplete: AtomicU64,
     /// Total parallel subrounds across all recoveries.
     pub recovery_subrounds: AtomicU64,
+    /// Total wall time spent inside recovery subrounds, in nanoseconds —
+    /// with `recoveries`, the mean decode latency a reconcile pays.
+    pub recovery_ns: AtomicU64,
     /// Replicated batches applied by this service when acting as a
     /// follower (deduplicated by sequence number).
     pub repl_applied: AtomicU64,
@@ -37,20 +40,37 @@ pub struct Metrics {
     pub anti_entropy_rounds: AtomicU64,
     /// Keys healed (inserted or deleted) by anti-entropy repair.
     pub anti_entropy_keys: AtomicU64,
-    /// Per-subround key counts of the most recent recovery (the paper's
-    /// Table 5/6 trace, observable in production).
-    last_trace: Mutex<Vec<u64>>,
+    /// Per-subround trace of the most recent recovery: key counts (the
+    /// paper's Table 5/6 trace) and wall times in ns, as parallel
+    /// vectors under one lock so a concurrent snapshot can never observe
+    /// counts from one recovery paired with times from another.
+    last_trace: Mutex<(Vec<u64>, Vec<u64>)>,
 }
 
 impl Metrics {
-    /// Record one finished recovery.
-    pub fn record_recovery(&self, complete: bool, subrounds: u32, per_subround: &[u64]) {
+    /// Record one finished recovery with its per-subround key counts and
+    /// wall times (parallel slices of the same productive subrounds).
+    pub fn record_recovery(
+        &self,
+        complete: bool,
+        subrounds: u32,
+        per_subround: &[u64],
+        per_subround_ns: &[u64],
+    ) {
         self.recoveries.fetch_add(1, Relaxed);
         if !complete {
             self.recoveries_incomplete.fetch_add(1, Relaxed);
         }
         self.recovery_subrounds.fetch_add(subrounds as u64, Relaxed);
-        *self.last_trace.lock() = per_subround.to_vec();
+        self.recovery_ns
+            .fetch_add(per_subround_ns.iter().sum::<u64>(), Relaxed);
+        // Overwrite in place: the trace buffers keep their capacity, so
+        // steady-state recording never allocates.
+        let mut t = self.last_trace.lock();
+        t.0.clear();
+        t.0.extend_from_slice(per_subround);
+        t.1.clear();
+        t.1.extend_from_slice(per_subround_ns);
     }
 
     /// Plain-data copy of the global counters. Per-shard stats and the
@@ -58,6 +78,7 @@ impl Metrics {
     /// which owns the shards and the replication hub; the follower-side
     /// replication counters live here and are merged in.
     pub fn snapshot(&self, shards: Vec<ShardStats>, hub: ReplicationStats) -> MetricsSnapshot {
+        let (trace, trace_ns) = self.last_trace.lock().clone();
         let replication = ReplicationStats {
             batches_applied: self.repl_applied.load(Relaxed),
             batches_skipped: self.repl_skipped.load(Relaxed),
@@ -73,7 +94,9 @@ impl Metrics {
             recoveries: self.recoveries.load(Relaxed),
             recoveries_incomplete: self.recoveries_incomplete.load(Relaxed),
             recovery_subrounds: self.recovery_subrounds.load(Relaxed),
-            last_recovery_trace: self.last_trace.lock().clone(),
+            recovery_ns: self.recovery_ns.load(Relaxed),
+            last_recovery_trace: trace,
+            last_recovery_trace_ns: trace_ns,
             shards,
             replication,
         }
@@ -140,8 +163,13 @@ pub struct MetricsSnapshot {
     pub recoveries_incomplete: u64,
     /// Total subrounds across all recoveries.
     pub recovery_subrounds: u64,
+    /// Total wall time spent in recovery subrounds, nanoseconds.
+    pub recovery_ns: u64,
     /// Per-subround key counts of the most recent recovery.
     pub last_recovery_trace: Vec<u64>,
+    /// Per-subround wall times (ns) of the most recent recovery, aligned
+    /// with `last_recovery_trace`.
+    pub last_recovery_trace_ns: Vec<u64>,
     /// One entry per shard.
     pub shards: Vec<ShardStats>,
     /// Replication state (primary and follower halves).
@@ -167,8 +195,8 @@ mod tests {
         let m = Metrics::default();
         m.batches_applied.store(3, Relaxed);
         m.ops_applied.store(12, Relaxed);
-        m.record_recovery(true, 9, &[4, 2, 1]);
-        m.record_recovery(false, 5, &[1]);
+        m.record_recovery(true, 9, &[4, 2, 1], &[900, 300, 100]);
+        m.record_recovery(false, 5, &[1], &[250]);
         m.repl_applied.store(6, Relaxed);
         m.anti_entropy_keys.store(17, Relaxed);
         let hub = ReplicationStats {
@@ -184,7 +212,9 @@ mod tests {
         assert_eq!(s.recoveries, 2);
         assert_eq!(s.recoveries_incomplete, 1);
         assert_eq!(s.recovery_subrounds, 14);
+        assert_eq!(s.recovery_ns, 900 + 300 + 100 + 250);
         assert_eq!(s.last_recovery_trace, vec![1]);
+        assert_eq!(s.last_recovery_trace_ns, vec![250]);
         assert_eq!(s.shards.len(), 2);
         assert!((s.mean_batch_occupancy() - 4.0).abs() < 1e-12);
         // The replication block merges hub gauges with local counters.

@@ -14,13 +14,20 @@
 //! ## Recovery
 //!
 //! A reconciliation takes the shard gate exclusively just long enough to
-//! copy the cells ([`AtomicIblt::snapshot`]) and read the epoch — a
+//! copy the cells ([`AtomicIblt::snapshot_into`]) and read the epoch — a
 //! memcpy, not a decode — then releases it and runs subtraction plus
-//! subround parallel recovery ([`AtomicIblt::par_recover`]) entirely on
-//! the snapshot. Ingest to other shards is never touched; ingest to the
-//! snapshotted shard resumes as soon as the copy is done. The returned
-//! epoch tells the caller exactly which prefix of applied batches the
-//! diff covers.
+//! subround parallel recovery ([`AtomicIblt::par_recover_in`]) entirely
+//! on the snapshot. Ingest to other shards is never touched; ingest to
+//! the snapshotted shard resumes as soon as the copy is done. The
+//! returned epoch tells the caller exactly which prefix of applied
+//! batches the diff covers.
+//!
+//! Every buffer the cycle needs — the snapshot table, the atomic diff
+//! table, and the recovery workspace — comes from a shared scratch pool:
+//! after the first reconcile of each concurrency lane, repeated epochs
+//! run the whole snapshot → subtract → recover path without touching the
+//! allocator (shard tables share a geometry, so one pooled context
+//! serves every shard).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -28,7 +35,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Mutex, RwLock};
-use peel_iblt::{AtomicIblt, Iblt, IbltConfig};
+use peel_iblt::{AtomicIblt, Iblt, IbltConfig, RecoveryWorkspace};
 
 use crate::metrics::{Metrics, MetricsSnapshot, ShardStats};
 use crate::queue::{Batch, BoundedQueue, Op};
@@ -174,6 +181,17 @@ struct Shard {
     deletes: AtomicU64,
 }
 
+/// Pooled per-reconcile buffers: the frozen shard snapshot (which the
+/// subtraction then overwrites with the diff), the atomic table the diff
+/// is decoded in, and the recovery workspace. Shards share a table
+/// geometry (only the hash seed differs), so any context serves any
+/// shard; the in-place loaders retarget configs on the fly.
+struct ReconcileScratch {
+    snap: Iblt,
+    diff: AtomicIblt,
+    ws: RecoveryWorkspace,
+}
+
 struct Inner {
     cfg: ServiceConfig,
     router: ShardRouter,
@@ -184,7 +202,28 @@ struct Inner {
     /// The replication tee: every sealed batch is published here before
     /// it enters the local queue.
     hub: ReplicationHub,
+    /// Scratch pool for [`PeelService::reconcile_shard`]; grows to the
+    /// peak number of concurrent reconciles and is reused forever after.
+    scratch: Mutex<Vec<ReconcileScratch>>,
     metrics: Metrics,
+}
+
+impl Inner {
+    fn take_scratch(&self) -> ReconcileScratch {
+        if let Some(ctx) = self.scratch.lock().pop() {
+            return ctx;
+        }
+        let cfg = shard_iblt_config(self.cfg.shard_iblt, 0);
+        ReconcileScratch {
+            snap: Iblt::new(cfg),
+            diff: AtomicIblt::new(cfg),
+            ws: RecoveryWorkspace::new(),
+        }
+    }
+
+    fn put_scratch(&self, ctx: ReconcileScratch) {
+        self.scratch.lock().push(ctx);
+    }
 }
 
 impl Inner {
@@ -237,6 +276,7 @@ impl PeelService {
             queue: BoundedQueue::new(cfg.queue_depth),
             pending: Mutex::new(Vec::with_capacity(cfg.batch_size)),
             hub: ReplicationHub::new(cfg.repl_queue_depth.max(1)),
+            scratch: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
             cfg,
         });
@@ -365,6 +405,18 @@ impl PeelService {
         Ok((epoch, s.table.snapshot()))
     }
 
+    /// Consistent snapshot of one shard into an existing table (reusing
+    /// its buffer and retargeting its config) — the allocation-free form
+    /// of [`PeelService::snapshot_shard`]. Returns the shard epoch at
+    /// snapshot time.
+    pub fn snapshot_shard_into(&self, shard: u32, out: &mut Iblt) -> Result<u64, ServiceError> {
+        let s = self.shard(shard)?;
+        let _gate = s.gate.write();
+        let epoch = s.epoch.load(Relaxed);
+        s.table.snapshot_into(out);
+        Ok(epoch)
+    }
+
     fn shard(&self, shard: u32) -> Result<&Shard, ServiceError> {
         self.inner.shards.get(shard as usize).ok_or({
             ServiceError::NoSuchShard {
@@ -379,32 +431,54 @@ impl PeelService {
     /// Keys only in this service's shard come back in
     /// [`ShardDiff::only_local`]; keys only in the digest in
     /// [`ShardDiff::only_remote`] (both sorted).
+    ///
+    /// Every table and workspace involved is drawn from the service's
+    /// scratch pool, so repeated epochs reconcile without allocating
+    /// (beyond the returned diff key vectors, which are diff-sized, not
+    /// table-sized).
     pub fn reconcile_shard(&self, shard: u32, digest: &Iblt) -> Result<ShardDiff, ServiceError> {
-        let (epoch, snap) = self.snapshot_shard(shard)?;
-        if snap.config() != digest.config() {
+        let mut ctx = self.inner.take_scratch();
+        let epoch = match self.snapshot_shard_into(shard, &mut ctx.snap) {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                self.inner.put_scratch(ctx);
+                return Err(e);
+            }
+        };
+        if ctx.snap.config() != digest.config() {
+            let expected = *ctx.snap.config();
+            self.inner.put_scratch(ctx);
             return Err(ServiceError::ConfigMismatch {
-                expected: *snap.config(),
+                expected,
                 got: *digest.config(),
             });
         }
         // Everything below runs on the frozen copy — ingest is live again.
-        let diff = snap.subtract(digest);
-        let rec = AtomicIblt::from_iblt(&diff).par_recover();
-        self.inner
-            .metrics
-            .record_recovery(rec.complete, rec.subrounds, &rec.per_subround);
-        let mut only_local = rec.positive;
-        let mut only_remote = rec.negative;
+        // One fused sweep writes snapshot − digest into the pooled atomic
+        // diff table, seeds the recovery workspace, and decodes.
+        let rec = ctx
+            .diff
+            .recover_subtracted_in(&ctx.snap, digest, &mut ctx.ws);
+        self.inner.metrics.record_recovery(
+            rec.complete,
+            rec.subrounds,
+            &rec.per_subround,
+            &rec.per_subround_ns,
+        );
+        let mut only_local = rec.positive.clone();
+        let mut only_remote = rec.negative.clone();
         only_local.sort_unstable();
         only_remote.sort_unstable();
-        Ok(ShardDiff {
+        let diff = ShardDiff {
             shard,
             epoch,
             complete: rec.complete,
             subrounds: rec.subrounds,
             only_local,
             only_remote,
-        })
+        };
+        self.inner.put_scratch(ctx);
+        Ok(diff)
     }
 
     /// Point-in-time service metrics.
@@ -569,6 +643,43 @@ mod tests {
         assert_eq!(m.recoveries, 4);
         assert_eq!(m.recoveries_incomplete, 0);
         assert!(m.recovery_subrounds > 0);
+        // Per-subround timing (ISSUE 4 satellite): the wall-time trace is
+        // aligned with the key-count trace and sums into the total.
+        assert!(m.recovery_ns > 0);
+        assert_eq!(m.last_recovery_trace_ns.len(), m.last_recovery_trace.len());
+        assert!(m.recovery_ns >= m.last_recovery_trace_ns.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn repeated_reconciles_reuse_the_scratch_pool() {
+        // Sequential re-reconciles of an unchanged workload must keep
+        // decoding the same diff (pool retargets configs across shards)
+        // and leave exactly one pooled context behind.
+        let svc = PeelService::start(small_cfg());
+        let local = keys(3_000, 0x5c);
+        svc.insert(&local);
+        svc.flush();
+        let hello = svc.hello();
+        let mut remote = local.clone();
+        remote.truncate(2_980); // 20 keys only-local
+        let digests =
+            build_shard_digests(&remote, hello.shards, hello.router_seed, hello.base_config);
+        for round in 0..6 {
+            let mut found = 0;
+            for (i, d) in digests.iter().enumerate() {
+                let diff = svc.reconcile_shard(i as u32, d).unwrap();
+                assert!(diff.complete, "round {round} shard {i}");
+                assert!(diff.only_remote.is_empty());
+                found += diff.only_local.len();
+            }
+            assert_eq!(found, 20, "round {round}");
+        }
+        assert_eq!(
+            svc.inner.scratch.lock().len(),
+            1,
+            "sequential reconciles share one context"
+        );
+        assert_eq!(svc.metrics().recoveries, 24);
     }
 
     #[test]

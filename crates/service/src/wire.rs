@@ -27,8 +27,9 @@ pub const MAX_FRAME: usize = 16 << 20;
 
 /// Protocol revision carried in `Hello` responses. Revision 2 added the
 /// replication frames (`Subscribe`, `Replicate`, `ReplicateAck`) and the
-/// replication block of `Stats`.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// replication block of `Stats`; revision 3 added the recovery timing
+/// fields of `Stats` (`recovery_ns`, `last_recovery_trace_ns`).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Everything that can go wrong encoding, decoding, or transporting a
 /// message.
@@ -504,7 +505,9 @@ fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
     put_u64(out, s.recoveries);
     put_u64(out, s.recoveries_incomplete);
     put_u64(out, s.recovery_subrounds);
+    put_u64(out, s.recovery_ns);
     put_u64_vec(out, &s.last_recovery_trace);
+    put_u64_vec(out, &s.last_recovery_trace_ns);
     put_u32(out, s.shards.len() as u32);
     for sh in &s.shards {
         put_u64(out, sh.epoch);
@@ -536,7 +539,9 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
     let recoveries = r.u64()?;
     let recoveries_incomplete = r.u64()?;
     let recovery_subrounds = r.u64()?;
+    let recovery_ns = r.u64()?;
     let last_recovery_trace = r.u64_vec()?;
+    let last_recovery_trace_ns = r.u64_vec()?;
     let n = r.len(24)?;
     let shards = (0..n)
         .map(|_| {
@@ -567,7 +572,9 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         recoveries,
         recoveries_incomplete,
         recovery_subrounds,
+        recovery_ns,
         last_recovery_trace,
+        last_recovery_trace_ns,
         shards,
         replication,
     })

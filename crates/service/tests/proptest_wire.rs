@@ -114,29 +114,34 @@ fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
 fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>()),
-        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16),
         arb_replication(),
     )
-        .prop_map(|(a, b, trace, shards, replication)| MetricsSnapshot {
-            batches_applied: a.0,
-            ops_applied: a.1,
-            queue_stalls: a.2,
-            recoveries: b.0,
-            recoveries_incomplete: b.1,
-            recovery_subrounds: b.2,
-            last_recovery_trace: trace,
-            shards: shards
-                .into_iter()
-                .map(|(epoch, inserts, deletes)| ShardStats {
-                    epoch,
-                    inserts,
-                    deletes,
-                })
-                .collect(),
-            replication,
-        })
+        .prop_map(
+            |(a, b, trace, trace_ns, shards, replication)| MetricsSnapshot {
+                batches_applied: a.0,
+                ops_applied: a.1,
+                queue_stalls: a.2,
+                recoveries: b.0,
+                recoveries_incomplete: b.1,
+                recovery_subrounds: b.2,
+                recovery_ns: b.3,
+                last_recovery_trace: trace,
+                last_recovery_trace_ns: trace_ns,
+                shards: shards
+                    .into_iter()
+                    .map(|(epoch, inserts, deletes)| ShardStats {
+                        epoch,
+                        inserts,
+                        deletes,
+                    })
+                    .collect(),
+                replication,
+            },
+        )
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {

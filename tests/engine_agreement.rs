@@ -1,12 +1,14 @@
-//! Round-synchronous engine agreement (ISSUE 1 satellite).
+//! Round-synchronous engine agreement (ISSUE 1 satellite; extended with
+//! the direction-optimizing engine in ISSUE 4).
 //!
 //! The paper's analysis is about one process — synchronous round peeling —
-//! and this workspace ships three engines claiming to implement it:
-//! `peel_rounds_serial`, the dense parallel scan, and the work-efficient
-//! frontier engine. On any fixed graph all three must therefore produce
-//! *identical* per-round peel counts (vertices and edges per round) and the
-//! same final k-core, both below the threshold `c*_{2,4} ≈ 0.772` (empty
-//! 2-core, ~log log n rounds) and above it (large 2-core survives).
+//! and this workspace ships four engines claiming to implement it:
+//! `peel_rounds_serial`, the dense parallel scan, the work-efficient
+//! frontier engine, and the adaptive (direction-optimizing) engine. On any
+//! fixed graph all four must therefore produce *identical* per-round peel
+//! counts (vertices and edges per round) and the same final k-core, both
+//! below the threshold `c*_{2,4} ≈ 0.772` (empty 2-core, ~log log n
+//! rounds) and above it (large 2-core survives).
 
 use parallel_peeling::analysis::c_star;
 use parallel_peeling::core::{peel_parallel, peel_rounds_serial, ParallelOpts, Strategy};
@@ -43,35 +45,29 @@ fn summary(out: &parallel_peeling::core::PeelOutcome) -> (RoundSeries, RoundSeri
 
 fn assert_engines_agree(g: &Hypergraph, expect_empty_core: bool) {
     let serial = peel_rounds_serial(g, K);
-    let dense = peel_parallel(
-        g,
-        K,
-        &ParallelOpts {
-            strategy: Strategy::Dense,
-            ..Default::default()
-        },
-    );
-    let frontier = peel_parallel(
-        g,
-        K,
-        &ParallelOpts {
-            strategy: Strategy::Frontier,
-            ..Default::default()
-        },
-    );
-
     let s = summary(&serial);
-    let d = summary(&dense);
-    let f = summary(&frontier);
 
-    assert_eq!(s.0, d.0, "serial vs dense per-round vertex peels differ");
-    assert_eq!(s.0, f.0, "serial vs frontier per-round vertex peels differ");
-    assert_eq!(s.1, d.1, "serial vs dense per-round edge peels differ");
-    assert_eq!(s.1, f.1, "serial vs frontier per-round edge peels differ");
-    assert_eq!(s.2, d.2, "serial vs dense final core differs");
-    assert_eq!(s.2, f.2, "serial vs frontier final core differs");
-    assert_eq!(serial.rounds, dense.rounds);
-    assert_eq!(serial.rounds, frontier.rounds);
+    for strategy in [Strategy::Dense, Strategy::Frontier, Strategy::Adaptive] {
+        let out = peel_parallel(
+            g,
+            K,
+            &ParallelOpts {
+                strategy,
+                ..Default::default()
+            },
+        );
+        let p = summary(&out);
+        assert_eq!(
+            s.0, p.0,
+            "serial vs {strategy:?} per-round vertex peels differ"
+        );
+        assert_eq!(
+            s.1, p.1,
+            "serial vs {strategy:?} per-round edge peels differ"
+        );
+        assert_eq!(s.2, p.2, "serial vs {strategy:?} final core differs");
+        assert_eq!(serial.rounds, out.rounds, "{strategy:?}");
+    }
 
     assert_eq!(
         serial.success(),

@@ -36,15 +36,27 @@ thread_local! {
     static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Machine parallelism, resolved once. `available_parallelism` is a
+/// syscall on most platforms; real rayon consults its global registry
+/// instead, so querying it per terminal operation would make every small
+/// `par_iter` pay microseconds of overhead that rayon does not.
+fn machine_threads() -> usize {
+    use std::sync::OnceLock;
+    static MACHINE_THREADS: OnceLock<usize> = OnceLock::new();
+    *MACHINE_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
 /// Number of worker threads terminal operations will use on this thread.
 pub fn current_num_threads() -> usize {
     let installed = POOL_THREADS.with(Cell::get);
     if installed > 0 {
         installed
     } else {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        machine_threads()
     }
 }
 
