@@ -197,6 +197,92 @@ fn run_replication(n: usize, shards: u32) -> ReplMeasurement {
     }
 }
 
+struct ReshardMeasure {
+    reshard_ms: f64,
+    keys_moved: u64,
+    steady_ops_per_sec: f64,
+    during_ops_per_sec: f64,
+    dip_pct: f64,
+}
+
+/// Reshard under racing ingest: seed `n` keys, keep a background
+/// ingester streaming at full speed (each chunk is inserted and then
+/// deleted, so the op throughput is real — dual-applied, routed, and
+/// subject to queue backpressure — while the net resident set stays
+/// within the decode budget the reshard needs), then run the whole
+/// begin → commit reshard and attribute every timestamped chunk to the
+/// steady window (before begin) or the migration window. The ratio of
+/// the two rates is the ingest-throughput dip that dual-apply and the
+/// stop-the-world cell copies cost; the begin → commit wall time is the
+/// reshard latency.
+fn run_reshard(n: usize, from: u32, to: u32) -> ReshardMeasure {
+    // The reshard decodes whole shards, so the table budget must cover
+    // the resident set (base keys + in-flight churn).
+    let svc = Arc::new(PeelService::start(cfg(from, n * 3)));
+    svc.insert(&keys(n, 7));
+    svc.flush();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let samples = Arc::new(std::sync::Mutex::new(Vec::<(Instant, usize)>::new()));
+    let ingester = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        let samples = Arc::clone(&samples);
+        std::thread::spawn(move || {
+            const CHUNK: u64 = 256;
+            let mut next = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let chunk: Vec<u64> = (0..CHUNK).map(|i| 0xfeed_0000_0000 + next + i).collect();
+                next += CHUNK;
+                svc.insert(&chunk);
+                svc.delete(&chunk);
+                samples
+                    .lock()
+                    .unwrap()
+                    .push((Instant::now(), 2 * CHUNK as usize));
+            }
+        })
+    };
+
+    // A steady window before the migration, then the reshard itself.
+    std::thread::sleep(Duration::from_millis(60));
+    let t_begin = Instant::now();
+    svc.reshard_begin(to).expect("reshard begin");
+    let status = svc.reshard_commit().expect("reshard commit");
+    let t_end = Instant::now();
+    std::thread::sleep(Duration::from_millis(20));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    ingester.join().unwrap();
+    svc.flush();
+    assert_eq!(
+        status.serving_shards, to,
+        "reshard did not land at {to} shards"
+    );
+
+    let samples = samples.lock().unwrap();
+    let rate = |lo: Instant, hi: Instant| {
+        let ops: usize = samples
+            .iter()
+            .filter(|(t, _)| *t >= lo && *t < hi)
+            .map(|(_, c)| c)
+            .sum();
+        ops as f64 / (hi - lo).as_secs_f64()
+    };
+    let steady = rate(t_begin - Duration::from_millis(50), t_begin);
+    let during = rate(t_begin, t_end);
+    ReshardMeasure {
+        reshard_ms: (t_end - t_begin).as_secs_f64() * 1e3,
+        keys_moved: status.keys_moved,
+        steady_ops_per_sec: steady,
+        during_ops_per_sec: during,
+        dip_pct: if steady > 0.0 {
+            (1.0 - during / steady) * 100.0
+        } else {
+            0.0
+        },
+    }
+}
+
 struct PeelEngineMeasure {
     engine: &'static str,
     ms: f64,
@@ -458,6 +544,28 @@ fn main() {
                     m.subrounds_max,
                 );
             }
+        }
+        // Reshard under ingest: a split 1 → 4 and a merge 4 → 2, each
+        // with full-speed racing churn. Key count capped so the whole
+        // resident set fits the reshard's decode budget under the wire
+        // frame cap (reshard decodes entire shards, not diffs).
+        let rn = n.min(50_000);
+        for (from, to) in [(1u32, 4u32), (4, 2)] {
+            let m = run_reshard(rn, from, to);
+            body.push_str(",\n");
+            let _ = write!(
+                body,
+                "    {{\"path\": \"reshard\", \"n_keys\": {rn}, \"from_shards\": {from}, \
+                 \"to_shards\": {to}, \"reshard_ms\": {:.3}, \"keys_moved\": {}, \
+                 \"steady_ops_per_sec\": {:.0}, \"during_ops_per_sec\": {:.0}, \
+                 \"dip_pct\": {:.1}}}",
+                m.reshard_ms, m.keys_moved, m.steady_ops_per_sec, m.during_ops_per_sec, m.dip_pct,
+            );
+            println!(
+                "reshard {from}->{to} n={rn}: {:>7.1} ms ({} keys moved), ingest \
+                 {:>9.0} ops/s steady -> {:>9.0} ops/s during migration ({:.1}% dip)",
+                m.reshard_ms, m.keys_moved, m.steady_ops_per_sec, m.during_ops_per_sec, m.dip_pct,
+            );
         }
         // Replication lag: ingest-to-convergence catch-up of one TCP
         // follower at 1 and 4 shards.

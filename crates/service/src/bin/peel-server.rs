@@ -163,4 +163,10 @@ fn main() {
         r.anti_entropy_rounds,
         r.anti_entropy_keys,
     );
+    let rs = &m.reshard;
+    println!(
+        "peel-server: resharding: generation {} at {} shards, {} reshards committed \
+         ({} keys moved by the last one), {} aborted",
+        rs.generation, rs.serving_shards, rs.completed, rs.keys_moved, rs.aborted,
+    );
 }

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use peel_iblt::Iblt;
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, ReshardStats};
 use crate::router::build_shard_digests;
 use crate::transport::FramedTcp;
 use crate::wire::{
@@ -95,6 +95,13 @@ impl Client {
         if let Some(h) = self.hello {
             return Ok(h);
         }
+        self.refresh_hello()
+    }
+
+    /// Re-fetch the server's sharding parameters, bypassing the cache —
+    /// the shard count is live (a reshard changes it), so long-lived
+    /// clients like the follower's anti-entropy loop poll this.
+    pub fn refresh_hello(&mut self) -> Result<HelloInfo, WireError> {
         match self.call(&Request::Hello)? {
             Response::Hello(h) => {
                 self.hello = Some(h);
@@ -174,6 +181,72 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             _ => Err(WireError::UnexpectedResponse("expected Stats")),
+        }
+    }
+
+    /// Begin a live reshard to `to_shards` shards (protocol v4; servers
+    /// older than that answer with a tag error, surfaced as
+    /// [`WireError::Remote`]). When this returns, the server has
+    /// re-keyed its contents into the new generation and is
+    /// dual-applying; commit or abort to finish.
+    pub fn reshard_begin(&mut self, to_shards: u32) -> Result<ReshardStats, WireError> {
+        self.reshard_call(&Request::ReshardBegin { to_shards })
+    }
+
+    /// Verify one new-generation shard and fetch its digest. The server
+    /// picks the smaller encoding per table — sparse skip-empty-cells
+    /// for lightly loaded (freshly split) shards, dense otherwise — so
+    /// both digest response kinds are accepted here.
+    pub fn reshard_digest(&mut self, shard: u32) -> Result<(u64, Iblt), WireError> {
+        match self.call(&Request::ReshardDigest { shard })? {
+            Response::DigestSparse { epoch, iblt } | Response::Digest { epoch, iblt } => {
+                Ok((epoch, iblt))
+            }
+            _ => Err(WireError::UnexpectedResponse("expected a digest")),
+        }
+    }
+
+    /// Cut the server over to the new generation. Invalidates the cached
+    /// `Hello` (the shard count just changed).
+    pub fn reshard_commit(&mut self) -> Result<ReshardStats, WireError> {
+        self.reshard_call(&Request::ReshardCommit)
+    }
+
+    /// Abort the in-flight migration; the server keeps serving the old
+    /// generation with nothing lost.
+    pub fn reshard_abort(&mut self) -> Result<ReshardStats, WireError> {
+        self.reshard_call(&Request::ReshardAbort)
+    }
+
+    /// The whole reshard, synchronously: version check, begin, commit —
+    /// aborting the migration if the commit fails so the server is never
+    /// left stuck mid-reshard by this driver.
+    pub fn reshard(&mut self, to_shards: u32) -> Result<ReshardStats, WireError> {
+        let hello = self.refresh_hello()?;
+        if hello.version < 4 {
+            return Err(WireError::Remote(format!(
+                "server speaks protocol v{}; live resharding needs v4",
+                hello.version
+            )));
+        }
+        self.reshard_begin(to_shards)?;
+        match self.reshard_commit() {
+            Ok(status) => Ok(status),
+            Err(e) => {
+                let _ = self.reshard_abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn reshard_call(&mut self, req: &Request) -> Result<ReshardStats, WireError> {
+        let resp = self.call(req)?;
+        // Any reshard control frame can change (or reveal a changed)
+        // shard count; drop the cached handshake either way.
+        self.hello = None;
+        match resp {
+            Response::Reshard(status) => Ok(status),
+            _ => Err(WireError::UnexpectedResponse("expected Reshard")),
         }
     }
 

@@ -19,9 +19,14 @@
 //!   round decodes incompletely (peeled keys are always genuine), so
 //!   successive rounds shrink any divergence to zero.
 //!
-//! The driver refuses a primary whose `Hello` parameters (shard count,
-//! router seed, base IBLT config) don't match the local service — shard
-//! digests would not be subtraction-compatible.
+//! The driver refuses a primary whose fixed `Hello` parameters (router
+//! seed, base IBLT config) don't match the local service — shard digests
+//! would not be subtraction-compatible. The shard *count* is live: when
+//! the primary reshards, the anti-entropy loop notices the changed
+//! handshake and reshards the local service to the same generation
+//! before reconciling (the batch stream needs no adjustment — replicated
+//! ops carry keys and are re-routed by whichever generation the
+//! follower serves).
 
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -155,13 +160,35 @@ impl Drop for Follower {
     }
 }
 
-/// True iff the primary's advertised sharding parameters are
-/// digest-compatible with the local service's.
+/// True iff the primary's advertised keyspace parameters are compatible
+/// with the local service's. The *shard count* is deliberately not
+/// compared: it is a live property (the primary can reshard at any
+/// time), the replicated batch stream is shard-agnostic (ops carry keys
+/// and are re-routed by whichever generation the follower serves), and
+/// the anti-entropy loop adopts a changed count by resharding the local
+/// service before reconciling. The routing seed and base IBLT geometry,
+/// by contrast, are fixed at bind time on both ends — a mismatch there
+/// never heals.
 fn hello_compatible(svc: &PeelService, primary: &crate::wire::HelloInfo) -> bool {
     let local = svc.hello();
-    local.shards == primary.shards
-        && local.router_seed == primary.router_seed
-        && local.base_config == primary.base_config
+    local.router_seed == primary.router_seed && local.base_config == primary.base_config
+}
+
+/// Adopt the primary's shard count if it differs from the local one:
+/// reshard the local service through the same begin/verify/commit
+/// machinery the primary ran. Returns false if adoption was needed and
+/// failed (the caller should retry next round).
+fn adopt_generation(svc: &PeelService, primary_shards: u32) -> bool {
+    if svc.shards() == primary_shards {
+        return true;
+    }
+    match svc.reshard(primary_shards) {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!("follower: cannot adopt primary's {primary_shards}-shard generation: {e}");
+            false
+        }
+    }
 }
 
 fn stream_loop(
@@ -221,6 +248,12 @@ fn repair_loop(
 ) {
     let mut conn: Option<Client> = None;
     let mut deferrals = 0u32;
+    // Exponential backoff for failed generation adoptions: each failed
+    // local reshard is a full snapshot + decode pass, so on repeated
+    // failure (e.g. local contents past the decode budget) retry every
+    // 2, 4, … 32 rounds instead of burning a pass per tick.
+    let mut adopt_failures = 0u32;
+    let mut adopt_skip = 0u32;
     loop {
         if signal.sleep(cfg.anti_entropy_interval) {
             return;
@@ -247,6 +280,36 @@ fn repair_loop(
         let Some(mut client) = conn.take() else {
             continue;
         };
+        // The primary's shard count is live: re-fetch the handshake each
+        // round and reshard the local service to match before digesting
+        // (per-generation anti-entropy — digests built at the wrong
+        // count would not be subtraction-compatible).
+        match client.refresh_hello() {
+            Ok(h) if svc.shards() != h.shards => {
+                // Anti-entropy at a mismatched count would not be
+                // subtraction-compatible (and healing across routings
+                // could delete keys that merely moved), so repairs wait
+                // until adoption succeeds.
+                conn = Some(client);
+                if adopt_skip > 0 {
+                    adopt_skip -= 1;
+                } else if adopt_generation(svc, h.shards) {
+                    adopt_failures = 0;
+                } else {
+                    adopt_failures += 1;
+                    adopt_skip = 1u32 << adopt_failures.min(5);
+                }
+                continue;
+            }
+            Ok(_) => {
+                adopt_failures = 0;
+                adopt_skip = 0;
+            }
+            Err(_) => {
+                signal.register(SLOT_REPAIR, None);
+                continue;
+            }
+        }
         let seq_before = last_applied.load(Relaxed);
         match collect_repairs(svc, &mut client) {
             Ok(diffs) => {
@@ -283,7 +346,7 @@ pub fn collect_repairs(
     svc: &PeelService,
     client: &mut Client,
 ) -> Result<Vec<crate::wire::ShardDiff>, WireError> {
-    (0..svc.config().shards)
+    (0..svc.shards())
         .map(|shard| {
             let (_epoch, snap) = svc
                 .snapshot_shard(shard)

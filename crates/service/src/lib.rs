@@ -32,10 +32,21 @@
 //!   anti-entropy via the existing `Reconcile` machinery as the repair
 //!   path — a follower that missed arbitrary frames provably converges.
 //!   `peel-server --follow <addr>` runs a serving follower.
+//! * **Live resharding** ([`service`], [`router`]): the shard count is
+//!   a mutable property of a running service. A reshard re-keys the
+//!   contents into a new *generation* of shards through the same
+//!   decode/re-route machinery reconciliation uses: snapshot under the
+//!   apply gates, dual-apply racing writes to both generations, verify
+//!   each new shard cell-identical to its projection, then cut over
+//!   atomically — driven over the wire by the protocol-v4
+//!   `ReshardBegin`/`ReshardDigest`/`ReshardCommit`/`ReshardAbort`
+//!   frames ([`client::Client::reshard`]). Followers adopt a primary's
+//!   new generation automatically.
 //! * **Metrics** ([`metrics`]): per-shard op counts and epochs, batch
-//!   occupancy, queue stalls, per-follower replication lag, and the
-//!   per-subround recovery traces the paper's Tables 5–6 analyze —
-//!   observable over the wire via `Stats`.
+//!   occupancy, queue stalls, per-follower replication lag, reshard
+//!   phase/keys-moved/generation gauges, and the per-subround recovery
+//!   traces the paper's Tables 5–6 analyze — observable over the wire
+//!   via `Stats`.
 //!
 //! ## Why the table stays small
 //!
@@ -86,10 +97,10 @@ pub mod wire;
 
 pub use client::{Client, ServiceDiff};
 pub use follower::{anti_entropy_round, apply_repairs, collect_repairs, Follower, FollowerConfig};
-pub use metrics::{Metrics, MetricsSnapshot, ReplicationStats, ShardStats};
+pub use metrics::{Metrics, MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats};
 pub use replication::{apply_replication_stream, stream_to_follower, ReplicationHub, Subscription};
-pub use router::{build_shard_digests, shard_iblt_config, ShardRouter};
-pub use server::Server;
-pub use service::{PeelService, ServiceConfig, ServiceError};
+pub use router::{build_shard_digests, shard_iblt_config, GenerationRouter, ShardRouter};
+pub use server::{handle_request, Server};
+pub use service::{PeelService, ServiceConfig, ServiceError, MAX_RESHARD_SHARDS};
 pub use transport::{FaultPlan, FramedTcp, SimTransport, Transport};
 pub use wire::{HelloInfo, Request, Response, ShardDiff, WireError};

@@ -40,6 +40,10 @@ pub struct Metrics {
     pub anti_entropy_rounds: AtomicU64,
     /// Keys healed (inserted or deleted) by anti-entropy repair.
     pub anti_entropy_keys: AtomicU64,
+    /// Reshards committed (generation cutovers) on this service.
+    pub reshards_completed: AtomicU64,
+    /// Reshards aborted (migration dropped, old generation kept).
+    pub reshards_aborted: AtomicU64,
     /// Per-subround trace of the most recent recovery: key counts (the
     /// paper's Table 5/6 trace) and wall times in ns, as parallel
     /// vectors under one lock so a concurrent snapshot can never observe
@@ -73,11 +77,18 @@ impl Metrics {
         t.1.extend_from_slice(per_subround_ns);
     }
 
-    /// Plain-data copy of the global counters. Per-shard stats and the
-    /// hub half of the replication stats are filled in by the service,
-    /// which owns the shards and the replication hub; the follower-side
-    /// replication counters live here and are merged in.
-    pub fn snapshot(&self, shards: Vec<ShardStats>, hub: ReplicationStats) -> MetricsSnapshot {
+    /// Plain-data copy of the global counters. Per-shard stats, the hub
+    /// half of the replication stats, and the live reshard gauges are
+    /// filled in by the service, which owns the shards, the replication
+    /// hub, and the generation state; the follower-side replication
+    /// counters and the reshard outcome counters live here and are
+    /// merged in.
+    pub fn snapshot(
+        &self,
+        shards: Vec<ShardStats>,
+        hub: ReplicationStats,
+        reshard: ReshardStats,
+    ) -> MetricsSnapshot {
         let (trace, trace_ns) = self.last_trace.lock().clone();
         let replication = ReplicationStats {
             batches_applied: self.repl_applied.load(Relaxed),
@@ -86,6 +97,11 @@ impl Metrics {
             anti_entropy_rounds: self.anti_entropy_rounds.load(Relaxed),
             anti_entropy_keys: self.anti_entropy_keys.load(Relaxed),
             ..hub
+        };
+        let reshard = ReshardStats {
+            completed: self.reshards_completed.load(Relaxed),
+            aborted: self.reshards_aborted.load(Relaxed),
+            ..reshard
         };
         MetricsSnapshot {
             batches_applied: self.batches_applied.load(Relaxed),
@@ -99,8 +115,37 @@ impl Metrics {
             last_recovery_trace_ns: trace_ns,
             shards,
             replication,
+            reshard,
         }
     }
+}
+
+/// Reshard state at snapshot time: the live migration gauges (phase,
+/// generation, shard counts, keys moved, shards verified) come from the
+/// service's generation state; the outcome counters (completed/aborted)
+/// from the service's own metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReshardStats {
+    /// Generation number of the serving shard set (0 at boot, +1 per
+    /// committed reshard).
+    pub generation: u64,
+    /// True while a migration to a new generation is in flight.
+    pub resharding: bool,
+    /// Shard count of the serving generation.
+    pub serving_shards: u32,
+    /// Shard count of the migration target (equals `serving_shards` when
+    /// not resharding).
+    pub to_shards: u32,
+    /// Keys re-keyed into the new generation by the in-flight (or most
+    /// recent) migration.
+    pub keys_moved: u64,
+    /// New-generation shards whose contents have verified cell-identical
+    /// to their projection (cutover-ready when all of them have).
+    pub shards_verified: u32,
+    /// Reshards committed over this service's lifetime.
+    pub completed: u64,
+    /// Reshards aborted over this service's lifetime.
+    pub aborted: u64,
 }
 
 /// Replication state at snapshot time: the primary half (follower count,
@@ -170,10 +215,12 @@ pub struct MetricsSnapshot {
     /// Per-subround wall times (ns) of the most recent recovery, aligned
     /// with `last_recovery_trace`.
     pub last_recovery_trace_ns: Vec<u64>,
-    /// One entry per shard.
+    /// One entry per shard (of the serving generation).
     pub shards: Vec<ShardStats>,
     /// Replication state (primary and follower halves).
     pub replication: ReplicationStats,
+    /// Reshard state (live migration gauges + outcome counters).
+    pub reshard: ReshardStats,
 }
 
 impl MetricsSnapshot {
@@ -199,6 +246,8 @@ mod tests {
         m.record_recovery(false, 5, &[1], &[250]);
         m.repl_applied.store(6, Relaxed);
         m.anti_entropy_keys.store(17, Relaxed);
+        m.reshards_completed.store(2, Relaxed);
+        m.reshards_aborted.store(1, Relaxed);
         let hub = ReplicationStats {
             followers: 2,
             published_seq: 10,
@@ -206,7 +255,16 @@ mod tests {
             max_lag: 2,
             ..ReplicationStats::default()
         };
-        let s = m.snapshot(vec![ShardStats::default(); 2], hub);
+        let reshard = ReshardStats {
+            generation: 3,
+            resharding: true,
+            serving_shards: 2,
+            to_shards: 8,
+            keys_moved: 41,
+            shards_verified: 5,
+            ..ReshardStats::default()
+        };
+        let s = m.snapshot(vec![ShardStats::default(); 2], hub, reshard);
         assert_eq!(s.batches_applied, 3);
         assert_eq!(s.ops_applied, 12);
         assert_eq!(s.recoveries, 2);
@@ -222,11 +280,22 @@ mod tests {
         assert_eq!(s.replication.max_lag, 2);
         assert_eq!(s.replication.batches_applied, 6);
         assert_eq!(s.replication.anti_entropy_keys, 17);
+        // The reshard block merges live gauges with outcome counters.
+        assert!(s.reshard.resharding);
+        assert_eq!(s.reshard.generation, 3);
+        assert_eq!(s.reshard.to_shards, 8);
+        assert_eq!(s.reshard.keys_moved, 41);
+        assert_eq!(s.reshard.completed, 2);
+        assert_eq!(s.reshard.aborted, 1);
     }
 
     #[test]
     fn empty_snapshot_has_zero_occupancy() {
-        let s = Metrics::default().snapshot(Vec::new(), ReplicationStats::default());
+        let s = Metrics::default().snapshot(
+            Vec::new(),
+            ReplicationStats::default(),
+            ReshardStats::default(),
+        );
         assert_eq!(s.mean_batch_occupancy(), 0.0);
     }
 }

@@ -53,6 +53,79 @@ impl ShardRouter {
         }
         out
     }
+
+    /// The router of the next generation after resharding to `shards`
+    /// shards. The seed is preserved, so resharding is purely a range
+    /// rescaling of the same key hash: splitting and then merging back to
+    /// the original count round-trips to the identity mapping, and
+    /// clients derive the post-reshard routing from the same handshake
+    /// seed they already hold.
+    pub fn resharded(&self, shards: u32) -> ShardRouter {
+        ShardRouter::new(shards, self.seed)
+    }
+}
+
+/// The routing view during a live reshard: the old (serving) generation
+/// plus, while a migration is in flight, the new generation being
+/// populated. Reads are answered from the old mapping; writes dual-apply
+/// to both, which is what keeps the new generation convergent under
+/// racing ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationRouter {
+    old: ShardRouter,
+    new: Option<ShardRouter>,
+}
+
+impl GenerationRouter {
+    /// A stable (non-migrating) view: one generation, no dual mapping.
+    pub fn stable(router: ShardRouter) -> Self {
+        GenerationRouter {
+            old: router,
+            new: None,
+        }
+    }
+
+    /// A migrating view. Both generations must share a routing seed
+    /// (they are produced by [`ShardRouter::resharded`]); anything else
+    /// would re-key through an unrelated hash and break the
+    /// split-then-merge identity.
+    pub fn migrating(old: ShardRouter, new: ShardRouter) -> Self {
+        assert_eq!(
+            old.seed, new.seed,
+            "generations must share the routing seed"
+        );
+        GenerationRouter {
+            old,
+            new: Some(new),
+        }
+    }
+
+    /// True while a migration is in flight.
+    pub fn is_migrating(&self) -> bool {
+        self.new.is_some()
+    }
+
+    /// The serving (old-generation) router.
+    pub fn old(&self) -> &ShardRouter {
+        &self.old
+    }
+
+    /// The new-generation router, while migrating.
+    pub fn new_gen(&self) -> Option<&ShardRouter> {
+        self.new.as_ref()
+    }
+
+    /// Route one key: the old-generation shard it is served from, plus —
+    /// during migration — the new-generation shard writes dual-apply to.
+    /// Pure arithmetic over the two routers, so the pair is stable
+    /// across calls for as long as the generations stand.
+    #[inline]
+    pub fn route(&self, key: u64) -> (usize, Option<usize>) {
+        (
+            self.old.shard_of(key),
+            self.new.as_ref().map(|r| r.shard_of(key)),
+        )
+    }
 }
 
 /// The IBLT configuration of shard `shard` under a service-wide base
@@ -118,6 +191,43 @@ mod tests {
             .filter(|&k| a.shard_of(k) != b.shard_of(k))
             .count();
         assert!(moved > 800, "only {moved} keys moved");
+    }
+
+    #[test]
+    fn resharded_preserves_seed_and_round_trips() {
+        let r = ShardRouter::new(1, 77);
+        let split = r.resharded(4);
+        assert_eq!(split.shards(), 4);
+        let merged = split.resharded(1);
+        assert_eq!(merged, r);
+        for key in 0..1_000u64 {
+            assert_eq!(merged.shard_of(key), r.shard_of(key));
+        }
+    }
+
+    #[test]
+    fn generation_router_routes_pairs_during_migration() {
+        let old = ShardRouter::new(4, 9);
+        let stable = GenerationRouter::stable(old);
+        assert!(!stable.is_migrating());
+        assert_eq!(stable.route(42), (old.shard_of(42), None));
+
+        let new = old.resharded(8);
+        let mig = GenerationRouter::migrating(old, new);
+        assert!(mig.is_migrating());
+        for key in 0..1_000u64 {
+            let (o, n) = mig.route(key);
+            assert_eq!(o, old.shard_of(key));
+            assert_eq!(n, Some(new.shard_of(key)));
+            // Stable across calls.
+            assert_eq!(mig.route(key), (o, n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "routing seed")]
+    fn generation_router_rejects_mismatched_seeds() {
+        let _ = GenerationRouter::migrating(ShardRouter::new(2, 1), ShardRouter::new(4, 2));
     }
 
     #[test]

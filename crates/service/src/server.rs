@@ -236,7 +236,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             let _ = stream_to_follower(&mut transport, &sub, last_seq);
             return;
         }
-        let (resp, stop_after) = respond(&shared.service, req);
+        let (resp, stop_after) = handle_request(&shared.service, req);
         if write_frame(&mut writer, &encode_response(&resp)).is_err() {
             return;
         }
@@ -248,7 +248,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Map one request to one response; the bool asks the server to stop.
-fn respond(service: &PeelService, req: Request) -> (Response, bool) {
+///
+/// Public so alternative request sources — the deterministic
+/// fault-injection harness in `tests/resharding_faults.rs` feeds mangled
+/// frame sequences through it — exercise exactly the dispatch the TCP
+/// handler runs. (`Subscribe` is special-cased by the connection handler
+/// before it gets here; see `handle_connection`.)
+pub fn handle_request(service: &PeelService, req: Request) -> (Response, bool) {
     let resp = match req {
         Request::Hello => Response::Hello(service.hello()),
         Request::Insert(keys) => Response::Ok {
@@ -270,6 +276,37 @@ fn respond(service: &PeelService, req: Request) -> (Response, bool) {
             Err(e) => Response::Error(e.to_string()),
         },
         Request::Stats => Response::Stats(service.metrics()),
+        // The reshard coordinator: the four v4 control frames drive the
+        // service's migration state machine. Begin runs the snapshot +
+        // re-key synchronously (dual-apply is on by the time it
+        // returns); Digest verifies one new shard and returns it
+        // sparse-encoded; Commit verifies the rest and cuts over.
+        Request::ReshardBegin { to_shards } => match service.reshard_begin(to_shards) {
+            Ok(status) => Response::Reshard(status),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::ReshardDigest { shard } => match service.reshard_verify(shard) {
+            // Freshly split shards are lightly loaded, so the sparse
+            // encoding usually wins — but a near-full table flips that
+            // (and only the dense form is covered by the start-time
+            // frame-cap assert), so pick per table.
+            Ok((epoch, iblt)) => {
+                if crate::wire::sparse_is_smaller(&iblt) {
+                    Response::DigestSparse { epoch, iblt }
+                } else {
+                    Response::Digest { epoch, iblt }
+                }
+            }
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::ReshardCommit => match service.reshard_commit() {
+            Ok(status) => Response::Reshard(status),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::ReshardAbort => match service.reshard_abort() {
+            Ok(status) => Response::Reshard(status),
+            Err(e) => Response::Error(e.to_string()),
+        },
         Request::Shutdown => return (Response::Ok { accepted: 0 }, true),
         // Subscribe is intercepted in `handle_connection`; a stray ack
         // outside a subscribed stream is a client bug.

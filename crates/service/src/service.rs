@@ -28,6 +28,24 @@
 //! run the whole snapshot → subtract → recover path without touching the
 //! allocator (shard tables share a geometry, so one pooled context
 //! serves every shard).
+//!
+//! ## Resharding
+//!
+//! The shard count is a *live* property: [`PeelService::reshard_begin`]
+//! opens a migration to a new **generation** of shards (same base IBLT
+//! geometry, re-keyed routing via [`ShardRouter::resharded`]). Under the
+//! generation write lock it snapshots every serving shard — workers hold
+//! the generation read lock for a whole batch, so each batch is either
+//! fully in those snapshots or will dual-apply — then decodes the
+//! snapshots offline and re-keys the recovered contents into the new
+//! shards while ingest continues, every new batch now applying to *both*
+//! generations. [`PeelService::reshard_commit`] verifies each new shard
+//! is cell-identical to the projection of the serving contents under the
+//! new routing (a consistent dual snapshot; equality of the raw cell
+//! arrays, which subsumes "the IBLT diff decodes empty") and atomically
+//! swaps the serving generation. [`PeelService::reshard_abort`] drops
+//! the migration at any point: dual-apply kept the old generation
+//! authoritative throughout, so no key is lost or double-counted.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -37,11 +55,15 @@ use std::thread::JoinHandle;
 use parking_lot::{Mutex, RwLock};
 use peel_iblt::{AtomicIblt, Iblt, IbltConfig, RecoveryWorkspace};
 
-use crate::metrics::{Metrics, MetricsSnapshot, ShardStats};
+use crate::metrics::{Metrics, MetricsSnapshot, ReshardStats, ShardStats};
 use crate::queue::{Batch, BoundedQueue, Op};
 use crate::replication::ReplicationHub;
-use crate::router::{shard_iblt_config, ShardRouter};
+use crate::router::{shard_iblt_config, GenerationRouter, ShardRouter};
 use crate::wire::{HelloInfo, ShardDiff, PROTOCOL_VERSION};
+
+/// Upper bound on a reshard target, so a hostile `ReshardBegin` frame
+/// cannot make the service allocate an unbounded number of shard tables.
+pub const MAX_RESHARD_SHARDS: u32 = 4096;
 
 /// Tunables for a [`PeelService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +173,37 @@ pub enum ServiceError {
         /// The digest's config.
         got: IbltConfig,
     },
+    /// A reshard control operation arrived while no migration is in
+    /// flight.
+    NotResharding,
+    /// `reshard_begin` while a migration to a different target is
+    /// already in flight (commit or abort it first).
+    ReshardInProgress {
+        /// Target shard count of the in-flight migration.
+        to: u32,
+    },
+    /// `reshard_begin` targeting the shard count the service already
+    /// serves, or an out-of-range count (0, or more than
+    /// [`MAX_RESHARD_SHARDS`]).
+    BadReshardTarget {
+        /// The rejected target.
+        to: u32,
+    },
+    /// A serving shard's snapshot did not decode completely, so its
+    /// contents cannot be re-keyed. The shard's table is sized for the
+    /// reconciliation *diff* budget; a reshard additionally requires the
+    /// full shard contents to fit that decode budget.
+    ReshardUndecodable {
+        /// The undecodable serving shard.
+        shard: u32,
+    },
+    /// Cutover verification found a new-generation shard whose contents
+    /// are not yet cell-identical to the projection of the serving
+    /// contents.
+    ReshardUnverified {
+        /// The mismatched new-generation shard.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -162,6 +215,24 @@ impl fmt::Display for ServiceError {
             ServiceError::ConfigMismatch { expected, got } => write!(
                 f,
                 "digest config {got:?} does not match shard config {expected:?}"
+            ),
+            ServiceError::NotResharding => write!(f, "no reshard migration is in flight"),
+            ServiceError::ReshardInProgress { to } => {
+                write!(f, "a reshard to {to} shards is already in flight")
+            }
+            ServiceError::BadReshardTarget { to } => write!(
+                f,
+                "reshard target {to} out of range (1..={MAX_RESHARD_SHARDS}, and \
+                 different from the current count)"
+            ),
+            ServiceError::ReshardUndecodable { shard } => write!(
+                f,
+                "shard {shard} does not decode completely; contents exceed the \
+                 table budget, reshard cannot re-key them"
+            ),
+            ServiceError::ReshardUnverified { shard } => write!(
+                f,
+                "new-generation shard {shard} is not yet cell-identical to its projection"
             ),
         }
     }
@@ -181,6 +252,93 @@ struct Shard {
     deletes: AtomicU64,
 }
 
+impl Shard {
+    fn new(cfg: IbltConfig) -> Shard {
+        Shard {
+            table: AtomicIblt::new(cfg),
+            gate: RwLock::new(()),
+            epoch: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One generation of shards: a router and the tables it routes to.
+/// Generation 0 is built at start; each committed reshard installs the
+/// next one.
+struct GenShards {
+    generation: u64,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+}
+
+impl GenShards {
+    fn build(generation: u64, router: ShardRouter, base: IbltConfig) -> GenShards {
+        GenShards {
+            generation,
+            router,
+            shards: (0..router.shards())
+                .map(|i| Shard::new(shard_iblt_config(base, i)))
+                .collect(),
+        }
+    }
+
+    /// Apply one shard's bucket of ops under its gate (shared — the cell
+    /// updates are atomic; the gate only orders them against snapshots).
+    fn apply_bucket(&self, shard: usize, ops: &[Op]) {
+        if ops.is_empty() {
+            return;
+        }
+        let s = &self.shards[shard];
+        let mut inserts = 0u64;
+        {
+            let _gate = s.gate.read();
+            for op in ops {
+                if op.dir > 0 {
+                    s.table.insert(op.key);
+                    inserts += 1;
+                } else {
+                    s.table.delete(op.key);
+                }
+            }
+            // Bump under the gate so a snapshot's epoch counts exactly
+            // the buckets whose cells it observed.
+            s.epoch.fetch_add(1, Relaxed);
+        }
+        s.inserts.fetch_add(inserts, Relaxed);
+        s.deletes.fetch_add(ops.len() as u64 - inserts, Relaxed);
+    }
+}
+
+/// The in-flight half of a reshard: the generation being populated,
+/// which shards of it have verified cell-identical to their projection,
+/// and how many keys the migration re-keyed.
+struct Migration {
+    next: Arc<GenShards>,
+    verified: Vec<bool>,
+    keys_moved: u64,
+}
+
+/// The serving generation plus, during a reshard, the migration to the
+/// next one. Workers hold the read lock for a whole batch, so the write
+/// lock (taken by begin/commit/abort) is a consistent cut of the batch
+/// stream.
+struct GenState {
+    current: Arc<GenShards>,
+    migration: Option<Migration>,
+}
+
+impl GenState {
+    /// The dual-generation routing view of this state.
+    fn router(&self) -> GenerationRouter {
+        match &self.migration {
+            Some(m) => GenerationRouter::migrating(self.current.router, m.next.router),
+            None => GenerationRouter::stable(self.current.router),
+        }
+    }
+}
+
 /// Pooled per-reconcile buffers: the frozen shard snapshot (which the
 /// subtraction then overwrites with the diff), the atomic table the diff
 /// is decoded in, and the recovery workspace. Shards share a table
@@ -194,8 +352,17 @@ struct ReconcileScratch {
 
 struct Inner {
     cfg: ServiceConfig,
-    router: ShardRouter,
-    shards: Vec<Shard>,
+    /// The serving generation and any in-flight migration. Read-held by
+    /// workers for a whole batch; write-held (briefly) by the reshard
+    /// transitions.
+    gens: RwLock<GenState>,
+    /// Serializes the reshard control operations (begin / verify /
+    /// commit / abort) so their multi-gate snapshot passes can never
+    /// interleave.
+    reshard_lock: Mutex<()>,
+    /// Keys re-keyed by the most recently *committed* reshard (the live
+    /// migration's count lives in [`Migration::keys_moved`]).
+    last_reshard_keys: AtomicU64,
     queue: BoundedQueue,
     /// The shared accumulator batches are sealed from.
     pending: Mutex<Batch>,
@@ -261,18 +428,18 @@ impl PeelService {
             cfg.shard_iblt.total_cells(),
             crate::wire::MAX_FRAME,
         );
-        let shards = (0..cfg.shards)
-            .map(|i| Shard {
-                table: AtomicIblt::new(shard_iblt_config(cfg.shard_iblt, i)),
-                gate: RwLock::new(()),
-                epoch: AtomicU64::new(0),
-                inserts: AtomicU64::new(0),
-                deletes: AtomicU64::new(0),
-            })
-            .collect();
+        let gen0 = GenShards::build(
+            0,
+            ShardRouter::new(cfg.shards, cfg.router_seed),
+            cfg.shard_iblt,
+        );
         let inner = Arc::new(Inner {
-            router: ShardRouter::new(cfg.shards, cfg.router_seed),
-            shards,
+            gens: RwLock::new(GenState {
+                current: Arc::new(gen0),
+                migration: None,
+            }),
+            reshard_lock: Mutex::new(()),
+            last_reshard_keys: AtomicU64::new(0),
             queue: BoundedQueue::new(cfg.queue_depth),
             pending: Mutex::new(Vec::with_capacity(cfg.batch_size)),
             hub: ReplicationHub::new(cfg.repl_queue_depth.max(1)),
@@ -292,19 +459,46 @@ impl PeelService {
         }
     }
 
-    /// The service configuration.
+    /// The service configuration, as started. `shards` in it is the
+    /// *initial* shard count; resharding changes the live count, which
+    /// [`PeelService::shards`] reports.
     pub fn config(&self) -> &ServiceConfig {
         &self.inner.cfg
     }
 
-    /// The handshake info this service advertises.
+    /// The handshake info this service advertises — the shard count is
+    /// the serving generation's, which a reshard changes live.
     pub fn hello(&self) -> HelloInfo {
-        self.inner.cfg.hello()
+        let mut hello = self.inner.cfg.hello();
+        hello.shards = self.shards();
+        hello
     }
 
-    /// The key → shard router.
-    pub fn router(&self) -> &ShardRouter {
-        &self.inner.router
+    /// Number of shards in the serving generation.
+    pub fn shards(&self) -> u32 {
+        self.inner.gens.read().current.router.shards()
+    }
+
+    /// Generation number of the serving shard set (0 at boot, +1 per
+    /// committed reshard).
+    pub fn generation(&self) -> u64 {
+        self.inner.gens.read().current.generation
+    }
+
+    /// The serving generation's key → shard router.
+    pub fn router(&self) -> ShardRouter {
+        self.inner.gens.read().current.router
+    }
+
+    /// The dual-generation routing view: the serving mapping plus, while
+    /// a migration is in flight, the new-generation mapping writes
+    /// dual-apply to.
+    pub fn generation_router(&self) -> GenerationRouter {
+        self.inner.gens.read().router()
+    }
+
+    fn current_gen(&self) -> Arc<GenShards> {
+        Arc::clone(&self.inner.gens.read().current)
     }
 
     /// Submit keys for insertion. Returns the number accepted (everything,
@@ -396,10 +590,12 @@ impl PeelService {
         self.inner.queue.wait_idle();
     }
 
-    /// Consistent snapshot of one shard: its epoch and a frozen copy of
-    /// its table. Blocks that shard's ingest only for the cell copy.
+    /// Consistent snapshot of one serving-generation shard: its epoch
+    /// and a frozen copy of its table. Blocks that shard's ingest only
+    /// for the cell copy.
     pub fn snapshot_shard(&self, shard: u32) -> Result<(u64, Iblt), ServiceError> {
-        let s = self.shard(shard)?;
+        let gen = self.current_gen();
+        let s = gen_shard(&gen, shard)?;
         let _gate = s.gate.write();
         let epoch = s.epoch.load(Relaxed);
         Ok((epoch, s.table.snapshot()))
@@ -410,20 +606,12 @@ impl PeelService {
     /// of [`PeelService::snapshot_shard`]. Returns the shard epoch at
     /// snapshot time.
     pub fn snapshot_shard_into(&self, shard: u32, out: &mut Iblt) -> Result<u64, ServiceError> {
-        let s = self.shard(shard)?;
+        let gen = self.current_gen();
+        let s = gen_shard(&gen, shard)?;
         let _gate = s.gate.write();
         let epoch = s.epoch.load(Relaxed);
         s.table.snapshot_into(out);
         Ok(epoch)
-    }
-
-    fn shard(&self, shard: u32) -> Result<&Shard, ServiceError> {
-        self.inner.shards.get(shard as usize).ok_or({
-            ServiceError::NoSuchShard {
-                shard,
-                shards: self.inner.cfg.shards,
-            }
-        })
     }
 
     /// Reconcile one shard against a peer digest: snapshot at the current
@@ -481,6 +669,283 @@ impl PeelService {
         Ok(diff)
     }
 
+    /// Begin a live reshard to `to_shards` shards.
+    ///
+    /// Under the generation write lock this allocates the next
+    /// generation (same base IBLT geometry, routing re-keyed by
+    /// [`ShardRouter::resharded`]) and snapshots every serving shard —
+    /// the consistent cut after which every applied batch dual-applies
+    /// to both generations. It then decodes the snapshots offline and
+    /// re-keys the recovered contents (inserts *and* uncompensated
+    /// deletes) into the new shards while ingest continues.
+    ///
+    /// Idempotent while a migration to the same target is in flight
+    /// (returns the current status). Errors — bad target, another
+    /// migration in flight, or a serving shard whose contents exceed its
+    /// decode budget — leave the service exactly as it was.
+    pub fn reshard_begin(&self, to_shards: u32) -> Result<ReshardStats, ServiceError> {
+        let _ctl = self.inner.reshard_lock.lock();
+        if to_shards == 0 || to_shards > MAX_RESHARD_SHARDS {
+            return Err(ServiceError::BadReshardTarget { to: to_shards });
+        }
+        // Phase 1 — the consistent cut: allocate the next generation and
+        // snapshot every serving shard under the generation write lock.
+        // Workers hold the read lock for a whole batch, so each batch is
+        // either fully inside these snapshots or will dual-apply.
+        let (next, snaps) = {
+            let mut g = self.inner.gens.write();
+            if let Some(m) = &g.migration {
+                return if m.next.router.shards() == to_shards {
+                    Ok(self.reshard_status_locked(&g))
+                } else {
+                    Err(ServiceError::ReshardInProgress {
+                        to: m.next.router.shards(),
+                    })
+                };
+            }
+            if g.current.router.shards() == to_shards {
+                return Err(ServiceError::BadReshardTarget { to: to_shards });
+            }
+            let next = Arc::new(GenShards::build(
+                g.current.generation + 1,
+                g.current.router.resharded(to_shards),
+                self.inner.cfg.shard_iblt,
+            ));
+            let snaps: Vec<Iblt> = g
+                .current
+                .shards
+                .iter()
+                .map(|s| {
+                    let _gate = s.gate.write();
+                    s.table.snapshot()
+                })
+                .collect();
+            g.migration = Some(Migration {
+                next: Arc::clone(&next),
+                verified: vec![false; to_shards as usize],
+                keys_moved: 0,
+            });
+            (next, snaps)
+        };
+        // Phase 2 — decode the frozen snapshots offline (ingest is live
+        // again, dual-applying) and bucket the recovered contents by the
+        // new routing. An undecodable shard rolls the migration back.
+        let routed = match route_decoded(&snaps, &next.router) {
+            Ok(routed) => routed,
+            Err(e) => {
+                self.inner.gens.write().migration = None;
+                self.inner.metrics.reshards_aborted.fetch_add(1, Relaxed);
+                return Err(e);
+            }
+        };
+        // Phase 3 — re-key into the new generation. Racing dual-applied
+        // ops use the same atomic cell paths, so interleaving is safe.
+        let mut moved = 0u64;
+        for (j, (inserts, deletes)) in routed.into_iter().enumerate() {
+            moved += (inserts.len() + deletes.len()) as u64;
+            let mut ops: Vec<Op> = Vec::with_capacity(inserts.len() + deletes.len());
+            ops.extend(inserts.into_iter().map(|key| Op { key, dir: 1 }));
+            ops.extend(deletes.into_iter().map(|key| Op { key, dir: -1 }));
+            next.apply_bucket(j, &ops);
+        }
+        let mut g = self.inner.gens.write();
+        if let Some(m) = &mut g.migration {
+            m.keys_moved = moved;
+        }
+        Ok(self.reshard_status_locked(&g))
+    }
+
+    /// Verify one new-generation shard and return its digest (epoch plus
+    /// frozen table). Verification takes a consistent dual snapshot —
+    /// every serving shard and the target shard under their gates —
+    /// decodes the serving side, projects it through the new routing,
+    /// and requires the target's cell array to be *identical* to the
+    /// projection (which subsumes "the IBLT diff decodes empty").
+    /// Verified shards stay verified: dual-apply feeds both sides the
+    /// same ops from then on.
+    pub fn reshard_verify(&self, shard: u32) -> Result<(u64, Iblt), ServiceError> {
+        let _ctl = self.inner.reshard_lock.lock();
+        self.verify_shards(&[shard as usize])?;
+        let g = self.inner.gens.read();
+        let m = g.migration.as_ref().ok_or(ServiceError::NotResharding)?;
+        let s = gen_shard(&m.next, shard)?;
+        let _gate = s.gate.write();
+        Ok((s.epoch.load(Relaxed), s.table.snapshot()))
+    }
+
+    /// Cut over to the new generation: verify every still-unverified
+    /// shard, then atomically swap the serving generation (the old
+    /// tables are dropped). On error the migration stays in flight for a
+    /// retry or an abort.
+    pub fn reshard_commit(&self) -> Result<ReshardStats, ServiceError> {
+        let _ctl = self.inner.reshard_lock.lock();
+        let unverified: Vec<usize> = {
+            let g = self.inner.gens.read();
+            let m = g.migration.as_ref().ok_or(ServiceError::NotResharding)?;
+            m.verified
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !**v)
+                .map(|(j, _)| j)
+                .collect()
+        };
+        self.verify_shards(&unverified)?;
+        let mut g = self.inner.gens.write();
+        let Some(m) = g.migration.take() else {
+            return Err(ServiceError::NotResharding);
+        };
+        self.inner.last_reshard_keys.store(m.keys_moved, Relaxed);
+        g.current = m.next;
+        self.inner.metrics.reshards_completed.fetch_add(1, Relaxed);
+        Ok(self.reshard_status_locked(&g))
+    }
+
+    /// Drop the in-flight migration and keep serving the old generation.
+    /// Dual-apply kept it authoritative throughout the migration, so no
+    /// key is lost or double-counted.
+    pub fn reshard_abort(&self) -> Result<ReshardStats, ServiceError> {
+        let _ctl = self.inner.reshard_lock.lock();
+        let mut g = self.inner.gens.write();
+        if g.migration.take().is_none() {
+            return Err(ServiceError::NotResharding);
+        }
+        self.inner.metrics.reshards_aborted.fetch_add(1, Relaxed);
+        Ok(self.reshard_status_locked(&g))
+    }
+
+    /// The whole reshard, synchronously: begin, then commit; on a failed
+    /// commit the migration is aborted so the service never stays stuck
+    /// mid-reshard. The follower driver uses this to adopt a primary's
+    /// new generation.
+    pub fn reshard(&self, to_shards: u32) -> Result<ReshardStats, ServiceError> {
+        self.reshard_begin(to_shards)?;
+        self.reshard_commit().inspect_err(|_| {
+            let _ = self.reshard_abort();
+        })
+    }
+
+    /// Verify new-generation shards against a consistent dual snapshot.
+    /// One pass decodes the entire serving keyspace, which already
+    /// yields *every* new shard's projection — so a pass verifies all
+    /// still-unverified shards at once, and only the shards in `which`
+    /// gate the result (a mismatch elsewhere is left for its own
+    /// request). Repeated `ReshardDigest` calls therefore pay one full
+    /// decode total, not one per shard.
+    fn verify_shards(&self, which: &[usize]) -> Result<(), ServiceError> {
+        let (current, next, requested, todo) = {
+            let g = self.inner.gens.read();
+            let m = g.migration.as_ref().ok_or(ServiceError::NotResharding)?;
+            let mut requested = Vec::new();
+            for &j in which {
+                if j >= m.next.shards.len() {
+                    return Err(ServiceError::NoSuchShard {
+                        shard: j as u32,
+                        shards: m.next.router.shards(),
+                    });
+                }
+                if !m.verified[j] {
+                    requested.push(j);
+                }
+            }
+            if requested.is_empty() {
+                return Ok(());
+            }
+            let todo: Vec<usize> = m
+                .verified
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !**v)
+                .map(|(j, _)| j)
+                .collect();
+            (Arc::clone(&g.current), Arc::clone(&m.next), requested, todo)
+        };
+        // The consistent cut. The generation *write* lock excludes the
+        // workers — they hold the read lock for a whole batch, so no
+        // batch is ever observed applied to one generation but not the
+        // other (the gates alone would not give that: a worker holds no
+        // gate in the instant between its old-generation and
+        // new-generation applies). The gates are still taken to order
+        // the copies against concurrent reconcile snapshots, which clone
+        // the generation handle and then hold only a gate.
+        let (old_snaps, new_snaps) = {
+            let _g = self.inner.gens.write();
+            let _old_gates: Vec<_> = current.shards.iter().map(|s| s.gate.write()).collect();
+            let _new_gates: Vec<_> = todo.iter().map(|&j| next.shards[j].gate.write()).collect();
+            let old: Vec<Iblt> = current.shards.iter().map(|s| s.table.snapshot()).collect();
+            let new: Vec<Iblt> = todo
+                .iter()
+                .map(|&j| next.shards[j].table.snapshot())
+                .collect();
+            (old, new)
+        };
+        let routed = route_decoded(&old_snaps, &next.router)?;
+        let mut mismatched = None;
+        let mut matched = Vec::new();
+        for (&j, new_snap) in todo.iter().zip(&new_snaps) {
+            let mut projection = Iblt::new(*new_snap.config());
+            let (inserts, deletes) = &routed[j];
+            for &k in inserts {
+                projection.insert(k);
+            }
+            for &k in deletes {
+                projection.delete(k);
+            }
+            if projection == *new_snap {
+                matched.push(j);
+            } else if mismatched.is_none() && requested.contains(&j) {
+                mismatched = Some(j);
+            }
+        }
+        let mut g = self.inner.gens.write();
+        if let Some(m) = &mut g.migration {
+            if m.next.generation == next.generation {
+                for &j in &matched {
+                    m.verified[j] = true;
+                }
+            }
+        }
+        match mismatched {
+            Some(j) => Err(ServiceError::ReshardUnverified { shard: j as u32 }),
+            None => Ok(()),
+        }
+    }
+
+    /// Live reshard gauges: generation number, migration phase, shard
+    /// counts, keys moved, shards verified. The outcome counters
+    /// (`completed` / `aborted`) are filled in here too, so this is the
+    /// full [`ReshardStats`] block [`PeelService::metrics`] serves.
+    pub fn reshard_status(&self) -> ReshardStats {
+        let g = self.inner.gens.read();
+        self.reshard_status_locked(&g)
+    }
+
+    fn reshard_status_locked(&self, g: &GenState) -> ReshardStats {
+        let (resharding, to_shards, keys_moved, shards_verified) = match &g.migration {
+            Some(m) => (
+                true,
+                m.next.router.shards(),
+                m.keys_moved,
+                m.verified.iter().filter(|v| **v).count() as u32,
+            ),
+            None => (
+                false,
+                g.current.router.shards(),
+                self.inner.last_reshard_keys.load(Relaxed),
+                0,
+            ),
+        };
+        ReshardStats {
+            generation: g.current.generation,
+            resharding,
+            serving_shards: g.current.router.shards(),
+            to_shards,
+            keys_moved,
+            shards_verified,
+            completed: self.inner.metrics.reshards_completed.load(Relaxed),
+            aborted: self.inner.metrics.reshards_aborted.load(Relaxed),
+        }
+    }
+
     /// Point-in-time service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         let inner = &self.inner;
@@ -488,16 +953,21 @@ impl PeelService {
             .metrics
             .queue_stalls
             .store(inner.queue.stalls(), Relaxed);
-        let shards = inner
-            .shards
-            .iter()
-            .map(|s| ShardStats {
-                epoch: s.epoch.load(Relaxed),
-                inserts: s.inserts.load(Relaxed),
-                deletes: s.deletes.load(Relaxed),
-            })
-            .collect();
-        inner.metrics.snapshot(shards, inner.hub.stats())
+        let (shards, reshard) = {
+            let g = inner.gens.read();
+            let shards = g
+                .current
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    epoch: s.epoch.load(Relaxed),
+                    inserts: s.inserts.load(Relaxed),
+                    deletes: s.deletes.load(Relaxed),
+                })
+                .collect();
+            (shards, self.reshard_status_locked(&g))
+        };
+        inner.metrics.snapshot(shards, inner.hub.stats(), reshard)
     }
 
     /// Flush remaining ops, stop the workers, and join them. Idempotent.
@@ -521,35 +991,74 @@ impl Drop for PeelService {
     }
 }
 
-fn worker_loop(inner: &Inner) {
-    let nshards = inner.shards.len();
-    while let Some(batch) = inner.queue.pop() {
-        let mut buckets: Vec<Vec<Op>> = vec![Vec::new(); nshards];
-        for op in &batch {
-            buckets[inner.router.shard_of(op.key)].push(*op);
+/// Index one generation's shard, mapping out-of-range to the
+/// generation-aware `NoSuchShard`.
+fn gen_shard(gen: &GenShards, shard: u32) -> Result<&Shard, ServiceError> {
+    gen.shards
+        .get(shard as usize)
+        .ok_or(ServiceError::NoSuchShard {
+            shard,
+            shards: gen.router.shards(),
+        })
+}
+
+/// Decode a generation's frozen shard snapshots and route the recovered
+/// contents — positive keys (inserts) and uncompensated deletes — into
+/// per-shard buckets of `router`'s generation. Decoding runs the
+/// subround *parallel* recovery (the paper's engine — a reshard peels
+/// whole shards, where it beats the serial path outright); the buckets
+/// are key multisets, so recovery order never affects the re-keyed
+/// cells. Errors if any snapshot does not decode completely.
+#[allow(clippy::type_complexity)]
+fn route_decoded(
+    snaps: &[Iblt],
+    router: &ShardRouter,
+) -> Result<Vec<(Vec<u64>, Vec<u64>)>, ServiceError> {
+    let mut out: Vec<(Vec<u64>, Vec<u64>)> = vec![Default::default(); router.shards() as usize];
+    let mut ws = RecoveryWorkspace::new();
+    for (i, snap) in snaps.iter().enumerate() {
+        let rec = AtomicIblt::from_iblt(snap).par_recover_in(&mut ws);
+        if !rec.complete {
+            return Err(ServiceError::ReshardUndecodable { shard: i as u32 });
         }
-        for (i, ops) in buckets.into_iter().enumerate() {
-            if ops.is_empty() {
-                continue;
-            }
-            let shard = &inner.shards[i];
-            let mut inserts = 0u64;
-            {
-                let _gate = shard.gate.read();
-                for op in &ops {
-                    if op.dir > 0 {
-                        shard.table.insert(op.key);
-                        inserts += 1;
-                    } else {
-                        shard.table.delete(op.key);
-                    }
+        for &k in &rec.positive {
+            out[router.shard_of(k)].0.push(k);
+        }
+        for &k in &rec.negative {
+            out[router.shard_of(k)].1.push(k);
+        }
+    }
+    Ok(out)
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(batch) = inner.queue.pop() {
+        {
+            // Hold the generation read lock for the whole batch: the
+            // reshard transitions (write lock) then observe batch
+            // boundaries, never a half-applied batch.
+            let g = inner.gens.read();
+            let router = g.router();
+            let current = &g.current;
+            let next = g.migration.as_ref().map(|m| &m.next);
+            let mut buckets: Vec<Vec<Op>> = vec![Vec::new(); current.shards.len()];
+            let mut next_buckets: Vec<Vec<Op>> =
+                vec![Vec::new(); next.map_or(0, |n| n.shards.len())];
+            for op in &batch {
+                let (old_shard, new_shard) = router.route(op.key);
+                buckets[old_shard].push(*op);
+                if let Some(j) = new_shard {
+                    next_buckets[j].push(*op);
                 }
-                // Bump under the gate so a snapshot's epoch counts exactly
-                // the buckets whose cells it observed.
-                shard.epoch.fetch_add(1, Relaxed);
             }
-            shard.inserts.fetch_add(inserts, Relaxed);
-            shard.deletes.fetch_add(ops.len() as u64 - inserts, Relaxed);
+            for (i, ops) in buckets.into_iter().enumerate() {
+                current.apply_bucket(i, &ops);
+            }
+            if let Some(next) = next {
+                for (j, ops) in next_buckets.into_iter().enumerate() {
+                    next.apply_bucket(j, &ops);
+                }
+            }
         }
         inner.metrics.batches_applied.fetch_add(1, Relaxed);
         inner
@@ -850,6 +1359,259 @@ mod tests {
         // After shutdown replicated batches are refused, not lost silently.
         svc.shutdown();
         assert!(!svc.ingest_batch(vec![Op { key: 1, dir: 1 }]));
+    }
+
+    /// All keys the service holds, decoded shard by shard from the
+    /// serving generation (asserting every shard decodes cleanly).
+    fn decoded_content(svc: &PeelService) -> Vec<u64> {
+        let mut content = Vec::new();
+        for shard in 0..svc.shards() {
+            let (_e, snap) = svc.snapshot_shard(shard).unwrap();
+            let rec = snap.recover();
+            assert!(rec.complete, "shard {shard} undecodable");
+            assert!(rec.negative.is_empty(), "shard {shard} phantom deletes");
+            content.extend(rec.positive);
+        }
+        content.sort_unstable();
+        content
+    }
+
+    /// Cell-identical comparison against a from-scratch build at the
+    /// same shard count.
+    fn assert_cell_identical_to_fresh(svc: &PeelService, keys: &[u64]) {
+        let fresh = PeelService::start(ServiceConfig {
+            shards: svc.shards(),
+            ..*svc.config()
+        });
+        fresh.insert(keys);
+        fresh.flush();
+        for shard in 0..svc.shards() {
+            let (_e, a) = svc.snapshot_shard(shard).unwrap();
+            let (_e, b) = fresh.snapshot_shard(shard).unwrap();
+            assert_eq!(a, b, "shard {shard} not cell-identical to fresh build");
+        }
+    }
+
+    #[test]
+    fn reshard_splits_and_merges_with_identical_cells() {
+        let svc = PeelService::start(ServiceConfig {
+            batch_size: 64,
+            queue_depth: 4,
+            workers: 2,
+            ..ServiceConfig::for_diff_budget(1, 2_048)
+        });
+        let ks = keys(900, 0x51);
+        svc.insert(&ks);
+        svc.flush();
+        assert_eq!(svc.shards(), 1);
+        assert_eq!(svc.generation(), 0);
+
+        // Split 1 → 4.
+        let status = svc.reshard(4).unwrap();
+        assert!(!status.resharding);
+        assert_eq!(status.serving_shards, 4);
+        assert_eq!(status.keys_moved, 900);
+        assert_eq!(status.completed, 1);
+        assert_eq!(svc.shards(), 4);
+        assert_eq!(svc.generation(), 1);
+        assert_eq!(svc.hello().shards, 4);
+        assert_eq!(decoded_content(&svc), {
+            let mut want = ks.clone();
+            want.sort_unstable();
+            want
+        });
+        assert_cell_identical_to_fresh(&svc, &ks);
+
+        // Merge 4 → 2.
+        svc.reshard(2).unwrap();
+        assert_eq!(svc.shards(), 2);
+        assert_eq!(svc.generation(), 2);
+        assert_cell_identical_to_fresh(&svc, &ks);
+
+        // Merge back to 1: split-then-merge round-trips the routing, so
+        // the single shard is cell-identical to the pre-split original.
+        svc.reshard(1).unwrap();
+        assert_eq!(svc.generation(), 3);
+        assert_cell_identical_to_fresh(&svc, &ks);
+    }
+
+    #[test]
+    fn reshard_dual_applies_racing_ingest() {
+        let svc = std::sync::Arc::new(PeelService::start(ServiceConfig {
+            batch_size: 32,
+            queue_depth: 8,
+            workers: 2,
+            ..ServiceConfig::for_diff_budget(1, 4_096)
+        }));
+        let base = keys(1_000, 0x52);
+        svc.insert(&base);
+        svc.flush();
+
+        // Begin the migration, then keep inserting while it is in
+        // flight: every op must dual-apply to both generations.
+        svc.reshard_begin(4).unwrap();
+        assert!(svc.reshard_status().resharding);
+        let racing: Vec<u64> = (0..500u64).map(|i| 0xace0_0000 | i).collect();
+        let ingester = {
+            let svc = std::sync::Arc::clone(&svc);
+            let racing = racing.clone();
+            std::thread::spawn(move || {
+                for chunk in racing.chunks(16) {
+                    svc.insert(chunk);
+                }
+                svc.flush();
+            })
+        };
+        ingester.join().unwrap();
+        let status = svc.reshard_commit().unwrap();
+        assert_eq!(status.serving_shards, 4);
+        assert_eq!(status.keys_moved, 1_000, "only pre-begin keys re-keyed");
+
+        let mut want: Vec<u64> = base.iter().chain(racing.iter()).copied().collect();
+        want.sort_unstable();
+        assert_eq!(decoded_content(&svc), want);
+        assert_cell_identical_to_fresh(&svc, &want);
+    }
+
+    #[test]
+    fn reshard_abort_keeps_old_generation_authoritative() {
+        let svc = PeelService::start(small_cfg());
+        let ks = keys(600, 0x53);
+        svc.insert(&ks);
+        svc.flush();
+        let before: Vec<Iblt> = (0..svc.shards())
+            .map(|s| svc.snapshot_shard(s).unwrap().1)
+            .collect();
+
+        svc.reshard_begin(8).unwrap();
+        // Mid-migration writes dual-apply...
+        svc.insert(&[0xdead_0001, 0xdead_0002]);
+        svc.flush();
+        // ...and an abort drops the new generation with nothing lost.
+        let status = svc.reshard_abort().unwrap();
+        assert!(!status.resharding);
+        assert_eq!(status.aborted, 1);
+        assert_eq!(svc.shards(), 4);
+        assert_eq!(svc.generation(), 0);
+        let changed = before.iter().enumerate().any(|(s, old)| {
+            let (_e, now) = svc.snapshot_shard(s as u32).unwrap();
+            &now != old
+        });
+        assert!(
+            changed,
+            "mid-migration keys must land in the old generation"
+        );
+        let mut want = ks;
+        want.extend([0xdead_0001, 0xdead_0002]);
+        want.sort_unstable();
+        assert_eq!(decoded_content(&svc), want);
+    }
+
+    #[test]
+    fn reshard_control_errors_are_total() {
+        let svc = PeelService::start(small_cfg());
+        svc.insert(&keys(100, 0x54));
+        svc.flush();
+        // No migration in flight.
+        assert!(matches!(
+            svc.reshard_commit(),
+            Err(ServiceError::NotResharding)
+        ));
+        assert!(matches!(
+            svc.reshard_abort(),
+            Err(ServiceError::NotResharding)
+        ));
+        assert!(matches!(
+            svc.reshard_verify(0),
+            Err(ServiceError::NotResharding)
+        ));
+        // Bad targets: zero, unchanged, hostile.
+        assert!(matches!(
+            svc.reshard_begin(0),
+            Err(ServiceError::BadReshardTarget { to: 0 })
+        ));
+        assert!(matches!(
+            svc.reshard_begin(4),
+            Err(ServiceError::BadReshardTarget { to: 4 })
+        ));
+        assert!(matches!(
+            svc.reshard_begin(MAX_RESHARD_SHARDS + 1),
+            Err(ServiceError::BadReshardTarget { .. })
+        ));
+        // Begin is idempotent for the same target, an error for another.
+        svc.reshard_begin(2).unwrap();
+        assert!(svc.reshard_begin(2).unwrap().resharding);
+        assert!(matches!(
+            svc.reshard_begin(8),
+            Err(ServiceError::ReshardInProgress { to: 2 })
+        ));
+        // Verify out-of-range new shard.
+        assert!(matches!(
+            svc.reshard_verify(7),
+            Err(ServiceError::NoSuchShard {
+                shard: 7,
+                shards: 2
+            })
+        ));
+        svc.reshard_commit().unwrap();
+        assert_eq!(svc.shards(), 2);
+    }
+
+    #[test]
+    fn reshard_verify_returns_projected_digests() {
+        let svc = PeelService::start(ServiceConfig {
+            batch_size: 64,
+            queue_depth: 4,
+            workers: 2,
+            ..ServiceConfig::for_diff_budget(2, 1_024)
+        });
+        let ks = keys(400, 0x55);
+        svc.insert(&ks);
+        svc.flush();
+        svc.reshard_begin(3).unwrap();
+        // Each new shard's digest decodes to exactly the keys the new
+        // routing sends there.
+        let new_router = svc.router().resharded(3);
+        let parts = new_router.partition(&ks);
+        for j in 0..3u32 {
+            let (_epoch, digest) = svc.reshard_verify(j).unwrap();
+            let rec = digest.recover();
+            assert!(rec.complete);
+            let mut got = rec.positive;
+            got.sort_unstable();
+            let mut want = parts[j as usize].clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "new shard {j}");
+        }
+        assert_eq!(svc.reshard_status().shards_verified, 3);
+        svc.reshard_commit().unwrap();
+    }
+
+    #[test]
+    fn reshard_undecodable_contents_roll_back() {
+        // 64-key diff budget but thousands of resident keys: the serving
+        // shard cannot decode, so begin must fail and leave everything
+        // as it was.
+        let svc = PeelService::start(ServiceConfig {
+            batch_size: 256,
+            queue_depth: 8,
+            workers: 2,
+            ..ServiceConfig::for_diff_budget(1, 64)
+        });
+        let ks = keys(5_000, 0x56);
+        svc.insert(&ks);
+        svc.flush();
+        assert!(matches!(
+            svc.reshard_begin(4),
+            Err(ServiceError::ReshardUndecodable { .. })
+        ));
+        let status = svc.reshard_status();
+        assert!(!status.resharding);
+        assert_eq!(status.aborted, 1);
+        assert_eq!(svc.shards(), 1);
+        // Ingest still works (no dual-apply left behind).
+        svc.insert(&[1, 2, 3]);
+        svc.flush();
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::io::{self, Read, Write};
 
 use peel_iblt::{Cell, Iblt, IbltConfig};
 
-use crate::metrics::{MetricsSnapshot, ReplicationStats, ShardStats};
+use crate::metrics::{MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats};
 use crate::queue::Op;
 
 /// Maximum frame payload size (16 MiB). Large enough for an IBLT digest of
@@ -28,8 +28,12 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// Protocol revision carried in `Hello` responses. Revision 2 added the
 /// replication frames (`Subscribe`, `Replicate`, `ReplicateAck`) and the
 /// replication block of `Stats`; revision 3 added the recovery timing
-/// fields of `Stats` (`recovery_ns`, `last_recovery_trace_ns`).
-pub const PROTOCOL_VERSION: u8 = 3;
+/// fields of `Stats` (`recovery_ns`, `last_recovery_trace_ns`);
+/// revision 4 added the live-resharding frames (`ReshardBegin`,
+/// `ReshardDigest`, `ReshardCommit`, `ReshardAbort`), the `Reshard` and
+/// sparse-encoded `DigestSparse` responses, and the reshard block of
+/// `Stats`.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Everything that can go wrong encoding, decoding, or transporting a
 /// message.
@@ -166,6 +170,32 @@ pub enum Request {
         /// Highest sequence number the follower has applied.
         seq: u64,
     },
+    /// Begin a live reshard to `to_shards` shards (protocol v4). The
+    /// server snapshots every serving shard under the apply gates, turns
+    /// on dual-apply, and re-keys the recovered contents into the new
+    /// generation before answering with a [`Response::Reshard`] status.
+    /// Idempotent while a migration to the same target is in flight.
+    ReshardBegin {
+        /// Target shard count of the new generation (≥ 1).
+        to_shards: u32,
+    },
+    /// Verify one new-generation shard (its contents must be
+    /// cell-identical to the projection of the serving contents under
+    /// the new routing) and return its digest, sparse-encoded
+    /// ([`Response::DigestSparse`]). Only meaningful during a migration.
+    ReshardDigest {
+        /// New-generation shard index.
+        shard: u32,
+    },
+    /// Cut over to the new generation: verify every still-unverified
+    /// shard, then atomically swap the serving generation. Answers with
+    /// the post-commit [`Response::Reshard`] status, or an `Error` if
+    /// verification fails (the migration stays in flight for a retry or
+    /// an abort).
+    ReshardCommit,
+    /// Drop the in-flight migration and keep serving the old generation
+    /// (which dual-apply kept authoritative — no key is lost).
+    ReshardAbort,
 }
 
 /// Server → client messages.
@@ -200,6 +230,21 @@ pub enum Response {
         seq: u64,
         /// The batch, in the ingest queue's shape.
         ops: Vec<Op>,
+    },
+    /// Reshard status (answer to the `Reshard*` control frames):
+    /// generation number, migration phase, keys moved, shards verified.
+    Reshard(ReshardStats),
+    /// A shard digest in the sparse encoding (empty cells skipped) —
+    /// the usual answer to `ReshardDigest`, where freshly populated
+    /// shards are lightly loaded and the dense cell array would be
+    /// mostly zeros. Servers answer with the dense [`Response::Digest`]
+    /// instead when that form is smaller (see
+    /// [`sparse_is_smaller`]), so clients accept either.
+    DigestSparse {
+        /// Shard epoch at snapshot time.
+        epoch: u64,
+        /// The snapshot.
+        iblt: Iblt,
     },
 }
 
@@ -369,6 +414,76 @@ fn decode_iblt(r: &mut Reader) -> Result<Iblt, WireError> {
     Ok(t)
 }
 
+/// Serialize an IBLT sparsely: config, then only the non-empty cells as
+/// `(u32 index, cell)` pairs in ascending index order. On lightly loaded
+/// tables (a freshly split shard, an anti-entropy digest after
+/// convergence) this is a fraction of the dense form's
+/// 24-bytes-per-cell; on full tables it costs 4 extra bytes per cell,
+/// which is why the dense form remains the default for `Digest`.
+fn encode_iblt_sparse(out: &mut Vec<u8>, t: &Iblt) {
+    put_config(out, t.config());
+    let cells = t.cells();
+    let nonzero = cells.iter().filter(|c| !cell_is_empty(c)).count();
+    put_u32(out, nonzero as u32);
+    for (i, c) in cells.iter().enumerate() {
+        if cell_is_empty(c) {
+            continue;
+        }
+        put_u32(out, i as u32);
+        put_i64(out, c.count);
+        put_u64(out, c.key_sum);
+        put_u64(out, c.check_sum);
+    }
+}
+
+fn cell_is_empty(c: &Cell) -> bool {
+    c.count == 0 && c.key_sum == 0 && c.check_sum == 0
+}
+
+/// True iff the sparse encoding of `t` beats the dense one (28 bytes
+/// per non-empty cell + a count, vs a flat 24 per cell). Servers use
+/// this to pick the digest encoding: past ~6/7 occupancy sparse *loses*
+/// — and could even exceed [`MAX_FRAME`] on tables the service's
+/// start-time cap assert (which covers the dense form only) accepted —
+/// so the dense form, guaranteed to fit, is the fallback.
+pub fn sparse_is_smaller(t: &Iblt) -> bool {
+    let nonzero = t.cells().iter().filter(|c| !cell_is_empty(c)).count();
+    4 + nonzero * 28 < t.cells().len() * 24
+}
+
+/// Decode a sparsely encoded IBLT. Total: indexes must be in-range and
+/// strictly increasing (so hostile input can neither write one cell
+/// twice nor smuggle an unsorted permutation past an equality check),
+/// and the pair count is validated against the bytes present.
+fn decode_iblt_sparse(r: &mut Reader) -> Result<Iblt, WireError> {
+    let cfg = read_config(r)?;
+    let total = cfg.total_cells();
+    // 28 wire bytes per (index, cell) pair.
+    let n = r.len(28)?;
+    if n > total {
+        return Err(WireError::BadLength(n as u64));
+    }
+    let mut cells = vec![Cell::default(); total];
+    let mut prev: Option<usize> = None;
+    for _ in 0..n {
+        let idx = r.u32()? as usize;
+        if idx >= total || prev.is_some_and(|p| idx <= p) {
+            return Err(WireError::Malformed(format!(
+                "sparse cell index {idx} out of order or out of range"
+            )));
+        }
+        prev = Some(idx);
+        cells[idx] = Cell {
+            count: r.i64()?,
+            key_sum: r.u64()?,
+            check_sum: r.u64()?,
+        };
+    }
+    let mut t = Iblt::new(cfg);
+    t.overwrite_cells(cells);
+    Ok(t)
+}
+
 // --- Messages ---------------------------------------------------------------
 
 const REQ_HELLO: u8 = 0x01;
@@ -381,6 +496,10 @@ const REQ_STATS: u8 = 0x07;
 const REQ_SHUTDOWN: u8 = 0x08;
 const REQ_SUBSCRIBE: u8 = 0x09;
 const REQ_REPLICATE_ACK: u8 = 0x0a;
+const REQ_RESHARD_BEGIN: u8 = 0x0b;
+const REQ_RESHARD_DIGEST: u8 = 0x0c;
+const REQ_RESHARD_COMMIT: u8 = 0x0d;
+const REQ_RESHARD_ABORT: u8 = 0x0e;
 
 const RESP_HELLO: u8 = 0x81;
 const RESP_OK: u8 = 0x82;
@@ -389,6 +508,8 @@ const RESP_DIFF: u8 = 0x84;
 const RESP_STATS: u8 = 0x85;
 const RESP_ERROR: u8 = 0x86;
 const RESP_REPLICATE: u8 = 0x87;
+const RESP_RESHARD: u8 = 0x88;
+const RESP_DIGEST_SPARSE: u8 = 0x89;
 
 // Wire encoding of one ingest op: 8-byte key + 1-byte direction.
 const OP_BYTES: usize = 9;
@@ -451,6 +572,16 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(REQ_REPLICATE_ACK);
             put_u64(&mut out, *seq);
         }
+        Request::ReshardBegin { to_shards } => {
+            out.push(REQ_RESHARD_BEGIN);
+            put_u32(&mut out, *to_shards);
+        }
+        Request::ReshardDigest { shard } => {
+            out.push(REQ_RESHARD_DIGEST);
+            put_u32(&mut out, *shard);
+        }
+        Request::ReshardCommit => out.push(REQ_RESHARD_COMMIT),
+        Request::ReshardAbort => out.push(REQ_RESHARD_ABORT),
     }
     out
 }
@@ -472,6 +603,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         REQ_SHUTDOWN => Request::Shutdown,
         REQ_SUBSCRIBE => Request::Subscribe { last_seq: r.u64()? },
         REQ_REPLICATE_ACK => Request::ReplicateAck { seq: r.u64()? },
+        REQ_RESHARD_BEGIN => Request::ReshardBegin {
+            to_shards: r.u32()?,
+        },
+        REQ_RESHARD_DIGEST => Request::ReshardDigest { shard: r.u32()? },
+        REQ_RESHARD_COMMIT => Request::ReshardCommit,
+        REQ_RESHARD_ABORT => Request::ReshardAbort,
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;
@@ -495,6 +632,30 @@ fn read_shard_diff(r: &mut Reader) -> Result<ShardDiff, WireError> {
         subrounds: r.u32()?,
         only_local: r.u64_vec()?,
         only_remote: r.u64_vec()?,
+    })
+}
+
+fn put_reshard_stats(out: &mut Vec<u8>, s: &ReshardStats) {
+    put_u64(out, s.generation);
+    out.push(s.resharding as u8);
+    put_u32(out, s.serving_shards);
+    put_u32(out, s.to_shards);
+    put_u64(out, s.keys_moved);
+    put_u32(out, s.shards_verified);
+    put_u64(out, s.completed);
+    put_u64(out, s.aborted);
+}
+
+fn read_reshard_stats(r: &mut Reader) -> Result<ReshardStats, WireError> {
+    Ok(ReshardStats {
+        generation: r.u64()?,
+        resharding: r.bool()?,
+        serving_shards: r.u32()?,
+        to_shards: r.u32()?,
+        keys_moved: r.u64()?,
+        shards_verified: r.u32()?,
+        completed: r.u64()?,
+        aborted: r.u64()?,
     })
 }
 
@@ -530,6 +691,7 @@ fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
     ] {
         put_u64(out, v);
     }
+    put_reshard_stats(out, &s.reshard);
 }
 
 fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
@@ -565,6 +727,7 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         anti_entropy_rounds: r.u64()?,
         anti_entropy_keys: r.u64()?,
     };
+    let reshard = read_reshard_stats(r)?;
     Ok(MetricsSnapshot {
         batches_applied,
         ops_applied,
@@ -577,6 +740,7 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         last_recovery_trace_ns,
         shards,
         replication,
+        reshard,
     })
 }
 
@@ -614,6 +778,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_string(&mut out, msg);
         }
         Response::Replicate { seq, ops } => return encode_replicate(*seq, ops),
+        Response::Reshard(s) => {
+            out.push(RESP_RESHARD);
+            put_reshard_stats(&mut out, s);
+        }
+        Response::DigestSparse { epoch, iblt } => {
+            out.push(RESP_DIGEST_SPARSE);
+            put_u64(&mut out, *epoch);
+            encode_iblt_sparse(&mut out, iblt);
+        }
     }
     out
 }
@@ -651,6 +824,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         RESP_REPLICATE => Response::Replicate {
             seq: r.u64()?,
             ops: read_ops(&mut r)?,
+        },
+        RESP_RESHARD => Response::Reshard(read_reshard_stats(&mut r)?),
+        RESP_DIGEST_SPARSE => Response::DigestSparse {
+            epoch: r.u64()?,
+            iblt: decode_iblt_sparse(&mut r)?,
         },
         t => return Err(WireError::BadTag(t)),
     };
@@ -711,6 +889,22 @@ pub fn iblt_to_bytes(t: &Iblt) -> Vec<u8> {
     let mut out = Vec::new();
     encode_iblt(&mut out, t);
     out
+}
+
+/// Encode an IBLT sparsely (empty cells skipped) to a standalone byte
+/// vector — the encoding `DigestSparse` responses use.
+pub fn iblt_to_sparse_bytes(t: &Iblt) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_iblt_sparse(&mut out, t);
+    out
+}
+
+/// Decode a sparsely encoded IBLT from a standalone byte slice.
+pub fn iblt_from_sparse_bytes(bytes: &[u8]) -> Result<Iblt, WireError> {
+    let mut r = Reader::new(bytes);
+    let t = decode_iblt_sparse(&mut r)?;
+    r.finish()?;
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -787,6 +981,22 @@ mod tests {
     }
 
     #[test]
+    fn sparse_is_smaller_tracks_occupancy() {
+        // Empty and lightly loaded: sparse wins.
+        let mut t = Iblt::new(IbltConfig::new(4, 64, 3));
+        assert!(sparse_is_smaller(&t));
+        t.insert(7);
+        assert!(sparse_is_smaller(&t));
+        // Saturate the table: nearly every cell non-empty, sparse loses
+        // (and the helper's verdict matches the actual encoded sizes).
+        for k in 0..2_000u64 {
+            t.insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        assert!(!sparse_is_smaller(&t));
+        assert!(iblt_to_sparse_bytes(&t).len() >= iblt_to_bytes(&t).len());
+    }
+
+    #[test]
     fn insert_count_mismatch_is_bad_length() {
         // Announce 1000 keys but supply 1.
         let mut payload = vec![REQ_INSERT];
@@ -826,6 +1036,87 @@ mod tests {
             decode_response(&payload),
             Err(WireError::BadTag(7))
         ));
+    }
+
+    #[test]
+    fn reshard_frames_roundtrip() {
+        for req in [
+            Request::ReshardBegin { to_shards: 4 },
+            Request::ReshardDigest { shard: 3 },
+            Request::ReshardCommit,
+            Request::ReshardAbort,
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        let resp = Response::Reshard(ReshardStats {
+            generation: 2,
+            resharding: true,
+            serving_shards: 1,
+            to_shards: 4,
+            keys_moved: 12_345,
+            shards_verified: 3,
+            completed: 1,
+            aborted: 0,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    /// Sparse and dense encodings decode to the same table, and on a
+    /// lightly loaded shard the sparse form is genuinely smaller — the
+    /// ROADMAP "snapshot compaction" fix.
+    #[test]
+    fn sparse_encoding_is_equivalent_and_compact_when_light() {
+        // 4×200 = 800 cells, ~30 of them touched.
+        let mut t = Iblt::new(IbltConfig::new(4, 200, 77));
+        for k in 0..8u64 {
+            t.insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        t.delete(42);
+        let dense = iblt_to_bytes(&t);
+        let sparse = iblt_to_sparse_bytes(&t);
+        assert_eq!(iblt_from_sparse_bytes(&sparse).unwrap(), t);
+        assert_eq!(iblt_from_bytes(&dense).unwrap(), t);
+        assert!(
+            sparse.len() * 4 < dense.len(),
+            "sparse {} bytes vs dense {} bytes",
+            sparse.len(),
+            dense.len()
+        );
+        // An empty table is just the config + a zero count.
+        let empty = Iblt::new(IbltConfig::new(4, 200, 77));
+        assert_eq!(iblt_to_sparse_bytes(&empty).len(), 20 + 4);
+        // Full response framing round-trips too.
+        let resp = Response::DigestSparse { epoch: 9, iblt: t };
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn sparse_decoding_rejects_hostile_indexes() {
+        let mut t = Iblt::new(IbltConfig::new(2, 4, 1));
+        t.insert(7);
+        t.insert(9);
+        let good = iblt_to_sparse_bytes(&t);
+        // Config is 20 bytes, pair count 4 bytes; the first pair's index
+        // starts at offset 24. Duplicate (≤ previous) and out-of-range
+        // indexes must both error.
+        let mut dup = good.clone();
+        // Overwrite the second pair's index with the first pair's.
+        let first = dup[24..28].to_vec();
+        dup[24 + 28..24 + 28 + 4].copy_from_slice(&first);
+        assert!(matches!(
+            iblt_from_sparse_bytes(&dup),
+            Err(WireError::Malformed(_))
+        ));
+        let mut oob = good.clone();
+        oob[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            iblt_from_sparse_bytes(&oob),
+            Err(WireError::Malformed(_))
+        ));
+        // More pairs than cells cannot allocate past the table.
+        let mut overcount = good;
+        overcount[20..24].copy_from_slice(&100u32.to_le_bytes());
+        assert!(iblt_from_sparse_bytes(&overcount).is_err());
     }
 
     #[test]

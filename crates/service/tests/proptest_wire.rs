@@ -5,12 +5,12 @@
 use proptest::prelude::*;
 
 use peel_iblt::{Iblt, IbltConfig};
-use peel_service::metrics::{MetricsSnapshot, ReplicationStats, ShardStats};
+use peel_service::metrics::{MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats};
 use peel_service::queue::Op;
 use peel_service::wire::{
     decode_request, decode_response, encode_request, encode_response, iblt_from_bytes,
-    iblt_to_bytes, read_frame, write_frame, HelloInfo, Request, Response, ShardDiff, WireError,
-    PROTOCOL_VERSION,
+    iblt_from_sparse_bytes, iblt_to_bytes, iblt_to_sparse_bytes, read_frame, write_frame,
+    HelloInfo, Request, Response, ShardDiff, WireError, PROTOCOL_VERSION,
 };
 
 // --- Strategies -------------------------------------------------------------
@@ -66,7 +66,28 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Shutdown),
         any::<u64>().prop_map(|last_seq| Request::Subscribe { last_seq }),
         any::<u64>().prop_map(|seq| Request::ReplicateAck { seq }),
+        any::<u32>().prop_map(|to_shards| Request::ReshardBegin { to_shards }),
+        any::<u32>().prop_map(|shard| Request::ReshardDigest { shard }),
+        Just(Request::ReshardCommit),
+        Just(Request::ReshardAbort),
     ]
+}
+
+fn arb_reshard_stats() -> impl Strategy<Value = ReshardStats> {
+    (
+        (any::<u64>(), any::<bool>(), any::<u32>(), any::<u32>()),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(a, b)| ReshardStats {
+            generation: a.0,
+            resharding: a.1,
+            serving_shards: a.2,
+            to_shards: a.3,
+            keys_moved: b.0,
+            shards_verified: b.1,
+            completed: b.2,
+            aborted: b.3,
+        })
 }
 
 fn arb_shard_diff() -> impl Strategy<Value = ShardDiff> {
@@ -118,10 +139,10 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
         proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16),
-        arb_replication(),
+        (arb_replication(), arb_reshard_stats()),
     )
         .prop_map(
-            |(a, b, trace, trace_ns, shards, replication)| MetricsSnapshot {
+            |(a, b, trace, trace_ns, shards, (replication, reshard))| MetricsSnapshot {
                 batches_applied: a.0,
                 ops_applied: a.1,
                 queue_stalls: a.2,
@@ -140,6 +161,7 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
                     })
                     .collect(),
                 replication,
+                reshard,
             },
         )
 }
@@ -162,6 +184,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
         arb_shard_diff().prop_map(Response::Diff),
         arb_stats().prop_map(Response::Stats),
         (any::<u64>(), arb_ops()).prop_map(|(seq, ops)| Response::Replicate { seq, ops }),
+        arb_reshard_stats().prop_map(Response::Reshard),
+        (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::DigestSparse { epoch, iblt }),
         // The shim has no string strategies; synthesize UTF-8 (including
         // multi-byte chars) from arbitrary bytes via lossy conversion.
         proptest::collection::vec(any::<u8>(), 0..40)
@@ -225,6 +249,19 @@ proptest! {
         prop_assert!(decode_response(&payload[..cut]).is_err());
     }
 
+    /// The sparse (skip-empty-cells) encoding decodes to the same table
+    /// the dense one does, and every strict prefix of it errors instead
+    /// of panicking or mis-decoding.
+    #[test]
+    fn sparse_iblt_roundtrip_and_truncation(t in arb_iblt(), cut in 0.0f64..1.0) {
+        let sparse = iblt_to_sparse_bytes(&t);
+        prop_assert_eq!(&iblt_from_sparse_bytes(&sparse).unwrap(), &t);
+        // Equivalence with the dense path on the same table.
+        prop_assert_eq!(&iblt_from_bytes(&iblt_to_bytes(&t)).unwrap(), &t);
+        let cut = (sparse.len() as f64 * cut) as usize; // < len
+        prop_assert!(iblt_from_sparse_bytes(&sparse[..cut]).is_err());
+    }
+
     /// Arbitrary byte soup never panics the decoders (errors are fine;
     /// an accidental clean decode of random bytes is fine too).
     #[test]
@@ -232,6 +269,7 @@ proptest! {
         let _ = decode_request(&bytes);
         let _ = decode_response(&bytes);
         let _ = iblt_from_bytes(&bytes);
+        let _ = iblt_from_sparse_bytes(&bytes);
         let mut cursor = std::io::Cursor::new(bytes);
         let _ = read_frame(&mut cursor);
     }

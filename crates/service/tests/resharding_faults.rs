@@ -1,0 +1,258 @@
+//! Deterministic fault-injection proof of reshard convergence.
+//!
+//! A well-behaved coordinator's frame script — `ReshardBegin`, a
+//! verification `ReshardDigest` per new shard, `ReshardCommit`, repeated
+//! for a few retry cycles — is recorded as encoded wire frames, mangled
+//! by a seeded [`FaultPlan`] (drops, duplicates, reorders, truncations),
+//! and replayed through [`handle_request`] — the exact dispatch the TCP
+//! handler runs — over the [`SimTransport`] double, while deterministic
+//! racing ingest (inserts *and* deletes) lands between frames.
+//!
+//! Whatever the faults do to the control stream, the state machine must
+//! never corrupt state: every run must end (after at most one clean
+//! resume pass, which is what a restarted coordinator would do) with all
+//! generations retired and shard contents **cell-identical** to a
+//! from-scratch build at the new shard count — for a split 1 → 4 and a
+//! merge 4 → 2, across seeds 0..8.
+
+use peel_service::wire::{decode_request, encode_request, encode_response, Request};
+use peel_service::{
+    handle_request, FaultPlan, PeelService, ServiceConfig, SimTransport, Transport,
+};
+
+fn keys(n: u64, tag: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag)
+        .collect()
+}
+
+fn cfg(shards: u32) -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 64,
+        queue_depth: 8,
+        workers: 2,
+        // Budget for the full resident set: a reshard decodes whole
+        // shards, not just diffs.
+        ..ServiceConfig::for_diff_budget(shards, 8_192)
+    }
+}
+
+/// The coordinator's happy-path script: begin, verify every new shard,
+/// commit — repeated `cycles` times so that even heavy frame loss leaves
+/// at least one complete Begin → Commit ordering. Every frame is
+/// idempotent or cleanly rejected, so duplicates and reorders are safe
+/// by construction.
+fn coordinator_script(to_shards: u32, cycles: usize) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    for _ in 0..cycles {
+        frames.push(encode_request(&Request::ReshardBegin { to_shards }));
+        for shard in 0..to_shards {
+            frames.push(encode_request(&Request::ReshardDigest { shard }));
+        }
+        frames.push(encode_request(&Request::ReshardCommit));
+    }
+    frames
+}
+
+/// Replay a (possibly mangled) control-frame stream against the
+/// service, interleaving one chunk of churn between frames: undecodable
+/// frames are skipped (exactly as the TCP handler answers them with an
+/// `Error` and moves on), decodable ones go through the real dispatch.
+fn drive(svc: &PeelService, frames: Vec<Vec<u8>>, churn: &mut ChurnSchedule) {
+    let mut transport = SimTransport::new(frames);
+    while let Some(frame) = transport.recv().unwrap() {
+        churn.step(svc);
+        if let Ok(req) = decode_request(&frame) {
+            let (resp, _stop) = handle_request(svc, req);
+            transport.send(&encode_response(&resp)).unwrap();
+        }
+    }
+}
+
+/// Deterministic racing ingest: a fixed list of inserts and a fixed
+/// slice of base keys to delete, applied one chunk per control frame.
+/// Whatever the fault pattern leaves of the script, `finish` applies the
+/// remainder, so the final key set is identical across seeds.
+struct ChurnSchedule {
+    inserts: Vec<u64>,
+    deletes: Vec<u64>,
+    cursor: usize,
+    chunk: usize,
+}
+
+impl ChurnSchedule {
+    fn new(inserts: Vec<u64>, deletes: Vec<u64>, chunk: usize) -> ChurnSchedule {
+        ChurnSchedule {
+            inserts,
+            deletes,
+            cursor: 0,
+            chunk,
+        }
+    }
+
+    fn step(&mut self, svc: &PeelService) {
+        let lo = self.cursor;
+        self.cursor += self.chunk;
+        let ins = &self.inserts[lo.min(self.inserts.len())..self.cursor.min(self.inserts.len())];
+        if !ins.is_empty() {
+            svc.insert(ins);
+        }
+        let del = &self.deletes[lo.min(self.deletes.len())..self.cursor.min(self.deletes.len())];
+        if !del.is_empty() {
+            svc.delete(del);
+        }
+    }
+
+    fn finish(&mut self, svc: &PeelService) {
+        if self.cursor < self.inserts.len() {
+            svc.insert(&self.inserts[self.cursor..]);
+        }
+        if self.cursor < self.deletes.len() {
+            svc.delete(&self.deletes[self.cursor..]);
+        }
+        self.cursor = usize::MAX;
+        svc.flush();
+    }
+}
+
+/// Drive one mangled reshard under churn and return the service.
+fn mangled_reshard(
+    from: u32,
+    to: u32,
+    seed: u64,
+    base: &[u64],
+    churn_in: &[u64],
+    churn_del: &[u64],
+) -> PeelService {
+    let svc = PeelService::start(cfg(from));
+    svc.insert(base);
+    svc.flush();
+
+    let script = coordinator_script(to, 4);
+    let mangled = FaultPlan::for_seed(seed).mangle(&script);
+    let mut churn = ChurnSchedule::new(churn_in.to_vec(), churn_del.to_vec(), 40);
+    drive(&svc, mangled, &mut churn);
+    churn.finish(&svc);
+
+    // A restarted coordinator's resume pass: whatever the mangled stream
+    // left behind — mid-migration, aborted, or already committed — one
+    // clean script must land the service at the target, with every
+    // generation retired.
+    if svc.shards() != to || svc.reshard_status().resharding {
+        drive(
+            &svc,
+            coordinator_script(to, 1),
+            &mut ChurnSchedule::new(Vec::new(), Vec::new(), 1),
+        );
+    }
+    svc.flush();
+    svc
+}
+
+/// Expected final key set: base + churn inserts − churn deletes.
+fn expected_keys(base: &[u64], churn_in: &[u64], churn_del: &[u64]) -> Vec<u64> {
+    let mut want: Vec<u64> = base.iter().chain(churn_in.iter()).copied().collect();
+    want.retain(|k| !churn_del.contains(k));
+    want.sort_unstable();
+    want
+}
+
+fn assert_converged(svc: &PeelService, to: u32, want: &[u64], label: &str) {
+    // All generations retired…
+    let status = svc.reshard_status();
+    assert!(!status.resharding, "{label}: migration still in flight");
+    assert_eq!(svc.shards(), to, "{label}: wrong final shard count");
+    assert!(status.completed >= 1, "{label}: no reshard ever committed");
+    // …and the shard contents are cell-identical to a from-scratch
+    // build at the new count (same base geometry — reshard never
+    // resizes tables, per-shard budgets are a config property).
+    let fresh = PeelService::start(ServiceConfig {
+        shards: to,
+        ..*svc.config()
+    });
+    fresh.insert(want);
+    fresh.flush();
+    let mut content = Vec::new();
+    for shard in 0..to {
+        let (_e, a) = svc.snapshot_shard(shard).unwrap();
+        let (_e, b) = fresh.snapshot_shard(shard).unwrap();
+        assert_eq!(a, b, "{label}: shard {shard} not cell-identical");
+        let rec = a.recover();
+        assert!(rec.complete, "{label}: shard {shard} undecodable");
+        assert!(rec.negative.is_empty(), "{label}: phantom deletes");
+        content.extend(rec.positive);
+    }
+    content.sort_unstable();
+    assert_eq!(content, want, "{label}: content diverged");
+}
+
+#[test]
+fn split_converges_under_every_fault_pattern() {
+    for seed in 0..8u64 {
+        let base = keys(1_200, 0x5bad_0000 | seed);
+        let churn_in = keys(600, 0xc4a0_0000 | seed);
+        let churn_del = base[..150].to_vec();
+        let svc = mangled_reshard(1, 4, seed, &base, &churn_in, &churn_del);
+        let want = expected_keys(&base, &churn_in, &churn_del);
+        assert_converged(&svc, 4, &want, &format!("split seed {seed}"));
+        println!(
+            "split seed {seed}: gen {} ({} committed, {} aborted, {} keys moved)",
+            svc.generation(),
+            svc.reshard_status().completed,
+            svc.reshard_status().aborted,
+            svc.reshard_status().keys_moved,
+        );
+    }
+}
+
+#[test]
+fn merge_converges_under_every_fault_pattern() {
+    for seed in 0..8u64 {
+        let base = keys(1_200, 0x6bad_0000 | seed);
+        let churn_in = keys(600, 0xd4a0_0000 | seed);
+        let churn_del = base[..150].to_vec();
+        let svc = mangled_reshard(4, 2, seed, &base, &churn_in, &churn_del);
+        let want = expected_keys(&base, &churn_in, &churn_del);
+        assert_converged(&svc, 2, &want, &format!("merge seed {seed}"));
+    }
+}
+
+/// The same seed twice produces identical final cells — the whole run
+/// (fault pattern, churn schedule, reshard outcome) is deterministic at
+/// the content level even though worker scheduling is not.
+#[test]
+fn mangled_reshard_is_deterministic_per_seed() {
+    for seed in [0u64, 4] {
+        let base = keys(800, 0x7bad_0000 | seed);
+        let churn_in = keys(300, 0xe4a0_0000 | seed);
+        let churn_del = base[..80].to_vec();
+        let a = mangled_reshard(1, 4, seed, &base, &churn_in, &churn_del);
+        let b = mangled_reshard(1, 4, seed, &base, &churn_in, &churn_del);
+        for shard in 0..4 {
+            assert_eq!(
+                a.snapshot_shard(shard).unwrap().1,
+                b.snapshot_shard(shard).unwrap().1,
+                "seed {seed}: shard {shard} differs between identical runs"
+            );
+        }
+    }
+}
+
+/// A clean (fault-free) script needs exactly one cycle: the first
+/// Begin/Digest×N/Commit commits, and the retry cycles are cleanly
+/// rejected no-ops.
+#[test]
+fn clean_script_commits_on_the_first_cycle() {
+    let svc = PeelService::start(cfg(1));
+    let base = keys(1_000, 0xc1ea);
+    svc.insert(&base);
+    svc.flush();
+    let mut churn = ChurnSchedule::new(Vec::new(), Vec::new(), 1);
+    drive(&svc, coordinator_script(4, 3), &mut churn);
+    let status = svc.reshard_status();
+    assert_eq!(status.completed, 1, "retry cycles must not re-commit");
+    assert_eq!(status.keys_moved, 1_000);
+    assert_eq!(svc.generation(), 1);
+    let want = expected_keys(&base, &[], &[]);
+    assert_converged(&svc, 4, &want, "clean script");
+}

@@ -174,6 +174,135 @@ fn follower_driver_replicates_over_tcp() {
 }
 
 #[test]
+fn reshard_round_trips_over_tcp() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            batch_size: 128,
+            workers: 2,
+            ..ServiceConfig::for_diff_budget(1, 2_048)
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+    assert_eq!(c.hello().unwrap().shards, 1);
+    let keys: Vec<u64> = (0..800u64).map(|i| i * 11 + 5).collect();
+    c.insert(&keys).unwrap();
+    c.flush().unwrap();
+
+    // Begin, inspect a sparse new-generation digest, commit.
+    let status = c.reshard_begin(4).unwrap();
+    assert!(status.resharding);
+    assert_eq!(status.keys_moved, 800);
+    let (_epoch, d0) = c.reshard_digest(0).unwrap();
+    let rec = d0.recover();
+    assert!(rec.complete);
+    assert!(!rec.positive.is_empty(), "new shard 0 got no keys");
+    let status = c.reshard_commit().unwrap();
+    assert!(!status.resharding);
+    assert_eq!(status.serving_shards, 4);
+    assert_eq!(status.completed, 1);
+
+    // The refreshed handshake advertises the new count, and the full
+    // content survived the re-keying.
+    assert_eq!(c.hello().unwrap().shards, 4);
+    let diff = c.reconcile(&keys).unwrap();
+    assert!(diff.complete);
+    assert!(diff.only_server.is_empty());
+    assert!(diff.only_client.is_empty());
+    assert_eq!(diff.shards.len(), 4);
+
+    // Control frames outside a migration are clean remote errors.
+    match c.reshard_commit() {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("no reshard"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    // The whole-reshard driver works too (merge 4 → 2).
+    let status = c.reshard(2).unwrap();
+    assert_eq!(status.serving_shards, 2);
+    assert_eq!(c.hello().unwrap().shards, 2);
+}
+
+/// Version negotiation, downward: a protocol-v3 client (pre-reshard
+/// frame surface) against today's v4 server. The graceful-degradation
+/// contract covers the data plane: every keyspace frame a v3 client can
+/// send (`Hello`/`Insert`/`Delete`/`Flush`/`Digest`/`Reconcile`/
+/// `Shutdown` and the replication stream) is byte-identical in v4 and
+/// must work unchanged. `Stats` is the deliberate exception — its
+/// payload grows with the server's revision (v3 itself appended the
+/// recovery-timing fields), so a version-mismatched `Stats` decodes to
+/// a clean `TrailingBytes` error, never corruption.
+#[test]
+fn v3_client_against_v4_server_degrades_gracefully() {
+    let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // The server advertises v4; a v3 client ignores the higher number
+    // and keeps to its own frame surface.
+    assert_eq!(c.hello().unwrap().version, 4);
+    let keys: Vec<u64> = (0..300u64).map(|i| i * 13).collect();
+    assert_eq!(c.insert(&keys).unwrap(), 300);
+    c.flush().unwrap();
+    let diff = c.reconcile(&keys).unwrap();
+    assert!(diff.complete && diff.only_server.is_empty() && diff.only_client.is_empty());
+    let (_epoch, iblt) = c.digest(0).unwrap();
+    assert!(iblt.recover().complete);
+}
+
+/// Version negotiation, upward: a v4 client against a v3 server (mocked
+/// with the v3 frame surface: it answers `Hello` with version 3 and any
+/// unknown tag with a protocol `Error`, exactly as the real v3 server's
+/// total decoder did). `Client::reshard` must refuse cleanly before
+/// sending any reshard frame, and a raw reshard frame must come back as
+/// a remote error — never a hang, panic, or dropped connection.
+#[test]
+fn v4_client_against_v3_server_degrades_gracefully() {
+    use peel_service::wire::{encode_response, read_frame, write_frame, HelloInfo, Response};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let v3_hello = HelloInfo {
+        version: 3,
+        shards: 2,
+        router_seed: 7,
+        base_config: peel_iblt::IbltConfig::for_load(4, 64, 0.5, 1),
+        batch_size: 128,
+    };
+    let mock = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = std::io::BufWriter::new(stream);
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            // The v3 request surface ends at tag 0x0a (ReplicateAck).
+            let resp = match payload.first().copied() {
+                Some(0x01) => Response::Hello(v3_hello),
+                Some(tag) if tag >= 0x0b => {
+                    Response::Error(format!("bad request: unknown message tag {tag:#04x}"))
+                }
+                _ => Response::Ok { accepted: 0 },
+            };
+            if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut c = Client::connect_retry(addr, Duration::from_secs(5)).unwrap();
+    // The driver sees version 3 in the handshake and refuses up front.
+    match c.reshard(4) {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("needs v4"), "{msg}"),
+        other => panic!("expected clean version refusal, got {other:?}"),
+    }
+    // A raw v4 frame surfaces the server's tag error as a remote error
+    // on a connection that stays usable.
+    match c.reshard_begin(4) {
+        Err(WireError::Remote(msg)) => assert!(msg.contains("unknown message tag"), "{msg}"),
+        other => panic!("expected remote tag error, got {other:?}"),
+    }
+    assert_eq!(c.hello().unwrap().version, 3);
+    drop(c);
+    mock.join().unwrap();
+}
+
+#[test]
 fn concurrent_clients_share_one_service() {
     let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
     let addr = server.local_addr();
