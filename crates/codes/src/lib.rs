@@ -45,6 +45,10 @@ pub use biff::{BiffCode, BiffOutcome};
 pub use lt::{LtCode, LtDecode, LtSymbol, RobustSoliton};
 
 use rayon::prelude::*;
+// ordering: Relaxed throughout — check-cell updates are commutative RMWs
+// (fetch_xor on sums, fetch_sub on degree), per-index recovery flags are
+// written once, and decode rounds are separated by rayon fork-join
+// barriers that carry the cross-round happens-before.
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 /// A possibly-erased symbol on the wire.

@@ -18,6 +18,10 @@
 //! symbols decode a k-symbol message with probability ≥ 1 − δ.
 
 use rayon::prelude::*;
+// ordering: Relaxed throughout — symbol-cell updates are commutative RMWs
+// (fetch_sub on degree, fetch_xor on the sums), recovery claims are
+// decided by a single compare_exchange, and peeling rounds are separated
+// by rayon fork-join barriers that carry the cross-round happens-before.
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 /// The 64-bit SplitMix finalizer.

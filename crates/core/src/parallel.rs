@@ -50,6 +50,11 @@
 //! the next phase starts.
 
 use rayon::prelude::*;
+// ordering: Relaxed throughout — writes are idempotent claims (every
+// racer stores the same round number), single-winner bitset RMWs, or
+// commutative degree updates, and rounds are separated by rayon
+// fork-join barriers that carry the cross-round happens-before (see the
+// module docs above for the full argument).
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 use peel_graph::bits::{AtomicBitset, Striped};

@@ -21,6 +21,11 @@
 //! subround, matching Table 5's accounting.
 
 use rayon::prelude::*;
+// ordering: Relaxed throughout — the subround engine's writes are either
+// idempotent claims (every racer stores the same subround number) or
+// commutative RMWs (fetch_sub on degrees, fetch_add on the kill count),
+// and subrounds are separated by rayon fork-join barriers that carry the
+// cross-subround happens-before. Same argument as crate::parallel.
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 use peel_graph::{Hypergraph, Partition};

@@ -13,6 +13,10 @@
 //! [`crate::parallel::peel_parallel`] wraps a throwaway workspace for
 //! one-shot callers; [`crate::parallel::peel_parallel_in`] borrows yours.
 
+// ordering: Relaxed — the workspace only resets and reads engine state
+// outside the parallel phases (exclusive &mut or post-join), so the
+// atomics exist for type compatibility with the engines, not for
+// synchronization; the engines' rayon barriers carry every needed edge.
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 use peel_graph::bits::{AtomicBitset, Striped};

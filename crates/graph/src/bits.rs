@@ -20,8 +20,14 @@
 //!   vector by offset. `clear()` keeps every buffer's capacity, so after
 //!   warm-up no round allocates.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Mutex, MutexGuard};
+// ordering: every atomic op in this module is Relaxed — the bitset's RMWs
+// (fetch_or/fetch_and) are commutative claims whose winner is decided by RMW
+// atomicity alone, and cross-phase visibility is sequenced by the engines'
+// fork-join barriers (rayon join/scope), not by these accesses. Checked by
+// the loom models in tests/loom_bits.rs.
+use std::sync::atomic::Ordering::Relaxed;
+
+use crate::sync::{AtomicU64, Mutex, MutexGuard};
 
 /// A fixed-length bitset over atomic 64-bit words.
 ///

@@ -69,6 +69,7 @@ pub mod models;
 pub mod poisson;
 pub mod rng;
 pub mod stats;
+pub(crate) mod sync;
 
 pub use bits::{AtomicBitset, Striped};
 pub use components::{edge_subgraph, Components, UnionFind};

@@ -16,7 +16,14 @@
 //! inserted.
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+// ordering: same commutative-RMW argument as crate::parallel — cell updates
+// (fetch_add on count, fetch_xor on the three sums) commute, and recovery
+// subround phases are sequenced by rayon fork-join barriers, so Relaxed is
+// sufficient for every access. Checked by the loom model in
+// tests/loom_cells.rs.
+use std::sync::atomic::Ordering::Relaxed;
+
+use crate::sync::{AtomicI64, AtomicU64};
 
 use crate::config::IbltConfig;
 use crate::hashing::IbltHasher;
@@ -73,6 +80,16 @@ pub struct KvIblt {
     hasher: IbltHasher,
     cells: Vec<KvCell>,
 }
+
+/// Two tables are equal when they have the same configuration and the
+/// same cell contents (the hasher is derived from the configuration).
+impl PartialEq for KvIblt {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg && self.cells == other.cells
+    }
+}
+
+impl Eq for KvIblt {}
 
 /// Listing outcome for [`KvIblt`].
 #[derive(Debug, Clone, Default)]
@@ -262,6 +279,19 @@ impl AtomicKvIblt {
             check_sum: self.check_sum[idx].load(Relaxed),
             value_sum: self.value_sum[idx].load(Relaxed),
         }
+    }
+
+    /// Copy the current cell contents into a serial [`KvIblt`] snapshot.
+    /// Sequential on purpose, mirroring [`crate::AtomicIblt::snapshot`]
+    /// — and with the same consistency caveat: the loads are relaxed and
+    /// per-cell, so callers needing a consistent view must fence updates
+    /// around the copy.
+    pub fn snapshot(&self) -> KvIblt {
+        let mut t = KvIblt::new(self.cfg);
+        for (idx, c) in t.cells.iter_mut().enumerate() {
+            *c = self.read_cell(idx);
+        }
+        t
     }
 
     /// Parallel subround listing (same discipline as

@@ -89,6 +89,7 @@ pub mod parallel;
 pub mod reconcile;
 pub mod serial;
 pub mod sparse;
+pub(crate) mod sync;
 pub mod workspace;
 
 pub use cell::Cell;

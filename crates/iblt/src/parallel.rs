@@ -18,10 +18,17 @@
 //! exists to prevent.
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+// ordering: every cell access is Relaxed — count/key_sum/check_sum updates
+// are commutative RMWs (fetch_add/fetch_xor) exactly like the paper's
+// atomic-XOR CUDA kernels, and subround phases are separated by rayon
+// fork-join barriers that already order scans against deletions. Checked by
+// the loom model in tests/loom_cells.rs.
+use std::sync::atomic::Ordering::Relaxed;
 use std::time::Instant;
 
 use peel_graph::bits::Striped;
+
+use crate::sync::{AtomicI64, AtomicU64};
 
 use crate::cell::Cell;
 use crate::config::IbltConfig;

@@ -1,0 +1,13 @@
+//! Concurrency-primitive indirection for model checking.
+//!
+//! Built normally, this re-exports the `std::sync::atomic` cell types
+//! the atomic IBLTs use. Built with `RUSTFLAGS="--cfg loom"`, the same
+//! names resolve to the vendored loom shims so `loom::model` can
+//! exhaustively check cell RMW commutativity (see tests/loom_cells.rs);
+//! outside a model the shims delegate straight back to `std`.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicI64, AtomicU64};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64};

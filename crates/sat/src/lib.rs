@@ -32,6 +32,11 @@
 
 use rand::RngCore;
 use rayon::prelude::*;
+// ordering: every atomic op here is Relaxed — occurrence counters are
+// commutative fetch_add/fetch_sub, clause claims are decided by a single
+// atomic `swap`, and phases of the parallel unit-propagation loop are
+// separated by rayon fork-join barriers, which carry the cross-phase
+// happens-before. No data is published through these atomics.
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::Relaxed};
 
 use peel_graph::rng::sample_distinct;

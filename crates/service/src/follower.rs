@@ -29,10 +29,18 @@
 //! follower serves).
 
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex};
+// ordering: the follower's bare atomics are Relaxed. `stop` publishes no
+// data (raise() follows the store with the signal-lock acquire/release
+// that wakes sleepers, and every loop re-polls it), and `last_applied` is
+// a resume cursor: its only cross-thread reader is the repair loop's
+// progress probe, which tolerates staleness by design — it merely defers
+// a repair round. Checked by the loom models in tests/loom_lock.rs.
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
 
 use crate::client::Client;
 use crate::lock::{plock, pwait_timeout};

@@ -85,6 +85,12 @@
 
 pub mod client;
 pub mod follower;
+// The lock helpers and the sync indirection are implementation details,
+// but the loom model suites (tests/loom_lock.rs and friends) need to
+// drive them directly — so under the model-checking cfg they are public.
+#[cfg(loom)]
+pub mod lock;
+#[cfg(not(loom))]
 mod lock;
 pub mod metrics;
 pub mod queue;
@@ -92,6 +98,10 @@ pub mod replication;
 pub mod router;
 pub mod server;
 pub mod service;
+#[cfg(loom)]
+pub mod sync;
+#[cfg(not(loom))]
+pub(crate) mod sync;
 pub mod transport;
 pub mod wire;
 

@@ -8,21 +8,23 @@
 //! counters mutated in single statements), so recovering the guard from
 //! the `PoisonError` is always safe here.
 
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::sync::PoisonError;
 use std::time::Duration;
 
+use crate::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
 /// Lock a mutex, recovering the guard if a previous holder panicked.
-pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Wait on a condvar, recovering the guard if the mutex is poisoned.
-pub(crate) fn pwait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+pub fn pwait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Timed condvar wait, recovering the guard if the mutex is poisoned.
-pub(crate) fn pwait_timeout<'a, T>(
+pub fn pwait_timeout<'a, T>(
     cv: &Condvar,
     guard: MutexGuard<'a, T>,
     dur: Duration,
@@ -34,7 +36,8 @@ pub(crate) fn pwait_timeout<'a, T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Arc, Mutex};
+    use crate::sync::Mutex;
+    use std::sync::Arc;
 
     #[test]
     fn plock_recovers_a_poisoned_mutex() {

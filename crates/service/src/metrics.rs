@@ -5,6 +5,11 @@
 //! [`MetricsSnapshot`] is a plain-data copy that the wire protocol can
 //! ship to clients (`Stats` request).
 
+// ordering: all metrics are Relaxed — monotone counters and last-value
+// gauges bumped with commutative fetch_add/fetch_max or plain stores.
+// Readers (`snapshot`, the Stats frame) are diagnostics that tolerate
+// staleness and cross-counter skew by contract; nothing branches on a
+// metric for correctness.
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use parking_lot::Mutex;

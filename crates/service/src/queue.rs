@@ -9,10 +9,15 @@
 //! into queue-poisoning panics during shutdown.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Condvar, Mutex};
+// ordering: the stalls counter is the queue's only bare atomic and it is a
+// monotone diagnostics gauge — writers bump it while already holding the
+// state mutex and readers tolerate staleness, so Relaxed carries no
+// decision. All queue state transitions go through the mutex/condvars
+// (checked by the loom model in tests/loom_queue.rs).
+use std::sync::atomic::Ordering::Relaxed;
 
 use crate::lock::{plock, pwait};
+use crate::sync::{AtomicU64, Condvar, Mutex};
 
 /// One signed key operation: insert (`dir = +1`) or delete (`dir = −1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -28,8 +28,16 @@
 //! fault-injection tests can drive them over an in-memory double.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex};
+// ordering: all hub atomics are Relaxed. Sequence assignment (published) and
+// fan-out mutate under the subs mutex, whose lock/unlock edges give the
+// cross-thread ordering; closed is read back under that same mutex (see
+// subscribe); streamed/dropped/acked are monotone gauges whose readers
+// tolerate staleness. Checked by the loom models in
+// tests/loom_replication.rs.
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
 
 use crate::lock::{plock, pwait};
 use crate::metrics::ReplicationStats;
@@ -126,6 +134,15 @@ impl ReplicationHub {
     /// Attach a follower. The subscription sees batches published from
     /// now on; history is the anti-entropy loop's job.
     pub fn subscribe(&self) -> Subscription {
+        // The closed flag must be sampled *under* the subs lock: with an
+        // early read, a close() running between the read (false) and the
+        // push would iterate the list without this subscription, leaving
+        // it open forever — its recv() then blocks for good. Under the
+        // lock, either close() sees the subscription or the subscription
+        // sees closed == true (the lock's release/acquire edge makes the
+        // relaxed load exact). Found by the subscribe-vs-close loom model
+        // in tests/loom_replication.rs; replay schedule in CHANGES.md.
+        let mut subs = plock(&self.shared.subs);
         let sub = Arc::new(SubShared {
             state: Mutex::new(SubState {
                 queue: VecDeque::new(),
@@ -134,7 +151,7 @@ impl ReplicationHub {
             ready: Condvar::new(),
             acked: AtomicU64::new(self.shared.published.load(Relaxed)),
         });
-        plock(&self.shared.subs).push(Arc::clone(&sub));
+        subs.push(Arc::clone(&sub));
         Subscription {
             shared: sub,
             hub: Arc::clone(&self.shared),

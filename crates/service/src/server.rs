@@ -18,11 +18,19 @@
 use std::collections::HashMap;
 use std::io::BufWriter;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+// ordering: the stopping flag is Relaxed — it publishes no data of its own
+// (the stop_lock mutex write in signal_stop carries the wait()/shutdown
+// happens-before), and its only reader, the accept loop, re-checks on every
+// connection, so a stale read costs one extra accepted connection, not
+// correctness. It was SeqCst before the PR-6 ordering audit; nothing needed
+// the total order.
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
+
+use crate::sync::{AtomicBool, Condvar, Mutex as StdMutex};
 
 use crate::lock::{plock, pwait};
 use crate::replication::stream_to_follower;
@@ -47,7 +55,7 @@ struct Shared {
 
 impl Shared {
     fn signal_stop(&self) {
-        self.stopping.store(true, SeqCst);
+        self.stopping.store(true, Relaxed);
         *plock(&self.stop_lock) = true;
         self.stop_cv.notify_all();
         // Wake replication senders parked on their subscriptions before
@@ -166,7 +174,7 @@ fn accept_loop(
 ) {
     let mut next_id = 0u64;
     for stream in listener.incoming() {
-        if shared.stopping.load(SeqCst) {
+        if shared.stopping.load(Relaxed) {
             break;
         }
         let Ok(stream) = stream else { continue };

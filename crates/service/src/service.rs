@@ -48,6 +48,11 @@
 //! authoritative throughout, so no key is lost or double-counted.
 
 use std::fmt;
+// ordering: shard epochs and op counters are Relaxed. Epoch bumps and
+// snapshot reads both happen under the shard's apply gate (a parking_lot
+// RwLock), whose release/acquire edge orders them; the bare-atomic
+// accesses add commutative counting on top, never publication. Stats
+// readers tolerate staleness by contract.
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;

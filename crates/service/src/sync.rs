@@ -1,0 +1,23 @@
+//! Concurrency-primitive indirection for model checking.
+//!
+//! Built normally, this re-exports the `std::sync` types used by the
+//! queue, replication hub, poison-tolerant lock helpers, server
+//! shutdown path, and follower stop signal. Built with
+//! `RUSTFLAGS="--cfg loom"`, the same names resolve to the vendored
+//! loom shims so `loom::model` can exhaustively interleave them (see
+//! tests/loom_queue.rs, tests/loom_replication.rs, tests/loom_lock.rs);
+//! outside a model the shims delegate straight back to `std`.
+//!
+//! `WaitTimeoutResult` differs between the two worlds because the `std`
+//! type has no public constructor for a shim to return — the loom one
+//! mirrors its `timed_out()` API exactly.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64};
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64};
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};

@@ -265,16 +265,26 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::UnexpectedEof);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        // Bounds-checked split instead of indexing: decode paths are a
+        // panic-free zone (`cargo xtask lint` enforces it), and `get`
+        // makes the no-panic property local instead of resting on the
+        // `remaining()` guard above it.
+        let rest = self.buf.get(self.pos..).ok_or(WireError::UnexpectedEof)?;
+        let s = rest.get(..n).ok_or(WireError::UnexpectedEof)?;
         self.pos += n;
         Ok(s)
     }
 
+    /// `take(N)` as a fixed-size array — total, so the integer readers
+    /// below need no `try_into().unwrap()` bridge.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.array()?))
     }
 
     fn bool(&mut self) -> Result<bool, WireError> {
@@ -286,15 +296,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// A `u32` element count, validated against the bytes actually left so
@@ -467,13 +477,18 @@ fn decode_iblt_sparse(r: &mut Reader) -> Result<Iblt, WireError> {
     let mut prev: Option<usize> = None;
     for _ in 0..n {
         let idx = r.u32()? as usize;
-        if idx >= total || prev.is_some_and(|p| idx <= p) {
+        if prev.is_some_and(|p| idx <= p) {
             return Err(WireError::Malformed(format!(
                 "sparse cell index {idx} out of order or out of range"
             )));
         }
         prev = Some(idx);
-        cells[idx] = Cell {
+        let slot = cells.get_mut(idx).ok_or_else(|| {
+            WireError::Malformed(format!(
+                "sparse cell index {idx} out of order or out of range"
+            ))
+        })?;
+        *slot = Cell {
             count: r.i64()?,
             key_sum: r.u64()?,
             check_sum: r.u64()?,

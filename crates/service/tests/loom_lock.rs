@@ -1,0 +1,108 @@
+//! Exhaustive interleaving models for the poison-tolerant lock helpers
+//! in `peel_service::lock` (public only under `--cfg loom`).
+//!
+//! Build and run with `RUSTFLAGS="--cfg loom" cargo test -p peel-service
+//! --test loom_lock`. The property: a handler thread that panics while
+//! holding a lock must never cascade into a shutdown-path panic or a
+//! lost wakeup — `plock`/`pwait`/`pwait_timeout` recover the guard from
+//! the `PoisonError` under every interleaving of the panic, the
+//! shutdown signal, and the waiters.
+
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use loom::sync::Arc;
+use peel_service::lock::{plock, pwait, pwait_timeout};
+use peel_service::sync::{Condvar, Mutex};
+
+/// A worker panics mid-update with the lock held (poisoning it) while
+/// the shutdown path takes the same lock via `plock`: the shutdown must
+/// proceed under every interleaving, and the final state is one of the
+/// two writes — never a panic, never a wedged lock.
+#[test]
+fn shutdown_survives_a_poisoning_handler() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let worker = {
+            let m = Arc::clone(&m);
+            loom::thread::spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let mut g = m.lock().unwrap();
+                    *g = 1;
+                    panic!("handler dies mid-update");
+                }));
+            })
+        };
+        *plock(&m) = 2;
+        worker.join().unwrap();
+        let v = *plock(&m);
+        assert!(
+            v == 1 || v == 2,
+            "final value must be one of the writes, got {v}"
+        );
+    });
+}
+
+/// The stop-signal handoff (the `Server::wait` shape): a waiter parked
+/// in `pwait` must see the flag flip even when the raiser's thread
+/// panicked earlier with the lock held. No lost wakeup: if the notify
+/// could be missed, the model would deadlock and the checker would
+/// report it.
+#[test]
+fn pwait_handoff_survives_poison() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let poisoner = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let _g = pair.0.lock().unwrap();
+                    panic!("poison the stop lock");
+                }));
+            })
+        };
+        let raiser = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                *plock(&pair.0) = true;
+                pair.1.notify_all();
+            })
+        };
+        let mut stopped = plock(&pair.0);
+        while !*stopped {
+            stopped = pwait(&pair.1, stopped);
+        }
+        drop(stopped);
+        poisoner.join().unwrap();
+        raiser.join().unwrap();
+    });
+}
+
+/// The follower `StopSignal::sleep` shape: one bounded `pwait_timeout`
+/// (modeled as an immediate timeout) racing the raiser. The timed wait
+/// must return — poisoned or not — and the caller's re-check loop then
+/// observes the flag after the join fence.
+#[test]
+fn pwait_timeout_returns_under_poison_and_races() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let raiser = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let mut g = pair.0.lock().unwrap();
+                    *g = true;
+                    pair.1.notify_all();
+                    panic!("raise then die with the lock held");
+                }));
+            })
+        };
+        let guard = plock(&pair.0);
+        let (guard, _res) = pwait_timeout(&pair.1, guard, Duration::from_millis(1));
+        drop(guard);
+        raiser.join().unwrap();
+        assert!(*plock(&pair.0), "the raise must be visible after the join");
+    });
+}

@@ -1,0 +1,111 @@
+//! Exhaustive interleaving models for [`peel_service::queue::BoundedQueue`].
+//!
+//! Build and run with `RUSTFLAGS="--cfg loom" cargo test -p peel-service
+//! --test loom_queue`. The queue is the ingest pipeline's backpressure
+//! point; the property under test is **no lost, no torn, no reordered
+//! batch**: every batch whose `push` returned `true` is popped exactly
+//! once, in order, under every interleaving of producer, consumer, and
+//! shutdown — and every rejected push happened after `close`.
+
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use peel_service::queue::{BoundedQueue, Op};
+
+fn batch(key: u64) -> Vec<Op> {
+    vec![Op { key, dir: 1 }]
+}
+
+/// Producer ∥ consumer ∥ shutdown on a capacity-1 queue: accepted and
+/// consumed batch sets must match exactly, in order, no matter where
+/// `close` lands — including between a producer's closed-check and its
+/// enqueue, and between the consumer's last pop and its exit.
+#[test]
+fn close_races_lose_no_accepted_batch() {
+    loom::model(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                for k in 0..2u64 {
+                    if q.push(batch(k)) {
+                        accepted.push(k);
+                    }
+                }
+                accepted
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(b) = q.pop() {
+                    got.push(b[0].key);
+                    q.task_done();
+                }
+                got
+            })
+        };
+        q.close();
+        let accepted = producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(
+            got, accepted,
+            "every accepted batch must be consumed exactly once, in order"
+        );
+    });
+}
+
+/// Backpressure under shutdown: a producer blocked on a full queue must
+/// be woken by `close` and see its push rejected — never stay parked
+/// (the lost-wakeup would deadlock the model) and never have the
+/// rejected batch surface downstream.
+#[test]
+fn blocked_producer_is_unblocked_by_close() {
+    loom::model(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(batch(0)));
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || q.push(batch(1)))
+        };
+        q.close();
+        let second_accepted = producer.join().unwrap();
+        // The pre-close batch is still drainable; the racing one is
+        // delivered iff its push was accepted.
+        assert_eq!(q.pop().unwrap()[0].key, 0);
+        q.task_done();
+        match q.pop() {
+            Some(b) => {
+                assert!(second_accepted);
+                assert_eq!(b[0].key, 1);
+                q.task_done();
+            }
+            None => assert!(!second_accepted),
+        }
+        assert!(q.pop().is_none());
+    });
+}
+
+/// `wait_idle` ∥ `task_done`: the drain waiter must see the queue idle
+/// once the last in-flight batch completes — the notify must not be
+/// lost between the waiter's emptiness check and its park.
+#[test]
+fn wait_idle_sees_the_last_task_done() {
+    loom::model(|| {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(batch(0)));
+        let b = q.pop().unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                drop(b);
+                q.task_done();
+            })
+        };
+        q.wait_idle();
+        worker.join().unwrap();
+        assert_eq!(q.depth(), 0);
+    });
+}

@@ -43,6 +43,10 @@
 #![warn(missing_docs)]
 
 use rayon::prelude::*;
+// ordering: Relaxed — back-substitution writes each solution slot exactly
+// once per level, and levels are separated by rayon fork-join barriers
+// that carry the happens-before; within a level, reads only touch slots
+// written by earlier levels.
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use peel_core::parallel::{peel_parallel, ParallelOpts};

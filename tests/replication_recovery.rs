@@ -4,7 +4,11 @@
 //! while barrier-synchronized racing ingest keeps landing on the
 //! primary, exactly the discipline of `tests/service_reconcile.rs`.
 
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+// ordering: the ingest-done flag is Relaxed — the writer is joined before
+// the flag is read, and the join carries the happens-before. Downgraded
+// from SeqCst in the PR-6 ordering audit; no decision rode on the total
+// order.
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -86,7 +90,7 @@ fn follower_crash_restart_is_repaired_by_anti_entropy() {
                 c2.insert(chunk).unwrap();
                 c2.flush().unwrap();
             }
-            done.store(true, SeqCst);
+            done.store(true, Relaxed);
         })
     };
     start.wait();
@@ -94,7 +98,7 @@ fn follower_crash_restart_is_repaired_by_anti_entropy() {
     drop(f1);
     drop(f1svc); // the follower's state dies with it
     ingester.join().unwrap();
-    assert!(done.load(SeqCst));
+    assert!(done.load(Relaxed));
 
     // Phase 3: restart the follower EMPTY. Its divergence is now the
     // primary's entire 1 200-key content — the stream can only deliver

@@ -1,0 +1,178 @@
+//! The exploration driver: runs a model closure under every schedule
+//! (depth-first over recorded choice points, bounded preemption), and
+//! on failure reports — and can replay — the exact choice sequence.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use crate::rt::{self, Rt, MAIN};
+
+pub use crate::rt::Failure;
+
+/// Exploration statistics returned by [`Builder::explore`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Number of executions performed.
+    pub runs: u64,
+    /// `true` if the search space was exhausted (under the preemption
+    /// bound); `false` if `max_runs` stopped it early or a single
+    /// schedule was replayed.
+    pub complete: bool,
+}
+
+/// Configures a model-checking run.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum number of involuntary context switches explored per
+    /// execution. 2–3 catches almost all real bugs while keeping the
+    /// search tractable (iterative context bounding).
+    pub preemption_bound: usize,
+    /// Upper bound on executions before giving up (with a warning on
+    /// stderr) rather than failing.
+    pub max_runs: u64,
+    /// Replay exactly one schedule (as printed in a failure report)
+    /// instead of searching. Also settable via the `LOOM_REPLAY`
+    /// environment variable.
+    pub replay: Option<String>,
+    /// Where `check` writes failure schedules (default `target/loom`,
+    /// overridable via `LOOM_SCHEDULE_DIR`).
+    pub schedule_dir: Option<PathBuf>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static FAILURE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: 2,
+            max_runs: 200_000,
+            replay: None,
+            schedule_dir: None,
+        }
+    }
+
+    /// Run the model to completion, panicking with the failure message
+    /// and replay schedule if any execution fails. The schedule is also
+    /// written under `target/loom/` so CI can upload it as an artifact.
+    pub fn check<F: Fn()>(&self, f: F) {
+        match self.explore(f) {
+            Ok(stats) => {
+                if !stats.complete && self.replay.is_none() {
+                    eprintln!(
+                        "loom: warning: stopped after {} executions without exhausting \
+                         the schedule space (raise max_runs to finish)",
+                        stats.runs
+                    );
+                }
+            }
+            Err(fail) => {
+                let path = self.write_schedule(&fail);
+                let hint = match &path {
+                    Some(p) => format!("\nschedule written to {}", p.display()),
+                    None => String::new(),
+                };
+                panic!(
+                    "loom model failed: {}\nreplay schedule: {}\nreplay with \
+                     LOOM_REPLAY=\"{}\" (or Builder::replay){}",
+                    fail.message, fail.schedule, fail.schedule, hint
+                );
+            }
+        }
+    }
+
+    /// Like [`Builder::check`] but returns the first failure instead of
+    /// panicking — used by tests that expect a model to fail.
+    pub fn explore<F: Fn()>(&self, f: F) -> Result<Stats, Failure> {
+        let replay = self
+            .replay
+            .clone()
+            .or_else(|| std::env::var("LOOM_REPLAY").ok());
+        let replay_once = replay.is_some();
+        let mut prefix: Vec<usize> = match &replay {
+            Some(s) => rt::parse_schedule(s).map_err(|message| Failure {
+                message,
+                schedule: s.clone(),
+            })?,
+            None => Vec::new(),
+        };
+        let rt = Arc::new(Rt::new(self.preemption_bound));
+        let mut runs = 0u64;
+        loop {
+            runs += 1;
+            rt.begin_run(std::mem::take(&mut prefix));
+            rt::set_current(Some((rt.clone(), MAIN)));
+            let result = panic::catch_unwind(AssertUnwindSafe(&f));
+            match result {
+                Ok(()) => rt.main_drain(),
+                Err(p) if p.is::<rt::AbortToken>() => {}
+                Err(p) => rt.fail_from_payload(p.as_ref()),
+            }
+            rt::set_current(None);
+            rt.end_run();
+            if let Some(failure) = rt.take_failure() {
+                return Err(failure);
+            }
+            if replay_once {
+                return Ok(Stats {
+                    runs,
+                    complete: false,
+                });
+            }
+            let st = rt.lock_state();
+            match next_prefix(&st.trace) {
+                Some(p) => prefix = p,
+                None => {
+                    return Ok(Stats {
+                        runs,
+                        complete: true,
+                    })
+                }
+            }
+            drop(st);
+            if runs >= self.max_runs {
+                return Ok(Stats {
+                    runs,
+                    complete: false,
+                });
+            }
+        }
+    }
+
+    fn write_schedule(&self, fail: &Failure) -> Option<PathBuf> {
+        let dir = self
+            .schedule_dir
+            .clone()
+            .or_else(|| std::env::var_os("LOOM_SCHEDULE_DIR").map(PathBuf::from))
+            .unwrap_or_else(|| PathBuf::from("target/loom"));
+        std::fs::create_dir_all(&dir).ok()?;
+        let n = FAILURE_SEQ.fetch_add(1, StdOrdering::Relaxed);
+        let path = dir.join(format!("loom-failure-{}-{}.txt", std::process::id(), n));
+        let body = format!(
+            "failure: {}\nschedule: {}\nreplay: LOOM_REPLAY=\"{}\" cargo test ... \n",
+            fail.message, fail.schedule, fail.schedule
+        );
+        std::fs::write(&path, body).ok()?;
+        Some(path)
+    }
+}
+
+/// Depth-first successor: flip the deepest choice that still has an
+/// untried alternative; `None` once the space is exhausted.
+fn next_prefix(trace: &[crate::rt::Choice]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        if trace[i].picked + 1 < trace[i].options {
+            let mut p: Vec<usize> = trace[..i].iter().map(|c| c.picked).collect();
+            p.push(trace[i].picked + 1);
+            return Some(p);
+        }
+    }
+    None
+}

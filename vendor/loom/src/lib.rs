@@ -1,0 +1,52 @@
+//! Vendored minimal stand-in for the `loom` concurrency model checker
+//! (offline build), in the same API-subset-shim discipline as the other
+//! `vendor/` crates: it reproduces exactly the subset this workspace
+//! uses, with the same exhaustive-checking semantics at model scale.
+//!
+//! What it does
+//! ------------
+//! [`model`] runs a closure repeatedly, exploring **every** schedule of
+//! the threads it spawns (up to a preemption bound, default 2) and every
+//! weak-memory value a relaxed load may observe, using the drop-in
+//! [`sync::atomic`], [`sync::Mutex`]/[`sync::Condvar`], and [`thread`]
+//! types. The first execution that panics, asserts, or deadlocks fails
+//! the model with a **schedule string** (e.g. `t1.t0.v1`) that replays
+//! that exact execution via [`Builder::replay`] or the `LOOM_REPLAY`
+//! environment variable. `check` also writes the schedule under
+//! `target/loom/` so CI can upload failures as artifacts.
+//!
+//! Outside [`model`], every shim type delegates directly to its `std`
+//! equivalent, so code compiled with `--cfg loom` still runs normally
+//! in ordinary tests.
+//!
+//! Supported: `AtomicBool`/`AtomicU32`/`AtomicU64`/`AtomicUsize`/
+//! `AtomicI64` (load/store/swap/CAS/fetch ops with acquire-release and
+//! SeqCst visibility modeling), `Mutex` (+ real `std` poisoning),
+//! `Condvar` (incl. immediate-timeout `wait_timeout`), `thread::spawn`/
+//! `join`/`yield_now`. Not modeled: `UnsafeCell` data-race detection on
+//! non-atomic data, SC fences, `std::thread::park`.
+
+mod builder;
+pub(crate) mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use builder::{Builder, Failure, Stats};
+
+/// `loom::model::Builder` compatibility path (the function [`model()`]
+/// and this module share a name, as in real loom).
+pub mod model {
+    pub use crate::builder::Builder;
+}
+
+/// Exhaustively check a concurrency model with default settings,
+/// panicking (with a replayable schedule) on the first failure.
+pub fn model<F: Fn()>(f: F) {
+    Builder::new().check(f)
+}
+
+/// Like [`model`] but returns the first failure instead of panicking —
+/// for tests that assert a model *does* fail (e.g. seeded races).
+pub fn explore<F: Fn()>(f: F) -> Result<Stats, Failure> {
+    Builder::new().explore(f)
+}

@@ -1,0 +1,927 @@
+//! The model-checking runtime: a deterministic scheduler that serializes
+//! real OS threads through a single "token" and records every scheduling
+//! and value choice it makes, so the driver in [`crate::builder`] can
+//! depth-first enumerate all choices (up to a preemption bound) and
+//! replay any failing sequence from its schedule string.
+//!
+//! Execution model
+//! ---------------
+//! Exactly one model thread runs at a time. Every shared-memory
+//! operation (atomic access, lock, notify, spawn, explicit yield) first
+//! calls [`Rt::yield_point`], which consults the scheduler: the set of
+//! runnable threads forms a *choice point*, one is picked (the recorded
+//! trace replays the current prefix, then defaults to "continue the
+//! current thread"), and the token is handed over. Blocked threads
+//! (lock waiters, condvar waiters, joiners) are not runnable; waking
+//! them is the responsibility of the operation that unblocks them. If
+//! no thread is runnable and not all are finished, the execution is a
+//! deadlock and the run fails.
+//!
+//! Weak-memory visibility
+//! ----------------------
+//! Each atomic location keeps its full modification order for the run.
+//! Loads may read *stale* values: any store not yet ordered
+//! happens-before the loading thread is eligible, which is decided with
+//! per-thread vector clocks. Acquire loads of Release stores join
+//! clocks (synchronizes-with); RMWs always read the newest store and
+//! extend release sequences; `SeqCst` loads additionally may not read
+//! anything older than the newest `SeqCst` store. Multiple eligible
+//! stores form a *value* choice point explored like a scheduling one.
+
+use std::cell::RefCell;
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Thread id of the thread that called [`crate::model`].
+pub(crate) const MAIN: usize = 0;
+
+/// Hard cap on model threads; vector clocks are fixed-size arrays.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Memory orderings, re-exported from `std` so model code and
+/// uninstrumented code can share `use std::sync::atomic::Ordering`.
+pub(crate) use std::sync::atomic::Ordering;
+
+fn acquiring(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releasing(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+type VClock = [u64; MAX_THREADS];
+
+fn vc_join(a: &mut VClock, b: &VClock) {
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// Did `vc` already observe the event `(writer, writer_clock)`?
+fn vc_seen(vc: &VClock, writer: usize, writer_clock: u64) -> bool {
+    vc[writer] >= writer_clock
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ChoiceKind {
+    /// Which thread runs next.
+    Thread,
+    /// Which eligible store a load reads.
+    Value,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub options: usize,
+    pub picked: usize,
+    pub kind: ChoiceKind,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Blocked {
+    /// Waiting to acquire model mutex `m`.
+    Lock(usize),
+    /// Waiting on condvar `c`.
+    CondWait(usize),
+    /// Waiting for thread `t` to finish.
+    Join(usize),
+    /// The main thread has returned from the model closure and is
+    /// waiting for every spawned thread to finish.
+    MainExit,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Ready,
+    Blocked(Blocked),
+    Finished,
+}
+
+struct ThreadState {
+    state: TState,
+    vc: VClock,
+}
+
+struct StoreRec {
+    val: u64,
+    writer: usize,
+    /// The writer's own clock component at the time of the store; a
+    /// store with clock 0 is the location's initial value, visible to
+    /// every thread.
+    writer_clock: u64,
+    /// Release clock carried by this store (set by Release-or-stronger
+    /// stores; inherited and extended by RMWs — release sequences).
+    release: Option<VClock>,
+}
+
+struct Loc {
+    stores: Vec<StoreRec>,
+    /// Per-thread coherence floor: index of the oldest store each
+    /// thread may still read (monotone under reads-from and HB).
+    floor: [usize; MAX_THREADS],
+    /// Index of the newest `SeqCst` store.
+    last_sc: usize,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+    /// Release clock of the last unlock; joined on acquire.
+    vc: VClock,
+}
+
+struct CondSt {
+    waiters: Vec<usize>,
+}
+
+/// A model failure: what went wrong plus the choice sequence that
+/// reaches it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub message: String,
+    pub schedule: String,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) run_id: u64,
+    threads: Vec<ThreadState>,
+    active: usize,
+    prefix: Vec<usize>,
+    pub(crate) trace: Vec<Choice>,
+    locs: Vec<Loc>,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CondSt>,
+    preemptions: usize,
+    bound: usize,
+    pub(crate) aborting: bool,
+    pub(crate) failure: Option<Failure>,
+    live_real: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The shared runtime: one per [`crate::builder::Builder`] exploration.
+pub(crate) struct Rt {
+    st: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+/// Panic payload used to unwind model threads when a run aborts early
+/// (failure found elsewhere, or deadlock). Never treated as a bug.
+pub(crate) struct AbortToken;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The runtime handle of the calling thread, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Global run counter so location-registration tags are unique across
+/// every model execution in the process.
+static RUN_SEQ: StdAtomicU64 = StdAtomicU64::new(1);
+
+/// Per-object registration cell: packs `(run_id << 24) | (slot + 1)` so
+/// an atomic/mutex/condvar lazily re-registers itself on its first use
+/// in each run.
+pub(crate) struct RegCell(StdAtomicU64);
+
+impl RegCell {
+    pub(crate) const fn new() -> Self {
+        RegCell(StdAtomicU64::new(0))
+    }
+
+    /// Invalidate the registration (used by `get_mut`-style exclusive
+    /// access: the next shared use re-registers from the live value,
+    /// which models the exclusively-written value as visible to all).
+    pub(crate) fn invalidate(&mut self) {
+        *self.0.get_mut() = 0;
+    }
+
+    fn slot(&self, run_id: u64) -> Option<usize> {
+        let pack = self.0.load(StdOrdering::Relaxed);
+        if pack >> 24 == run_id {
+            Some((pack & 0x00ff_ffff) as usize - 1)
+        } else {
+            None
+        }
+    }
+
+    fn set_slot(&self, run_id: u64, slot: usize) {
+        self.0
+            .store((run_id << 24) | (slot as u64 + 1), StdOrdering::Relaxed);
+    }
+}
+
+fn kind_char(k: ChoiceKind) -> char {
+    match k {
+        ChoiceKind::Thread => 't',
+        ChoiceKind::Value => 'v',
+    }
+}
+
+/// Render a trace as a replayable schedule string, e.g. `t1.v0.t0`.
+pub(crate) fn format_schedule(trace: &[Choice]) -> String {
+    let mut out = String::new();
+    for (i, c) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        out.push(kind_char(c.kind));
+        out.push_str(&c.picked.to_string());
+    }
+    out
+}
+
+/// Parse a schedule string back into a pick sequence. Kind prefixes are
+/// for human readability only; picks alone determine the execution.
+pub(crate) fn parse_schedule(s: &str) -> Result<Vec<usize>, String> {
+    let mut picks = Vec::new();
+    for tok in s.split('.') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        let digits = tok.trim_start_matches(|c: char| c.is_ascii_alphabetic());
+        picks.push(
+            digits
+                .parse::<usize>()
+                .map_err(|_| format!("bad schedule token {tok:?}"))?,
+        );
+    }
+    Ok(picks)
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+impl Rt {
+    pub(crate) fn new(bound: usize) -> Self {
+        Rt {
+            st: StdMutex::new(ExecState {
+                run_id: 0,
+                threads: Vec::new(),
+                active: MAIN,
+                prefix: Vec::new(),
+                trace: Vec::new(),
+                locs: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                preemptions: 0,
+                bound,
+                aborting: false,
+                failure: None,
+                live_real: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Reset state for a fresh execution that will replay `prefix`.
+    pub(crate) fn begin_run(&self, prefix: Vec<usize>) {
+        let mut st = self.lock_state();
+        st.run_id = RUN_SEQ.fetch_add(1, StdOrdering::Relaxed);
+        st.threads = vec![ThreadState {
+            state: TState::Ready,
+            vc: [0; MAX_THREADS],
+        }];
+        st.active = MAIN;
+        st.prefix = prefix;
+        st.trace.clear();
+        st.locs.clear();
+        st.mutexes.clear();
+        st.condvars.clear();
+        st.preemptions = 0;
+        st.aborting = false;
+        debug_assert!(st.live_real.is_empty());
+    }
+
+    /// Join every real OS thread spawned during the run. Must be called
+    /// with the state lock released.
+    pub(crate) fn end_run(&self) {
+        let handles: Vec<_> = self.lock_state().live_real.drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    pub(crate) fn take_failure(&self) -> Option<Failure> {
+        self.lock_state().failure.take()
+    }
+
+    // --- core scheduling -------------------------------------------------
+
+    fn fail(&self, st: &mut ExecState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                schedule: format_schedule(&st.trace),
+                message,
+            });
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Record a choice among `options` alternatives. Single-option
+    /// choices are not recorded (they never branch), keeping schedule
+    /// strings down to genuine decision points.
+    fn pick(&self, st: &mut ExecState, options: usize, kind: ChoiceKind) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        let idx = st.trace.len();
+        let picked = match st.prefix.get(idx) {
+            Some(&p) if p < options => p,
+            Some(&p) => {
+                self.fail(
+                    st,
+                    format!("schedule replay diverged: pick {p} of {options} at step {idx}"),
+                );
+                0
+            }
+            None => 0,
+        };
+        st.trace.push(Choice {
+            options,
+            picked,
+            kind,
+        });
+        picked
+    }
+
+    /// Pick the next thread to run. `me` is the thread at the choice
+    /// point (it holds the token); it may or may not still be runnable.
+    fn reschedule(&self, st: &mut ExecState, me: usize) {
+        let mut cands: Vec<usize> = Vec::with_capacity(st.threads.len());
+        let me_ready = st.threads[me].state == TState::Ready;
+        if me_ready {
+            cands.push(me);
+        }
+        for (i, t) in st.threads.iter().enumerate() {
+            if i != me && t.state == TState::Ready {
+                cands.push(i);
+            }
+        }
+        if cands.is_empty() {
+            let all_done = st.threads.iter().all(|t| t.state == TState::Finished);
+            let only_main_exit = st.threads.iter().enumerate().all(|(i, t)| {
+                t.state == TState::Finished
+                    || (i == MAIN && t.state == TState::Blocked(Blocked::MainExit))
+            });
+            if !all_done && !only_main_exit {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t.state, TState::Finished))
+                    .map(|(i, t)| format!("thread {i} {:?}", t.state))
+                    .collect();
+                self.fail(
+                    st,
+                    format!("deadlock: no runnable thread ({})", stuck.join(", ")),
+                );
+            }
+            return;
+        }
+        // Bounded preemption: once the budget is spent, a runnable
+        // current thread is forced to continue (its alternatives are
+        // pruned, which is what makes exhaustive search tractable).
+        let options = if me_ready && st.preemptions >= st.bound {
+            1
+        } else {
+            cands.len()
+        };
+        let picked = self.pick(st, options, ChoiceKind::Thread);
+        let next = cands[picked];
+        if me_ready && next != me {
+            st.preemptions += 1;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    fn abort_unwind(&self) -> ! {
+        panic_any(AbortToken)
+    }
+
+    /// Scheduling point: offer the token to any runnable thread, then
+    /// wait until it comes back to `me`.
+    pub(crate) fn yield_point(self: &Arc<Self>, me: usize) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            self.abort_unwind();
+        }
+        self.reschedule(&mut st, me);
+        while st.active != me && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting {
+            drop(st);
+            self.abort_unwind();
+        }
+    }
+
+    /// Mark `me` blocked for `why`, hand the token elsewhere, and wait
+    /// until some other thread makes `me` ready and schedules it.
+    fn block_on(
+        self: &Arc<Self>,
+        st: &mut Option<std::sync::MutexGuard<'_, ExecState>>,
+        me: usize,
+        why: Blocked,
+    ) {
+        let mut g = st.take().expect("state guard");
+        g.threads[me].state = TState::Blocked(why);
+        self.reschedule(&mut g, me);
+        while g.active != me && !g.aborting {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.aborting {
+            drop(g);
+            self.abort_unwind();
+        }
+        *st = Some(g);
+    }
+
+    fn wake(&self, st: &mut ExecState, pred: impl Fn(usize, Blocked) -> bool) {
+        for (i, t) in st.threads.iter_mut().enumerate() {
+            if let TState::Blocked(b) = t.state {
+                if pred(i, b) {
+                    t.state = TState::Ready;
+                }
+            }
+        }
+    }
+
+    // --- thread lifecycle ------------------------------------------------
+
+    /// Register a newly spawned model thread; returns its id. The
+    /// spawn edge happens-before everything the child does.
+    pub(crate) fn register_thread(self: &Arc<Self>, parent: usize) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "loom shim supports at most {MAX_THREADS} model threads"
+        );
+        st.threads[parent].vc[parent] += 1;
+        let vc = st.threads[parent].vc;
+        st.threads.push(ThreadState {
+            state: TState::Ready,
+            vc,
+        });
+        tid
+    }
+
+    pub(crate) fn adopt_real(&self, h: std::thread::JoinHandle<()>) {
+        self.lock_state().live_real.push(h);
+    }
+
+    /// Park a fresh child until the scheduler first picks it. Returns
+    /// `false` if the run aborted before the child ever ran.
+    pub(crate) fn wait_first(self: &Arc<Self>, me: usize) -> bool {
+        let mut st = self.lock_state();
+        while st.active != me && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        !st.aborting
+    }
+
+    /// Child thread finished; `panicked` carries an escaped panic
+    /// message (a model failure).
+    pub(crate) fn finish_thread(self: &Arc<Self>, me: usize, panicked: Option<String>) {
+        let mut st = self.lock_state();
+        st.threads[me].state = TState::Finished;
+        self.wake(&mut st, |_, b| b == Blocked::Join(me));
+        let others_done = st
+            .threads
+            .iter()
+            .enumerate()
+            .all(|(i, t)| i == MAIN || t.state == TState::Finished);
+        if others_done && st.threads[MAIN].state == TState::Blocked(Blocked::MainExit) {
+            st.threads[MAIN].state = TState::Ready;
+        }
+        if let Some(msg) = panicked {
+            self.fail(&mut st, msg);
+        } else {
+            self.reschedule(&mut st, me);
+        }
+    }
+
+    /// Child thread exiting because the run aborted under it.
+    pub(crate) fn finish_silent(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].state = TState::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Record a failure observed on the main thread (escaped panic from
+    /// the model closure).
+    pub(crate) fn fail_from_main(&self, msg: String) {
+        let mut st = self.lock_state();
+        st.threads[MAIN].state = TState::Finished;
+        self.fail(&mut st, msg);
+    }
+
+    pub(crate) fn fail_from_payload(&self, p: &(dyn std::any::Any + Send)) {
+        self.fail_from_main(payload_msg(p));
+    }
+
+    /// After the model closure returns: keep scheduling until every
+    /// spawned thread has finished (or the run aborts).
+    pub(crate) fn main_drain(self: &Arc<Self>) {
+        loop {
+            let st = self.lock_state();
+            if st.aborting {
+                return;
+            }
+            let others_done = st
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(i, t)| i == MAIN || t.state == TState::Finished);
+            if others_done {
+                return;
+            }
+            let mut slot = Some(st);
+            // A panic here cannot unwind into user code (main_drain is
+            // called by the driver), so catch the abort token locally.
+            let me_blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.block_on(&mut slot, MAIN, Blocked::MainExit);
+            }));
+            drop(slot);
+            if me_blocked.is_err() {
+                // Aborted while parked; payload is an AbortToken.
+                return;
+            }
+        }
+    }
+
+    /// Block until thread `tid` finishes, then join its clock
+    /// (join happens-after everything the child did).
+    pub(crate) fn join_thread(self: &Arc<Self>, me: usize, tid: usize) {
+        self.yield_point(me);
+        loop {
+            let st = self.lock_state();
+            if st.aborting {
+                drop(st);
+                self.abort_unwind();
+            }
+            if st.threads[tid].state == TState::Finished {
+                let mut st = st;
+                let cvc = st.threads[tid].vc;
+                vc_join(&mut st.threads[me].vc, &cvc);
+                return;
+            }
+            let mut slot = Some(st);
+            self.block_on(&mut slot, me, Blocked::Join(tid));
+        }
+    }
+
+    // --- atomics ---------------------------------------------------------
+
+    fn loc_slot(&self, st: &mut ExecState, cell: &RegCell, init: u64) -> usize {
+        if let Some(s) = cell.slot(st.run_id) {
+            return s;
+        }
+        let slot = st.locs.len();
+        st.locs.push(Loc {
+            stores: vec![StoreRec {
+                val: init,
+                writer: MAIN,
+                writer_clock: 0,
+                release: None,
+            }],
+            floor: [0; MAX_THREADS],
+            last_sc: 0,
+        });
+        cell.set_slot(st.run_id, slot);
+        slot
+    }
+
+    /// Atomic load. `init` is the location's live value, used only if
+    /// this is the location's first use in the run.
+    pub(crate) fn atomic_load(self: &Arc<Self>, cell: &RegCell, init: u64, order: Ordering) -> u64 {
+        let me = current().expect("model thread").1;
+        self.yield_point(me);
+        let mut st = self.lock_state();
+        let slot = self.loc_slot(&mut st, cell, init);
+        let me_vc = st.threads[me].vc;
+        let loc = &st.locs[slot];
+        let newest = loc.stores.len() - 1;
+        let mut floor = loc.floor[me];
+        if order == Ordering::SeqCst {
+            floor = floor.max(loc.last_sc);
+        }
+        // Coherence: cannot read older than the newest store already
+        // observed (happens-before) by this thread.
+        for j in (floor..=newest).rev() {
+            let s = &loc.stores[j];
+            if vc_seen(&me_vc, s.writer, s.writer_clock) {
+                floor = floor.max(j);
+                break;
+            }
+        }
+        let options = newest - floor + 1;
+        let picked = self.pick(&mut st, options, ChoiceKind::Value);
+        let idx = newest - picked;
+        let s = &st.locs[slot].stores[idx];
+        let val = s.val;
+        let rel = s.release;
+        st.locs[slot].floor[me] = st.locs[slot].floor[me].max(idx);
+        if acquiring(order) {
+            if let Some(rvc) = rel {
+                vc_join(&mut st.threads[me].vc, &rvc);
+            }
+        }
+        val
+    }
+
+    /// Atomic store: appends to the modification order; the caller
+    /// writes the same value to the live cell after this returns.
+    pub(crate) fn atomic_store(
+        self: &Arc<Self>,
+        cell: &RegCell,
+        init: u64,
+        val: u64,
+        order: Ordering,
+    ) {
+        let me = current().expect("model thread").1;
+        self.yield_point(me);
+        let mut st = self.lock_state();
+        let slot = self.loc_slot(&mut st, cell, init);
+        st.threads[me].vc[me] += 1;
+        let clock = st.threads[me].vc[me];
+        let release = releasing(order).then(|| st.threads[me].vc);
+        let seqcst = order == Ordering::SeqCst;
+        let loc = &mut st.locs[slot];
+        loc.stores.push(StoreRec {
+            val,
+            writer: me,
+            writer_clock: clock,
+            release,
+        });
+        let idx = loc.stores.len() - 1;
+        loc.floor[me] = idx;
+        if seqcst {
+            loc.last_sc = idx;
+        }
+    }
+
+    /// Atomic read-modify-write: always reads the newest store (RMW
+    /// atomicity), extends its release sequence, appends the result.
+    /// Returns `(previous, new)`.
+    pub(crate) fn atomic_rmw(
+        self: &Arc<Self>,
+        cell: &RegCell,
+        init: u64,
+        order: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> (u64, u64) {
+        let me = current().expect("model thread").1;
+        self.yield_point(me);
+        let mut st = self.lock_state();
+        let slot = self.loc_slot(&mut st, cell, init);
+        let newest = st.locs[slot].stores.len() - 1;
+        let prev = st.locs[slot].stores[newest].val;
+        let prev_rel = st.locs[slot].stores[newest].release;
+        if acquiring(order) {
+            if let Some(rvc) = prev_rel {
+                vc_join(&mut st.threads[me].vc, &rvc);
+            }
+        }
+        st.threads[me].vc[me] += 1;
+        let clock = st.threads[me].vc[me];
+        // Release sequence: an RMW inherits the release clock of the
+        // store it replaces, so acquire loads of the RMW's result still
+        // synchronize with the original release store.
+        let mut release = prev_rel;
+        if releasing(order) {
+            let own = st.threads[me].vc;
+            release = Some(match release {
+                Some(mut r) => {
+                    vc_join(&mut r, &own);
+                    r
+                }
+                None => own,
+            });
+        }
+        let new = f(prev);
+        let seqcst = order == Ordering::SeqCst;
+        let loc = &mut st.locs[slot];
+        loc.stores.push(StoreRec {
+            val: new,
+            writer: me,
+            writer_clock: clock,
+            release,
+        });
+        let idx = loc.stores.len() - 1;
+        loc.floor[me] = idx;
+        if seqcst {
+            loc.last_sc = idx;
+        }
+        (prev, new)
+    }
+
+    /// Atomic compare-exchange over the newest store.
+    pub(crate) fn atomic_cas(
+        self: &Arc<Self>,
+        cell: &RegCell,
+        init: u64,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let me = current().expect("model thread").1;
+        self.yield_point(me);
+        let mut st = self.lock_state();
+        let slot = self.loc_slot(&mut st, cell, init);
+        let newest = st.locs[slot].stores.len() - 1;
+        let prev = st.locs[slot].stores[newest].val;
+        let prev_rel = st.locs[slot].stores[newest].release;
+        if prev != expected {
+            st.locs[slot].floor[me] = newest;
+            if acquiring(failure) {
+                if let Some(rvc) = prev_rel {
+                    vc_join(&mut st.threads[me].vc, &rvc);
+                }
+            }
+            return Err(prev);
+        }
+        if acquiring(success) {
+            if let Some(rvc) = prev_rel {
+                vc_join(&mut st.threads[me].vc, &rvc);
+            }
+        }
+        st.threads[me].vc[me] += 1;
+        let clock = st.threads[me].vc[me];
+        let mut release = prev_rel;
+        if releasing(success) {
+            let own = st.threads[me].vc;
+            release = Some(match release {
+                Some(mut r) => {
+                    vc_join(&mut r, &own);
+                    r
+                }
+                None => own,
+            });
+        }
+        let seqcst = success == Ordering::SeqCst;
+        let loc = &mut st.locs[slot];
+        loc.stores.push(StoreRec {
+            val: new,
+            writer: me,
+            writer_clock: clock,
+            release,
+        });
+        let idx = loc.stores.len() - 1;
+        loc.floor[me] = idx;
+        if seqcst {
+            loc.last_sc = idx;
+        }
+        Ok(prev)
+    }
+
+    // --- mutexes & condvars ----------------------------------------------
+
+    fn mutex_slot(&self, st: &mut ExecState, cell: &RegCell) -> usize {
+        if let Some(s) = cell.slot(st.run_id) {
+            return s;
+        }
+        let slot = st.mutexes.len();
+        st.mutexes.push(MutexSt {
+            owner: None,
+            vc: [0; MAX_THREADS],
+        });
+        cell.set_slot(st.run_id, slot);
+        slot
+    }
+
+    fn cond_slot(&self, st: &mut ExecState, cell: &RegCell) -> usize {
+        if let Some(s) = cell.slot(st.run_id) {
+            return s;
+        }
+        let slot = st.condvars.len();
+        st.condvars.push(CondSt {
+            waiters: Vec::new(),
+        });
+        cell.set_slot(st.run_id, slot);
+        slot
+    }
+
+    /// Blocking logical lock acquisition (with the initial scheduling
+    /// point). Returns the mutex slot.
+    pub(crate) fn mutex_lock(self: &Arc<Self>, cell: &RegCell, me: usize) -> usize {
+        self.yield_point(me);
+        self.mutex_relock(cell, me)
+    }
+
+    /// Lock acquisition retry loop without a leading yield (used after
+    /// a condvar wait, where the wakeup already was a schedule point).
+    pub(crate) fn mutex_relock(self: &Arc<Self>, cell: &RegCell, me: usize) -> usize {
+        loop {
+            let mut st = self.lock_state();
+            if st.aborting {
+                drop(st);
+                self.abort_unwind();
+            }
+            let m = self.mutex_slot(&mut st, cell);
+            if st.mutexes[m].owner.is_none() {
+                st.mutexes[m].owner = Some(me);
+                let mvc = st.mutexes[m].vc;
+                vc_join(&mut st.threads[me].vc, &mvc);
+                return m;
+            }
+            let mut slot = Some(st);
+            self.block_on(&mut slot, me, Blocked::Lock(m));
+        }
+    }
+
+    /// Logical unlock: release-publish this thread's clock and wake
+    /// lock waiters. Pure bookkeeping — never blocks, never panics — so
+    /// it is safe from guard `Drop` even during unwinding.
+    pub(crate) fn mutex_unlock(&self, m: usize, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].vc[me] += 1;
+        let tvc = st.threads[me].vc;
+        vc_join(&mut st.mutexes[m].vc, &tvc);
+        st.mutexes[m].owner = None;
+        self.wake(&mut st, |_, b| b == Blocked::Lock(m));
+        self.cv.notify_all();
+    }
+
+    /// Condvar wait: atomically (in the model) release the mutex,
+    /// register as a waiter, and block until notified. The caller then
+    /// reacquires via [`Rt::mutex_relock`].
+    pub(crate) fn condvar_wait(self: &Arc<Self>, cell: &RegCell, m: usize, me: usize) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            self.abort_unwind();
+        }
+        let c = self.cond_slot(&mut st, cell);
+        // Release the mutex exactly like mutex_unlock.
+        st.threads[me].vc[me] += 1;
+        let tvc = st.threads[me].vc;
+        vc_join(&mut st.mutexes[m].vc, &tvc);
+        st.mutexes[m].owner = None;
+        self.wake(&mut st, |_, b| b == Blocked::Lock(m));
+        st.condvars[c].waiters.push(me);
+        let mut slot = Some(st);
+        self.block_on(&mut slot, me, Blocked::CondWait(c));
+    }
+
+    /// Timed condvar wait is modeled as the timeout firing immediately:
+    /// release the mutex, yield, report `timed_out`. Sound for code
+    /// that treats timeouts as spurious wakeups (re-check loops).
+    pub(crate) fn condvar_wait_timeout(self: &Arc<Self>, m: usize, me: usize) {
+        {
+            let mut st = self.lock_state();
+            if st.aborting {
+                drop(st);
+                self.abort_unwind();
+            }
+            st.threads[me].vc[me] += 1;
+            let tvc = st.threads[me].vc;
+            vc_join(&mut st.mutexes[m].vc, &tvc);
+            st.mutexes[m].owner = None;
+            self.wake(&mut st, |_, b| b == Blocked::Lock(m));
+        }
+        self.yield_point(me);
+    }
+
+    /// Notify: wake one/all waiters (they then contend for the mutex).
+    /// A notification with no waiters is lost, as with real condvars.
+    pub(crate) fn condvar_notify(self: &Arc<Self>, cell: &RegCell, me: usize, all: bool) {
+        self.yield_point(me);
+        let mut st = self.lock_state();
+        let c = self.cond_slot(&mut st, cell);
+        let woken: Vec<usize> = if all {
+            std::mem::take(&mut st.condvars[c].waiters)
+        } else if st.condvars[c].waiters.is_empty() {
+            Vec::new()
+        } else {
+            vec![st.condvars[c].waiters.remove(0)]
+        };
+        for w in woken {
+            st.threads[w].state = TState::Ready;
+        }
+    }
+}

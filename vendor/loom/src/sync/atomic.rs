@@ -1,0 +1,328 @@
+//! Instrumented atomic types. Outside a model every operation passes
+//! straight through to the matching `std::sync::atomic` type; inside a
+//! model, operations go through the runtime, which records the full
+//! modification order and explores stale-read and interleaving choices.
+//!
+//! The live `std` atomic always holds the newest store of the model's
+//! modification order, so `get_mut`/`into_inner`/`Debug` observe the
+//! current value, and invalidating the registration (on `get_mut`)
+//! collapses history to "current value, visible to all" — the right
+//! semantics for exclusive access.
+
+use std::fmt;
+
+use crate::rt::{self, RegCell};
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_int {
+    ($name:ident, $std:path, $prim:ty) => {
+        pub struct $name {
+            inner: $std,
+            reg: RegCell,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                $name {
+                    inner: <$std>::new(v),
+                    reg: RegCell::new(),
+                }
+            }
+
+            #[inline]
+            #[allow(clippy::unnecessary_cast)]
+            fn to_bits(v: $prim) -> u64 {
+                v as u64
+            }
+
+            #[inline]
+            #[allow(clippy::unnecessary_cast)]
+            fn from_bits(b: u64) -> $prim {
+                b as $prim
+            }
+
+            fn live_bits(&self) -> u64 {
+                Self::to_bits(self.inner.load(Ordering::Relaxed))
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.load(order),
+                    Some((rt, _)) => {
+                        Self::from_bits(rt.atomic_load(&self.reg, self.live_bits(), order))
+                    }
+                }
+            }
+
+            pub fn store(&self, val: $prim, order: Ordering) {
+                match rt::current() {
+                    None => self.inner.store(val, order),
+                    Some((rt, _)) => {
+                        rt.atomic_store(&self.reg, self.live_bits(), Self::to_bits(val), order);
+                        self.inner.store(val, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            fn model_rmw(
+                &self,
+                rt: &std::sync::Arc<crate::rt::Rt>,
+                order: Ordering,
+                f: impl FnOnce($prim) -> $prim,
+            ) -> $prim {
+                let (prev, new) = rt.atomic_rmw(&self.reg, self.live_bits(), order, |b| {
+                    Self::to_bits(f(Self::from_bits(b)))
+                });
+                self.inner.store(Self::from_bits(new), Ordering::Relaxed);
+                Self::from_bits(prev)
+            }
+
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.swap(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |_| val),
+                }
+            }
+
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_add(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v.wrapping_add(val)),
+                }
+            }
+
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_sub(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v.wrapping_sub(val)),
+                }
+            }
+
+            pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_and(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v & val),
+                }
+            }
+
+            pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_or(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v | val),
+                }
+            }
+
+            pub fn fetch_xor(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_xor(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v ^ val),
+                }
+            }
+
+            pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_max(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v.max(val)),
+                }
+            }
+
+            pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                match rt::current() {
+                    None => self.inner.fetch_min(val, order),
+                    Some((rt, _)) => self.model_rmw(&rt, order, |v| v.min(val)),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match rt::current() {
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                    Some((rt, _)) => {
+                        let r = rt.atomic_cas(
+                            &self.reg,
+                            self.live_bits(),
+                            Self::to_bits(current),
+                            Self::to_bits(new),
+                            success,
+                            failure,
+                        );
+                        match r {
+                            Ok(prev) => {
+                                self.inner.store(new, Ordering::Relaxed);
+                                Ok(Self::from_bits(prev))
+                            }
+                            Err(prev) => Err(Self::from_bits(prev)),
+                        }
+                    }
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.reg.invalidate();
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$prim>::default())
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.inner.load(Ordering::Relaxed), f)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+/// Instrumented `AtomicBool` (bit-modeled as 0/1).
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+    reg: RegCell,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+            reg: RegCell::new(),
+        }
+    }
+
+    fn live_bits(&self) -> u64 {
+        u64::from(self.inner.load(Ordering::Relaxed))
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        match rt::current() {
+            None => self.inner.load(order),
+            Some((rt, _)) => rt.atomic_load(&self.reg, self.live_bits(), order) != 0,
+        }
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        match rt::current() {
+            None => self.inner.store(val, order),
+            Some((rt, _)) => {
+                rt.atomic_store(&self.reg, self.live_bits(), u64::from(val), order);
+                self.inner.store(val, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn model_rmw(
+        &self,
+        rt: &std::sync::Arc<crate::rt::Rt>,
+        order: Ordering,
+        f: impl FnOnce(bool) -> bool,
+    ) -> bool {
+        let (prev, new) =
+            rt.atomic_rmw(&self.reg, self.live_bits(), order, |b| u64::from(f(b != 0)));
+        self.inner.store(new != 0, Ordering::Relaxed);
+        prev != 0
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        match rt::current() {
+            None => self.inner.swap(val, order),
+            Some((rt, _)) => self.model_rmw(&rt, order, |_| val),
+        }
+    }
+
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        match rt::current() {
+            None => self.inner.fetch_or(val, order),
+            Some((rt, _)) => self.model_rmw(&rt, order, |v| v | val),
+        }
+    }
+
+    pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+        match rt::current() {
+            None => self.inner.fetch_and(val, order),
+            Some((rt, _)) => self.model_rmw(&rt, order, |v| v & val),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match rt::current() {
+            None => self.inner.compare_exchange(current, new, success, failure),
+            Some((rt, _)) => {
+                let r = rt.atomic_cas(
+                    &self.reg,
+                    self.live_bits(),
+                    u64::from(current),
+                    u64::from(new),
+                    success,
+                    failure,
+                );
+                match r {
+                    Ok(prev) => {
+                        self.inner.store(new, Ordering::Relaxed);
+                        Ok(prev != 0)
+                    }
+                    Err(prev) => Err(prev != 0),
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.reg.invalidate();
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner.load(Ordering::Relaxed), f)
+    }
+}

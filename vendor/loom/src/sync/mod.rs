@@ -1,0 +1,282 @@
+//! Model-aware `std::sync` subset: [`Mutex`], [`Condvar`], and the
+//! instrumented atomics in [`atomic`].
+//!
+//! Both types *contain* their `std` counterpart and delegate to it
+//! outside a model. Inside a model the scheduler arbitrates the lock
+//! logically (so contention, handoff, and lost-wakeup interleavings
+//! are explored) and the inner `std` mutex is taken with `try_lock`,
+//! which cannot contend once the logical lock is held. Keeping the real
+//! mutex in the loop preserves `std` poisoning semantics exactly: a
+//! guard dropped during a panic poisons the inner mutex, and later
+//! `lock()` calls surface a real [`PoisonError`].
+
+pub mod atomic;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::TryLockError;
+use std::time::Duration;
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+use crate::rt::{self, RegCell, Rt};
+
+/// Mutual exclusion, model-scheduled inside `loom::model`.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    reg: RegCell,
+}
+
+/// RAII guard for [`Mutex`]; releases the logical and real lock on drop
+/// (bookkeeping only — safe during unwinding).
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(std::sync::Arc<Rt>, usize, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+            reg: RegCell::new(),
+        }
+    }
+
+    /// Acquire the lock, blocking (in the model: a scheduling point
+    /// plus logical contention) until it is free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(pe) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(pe.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((rt, me)) => {
+                let m = rt.mutex_lock(&self.reg, me);
+                self.guard_after_logical_acquire(rt, m, me)
+            }
+        }
+    }
+
+    /// Build a guard once the logical lock is held: the inner
+    /// `try_lock` can only fail with `Poisoned`.
+    fn guard_after_logical_acquire(
+        &self,
+        rt: std::sync::Arc<Rt>,
+        m: usize,
+        me: usize,
+    ) -> LockResult<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model: Some((rt, m, me)),
+            }),
+            Err(TryLockError::Poisoned(pe)) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(pe.into_inner()),
+                model: Some((rt, m, me)),
+            })),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("loom: real mutex contended while logical lock held")
+            }
+        }
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard holds the lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first (poisoning the mutex if this drop
+        // happens during a panic), then the logical one.
+        drop(self.inner.take());
+        if let Some((rt, m, me)) = self.model.take() {
+            rt.mutex_unlock(m, me);
+        }
+    }
+}
+
+/// Condition variable, model-scheduled inside `loom::model`.
+pub struct Condvar {
+    std: std::sync::Condvar,
+    reg: RegCell,
+}
+
+/// Result of a timed wait. Mirrors `std::sync::WaitTimeoutResult`
+/// (which has no public constructor, hence this local type).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            std: std::sync::Condvar::new(),
+            reg: RegCell::new(),
+        }
+    }
+
+    /// Release the guard's mutex, wait for a notification, reacquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.take() {
+            None => {
+                let lock = guard.lock;
+                let g = guard.inner.take().expect("guard holds the lock");
+                drop(guard);
+                match self.std.wait(g) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(pe) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(pe.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some((rt, m, me)) => {
+                let lock = guard.lock;
+                drop(guard.inner.take());
+                drop(guard);
+                rt.condvar_wait(&self.reg, m, me);
+                let m = rt.mutex_relock(&lock.reg, me);
+                lock.guard_after_logical_acquire(rt, m, me)
+            }
+        }
+    }
+
+    /// Timed wait. In a model the timeout is taken to fire immediately
+    /// (the mutex is still released and reacquired, so interleavings
+    /// with other threads during the wait window are explored), which
+    /// is sound for the re-check loops this repo uses timed waits for.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.model.take() {
+            None => {
+                let lock = guard.lock;
+                let g = guard.inner.take().expect("guard holds the lock");
+                drop(guard);
+                match self.std.wait_timeout(g, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(g),
+                            model: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(pe) => {
+                        let (g, r) = pe.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                inner: Some(g),
+                                model: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+            Some((rt, m, me)) => {
+                let lock = guard.lock;
+                drop(guard.inner.take());
+                drop(guard);
+                rt.condvar_wait_timeout(m, me);
+                let m = rt.mutex_relock(&lock.reg, me);
+                let timed = WaitTimeoutResult { timed_out: true };
+                match lock.guard_after_logical_acquire(rt, m, me) {
+                    Ok(g) => Ok((g, timed)),
+                    Err(pe) => Err(PoisonError::new((pe.into_inner(), timed))),
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match rt::current() {
+            None => self.std.notify_one(),
+            Some((rt, me)) => rt.condvar_notify(&self.reg, me, false),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match rt::current() {
+            None => self.std.notify_all(),
+            Some((rt, me)) => rt.condvar_notify(&self.reg, me, true),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,103 @@
+//! Model-aware `std::thread` subset. Inside a model, spawned closures
+//! run on real OS threads serialized by the scheduler token; outside a
+//! model everything delegates to `std::thread`.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::{self, AbortToken, Rt};
+
+type Slot<T> = Arc<StdMutex<Option<T>>>;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        rt: Arc<Rt>,
+        tid: usize,
+        slot: Slot<T>,
+    },
+}
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. A panic
+    /// that escaped a model thread has already failed the model; the
+    /// `Err` arm here mirrors `std` for API compatibility.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { rt, tid, slot } => {
+                let me = rt::current().expect("join called off-model").1;
+                rt.join_thread(me, tid);
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("loom: joined model thread panicked".to_string())),
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a thread. In a model the child participates in exhaustive
+/// scheduling; the spawn itself is a scheduling point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some((rt, me)) => {
+            let tid = rt.register_thread(me);
+            let slot: Slot<T> = Arc::new(StdMutex::new(None));
+            let rt2 = Arc::clone(&rt);
+            let slot2 = Arc::clone(&slot);
+            let real = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    rt::set_current(Some((Arc::clone(&rt2), tid)));
+                    if !rt2.wait_first(tid) {
+                        rt2.finish_silent(tid);
+                        return;
+                    }
+                    match panic::catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                            rt2.finish_thread(tid, None);
+                        }
+                        Err(p) if p.is::<AbortToken>() => rt2.finish_silent(tid),
+                        Err(p) => {
+                            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                                (*s).to_string()
+                            } else if let Some(s) = p.downcast_ref::<String>() {
+                                s.clone()
+                            } else {
+                                "model thread panicked".to_string()
+                            };
+                            rt2.finish_thread(tid, Some(msg));
+                        }
+                    }
+                })
+                .expect("spawn model thread");
+            rt.adopt_real(real);
+            rt.yield_point(me);
+            JoinHandle {
+                inner: Inner::Model { rt, tid, slot },
+            }
+        }
+    }
+}
+
+/// Voluntary scheduling point (no-op semantics, richer interleaving).
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some((rt, me)) => rt.yield_point(me),
+    }
+}

@@ -1,0 +1,20 @@
+//! Seeded lint fixture: an unjustified memory ordering and a banned
+//! std lock, both of which `cargo xtask lint` must flag.
+
+// VIOLATION (std lock ban): std::sync::Mutex outside the audited modules.
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn racy_counter() -> u64 {
+    static C: AtomicU64 = AtomicU64::new(0);
+    static _GUARDED: Mutex<()> = Mutex::new(());
+    // VIOLATION (ordering justification): no `// ordering:` comment.
+    C.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn justified_counter() -> u64 {
+    static C: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — a pure statistics counter; this one must NOT
+    // be flagged (negative control for the justification pass).
+    C.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+//! Seeded lint fixture: the dispatch half. `Request::Shutdown` is
+//! deliberately missing from `handle_request` (enum-coverage
+//! violation), and the `.expect(` is a panic-zone violation.
+
+use super::wire::{Request, Response};
+
+pub fn handle_request(req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        // VIOLATION (enum coverage): Request::Shutdown unhandled.
+        _ => non_total().expect("fixture"),
+    }
+}
+
+fn non_total() -> Option<Response> {
+    Some(Response::Error)
+}

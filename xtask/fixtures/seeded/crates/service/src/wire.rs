@@ -1,0 +1,47 @@
+//! Seeded lint fixture: a miniature wire module violating every pass
+//! the real `crates/service/src/wire.rs` must satisfy. The xtask tests
+//! assert each violation below is caught — proving the lint actually
+//! fails on a dirty tree, not just passes on a clean one.
+
+pub enum Request {
+    Ping,
+    Shutdown,
+}
+
+pub enum Response {
+    Pong,
+    Error,
+}
+
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Ping => vec![0],
+        // VIOLATION (enum coverage): Request::Shutdown is not encoded.
+        _ => vec![255],
+    }
+}
+
+pub fn decode_request(payload: &[u8]) -> Request {
+    // VIOLATION (panic-free zone): slice indexing in a decode path.
+    match payload[0] {
+        0 => Request::Ping,
+        1 => Request::Shutdown,
+        // VIOLATION (panic-free zone): panic on hostile input.
+        t => panic!("bad tag {t}"),
+    }
+}
+
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Pong => vec![0],
+        Response::Error => vec![1],
+    }
+}
+
+pub fn decode_response(payload: &[u8]) -> Response {
+    // VIOLATION (panic-free zone): unwrap in a decode path.
+    match payload.first().copied().unwrap() {
+        0 => Response::Pong,
+        _ => Response::Error,
+    }
+}

@@ -1,0 +1,55 @@
+//! `cargo xtask <task>` — repo maintenance tasks.
+//!
+//! * `cargo xtask lint` — run the concurrency-invariant lint passes
+//!   (see `xtask::lint_all` for the list); nonzero exit on violations.
+//! * `cargo xtask lint --orderings` — print the generated per-site
+//!   memory-orderings table.
+//! * `cargo xtask lint --write-orderings` — rewrite the table in
+//!   README.md between the `<!-- orderings:begin/end -->` markers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // xtask always lives one level below the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = repo_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.iter().any(|a| a == "--orderings") {
+                print!("{}", xtask::orderings_table(&root));
+                return ExitCode::SUCCESS;
+            }
+            if args.iter().any(|a| a == "--write-orderings") {
+                if let Err(e) = xtask::write_readme_orderings(&root) {
+                    eprintln!("xtask: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("README.md orderings table rewritten");
+                return ExitCode::SUCCESS;
+            }
+            let violations = xtask::lint_all(&root);
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--orderings | --write-orderings]");
+            ExitCode::FAILURE
+        }
+    }
+}
