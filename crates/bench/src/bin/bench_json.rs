@@ -4,8 +4,10 @@
 //! reconcile throughput), the full wire path (TCP loopback server +
 //! client), the in-process service core, and the primary→follower
 //! replication path (ingest-to-convergence catch-up time plus observed
-//! stream lag). Measurements are written to `BENCH_service.json` so the
-//! repo's perf trajectory can be tracked across PRs.
+//! stream lag), and the observability layer's instrumentation overhead
+//! (tracing subscriber disabled vs the flight recorder installed).
+//! Measurements are written to `BENCH_service.json` so the repo's perf
+//! trajectory can be tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p peel-bench --bin bench_json             # laptop scale
@@ -370,6 +372,82 @@ fn run_peel_engines(n: usize, c: f64, reps: usize, enforce: bool) -> Vec<PeelEng
     out
 }
 
+struct ObsMeasure {
+    ingest_ops_per_sec_disabled: f64,
+    ingest_ops_per_sec_enabled: f64,
+    ingest_overhead_pct: f64,
+    peel_ns_per_edge_disabled: f64,
+    peel_ns_per_edge_enabled: f64,
+    peel_overhead_pct: f64,
+    events_recorded: u64,
+}
+
+/// Instrumentation overhead: the same in-process ingest and parallel
+/// peel workloads timed with no tracing subscriber (the
+/// one-relaxed-load disabled path) and with the flight recorder
+/// installed as the subscriber (every span/event lands in the seqlock
+/// ring). Modes alternate per block and each keeps its best block, the
+/// same noise discipline as `run_reconcile_repeat`. The observability
+/// layer's contract is that enabling it costs ≤ 5% ingest throughput.
+fn run_obs(n: usize, shards: u32, reps: usize) -> ObsMeasure {
+    let set = keys(n, 7);
+    let ingest_once = || {
+        let svc = PeelService::start(cfg(shards, 4_096));
+        let t = Instant::now();
+        svc.insert(&set);
+        svc.flush();
+        t.elapsed().as_secs_f64()
+    };
+
+    let mut rng = Xoshiro256StarStar::new(42);
+    let g = Gnm::new(n, 0.70, 4).sample(&mut rng);
+    let edges = g.num_edges() as f64;
+    let opts = ParallelOpts {
+        strategy: Strategy::Adaptive,
+        collect_trace: false,
+        ..Default::default()
+    };
+    let mut ws = PeelWorkspace::new();
+    peel_parallel_in(&g, 2, &opts, &mut ws); // warm-up: size the buffers
+    let mut peel_once = || {
+        let t = Instant::now();
+        peel_parallel_in(&g, 2, &opts, &mut ws);
+        t.elapsed().as_secs_f64()
+    };
+
+    tracing::clear_subscriber();
+    ingest_once(); // warm-up (page faults, thread pool)
+    let mut ingest_s = [f64::MAX; 2]; // [disabled, enabled]
+    let mut peel_s = [f64::MAX; 2];
+    let mut events_recorded = 0;
+    for _ in 0..reps {
+        for (mode, enabled) in [(0usize, false), (1, true)] {
+            if enabled {
+                let rec = peel_service::recorder::install_global(4_096);
+                let before = rec.recorded();
+                ingest_s[mode] = ingest_s[mode].min(ingest_once());
+                peel_s[mode] = peel_s[mode].min(peel_once());
+                events_recorded = rec.recorded() - before;
+                tracing::clear_subscriber();
+            } else {
+                ingest_s[mode] = ingest_s[mode].min(ingest_once());
+                peel_s[mode] = peel_s[mode].min(peel_once());
+            }
+        }
+    }
+
+    let ops = |s: f64| n as f64 / s;
+    ObsMeasure {
+        ingest_ops_per_sec_disabled: ops(ingest_s[0]),
+        ingest_ops_per_sec_enabled: ops(ingest_s[1]),
+        ingest_overhead_pct: (1.0 - ingest_s[0] / ingest_s[1]) * 100.0,
+        peel_ns_per_edge_disabled: peel_s[0] * 1e9 / edges,
+        peel_ns_per_edge_enabled: peel_s[1] * 1e9 / edges,
+        peel_overhead_pct: (1.0 - peel_s[0] / peel_s[1]) * 100.0,
+        events_recorded,
+    }
+}
+
 struct ReconcileRepeatMeasure {
     unpooled_ms_per_cycle: f64,
     pooled_ms_per_cycle: f64,
@@ -666,9 +744,61 @@ fn main() {
                 m.unpooled_ms_per_cycle, m.pooled_ms_per_cycle, m.speedup,
             );
         }
-        body.push_str("\n    ]\n  }\n}\n");
+        body.push_str("\n    ]\n  },\n");
     } else {
-        body.push_str("\n    ],\n    \"reconcile_repeat\": [\n    ]\n  }\n}\n");
+        body.push_str("\n    ],\n    \"reconcile_repeat\": [\n    ]\n  },\n");
+    }
+
+    // Instrumentation overhead: tracing subscriber absent vs the flight
+    // recorder installed, on ingest and on the parallel peel. The
+    // observability layer's acceptance bar is ≤ 5% ingest degradation;
+    // smoke runs warn instead of failing (shared CI boxes are too noisy
+    // for a wall-clock gate without a code regression).
+    body.push_str("  \"obs\": ");
+    if run_service {
+        let on = n.min(100_000);
+        let m = run_obs(on, 4, if smoke { 2 } else { 4 });
+        assert!(
+            m.events_recorded > 0,
+            "enabled run recorded no tracing events"
+        );
+        if m.ingest_overhead_pct > 5.0 {
+            let msg = format!(
+                "tracing-enabled ingest degraded {:.1}% (> 5% budget): \
+                 {:.0} ops/s disabled -> {:.0} ops/s enabled",
+                m.ingest_overhead_pct, m.ingest_ops_per_sec_disabled, m.ingest_ops_per_sec_enabled,
+            );
+            assert!(smoke, "{msg}");
+            eprintln!("WARNING: {msg}");
+        }
+        let _ = write!(
+            body,
+            "{{\"n_keys\": {on}, \"shards\": 4, \
+             \"ingest_ops_per_sec_disabled\": {:.0}, \"ingest_ops_per_sec_enabled\": {:.0}, \
+             \"ingest_overhead_pct\": {:.2}, \"peel_ns_per_edge_disabled\": {:.2}, \
+             \"peel_ns_per_edge_enabled\": {:.2}, \"peel_overhead_pct\": {:.2}, \
+             \"events_recorded\": {}}}\n}}\n",
+            m.ingest_ops_per_sec_disabled,
+            m.ingest_ops_per_sec_enabled,
+            m.ingest_overhead_pct,
+            m.peel_ns_per_edge_disabled,
+            m.peel_ns_per_edge_enabled,
+            m.peel_overhead_pct,
+            m.events_recorded,
+        );
+        println!(
+            "obs n={on} shards=4: ingest {:>9.0} ops/s untraced -> {:>9.0} ops/s traced \
+             ({:+.2}%), peel {:.2} -> {:.2} ns/edge ({:+.2}%), {} events recorded",
+            m.ingest_ops_per_sec_disabled,
+            m.ingest_ops_per_sec_enabled,
+            m.ingest_overhead_pct,
+            m.peel_ns_per_edge_disabled,
+            m.peel_ns_per_edge_enabled,
+            m.peel_overhead_pct,
+            m.events_recorded,
+        );
+    } else {
+        body.push_str("null\n}\n");
     }
 
     std::fs::write(&out_path, &body).expect("write results");

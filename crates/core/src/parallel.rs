@@ -230,6 +230,22 @@ pub fn peel_parallel_in(
 
         unpeeled -= frontier.len() as u64;
         live_edges -= killed;
+        // Structured per-round trace for a live subscriber (flight
+        // recorder). Behind the `enabled` gate so an untraced run pays
+        // one relaxed load per round, not field packing.
+        if tracing::enabled() {
+            tracing::event(
+                "peel_round",
+                &[
+                    ("round", round.into()),
+                    ("peeled", (frontier.len() as u64).into()),
+                    ("killed", killed.into()),
+                    ("unpeeled", unpeeled.into()),
+                    ("live_edges", live_edges.into()),
+                    ("dense", dense.into()),
+                ],
+            );
+        }
         if opts.collect_trace {
             trace.push(RoundStats {
                 round,

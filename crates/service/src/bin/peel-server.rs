@@ -17,6 +17,7 @@
 //! primary + follower + client flow). On exit it prints the final
 //! service metrics, including the replication counters.
 
+use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +26,33 @@ use peel_service::client::Client;
 use peel_service::follower::{Follower, FollowerConfig};
 use peel_service::server::Server;
 use peel_service::service::{PeelService, ServiceConfig};
+
+/// Capacity of the in-process flight recorder (recent structured trace
+/// events, dumped by `DebugDump` frames and the panic hook).
+const FLIGHT_RECORDER_CAPACITY: usize = 4096;
+
+/// Serve the Prometheus text exposition on a plain-HTTP listener: every
+/// connection gets one `200 text/plain` response with the current
+/// metrics render, whatever the request bytes say. That is all a scrape
+/// loop needs, with no HTTP machinery in the dependency tree.
+fn serve_metrics(listener: std::net::TcpListener, service: Arc<PeelService>) {
+    for conn in listener.incoming() {
+        let Ok(mut stream) = conn else { continue };
+        // Drain (best-effort) the request head so the peer's write side
+        // isn't reset before it finishes sending.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let body = peel_service::prom::render(&service.metrics());
+        let head = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let _ = stream
+            .write_all(head.as_bytes())
+            .and_then(|_| stream.write_all(body.as_bytes()));
+    }
+}
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -44,17 +72,34 @@ fn main() {
         eprintln!(
             "peel-server [--addr 127.0.0.1:7744] [--shards 4] [--diff-budget 2048]\n\
              \x20           [--batch-size 1024] [--queue-depth 64] [--workers N]\n\
-             \x20           [--repl-queue-depth 256]\n\
+             \x20           [--repl-queue-depth 256] [--metrics-addr ADDR]\n\
              \x20           [--follow PRIMARY_ADDR] [--anti-entropy-ms 200]\n\
              Sharded IBLT set-reconciliation server; stops on a Shutdown request.\n\
              With --follow it runs as a replication follower of PRIMARY_ADDR,\n\
              adopting the primary's sharding and healing divergence by\n\
-             anti-entropy."
+             anti-entropy. With --metrics-addr it additionally serves the\n\
+             Prometheus text exposition over plain HTTP on ADDR."
         );
         return;
     }
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7744".into());
     let follow = arg_value(&args, "--follow");
+    let metrics_addr = arg_value(&args, "--metrics-addr");
+
+    // Flight recorder first, so every span/event from startup onward is
+    // captured; the panic hook dumps its tail alongside the backtrace so
+    // a crash report carries the moments leading up to it.
+    let recorder = peel_service::recorder::install_global(FLIGHT_RECORDER_CAPACITY);
+    let hook_recorder = Arc::clone(&recorder);
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default_hook(info);
+        let records = hook_recorder.dump();
+        eprintln!("peel-server: flight recorder ({} events):", records.len());
+        for rec in records.iter().rev().take(64).rev() {
+            eprintln!("  {rec}");
+        }
+    }));
 
     // A follower must shard exactly like its primary, so its config
     // comes from the primary's Hello handshake, not from CLI knobs.
@@ -107,6 +152,25 @@ fn main() {
             None => String::new(),
         },
     );
+
+    if let Some(maddr) = metrics_addr {
+        match std::net::TcpListener::bind(maddr.as_str()) {
+            Ok(listener) => {
+                println!(
+                    "peel-server serving metrics on http://{}/metrics",
+                    listener
+                        .local_addr()
+                        .map_or(maddr.clone(), |a| a.to_string()),
+                );
+                let svc = Arc::clone(&service);
+                std::thread::spawn(move || serve_metrics(listener, svc));
+            }
+            Err(e) => {
+                eprintln!("peel-server: cannot bind metrics address {maddr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let mut follower = follow.map(|primary| {
         use std::net::ToSocketAddrs;

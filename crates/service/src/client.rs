@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use peel_iblt::Iblt;
 
 use crate::metrics::{MetricsSnapshot, ReshardStats};
+use crate::recorder::FlightRecord;
 use crate::router::build_shard_digests;
 use crate::transport::FramedTcp;
 use crate::wire::{
@@ -179,8 +180,42 @@ impl Client {
     /// Fetch service metrics.
     pub fn stats(&mut self) -> Result<MetricsSnapshot, WireError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             _ => Err(WireError::UnexpectedResponse("expected Stats")),
+        }
+    }
+
+    /// Fetch the server's metrics rendered in the Prometheus text
+    /// exposition format (protocol v5; older servers answer with a tag
+    /// error, surfaced as [`WireError::Remote`]).
+    pub fn metrics_text(&mut self) -> Result<String, WireError> {
+        let hello = self.refresh_hello()?;
+        if hello.version < 5 {
+            return Err(WireError::Remote(format!(
+                "server speaks protocol v{}; text metrics need v5",
+                hello.version
+            )));
+        }
+        match self.call(&Request::MetricsText)? {
+            Response::MetricsText(s) => Ok(s),
+            _ => Err(WireError::UnexpectedResponse("expected MetricsText")),
+        }
+    }
+
+    /// Dump the server's flight recorder — the most recent structured
+    /// trace events, oldest first (protocol v5). Empty when no recorder
+    /// is installed on the server.
+    pub fn debug_dump(&mut self) -> Result<Vec<FlightRecord>, WireError> {
+        let hello = self.refresh_hello()?;
+        if hello.version < 5 {
+            return Err(WireError::Remote(format!(
+                "server speaks protocol v{}; flight-recorder dumps need v5",
+                hello.version
+            )));
+        }
+        match self.call(&Request::DebugDump)? {
+            Response::DebugDump(records) => Ok(records),
+            _ => Err(WireError::UnexpectedResponse("expected DebugDump")),
         }
     }
 

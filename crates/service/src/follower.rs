@@ -388,6 +388,12 @@ pub fn apply_repairs(svc: &PeelService, diffs: &[crate::wire::ShardDiff]) -> u64
 /// primary and apply the decoded symmetric difference locally. Returns
 /// the number of keys healed.
 pub fn anti_entropy_round(svc: &PeelService, client: &mut Client) -> Result<u64, WireError> {
+    let span = tracing::span("anti_entropy", &[("shards", svc.shards().into())]);
+    let _entered = span.enter();
     let diffs = collect_repairs(svc, client)?;
-    Ok(apply_repairs(svc, &diffs))
+    let healed = apply_repairs(svc, &diffs);
+    if tracing::enabled() {
+        tracing::event("anti_entropy_done", &[("healed", healed.into())]);
+    }
+    Ok(healed)
 }

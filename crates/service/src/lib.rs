@@ -42,11 +42,17 @@
 //!   `ReshardBegin`/`ReshardDigest`/`ReshardCommit`/`ReshardAbort`
 //!   frames ([`client::Client::reshard`]). Followers adopt a primary's
 //!   new generation automatically.
-//! * **Metrics** ([`metrics`]): per-shard op counts and epochs, batch
-//!   occupancy, queue stalls, per-follower replication lag, reshard
-//!   phase/keys-moved/generation gauges, and the per-subround recovery
-//!   traces the paper's Tables 5–6 analyze — observable over the wire
-//!   via `Stats`.
+//! * **Metrics & observability** ([`metrics`], [`prom`], [`recorder`]):
+//!   per-shard op counts and epochs, batch occupancy, queue stalls,
+//!   per-follower replication lag, reshard phase/keys-moved/generation
+//!   gauges, and the per-subround recovery traces the paper's
+//!   Tables 5–6 analyze — observable over the wire via `Stats` — plus
+//!   lock-free log-bucketed latency histograms (request by frame class,
+//!   queue wait, batch apply, recovery, replication lag), structured
+//!   tracing spans through every layer (`vendor/tracing`), Prometheus
+//!   text exposition (the `MetricsText` frame and `peel-server
+//!   --metrics-addr`), and a seqlock-ring flight recorder dumped by the
+//!   `DebugDump` frame and the server's panic hook.
 //!
 //! ## Why the table stays small
 //!
@@ -93,7 +99,9 @@ pub mod lock;
 #[cfg(not(loom))]
 mod lock;
 pub mod metrics;
+pub mod prom;
 pub mod queue;
+pub mod recorder;
 pub mod replication;
 pub mod router;
 pub mod server;
@@ -107,7 +115,11 @@ pub mod wire;
 
 pub use client::{Client, ServiceDiff};
 pub use follower::{anti_entropy_round, apply_repairs, collect_repairs, Follower, FollowerConfig};
-pub use metrics::{Metrics, MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats};
+pub use metrics::{
+    AtomicHistogram, FollowerStats, HistogramSnapshot, Metrics, MetricsSnapshot, ReplicationStats,
+    ReshardStats, ShardStats,
+};
+pub use recorder::{FlightRecord, FlightRecorder};
 pub use replication::{apply_replication_stream, stream_to_follower, ReplicationHub, Subscription};
 pub use router::{build_shard_digests, shard_iblt_config, GenerationRouter, ShardRouter};
 pub use server::{handle_request, Server};

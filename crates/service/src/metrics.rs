@@ -1,18 +1,229 @@
-//! Service counters: per-shard op counts, batch occupancy, queue
-//! backpressure stalls, and recovery subround traces.
+//! Service counters and latency distributions: per-shard op counts,
+//! batch occupancy, queue backpressure stalls, recovery subround traces,
+//! and lock-free log-bucketed histograms for every latency the service
+//! pays (request handling per frame class, batch queue wait, batch
+//! apply, recovery decode) plus the per-follower replication lag.
 //!
 //! All counters are relaxed atomics updated on the hot paths; a
 //! [`MetricsSnapshot`] is a plain-data copy that the wire protocol can
-//! ship to clients (`Stats` request).
+//! ship to clients (`Stats` request) and the Prometheus renderer
+//! (`prom` module) can format.
 
-// ordering: all metrics are Relaxed — monotone counters and last-value
-// gauges bumped with commutative fetch_add/fetch_max or plain stores.
-// Readers (`snapshot`, the Stats frame) are diagnostics that tolerate
-// staleness and cross-counter skew by contract; nothing branches on a
-// metric for correctness.
+// ordering: all metrics are Relaxed — monotone counters, last-value
+// gauges, and histogram buckets bumped with commutative fetch_add or
+// plain stores. Readers (`snapshot`, the Stats frame) are diagnostics
+// that tolerate staleness and cross-counter skew by contract; nothing
+// branches on a metric for correctness.
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use parking_lot::Mutex;
+
+/// Bucket count of [`AtomicHistogram`]: 2 sub-buckets per power of two
+/// across the full `u64` range (see [`bucket_index`]), so relative
+/// error is bounded at ~25% — plenty for latency quantiles.
+pub const HISTOGRAM_BUCKETS: usize = 128;
+
+/// The bucket a value lands in: 0 and 1 get exact buckets; larger
+/// values split each octave `[2^o, 2^(o+1))` into two half-octave
+/// sub-buckets keyed by the bit below the most significant one.
+pub fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        return v as usize;
+    }
+    let o = 63 - v.leading_zeros() as usize;
+    let half = (v >> (o - 1)) & 1;
+    (2 * o + half as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` (the inverse of
+/// [`bucket_index`]): the smallest value that lands in the bucket.
+pub fn bucket_floor(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => {
+            let o = i / 2;
+            (1u64 << o) + (((i % 2) as u64) << (o - 1))
+        }
+    }
+}
+
+/// A lock-free log-bucketed latency histogram (HDR-style): fixed
+/// [`HISTOGRAM_BUCKETS`] relaxed counters, ~2 buckets per octave, plus
+/// a running count and sum. Recording is two `fetch_add`s and one
+/// bucket bump — safe on every hot path. Quantile readout happens on
+/// plain-data [`HistogramSnapshot`] copies.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        if let Some(b) = self.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Fold `other`'s counts into `self` (bucket-wise addition), so
+    /// per-worker histograms can collapse into one. Equivalent to
+    /// having recorded both value streams into `self`.
+    pub fn merge_from(&self, other: &AtomicHistogram) {
+        self.count.fetch_add(other.count.load(Relaxed), Relaxed);
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Relaxed);
+            }
+        }
+    }
+
+    /// Plain-data copy: sparse non-empty `(bucket, count)` pairs in
+    /// bucket order, plus the running count and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let v = b.load(Relaxed);
+            if v != 0 {
+                buckets.push((i as u32, v));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of an [`AtomicHistogram`]: sparse non-empty
+/// buckets, total count, and sum. This is what the `Stats` wire frame
+/// carries and what quantile readout runs on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    /// Indexes are capped at [`HISTOGRAM_BUCKETS`] − 1 on decode.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` ∈ [0, 1]: the lower bound of the
+    /// bucket containing the ⌈q·count⌉-th observation (0 when empty).
+    /// Monotone in `q`; accurate to the half-octave bucket width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            cum = cum.saturating_add(c);
+            if cum >= target {
+                return bucket_floor(i as usize);
+            }
+        }
+        // Sparse buckets should always cover `count`; fall back to the
+        // largest recorded bucket if a decoded frame disagrees.
+        self.buckets
+            .last()
+            .map_or(0, |&(i, _)| bucket_floor(i as usize))
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition).
+    /// Sums wrap on overflow — the same behavior as the atomic
+    /// `fetch_add` recording path, so merging snapshots is exactly
+    /// equivalent to having recorded both value streams into one
+    /// histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca.wrapping_add(cb)));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+/// Request frame classes, indexing the per-class request-latency
+/// histograms. `Request::class_index` (wire module) maps each frame to
+/// a class; the class name becomes the `class` label in the Prometheus
+/// rendering.
+pub const REQUEST_CLASSES: [&str; 8] = [
+    "hello",
+    "ingest",
+    "flush",
+    "digest",
+    "reconcile",
+    "stats",
+    "reshard",
+    "admin",
+];
 
 /// Live service counters (shared between workers, connections, and the
 /// recovery scheduler).
@@ -32,6 +243,8 @@ pub struct Metrics {
     pub recovery_subrounds: AtomicU64,
     /// Total wall time spent inside recovery subrounds, in nanoseconds —
     /// with `recoveries`, the mean decode latency a reconcile pays.
+    /// Kept alongside the `recovery_latency` histogram for backward
+    /// compatibility (pre-v5 clients read only this sum).
     pub recovery_ns: AtomicU64,
     /// Replicated batches applied by this service when acting as a
     /// follower (deduplicated by sequence number).
@@ -49,6 +262,18 @@ pub struct Metrics {
     pub reshards_completed: AtomicU64,
     /// Reshards aborted (migration dropped, old generation kept).
     pub reshards_aborted: AtomicU64,
+    /// Request handling latency (ns), one histogram per frame class
+    /// (indexed by `REQUEST_CLASSES`). Recorded around the server's
+    /// dispatch, so it covers decode-to-encode, not socket time.
+    pub request_latency: [AtomicHistogram; REQUEST_CLASSES.len()],
+    /// Time sealed batches wait in the bounded queue before a worker
+    /// picks them up (ns).
+    pub queue_wait: AtomicHistogram,
+    /// Time a worker spends applying one batch to its shards (ns).
+    pub batch_apply: AtomicHistogram,
+    /// Per-recovery wall time (ns) — the distribution behind the
+    /// `recovery_ns` lifetime sum.
+    pub recovery_latency: AtomicHistogram,
     /// Per-subround trace of the most recent recovery: key counts (the
     /// paper's Table 5/6 trace) and wall times in ns, as parallel
     /// vectors under one lock so a concurrent snapshot can never observe
@@ -71,8 +296,9 @@ impl Metrics {
             self.recoveries_incomplete.fetch_add(1, Relaxed);
         }
         self.recovery_subrounds.fetch_add(subrounds as u64, Relaxed);
-        self.recovery_ns
-            .fetch_add(per_subround_ns.iter().sum::<u64>(), Relaxed);
+        let total_ns = per_subround_ns.iter().sum::<u64>();
+        self.recovery_ns.fetch_add(total_ns, Relaxed);
+        self.recovery_latency.record(total_ns);
         // Overwrite in place: the trace buffers keep their capacity, so
         // steady-state recording never allocates.
         let mut t = self.last_trace.lock();
@@ -80,6 +306,15 @@ impl Metrics {
         t.0.extend_from_slice(per_subround);
         t.1.clear();
         t.1.extend_from_slice(per_subround_ns);
+    }
+
+    /// Record one handled request of the given frame class (ns spent in
+    /// dispatch). Out-of-range classes clamp to the last ("admin").
+    pub fn record_request(&self, class: usize, ns: u64) {
+        let i = class.min(REQUEST_CLASSES.len() - 1);
+        if let Some(h) = self.request_latency.get(i) {
+            h.record(ns);
+        }
     }
 
     /// Plain-data copy of the global counters. Per-shard stats, the hub
@@ -121,6 +356,10 @@ impl Metrics {
             shards,
             replication,
             reshard,
+            request_latency: self.request_latency.iter().map(|h| h.snapshot()).collect(),
+            queue_wait: self.queue_wait.snapshot(),
+            batch_apply: self.batch_apply.snapshot(),
+            recovery_latency: self.recovery_latency.snapshot(),
         }
     }
 }
@@ -153,12 +392,25 @@ pub struct ReshardStats {
     pub aborted: u64,
 }
 
+/// One follower's replication progress at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FollowerStats {
+    /// Stable per-subscription ID (assigned at subscribe, never reused).
+    pub id: u64,
+    /// Highest sequence number published while this follower was live.
+    pub published: u64,
+    /// Highest sequence number this follower has acknowledged.
+    pub acked: u64,
+    /// `published − acked`, in sealed batches.
+    pub lag: u64,
+}
+
 /// Replication state at snapshot time: the primary half (follower count,
 /// sequence numbers, per-follower lag, stream drops) comes from the
 /// replication hub; the follower half (applied/skipped batches, decode
 /// errors, anti-entropy repairs) from the service's own counters. Lag is
 /// measured in sealed batches.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReplicationStats {
     /// Live follower subscriptions.
     pub followers: u64,
@@ -185,6 +437,12 @@ pub struct ReplicationStats {
     pub anti_entropy_rounds: u64,
     /// Follower side: keys healed by anti-entropy repair.
     pub anti_entropy_keys: u64,
+    /// One row per live follower (the distribution `max_lag` collapses).
+    pub per_follower: Vec<FollowerStats>,
+    /// Replication lag observed at each follower acknowledgment, in
+    /// sealed batches — the lag *distribution* over time, where
+    /// `per_follower` is only the instantaneous view.
+    pub lag: HistogramSnapshot,
 }
 
 /// Per-shard counters at snapshot time.
@@ -226,6 +484,14 @@ pub struct MetricsSnapshot {
     pub replication: ReplicationStats,
     /// Reshard state (live migration gauges + outcome counters).
     pub reshard: ReshardStats,
+    /// Request latency distributions, aligned with `REQUEST_CLASSES`.
+    pub request_latency: Vec<HistogramSnapshot>,
+    /// Batch queue-wait distribution (ns).
+    pub queue_wait: HistogramSnapshot,
+    /// Batch apply-time distribution (ns).
+    pub batch_apply: HistogramSnapshot,
+    /// Per-recovery wall-time distribution (ns).
+    pub recovery_latency: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -292,6 +558,9 @@ mod tests {
         assert_eq!(s.reshard.keys_moved, 41);
         assert_eq!(s.reshard.completed, 2);
         assert_eq!(s.reshard.aborted, 1);
+        // The recovery histogram tracks both recoveries' total ns.
+        assert_eq!(s.recovery_latency.count, 2);
+        assert_eq!(s.recovery_latency.sum, 1300 + 250);
     }
 
     #[test]
@@ -302,5 +571,71 @@ mod tests {
             ReshardStats::default(),
         );
         assert_eq!(s.mean_batch_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn bucket_index_and_floor_are_inverse_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 100, 1000, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(bucket_floor(i) <= v, "floor({i}) > {v}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert!(bucket_floor(i + 1) > v, "next floor({}) <= {v}", i + 1);
+            }
+        }
+        // Bucket floors are strictly increasing.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_floor(i) > bucket_floor(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = AtomicHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        let p50 = s.quantile(0.5);
+        // p50 of 1..=1000 is 500; the half-octave bucket [384, 512)
+        // contains it, so the readout is its floor.
+        assert!((256..=512).contains(&p50), "p50 = {p50}");
+        assert!(s.quantile(0.0) <= p50);
+        assert!(p50 <= s.quantile(1.0));
+        assert!(s.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        let combined = AtomicHistogram::new();
+        for v in [0u64, 1, 7, 7, 100, 4096] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [3u64, 7, 65_535, u64::MAX] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_matches_atomic_merge() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        for v in [1u64, 2, 300] {
+            a.record(v);
+        }
+        for v in [2u64, 4_000_000] {
+            b.record(v);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        a.merge_from(&b);
+        assert_eq!(sa, a.snapshot());
     }
 }

@@ -32,7 +32,9 @@ pub struct Op {
 pub type Batch = Vec<Op>;
 
 struct State {
-    batches: VecDeque<Batch>,
+    /// Pending batches, each stamped with its enqueue time so the
+    /// consumer can report how long it sat in the queue.
+    batches: VecDeque<(Batch, std::time::Instant)>,
     /// Batches popped but not yet `task_done`d.
     in_flight: usize,
     closed: bool,
@@ -79,7 +81,7 @@ impl BoundedQueue {
         if st.closed {
             return false;
         }
-        st.batches.push_back(batch);
+        st.batches.push_back((batch, std::time::Instant::now()));
         drop(st);
         self.not_empty.notify_one();
         true
@@ -89,13 +91,20 @@ impl BoundedQueue {
     /// the queue is closed *and* drained. The caller must follow every
     /// successful pop with [`Self::task_done`].
     pub fn pop(&self) -> Option<Batch> {
+        self.pop_timed().map(|(b, _)| b)
+    }
+
+    /// [`Self::pop`], also reporting how long the batch waited in the
+    /// queue (nanoseconds from `push` to this pop) — the ingest
+    /// pipeline's queue-wait histogram records it.
+    pub fn pop_timed(&self) -> Option<(Batch, u64)> {
         let mut st = plock(&self.state);
         loop {
-            if let Some(b) = st.batches.pop_front() {
+            if let Some((b, at)) = st.batches.pop_front() {
                 st.in_flight += 1;
                 drop(st);
                 self.not_full.notify_one();
-                return Some(b);
+                return Some((b, at.elapsed().as_nanos() as u64));
             }
             if st.closed {
                 return None;

@@ -1,0 +1,440 @@
+//! Flight recorder: a fixed-capacity, lock-free ring buffer of recent
+//! structured tracing events.
+//!
+//! The recorder implements the vendored `tracing::Subscriber`, so
+//! installing it makes every span and event in the process leave a
+//! timestamped record in the ring. When something goes wrong — a failed
+//! reshard, an orphaned follower, a panic — the last N records are a
+//! readable timeline of what the service was doing, dumped over the
+//! wire (`DebugDump` frame) or from the `peel-server` panic hook.
+//!
+//! Lock-freedom: writers claim a global sequence number with one
+//! `fetch_add` and own slot `seq % capacity`. Each slot is a seqlock —
+//! an odd version means "write in progress", and every payload word is
+//! its own relaxed atomic, so a torn read is *stale or discarded*,
+//! never undefined behavior. Readers (the dump path) retry a slot a few
+//! times and skip it if a writer keeps overlapping; recording never
+//! waits on readers.
+//!
+//! Slots store only plain words. Names and field keys are `&'static
+//! str`s, kept as raw (pointer, length) word pairs; the seqlock's
+//! version check proves the pair was written together by one writer
+//! before the dump reconstructs the `&str`.
+
+// ordering: the ring is a per-slot seqlock. A writer marks its slot
+// busy with an Acquire CAS to an odd version (later payload stores
+// cannot move above it), publishes payload words with Relaxed stores,
+// and releases with a Release store of the next even version (payload
+// stores cannot move below it). A reader loads the version with
+// Acquire, copies payload words with Relaxed loads, then re-checks the
+// version after an Acquire fence (payload loads cannot move below the
+// re-check); equal even versions prove an untorn copy. The head
+// counter and span-ID counter are Relaxed — they only need uniqueness,
+// not ordering.
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use tracing::{Field, Subscriber, Value};
+
+/// Record kind: a span opening.
+pub const KIND_SPAN: u8 = 0;
+/// Record kind: a point-in-time event.
+pub const KIND_EVENT: u8 = 1;
+
+/// Fields kept per record; extras are dropped (call sites stay small).
+const MAX_FIELDS: usize = 8;
+
+/// How many times the dump path retries a slot that a writer keeps
+/// re-writing before skipping it.
+const READ_RETRIES: usize = 8;
+
+/// One dumped record, in plain data (what the `DebugDump` wire frame
+/// carries and the panic hook prints).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Global sequence number (total order of recorded events).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_us: u64,
+    /// [`KIND_SPAN`] or [`KIND_EVENT`].
+    pub kind: u8,
+    /// The span this record belongs to (its own ID for span records,
+    /// the enclosing span for events; 0 = none).
+    pub span: u64,
+    /// Parent span ID (span records only; 0 = root).
+    pub parent: u64,
+    /// Span or event name.
+    pub name: String,
+    /// Fields rendered as `k=v` pairs separated by spaces.
+    pub fields: String,
+}
+
+impl std::fmt::Display for FlightRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.kind == KIND_SPAN {
+            "span"
+        } else {
+            "event"
+        };
+        write!(
+            f,
+            "#{} +{}us {kind} {} span={} parent={}",
+            self.seq, self.at_us, self.name, self.span, self.parent
+        )?;
+        if !self.fields.is_empty() {
+            write!(f, " {}", self.fields)?;
+        }
+        Ok(())
+    }
+}
+
+// A field value flattened to three words: tag, payload A, payload B.
+const VAL_U64: u64 = 0;
+const VAL_I64: u64 = 1;
+const VAL_BOOL: u64 = 2;
+const VAL_STR: u64 = 3;
+
+/// One stored field: key (ptr, len) + value (tag, a, b).
+#[derive(Default)]
+struct FieldCells {
+    key_ptr: AtomicUsize,
+    key_len: AtomicUsize,
+    tag: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// One ring slot: seqlock version + payload words.
+#[derive(Default)]
+struct Slot {
+    /// Even = stable, odd = write in progress. Starts at 0; a slot is
+    /// "never written" while `seq` is `u64::MAX`.
+    version: AtomicU64,
+    seq: AtomicU64,
+    at_us: AtomicU64,
+    /// kind in bits 0..8, field count in bits 8..16.
+    meta: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    name_ptr: AtomicUsize,
+    name_len: AtomicUsize,
+    fields: [FieldCells; MAX_FIELDS],
+}
+
+/// The ring buffer. Create with [`FlightRecorder::new`], install as the
+/// global tracing subscriber via [`install_global`], dump with
+/// [`FlightRecorder::dump`].
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    next_span: AtomicU64,
+    start: Instant,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` records
+    /// (`capacity` ≥ 1; values are clamped).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots: Box<[Slot]> = (0..capacity).map(|_| Slot::default()).collect();
+        // Mark every slot "never written" so dumps skip them.
+        for s in slots.iter() {
+            s.seq.store(u64::MAX, Relaxed);
+        }
+        FlightRecorder {
+            slots,
+            head: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records written over the recorder's lifetime (≥ the number
+    /// still in the ring).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Relaxed)
+    }
+
+    fn write(&self, kind: u8, span: u64, parent: u64, name: &'static str, fields: &[Field]) {
+        let seq = self.head.fetch_add(1, Relaxed);
+        let Some(slot) = self.slots.get((seq % self.slots.len() as u64) as usize) else {
+            return;
+        };
+        let at_us = self.start.elapsed().as_micros() as u64;
+        // Claim the slot: CAS even → odd. A concurrent writer that
+        // wrapped all the way around holds it only for these few
+        // stores, so spinning is bounded in practice.
+        let mut v = slot.version.load(Relaxed);
+        loop {
+            if v % 2 == 1 {
+                std::hint::spin_loop();
+                v = slot.version.load(Relaxed);
+                continue;
+            }
+            match slot.version.compare_exchange(v, v + 1, Acquire, Relaxed) {
+                Ok(_) => break,
+                Err(now) => v = now,
+            }
+        }
+        slot.seq.store(seq, Relaxed);
+        slot.at_us.store(at_us, Relaxed);
+        let n = fields.len().min(MAX_FIELDS);
+        slot.meta.store(kind as u64 | ((n as u64) << 8), Relaxed);
+        slot.span.store(span, Relaxed);
+        slot.parent.store(parent, Relaxed);
+        slot.name_ptr.store(name.as_ptr() as usize, Relaxed);
+        slot.name_len.store(name.len(), Relaxed);
+        for (cell, (key, val)) in slot.fields.iter().zip(fields.iter()) {
+            cell.key_ptr.store(key.as_ptr() as usize, Relaxed);
+            cell.key_len.store(key.len(), Relaxed);
+            let (tag, a, b) = match *val {
+                Value::U64(x) => (VAL_U64, x, 0),
+                Value::I64(x) => (VAL_I64, x as u64, 0),
+                Value::Bool(x) => (VAL_BOOL, x as u64, 0),
+                Value::Str(s) => (VAL_STR, s.as_ptr() as usize as u64, s.len() as u64),
+            };
+            cell.tag.store(tag, Relaxed);
+            cell.a.store(a, Relaxed);
+            cell.b.store(b, Relaxed);
+        }
+        slot.version.store(v + 2, Release);
+    }
+
+    /// Read one slot if it is stable; `None` if never written or a
+    /// writer kept overlapping.
+    fn read_slot(&self, i: usize) -> Option<FlightRecord> {
+        let slot = self.slots.get(i)?;
+        for _ in 0..READ_RETRIES {
+            let v1 = slot.version.load(Acquire);
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let seq = slot.seq.load(Relaxed);
+            let at_us = slot.at_us.load(Relaxed);
+            let meta = slot.meta.load(Relaxed);
+            let span = slot.span.load(Relaxed);
+            let parent = slot.parent.load(Relaxed);
+            let name_ptr = slot.name_ptr.load(Relaxed);
+            let name_len = slot.name_len.load(Relaxed);
+            let mut raw_fields = [(0usize, 0usize, 0u64, 0u64, 0u64); MAX_FIELDS];
+            let n = ((meta >> 8) & 0xff) as usize;
+            for (dst, cell) in raw_fields.iter_mut().zip(slot.fields.iter()).take(n) {
+                *dst = (
+                    cell.key_ptr.load(Relaxed),
+                    cell.key_len.load(Relaxed),
+                    cell.tag.load(Relaxed),
+                    cell.a.load(Relaxed),
+                    cell.b.load(Relaxed),
+                );
+            }
+            fence(Acquire);
+            if slot.version.load(Relaxed) != v1 {
+                continue;
+            }
+            if seq == u64::MAX {
+                return None;
+            }
+            // The copy is untorn: the (ptr, len) pairs below were
+            // written together by one writer from live `&'static str`s.
+            let name = load_static_str(name_ptr, name_len).to_string();
+            let mut fields = String::new();
+            for &(kp, kl, tag, a, b) in raw_fields.iter().take(n.min(MAX_FIELDS)) {
+                if !fields.is_empty() {
+                    fields.push(' ');
+                }
+                fields.push_str(load_static_str(kp, kl));
+                fields.push('=');
+                match tag {
+                    VAL_I64 => fields.push_str(&(a as i64).to_string()),
+                    VAL_BOOL => fields.push_str(if a != 0 { "true" } else { "false" }),
+                    VAL_STR => fields.push_str(load_static_str(a as usize, b as usize)),
+                    _ => fields.push_str(&a.to_string()),
+                }
+            }
+            return Some(FlightRecord {
+                seq,
+                at_us,
+                kind: (meta & 0xff) as u8,
+                span,
+                parent,
+                name,
+                fields,
+            });
+        }
+        None
+    }
+
+    /// Snapshot the ring: every stable record, ascending by sequence
+    /// number (oldest first). Concurrent recording may overwrite slots
+    /// mid-dump; such slots are simply skipped or reflect the newer
+    /// record.
+    pub fn dump(&self) -> Vec<FlightRecord> {
+        let mut out: Vec<FlightRecord> = (0..self.slots.len())
+            .filter_map(|i| self.read_slot(i))
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+}
+
+/// Rebuild a `&'static str` from a (ptr, len) word pair that a seqlock
+/// read proved untorn.
+fn load_static_str(ptr: usize, len: usize) -> &'static str {
+    if ptr == 0 {
+        return "";
+    }
+    // SAFETY: the pair was stored together (seqlock-validated) from a
+    // live `&'static str`, whose pointer and length remain valid for
+    // the program's lifetime.
+    unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr as *const u8, len)) }
+}
+
+impl Subscriber for FlightRecorder {
+    fn new_span(&self, name: &'static str, parent: u64, fields: &[Field]) -> u64 {
+        let id = self.next_span.fetch_add(1, Relaxed) + 1;
+        self.write(KIND_SPAN, id, parent, name, fields);
+        id
+    }
+
+    fn event(&self, span: u64, name: &'static str, fields: &[Field]) {
+        self.write(KIND_EVENT, span, 0, name, fields);
+    }
+}
+
+/// `Subscriber` forwarding to a shared recorder (what gets installed
+/// globally, so dumps and the panic hook keep a handle).
+struct SharedRecorder(Arc<FlightRecorder>);
+
+impl Subscriber for SharedRecorder {
+    fn new_span(&self, name: &'static str, parent: u64, fields: &[Field]) -> u64 {
+        self.0.new_span(name, parent, fields)
+    }
+
+    fn event(&self, span: u64, name: &'static str, fields: &[Field]) {
+        self.0.event(span, name, fields)
+    }
+}
+
+static GLOBAL: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+
+/// Install a process-global flight recorder of `capacity` records as
+/// the tracing subscriber and return a handle to it. Idempotent: later
+/// calls return the first recorder (capacity unchanged).
+pub fn install_global(capacity: usize) -> Arc<FlightRecorder> {
+    let rec = GLOBAL
+        .get_or_init(|| Arc::new(FlightRecorder::new(capacity)))
+        .clone();
+    if !tracing::enabled() {
+        tracing::set_subscriber(Box::new(SharedRecorder(rec.clone())));
+    }
+    rec
+}
+
+/// The process-global recorder, if [`install_global`] has run.
+pub fn global() -> Option<Arc<FlightRecorder>> {
+    GLOBAL.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_the_ring() {
+        let rec = FlightRecorder::new(16);
+        let id = rec.new_span("request", 0, &[("kind", Value::Str("insert"))]);
+        rec.event(
+            id,
+            "applied",
+            &[("ops", Value::U64(32)), ("ok", Value::Bool(true))],
+        );
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].kind, KIND_SPAN);
+        assert_eq!(dump[0].name, "request");
+        assert_eq!(dump[0].fields, "kind=insert");
+        assert_eq!(dump[0].span, id);
+        assert_eq!(dump[1].kind, KIND_EVENT);
+        assert_eq!(dump[1].span, id);
+        assert_eq!(dump[1].fields, "ops=32 ok=true");
+        assert!(dump[0].seq < dump[1].seq);
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_records() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.event(0, "tick", &[("i", Value::U64(i))]);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 4);
+        assert_eq!(dump[0].fields, "i=6");
+        assert_eq!(dump[3].fields, "i=9");
+        assert_eq!(rec.recorded(), 10);
+    }
+
+    #[test]
+    fn negative_and_empty_fields_render() {
+        let rec = FlightRecorder::new(4);
+        rec.event(0, "bare", &[]);
+        rec.event(0, "delta", &[("d", Value::I64(-5))]);
+        let dump = rec.dump();
+        assert_eq!(dump[0].fields, "");
+        assert_eq!(dump[1].fields, "d=-5");
+    }
+
+    #[test]
+    fn extra_fields_are_truncated_not_lost() {
+        let rec = FlightRecorder::new(4);
+        let fields: Vec<(&'static str, Value)> = (0..12).map(|_| ("k", Value::U64(1))).collect();
+        rec.event(0, "wide", &fields);
+        let dump = rec.dump();
+        assert_eq!(dump[0].fields.split(' ').count(), MAX_FIELDS);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_dump() {
+        let rec = Arc::new(FlightRecorder::new(32));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let rec = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    rec.event(t, "w", &[("i", Value::U64(i)), ("t", Value::U64(t))]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let dump = rec.dump();
+        assert!(dump.len() <= 32);
+        for r in &dump {
+            assert_eq!(r.name, "w");
+            // Fields must parse back as the pair one writer stored.
+            let mut parts = r.fields.split(' ');
+            let i = parts.next().unwrap().strip_prefix("i=").unwrap();
+            let t = parts.next().unwrap().strip_prefix("t=").unwrap();
+            assert!(i.parse::<u64>().unwrap() < 500);
+            assert!(t.parse::<u64>().unwrap() < 4);
+        }
+        assert_eq!(rec.recorded(), 2000);
+    }
+}

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
 
 use crate::lock::{plock, pwait};
-use crate::metrics::ReplicationStats;
+use crate::metrics::{AtomicHistogram, FollowerStats, ReplicationStats};
 use crate::queue::Batch;
 use crate::service::PeelService;
 use crate::transport::Transport;
@@ -54,6 +54,9 @@ struct SubState {
 }
 
 struct SubShared {
+    /// Stable identifier for this subscription (assigned at subscribe
+    /// time, never reused) — keys the per-follower stats rows.
+    id: u64,
     state: Mutex<SubState>,
     ready: Condvar,
     /// Highest sequence number the follower has acknowledged applying.
@@ -69,6 +72,11 @@ struct HubShared {
     streamed: AtomicU64,
     /// Batches evicted from overflowing follower queues.
     dropped: AtomicU64,
+    /// Next subscription id (monotone; mutated under the subs lock).
+    next_id: AtomicU64,
+    /// Distribution of per-ack replication lag (published − acked
+    /// sequence), recorded every time a follower acks.
+    lag: AtomicHistogram,
     closed: AtomicBool,
     capacity: usize,
 }
@@ -92,6 +100,8 @@ impl ReplicationHub {
                 published: AtomicU64::new(0),
                 streamed: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                next_id: AtomicU64::new(0),
+                lag: AtomicHistogram::new(),
                 closed: AtomicBool::new(false),
                 capacity,
             }),
@@ -144,6 +154,7 @@ impl ReplicationHub {
         // in tests/loom_replication.rs; replay schedule in CHANGES.md.
         let mut subs = plock(&self.shared.subs);
         let sub = Arc::new(SubShared {
+            id: self.shared.next_id.fetch_add(1, Relaxed),
             state: Mutex::new(SubState {
                 queue: VecDeque::new(),
                 closed: self.shared.closed.load(Relaxed),
@@ -185,11 +196,20 @@ impl ReplicationHub {
         let mut acked_min = published;
         let mut max_lag = 0u64;
         let subs = plock(&self.shared.subs);
+        let mut per_follower = Vec::with_capacity(subs.len());
         for sub in subs.iter() {
             let acked = sub.acked.load(Relaxed);
             acked_min = acked_min.min(acked);
-            max_lag = max_lag.max(published.saturating_sub(acked));
+            let lag = published.saturating_sub(acked);
+            max_lag = max_lag.max(lag);
+            per_follower.push(FollowerStats {
+                id: sub.id,
+                published,
+                acked,
+                lag,
+            });
         }
+        per_follower.sort_unstable_by_key(|f| f.id);
         ReplicationStats {
             followers: subs.len() as u64,
             published_seq: published,
@@ -197,6 +217,8 @@ impl ReplicationHub {
             max_lag,
             batches_streamed: self.shared.streamed.load(Relaxed),
             batches_dropped: self.shared.dropped.load(Relaxed),
+            per_follower,
+            lag: self.shared.lag.snapshot(),
             ..ReplicationStats::default()
         }
     }
@@ -230,9 +252,18 @@ impl Subscription {
         plock(&self.shared.state).queue.pop_front()
     }
 
-    /// Record the follower's highest applied sequence number.
+    /// Stable identifier of this subscription within its hub.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Record the follower's highest applied sequence number. Each ack
+    /// also records the instantaneous lag (published − acked) into the
+    /// hub's lag distribution.
     pub fn ack(&self, seq: u64) {
         self.shared.acked.fetch_max(seq, Relaxed);
+        let published = self.hub.published.load(Relaxed);
+        self.hub.lag.record(published.saturating_sub(seq));
     }
 
     /// Highest acknowledged sequence number.
@@ -258,6 +289,14 @@ pub fn stream_to_follower<T: Transport>(
     sub: &Subscription,
     resume_after: u64,
 ) -> Result<(), WireError> {
+    let span = tracing::span(
+        "replication_stream",
+        &[
+            ("follower", sub.id().into()),
+            ("resume_after", resume_after.into()),
+        ],
+    );
+    let _entered = span.enter();
     while let Some((seq, ops)) = sub.recv() {
         if seq <= resume_after {
             continue;

@@ -244,7 +244,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             let _ = stream_to_follower(&mut transport, &sub, last_seq);
             return;
         }
-        let (resp, stop_after) = handle_request(&shared.service, req);
+        // Per-request observability: a span carrying the frame type (and
+        // shard, when the frame names one) around the dispatch, and the
+        // dispatch latency recorded into the per-class histogram. The
+        // span is free when no subscriber is installed; the histogram
+        // records always.
+        let class = req.class_index();
+        let span = match req.shard_hint() {
+            Some(shard) => tracing::span(
+                "request",
+                &[("kind", req.kind().into()), ("shard", shard.into())],
+            ),
+            None => tracing::span("request", &[("kind", req.kind().into())]),
+        };
+        let started = std::time::Instant::now();
+        let (resp, stop_after) = span.in_scope(|| handle_request(&shared.service, req));
+        drop(span);
+        shared
+            .service
+            .metrics_handle()
+            .record_request(class, started.elapsed().as_nanos() as u64);
         if write_frame(&mut writer, &encode_response(&resp)).is_err() {
             return;
         }
@@ -283,7 +302,13 @@ pub fn handle_request(service: &PeelService, req: Request) -> (Response, bool) {
             Ok(diff) => Response::Diff(diff),
             Err(e) => Response::Error(e.to_string()),
         },
-        Request::Stats => Response::Stats(service.metrics()),
+        Request::Stats => Response::Stats(Box::new(service.metrics())),
+        Request::MetricsText => Response::MetricsText(crate::prom::render(&service.metrics())),
+        Request::DebugDump => Response::DebugDump(
+            crate::recorder::global()
+                .map(|r| r.dump())
+                .unwrap_or_default(),
+        ),
         // The reshard coordinator: the four v4 control frames drive the
         // service's migration state machine. Begin runs the snapshot +
         // re-key synchronously (dual-apply is on by the time it

@@ -403,6 +403,9 @@ impl Inner {
     /// locally. The publish never blocks; the local push is where
     /// backpressure lives.
     fn enqueue_sealed(&self, batch: Batch) -> bool {
+        if tracing::enabled() {
+            tracing::event("batch_seal", &[("ops", (batch.len() as u64).into())]);
+        }
         self.hub.publish(&batch);
         self.queue.push(batch)
     }
@@ -649,9 +652,27 @@ impl PeelService {
         // Everything below runs on the frozen copy — ingest is live again.
         // One fused sweep writes snapshot − digest into the pooled atomic
         // diff table, seeds the recovery workspace, and decodes.
-        let rec = ctx
-            .diff
-            .recover_subtracted_in(&ctx.snap, digest, &mut ctx.ws);
+        let span = tracing::span(
+            "recovery",
+            &[("shard", shard.into()), ("epoch", epoch.into())],
+        );
+        let rec = span.in_scope(|| {
+            ctx.diff
+                .recover_subtracted_in(&ctx.snap, digest, &mut ctx.ws)
+        });
+        if tracing::enabled() {
+            tracing::event(
+                "recovery_done",
+                &[
+                    ("shard", shard.into()),
+                    ("complete", rec.complete.into()),
+                    ("subrounds", (rec.subrounds as u64).into()),
+                    ("positive", (rec.positive.len() as u64).into()),
+                    ("negative", (rec.negative.len() as u64).into()),
+                ],
+            );
+        }
+        drop(span);
         self.inner.metrics.record_recovery(
             rec.complete,
             rec.subrounds,
@@ -757,6 +778,15 @@ impl PeelService {
         if let Some(m) = &mut g.migration {
             m.keys_moved = moved;
         }
+        if tracing::enabled() {
+            tracing::event(
+                "reshard_begin",
+                &[
+                    ("to_shards", to_shards.into()),
+                    ("keys_moved", moved.into()),
+                ],
+            );
+        }
         Ok(self.reshard_status_locked(&g))
     }
 
@@ -802,6 +832,15 @@ impl PeelService {
         self.inner.last_reshard_keys.store(m.keys_moved, Relaxed);
         g.current = m.next;
         self.inner.metrics.reshards_completed.fetch_add(1, Relaxed);
+        if tracing::enabled() {
+            tracing::event(
+                "reshard_commit",
+                &[
+                    ("generation", g.current.generation.into()),
+                    ("shards", g.current.router.shards().into()),
+                ],
+            );
+        }
         Ok(self.reshard_status_locked(&g))
     }
 
@@ -815,6 +854,12 @@ impl PeelService {
             return Err(ServiceError::NotResharding);
         }
         self.inner.metrics.reshards_aborted.fetch_add(1, Relaxed);
+        if tracing::enabled() {
+            tracing::event(
+                "reshard_abort",
+                &[("generation", g.current.generation.into())],
+            );
+        }
         Ok(self.reshard_status_locked(&g))
     }
 
@@ -1037,7 +1082,17 @@ fn route_decoded(
 }
 
 fn worker_loop(inner: &Inner) {
-    while let Some(batch) = inner.queue.pop() {
+    while let Some((batch, wait_ns)) = inner.queue.pop_timed() {
+        inner.metrics.queue_wait.record(wait_ns);
+        let span = tracing::span(
+            "batch_apply",
+            &[
+                ("ops", (batch.len() as u64).into()),
+                ("queue_wait_ns", wait_ns.into()),
+            ],
+        );
+        let _entered = span.enter();
+        let apply_started = std::time::Instant::now();
         {
             // Hold the generation read lock for the whole batch: the
             // reshard transitions (write lock) then observe batch
@@ -1065,6 +1120,10 @@ fn worker_loop(inner: &Inner) {
                 }
             }
         }
+        inner
+            .metrics
+            .batch_apply
+            .record(apply_started.elapsed().as_nanos() as u64);
         inner.metrics.batches_applied.fetch_add(1, Relaxed);
         inner
             .metrics

@@ -17,8 +17,12 @@ use std::io::{self, Read, Write};
 
 use peel_iblt::{Cell, Iblt, IbltConfig};
 
-use crate::metrics::{MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats};
+use crate::metrics::{
+    FollowerStats, HistogramSnapshot, MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats,
+    HISTOGRAM_BUCKETS, REQUEST_CLASSES,
+};
 use crate::queue::Op;
+use crate::recorder::FlightRecord;
 
 /// Maximum frame payload size (16 MiB). Large enough for an IBLT digest of
 /// hundreds of thousands of cells; small enough that a garbage length
@@ -32,8 +36,9 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// revision 4 added the live-resharding frames (`ReshardBegin`,
 /// `ReshardDigest`, `ReshardCommit`, `ReshardAbort`), the `Reshard` and
 /// sparse-encoded `DigestSparse` responses, and the reshard block of
-/// `Stats`.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// `Stats`; revision 5 added the observability frames (`MetricsText`,
+/// `DebugDump`) and the histogram + per-follower blocks of `Stats`.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Everything that can go wrong encoding, decoding, or transporting a
 /// message.
@@ -196,6 +201,66 @@ pub enum Request {
     /// Drop the in-flight migration and keep serving the old generation
     /// (which dual-apply kept authoritative — no key is lost).
     ReshardAbort,
+    /// Fetch every counter, gauge, and histogram rendered in the
+    /// Prometheus text exposition format (protocol v5) — the same body
+    /// the optional `--metrics-addr` HTTP listener serves.
+    MetricsText,
+    /// Dump the flight recorder: the last N structured tracing events
+    /// the server recorded (protocol v5). Empty when no recorder is
+    /// installed.
+    DebugDump,
+}
+
+impl Request {
+    /// Short static name of the frame (span labels, debug output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Hello => "hello",
+            Request::Insert(_) => "insert",
+            Request::Delete(_) => "delete",
+            Request::Flush => "flush",
+            Request::Digest { .. } => "digest",
+            Request::Reconcile { .. } => "reconcile",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::Subscribe { .. } => "subscribe",
+            Request::ReplicateAck { .. } => "replicate_ack",
+            Request::ReshardBegin { .. } => "reshard_begin",
+            Request::ReshardDigest { .. } => "reshard_digest",
+            Request::ReshardCommit => "reshard_commit",
+            Request::ReshardAbort => "reshard_abort",
+            Request::MetricsText => "metrics_text",
+            Request::DebugDump => "debug_dump",
+        }
+    }
+
+    /// The shard a frame names, if any (span labelling).
+    pub fn shard_hint(&self) -> Option<u32> {
+        match self {
+            Request::Digest { shard }
+            | Request::Reconcile { shard, .. }
+            | Request::ReshardDigest { shard } => Some(*shard),
+            _ => None,
+        }
+    }
+
+    /// The request-latency histogram class this frame is recorded
+    /// under (an index into [`REQUEST_CLASSES`]).
+    pub fn class_index(&self) -> usize {
+        match self {
+            Request::Hello => 0,
+            Request::Insert(_) | Request::Delete(_) => 1,
+            Request::Flush => 2,
+            Request::Digest { .. } => 3,
+            Request::Reconcile { .. } => 4,
+            Request::Stats | Request::MetricsText | Request::DebugDump => 5,
+            Request::ReshardBegin { .. }
+            | Request::ReshardDigest { .. }
+            | Request::ReshardCommit
+            | Request::ReshardAbort => 6,
+            Request::Shutdown | Request::Subscribe { .. } | Request::ReplicateAck { .. } => 7,
+        }
+    }
 }
 
 /// Server → client messages.
@@ -218,7 +283,7 @@ pub enum Response {
     /// The decoded per-shard symmetric difference.
     Diff(ShardDiff),
     /// Service metrics.
-    Stats(MetricsSnapshot),
+    Stats(Box<MetricsSnapshot>),
     /// The request failed; human-readable reason.
     Error(String),
     /// Primary → follower: one sealed ingest batch, streamed on a
@@ -246,6 +311,10 @@ pub enum Response {
         /// The snapshot.
         iblt: Iblt,
     },
+    /// The metrics in Prometheus text exposition format (protocol v5).
+    MetricsText(String),
+    /// The flight-recorder dump, oldest record first (protocol v5).
+    DebugDump(Vec<FlightRecord>),
 }
 
 // --- Primitive cursor ------------------------------------------------------
@@ -515,6 +584,8 @@ const REQ_RESHARD_BEGIN: u8 = 0x0b;
 const REQ_RESHARD_DIGEST: u8 = 0x0c;
 const REQ_RESHARD_COMMIT: u8 = 0x0d;
 const REQ_RESHARD_ABORT: u8 = 0x0e;
+const REQ_METRICS_TEXT: u8 = 0x0f;
+const REQ_DEBUG_DUMP: u8 = 0x10;
 
 const RESP_HELLO: u8 = 0x81;
 const RESP_OK: u8 = 0x82;
@@ -525,6 +596,8 @@ const RESP_ERROR: u8 = 0x86;
 const RESP_REPLICATE: u8 = 0x87;
 const RESP_RESHARD: u8 = 0x88;
 const RESP_DIGEST_SPARSE: u8 = 0x89;
+const RESP_METRICS_TEXT: u8 = 0x8a;
+const RESP_DEBUG_DUMP: u8 = 0x8b;
 
 // Wire encoding of one ingest op: 8-byte key + 1-byte direction.
 const OP_BYTES: usize = 9;
@@ -597,6 +670,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::ReshardCommit => out.push(REQ_RESHARD_COMMIT),
         Request::ReshardAbort => out.push(REQ_RESHARD_ABORT),
+        Request::MetricsText => out.push(REQ_METRICS_TEXT),
+        Request::DebugDump => out.push(REQ_DEBUG_DUMP),
     }
     out
 }
@@ -624,6 +699,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         REQ_RESHARD_DIGEST => Request::ReshardDigest { shard: r.u32()? },
         REQ_RESHARD_COMMIT => Request::ReshardCommit,
         REQ_RESHARD_ABORT => Request::ReshardAbort,
+        REQ_METRICS_TEXT => Request::MetricsText,
+        REQ_DEBUG_DUMP => Request::DebugDump,
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;
@@ -674,6 +751,74 @@ fn read_reshard_stats(r: &mut Reader) -> Result<ReshardStats, WireError> {
     })
 }
 
+/// Histogram wire form: count, sum, then the sparse non-empty
+/// `(u32 bucket, u64 count)` pairs — a loaded histogram is a few dozen
+/// pairs, never the full 128 buckets.
+fn put_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_u64(out, h.count);
+    put_u64(out, h.sum);
+    put_u32(out, h.buckets.len() as u32);
+    for &(i, c) in &h.buckets {
+        put_u32(out, i);
+        put_u64(out, c);
+    }
+}
+
+/// Decode a histogram. Total: the pair count is validated against the
+/// bytes present, and bucket indexes must be strictly increasing and
+/// in range, so quantile readout on the result is well-defined.
+fn read_histogram(r: &mut Reader) -> Result<HistogramSnapshot, WireError> {
+    let count = r.u64()?;
+    let sum = r.u64()?;
+    // 12 wire bytes per (bucket, count) pair.
+    let n = r.len(12)?;
+    if n > HISTOGRAM_BUCKETS {
+        return Err(WireError::BadLength(n as u64));
+    }
+    let mut buckets = Vec::with_capacity(n);
+    let mut prev: Option<u32> = None;
+    for _ in 0..n {
+        let i = r.u32()?;
+        if i as usize >= HISTOGRAM_BUCKETS || prev.is_some_and(|p| i <= p) {
+            return Err(WireError::Malformed(format!(
+                "histogram bucket {i} out of order or out of range"
+            )));
+        }
+        prev = Some(i);
+        buckets.push((i, r.u64()?));
+    }
+    Ok(HistogramSnapshot {
+        count,
+        sum,
+        buckets,
+    })
+}
+
+fn put_follower_rows(out: &mut Vec<u8>, rows: &[FollowerStats]) {
+    put_u32(out, rows.len() as u32);
+    for f in rows {
+        put_u64(out, f.id);
+        put_u64(out, f.published);
+        put_u64(out, f.acked);
+        put_u64(out, f.lag);
+    }
+}
+
+fn read_follower_rows(r: &mut Reader) -> Result<Vec<FollowerStats>, WireError> {
+    // 32 wire bytes per row.
+    let n = r.len(32)?;
+    (0..n)
+        .map(|_| {
+            Ok(FollowerStats {
+                id: r.u64()?,
+                published: r.u64()?,
+                acked: r.u64()?,
+                lag: r.u64()?,
+            })
+        })
+        .collect()
+}
+
 fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
     put_u64(out, s.batches_applied);
     put_u64(out, s.ops_applied);
@@ -707,6 +852,18 @@ fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
         put_u64(out, v);
     }
     put_reshard_stats(out, &s.reshard);
+    // Protocol v5 block: per-follower rows, the replication-lag
+    // distribution, and the latency histograms — appended after the v4
+    // layout so the frame grows strictly at the tail.
+    put_follower_rows(out, &r.per_follower);
+    put_histogram(out, &r.lag);
+    put_u32(out, s.request_latency.len() as u32);
+    for h in &s.request_latency {
+        put_histogram(out, h);
+    }
+    put_histogram(out, &s.queue_wait);
+    put_histogram(out, &s.batch_apply);
+    put_histogram(out, &s.recovery_latency);
 }
 
 fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
@@ -729,7 +886,7 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
             })
         })
         .collect::<Result<Vec<_>, WireError>>()?;
-    let replication = ReplicationStats {
+    let mut replication = ReplicationStats {
         followers: r.u64()?,
         published_seq: r.u64()?,
         acked_min: r.u64()?,
@@ -741,8 +898,23 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         decode_errors: r.u64()?,
         anti_entropy_rounds: r.u64()?,
         anti_entropy_keys: r.u64()?,
+        per_follower: Vec::new(),
+        lag: HistogramSnapshot::default(),
     };
     let reshard = read_reshard_stats(r)?;
+    // Protocol v5 tail (see `put_stats`).
+    replication.per_follower = read_follower_rows(r)?;
+    replication.lag = read_histogram(r)?;
+    let n_classes = r.len(20)?;
+    if n_classes > REQUEST_CLASSES.len() {
+        return Err(WireError::BadLength(n_classes as u64));
+    }
+    let request_latency = (0..n_classes)
+        .map(|_| read_histogram(r))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let queue_wait = read_histogram(r)?;
+    let batch_apply = read_histogram(r)?;
+    let recovery_latency = read_histogram(r)?;
     Ok(MetricsSnapshot {
         batches_applied,
         ops_applied,
@@ -756,7 +928,39 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         shards,
         replication,
         reshard,
+        request_latency,
+        queue_wait,
+        batch_apply,
+        recovery_latency,
     })
+}
+
+fn put_flight_record(out: &mut Vec<u8>, rec: &FlightRecord) {
+    put_u64(out, rec.seq);
+    put_u64(out, rec.at_us);
+    out.push(rec.kind);
+    put_u64(out, rec.span);
+    put_u64(out, rec.parent);
+    put_string(out, &rec.name);
+    put_string(out, &rec.fields);
+}
+
+fn read_flight_record(r: &mut Reader) -> Result<FlightRecord, WireError> {
+    Ok(FlightRecord {
+        seq: r.u64()?,
+        at_us: r.u64()?,
+        kind: r.u8()?,
+        span: r.u64()?,
+        parent: r.u64()?,
+        name: r.string()?,
+        fields: r.string()?,
+    })
+}
+
+fn read_flight_records(r: &mut Reader) -> Result<Vec<FlightRecord>, WireError> {
+    // 41 fixed wire bytes per record (strings add more).
+    let n = r.len(41)?;
+    (0..n).map(|_| read_flight_record(r)).collect()
 }
 
 /// Encode a response into a frame payload.
@@ -802,6 +1006,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut out, *epoch);
             encode_iblt_sparse(&mut out, iblt);
         }
+        Response::MetricsText(body) => {
+            out.push(RESP_METRICS_TEXT);
+            put_string(&mut out, body);
+        }
+        Response::DebugDump(records) => {
+            out.push(RESP_DEBUG_DUMP);
+            put_u32(&mut out, records.len() as u32);
+            for rec in records {
+                put_flight_record(&mut out, rec);
+            }
+        }
     }
     out
 }
@@ -834,7 +1049,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             iblt: decode_iblt(&mut r)?,
         },
         RESP_DIFF => Response::Diff(read_shard_diff(&mut r)?),
-        RESP_STATS => Response::Stats(read_stats(&mut r)?),
+        RESP_STATS => Response::Stats(Box::new(read_stats(&mut r)?)),
         RESP_ERROR => Response::Error(r.string()?),
         RESP_REPLICATE => Response::Replicate {
             seq: r.u64()?,
@@ -845,6 +1060,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             epoch: r.u64()?,
             iblt: decode_iblt_sparse(&mut r)?,
         },
+        RESP_METRICS_TEXT => Response::MetricsText(r.string()?),
+        RESP_DEBUG_DUMP => Response::DebugDump(read_flight_records(&mut r)?),
         t => return Err(WireError::BadTag(t)),
     };
     r.finish()?;

@@ -1,0 +1,108 @@
+//! Property tests for the lock-free log-bucketed latency histogram:
+//! bucket boundaries invert correctly, quantiles are monotone and
+//! bracket the recorded values, and merging histograms is equivalent to
+//! recording their union.
+
+use proptest::prelude::*;
+
+use peel_service::metrics::{bucket_floor, bucket_index, AtomicHistogram, HISTOGRAM_BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose floor is ≤ the value, and the
+    /// next bucket's floor is > the value (except in the saturated top
+    /// bucket, which absorbs everything past its floor).
+    #[test]
+    fn bucket_boundaries_bracket_the_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_floor(i) <= v, "floor({i}) > {v}");
+        if i + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < bucket_floor(i + 1), "{v} >= floor({})", i + 1);
+        }
+    }
+
+    /// `bucket_index` is monotone: a larger value never lands in an
+    /// earlier bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Quantile readout is monotone in q and stays within the recorded
+    /// range (as bucket floors, which lower-bound the true values).
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = AtomicHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let max = *values.iter().max().expect("non-empty");
+        let min = *values.iter().min().expect("non-empty");
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = snap.quantile(q);
+            prop_assert!(x >= prev, "quantile({q}) went backwards");
+            // A quantile is a bucket floor: ≤ the true max, and never
+            // below the floor of the minimum's bucket.
+            prop_assert!(x <= max);
+            prop_assert!(x >= bucket_floor(bucket_index(min)));
+            prev = x;
+        }
+    }
+
+    /// Recording a ∪ b into one histogram equals recording a and b into
+    /// two and merging them — for both the atomic merge
+    /// (`merge_from`) and the snapshot merge.
+    #[test]
+    fn merge_is_equivalent_to_recording_the_union(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let combined = AtomicHistogram::new();
+        for &v in a.iter().chain(&b) {
+            combined.record(v);
+        }
+        let ha = AtomicHistogram::new();
+        let hb = AtomicHistogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        // Atomic merge.
+        let merged = AtomicHistogram::new();
+        merged.merge_from(&ha);
+        merged.merge_from(&hb);
+        prop_assert_eq!(merged.snapshot(), combined.snapshot());
+        // Snapshot merge.
+        let mut snap = ha.snapshot();
+        snap.merge(&hb.snapshot());
+        prop_assert_eq!(snap, combined.snapshot());
+    }
+
+    /// The wire sum survives the histogram (sums wrap rather than
+    /// saturate, matching the counter contract) and `mean` never panics.
+    #[test]
+    fn sum_and_mean_agree(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let h = AtomicHistogram::new();
+        let mut want_sum = 0u64;
+        for &v in &values {
+            h.record(v);
+            want_sum = want_sum.wrapping_add(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.sum, want_sum);
+        let _ = snap.mean();
+        if values.is_empty() {
+            prop_assert_eq!(snap.quantile(0.5), 0);
+        }
+    }
+}

@@ -5,8 +5,12 @@
 use proptest::prelude::*;
 
 use peel_iblt::{Iblt, IbltConfig};
-use peel_service::metrics::{MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats};
+use peel_service::metrics::{
+    FollowerStats, HistogramSnapshot, MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats,
+    HISTOGRAM_BUCKETS, REQUEST_CLASSES,
+};
 use peel_service::queue::Op;
+use peel_service::recorder::FlightRecord;
 use peel_service::wire::{
     decode_request, decode_response, encode_request, encode_response, iblt_from_bytes,
     iblt_from_sparse_bytes, iblt_to_bytes, iblt_to_sparse_bytes, read_frame, write_frame,
@@ -70,6 +74,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u32>().prop_map(|shard| Request::ReshardDigest { shard }),
         Just(Request::ReshardCommit),
         Just(Request::ReshardAbort),
+        Just(Request::MetricsText),
+        Just(Request::DebugDump),
     ]
 }
 
@@ -111,13 +117,68 @@ fn arb_shard_diff() -> impl Strategy<Value = ShardDiff> {
         )
 }
 
+/// A wire-valid histogram snapshot: sparse buckets with strictly
+/// ascending indices below [`HISTOGRAM_BUCKETS`] (the decoder rejects
+/// anything else as malformed).
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::btree_map(0u32..HISTOGRAM_BUCKETS as u32, 1u64..u64::MAX, 0..12),
+    )
+        .prop_map(|(count, sum, buckets)| HistogramSnapshot {
+            count,
+            sum,
+            buckets: buckets.into_iter().collect(),
+        })
+}
+
+fn arb_follower_rows() -> impl Strategy<Value = Vec<FollowerStats>> {
+    proptest::collection::vec(
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(id, published, acked, lag)| FollowerStats {
+                id,
+                published,
+                acked,
+                lag,
+            },
+        ),
+        0..8,
+    )
+}
+
+/// A flight-recorder event row. Names and field strings are arbitrary
+/// UTF-8 (synthesized by lossy conversion, as for `Response::Error`).
+fn arb_flight_records() -> impl Strategy<Value = Vec<FlightRecord>> {
+    proptest::collection::vec(
+        (
+            (any::<u64>(), any::<u64>(), any::<u8>(), any::<u64>()),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..24),
+            proptest::collection::vec(any::<u8>(), 0..40),
+        )
+            .prop_map(|(a, parent, name, fields)| FlightRecord {
+                seq: a.0,
+                at_us: a.1,
+                kind: a.2,
+                span: a.3,
+                parent,
+                name: String::from_utf8_lossy(&name).into_owned(),
+                fields: String::from_utf8_lossy(&fields).into_owned(),
+            }),
+        0..10,
+    )
+}
+
 fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_follower_rows(),
+        arb_histogram(),
     )
-        .prop_map(|(a, b, c)| ReplicationStats {
+        .prop_map(|(a, b, c, per_follower, lag)| ReplicationStats {
             followers: a.0,
             published_seq: a.1,
             acked_min: a.2,
@@ -129,6 +190,8 @@ fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
             decode_errors: c.0,
             anti_entropy_rounds: c.1,
             anti_entropy_keys: c.2,
+            per_follower,
+            lag,
         })
 }
 
@@ -139,29 +202,42 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
         proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec(any::<u64>(), 0..32),
         proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16),
-        (arb_replication(), arb_reshard_stats()),
+        (
+            (arb_replication(), arb_reshard_stats()),
+            proptest::collection::vec(arb_histogram(), 0..REQUEST_CLASSES.len() + 1),
+            arb_histogram(),
+            arb_histogram(),
+            arb_histogram(),
+        ),
     )
         .prop_map(
-            |(a, b, trace, trace_ns, shards, (replication, reshard))| MetricsSnapshot {
-                batches_applied: a.0,
-                ops_applied: a.1,
-                queue_stalls: a.2,
-                recoveries: b.0,
-                recoveries_incomplete: b.1,
-                recovery_subrounds: b.2,
-                recovery_ns: b.3,
-                last_recovery_trace: trace,
-                last_recovery_trace_ns: trace_ns,
-                shards: shards
-                    .into_iter()
-                    .map(|(epoch, inserts, deletes)| ShardStats {
-                        epoch,
-                        inserts,
-                        deletes,
-                    })
-                    .collect(),
-                replication,
-                reshard,
+            |(a, b, trace, trace_ns, shards, ((replication, reshard), hv, h1, h2, h3))| {
+                let hists = (hv, h1, h2, h3);
+                MetricsSnapshot {
+                    batches_applied: a.0,
+                    ops_applied: a.1,
+                    queue_stalls: a.2,
+                    recoveries: b.0,
+                    recoveries_incomplete: b.1,
+                    recovery_subrounds: b.2,
+                    recovery_ns: b.3,
+                    last_recovery_trace: trace,
+                    last_recovery_trace_ns: trace_ns,
+                    shards: shards
+                        .into_iter()
+                        .map(|(epoch, inserts, deletes)| ShardStats {
+                            epoch,
+                            inserts,
+                            deletes,
+                        })
+                        .collect(),
+                    replication,
+                    reshard,
+                    request_latency: hists.0,
+                    queue_wait: hists.1,
+                    batch_apply: hists.2,
+                    recovery_latency: hists.3,
+                }
             },
         )
 }
@@ -182,7 +258,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         any::<u64>().prop_map(|accepted| Response::Ok { accepted }),
         (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::Digest { epoch, iblt }),
         arb_shard_diff().prop_map(Response::Diff),
-        arb_stats().prop_map(Response::Stats),
+        arb_stats().prop_map(|s| Response::Stats(Box::new(s))),
         (any::<u64>(), arb_ops()).prop_map(|(seq, ops)| Response::Replicate { seq, ops }),
         arb_reshard_stats().prop_map(Response::Reshard),
         (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::DigestSparse { epoch, iblt }),
@@ -190,6 +266,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
         // multi-byte chars) from arbitrary bytes via lossy conversion.
         proptest::collection::vec(any::<u8>(), 0..40)
             .prop_map(|b| Response::Error(String::from_utf8_lossy(&b).into_owned())),
+        proptest::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|b| Response::MetricsText(String::from_utf8_lossy(&b).into_owned())),
+        arb_flight_records().prop_map(Response::DebugDump),
     ]
 }
 

@@ -224,21 +224,22 @@ fn reshard_round_trips_over_tcp() {
 }
 
 /// Version negotiation, downward: a protocol-v3 client (pre-reshard
-/// frame surface) against today's v4 server. The graceful-degradation
+/// frame surface) against today's v5 server. The graceful-degradation
 /// contract covers the data plane: every keyspace frame a v3 client can
 /// send (`Hello`/`Insert`/`Delete`/`Flush`/`Digest`/`Reconcile`/
-/// `Shutdown` and the replication stream) is byte-identical in v4 and
+/// `Shutdown` and the replication stream) is byte-identical in v5 and
 /// must work unchanged. `Stats` is the deliberate exception — its
 /// payload grows with the server's revision (v3 itself appended the
-/// recovery-timing fields), so a version-mismatched `Stats` decodes to
-/// a clean `TrailingBytes` error, never corruption.
+/// recovery-timing fields, v5 the histogram tail), so a
+/// version-mismatched `Stats` decodes to a clean `TrailingBytes` error,
+/// never corruption.
 #[test]
 fn v3_client_against_v4_server_degrades_gracefully() {
     let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
     let mut c = Client::connect(server.local_addr()).unwrap();
-    // The server advertises v4; a v3 client ignores the higher number
+    // The server advertises v5; a v3 client ignores the higher number
     // and keeps to its own frame surface.
-    assert_eq!(c.hello().unwrap().version, 4);
+    assert_eq!(c.hello().unwrap().version, 5);
     let keys: Vec<u64> = (0..300u64).map(|i| i * 13).collect();
     assert_eq!(c.insert(&keys).unwrap(), 300);
     c.flush().unwrap();

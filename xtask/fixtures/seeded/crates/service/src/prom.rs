@@ -1,0 +1,17 @@
+//! Seeded fixture for the metrics-registry pass: three exported
+//! families, of which `peel_fixture_undocumented_total` is deliberately
+//! absent from the fixture README's metrics table.
+
+pub const REGISTRY: &[(&str, &str, &str)] = &[
+    (
+        "peel_fixture_documented_total",
+        "counter",
+        "A documented counter",
+    ),
+    ("peel_fixture_gauge", "gauge", "A documented gauge"),
+    (
+        "peel_fixture_undocumented_total",
+        "counter",
+        "Missing from the README table on purpose",
+    ),
+];
