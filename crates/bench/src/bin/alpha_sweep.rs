@@ -1,0 +1,107 @@
+//! Fit `ADAPTIVE_DENSE_ALPHA` against the current engine's cost model.
+//!
+//! Sweeps the adaptive switch coefficient α over the benched `Gnm`
+//! regimes (warm-up + interleaved best-of-block per α, the same
+//! discipline as `bench_json`) and prints ns/edge per (n, c, α) next to
+//! the dense/frontier envelope, so the crossover can be read off
+//! directly. Run after any change to the kill phases' per-edge costs —
+//! the fitted constant is only as durable as the cost ratio it encodes.
+//!
+//! ```sh
+//! cargo run --release -p peel-bench --bin alpha_sweep
+//! cargo run --release -p peel-bench --bin alpha_sweep -- --n 400000 --reps 7
+//! ```
+
+use std::time::Instant;
+
+use peel_bench::Args;
+use peel_core::{peel_parallel_in, ParallelOpts, PeelWorkspace, Strategy};
+use peel_graph::models::Gnm;
+use peel_graph::rng::Xoshiro256StarStar;
+
+const ALPHAS: [u64; 7] = [2, 3, 4, 6, 8, 10, 12];
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        eprintln!(
+            "alpha_sweep [--n N] [--reps K]\n\
+             Times Strategy::Adaptive at each candidate α (plus the pure\n\
+             dense/frontier envelope) on Gnm(n, c, 4), k = 2, for\n\
+             c in {{0.70, 0.85}}."
+        );
+        return;
+    }
+    let n: usize = args.get("n", 400_000);
+    let reps: usize = args.get("reps", 5);
+    println!(
+        "alpha sweep: n={n}, r=4, k=2, threads={}",
+        rayon::current_num_threads()
+    );
+
+    for c in [0.70f64, 0.85] {
+        let mut rng = Xoshiro256StarStar::new(42);
+        let g = Gnm::new(n, c, 4).sample(&mut rng);
+        let edges = g.num_edges() as f64;
+        let mut ws = PeelWorkspace::new();
+
+        // Contestants: the two pure directions bracket every α.
+        let mut rows: Vec<(String, ParallelOpts, u64)> = vec![
+            (
+                "dense".into(),
+                ParallelOpts {
+                    strategy: Strategy::Dense,
+                    collect_trace: false,
+                    ..Default::default()
+                },
+                0,
+            ),
+            (
+                "frontier".into(),
+                ParallelOpts {
+                    strategy: Strategy::Frontier,
+                    collect_trace: false,
+                    ..Default::default()
+                },
+                0,
+            ),
+        ];
+        for a in ALPHAS {
+            rows.push((
+                format!("alpha={a}"),
+                ParallelOpts {
+                    strategy: Strategy::Adaptive,
+                    collect_trace: false,
+                    ..Default::default()
+                },
+                a,
+            ));
+        }
+
+        // Warm-up, then interleaved best-of-block.
+        for (_, opts, alpha) in &rows {
+            if *alpha > 0 {
+                ws.adaptive_alpha = *alpha;
+            }
+            peel_parallel_in(&g, 2, opts, &mut ws);
+        }
+        let mut best = vec![f64::MAX; rows.len()];
+        for _ in 0..reps {
+            for (i, (_, opts, alpha)) in rows.iter().enumerate() {
+                if *alpha > 0 {
+                    ws.adaptive_alpha = *alpha;
+                }
+                let t = Instant::now();
+                peel_parallel_in(&g, 2, opts, &mut ws);
+                best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        for (i, (label, _, _)) in rows.iter().enumerate() {
+            println!(
+                "  c={c:.2} {label:>10}: {:>8.3} ms ({:>7.2} ns/edge)",
+                best[i],
+                best[i] * 1e6 / edges,
+            );
+        }
+    }
+}

@@ -27,11 +27,32 @@
 //!   [`ADAPTIVE_DENSE_ALPHA`] for the switch rule.
 //!
 //! Every engine runs out of a [`PeelWorkspace`]: degrees, peel rounds, kill
-//! metadata, the alive/queued bitsets, the frontier, and striped per-thread
-//! collection buffers are allocated once and reused across runs
-//! ([`peel_parallel_in`]); the next frontier is gathered into the striped
-//! buffers and merged by offset instead of the old `fold(Vec::new)` /
-//! `reduce(append)` churn.
+//! metadata, the alive/peeled/queued bitsets, the frontier, striped
+//! per-thread collection buffers, and striped decrement counters are
+//! allocated once and reused across runs ([`peel_parallel_in`]); the next
+//! frontier is gathered into the striped buffers and merged by offset
+//! instead of the old `fold(Vec::new)` / `reduce(append)` churn.
+//!
+//! ## Cache-conscious data path
+//!
+//! Both kill phases are laid out so the hot loops stream memory instead of
+//! chasing it:
+//!
+//! * the dense phase walks the flat endpoint table sequentially, tests
+//!   peeled-ness in the packed `peeled` bitset (one cache line covers 512
+//!   vertices), and *batches* degree decrements into per-task
+//!   [`StripedCounters`] stripes (plain load+store on thread-private
+//!   lines) — one post-barrier merge per round applies the summed deltas
+//!   and detects every threshold crossing exactly, replacing two atomic
+//!   RMWs per endpoint (`fetch_sub` + `queued` test-and-set) with none;
+//! * the frontier phase reads each vertex's CSR *adjacency run*
+//!   ([`Hypergraph::adjacency`]) — edge id and other endpoints inlined in
+//!   one contiguous region — instead of bouncing between the incidence
+//!   and endpoint tables, and batches the vertex's own decrements into a
+//!   single `fetch_sub`;
+//! * both phases issue software prefetches (`peel-graph`'s
+//!   [`peel_graph::prefetch`]) a few iterations ahead for the
+//!   data-dependent reads the hardware prefetcher cannot predict.
 //!
 //! ## Memory-ordering argument
 //!
@@ -39,15 +60,19 @@
 //! intra-round ordering: within a phase each location has either a single
 //! logical writer (`peel_round[v]` is written only by the task that owns
 //! frontier entry `v`; a dead edge's metadata is written only by the task
-//! that won its kill) or commutative RMWs (`fetch_sub` on degrees,
-//! `fetch_or`/`fetch_and` on the bitset words). The bitsets pack 64 flags
-//! per atomic word, so two tasks claiming *different* edges may now RMW the
-//! *same* word — that is still a commutative update of disjoint bits, and
-//! the winner of any single bit is decided by the one `fetch_and` that
-//! observed it set, exactly as the old per-edge `AtomicBool::swap` did.
-//! Cross-phase visibility is provided by rayon's fork-join barriers: every
-//! `par_iter` completes (with synchronizes-with edges to the caller) before
-//! the next phase starts.
+//! that won its kill; a decrement stripe is written only by the task that
+//! owns it, and a merged vertex block only by its merge task) or
+//! commutative RMWs (`fetch_sub` on degrees, `fetch_or`/`fetch_and` on the
+//! bitset words). The bitsets pack 64 flags per atomic word, so two tasks
+//! claiming *different* edges may now RMW the *same* word — that is still
+//! a commutative update of disjoint bits, and the winner of any single bit
+//! is decided by the one `fetch_and` that observed it set, exactly as the
+//! old per-edge `AtomicBool::swap` did. Cross-phase visibility is provided
+//! by rayon's fork-join barriers: every `par_iter` completes (with
+//! synchronizes-with edges to the caller) before the next phase starts —
+//! in particular the dense kill barrier orders every stripe write before
+//! the merge that reads it (the protocol checked by the striped-counter
+//! loom model in `peel-graph`).
 
 use rayon::prelude::*;
 // ordering: Relaxed throughout — writes are idempotent claims (every
@@ -57,10 +82,10 @@ use rayon::prelude::*;
 // module docs above for the full argument).
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
-use peel_graph::bits::{AtomicBitset, Striped};
+use peel_graph::bits::{AtomicBitset, Striped, StripedCounters};
 use peel_graph::Hypergraph;
 
-use crate::trace::{PeelOutcome, RoundStats, UNPEELED};
+use crate::trace::{PeelOutcome, RoundStats};
 use crate::workspace::{PeelRun, PeelWorkspace};
 
 /// Work-distribution strategy for [`peel_parallel`].
@@ -76,22 +101,47 @@ pub enum Strategy {
     Adaptive,
 }
 
-/// [`Strategy::Adaptive`]'s switch rule: a round takes the dense edge scan
-/// when the frontier's expected incident endpoints (`|F| · m·r/n`, i.e.
-/// frontier size × average degree — the propagation cost) exceed `1/α` of
-/// the dense scan's cost (`m` bitset probes plus `live·r` endpoint loads),
-/// with `α =` this constant. Rearranged to the division-free integer test
-/// in [`adaptive_picks_dense`]. Larger α switches to dense earlier.
-pub const ADAPTIVE_DENSE_ALPHA: u64 = 8;
+/// [`Strategy::Adaptive`]'s default switch coefficient: a round takes the
+/// dense edge scan when the frontier's expected incident endpoints
+/// (`|F| · m·r/n`, i.e. frontier size × average degree — the propagation
+/// cost) exceed `1/α` of the dense scan's cost (`m` bitset probes plus
+/// `live·r` endpoint loads), with `α =` this constant. Rearranged to the
+/// division-free integer test in [`adaptive_picks_dense`]. Larger α holds
+/// the dense direction longer.
+///
+/// Re-fit against the CSR/striped-counter engine with `alpha_sweep`
+/// (α ∈ {2..48} × `Gnm(n, c, 4)` for n ∈ {10⁵, 4×10⁵}, c ∈ {0.70, 0.85},
+/// warm-up + interleaved best-of-block): the CSR rewrite cheapened *both*
+/// directions, but the frontier walk gained more — sequential adjacency
+/// runs replaced its per-edge pointer chasing, while the dense scan still
+/// pays the full `m`-edge sweep plus the striped-counter merge every
+/// round — so the crossover moved *down*, from the old fit's 8 to ≈ 4:
+/// α = 4 tracks within 2% of the best measured α at every benched (n, c)
+/// and beats pure Frontier at all of them, where the α = 8 fit (from the
+/// pre-CSR box) held the dense direction rounds too long and lost to
+/// serial at n = 4×10⁵, c = 0.70 — the `adaptive 379 ns/edge vs serial
+/// 324` regression in BENCH_service.json. Re-run `alpha_sweep` after any
+/// change to the kill phases' per-edge costs; override per workspace
+/// through [`PeelWorkspace::adaptive_alpha`].
+pub const ADAPTIVE_DENSE_ALPHA: u64 = 4;
 
 /// The per-round direction decision of [`Strategy::Adaptive`]:
 /// `true` = dense edge scan, `false` = frontier propagation. Exposed so
 /// tests and benches can audit which direction a recorded round took.
+/// `alpha` is the switch coefficient (a [`PeelWorkspace::adaptive_alpha`],
+/// typically [`ADAPTIVE_DENSE_ALPHA`]).
 #[inline]
-pub fn adaptive_picks_dense(frontier_len: u64, n: u64, m: u64, r: u64, live_edges: u64) -> bool {
+pub fn adaptive_picks_dense(
+    frontier_len: u64,
+    n: u64,
+    m: u64,
+    r: u64,
+    live_edges: u64,
+    alpha: u64,
+) -> bool {
     // frontier_len · (m·r/n) · α  >  m + live·r, division-free. u128: the
     // left side multiplies four u64s that can each be large.
-    (frontier_len as u128) * (m as u128) * (r as u128) * (ADAPTIVE_DENSE_ALPHA as u128)
+    (frontier_len as u128) * (m as u128) * (r as u128) * (alpha as u128)
         > (n as u128) * ((m as u128) + (live_edges as u128) * (r as u128))
 }
 
@@ -147,21 +197,25 @@ pub fn peel_parallel_in(
     ws.reset_for(g);
     let n = g.num_vertices();
     let m = g.num_edges();
+    let alpha = ws.adaptive_alpha;
     let PeelWorkspace {
         deg,
         peel_round,
+        peeled,
         edge_kill_round,
         edge_killer,
         edge_alive,
         queued,
         frontier,
         stripes,
+        dec,
         trace,
+        ..
     } = ws;
 
     // Round-1 frontier: dense vertex scan (all strategies start here; no
     // cheaper source of the initial sub-threshold set exists).
-    collect_frontier_scan(g, k, deg, peel_round, stripes, frontier);
+    collect_frontier_scan(g, k, deg, peeled, stripes, frontier);
 
     let mut round = 0u32;
     let mut unpeeled = n as u64;
@@ -172,9 +226,11 @@ pub fn peel_parallel_in(
 
         // Phase 1: mark the frontier peeled (before any edge removal, so
         // the kill phase observes a consistent "peeled this round"
-        // predicate).
+        // predicate). The packed `peeled` bit is what the kill phases
+        // test; `peel_round` carries the round number for the outputs.
         frontier.par_iter().for_each(|&v| {
             peel_round[v as usize].store(round, Relaxed);
+            peeled.set(v as usize);
         });
 
         // Direction choice for this round's kill phase. Pure strategies
@@ -190,6 +246,7 @@ pub fn peel_parallel_in(
                 m as u64,
                 g.arity() as u64,
                 live_edges,
+                alpha,
             ),
         };
         // Pure Dense rediscovers each frontier by vertex scan (that full
@@ -204,11 +261,11 @@ pub fn peel_parallel_in(
                 k,
                 round,
                 deg,
-                peel_round,
+                peeled,
                 edge_kill_round,
                 edge_killer,
                 edge_alive,
-                queued,
+                dec,
                 stripes,
                 collect_next,
             )
@@ -219,7 +276,7 @@ pub fn peel_parallel_in(
                 round,
                 frontier,
                 deg,
-                peel_round,
+                peeled,
                 edge_kill_round,
                 edge_killer,
                 edge_alive,
@@ -263,7 +320,7 @@ pub fn peel_parallel_in(
             if collect_next {
                 stripes.drain_into(frontier);
             } else {
-                collect_frontier_scan(g, k, deg, peel_round, stripes, frontier);
+                collect_frontier_scan(g, k, deg, peeled, stripes, frontier);
             }
         }
     }
@@ -276,6 +333,14 @@ pub fn peel_parallel_in(
     }
 }
 
+/// How many edges ahead the dense kill phase prefetches its endpoints'
+/// peeled-bitset words (the only data-dependent reads on its hot path).
+const DENSE_PREFETCH_AHEAD: usize = 8;
+
+/// How many frontier entries ahead the frontier kill phase prefetches the
+/// adjacency run (the per-vertex region all its reads come from).
+const FRONTIER_PREFETCH_AHEAD: usize = 4;
+
 /// Dense vertex scan: gather every alive vertex with degree `< k` into
 /// `out` via the striped buffers (source order per stripe, stripes merged
 /// by offset — no per-round allocation).
@@ -283,7 +348,7 @@ fn collect_frontier_scan(
     g: &Hypergraph,
     k: u32,
     deg: &[AtomicU32],
-    peel_round: &[AtomicU32],
+    peeled: &AtomicBitset,
     stripes: &mut Striped<u32>,
     out: &mut Vec<u32>,
 ) {
@@ -291,8 +356,7 @@ fn collect_frontier_scan(
     {
         let stripes = &*stripes;
         (0..n as u32).into_par_iter().for_each(|v| {
-            if peel_round[v as usize].load(Relaxed) == UNPEELED && deg[v as usize].load(Relaxed) < k
-            {
+            if !peeled.get(v as usize) && deg[v as usize].load(Relaxed) < k {
                 stripes
                     .lock(Striped::<u32>::stripe_of(v as usize, n))
                     .push(v);
@@ -302,74 +366,111 @@ fn collect_frontier_scan(
     stripes.drain_into(out);
 }
 
-/// Dense kill phase: one task per edge; a live edge with a peeled endpoint
-/// dies, claimed by its first peeled endpoint in edge order (all peeled
-/// endpoints of a live edge were necessarily peeled *this* round, since an
-/// earlier peel would have killed the edge already). With `collect_next`,
-/// endpoints whose decrement crosses the threshold are claimed (once, via
-/// the `queued` bitset) for the next frontier.
+/// Dense kill phase: contiguous edge ranges, one per decrement stripe; a
+/// live edge with a peeled endpoint dies, claimed by its first peeled
+/// endpoint in edge order (all peeled endpoints of a live edge were
+/// necessarily peeled *this* round, since an earlier peel would have
+/// killed the edge already). Degree decrements are *batched* into the
+/// task's own [`StripedCounters`] stripe — no atomic RMW per endpoint —
+/// and a post-barrier merge applies the summed deltas. With
+/// `collect_next`, the merge also collects the next frontier *exactly*:
+/// every unpeeled vertex has degree ≥ k when the round starts (anything
+/// below the threshold was collected into an earlier frontier and
+/// peeled), so a merged degree < k identifies precisely the vertices that
+/// crossed this round, each seen by exactly one merge task — no `queued`
+/// dedup bitset needed on this path.
 #[allow(clippy::too_many_arguments)] // engine phase over one shared state bundle
 fn kill_dense(
     g: &Hypergraph,
     k: u32,
     round: u32,
     deg: &[AtomicU32],
-    peel_round: &[AtomicU32],
+    peeled: &AtomicBitset,
     edge_kill_round: &[AtomicU32],
     edge_killer: &[AtomicU32],
     edge_alive: &AtomicBitset,
-    queued: &AtomicBitset,
+    dec: &StripedCounters,
     stripes: &Striped<u32>,
     collect_next: bool,
 ) -> u64 {
     let m = g.num_edges();
-    (0..m as u32)
-        .into_par_iter()
-        .map(|e| {
-            // Exactly one task examines each edge per round: plain loads
-            // and stores suffice, the bitset is only cleared (never
-            // contended) here.
-            if !edge_alive.get(e as usize) {
-                return 0u64;
-            }
-            let verts = g.edge(e);
-            let killer = verts
-                .iter()
-                .copied()
-                .find(|&w| peel_round[w as usize].load(Relaxed) != UNPEELED);
-            let Some(killer) = killer else { return 0 };
-            edge_alive.clear(e as usize);
-            edge_kill_round[e as usize].store(round, Relaxed);
-            edge_killer[e as usize].store(killer, Relaxed);
-            let mut pushed = None;
-            for &w in verts {
-                let old = deg[w as usize].fetch_sub(1, Relaxed);
-                debug_assert!(
-                    old > 0,
-                    "degree underflow at vertex {w}: edge {e} decremented past zero \
-                     (graph built with repeated endpoints beyond its incidence table?)"
-                );
-                if collect_next
-                    && old - 1 < k
-                    && peel_round[w as usize].load(Relaxed) == UNPEELED
-                    && !queued.test_and_set(w as usize)
-                {
-                    pushed
-                        .get_or_insert_with(|| {
-                            stripes.lock(Striped::<u32>::stripe_of(e as usize, m))
-                        })
-                        .push(w);
+    let r = g.arity();
+    let endpoints = g.endpoints_flat();
+    let nstripes = dec.stripes();
+    let killed = AtomicU64::new(0);
+    // Accumulate phase: stripe `s` owns edges `s*m/S .. (s+1)*m/S` and is
+    // the single writer of decrement stripe `s`. `with_min_len(1)` makes
+    // the S-element dispatch actually split (S is far below the shim's
+    // default inline threshold).
+    (0..nstripes).into_par_iter().with_min_len(1).for_each(|s| {
+        let lo = s * m / nstripes;
+        let hi = (s + 1) * m / nstripes;
+        let mut local_killed = 0u64;
+        for e in lo..hi {
+            // The endpoint table streams sequentially; the peeled-bit
+            // probes are the data-dependent reads, so issue them a few
+            // edges early.
+            if e + DENSE_PREFETCH_AHEAD < hi {
+                let base = (e + DENSE_PREFETCH_AHEAD) * r;
+                for &w in &endpoints[base..base + r] {
+                    peeled.prefetch_bit(w as usize);
                 }
             }
-            1
-        })
-        .sum()
+            // Exactly one task examines each edge per round: plain
+            // loads and stores suffice, the alive bit is only cleared
+            // (never contended) here.
+            if !edge_alive.get(e) {
+                continue;
+            }
+            let verts = &endpoints[e * r..e * r + r];
+            let Some(&killer) = verts.iter().find(|&&w| peeled.get(w as usize)) else {
+                continue;
+            };
+            edge_alive.clear(e);
+            edge_kill_round[e].store(round, Relaxed);
+            edge_killer[e].store(killer, Relaxed);
+            local_killed += 1;
+            for &w in verts {
+                dec.add(s, w as usize);
+            }
+        }
+        if local_killed > 0 {
+            killed.fetch_add(local_killed, Relaxed);
+        }
+    });
+
+    // Merge phase (the accumulate barrier has passed): sum each touched
+    // vertex's stripes, apply the delta, and detect threshold crossings.
+    // Merge tasks own disjoint block ranges, so degree updates are plain
+    // load/store and each crossing vertex is pushed exactly once.
+    let n = g.num_vertices();
+    let blocks = dec.num_blocks();
+    (0..blocks).into_par_iter().with_min_len(8).for_each(|b| {
+        dec.drain_block(b, |v, delta| {
+            let old = deg[v].load(Relaxed);
+            debug_assert!(
+                old >= delta,
+                "degree underflow at vertex {v}: merged decrement {delta} exceeds degree {old} \
+                 (graph built with repeated endpoints beyond its incidence table?)"
+            );
+            let new = old - delta;
+            deg[v].store(new, Relaxed);
+            if collect_next && new < k && !peeled.get(v) {
+                stripes.lock(Striped::<u32>::stripe_of(v, n)).push(v as u32);
+            }
+        });
+    });
+    killed.into_inner()
 }
 
-/// Frontier kill phase: each frontier vertex claims its live incident
-/// edges via an atomic test-and-clear on the edge-alive bitset (first
-/// claimer wins), decrements the endpoints, and queues endpoints that
-/// cross the threshold for the next frontier.
+/// Frontier kill phase: each frontier vertex streams its CSR adjacency
+/// run — edge id and the other endpoints inlined in one contiguous
+/// region — claiming live edges via an atomic test-and-clear on the
+/// edge-alive bitset (first claimer wins), decrementing the *other*
+/// endpoints as it goes (its own decrements are batched into one
+/// `fetch_sub` at the end: a frontier vertex is already peeled, so it can
+/// never re-cross the threshold), and queues endpoints that cross the
+/// threshold for the next frontier.
 #[allow(clippy::too_many_arguments)] // engine phase over one shared state bundle
 fn kill_frontier(
     g: &Hypergraph,
@@ -377,7 +478,7 @@ fn kill_frontier(
     round: u32,
     frontier: &[u32],
     deg: &[AtomicU32],
-    peel_round: &[AtomicU32],
+    peeled: &AtomicBitset,
     edge_kill_round: &[AtomicU32],
     edge_killer: &[AtomicU32],
     edge_alive: &AtomicBitset,
@@ -385,19 +486,26 @@ fn kill_frontier(
     stripes: &Striped<u32>,
 ) -> u64 {
     let len = frontier.len();
+    let r = g.arity();
     let killed = AtomicU64::new(0);
     frontier.par_iter().enumerate().for_each(|(i, &v)| {
+        // The adjacency run of a later frontier entry is this loop's only
+        // unpredictable read region; hint it a few entries ahead.
+        if let Some(&ahead) = frontier.get(i + FRONTIER_PREFETCH_AHEAD) {
+            g.prefetch_adjacency(ahead);
+        }
         // One stripe guard per frontier vertex, taken lazily on the first
         // queued discovery.
         let mut pushed = None;
         let mut local_killed = 0u64;
-        for &e in g.incident(v) {
+        for run in g.adjacency(v).chunks_exact(r) {
+            let e = run[0] as usize;
             // First claimer wins; the bitset test-and-clear is the CAS.
-            if edge_alive.test_and_clear(e as usize) {
-                edge_kill_round[e as usize].store(round, Relaxed);
-                edge_killer[e as usize].store(v, Relaxed);
+            if edge_alive.test_and_clear(e) {
+                edge_kill_round[e].store(round, Relaxed);
+                edge_killer[e].store(v, Relaxed);
                 local_killed += 1;
-                for &w in g.edge(e) {
+                for &w in &run[1..] {
                     let old = deg[w as usize].fetch_sub(1, Relaxed);
                     debug_assert!(
                         old > 0,
@@ -406,12 +514,9 @@ fn kill_frontier(
                     );
                     // The decrement that crosses the k boundary (and any
                     // later one) sees old - 1 < k; `queued` deduplicates,
-                    // `peel_round` excludes vertices peeled this round or
+                    // `peeled` excludes vertices peeled this round or
                     // earlier.
-                    if old - 1 < k
-                        && peel_round[w as usize].load(Relaxed) == UNPEELED
-                        && !queued.test_and_set(w as usize)
-                    {
+                    if old - 1 < k && !peeled.get(w as usize) && !queued.test_and_set(w as usize) {
                         pushed
                             .get_or_insert_with(|| stripes.lock(Striped::<u32>::stripe_of(i, len)))
                             .push(w);
@@ -420,6 +525,11 @@ fn kill_frontier(
             }
         }
         if local_killed > 0 {
+            // v's own decrement for each edge it claimed, batched; other
+            // claimants of v's edges decrement v through their runs'
+            // "other endpoint" entries as usual.
+            let old = deg[v as usize].fetch_sub(local_killed as u32, Relaxed);
+            debug_assert!(old >= local_killed as u32, "degree underflow at vertex {v}");
             killed.fetch_add(local_killed, Relaxed);
         }
     });
@@ -430,6 +540,7 @@ fn kill_frontier(
 mod tests {
     use super::*;
     use crate::sequential::{peel_greedy, peel_rounds_serial};
+    use crate::trace::UNPEELED;
     use peel_graph::models::{Gnm, Partitioned};
     use peel_graph::rng::Xoshiro256StarStar;
     use peel_graph::HypergraphBuilder;
@@ -741,10 +852,13 @@ mod tests {
     #[test]
     fn adaptive_uses_both_directions_below_threshold() {
         // Sanity check on the direction heuristic itself: at c = 0.70 the
-        // first rounds have a broad frontier (dense pays off) and the tail
-        // rounds a collapsing one (propagation pays off). The switch rule
-        // must actually select dense at round 1 and frontier by the end —
-        // otherwise "adaptive" is silently degenerate.
+        // peel avalanche broadens the frontier mid-cascade (dense pays
+        // off there — with the post-CSR α = 4 fit the early rounds stay
+        // frontier and the switch fires at the cascade peak) and the tail
+        // rounds collapse it (propagation pays off). The switch rule must
+        // select dense somewhere and frontier by the end — otherwise
+        // "adaptive" is silently degenerate. The exact per-round
+        // decisions are pinned in tests/adaptive_modes.rs.
         let mut rng = Xoshiro256StarStar::new(24);
         let g = Gnm::new(50_000, 0.70, 4).sample(&mut rng);
         let out = peel_parallel(&g, 2, &ParallelOpts::default());
@@ -755,10 +869,20 @@ mod tests {
         let mut live = m;
         let mut modes = Vec::new();
         for s in &out.trace {
-            modes.push(adaptive_picks_dense(s.peeled_vertices, n, m, r, live));
+            modes.push(adaptive_picks_dense(
+                s.peeled_vertices,
+                n,
+                m,
+                r,
+                live,
+                ADAPTIVE_DENSE_ALPHA,
+            ));
             live -= s.peeled_edges;
         }
-        assert!(modes[0], "round 1 should take the dense direction");
+        assert!(
+            modes.iter().any(|&d| d),
+            "some round should take the dense direction"
+        );
         assert!(
             !modes.last().unwrap(),
             "final rounds should take the frontier direction"

@@ -19,10 +19,11 @@
 // synchronization; the engines' rayon barriers carry every needed edge.
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
-use peel_graph::bits::{AtomicBitset, Striped};
+use peel_graph::bits::{AtomicBitset, Striped, StripedCounters};
 use peel_graph::Hypergraph;
 use rayon::prelude::*;
 
+use crate::parallel::ADAPTIVE_DENSE_ALPHA;
 use crate::trace::{PeelOutcome, RoundStats, UNPEELED};
 
 /// Summary of one peel run executed in a [`PeelWorkspace`].
@@ -55,12 +56,17 @@ impl PeelRun {
 /// All atomics are plain data between runs; the engine's phase barriers
 /// (see the memory-ordering notes in [`crate::parallel`]) make the
 /// in-run concurrent access sound.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PeelWorkspace {
     /// Live degree of each vertex.
     pub(crate) deg: Vec<AtomicU32>,
     /// Round each vertex was peeled in ([`UNPEELED`] = still alive).
     pub(crate) peel_round: Vec<AtomicU32>,
+    /// One bit per vertex mirroring `peel_round != UNPEELED` — the kill
+    /// phases test peeled-ness through this 8-bytes-per-512-vertices
+    /// bitset instead of the 4-bytes-per-vertex round array, so the dense
+    /// scan's hottest random reads stay cache-resident.
+    pub(crate) peeled: AtomicBitset,
     /// Round each edge was removed in.
     pub(crate) edge_kill_round: Vec<AtomicU32>,
     /// Peeled endpoint that claimed each edge.
@@ -73,8 +79,36 @@ pub struct PeelWorkspace {
     pub(crate) frontier: Vec<u32>,
     /// Striped per-thread buffers the next frontier is collected into.
     pub(crate) stripes: Striped<u32>,
+    /// Striped per-thread degree-decrement counters the dense kill phase
+    /// accumulates into, merged once per round.
+    pub(crate) dec: StripedCounters,
     /// Per-round statistics of the current/last run.
     pub(crate) trace: Vec<RoundStats>,
+    /// The α coefficient of [`crate::parallel::adaptive_picks_dense`]'s
+    /// switch rule for this workspace's runs. Defaults to
+    /// [`ADAPTIVE_DENSE_ALPHA`]; tune it per deployment when the
+    /// dense-scan/propagation cost ratio of the hardware differs from the
+    /// fit (larger α holds the dense direction longer).
+    pub adaptive_alpha: u64,
+}
+
+impl Default for PeelWorkspace {
+    fn default() -> Self {
+        PeelWorkspace {
+            deg: Vec::new(),
+            peel_round: Vec::new(),
+            peeled: AtomicBitset::new(),
+            edge_kill_round: Vec::new(),
+            edge_killer: Vec::new(),
+            edge_alive: AtomicBitset::new(),
+            queued: AtomicBitset::new(),
+            frontier: Vec::new(),
+            stripes: Striped::new(),
+            dec: StripedCounters::new(),
+            trace: Vec::new(),
+            adaptive_alpha: ADAPTIVE_DENSE_ALPHA,
+        }
+    }
 }
 
 fn reset_atomic_vec(v: &mut Vec<AtomicU32>, len: usize) {
@@ -99,6 +133,10 @@ impl PeelWorkspace {
         reset_atomic_vec(&mut self.edge_killer, m);
         self.edge_alive.reset(m, true);
         self.queued.reset(n, false);
+        self.peeled.reset(n, false);
+        // One decrement stripe per worker the current pool will run: the
+        // dense kill phase assigns each stripe to exactly one task.
+        self.dec.reset(rayon::current_num_threads().clamp(1, 32), n);
         self.frontier.clear();
         self.trace.clear();
         // A previous truncated run (max_rounds) may have left stripe

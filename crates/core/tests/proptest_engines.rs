@@ -133,6 +133,41 @@ proptest! {
         prop_assert_eq!(&out.edge_kill_round, &serial.edge_kill_round);
     }
 
+    /// ISSUE 8 satellite: the CSR kill phases (vertex-sorted endpoint
+    /// runs, striped degree decrements, prefetch) must be *bit-identical*
+    /// to the serial reference — every strategy, both random models,
+    /// k ∈ {2, 3}, across seeds. Runs through one reused workspace so the
+    /// steady-state CSR/striped buffers (not fresh allocations) are what
+    /// gets validated, and compares the complete per-vertex and per-edge
+    /// round arrays, not just aggregate counts.
+    #[test]
+    fn csr_kill_phases_bit_identical_to_serial(
+        seed in any::<u64>(),
+        size in 60usize..900,
+        c in 0.3f64..1.2,
+        r in 3usize..=4,
+        k in 2u32..=3,
+        partitioned in any::<bool>(),
+    ) {
+        let g = if partitioned {
+            Partitioned::new(size.div_ceil(r) * r, c, r)
+                .sample(&mut Xoshiro256StarStar::new(seed))
+        } else {
+            Gnm::new(size, c, r).sample(&mut Xoshiro256StarStar::new(seed))
+        };
+        let serial = peel_rounds_serial(&g, k);
+        let mut ws = PeelWorkspace::new();
+        for strategy in [PeelStrategy::Dense, PeelStrategy::Frontier, PeelStrategy::Adaptive] {
+            let opts = ParallelOpts { strategy, ..Default::default() };
+            let run = peel_parallel_in(&g, k, &opts, &mut ws);
+            prop_assert_eq!(run.rounds, serial.rounds, "{:?}", strategy);
+            let out = ws.outcome(&run);
+            prop_assert_eq!(&out.peel_round, &serial.peel_round, "{:?}", strategy);
+            prop_assert_eq!(&out.edge_kill_round, &serial.edge_kill_round, "{:?}", strategy);
+            prop_assert_eq!(out.survivor_series(), serial.survivor_series(), "{:?}", strategy);
+        }
+    }
+
     /// Same agreement on the partitioned (subtable) model.
     #[test]
     fn adaptive_agrees_with_serial_on_partitioned(

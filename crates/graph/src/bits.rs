@@ -11,6 +11,12 @@
 //!   `fetch_and` are commutative, so concurrent claims on neighbouring bits
 //!   of one word compose exactly like independent `swap`s on separate
 //!   bools).
+//! * [`StripedCounters`] batches the dense kill phase's degree decrements:
+//!   each worker accumulates into its own stripe-major counter region with
+//!   plain load+store (no lock-prefixed RMW per endpoint), and one
+//!   post-barrier merge per round sums the stripes, applies the deltas,
+//!   and detects threshold crossings exactly — dirty-block tracking keeps
+//!   the merge proportional to the region actually touched.
 //! * [`Striped`] replaces the `fold(Vec::new).reduce(append)` frontier
 //!   collection pattern — which allocates one accumulator per rayon chunk
 //!   per round — with a fixed set of reusable buffers. Producers push into
@@ -27,7 +33,7 @@
 // the loom models in tests/loom_bits.rs.
 use std::sync::atomic::Ordering::Relaxed;
 
-use crate::sync::{AtomicU64, Mutex, MutexGuard};
+use crate::sync::{AtomicU32, AtomicU64, Mutex, MutexGuard};
 
 /// A fixed-length bitset over atomic 64-bit words.
 ///
@@ -117,11 +123,24 @@ impl AtomicBitset {
         self.words[i / 64].fetch_and(!mask, Relaxed) & mask != 0
     }
 
+    /// Set bit `i` without reading it.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64].fetch_or(1u64 << (i % 64), Relaxed);
+    }
+
     /// Clear bit `i` without reading it.
     #[inline]
     pub fn clear(&self, i: usize) {
         debug_assert!(i < self.len);
         self.words[i / 64].fetch_and(!(1u64 << (i % 64)), Relaxed);
+    }
+
+    /// Prefetch the cache line holding bit `i` (see [`crate::prefetch`]).
+    #[inline]
+    pub fn prefetch_bit(&self, i: usize) {
+        crate::prefetch::prefetch_index(&self.words, i / 64);
     }
 
     /// Set bit `i` through exclusive access — a plain read-modify-write,
@@ -246,6 +265,144 @@ impl<T> Striped<T> {
     }
 }
 
+/// Striped per-thread counters with dirty-block tracking: the batched
+/// substitute for per-edge `fetch_sub` degree decrements in the dense
+/// kill phase.
+///
+/// Layout is stripe-major (`counts[stripe * len + i]`): each stripe is
+/// owned by exactly one worker during the accumulate phase, so
+/// [`StripedCounters::add`] is a plain load+store on the owner's own
+/// contiguous counter region — sequential cache lines, no lock-prefixed
+/// RMW, no cross-thread false sharing beyond stripe edges. After a
+/// fork-join barrier, [`StripedCounters::drain_block`] sums each index
+/// across stripes and zeroes it; a per-stripe dirty bitmap over
+/// [`StripedCounters::BLOCK`]-sized index blocks lets the merge skip
+/// regions no worker touched.
+///
+/// The single-writer-then-barrier protocol (concurrent `add` on distinct
+/// stripes, `drain_block` on disjoint blocks after a join) is checked by
+/// the loom model in `tests/loom_bits.rs`.
+#[derive(Debug, Default)]
+pub struct StripedCounters {
+    stripes: usize,
+    len: usize,
+    /// `stripes * len` counters, stripe-major.
+    counts: Vec<AtomicU32>,
+    /// `stripes * words_per_stripe` dirty words; bit `b` of stripe `s`'s
+    /// region marks block `b` (indices `b*BLOCK..(b+1)*BLOCK`) as touched.
+    dirty: Vec<AtomicU64>,
+    words_per_stripe: usize,
+}
+
+impl StripedCounters {
+    /// Indices per dirty-tracking block: 512 `u32` counters = 2 KiB = a
+    /// few cache lines per stripe, small enough that one stray touch
+    /// costs little merge work, large enough that the bitmap stays tiny.
+    pub const BLOCK: usize = 512;
+
+    /// Empty counter set; size it with [`StripedCounters::reset`].
+    pub fn new() -> Self {
+        StripedCounters::default()
+    }
+
+    /// Resize to `stripes × len` counters, all zero, reusing buffers when
+    /// capacity allows. Call only between parallel phases (takes `&mut`).
+    pub fn reset(&mut self, stripes: usize, len: usize) {
+        let stripes = stripes.max(1);
+        let words = len.div_ceil(Self::BLOCK).div_ceil(64);
+        let total = stripes * len;
+        self.counts.truncate(total);
+        for c in &mut self.counts {
+            *c.get_mut() = 0;
+        }
+        self.counts.resize_with(total, || AtomicU32::new(0));
+        let dirty_total = stripes * words;
+        self.dirty.truncate(dirty_total);
+        for w in &mut self.dirty {
+            *w.get_mut() = 0;
+        }
+        self.dirty.resize_with(dirty_total, || AtomicU64::new(0));
+        self.stripes = stripes;
+        self.len = len;
+        self.words_per_stripe = words;
+    }
+
+    /// Number of stripes this set was last reset to.
+    #[inline]
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    /// Number of [`StripedCounters::BLOCK`]-sized index blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.len.div_ceil(Self::BLOCK)
+    }
+
+    /// Increment counter `i` on `stripe`.
+    ///
+    /// Single-writer protocol: during an accumulate phase each stripe
+    /// must be touched by exactly one thread, which makes the
+    /// load-then-store below race-free without an RMW.
+    #[inline]
+    pub fn add(&self, stripe: usize, i: usize) {
+        debug_assert!(stripe < self.stripes && i < self.len);
+        let c = &self.counts[stripe * self.len + i];
+        c.store(c.load(Relaxed) + 1, Relaxed);
+        let block = i / Self::BLOCK;
+        let w = &self.dirty[stripe * self.words_per_stripe + block / 64];
+        let mask = 1u64 << (block % 64);
+        // Check-before-set: the dirty word for a hot block stays in L1
+        // and the redundant store is skipped on every add after the first.
+        if w.load(Relaxed) & mask == 0 {
+            w.store(w.load(Relaxed) | mask, Relaxed);
+        }
+    }
+
+    /// True iff any stripe touched block `b` since the last drain/reset.
+    #[inline]
+    pub fn block_dirty(&self, b: usize) -> bool {
+        let (word, mask) = (b / 64, 1u64 << (b % 64));
+        (0..self.stripes)
+            .any(|s| self.dirty[s * self.words_per_stripe + word].load(Relaxed) & mask != 0)
+    }
+
+    /// Sum-and-zero every touched index of block `b`, invoking
+    /// `f(index, total)` for each index with a nonzero cross-stripe sum,
+    /// and clear the block's dirty bits.
+    ///
+    /// Merge protocol: runs after a barrier ends the accumulate phase;
+    /// concurrent callers must hold *disjoint* blocks (each index and
+    /// each dirty bit then has one owner, so plain load/store suffice —
+    /// dirty-word bit clears use an RMW because neighbouring blocks
+    /// share a word across merge workers).
+    pub fn drain_block(&self, b: usize, mut f: impl FnMut(usize, u32)) {
+        if !self.block_dirty(b) {
+            return;
+        }
+        let lo = b * Self::BLOCK;
+        let hi = (lo + Self::BLOCK).min(self.len);
+        for i in lo..hi {
+            let mut total = 0u32;
+            for s in 0..self.stripes {
+                let c = &self.counts[s * self.len + i];
+                let v = c.load(Relaxed);
+                if v != 0 {
+                    c.store(0, Relaxed);
+                    total += v;
+                }
+            }
+            if total != 0 {
+                f(i, total);
+            }
+        }
+        let (word, mask) = (b / 64, 1u64 << (b % 64));
+        for s in 0..self.stripes {
+            self.dirty[s * self.words_per_stripe + word].fetch_and(!mask, Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +490,90 @@ mod tests {
             .bufs
             .iter_mut()
             .any(|b| b.get_mut().unwrap().capacity() > 0));
+    }
+
+    #[test]
+    fn striped_counters_accumulate_and_drain() {
+        let mut sc = StripedCounters::new();
+        sc.reset(3, 1200); // 3 blocks of 512 (last partial)
+        assert_eq!(sc.num_blocks(), 3);
+        // Stripe 0 and 2 touch index 5; stripe 1 touches 600 and 1199.
+        sc.add(0, 5);
+        sc.add(0, 5);
+        sc.add(2, 5);
+        sc.add(1, 600);
+        sc.add(1, 1199);
+        assert!(sc.block_dirty(0) && sc.block_dirty(1) && sc.block_dirty(2));
+        let mut seen = Vec::new();
+        for b in 0..sc.num_blocks() {
+            sc.drain_block(b, |i, total| seen.push((i, total)));
+        }
+        assert_eq!(seen, vec![(5, 3), (600, 1), (1199, 1)]);
+        // Drained: everything clean and zero.
+        for b in 0..sc.num_blocks() {
+            assert!(!sc.block_dirty(b));
+            sc.drain_block(b, |_, _| panic!("drained counters must be zero"));
+        }
+    }
+
+    #[test]
+    fn striped_counters_reset_reuses_and_zeroes() {
+        let mut sc = StripedCounters::new();
+        sc.reset(2, 600);
+        sc.add(1, 10);
+        // Shrink, then regrow past the old size: all counters must be zero.
+        sc.reset(1, 100);
+        sc.drain_block(0, |_, _| panic!("stale counter after shrink"));
+        sc.reset(4, 2000);
+        for b in 0..sc.num_blocks() {
+            sc.drain_block(b, |_, _| panic!("stale counter after regrow"));
+        }
+        sc.add(3, 1999);
+        let mut seen = Vec::new();
+        sc.drain_block(3, |i, t| seen.push((i, t)));
+        assert_eq!(seen, vec![(1999, 1)]);
+    }
+
+    #[test]
+    fn striped_counters_concurrent_stripes_then_merge() {
+        use std::sync::atomic::AtomicU64 as StdAtomicU64;
+        let mut sc = StripedCounters::new();
+        let threads = 4;
+        let len = 10_000;
+        sc.reset(threads, len);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let sc = &sc;
+                s.spawn(move || {
+                    // Every stripe increments every third index `t+1` times.
+                    for _ in 0..=t {
+                        for i in (0..len).step_by(3) {
+                            sc.add(t, i);
+                        }
+                    }
+                });
+            }
+        });
+        // threads joined: barrier. Parallel merge over disjoint blocks.
+        let expected_per_index = (threads * (threads + 1) / 2) as u32;
+        let total = StdAtomicU64::new(0);
+        std::thread::scope(|s| {
+            let blocks = sc.num_blocks();
+            for chunk in 0..2 {
+                let (sc, total) = (&sc, &total);
+                s.spawn(move || {
+                    for b in (chunk * blocks / 2)..((chunk + 1) * blocks / 2) {
+                        sc.drain_block(b, |i, t| {
+                            assert_eq!(i % 3, 0);
+                            assert_eq!(t, expected_per_index);
+                            total.fetch_add(u64::from(t), Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        let touched = len.div_ceil(3) as u64;
+        assert_eq!(total.load(Relaxed), touched * u64::from(expected_per_index));
     }
 
     #[test]

@@ -5,9 +5,14 @@
 //! * edge → endpoints ("which cells does this item hash to?"), stored as a
 //!   flat `Vec<u32>` with edge `e` occupying `endpoints[e*r .. (e+1)*r]`;
 //! * vertex → incident edges ("which items touch this cell?"), stored as a
-//!   classic CSR pair (`offsets`, `incidence`).
+//!   classic CSR pair (`offsets`, `incidence`);
+//! * vertex → incident edges *with their other endpoints inlined*
+//!   (`adj`): per vertex, one contiguous run of `r` words per incident
+//!   edge — `[edge_id, other_0, …, other_{r-2}]` — so a frontier kill
+//!   phase streams one sequential region per vertex instead of chasing
+//!   `endpoints[e*r..]` cache lines all over the edge table.
 //!
-//! Both tables are built once and never mutated; engines keep their own
+//! All tables are built once and never mutated; engines keep their own
 //! mutable state (alive flags, degrees) in parallel arrays indexed by the
 //! same ids. This keeps the graph shareable across threads (`&Hypergraph` is
 //! `Sync`) with zero synchronization.
@@ -60,6 +65,10 @@ pub struct Hypergraph {
     offsets: Vec<u32>,
     /// Incident edge ids grouped by vertex, length `m * r`.
     incidence: Vec<u32>,
+    /// Vertex-sorted adjacency runs, length `m * r * r`: the j-th incident
+    /// edge of vertex `v` (i.e. `incidence[offsets[v] + j]`) occupies
+    /// `adj[(offsets[v] + j) * r ..][..r]` as `[edge_id, others…]`.
+    adj: Vec<u32>,
     /// Present when the graph was built against a subtable partition.
     partition: Option<Partition>,
 }
@@ -115,6 +124,33 @@ impl Hypergraph {
     #[inline]
     pub fn endpoints_flat(&self) -> &[u32] {
         &self.endpoints
+    }
+
+    /// The vertex-sorted adjacency runs of vertex `v`: one `r`-word run per
+    /// incident edge, laid out `[edge_id, other_0, …, other_{r-2}]`, in the
+    /// same order as [`Self::incident`]. A kill phase walking a frontier
+    /// vertex reads this single contiguous region — the edge id *and* every
+    /// endpoint it must decrement arrive on sequentially prefetched lines.
+    #[inline]
+    pub fn adjacency(&self, v: VertexId) -> &[u32] {
+        let r = self.r;
+        let lo = self.offsets[v as usize] as usize * r;
+        let hi = self.offsets[v as usize + 1] as usize * r;
+        &self.adj[lo..hi]
+    }
+
+    /// The raw flattened adjacency-run table (see [`Self::adjacency`]).
+    #[inline]
+    pub fn adjacency_flat(&self) -> &[u32] {
+        &self.adj
+    }
+
+    /// Hint that [`Self::adjacency`]`(v)` will be read soon (prefetches
+    /// the first cache line of the run region).
+    #[inline]
+    pub fn prefetch_adjacency(&self, v: VertexId) {
+        let lo = self.offsets[v as usize] as usize * self.r;
+        crate::prefetch::prefetch_index(&self.adj, lo);
     }
 
     /// The subtable partition, if this graph was built with one.
@@ -265,11 +301,26 @@ impl HypergraphBuilder {
         }
         let mut cursor = offsets.clone();
         let mut incidence = vec![0u32; endpoints.len()];
+        // Vertex-sorted adjacency runs share the incidence slot numbering:
+        // slot s holds edge id `incidence[s]` and run `adj[s*r..][..r]`.
+        let mut adj = vec![0u32; endpoints.len() * r];
         for (e, edge) in endpoints.chunks_exact(r).enumerate() {
-            for &v in edge {
-                let slot = cursor[v as usize];
-                incidence[slot as usize] = e as u32;
+            for (i, &v) in edge.iter().enumerate() {
+                let slot = cursor[v as usize] as usize;
+                incidence[slot] = e as u32;
                 cursor[v as usize] += 1;
+                let run = &mut adj[slot * r..slot * r + r];
+                run[0] = e as u32;
+                // The r-1 "other" endpoints, in edge order with position i
+                // elided (duplicates under skip_distinct_check keep their
+                // per-position semantics: each occurrence lists the rest).
+                let mut w = 1;
+                for (j, &u) in edge.iter().enumerate() {
+                    if j != i {
+                        run[w] = u;
+                        w += 1;
+                    }
+                }
             }
         }
 
@@ -279,6 +330,7 @@ impl HypergraphBuilder {
             endpoints,
             offsets,
             incidence,
+            adj,
             partition,
         })
     }
@@ -324,6 +376,35 @@ mod tests {
         assert_eq!(g.incident(3), &[1]);
         assert_eq!(g.incident(4), &[1, 2]);
         assert_eq!(g.incident(5), &[2]);
+    }
+
+    #[test]
+    fn adjacency_runs_match_incidence_and_endpoints() {
+        let g = tiny();
+        for v in 0..6u32 {
+            let runs = g.adjacency(v);
+            let inc = g.incident(v);
+            assert_eq!(runs.len(), inc.len() * g.arity());
+            for (j, run) in runs.chunks_exact(g.arity()).enumerate() {
+                let e = run[0];
+                assert_eq!(e, inc[j]);
+                // run[1..] is edge(e) minus one occurrence of v, edge order.
+                let mut expect: Vec<u32> = g.edge(e).to_vec();
+                let pos = expect.iter().position(|&u| u == v).unwrap();
+                expect.remove(pos);
+                assert_eq!(&run[1..], expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_runs_with_duplicate_endpoints() {
+        let mut b = HypergraphBuilder::new(4, 2).skip_distinct_check();
+        b.push_edge(&[1, 1]);
+        let g = b.build().unwrap();
+        // Vertex 1 has two incidence slots for edge 0; each run lists the
+        // other occurrence (also 1).
+        assert_eq!(g.adjacency(1), &[0, 1, 0, 1]);
     }
 
     #[test]

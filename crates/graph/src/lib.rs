@@ -67,11 +67,12 @@ pub mod error;
 pub mod hypergraph;
 pub mod models;
 pub mod poisson;
+pub mod prefetch;
 pub mod rng;
 pub mod stats;
 pub(crate) mod sync;
 
-pub use bits::{AtomicBitset, Striped};
+pub use bits::{AtomicBitset, Striped, StripedCounters};
 pub use components::{edge_subgraph, Components, UnionFind};
 pub use error::GraphError;
 pub use hypergraph::{EdgeId, Hypergraph, HypergraphBuilder, Partition, VertexId};

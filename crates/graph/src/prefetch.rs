@@ -1,0 +1,55 @@
+//! Best-effort software prefetch for the peeling hot loops.
+//!
+//! The kill phases know their future reads a few iterations ahead (the
+//! endpoint words of edge `e + D`, the adjacency run of frontier vertex
+//! `i + D`) but those addresses are data-dependent, so the hardware
+//! prefetcher cannot follow them. [`prefetch_read`] issues a locality
+//! hint for the cache line holding the pointed-to value; it never reads
+//! or writes memory, so any address — including dangling or unaligned
+//! ones — is acceptable, and on architectures without a prefetch
+//! intrinsic it compiles to nothing.
+
+/// Hint that the cache line containing `*p` will soon be read.
+///
+/// A no-op everywhere except x86_64 (the only architecture this crate
+/// has a vetted intrinsic for). Safe for any pointer value: prefetch
+/// instructions do not fault and do not constitute a memory access in
+/// the memory model.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure performance hint; it performs no
+    // load or store, cannot fault on any address, and has no effect on
+    // program semantics.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(p.cast::<i8>(), _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Hint that the element `slice[i]` will soon be read, when `i` is in
+/// bounds; out-of-range lookahead indices (the tail of a loop) are
+/// ignored rather than being the caller's problem.
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], i: usize) {
+    if let Some(v) = slice.get(i) {
+        prefetch_read(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_harmless() {
+        let data = vec![1u32; 100];
+        prefetch_read(data.as_ptr());
+        prefetch_index(&data, 50);
+        prefetch_index(&data, 5000); // out of range: ignored
+        prefetch_read(std::ptr::null::<u64>()); // prefetch never faults
+        assert_eq!(data[50], 1);
+    }
+}

@@ -9,7 +9,7 @@
 #![cfg(loom)]
 
 use loom::sync::Arc;
-use peel_graph::bits::AtomicBitset;
+use peel_graph::bits::{AtomicBitset, StripedCounters};
 
 /// The peeling claim protocol: `test_and_set` is a word `fetch_or`, so
 /// of two racing claimants for the same vertex exactly one sees the bit
@@ -110,4 +110,67 @@ fn get_then_clear_double_claim_is_caught_and_replays() {
     .explore(claim_via_get_then_clear)
     .expect_err("replaying the schedule must reproduce the failure");
     assert_eq!(replayed.message, failure.message);
+}
+
+/// The striped-decrement merge protocol from the dense kill phase: each
+/// worker `add`s into its *own* stripe (plain relaxed load+store, no
+/// RMW), the fork-join barrier ends the accumulate phase, and the merge
+/// sums every stripe per index. Under loom this verifies that the
+/// single-writer stores plus the join are enough — the drain must
+/// observe every increment from the spawned stripe even though nothing
+/// in the counter path is stronger than `Relaxed`.
+#[test]
+fn striped_add_then_merge_loses_nothing() {
+    loom::model(|| {
+        let mut sc = StripedCounters::new();
+        sc.reset(2, 4);
+        let sc = Arc::new(sc);
+        let t = {
+            let sc = Arc::clone(&sc);
+            loom::thread::spawn(move || {
+                // Stripe 1's owner: two touches of index 1, one of 2.
+                sc.add(1, 1);
+                sc.add(1, 1);
+                sc.add(1, 2);
+            })
+        };
+        // Stripe 0's owner works concurrently on the same indices.
+        sc.add(0, 1);
+        sc.add(0, 3);
+        t.join().unwrap(); // the barrier that ends the accumulate phase
+        let mut totals = [0u32; 4];
+        sc.drain_block(0, |i, total| totals[i] = total);
+        assert_eq!(totals, [0, 3, 1, 1], "merge lost a striped increment");
+        // Drained: the block is clean and a second drain sees nothing.
+        sc.drain_block(0, |_, _| panic!("drain must have zeroed the block"));
+    });
+}
+
+/// The misuse the single-writer protocol rules out: two threads `add`ing
+/// to the *same* stripe race the non-atomic load+store cycle, and the
+/// checker finds the lost-update interleaving (both load 0, both store
+/// 1). This is why the dense kill phase hands each worker its own
+/// stripe index — `add` on a shared stripe is not a fetch_add.
+#[test]
+fn same_stripe_adds_lose_updates_and_loom_catches_it() {
+    let race = || {
+        let mut sc = StripedCounters::new();
+        sc.reset(1, 2);
+        let sc = Arc::new(sc);
+        let t = {
+            let sc = Arc::clone(&sc);
+            loom::thread::spawn(move || sc.add(0, 0))
+        };
+        sc.add(0, 0);
+        t.join().unwrap();
+        let mut total = 0;
+        sc.drain_block(0, |i, v| {
+            if i == 0 {
+                total = v;
+            }
+        });
+        assert_eq!(total, 2, "same-stripe add lost an update");
+    };
+    let failure = loom::explore(race).expect_err("the checker must find the lost update");
+    assert!(failure.message.contains("lost an update"));
 }

@@ -1,6 +1,51 @@
-//! The IBLT cell.
+//! The IBLT cell, in two layouts.
+//!
+//! [`Cell`] is the canonical scalar form — a signed 64-bit count plus
+//! full 64-bit key and checksum XOR accumulators — used by the serial
+//! table, the live [`crate::AtomicIblt`] storage, and every wire/digest
+//! comparison (digest equality needs the full-width checksums).
+//!
+//! [`SwarCell`] is the packed two-lane form the pooled *decode* path
+//! uses: the same cell folded into two `u64` words so a recovery
+//! subround touches 16 adjacent bytes per cell instead of three
+//! separate 8-byte arrays. Lane 0 is the key XOR accumulator verbatim;
+//! lane 1 carries the signed count in its top 16 bits (updated by
+//! wrapping *addition* of `dir << 48`, which cannot carry into the low
+//! bits) and a 48-bit [`fold48`]-compressed checksum XOR accumulator in
+//! the low 48. The fold is linear over XOR, so a `SwarCell` built by
+//! folding each update equals the fold of the scalarly-accumulated
+//! [`Cell`] bit for bit — the identity the decode engines rely on and
+//! the proptests pin.
+//!
+//! Two deliberate narrowings, both confined to ephemeral decode tables:
+//! purity false-positives rise from `2^{-64}` to `2^{-48}`, and the
+//! count lane wraps at `±2^{15}` (a cell holding ≥ 32768 net copies of
+//! keys is far outside any decodable sketch's contract — scalar
+//! recovery would fail on such a table too).
 
 use crate::hashing::IbltHasher;
+
+/// Mask of the low 48 bits of [`SwarCell::meta`] — the folded-checksum
+/// lane.
+pub const CHECK48_MASK: u64 = (1 << 48) - 1;
+
+/// Fold a 64-bit checksum into the 48-bit meta lane: XOR the top 16
+/// bits into the low 16. Linear over XOR
+/// (`fold48(a ^ b) == fold48(a) ^ fold48(b)`), so folded accumulators
+/// track the scalar checksum accumulator exactly.
+#[inline]
+pub fn fold48(check: u64) -> u64 {
+    (check ^ (check >> 48)) & CHECK48_MASK
+}
+
+/// The addend that bumps [`SwarCell::meta`]'s count field by `dir`.
+/// All-zero in the low 48 bits, so (wrapping) addition never carries
+/// into the checksum lane; carries out of bit 63 wrap, which is exactly
+/// 16-bit wrapping arithmetic on the count field.
+#[inline]
+pub fn count_delta(dir: i64) -> u64 {
+    (dir as u64) << 48
+}
 
 /// One IBLT cell: signed count, XOR of keys, XOR of key checksums.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +92,67 @@ impl Cell {
             key_sum: self.key_sum ^ other.key_sum,
             check_sum: self.check_sum ^ other.check_sum,
         }
+    }
+
+    /// Pack into the two-lane SWAR form (see the module docs).
+    #[inline]
+    pub fn to_swar(&self) -> SwarCell {
+        SwarCell {
+            key: self.key_sum,
+            meta: count_delta(self.count) | fold48(self.check_sum),
+        }
+    }
+}
+
+/// A [`Cell`] packed into two 64-bit SWAR lanes (module docs have the
+/// layout and the accuracy trade-offs). This is the plain-data form;
+/// the decode engines keep atomic lanes of the same layout and update
+/// them with commuting `fetch_xor`/`fetch_add` ops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwarCell {
+    /// Lane 0: XOR of all keys in the cell (identical to
+    /// [`Cell::key_sum`]).
+    pub key: u64,
+    /// Lane 1: signed 16-bit count in bits 48..64, 48-bit folded
+    /// checksum XOR accumulator in bits 0..48.
+    pub meta: u64,
+}
+
+impl SwarCell {
+    /// Apply an insert (`dir = +1`) or delete (`dir = −1`) of `key`,
+    /// given the *folded* checksum `check48 = fold48(checksum(key))`.
+    /// Mirrors [`Cell::apply`] lane-wise.
+    #[inline]
+    pub fn apply(&mut self, key: u64, check48: u64, dir: i64) {
+        self.key ^= key;
+        self.meta = self.meta.wrapping_add(count_delta(dir)) ^ check48;
+    }
+
+    /// The signed count field, sign-extended from its 16 bits.
+    #[inline]
+    pub fn count(&self) -> i64 {
+        ((self.meta >> 48) as u16 as i16) as i64
+    }
+
+    /// The folded-checksum field.
+    #[inline]
+    pub fn check48(&self) -> u64 {
+        self.meta & CHECK48_MASK
+    }
+
+    /// Cell is exactly empty (both lanes zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.key == 0 && self.meta == 0
+    }
+
+    /// Pure-cell test over the packed lanes; agrees with
+    /// [`Cell::is_pure`] up to the `2^{-48}` folded-checksum collision
+    /// probability.
+    #[inline]
+    pub fn is_pure(&self, hasher: &IbltHasher) -> bool {
+        let c = self.count();
+        (c == 1 || c == -1) && fold48(hasher.checksum(self.key)) == self.check48()
     }
 }
 
@@ -114,6 +220,86 @@ mod tests {
         assert_eq!(d.count, 1);
         assert_eq!(d.key_sum, 11);
         assert!(d.is_pure(&h));
+    }
+
+    #[test]
+    fn fold48_is_xor_linear() {
+        let (a, b) = (0x0123_4567_89ab_cdefu64, 0xfedc_ba98_7654_3210u64);
+        assert_eq!(fold48(a ^ b), fold48(a) ^ fold48(b));
+        assert_eq!(fold48(0), 0);
+        assert!(fold48(a) <= CHECK48_MASK);
+    }
+
+    #[test]
+    fn swar_tracks_scalar_bit_for_bit() {
+        // A deterministic mixed insert/delete sequence applied to both
+        // layouts; the packed form must equal the scalar fold after
+        // every step.
+        let h = hasher();
+        let mut scalar = Cell::default();
+        let mut swar = SwarCell::default();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for step in 0..200u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = x >> 8;
+            let dir = if step % 3 == 0 { -1 } else { 1 };
+            let check = h.checksum(key);
+            scalar.apply(key, check, dir);
+            swar.apply(key, fold48(check), dir);
+            assert_eq!(swar, scalar.to_swar(), "diverged at step {step}");
+            assert_eq!(swar.count(), scalar.count, "count lane at step {step}");
+            assert_eq!(swar.is_empty(), scalar.is_empty());
+            assert_eq!(
+                swar.is_pure(&h),
+                scalar.is_pure(&h),
+                "purity at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_negative_count_sign_extends() {
+        let h = hasher();
+        let mut c = SwarCell::default();
+        for _ in 0..5 {
+            c.apply(7, fold48(h.checksum(7)), -1);
+        }
+        assert_eq!(c.count(), -5);
+        c.apply(7, fold48(h.checksum(7)), 1);
+        assert_eq!(c.count(), -4);
+    }
+
+    #[test]
+    fn swar_purity_matches_scalar_cases() {
+        let h = hasher();
+        // Pure positive, pure negative, fake-pure cancellation.
+        let mut pure = Cell::default();
+        pure.apply(42, h.checksum(42), 1);
+        assert!(pure.to_swar().is_pure(&h));
+        let mut neg = Cell::default();
+        neg.apply(7, h.checksum(7), -1);
+        assert!(neg.to_swar().is_pure(&h));
+        let mut fake = Cell::default();
+        fake.apply(1, h.checksum(1), 1);
+        fake.apply(2, h.checksum(2), 1);
+        fake.apply(3, h.checksum(3), -1);
+        assert!(!fake.to_swar().is_pure(&h));
+        assert!(!SwarCell::default().is_pure(&h));
+    }
+
+    #[test]
+    fn count_delta_never_touches_check_lane() {
+        for dir in [-3i64, -1, 1, 3] {
+            assert_eq!(count_delta(dir) & CHECK48_MASK, 0);
+        }
+        // Wrapping add of a negative delta borrows only inside/above the
+        // count field.
+        let meta = 0x0001_dead_beef_cafeu64; // count = 1, some checksum
+        let after = meta.wrapping_add(count_delta(-1));
+        assert_eq!(after & CHECK48_MASK, meta & CHECK48_MASK);
+        assert_eq!((after >> 48) as u16 as i16, 0);
     }
 
     #[test]

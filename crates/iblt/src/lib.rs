@@ -92,7 +92,7 @@ pub mod sparse;
 pub(crate) mod sync;
 pub mod workspace;
 
-pub use cell::Cell;
+pub use cell::{Cell, SwarCell};
 pub use config::IbltConfig;
 pub use hashing::IbltHasher;
 pub use kv::{AtomicKvIblt, GetResult, KvIblt, KvRecovery};

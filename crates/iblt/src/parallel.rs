@@ -23,14 +23,14 @@ use rayon::prelude::*;
 // atomic-XOR CUDA kernels, and subround phases are separated by rayon
 // fork-join barriers that already order scans against deletions. Checked by
 // the loom model in tests/loom_cells.rs.
-use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::time::Instant;
 
 use peel_graph::bits::Striped;
 
 use crate::sync::{AtomicI64, AtomicU64};
 
-use crate::cell::Cell;
+use crate::cell::{fold48, Cell, SwarCell};
 use crate::config::IbltConfig;
 use crate::hashing::IbltHasher;
 use crate::serial::{Iblt, Recovery};
@@ -214,7 +214,9 @@ impl AtomicIblt {
     /// machines (the paper's GPU) the dense scan is free because
     /// cells-per-thread is O(1); on CPUs with few cores this variant
     /// removes the `O(cells × subrounds)` scan term that otherwise
-    /// dominates below-threshold recovery.
+    /// dominates below-threshold recovery. Unlike [`Self::par_recover`]
+    /// it does not consume the table: the decode peels a packed copy in
+    /// the workspace, leaving `self` intact.
     pub fn par_recover_frontier(&self) -> ParRecovery {
         let mut ws = RecoveryWorkspace::new();
         self.par_recover_in(&mut ws);
@@ -235,11 +237,20 @@ impl AtomicIblt {
     /// maintains the invariant that every cell that changed since its
     /// subtable's last scan is in its pending list, and an unchanged or
     /// empty cell cannot have become pure — so the subround trace is
-    /// identical to [`Self::par_recover`]'s either way. The purity scan
+    /// identical to [`Self::par_recover`]'s either way (modulo the
+    /// `2^{-48}` folded-checksum caveat below). The purity scan
     /// and the deletion phase collect into striped reusable buffers
     /// merged by offset, replacing the old per-subround
     /// `collect`/`fold`/`reduce` allocations. Returns a borrow of the
     /// workspace's [`ParRecovery`].
+    ///
+    /// The decode itself runs over the workspace's **packed SWAR
+    /// lanes** ([`SwarCell`] layout): the entry pass folds every cell
+    /// into two adjacent `u64` words, and all subsequent scans and
+    /// deletions touch only that 16-byte-per-cell table — `self` is
+    /// never mutated. Purity false-positives rise from `2^{-64}` to
+    /// `2^{-48}` on this ephemeral copy; the table's own full-width
+    /// checksums (which digests and snapshots compare) are unaffected.
     pub fn par_recover_in<'ws>(&self, ws: &'ws mut RecoveryWorkspace) -> &'ws ParRecovery {
         let per_table = self.cfg.cells_per_table;
         let total = self.cfg.total_cells();
@@ -251,20 +262,23 @@ impl AtomicIblt {
         // of the table is occupied, run **dense mode**: full subtable
         // sweeps with zero queue bookkeeping, which sequential
         // prefetching makes cheaper than index-chasing unless the table
-        // is mostly air. The probe seeds the candidate lists as it goes
-        // (plain stores — the workspace is exclusively borrowed) and
-        // bails out the moment the threshold is crossed, so
-        // ordinarily-loaded tables pay a fraction of one pass. Sparse
-        // tables (a few diff keys in a generously provisioned sketch)
-        // finish the walk seeded and run **candidate mode**, touching
-        // O(keys·r) cells per round instead of O(cells).
+        // is mostly air. The probe seeds the candidate lists and the
+        // workspace's packed SWAR lanes as it goes (plain stores — the
+        // workspace is exclusively borrowed) and bails out the moment
+        // the threshold is crossed, so ordinarily-loaded tables pay a
+        // fraction of one walk before the parallel fold sweep takes
+        // over. Sparse tables (a few diff keys in a generously
+        // provisioned sketch) finish the walk seeded and run
+        // **candidate mode**, touching O(keys·r) cells per round
+        // instead of O(cells).
         let mut nonempty = 0usize;
         let mut dense_mode = false;
         for idx in 0..total {
-            if self.count[idx].load(Relaxed) != 0
-                || self.key_sum[idx].load(Relaxed) != 0
-                || self.check_sum[idx].load(Relaxed) != 0
-            {
+            let cell = self.read_cell(idx);
+            let packed = cell.to_swar();
+            *ws.lanes[idx].key.get_mut() = packed.key;
+            *ws.lanes[idx].meta.get_mut() = packed.meta;
+            if !cell.is_empty() {
                 nonempty += 1;
                 if nonempty * 8 > total {
                     dense_mode = true;
@@ -280,17 +294,27 @@ impl AtomicIblt {
                 p.clear();
             }
             ws.queued.reset(total, false);
+            // Fold the whole table into the SWAR lanes in one parallel
+            // sweep (the serial walk stopped early). Each index has
+            // exactly one writer, so plain relaxed stores suffice.
+            let lanes = &ws.lanes;
+            (0..total).into_par_iter().for_each(|idx| {
+                lanes[idx].store(self.read_cell(idx).to_swar());
+            });
         }
         self.recover_core(ws, dense_mode)
     }
 
     /// Fused reconcile decode: overwrite this pooled table with the
-    /// cellwise difference `a − b`, seed the recovery workspace from the
-    /// very same pass (the diff cells are in registers as they are
-    /// stored, so occupancy probing and candidate seeding cost nothing
-    /// extra), and decode. One sweep over the table replaces the
-    /// subtract + load + probe passes of the unfused path — this is what
-    /// `peel-service` runs per shard per reconcile epoch.
+    /// cellwise difference `a − b`, seed the recovery workspace — the
+    /// packed SWAR decode lanes included — from the very same pass (the
+    /// diff cells are in registers as they are stored, so lane folding,
+    /// occupancy probing, and candidate seeding cost nothing extra),
+    /// and decode. One sweep over the table replaces the subtract +
+    /// load + probe passes of the unfused path — this is what
+    /// `peel-service` runs per shard per reconcile epoch. The decode
+    /// consumes only the workspace lanes, so `self` still holds the
+    /// full difference afterwards (it is overwritten again next epoch).
     ///
     /// # Panics
     /// Panics if `a` and `b` have different configs.
@@ -310,36 +334,82 @@ impl AtomicIblt {
         let total = self.cfg.total_cells();
         ws.reset(self.cfg.hashes, per_table);
 
-        let mut nonempty = 0usize;
-        for (idx, (ca, cb)) in a.cells().iter().zip(b.cells()).enumerate() {
-            let d = ca.subtract(cb);
-            *self.count[idx].get_mut() = d.count;
-            *self.key_sum[idx].get_mut() = d.key_sum;
-            *self.check_sum[idx].get_mut() = d.check_sum;
-            if !d.is_empty() {
-                nonempty += 1;
-                // Seed only while candidate mode is still possible; once
-                // the occupancy crosses the dense threshold further
-                // bookkeeping would be discarded anyway.
-                if nonempty * 8 <= total {
-                    ws.queued.set_mut(idx);
-                    ws.pending[idx / per_table].push(idx);
+        let (nonempty, dense_mode) = if ws.prev_dense {
+            // The previous decode of this workspace crossed the dense
+            // occupancy threshold — a tightly provisioned sketch stays
+            // dense every epoch, so skip the candidate-seeding
+            // bookkeeping a dense run would discard and run the fused
+            // diff + SWAR-fold sweep in parallel instead (the serial
+            // seeding walk is the probe cost the tight regime could not
+            // amortize). Occupancy is still counted, so the hint
+            // self-corrects the moment the workload turns sparse.
+            let this = &*self;
+            let (ac, bc) = (a.cells(), b.cells());
+            let lanes = &ws.lanes[..];
+            let counted = AtomicUsize::new(0);
+            let chunk = 4_096usize;
+            (0..total.div_ceil(chunk)).into_par_iter().for_each(|ci| {
+                let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(total));
+                let mut local = 0usize;
+                for idx in lo..hi {
+                    let d = ac[idx].subtract(&bc[idx]);
+                    this.count[idx].store(d.count, Relaxed);
+                    this.key_sum[idx].store(d.key_sum, Relaxed);
+                    this.check_sum[idx].store(d.check_sum, Relaxed);
+                    lanes[idx].store(d.to_swar());
+                    local += usize::from(!d.is_empty());
+                }
+                counted.fetch_add(local, Relaxed);
+            });
+            (counted.into_inner(), true)
+        } else {
+            let mut nonempty = 0usize;
+            for (idx, (ca, cb)) in a.cells().iter().zip(b.cells()).enumerate() {
+                let d = ca.subtract(cb);
+                *self.count[idx].get_mut() = d.count;
+                *self.key_sum[idx].get_mut() = d.key_sum;
+                *self.check_sum[idx].get_mut() = d.check_sum;
+                // The diff cell is in registers right now — folding it
+                // into the packed decode lanes costs two stores, saving
+                // the decode any second pass over the scalar arrays.
+                let packed = d.to_swar();
+                *ws.lanes[idx].key.get_mut() = packed.key;
+                *ws.lanes[idx].meta.get_mut() = packed.meta;
+                if !d.is_empty() {
+                    nonempty += 1;
+                    // Seed only while candidate mode is still possible;
+                    // once the occupancy crosses the dense threshold
+                    // further bookkeeping would be discarded anyway.
+                    if nonempty * 8 <= total {
+                        ws.queued.set_mut(idx);
+                        ws.pending[idx / per_table].push(idx);
+                    }
                 }
             }
-        }
-        let dense_mode = nonempty * 8 > total;
-        if dense_mode {
-            for p in ws.pending.iter_mut() {
-                p.clear();
+            let dense_mode = nonempty * 8 > total;
+            if dense_mode {
+                for p in ws.pending.iter_mut() {
+                    p.clear();
+                }
+                ws.queued.reset(total, false);
             }
-            ws.queued.reset(total, false);
-        }
+            (nonempty, dense_mode)
+        };
+        ws.prev_dense = nonempty * 8 > total;
         self.recover_core(ws, dense_mode)
     }
 
-    /// The shared subround loop of the pooled recoveries. `ws` must be
-    /// reset for this table's geometry; in candidate mode (`dense_mode ==
-    /// false`) the pending lists must hold every nonempty cell.
+    /// The shared subround loop of the pooled recoveries, running
+    /// entirely over the workspace's packed SWAR lanes: a cell touch
+    /// (purity read or deletion) hits one 16-byte record instead of
+    /// three parallel 8-byte arrays, and deletions issue two RMW
+    /// destinations per cell instead of three. `ws` must be reset for
+    /// this table's geometry with every lane seeded; in candidate mode
+    /// (`dense_mode == false`) the pending lists must hold every
+    /// nonempty cell. The scalar cell arrays of `self` are *not*
+    /// consumed — the table keeps its contents while the lanes are
+    /// peeled down, which is why [`Self::par_recover_in`] can take
+    /// `&self`.
     fn recover_core<'ws>(
         &self,
         ws: &'ws mut RecoveryWorkspace,
@@ -356,8 +426,11 @@ impl AtomicIblt {
             slot_dir,
             slot_cursor,
             touched_stripes,
+            lanes,
             out,
+            prev_dense: _,
         } = ws;
+        let lanes = &lanes[..];
 
         let mut subround = 0u32;
         let mut idle_streak = 0usize;
@@ -383,15 +456,15 @@ impl AtomicIblt {
             {
                 let (slot_key, slot_dir, cursor) = (&*slot_key, &*slot_dir, &*slot_cursor);
                 let queued = &*queued;
-                let put = |cell: Cell| {
+                let put = |cell: SwarCell| {
                     let s = cursor.fetch_add(1, Relaxed);
-                    slot_key[s].store(cell.key_sum, Relaxed);
-                    slot_dir[s].store(cell.count, Relaxed);
+                    slot_key[s].store(cell.key, Relaxed);
+                    slot_dir[s].store(cell.count(), Relaxed);
                 };
                 if dense_sweep {
                     let base = j * per_table;
                     (base..base + per_table).into_par_iter().for_each(|idx| {
-                        let cell = self.read_cell(idx);
+                        let cell = lanes[idx].load();
                         if cell.is_pure(&self.hasher) {
                             put(cell);
                         }
@@ -404,7 +477,7 @@ impl AtomicIblt {
                 } else {
                     candidates.par_iter().for_each(|&idx| {
                         queued.clear(idx);
-                        let cell = self.read_cell(idx);
+                        let cell = lanes[idx].load();
                         if cell.is_pure(&self.hasher) {
                             put(cell);
                         }
@@ -434,19 +507,20 @@ impl AtomicIblt {
             // everything anyway and skips the bookkeeping.
             if dense_mode {
                 found.par_iter().for_each(|&(key, dir)| {
-                    self.update(key, -dir);
+                    let check48 = fold48(self.hasher.checksum(key));
+                    for h in 0..r {
+                        lanes[self.hasher.global_cell(h, key)].apply(key, check48, -dir);
+                    }
                 });
             } else {
                 let len = found.len();
                 let (stripes, queued) = (&*touched_stripes, &*queued);
                 found.par_iter().enumerate().for_each(|(i, &(key, dir))| {
-                    let check = self.hasher.checksum(key);
+                    let check48 = fold48(self.hasher.checksum(key));
                     let mut guard = None;
                     for h in 0..r {
                         let idx = self.hasher.global_cell(h, key);
-                        self.count[idx].fetch_add(-dir, Relaxed);
-                        self.key_sum[idx].fetch_xor(key, Relaxed);
-                        self.check_sum[idx].fetch_xor(check, Relaxed);
+                        lanes[idx].apply(key, check48, -dir);
                         if !queued.test_and_set(idx) {
                             guard
                                 .get_or_insert_with(|| {
@@ -475,7 +549,7 @@ impl AtomicIblt {
         out.rounds = out.subrounds.div_ceil(r as u32);
         out.complete = (0..total)
             .into_par_iter()
-            .all(|idx| self.read_cell(idx).is_empty());
+            .all(|idx| lanes[idx].load().is_empty());
         out
     }
 
@@ -877,6 +951,56 @@ mod tests {
         assert!(got.complete);
         assert_eq!(got.positive.len(), 30);
         assert_eq!(got.negative.len(), 20);
+    }
+
+    #[test]
+    fn fused_reconcile_dense_hint_epochs_match() {
+        // A tight sketch (diff occupancy well over the 1/8 dense
+        // threshold) decoded for several epochs from one workspace: the
+        // first epoch probes and sets the dense hint, later epochs take
+        // the parallel probe-skip sweep. Every epoch must produce the
+        // identical recovery, and the diff table must hold the full
+        // difference afterwards.
+        let cfg = IbltConfig::for_load(3, 120, 0.6, 61);
+        let mut a = Iblt::new(cfg);
+        let mut b = Iblt::new(cfg);
+        for k in keys(400) {
+            a.insert(k);
+            b.insert(k);
+        }
+        for k in 0..120u64 {
+            a.insert(k);
+        }
+        let reference = AtomicIblt::from_iblt(&a.subtract(&b)).par_recover();
+        assert!(reference.complete);
+
+        let mut ws = RecoveryWorkspace::new();
+        let mut pooled = AtomicIblt::new(cfg);
+        for epoch in 0..3 {
+            let probe_skipped = ws.prev_dense;
+            assert_eq!(probe_skipped, epoch > 0, "hint should arm after epoch 0");
+            let got = pooled.recover_subtracted_in(&a, &b, &mut ws);
+            assert!(got.complete, "epoch {epoch}");
+            assert_eq!(got.subrounds, reference.subrounds, "epoch {epoch}");
+            assert_eq!(got.per_subround, reference.per_subround);
+            let mut x = got.positive.clone();
+            x.sort_unstable();
+            let mut y = reference.positive.clone();
+            y.sort_unstable();
+            assert_eq!(x, y, "epoch {epoch}");
+            assert!(got.negative.is_empty());
+            assert_eq!(pooled.snapshot(), a.subtract(&b), "diff table intact");
+        }
+
+        // A sparse epoch through the same workspace still decodes
+        // correctly (the hinted dense sweep is merely suboptimal) and
+        // disarms the hint for the next epoch.
+        let mut c = b.clone();
+        c.delete(5_000);
+        let got = pooled.recover_subtracted_in(&b, &c, &mut ws);
+        assert!(got.complete);
+        assert_eq!(got.positive, vec![5_000]);
+        assert!(!ws.prev_dense, "sparse epoch must disarm the dense hint");
     }
 
     #[test]

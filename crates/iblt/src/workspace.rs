@@ -8,11 +8,60 @@
 //! pool does every epoch) makes repeated decoding allocation-free in
 //! steady state.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize};
+// ordering: Relaxed throughout — the SWAR lane updates are commutative
+// RMWs (fetch_xor / fetch_add, the same shape as AtomicIblt's cell
+// updates) and every scan/delete phase boundary is a rayon fork-join
+// barrier that already orders reads against writes; lane seeding happens
+// under exclusive &mut borrow (plain get_mut stores).
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
 
 use peel_graph::bits::{AtomicBitset, Striped};
 
+use crate::cell::{count_delta, SwarCell};
 use crate::parallel::ParRecovery;
+
+/// One decode cell in packed SWAR form: the two lanes of a
+/// [`SwarCell`], atomic and adjacent in memory, so a recovery touch
+/// (scan or delete) of a cell hits 16 contiguous bytes instead of three
+/// parallel arrays.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicSwarCell {
+    pub(crate) key: AtomicU64,
+    pub(crate) meta: AtomicU64,
+}
+
+impl AtomicSwarCell {
+    /// Snapshot both lanes (meaningful between phases only — callers
+    /// rely on the subround barriers for consistency).
+    #[inline]
+    pub(crate) fn load(&self) -> SwarCell {
+        SwarCell {
+            key: self.key.load(Relaxed),
+            meta: self.meta.load(Relaxed),
+        }
+    }
+
+    /// Overwrite both lanes (single-writer contexts: the seeding
+    /// sweeps, where each index has exactly one writer).
+    #[inline]
+    pub(crate) fn store(&self, c: SwarCell) {
+        self.key.store(c.key, Relaxed);
+        self.meta.store(c.meta, Relaxed);
+    }
+
+    /// Concurrently apply a signed update of `key` with folded checksum
+    /// `check48`. The three RMWs all commute (XOR with XOR, ADD with
+    /// ADD, and the count addend has zero low bits so it never carries
+    /// into the checksum lane), exactly like the scalar cell's
+    /// fetch_add/fetch_xor triple — contending deletions of distinct
+    /// recovered keys resolve in any order.
+    #[inline]
+    pub(crate) fn apply(&self, key: u64, check48: u64, dir: i64) {
+        self.key.fetch_xor(key, Relaxed);
+        self.meta.fetch_add(count_delta(dir), Relaxed);
+        self.meta.fetch_xor(check48, Relaxed);
+    }
+}
 
 /// Reusable buffers for [`crate::AtomicIblt::par_recover_in`].
 #[derive(Debug, Default)]
@@ -31,6 +80,22 @@ pub struct RecoveryWorkspace {
     pub(crate) slot_cursor: AtomicUsize,
     /// Striped buffers the deletion phase collects touched cells into.
     pub(crate) touched_stripes: Striped<usize>,
+    /// The packed decode table: one [`AtomicSwarCell`] per cell of the
+    /// table being recovered. The engines seed every lane on entry
+    /// (candidate mode seeds during the serial occupancy walk, dense
+    /// mode with a parallel fold sweep), so `reset` only sizes the
+    /// vector — stale contents are always overwritten before use.
+    pub(crate) lanes: Vec<AtomicSwarCell>,
+    /// Did the previous decode in this workspace cross the dense
+    /// occupancy threshold? Epoch loops decode a stable workload, so
+    /// the fused reconcile path uses this to skip the candidate-seeding
+    /// bookkeeping (queued bits, pending pushes) that a dense run would
+    /// discard anyway — the *budget-factor* fix: a tightly provisioned
+    /// sketch is dense every epoch and now pays zero probe overhead.
+    /// Self-correcting: every fused decode recounts occupancy and
+    /// refreshes the flag, so a workload that turns sparse re-enables
+    /// seeding one epoch later. Survives `reset` deliberately.
+    pub(crate) prev_dense: bool,
     /// The recovery being (or last) built; vectors are reused run-to-run.
     pub(crate) out: ParRecovery,
 }
@@ -61,6 +126,7 @@ impl RecoveryWorkspace {
         self.found.clear();
         self.slot_key.resize_with(per_table, || AtomicU64::new(0));
         self.slot_dir.resize_with(per_table, || AtomicI64::new(0));
+        self.lanes.resize_with(r * per_table, Default::default);
         *self.slot_cursor.get_mut() = 0;
         // A panic mid-recovery could strand stripe residue; drain
         // defensively (no-op in the common case).

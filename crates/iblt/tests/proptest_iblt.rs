@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-use peel_iblt::{reconcile, AtomicIblt, Iblt, IbltConfig};
+use peel_iblt::cell::{fold48, Cell, SwarCell};
+use peel_iblt::{reconcile, AtomicIblt, Iblt, IbltConfig, IbltHasher};
 
 /// A signed set: each key appears with net +1 or −1 (0-net keys are
 /// represented by inserting *and* deleting them, exercising cancellation).
@@ -90,8 +91,6 @@ proptest! {
     fn decode_completes_iff_2core_empty(
         keys in proptest::collection::btree_set(any::<u64>(), 0..100),
     ) {
-        use peel_iblt::IbltHasher;
-
         let cfg = IbltConfig::new(3, 70, 3); // 210 cells for ≤100 keys
         let hasher = IbltHasher::new(&cfg);
         let mut t = Iblt::new(cfg);
@@ -180,6 +179,28 @@ proptest! {
             for k in &d1.only_in_b {
                 prop_assert!(b_keys.contains(k) && !a_keys.contains(k));
             }
+        }
+    }
+
+    /// The packed SWAR cell tracks the scalar cell bit for bit under any
+    /// signed update sequence: folding per update equals folding the
+    /// scalar accumulator once at the end (fold48 linearity), and the
+    /// count, emptiness, and purity views agree at every prefix.
+    #[test]
+    fn swar_fold_matches_scalar_cell(
+        ops in proptest::collection::vec((any::<u64>(), prop_oneof![Just(1i64), Just(-1)]), 0..200),
+    ) {
+        let hasher = IbltHasher::new(&IbltConfig::new(3, 64, 23));
+        let mut scalar = Cell::default();
+        let mut swar = SwarCell::default();
+        for &(key, dir) in &ops {
+            let check = hasher.checksum(key);
+            scalar.apply(key, check, dir);
+            swar.apply(key, fold48(check), dir);
+            prop_assert_eq!(swar, scalar.to_swar());
+            prop_assert_eq!(swar.count(), scalar.count);
+            prop_assert_eq!(swar.is_empty(), scalar.is_empty());
+            prop_assert_eq!(swar.is_pure(&hasher), scalar.is_pure(&hasher));
         }
     }
 

@@ -159,6 +159,16 @@ pub trait ParallelIterator: Sized + Send {
     /// Sequential iterator over this part.
     fn seq(self) -> Self::Seq;
 
+    /// Smallest chunk this pipeline wants per worker, if overridden.
+    ///
+    /// `None` means "use the global [`MIN_CHUNK`] heuristic". Sources with
+    /// intrinsically coarse elements (e.g. [`ParChunks`], where one element
+    /// is already a whole sub-slice) and the [`MinLen`] adapter override
+    /// this so a handful of heavy elements still fans out across workers.
+    fn min_len_hint(&self) -> Option<usize> {
+        None
+    }
+
     /// Map each element through `f`.
     fn map<F, R>(self, f: F) -> Map<Self, F>
     where
@@ -263,6 +273,20 @@ pub trait IndexedParallelIterator: ParallelIterator {
             offset: 0,
         }
     }
+
+    /// Set the smallest number of source elements a worker may receive.
+    ///
+    /// This both *lowers* the sequential-fallback threshold (so a source of
+    /// e.g. 32 heavy stripe tasks actually fans out, where the default
+    /// [`MIN_CHUNK`] heuristic would run it inline) and *raises* the chunk
+    /// floor when `min > MIN_CHUNK` (capping dispatch overhead on cheap
+    /// elements). Mirrors rayon's `with_min_len`.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
 }
 
 /// Split `p` into roughly even chunks and run `run` on each, in scoped
@@ -275,10 +299,11 @@ where
 {
     let threads = current_num_threads().max(1);
     let len = p.par_len();
-    if threads == 1 || len < 2 * MIN_CHUNK {
+    let min_chunk = p.min_len_hint().unwrap_or(MIN_CHUNK);
+    if threads == 1 || len < 2 * min_chunk {
         return vec![run(p)];
     }
-    let chunk = len.div_ceil(threads).max(MIN_CHUNK);
+    let chunk = len.div_ceil(threads).max(min_chunk);
     let mut parts = Vec::with_capacity(threads);
     let mut rest = p;
     let mut remaining = len;
@@ -393,6 +418,47 @@ impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
 
 impl<T: Sync> IndexedParallelIterator for ParSliceIter<'_, T> {}
 
+/// Parallel iterator over non-overlapping sub-slices of length `size`
+/// (last may be shorter) — the unit of splitting is the whole chunk.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (head, tail) = self.slice.split_at(at);
+        (
+            ParChunks {
+                slice: head,
+                size: self.size,
+            },
+            ParChunks {
+                slice: tail,
+                size: self.size,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+    fn min_len_hint(&self) -> Option<usize> {
+        // One element is already a whole `size`-long sub-slice: the caller
+        // chose the dispatch granularity explicitly, so even a handful of
+        // chunks fans out rather than hitting the MIN_CHUNK inline path.
+        Some(1)
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for ParChunks<'_, T> {}
+
 /// Owning parallel iterator over a `Vec` — also the accumulator carrier for
 /// [`ParallelIterator::fold`].
 pub struct ParVec<T> {
@@ -439,11 +505,21 @@ pub trait IntoParallelIterator {
 pub trait ParallelSlice<T: Sync> {
     /// Borrowing parallel iterator over the elements.
     fn par_iter(&self) -> ParSliceIter<'_, T>;
+
+    /// Parallel iterator over `size`-long sub-slices (last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParSliceIter<'_, T> {
         ParSliceIter { slice: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        ParChunks {
+            slice: self,
+            size: size.max(1),
+        }
     }
 }
 
@@ -482,6 +558,9 @@ where
     }
     fn seq(self) -> Self::Seq {
         self.base.seq().map(self.f)
+    }
+    fn min_len_hint(&self) -> Option<usize> {
+        self.base.min_len_hint()
     }
 }
 
@@ -527,6 +606,9 @@ where
     fn seq(self) -> Self::Seq {
         self.base.seq().filter(self.pred)
     }
+    fn min_len_hint(&self) -> Option<usize> {
+        self.base.min_len_hint()
+    }
 }
 
 /// `filter_map` adapter.
@@ -560,6 +642,9 @@ where
     }
     fn seq(self) -> Self::Seq {
         self.base.seq().filter_map(self.f)
+    }
+    fn min_len_hint(&self) -> Option<usize> {
+        self.base.min_len_hint()
     }
 }
 
@@ -598,9 +683,52 @@ where
         let end = start + self.base.par_len();
         (start..end).zip(self.base.seq())
     }
+    fn min_len_hint(&self) -> Option<usize> {
+        self.base.min_len_hint()
+    }
 }
 
 impl<P> IndexedParallelIterator for Enumerate<P> where P: IndexedParallelIterator {}
+
+/// `with_min_len` adapter: overrides the per-worker chunk floor.
+#[derive(Clone)]
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P> ParallelIterator for MinLen<P>
+where
+    P: ParallelIterator,
+{
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            MinLen {
+                base: a,
+                min: self.min,
+            },
+            MinLen {
+                base: b,
+                min: self.min,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.base.seq()
+    }
+    fn min_len_hint(&self) -> Option<usize> {
+        Some(self.min)
+    }
+}
+
+impl<P> IndexedParallelIterator for MinLen<P> where P: IndexedParallelIterator {}
 
 /// The traits needed for `par_iter()` / `into_par_iter()` method syntax.
 pub mod prelude {
@@ -730,5 +858,74 @@ mod tests {
     fn all_short_circuits_logically() {
         assert!((0u32..10_000).into_par_iter().all(|x| x < 10_000));
         assert!(!(0u32..10_000).into_par_iter().all(|x| x < 9_999));
+    }
+
+    #[test]
+    fn par_chunks_covers_slice_in_order() {
+        with_and_without_pool(|| {
+            let data: Vec<u32> = (0..10_007).collect();
+            let chunks: Vec<Vec<u32>> = data.par_chunks(64).map(<[u32]>::to_vec).collect();
+            assert_eq!(chunks.len(), 10_007usize.div_ceil(64));
+            let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, data);
+        });
+    }
+
+    #[test]
+    fn par_chunks_fans_out_few_heavy_chunks() {
+        // 8 chunks of 16 elements is far below MIN_CHUNK source elements,
+        // but par_chunks splits per chunk: under a 4-thread pool more than
+        // one worker must participate.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let data = [0u8; 128];
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            data.par_chunks(16).for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            });
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected par_chunks to split across workers"
+        );
+    }
+
+    #[test]
+    fn with_min_len_lowers_inline_threshold() {
+        // A 32-element range is far below 2*MIN_CHUNK, so by default it runs
+        // inline; with_min_len(1) makes it fan out under an installed pool.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        let total = AtomicU64::new(0);
+        pool.install(|| {
+            (0u32..32).into_par_iter().with_min_len(1).for_each(|x| {
+                total.fetch_add(u64::from(x), Relaxed);
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::yield_now();
+            });
+        });
+        assert_eq!(total.load(Relaxed), 31 * 32 / 2);
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected with_min_len(1) to split a tiny source"
+        );
+    }
+
+    #[test]
+    fn with_min_len_raises_chunk_floor() {
+        // With a floor of 100_000 on a 100_000-element source, the split
+        // loop cannot produce more than one part: exactly one thread runs.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            (0u32..100_000)
+                .into_par_iter()
+                .with_min_len(100_000)
+                .for_each(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                });
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1);
     }
 }
