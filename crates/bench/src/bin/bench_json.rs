@@ -28,7 +28,9 @@ use peel_graph::models::Gnm;
 use peel_graph::rng::Xoshiro256StarStar;
 use peel_iblt::AtomicIblt;
 use peel_service::{
-    build_shard_digests, Client, Follower, FollowerConfig, PeelService, Server, ServiceConfig,
+    apply_replication_stream, build_shard_digests, read_from_mesh, sim_duplex, stream_to_follower,
+    Client, Follower, FollowerConfig, PeelService, ReplicationHub, Server, ServiceConfig,
+    StreamConfig,
 };
 use rand::RngCore;
 
@@ -197,6 +199,126 @@ fn run_replication(n: usize, shards: u32) -> ReplMeasurement {
         batches_dropped: ps.replication.batches_dropped,
         anti_entropy_keys: fm.replication.anti_entropy_keys,
     }
+}
+
+/// Windowed-vs-ack-paced sender throughput over a simulated WAN link:
+/// stream `batches` sealed batches of `batch_ops` ops through
+/// [`stream_to_follower`] across a [`sim_duplex`] with a 10 ms one-way
+/// delay (a 20 ms RTT), into the real follower-side applier. With
+/// `window == 1` this is the old one-batch-in-flight ack pacing — every
+/// batch pays the full RTT; larger windows pipeline the link. Returns
+/// (wall ms, ops/sec).
+fn run_window(batches: usize, batch_ops: usize, window: usize) -> (f64, f64) {
+    use peel_service::queue::Op;
+    let (mut near, mut far) = sim_duplex(Duration::from_millis(10));
+    let hub = ReplicationHub::new(batches + 8);
+    let sub = hub.subscribe();
+    for b in 0..batches {
+        let ops: Vec<Op> = (0..batch_ops)
+            .map(|i| Op {
+                key: (b * batch_ops + i) as u64,
+                dir: 1,
+            })
+            .collect();
+        hub.publish(&ops);
+    }
+    hub.close(); // the subscription drains the queue, then ends cleanly
+
+    let follower = PeelService::start(cfg(1, 1_024));
+    let t = Instant::now();
+    let sender = std::thread::spawn(move || {
+        let scfg = StreamConfig {
+            window,
+            ..StreamConfig::default()
+        };
+        stream_to_follower(&mut near, &sub, 0, &scfg).expect("in-memory link never errors");
+        // Dropping `near` closes the link; the applier sees a clean end.
+    });
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let last = std::sync::atomic::AtomicU64::new(0);
+    let outcome =
+        apply_replication_stream(&mut far, &follower, &stop, &last).expect("apply never errors");
+    sender.join().expect("sender thread");
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        outcome.applied, batches as u64,
+        "window={window}: every batch must arrive exactly once"
+    );
+    let ops_per_sec = (batches * batch_ops) as f64 / (wall_ms / 1e3);
+    (wall_ms, ops_per_sec)
+}
+
+/// Failover-to-first-served-read latency: a 3-node TCP mesh (primary +
+/// two replicas meshed for election), converged on `n` keys, loses its
+/// primary; measure from the kill until `read_from_mesh` first returns
+/// a converged digest from the survivors.
+fn run_failover(n: usize) -> f64 {
+    let mut c = cfg(4, 4_096);
+    c.repl_queue_depth = n / c.batch_size + 64;
+    let mk = |node_id: u64| ServiceConfig { node_id, ..c };
+    let mut primary = Server::bind("127.0.0.1:0", mk(0)).expect("bind primary");
+    let f1svc = Arc::new(PeelService::start(mk(1)));
+    let f2svc = Arc::new(PeelService::start(mk(2)));
+    let mut s1 = Server::bind_with("127.0.0.1:0", Arc::clone(&f1svc)).expect("bind r1");
+    let mut s2 = Server::bind_with("127.0.0.1:0", Arc::clone(&f2svc)).expect("bind r2");
+    let (a1, a2) = (s1.local_addr(), s2.local_addr());
+    let mesh = |peers: Vec<std::net::SocketAddr>, advertise: std::net::SocketAddr| FollowerConfig {
+        anti_entropy_interval: Duration::from_millis(50),
+        reconnect_backoff: Duration::from_millis(25),
+        max_reconnect_backoff: Duration::from_millis(200),
+        failover_threshold: 2,
+        peers,
+        advertise: advertise.to_string(),
+    };
+    let mut f1 = Follower::start(Arc::clone(&f1svc), primary.local_addr(), mesh(vec![a2], a1));
+    let mut f2 = Follower::start(Arc::clone(&f2svc), primary.local_addr(), mesh(vec![a1], a2));
+
+    let mut client =
+        Client::connect_retry(primary.local_addr(), Duration::from_secs(5)).expect("connect");
+    client.insert(&keys(n, 7)).expect("insert");
+    client.flush().expect("flush");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let identical = (0..c.shards).all(|shard| {
+            let (_e, p) = client.digest(shard).expect("digest");
+            let (_ea, d1) = f1svc.snapshot_shard(shard).expect("snap1");
+            let (_eb, d2) = f2svc.snapshot_shard(shard).expect("snap2");
+            p == d1 && p == d2
+        });
+        if identical {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replicas never converged");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(client);
+
+    let t = Instant::now();
+    primary.shutdown();
+    // First read served under the new regime: exactly one leader, both
+    // survivors fenced at the bumped epoch, and a converged replica
+    // answering within its lag bound. (Without the regime check a
+    // zero-lag survivor would answer instantly — that would measure the
+    // read path, not the failover.)
+    loop {
+        let elected = u32::from(f1svc.is_leading()) + u32::from(f2svc.is_leading()) == 1
+            && f1svc.repl_epoch() > 0
+            && f2svc.repl_epoch() > 0;
+        if elected && read_from_mesh(&[a1, a2], 0, 0, Duration::from_millis(250)).is_ok() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "survivors never served a converged read"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elect_ms = t.elapsed().as_secs_f64() * 1e3;
+    f1.stop();
+    f2.stop();
+    s1.shutdown();
+    s2.shutdown();
+    elect_ms
 }
 
 struct ReshardMeasure {
@@ -722,6 +844,47 @@ fn main() {
                 m.ingest_ms, m.catchup_ms, m.max_lag_seen, m.batches_streamed, m.anti_entropy_keys,
             );
         }
+        // Windowed vs ack-paced sender over a 20 ms simulated RTT: the
+        // same batches through the same applier, differing only in how
+        // many unacked frames the sender keeps in flight. The window
+        // must buy at least 2× — that is the whole point of PR 9's
+        // sender rewrite.
+        let (wb, wo) = (if smoke { 24 } else { 48 }, 64);
+        let mut paced_ops = 0.0;
+        for window in [1usize, 32] {
+            let (wall_ms, ops_per_sec) = run_window(wb, wo, window);
+            if window == 1 {
+                paced_ops = ops_per_sec;
+            } else {
+                assert!(
+                    ops_per_sec >= 2.0 * paced_ops,
+                    "windowed sender must be >= 2x ack-paced at 20 ms RTT \
+                     (got {ops_per_sec:.0} vs {paced_ops:.0} ops/s)"
+                );
+            }
+            body.push_str(",\n");
+            let _ = write!(
+                body,
+                "    {{\"path\": \"replication_window\", \"batches\": {wb}, \
+                 \"batch_ops\": {wo}, \"rtt_ms\": 20, \"window\": {window}, \
+                 \"wall_ms\": {wall_ms:.3}, \"ops_per_sec\": {ops_per_sec:.0}}}",
+            );
+            println!(
+                "replica window={window:>2} rtt=20ms: {wb} batches in {wall_ms:>8.1} ms \
+                 ({ops_per_sec:>9.0} ops/s)",
+            );
+        }
+        // Failover: primary death to the survivors' first served read
+        // under the new fenced epoch.
+        let fn_keys = (n / 4).max(10_000);
+        let elect_ms = run_failover(fn_keys);
+        body.push_str(",\n");
+        let _ = write!(
+            body,
+            "    {{\"path\": \"failover\", \"nodes\": 3, \"n_keys\": {fn_keys}, \
+             \"kill_to_first_read_ms\": {elect_ms:.3}}}",
+        );
+        println!("failover 3-node n={fn_keys}: kill -> first served read {elect_ms:>8.1} ms");
     }
     body.push_str("\n  ],\n  \"peel\": {\n    \"engines\": [\n");
 

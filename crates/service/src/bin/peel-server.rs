@@ -10,6 +10,14 @@
 //! # streams its sealed batches, and repairs divergence by anti-entropy):
 //! peel-server --addr 127.0.0.1:7745 --follow 127.0.0.1:7744
 //!             [--anti-entropy-ms 200]
+//!
+//! # Mesh replica (same, plus failover: --node-id is the election
+//! # tie-breaker, --mesh lists the *other* replicas to probe when the
+//! # primary dies, --advertise is where stale reads are redirected if
+//! # this node wins):
+//! peel-server --addr 127.0.0.1:7745 --follow 127.0.0.1:7744 \
+//!             --node-id 1 --mesh 127.0.0.1:7746,127.0.0.1:7747 \
+//!             --advertise 127.0.0.1:7745
 //! ```
 //!
 //! Binds, prints `listening on <addr>`, and serves until a client sends
@@ -72,13 +80,18 @@ fn main() {
         eprintln!(
             "peel-server [--addr 127.0.0.1:7744] [--shards 4] [--diff-budget 2048]\n\
              \x20           [--batch-size 1024] [--queue-depth 64] [--workers N]\n\
-             \x20           [--repl-queue-depth 256] [--metrics-addr ADDR]\n\
+             \x20           [--repl-queue-depth 256] [--repl-window 32]\n\
+             \x20           [--metrics-addr ADDR]\n\
              \x20           [--follow PRIMARY_ADDR] [--anti-entropy-ms 200]\n\
+             \x20           [--node-id N] [--mesh A1,A2,..] [--advertise ADDR]\n\
              Sharded IBLT set-reconciliation server; stops on a Shutdown request.\n\
              With --follow it runs as a replication follower of PRIMARY_ADDR,\n\
              adopting the primary's sharding and healing divergence by\n\
-             anti-entropy. With --metrics-addr it additionally serves the\n\
-             Prometheus text exposition over plain HTTP on ADDR."
+             anti-entropy; --mesh additionally lists the other replicas so a\n\
+             dead primary triggers an election (lowest --node-id among the\n\
+             most caught-up wins; --advertise is this node's redirect target).\n\
+             With --metrics-addr it additionally serves the Prometheus text\n\
+             exposition over plain HTTP on ADDR."
         );
         return;
     }
@@ -130,6 +143,8 @@ fn main() {
     cfg.queue_depth = parse(&args, "--queue-depth", cfg.queue_depth);
     cfg.workers = parse(&args, "--workers", cfg.workers);
     cfg.repl_queue_depth = parse(&args, "--repl-queue-depth", cfg.repl_queue_depth);
+    cfg.repl_window = parse(&args, "--repl-window", cfg.repl_window);
+    cfg.node_id = parse(&args, "--node-id", cfg.node_id);
 
     let service = Arc::new(PeelService::start(cfg));
     let mut server = match Server::bind_with(addr.as_str(), Arc::clone(&service)) {
@@ -185,8 +200,22 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        let peers: Vec<SocketAddr> = arg_value(&args, "--mesh")
+            .map(|list| {
+                list.split(',')
+                    .filter_map(|a| {
+                        a.trim()
+                            .to_socket_addrs()
+                            .ok()
+                            .and_then(|mut addrs| addrs.next())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         let fcfg = FollowerConfig {
             anti_entropy_interval: Duration::from_millis(parse(&args, "--anti-entropy-ms", 200)),
+            peers,
+            advertise: arg_value(&args, "--advertise").unwrap_or_default(),
             ..FollowerConfig::default()
         };
         Follower::start(Arc::clone(&service), primary_addr, fcfg)

@@ -7,7 +7,7 @@
 //! single [`ServiceDiff`].
 
 use std::io::BufWriter;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use peel_iblt::Iblt;
@@ -17,9 +17,29 @@ use crate::recorder::FlightRecord;
 use crate::router::build_shard_digests;
 use crate::transport::FramedTcp;
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, HelloInfo, Request, Response,
-    ShardDiff, WireError,
+    decode_response, encode_request, read_frame, write_frame, HelloInfo, ReplicaStatus, Request,
+    Response, ShardDiff, WireError,
 };
+
+/// What a converged-read request came back with: the digest, or a
+/// staleness refusal naming where to go instead.
+#[derive(Debug, Clone)]
+pub enum ReadOutcome {
+    /// The replica was converged enough; here is the shard digest.
+    Digest {
+        /// Shard epoch at snapshot time.
+        epoch: u64,
+        /// Frozen shard table.
+        iblt: Iblt,
+    },
+    /// The replica is lagging past the caller's bound.
+    Stale {
+        /// The replica's current lag, in batches.
+        lag: u64,
+        /// The current primary's advertised address (may be empty).
+        redirect: String,
+    },
+}
 
 /// The merged outcome of reconciling every shard.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -70,6 +90,14 @@ impl Client {
                 Err(_) => std::thread::sleep(Duration::from_millis(50)),
             }
         }
+    }
+
+    /// Connect with a bounded TCP connect timeout — the mesh building
+    /// block: election probes and read routing must not hang on a dead
+    /// peer for the OS default.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client, WireError> {
+        let stream = TcpStream::connect_timeout(addr, timeout).map_err(WireError::Io)?;
+        Self::from_stream(stream)
     }
 
     fn from_stream(stream: TcpStream) -> Result<Client, WireError> {
@@ -285,6 +313,29 @@ impl Client {
         }
     }
 
+    /// Fetch the server's replica-mesh status: identity, epoch, role,
+    /// stream progress, convergence (protocol v6).
+    pub fn replica_status(&mut self) -> Result<ReplicaStatus, WireError> {
+        match self.call(&Request::ReplicaStatus)? {
+            Response::ReplicaStatus(s) => Ok(s),
+            _ => Err(WireError::UnexpectedResponse("expected ReplicaStatus")),
+        }
+    }
+
+    /// A converged read: fetch a shard digest only if the replica's lag
+    /// is within `max_lag` batches; otherwise the server answers
+    /// `ReadStale` with a redirect, surfaced as [`ReadOutcome::Stale`]
+    /// (protocol v6).
+    pub fn read_digest(&mut self, shard: u32, max_lag: u64) -> Result<ReadOutcome, WireError> {
+        match self.call(&Request::ReadDigest { shard, max_lag })? {
+            Response::Digest { epoch, iblt } => Ok(ReadOutcome::Digest { epoch, iblt }),
+            Response::ReadStale { lag, redirect } => Ok(ReadOutcome::Stale { lag, redirect }),
+            _ => Err(WireError::UnexpectedResponse(
+                "expected Digest or ReadStale",
+            )),
+        }
+    }
+
     /// Ask the server process to shut down cleanly.
     pub fn shutdown_server(&mut self) -> Result<(), WireError> {
         match self.call(&Request::Shutdown)? {
@@ -309,4 +360,45 @@ impl Client {
     pub fn raw_stream(&self) -> std::io::Result<TcpStream> {
         self.reader.try_clone()
     }
+}
+
+/// Route a converged read across a replica mesh: try `replicas` in the
+/// caller's order (nearest first), taking the first digest whose replica
+/// is within `max_lag` batches of its stream. A `ReadStale` refusal with
+/// a parseable redirect gets one extra hop to the named primary; dead or
+/// erroring replicas are skipped. `Err` only when every path failed.
+pub fn read_from_mesh(
+    replicas: &[SocketAddr],
+    shard: u32,
+    max_lag: u64,
+    timeout: Duration,
+) -> Result<(u64, Iblt), WireError> {
+    let mut last_err = WireError::UnexpectedResponse("no replicas to read from");
+    for addr in replicas {
+        let outcome =
+            Client::connect_timeout(addr, timeout).and_then(|mut c| c.read_digest(shard, max_lag));
+        match outcome {
+            Ok(ReadOutcome::Digest { epoch, iblt }) => return Ok((epoch, iblt)),
+            Ok(ReadOutcome::Stale { lag, redirect }) => {
+                // One redirect hop: the primary never lags itself, so ask
+                // it with the same bound rather than give up on this
+                // replica's answer.
+                if let Ok(primary) = redirect.parse::<SocketAddr>() {
+                    if !replicas.contains(&primary) {
+                        if let Ok(ReadOutcome::Digest { epoch, iblt }) =
+                            Client::connect_timeout(&primary, timeout)
+                                .and_then(|mut c| c.read_digest(shard, max_lag))
+                        {
+                            return Ok((epoch, iblt));
+                        }
+                    }
+                }
+                last_err = WireError::Remote(format!(
+                    "replica {addr} is {lag} batches stale (bound {max_lag})"
+                ));
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
 }

@@ -1,13 +1,17 @@
 //! The follower driver: keeps a local [`PeelService`] converged with a
-//! primary server.
+//! primary server, and — in a mesh — takes part in failover when that
+//! primary dies.
 //!
 //! Two background threads per follower:
 //!
 //! * **Stream thread** (fast path): connects to the primary, sends
 //!   `Subscribe`, and applies the replicated batch stream through
 //!   [`apply_replication_stream`]. On any connection failure it backs
-//!   off and reconnects, resuming from the highest applied sequence
-//!   number so nothing is double-applied.
+//!   off (exponentially, with jitter, so a mesh of followers doesn't
+//!   reconnect in lockstep) and reconnects, resuming from the highest
+//!   applied sequence number so nothing is double-applied. After
+//!   [`FollowerConfig::failover_threshold`] consecutive failures with
+//!   peers configured, it runs an election (see below).
 //! * **Anti-entropy thread** (repair path): every
 //!   [`FollowerConfig::anti_entropy_interval`], snapshots each local
 //!   shard, sends it to the primary as a `Reconcile` digest, and applies
@@ -19,14 +23,29 @@
 //!   round decodes incompletely (peeled keys are always genuine), so
 //!   successive rounds shrink any divergence to zero.
 //!
+//! ## Election and fencing
+//!
+//! The election is deliberately simple — deterministic, leaderless, and
+//! safe because anti-entropy erases any divergence a bad cut leaves
+//! behind. When the stream thread exhausts its failover threshold it
+//! probes every configured peer's `ReplicaStatus` and runs [`elect`]
+//! over the reachable candidates (itself included): a reachable node
+//! already leading at the highest epoch wins outright (someone else got
+//! there first — re-parent onto it); otherwise the most caught-up
+//! candidate wins, lowest node id breaking ties. If this node wins, it
+//! bumps the replication epoch past everything it saw
+//! ([`PeelService::fence_epoch`]) and starts leading; the bumped epoch
+//! *fences* the old primary — its frames are refused by every follower,
+//! and the higher epoch in their acks deposes it if it comes back. If a
+//! peer wins, this node re-parents its stream and repair connections
+//! onto the winner.
+//!
 //! The driver refuses a primary whose fixed `Hello` parameters (router
 //! seed, base IBLT config) don't match the local service — shard digests
 //! would not be subtraction-compatible. The shard *count* is live: when
-//! the primary reshards, the anti-entropy loop notices the changed
-//! handshake and reshards the local service to the same generation
-//! before reconciling (the batch stream needs no adjustment — replicated
-//! ops carry keys and are re-routed by whichever generation the
-//! follower serves).
+//! the primary reshards, the in-stream generation-change notice (or the
+//! repair loop's handshake poll) reshards the local service to the same
+//! generation before reconciling.
 
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpStream};
 // ordering: the follower's bare atomics are Relaxed. `stop` publishes no
@@ -49,12 +68,27 @@ use crate::service::PeelService;
 use crate::wire::WireError;
 
 /// Tunables for a [`Follower`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FollowerConfig {
     /// How often the anti-entropy loop reconciles against the primary.
     pub anti_entropy_interval: Duration,
-    /// Delay between reconnection attempts after a connection failure.
+    /// Initial delay between reconnection attempts after a connection
+    /// failure; doubles per consecutive failure (with jitter) up to
+    /// [`FollowerConfig::max_reconnect_backoff`].
     pub reconnect_backoff: Duration,
+    /// Cap on the exponential reconnect backoff.
+    pub max_reconnect_backoff: Duration,
+    /// The other replicas of this mesh (election electorate). Empty
+    /// means no failover: this follower waits for its one primary
+    /// forever, exactly the pre-mesh behaviour.
+    pub peers: Vec<SocketAddr>,
+    /// Consecutive stream connection failures before an election is
+    /// attempted (only with non-empty `peers`).
+    pub failover_threshold: u32,
+    /// The address this node's own server is reachable at, advertised as
+    /// the redirect target in `ReadStale` responses if this node wins an
+    /// election. Empty disables the hint.
+    pub advertise: String,
 }
 
 impl Default for FollowerConfig {
@@ -62,8 +96,56 @@ impl Default for FollowerConfig {
         FollowerConfig {
             anti_entropy_interval: Duration::from_millis(200),
             reconnect_backoff: Duration::from_millis(100),
+            max_reconnect_backoff: Duration::from_secs(2),
+            peers: Vec::new(),
+            failover_threshold: 3,
+            advertise: String::new(),
         }
     }
+}
+
+/// One node as seen by an election: identity, fence, progress, role.
+/// Built from [`crate::wire::ReplicaStatus`] probes (and the local
+/// service's own status).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The node's mesh identity (the deterministic tie-breaker).
+    pub node_id: u64,
+    /// Highest replicated sequence number the node has applied.
+    pub last_applied: u64,
+    /// The replication epoch the node is fenced at.
+    pub epoch: u64,
+    /// Whether the node already believes it is primary.
+    pub leading: bool,
+}
+
+/// The election rule, as a pure function over the reachable candidates.
+/// Returns the index of the winner, or `None` for an empty electorate.
+///
+/// A candidate already leading at the highest epoch wins outright —
+/// someone completed an election first, and fencing makes joining it
+/// strictly safer than splitting. Otherwise candidates at the newest
+/// fence are preferred (a deposed ex-primary's progress on the old
+/// stream does not outrank the new regime), then the most caught-up
+/// (highest `last_applied`), lowest `node_id` breaking ties — every
+/// prober evaluating the same candidate set picks the same winner, which
+/// is what makes the leaderless protocol converge.
+pub fn elect(candidates: &[Candidate]) -> Option<usize> {
+    use std::cmp::Reverse;
+    let max_epoch = candidates.iter().map(|c| c.epoch).max()?;
+    if let Some((i, _)) = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.leading && c.epoch == max_epoch)
+        .min_by_key(|(_, c)| c.node_id)
+    {
+        return Some(i);
+    }
+    candidates
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, c)| (Reverse(c.epoch), Reverse(c.last_applied), c.node_id))
+        .map(|(i, _)| i)
 }
 
 struct StopSignal {
@@ -110,6 +192,11 @@ impl StopSignal {
 const SLOT_STREAM: usize = 0;
 const SLOT_REPAIR: usize = 1;
 
+/// How long an election probe waits for a peer before counting it
+/// unreachable. Short — a probed peer is on the same mesh, and a dead
+/// one should not stall the election for the OS connect timeout.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// A running primary→follower replication driver. Stops (and joins its
 /// threads) on [`Follower::stop`] or drop.
 pub struct Follower {
@@ -121,8 +208,11 @@ pub struct Follower {
 impl Follower {
     /// Start replicating `primary` into `svc`. Connections are
     /// established (and re-established) in the background, so the
-    /// primary does not need to be up yet.
+    /// primary does not need to be up yet. Marks `svc` as following
+    /// (not leading) and records the primary as its redirect hint.
     pub fn start(svc: Arc<PeelService>, primary: SocketAddr, cfg: FollowerConfig) -> Follower {
+        svc.set_leading(false);
+        svc.set_primary_hint(&primary.to_string());
         let signal = Arc::new(StopSignal {
             stop: AtomicBool::new(false),
             lock: Mutex::new(()),
@@ -130,16 +220,21 @@ impl Follower {
             socks: [Mutex::new(None), Mutex::new(None)],
         });
         let last_applied = Arc::new(AtomicU64::new(0));
+        // The current parent, shared between the loops: an election
+        // re-points it, and the repair loop follows along.
+        let primary = Arc::new(Mutex::new(primary));
         let stream_thread = {
             let svc = Arc::clone(&svc);
             let signal = Arc::clone(&signal);
             let last = Arc::clone(&last_applied);
-            std::thread::spawn(move || stream_loop(&svc, primary, &cfg, &signal, &last))
+            let primary = Arc::clone(&primary);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || stream_loop(&svc, &primary, &cfg, &signal, &last))
         };
         let repair_thread = {
             let signal = Arc::clone(&signal);
             let last = Arc::clone(&last_applied);
-            std::thread::spawn(move || repair_loop(&svc, primary, &cfg, &signal, &last))
+            std::thread::spawn(move || repair_loop(&svc, &primary, &cfg, &signal, &last))
         };
         Follower {
             signal,
@@ -199,16 +294,106 @@ fn adopt_generation(svc: &PeelService, primary_shards: u32) -> bool {
     }
 }
 
+/// SplitMix64 step for backoff jitter — no shared RNG state, seeded per
+/// loop from the node id so meshes don't thundering-herd a recovering
+/// primary.
+fn jitter_step(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with jitter: `base · 2^failures`, capped, plus up
+/// to 50% random extra so simultaneous failers spread out.
+fn backoff_delay(cfg: &FollowerConfig, failures: u32, rng: &mut u64) -> Duration {
+    let base = cfg
+        .reconnect_backoff
+        .saturating_mul(1u32 << failures.min(5))
+        .min(cfg.max_reconnect_backoff);
+    let half_ms = (base.as_millis() as u64 / 2).max(1);
+    base + Duration::from_millis(jitter_step(rng) % half_ms)
+}
+
+/// Probe the configured peers, run [`elect`] over everything reachable
+/// (self included, always candidate 0), and act on the outcome: either
+/// this node starts leading behind a fresh fence, or it re-parents onto
+/// the winner. Returns the new parent when one was chosen.
+fn run_election(svc: &PeelService, cfg: &FollowerConfig) -> Option<SocketAddr> {
+    let own = svc.replica_status();
+    let mut candidates = vec![Candidate {
+        node_id: own.node_id,
+        last_applied: own.last_applied,
+        epoch: own.epoch,
+        leading: own.leading,
+    }];
+    let mut addrs: Vec<Option<SocketAddr>> = vec![None];
+    for peer in &cfg.peers {
+        let status =
+            Client::connect_timeout(peer, PROBE_TIMEOUT).and_then(|mut c| c.replica_status());
+        if let Ok(s) = status {
+            candidates.push(Candidate {
+                node_id: s.node_id,
+                last_applied: s.last_applied,
+                epoch: s.epoch,
+                leading: s.leading,
+            });
+            addrs.push(Some(*peer));
+        }
+    }
+    let winner = elect(&candidates)?;
+    let max_epoch = candidates.iter().map(|c| c.epoch).max().unwrap_or(0);
+    match addrs[winner] {
+        None => {
+            // This node wins: fence everything the electorate has seen
+            // and take over. Deposed ex-primaries die on the first ack
+            // they receive at the new epoch.
+            svc.fence_epoch(max_epoch + 1);
+            svc.set_leading(true);
+            svc.set_primary_hint(&cfg.advertise);
+            eprintln!(
+                "follower: node {} elected primary at epoch {}",
+                own.node_id,
+                max_epoch + 1
+            );
+            None
+        }
+        Some(addr) => {
+            // A peer wins (or already leads): adopt its fence level and
+            // re-parent. The sequence cursor is kept — the winner's
+            // stream numbering is continuous enough to resume from, and
+            // anti-entropy heals any skew exactly.
+            svc.fence_epoch(candidates[winner].epoch);
+            svc.set_primary_hint(&addr.to_string());
+            eprintln!("follower: node {} re-parenting onto {addr}", own.node_id);
+            Some(addr)
+        }
+    }
+}
+
 fn stream_loop(
     svc: &PeelService,
-    primary: SocketAddr,
+    primary: &Mutex<SocketAddr>,
     cfg: &FollowerConfig,
     signal: &StopSignal,
     last_applied: &AtomicU64,
 ) {
+    let mut failures = 0u32;
+    let mut rng = svc.node_id() ^ 0x5ee0_5ee0_5ee0_5ee0;
     while !signal.stopped() {
+        // A leader streams *out* through its server; this inbound loop
+        // idles until something (a higher-epoch hello or ack) deposes it.
+        if svc.is_leading() {
+            failures = 0;
+            if signal.sleep(cfg.max_reconnect_backoff) {
+                return;
+            }
+            continue;
+        }
+        let parent = *plock(primary);
         let attempt = (|| -> Result<(), WireError> {
-            let mut client = Client::connect(primary)?;
+            let mut client = Client::connect(parent)?;
             let hello = client.hello()?;
             if !hello_compatible(svc, &hello) {
                 return Err(WireError::Remote(format!(
@@ -216,8 +401,12 @@ fn stream_loop(
                     hello
                 )));
             }
+            // A primary at a higher epoch is legitimate (it won an
+            // election we didn't see); adopt its fence before streaming.
+            svc.fence_epoch(hello.epoch);
             let mut transport = client.subscribe(last_applied.load(Relaxed))?;
             signal.register(SLOT_STREAM, transport.peer().ok());
+            failures = 0;
             let r = apply_replication_stream(&mut transport, svc, &signal.stop, last_applied);
             signal.register(SLOT_STREAM, None);
             r.map(|_| ())
@@ -226,36 +415,39 @@ fn stream_loop(
             return;
         }
         if let Err(e) = attempt {
-            // Incompatible primaries never become compatible; stop
-            // trying rather than spin forever.
-            if matches!(e, WireError::Remote(_)) {
+            // Incompatible primaries never become compatible; without
+            // peers to fail over to, stop trying rather than spin.
+            if matches!(e, WireError::Remote(_)) && cfg.peers.is_empty() {
                 eprintln!("follower: giving up on replication stream: {e}");
                 return;
             }
         }
+        failures = failures.saturating_add(1);
+        if failures >= cfg.failover_threshold && !cfg.peers.is_empty() {
+            if let Some(new_parent) = run_election(svc, cfg) {
+                *plock(primary) = new_parent;
+            }
+            failures = 0;
+            // Leader or re-parented: next iteration acts on the new role
+            // with no extra backoff — failover latency is the point.
+            continue;
+        }
         // Connection ended or failed: back off, then resubscribe from
         // the last applied sequence number.
-        if signal.sleep(cfg.reconnect_backoff) {
+        if signal.sleep(backoff_delay(cfg, failures, &mut rng)) {
             return;
         }
     }
 }
 
-/// Consecutive rounds the repair loop may defer to an actively
-/// advancing stream before repairing anyway. Deferral avoids the
-/// duplicate churn of repairing keys the stream is about to deliver;
-/// the bound keeps sustained primary traffic from starving repair.
-const MAX_REPAIR_DEFERRALS: u32 = 3;
-
 fn repair_loop(
     svc: &Arc<PeelService>,
-    primary: SocketAddr,
+    primary: &Mutex<SocketAddr>,
     cfg: &FollowerConfig,
     signal: &StopSignal,
     last_applied: &AtomicU64,
 ) {
-    let mut conn: Option<Client> = None;
-    let mut deferrals = 0u32;
+    let mut conn: Option<(SocketAddr, Client)> = None;
     // Exponential backoff for failed generation adoptions: each failed
     // local reshard is a full snapshot + decode pass, so on repeated
     // failure (e.g. local contents past the decode budget) retry every
@@ -266,26 +458,40 @@ fn repair_loop(
         if signal.sleep(cfg.anti_entropy_interval) {
             return;
         }
+        // A leader is the reconciliation *target*, not a repairer.
+        if svc.is_leading() {
+            if conn.take().is_some() {
+                signal.register(SLOT_REPAIR, None);
+            }
+            continue;
+        }
+        let parent = *plock(primary);
+        // An election moved the parent: repairs against the old one
+        // would re-diverge us from the new stream source.
+        if conn.as_ref().is_some_and(|(addr, _)| *addr != parent) {
+            conn = None;
+            signal.register(SLOT_REPAIR, None);
+        }
         if conn.is_none() {
-            match Client::connect(primary) {
+            match Client::connect(parent) {
                 Ok(mut c) => match c.hello() {
                     // Same refusal as the stream loop: repairs computed
                     // against an incompatible sharding would insert
                     // garbage forever instead of converging.
                     Ok(h) if hello_compatible(svc, &h) => {
                         signal.register(SLOT_REPAIR, c.raw_stream().ok());
-                        conn = Some(c);
+                        conn = Some((parent, c));
                     }
                     Ok(_) => {
-                        eprintln!("follower: giving up on anti-entropy: incompatible primary");
-                        return;
+                        eprintln!("follower: anti-entropy: incompatible primary {parent}");
+                        continue;
                     }
                     Err(_) => continue,
                 },
                 Err(_) => continue,
             }
         }
-        let Some(mut client) = conn.take() else {
+        let Some((addr, mut client)) = conn.take() else {
             continue;
         };
         // The primary's shard count is live: re-fetch the handshake each
@@ -298,7 +504,7 @@ fn repair_loop(
                 // subtraction-compatible (and healing across routings
                 // could delete keys that merely moved), so repairs wait
                 // until adoption succeeds.
-                conn = Some(client);
+                conn = Some((addr, client));
                 if adopt_skip > 0 {
                     adopt_skip -= 1;
                 } else if adopt_generation(svc, h.shards) {
@@ -309,9 +515,10 @@ fn repair_loop(
                 }
                 continue;
             }
-            Ok(_) => {
+            Ok(h) => {
                 adopt_failures = 0;
                 adopt_skip = 0;
+                svc.fence_epoch(h.epoch);
             }
             Err(_) => {
                 signal.register(SLOT_REPAIR, None);
@@ -321,23 +528,25 @@ fn repair_loop(
         let seq_before = last_applied.load(Relaxed);
         match collect_repairs(svc, &mut client) {
             Ok(diffs) => {
-                // If the stream applied batches while we reconciled, the
-                // diffs are a moving target: much of `only_local` is
-                // already in flight, and applying it would just create
-                // duplicate copies for later rounds to delete. Defer —
-                // but boundedly, so repair still happens under
-                // continuous primary traffic.
+                // Every diff is tagged with the primary's replication
+                // sequence number at snapshot time (`as_of_seq`), which
+                // bounds what the diff can reflect. If our stream cursor
+                // has already reached that bound, nothing in the diff is
+                // still in flight — apply unconditionally. Only when the
+                // stream is *actively advancing* (so the missing batches
+                // really are about to arrive) and still short of the
+                // bound do we defer, and the next round re-derives an
+                // exact bound rather than counting heuristic deferrals.
+                let as_of = diffs.iter().map(|d| d.as_of_seq).max().unwrap_or(0);
+                let caught_up = last_applied.load(Relaxed) >= as_of;
                 let advanced = last_applied.load(Relaxed) != seq_before;
-                if advanced && deferrals < MAX_REPAIR_DEFERRALS {
-                    deferrals += 1;
-                } else {
-                    deferrals = 0;
+                if caught_up || !advanced {
                     let healed = apply_repairs(svc, &diffs);
                     let m = svc.metrics_handle();
                     m.anti_entropy_rounds.fetch_add(1, Relaxed);
                     m.anti_entropy_keys.fetch_add(healed, Relaxed);
                 }
-                conn = Some(client);
+                conn = Some((addr, client));
             }
             Err(_) => {
                 // Drop the connection; next tick reconnects.
@@ -396,4 +605,57 @@ pub fn anti_entropy_round(svc: &PeelService, client: &mut Client) -> Result<u64,
         tracing::event("anti_entropy_done", &[("healed", healed.into())]);
     }
     Ok(healed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(node_id: u64, last_applied: u64, epoch: u64, leading: bool) -> Candidate {
+        Candidate {
+            node_id,
+            last_applied,
+            epoch,
+            leading,
+        }
+    }
+
+    #[test]
+    fn elect_prefers_most_caught_up_then_lowest_id() {
+        let c = [cand(3, 10, 1, false), cand(1, 9, 1, false)];
+        assert_eq!(elect(&c), Some(0));
+        let tied = [cand(3, 10, 1, false), cand(1, 10, 1, false)];
+        assert_eq!(elect(&tied), Some(1));
+        assert_eq!(elect(&[]), None);
+    }
+
+    #[test]
+    fn elect_joins_an_existing_leader_at_the_top_epoch() {
+        // A node already leading at the max epoch wins even when another
+        // candidate is further ahead on the old stream.
+        let c = [cand(0, 99, 1, false), cand(7, 10, 2, true)];
+        assert_eq!(elect(&c), Some(1));
+        // ... but a *stale*-epoch leader (a deposed ex-primary that came
+        // back) does not.
+        let c = [cand(0, 99, 3, false), cand(7, 100, 2, true)];
+        assert_eq!(elect(&c), Some(0));
+    }
+
+    #[test]
+    fn elect_is_deterministic_across_probe_orders() {
+        let a = [
+            cand(2, 5, 1, false),
+            cand(4, 5, 1, false),
+            cand(1, 4, 1, false),
+        ];
+        let b = [
+            cand(4, 5, 1, false),
+            cand(1, 4, 1, false),
+            cand(2, 5, 1, false),
+        ];
+        let wa = a[elect(&a).unwrap()];
+        let wb = b[elect(&b).unwrap()];
+        assert_eq!(wa, wb);
+        assert_eq!(wa.node_id, 2);
+    }
 }

@@ -113,16 +113,23 @@ pub(crate) mod sync;
 pub mod transport;
 pub mod wire;
 
-pub use client::{Client, ServiceDiff};
-pub use follower::{anti_entropy_round, apply_repairs, collect_repairs, Follower, FollowerConfig};
+pub use client::{read_from_mesh, Client, ReadOutcome, ServiceDiff};
+pub use follower::{
+    anti_entropy_round, apply_repairs, collect_repairs, elect, Candidate, Follower, FollowerConfig,
+};
 pub use metrics::{
     AtomicHistogram, FollowerStats, HistogramSnapshot, Metrics, MetricsSnapshot, ReplicationStats,
     ReshardStats, ShardStats,
 };
 pub use recorder::{FlightRecord, FlightRecorder};
-pub use replication::{apply_replication_stream, stream_to_follower, ReplicationHub, Subscription};
+pub use replication::{
+    apply_replication_stream, stream_to_follower, ReplicationHub, StreamConfig, StreamEnd,
+    StreamItem, Subscription,
+};
 pub use router::{build_shard_digests, shard_iblt_config, GenerationRouter, ShardRouter};
 pub use server::{handle_request, Server};
 pub use service::{PeelService, ServiceConfig, ServiceError, MAX_RESHARD_SHARDS};
-pub use transport::{FaultPlan, FramedTcp, SimTransport, Transport};
-pub use wire::{HelloInfo, Request, Response, ShardDiff, WireError};
+pub use transport::{
+    sim_duplex, FaultPlan, FramedTcp, RecvOutcome, SimDuplex, SimTransport, Transport,
+};
+pub use wire::{HelloInfo, ReplicaStatus, Request, Response, ShardDiff, WireError};

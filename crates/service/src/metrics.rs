@@ -258,6 +258,9 @@ pub struct Metrics {
     pub anti_entropy_rounds: AtomicU64,
     /// Keys healed (inserted or deleted) by anti-entropy repair.
     pub anti_entropy_keys: AtomicU64,
+    /// Replication frames rejected because they carried a stale epoch
+    /// (a fenced ex-primary still streaming after a failover).
+    pub repl_fenced: AtomicU64,
     /// Reshards committed (generation cutovers) on this service.
     pub reshards_completed: AtomicU64,
     /// Reshards aborted (migration dropped, old generation kept).
@@ -336,6 +339,7 @@ impl Metrics {
             decode_errors: self.repl_decode_errors.load(Relaxed),
             anti_entropy_rounds: self.anti_entropy_rounds.load(Relaxed),
             anti_entropy_keys: self.anti_entropy_keys.load(Relaxed),
+            fenced: self.repl_fenced.load(Relaxed),
             ..hub
         };
         let reshard = ReshardStats {
@@ -403,6 +407,10 @@ pub struct FollowerStats {
     pub acked: u64,
     /// `published − acked`, in sealed batches.
     pub lag: u64,
+    /// True for a live subscription; false for a recently disconnected
+    /// follower's final row (kept briefly so dashboards see the
+    /// disconnect instead of a phantom frozen lag).
+    pub alive: bool,
 }
 
 /// Replication state at snapshot time: the primary half (follower count,
@@ -443,6 +451,15 @@ pub struct ReplicationStats {
     /// sealed batches — the lag *distribution* over time, where
     /// `per_follower` is only the instantaneous view.
     pub lag: HistogramSnapshot,
+    /// Replication epoch this node is fenced at (protocol v6).
+    pub epoch: u64,
+    /// Replication frames rejected for carrying a stale epoch.
+    pub fenced: u64,
+    /// True iff this node currently believes it is the primary.
+    pub leading: bool,
+    /// This node's own replication lag as a serving replica, in sealed
+    /// batches (0 when leading) — the gauge converged reads consult.
+    pub read_lag: u64,
 }
 
 /// Per-shard counters at snapshot time.

@@ -74,6 +74,26 @@ pub const REGISTRY: &[(&str, &str, &str)] = &[
         "Live follower subscriptions",
     ),
     (
+        "peel_replication_epoch",
+        "gauge",
+        "Replication epoch this node is fenced at",
+    ),
+    (
+        "peel_replication_fenced_total",
+        "counter",
+        "Replication frames refused for carrying a stale epoch",
+    ),
+    (
+        "peel_replica_leading",
+        "gauge",
+        "1 while this node believes it is the primary",
+    ),
+    (
+        "peel_replica_read_lag_batches",
+        "gauge",
+        "This replica's own serving lag in sealed batches (0 when leading)",
+    ),
+    (
         "peel_replication_published_seq",
         "gauge",
         "Highest sealed batch sequence number",
@@ -137,6 +157,11 @@ pub const REGISTRY: &[(&str, &str, &str)] = &[
         "peel_replication_follower_lag",
         "gauge",
         "Per follower: published minus acked, in batches",
+    ),
+    (
+        "peel_replication_follower_alive",
+        "gauge",
+        "Per follower: 1 while connected, 0 on a disconnected final row",
     ),
     (
         "peel_replication_lag_batches",
@@ -313,6 +338,10 @@ pub fn render(s: &MetricsSnapshot) -> String {
 
     let r = &s.replication;
     scalar(&mut out, "peel_replication_followers", r.followers);
+    scalar(&mut out, "peel_replication_epoch", r.epoch);
+    scalar(&mut out, "peel_replication_fenced_total", r.fenced);
+    scalar(&mut out, "peel_replica_leading", r.leading as u64);
+    scalar(&mut out, "peel_replica_read_lag_batches", r.read_lag);
     scalar(&mut out, "peel_replication_published_seq", r.published_seq);
     scalar(&mut out, "peel_replication_acked_min", r.acked_min);
     scalar(&mut out, "peel_replication_max_lag", r.max_lag);
@@ -355,13 +384,15 @@ pub fn render(s: &MetricsSnapshot) -> String {
         ("peel_replication_follower_published", 0usize),
         ("peel_replication_follower_acked", 1),
         ("peel_replication_follower_lag", 2),
+        ("peel_replication_follower_alive", 3),
     ] {
         header(&mut out, name);
         for f in &r.per_follower {
             let v = match pick {
                 0 => f.published,
                 1 => f.acked,
-                _ => f.lag,
+                2 => f.lag,
+                _ => f.alive as u64,
             };
             let _ = writeln!(out, "{name}{{follower=\"{}\"}} {v}", f.id);
         }
@@ -458,6 +489,7 @@ mod tests {
             published: 9,
             acked: 7,
             lag: 2,
+            alive: true,
         });
         hub.lag.merge(&{
             let h = crate::metrics::AtomicHistogram::new();
@@ -488,6 +520,7 @@ mod tests {
         assert!(body.contains("peel_replication_lag_batches_quantile{q=\"0.99\"}"));
         assert!(body.contains("peel_replication_lag_batches_count 2"));
         assert!(body.contains("peel_replication_follower_lag{follower=\"1\"} 2"));
+        assert!(body.contains("peel_replication_follower_alive{follower=\"1\"} 1"));
         assert!(body.contains("le=\"+Inf\"} 2"));
     }
 

@@ -7,15 +7,30 @@
 //! [`ReplicationHub`] — assigned a global sequence number and offered to
 //! each live follower [`Subscription`]. Publishing never blocks: a
 //! follower whose bounded stream queue is full loses its **oldest**
-//! queued batch (counted, and healed later by anti-entropy), so a slow
+//! queued item (counted, and healed later by anti-entropy), so a slow
 //! or dead follower can never apply backpressure to primary ingest.
 //!
 //! On a subscribed connection the primary runs [`stream_to_follower`]:
-//! pop a batch from the subscription, write a `Replicate` frame, read
-//! one `ReplicateAck` carrying the follower's highest applied sequence
-//! number (that ack is what the per-follower lag gauge measures). The
-//! follower runs [`apply_replication_stream`]: decode, deduplicate by
-//! sequence number, apply through its own ingest pipeline, ack.
+//! keep up to [`StreamConfig::window`] unacknowledged `Replicate` frames
+//! in flight, reading cumulative `ReplicateAck`s (each carries the
+//! follower's highest applied sequence number, which retires every
+//! in-flight frame at or below it and feeds the per-follower lag gauge).
+//! An ack that fails to arrive within [`StreamConfig::ack_timeout`]
+//! triggers a retransmit of the whole window, up to
+//! [`StreamConfig::max_retries`] times. The follower runs
+//! [`apply_replication_stream`]: decode, deduplicate by sequence number,
+//! apply through its own ingest pipeline, ack.
+//!
+//! ## Epoch fencing
+//!
+//! The hub owns the node's **replication epoch** — the monotone counter
+//! a failover election bumps to fence a deposed primary. Every
+//! `Replicate` frame carries the sender's epoch and every ack carries
+//! the receiver's: a follower at a higher epoch refuses the frame and
+//! acks its own epoch back, and a sender that sees a higher epoch in an
+//! ack stops streaming ([`StreamEnd::Fenced`]). Bumping the epoch also
+//! closes every subscription born under an older epoch, so a whole
+//! follower chain parts from a stale primary at once.
 //!
 //! ## Repair path
 //!
@@ -28,14 +43,15 @@
 //! fault-injection tests can drive them over an in-memory double.
 
 use std::collections::VecDeque;
-// ordering: all hub atomics are Relaxed. Sequence assignment (published) and
-// fan-out mutate under the subs mutex, whose lock/unlock edges give the
-// cross-thread ordering; closed is read back under that same mutex (see
-// subscribe); streamed/dropped/acked are monotone gauges whose readers
-// tolerate staleness. Checked by the loom models in
-// tests/loom_replication.rs.
+// ordering: all hub atomics are Relaxed. Sequence assignment (published),
+// fan-out, and epoch bumps mutate under the subs mutex, whose lock/unlock
+// edges give the cross-thread ordering; closed is read back under that
+// same mutex (see subscribe), and so is the sub's birth epoch;
+// streamed/dropped/acked are monotone gauges whose readers tolerate
+// staleness. Checked by the loom models in tests/loom_replication.rs.
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
 
@@ -43,13 +59,41 @@ use crate::lock::{plock, pwait};
 use crate::metrics::{AtomicHistogram, FollowerStats, ReplicationStats};
 use crate::queue::Batch;
 use crate::service::PeelService;
-use crate::transport::Transport;
+use crate::transport::{RecvOutcome, Transport};
 use crate::wire::{
-    decode_request, decode_response, encode_replicate, encode_request, Request, Response, WireError,
+    decode_request, decode_response, encode_replicate, encode_request, encode_response, Request,
+    Response, WireError,
 };
 
+/// One item in a follower's stream queue.
+#[derive(Debug, Clone)]
+pub enum StreamItem {
+    /// A sealed batch with its replication sequence number.
+    Batch(u64, Arc<Batch>),
+    /// The primary committed a reshard: followers that see this notice
+    /// adopt the new shard count immediately, cutting a whole chain
+    /// over together (a lost notice is healed by the repair loop's
+    /// per-round generation adoption).
+    Generation {
+        /// The new generation number.
+        generation: u64,
+        /// Shard count of the new generation.
+        shards: u32,
+    },
+}
+
+impl StreamItem {
+    /// The batch's sequence number, if this is a batch.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            StreamItem::Batch(seq, _) => Some(*seq),
+            StreamItem::Generation { .. } => None,
+        }
+    }
+}
+
 struct SubState {
-    queue: VecDeque<(u64, Arc<Batch>)>,
+    queue: VecDeque<StreamItem>,
     closed: bool,
 }
 
@@ -57,17 +101,28 @@ struct SubShared {
     /// Stable identifier for this subscription (assigned at subscribe
     /// time, never reused) — keys the per-follower stats rows.
     id: u64,
+    /// The hub epoch this subscription was born under; an epoch bump
+    /// past it closes the subscription (set under the subs lock).
+    epoch: u64,
     state: Mutex<SubState>,
     ready: Condvar,
     /// Highest sequence number the follower has acknowledged applying.
     acked: AtomicU64,
 }
 
+/// Final rows of recently disconnected followers kept for the stats
+/// view, so dashboards see the disconnect instead of a phantom row (or
+/// no trace at all).
+const DEAD_ROWS_KEPT: usize = 8;
+
 struct HubShared {
     subs: Mutex<Vec<Arc<SubShared>>>,
     /// Sequence number of the most recently published batch (they start
     /// at 1, so this doubles as a published-batch count).
     published: AtomicU64,
+    /// Replication epoch this node is fenced at (bumped under the subs
+    /// lock; see `bump_epoch`).
+    epoch: AtomicU64,
     /// Batches written to follower connections.
     streamed: AtomicU64,
     /// Batches evicted from overflowing follower queues.
@@ -77,6 +132,8 @@ struct HubShared {
     /// Distribution of per-ack replication lag (published − acked
     /// sequence), recorded every time a follower acks.
     lag: AtomicHistogram,
+    /// Final rows of recently dropped subscriptions, newest last.
+    dead: Mutex<VecDeque<FollowerStats>>,
     closed: AtomicBool,
     capacity: usize,
 }
@@ -84,28 +141,45 @@ struct HubShared {
 /// The fan-out point between the ingest pipeline and follower
 /// connections: sealed batches go in, per-follower bounded streams come
 /// out. Owned by the [`PeelService`]; followers attach via
-/// [`ReplicationHub::subscribe`].
+/// [`ReplicationHub::subscribe`]. Also the node's replication-epoch
+/// authority (see [`ReplicationHub::bump_epoch`]).
 pub struct ReplicationHub {
     shared: Arc<HubShared>,
 }
 
 impl ReplicationHub {
     /// A hub whose per-follower stream queues hold at most `capacity`
-    /// batches (overflow evicts the oldest).
+    /// items (overflow evicts the oldest).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "replication queue capacity must be ≥ 1");
         ReplicationHub {
             shared: Arc::new(HubShared {
                 subs: Mutex::new(Vec::new()),
                 published: AtomicU64::new(0),
+                epoch: AtomicU64::new(0),
                 streamed: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 next_id: AtomicU64::new(0),
                 lag: AtomicHistogram::new(),
+                dead: Mutex::new(VecDeque::new()),
                 closed: AtomicBool::new(false),
                 capacity,
             }),
         }
+    }
+
+    fn offer(&self, sub: &SubShared, item: StreamItem) {
+        let mut st = plock(&sub.state);
+        if st.closed {
+            return;
+        }
+        if st.queue.len() >= self.shared.capacity {
+            st.queue.pop_front();
+            self.shared.dropped.fetch_add(1, Relaxed);
+        }
+        st.queue.push_back(item);
+        drop(st);
+        sub.ready.notify_one();
     }
 
     /// Assign the next sequence number to `batch` and offer it to every
@@ -126,19 +200,25 @@ impl ReplicationHub {
         }
         let shared_batch = Arc::new(batch.clone());
         for sub in subs.iter() {
-            let mut st = plock(&sub.state);
-            if st.closed {
-                continue;
-            }
-            if st.queue.len() >= h.capacity {
-                st.queue.pop_front();
-                h.dropped.fetch_add(1, Relaxed);
-            }
-            st.queue.push_back((seq, Arc::clone(&shared_batch)));
-            drop(st);
-            sub.ready.notify_one();
+            self.offer(sub, StreamItem::Batch(seq, Arc::clone(&shared_batch)));
         }
         seq
+    }
+
+    /// Offer an in-stream generation-change notice to every live
+    /// follower (called by the service after a reshard commit). Subject
+    /// to the same bounded-queue eviction as batches — a follower that
+    /// loses the notice adopts the new generation on its next
+    /// anti-entropy round instead.
+    pub fn publish_generation(&self, generation: u64, shards: u32) {
+        let h = &self.shared;
+        let subs = plock(&h.subs);
+        if h.closed.load(Relaxed) {
+            return;
+        }
+        for sub in subs.iter() {
+            self.offer(sub, StreamItem::Generation { generation, shards });
+        }
     }
 
     /// Attach a follower. The subscription sees batches published from
@@ -152,9 +232,15 @@ impl ReplicationHub {
         // sees closed == true (the lock's release/acquire edge makes the
         // relaxed load exact). Found by the subscribe-vs-close loom model
         // in tests/loom_replication.rs; replay schedule in CHANGES.md.
+        // The birth epoch is stamped under the same lock for the same
+        // reason: a concurrent bump_epoch either sees the subscription
+        // (and closes it) or the subscription is born at the new epoch —
+        // never a live subscription pinned to a fenced epoch (checked by
+        // the bump-vs-subscribe loom model).
         let mut subs = plock(&self.shared.subs);
         let sub = Arc::new(SubShared {
             id: self.shared.next_id.fetch_add(1, Relaxed),
+            epoch: self.shared.epoch.load(Relaxed),
             state: Mutex::new(SubState {
                 queue: VecDeque::new(),
                 closed: self.shared.closed.load(Relaxed),
@@ -167,6 +253,31 @@ impl ReplicationHub {
             shared: sub,
             hub: Arc::clone(&self.shared),
         }
+    }
+
+    /// Raise the replication epoch to `new` (no-op if not higher) and
+    /// close every subscription born under an older epoch — their
+    /// senders return and the fenced followers re-parent. Returns the
+    /// epoch in force afterwards. Monotone and idempotent.
+    pub fn bump_epoch(&self, new: u64) -> u64 {
+        let subs = plock(&self.shared.subs);
+        let cur = self.shared.epoch.load(Relaxed);
+        if new <= cur {
+            return cur;
+        }
+        self.shared.epoch.store(new, Relaxed);
+        for sub in subs.iter() {
+            if sub.epoch < new {
+                plock(&sub.state).closed = true;
+                sub.ready.notify_all();
+            }
+        }
+        new
+    }
+
+    /// The replication epoch this node is fenced at.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Relaxed)
     }
 
     /// Close every subscription (drained, then `recv` returns `None`)
@@ -189,8 +300,12 @@ impl ReplicationHub {
         self.shared.published.load(Relaxed)
     }
 
-    /// The hub half of the replication stats: follower count, sequence
-    /// gauges, per-follower lag, stream counters.
+    /// The hub half of the replication stats: follower count, epoch,
+    /// sequence gauges, per-follower lag, stream counters. Live
+    /// followers report `alive = true`; the final rows of the most
+    /// recently disconnected followers follow them with `alive = false`
+    /// (bounded, oldest expired first) so a disconnect is visible on
+    /// dashboards instead of lingering as phantom lag.
     pub fn stats(&self) -> ReplicationStats {
         let published = self.shared.published.load(Relaxed);
         let mut acked_min = published;
@@ -207,11 +322,15 @@ impl ReplicationHub {
                 published,
                 acked,
                 lag,
+                alive: true,
             });
         }
+        let followers = subs.len() as u64;
+        drop(subs);
         per_follower.sort_unstable_by_key(|f| f.id);
+        per_follower.extend(plock(&self.shared.dead).iter().copied());
         ReplicationStats {
-            followers: subs.len() as u64,
+            followers,
             published_seq: published,
             acked_min,
             max_lag,
@@ -219,22 +338,25 @@ impl ReplicationHub {
             batches_dropped: self.shared.dropped.load(Relaxed),
             per_follower,
             lag: self.shared.lag.snapshot(),
+            epoch: self.shared.epoch.load(Relaxed),
             ..ReplicationStats::default()
         }
     }
 }
 
-/// One follower's view of the hub: a bounded stream of `(seq, batch)`
-/// pairs. Dropping the subscription detaches the follower.
+/// One follower's view of the hub: a bounded stream of [`StreamItem`]s.
+/// Dropping the subscription detaches the follower (its final stats row
+/// is kept briefly, marked dead).
 pub struct Subscription {
     shared: Arc<SubShared>,
     hub: Arc<HubShared>,
 }
 
 impl Subscription {
-    /// Next batch, blocking while the stream is empty. `None` once the
-    /// hub has closed and the queue is drained.
-    pub fn recv(&self) -> Option<(u64, Arc<Batch>)> {
+    /// Next item, blocking while the stream is empty. `None` once the
+    /// subscription is closed (hub shutdown or epoch fence) and the
+    /// queue is drained.
+    pub fn recv(&self) -> Option<StreamItem> {
         let mut st = plock(&self.shared.state);
         loop {
             if let Some(x) = st.queue.pop_front() {
@@ -247,14 +369,31 @@ impl Subscription {
         }
     }
 
-    /// Next batch if one is already queued (test and drain helper).
-    pub fn try_recv(&self) -> Option<(u64, Arc<Batch>)> {
+    /// Next item if one is already queued (test and drain helper).
+    pub fn try_recv(&self) -> Option<StreamItem> {
         plock(&self.shared.state).queue.pop_front()
     }
 
     /// Stable identifier of this subscription within its hub.
     pub fn id(&self) -> u64 {
         self.shared.id
+    }
+
+    /// The hub epoch this subscription was born under.
+    pub fn stream_epoch(&self) -> u64 {
+        self.shared.epoch
+    }
+
+    /// The hub's current replication epoch.
+    pub fn hub_epoch(&self) -> u64 {
+        self.hub.epoch.load(Relaxed)
+    }
+
+    /// True once the subscription has been closed (hub shutdown or an
+    /// epoch bump past its birth epoch). A closed subscription still
+    /// drains its queue.
+    pub fn is_closed(&self) -> bool {
+        plock(&self.shared.state).closed
     }
 
     /// Record the follower's highest applied sequence number. Each ack
@@ -275,45 +414,160 @@ impl Subscription {
 impl Drop for Subscription {
     fn drop(&mut self) {
         plock(&self.hub.subs).retain(|s| !Arc::ptr_eq(s, &self.shared));
+        // Freeze the final stats row so the disconnect stays visible
+        // (briefly) instead of the row simply vanishing mid-dashboard.
+        let published = self.hub.published.load(Relaxed);
+        let acked = self.shared.acked.load(Relaxed);
+        let mut dead = plock(&self.hub.dead);
+        if dead.len() >= DEAD_ROWS_KEPT {
+            dead.pop_front();
+        }
+        dead.push_back(FollowerStats {
+            id: self.shared.id,
+            published,
+            acked,
+            lag: published.saturating_sub(acked),
+            alive: false,
+        });
     }
 }
 
-/// Primary-side sender: stream a subscription's batches to one follower
-/// as `Replicate` frames, reading one `ReplicateAck` per frame (the ack
-/// carries the follower's highest applied sequence number and feeds the
-/// lag gauge). Batches at or below `resume_after` are skipped — the
-/// follower already has them. Returns when the hub closes, the follower
-/// disconnects, or the transport fails.
+/// Tunables for the primary-side windowed sender
+/// ([`stream_to_follower`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Maximum unacknowledged `Replicate` frames in flight. 1 restores
+    /// the old one-batch-in-flight ack pacing; larger windows hide the
+    /// network round-trip (a WAN RTT no longer gates per-batch
+    /// throughput).
+    pub window: usize,
+    /// How long to wait for an ack before retransmitting the window.
+    pub ack_timeout: Duration,
+    /// Consecutive ack timeouts tolerated before the follower is
+    /// declared dead and the sender returns.
+    pub max_retries: u32,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: 32,
+            ack_timeout: Duration::from_secs(1),
+            max_retries: 5,
+        }
+    }
+}
+
+/// Why [`stream_to_follower`] returned without a transport error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEnd {
+    /// The hub closed, the follower disconnected or misbehaved, or the
+    /// retransmit budget ran out.
+    Closed,
+    /// An ack carried an epoch above ours: this primary has been
+    /// deposed by a failover election. The caller should adopt the
+    /// fence (stop leading) rather than reconnect.
+    Fenced(u64),
+}
+
+/// Primary-side sender: stream a subscription's items to one follower,
+/// keeping up to [`StreamConfig::window`] unacknowledged `Replicate`
+/// frames in flight. Acks are cumulative — one `ReplicateAck` retires
+/// every in-flight frame at or below its sequence number — and a
+/// missing ack retransmits the window after
+/// [`StreamConfig::ack_timeout`], up to [`StreamConfig::max_retries`]
+/// consecutive times. Batches at or below `resume_after` are skipped —
+/// the follower already has them. Generation-change notices are
+/// forwarded immediately and never retransmitted (adoption via
+/// anti-entropy is the backstop). Returns [`StreamEnd::Fenced`] when an
+/// ack reveals a higher epoch (this primary has been deposed).
 pub fn stream_to_follower<T: Transport>(
     transport: &mut T,
     sub: &Subscription,
     resume_after: u64,
-) -> Result<(), WireError> {
+    cfg: &StreamConfig,
+) -> Result<StreamEnd, WireError> {
     let span = tracing::span(
         "replication_stream",
         &[
             ("follower", sub.id().into()),
             ("resume_after", resume_after.into()),
+            ("window", (cfg.window as u64).into()),
         ],
     );
     let _entered = span.enter();
-    while let Some((seq, ops)) = sub.recv() {
-        if seq <= resume_after {
+    let window = cfg.window.max(1);
+    let mut inflight: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+    let mut retries = 0u32;
+    loop {
+        // Fill the window: block for the next item only when nothing is
+        // in flight (an empty window with an empty queue means there is
+        // nothing to wait for but the hub), otherwise take whatever is
+        // already queued and fall through to the ack wait.
+        while inflight.len() < window {
+            let item = if inflight.is_empty() {
+                match sub.recv() {
+                    Some(x) => x,
+                    None => return Ok(StreamEnd::Closed),
+                }
+            } else {
+                match sub.try_recv() {
+                    Some(x) => x,
+                    None => break,
+                }
+            };
+            match item {
+                StreamItem::Batch(seq, ops) => {
+                    if seq <= resume_after {
+                        continue;
+                    }
+                    let frame = encode_replicate(sub.hub_epoch(), seq, &ops);
+                    transport.send(&frame)?;
+                    sub.hub.streamed.fetch_add(1, Relaxed);
+                    inflight.push_back((seq, frame));
+                }
+                StreamItem::Generation { generation, shards } => {
+                    transport.send(&encode_response(&Response::GenerationChange {
+                        epoch: sub.hub_epoch(),
+                        generation,
+                        shards,
+                    }))?;
+                }
+            }
+        }
+        if inflight.is_empty() {
             continue;
         }
-        transport.send(&encode_replicate(seq, &ops))?;
-        sub.hub.streamed.fetch_add(1, Relaxed);
-        match transport.recv()? {
-            None => break,
-            Some(payload) => match decode_request(&payload) {
-                Ok(Request::ReplicateAck { seq }) => sub.ack(seq),
+        match transport.recv_timeout(cfg.ack_timeout)? {
+            RecvOutcome::Frame(payload) => match decode_request(&payload) {
+                Ok(Request::ReplicateAck { epoch, seq }) => {
+                    if epoch > sub.hub_epoch() {
+                        return Ok(StreamEnd::Fenced(epoch));
+                    }
+                    sub.ack(seq);
+                    while inflight.front().is_some_and(|&(s, _)| s <= seq) {
+                        inflight.pop_front();
+                    }
+                    retries = 0;
+                }
                 // Anything else on a subscribed connection is a protocol
                 // violation; drop the follower (it will reconnect).
-                _ => break,
+                _ => return Ok(StreamEnd::Closed),
             },
+            RecvOutcome::Closed => return Ok(StreamEnd::Closed),
+            RecvOutcome::TimedOut => {
+                retries += 1;
+                if retries > cfg.max_retries {
+                    return Ok(StreamEnd::Closed);
+                }
+                // Retransmit the whole window in order; the follower's
+                // sequence dedup makes duplicates harmless.
+                for (_, frame) in &inflight {
+                    transport.send(frame)?;
+                }
+            }
         }
     }
-    Ok(())
 }
 
 /// What one run of [`apply_replication_stream`] did.
@@ -325,13 +579,27 @@ pub struct ApplyOutcome {
     pub skipped: u64,
     /// Frames that failed to decode (dropped).
     pub decode_errors: u64,
+    /// Frames refused because they carried a stale epoch (a fenced
+    /// ex-primary still streaming after a failover).
+    pub fenced: u64,
+    /// Generation-change notices adopted (local reshards run).
+    pub generation_changes: u64,
 }
 
 /// Follower-side applier: read `Replicate` frames from `transport`,
 /// apply each batch exactly once to `svc` (frames whose sequence number
 /// is not strictly greater than `last_applied` are duplicates or stale
-/// reorders and are skipped), and answer every frame with a
-/// `ReplicateAck` carrying the highest applied sequence number.
+/// reorders and are skipped), and answer every frame with a cumulative
+/// `ReplicateAck` carrying the highest applied sequence number and the
+/// local epoch.
+///
+/// Epoch fencing happens here: a frame below the local epoch is refused
+/// (not applied, counted in [`ApplyOutcome::fenced`]) and the ack's
+/// higher epoch tells the stale primary it has been deposed; a frame
+/// *above* the local epoch raises the local fence first — the sender is
+/// a legitimately elected new primary. In-stream `GenerationChange`
+/// notices at or above the local epoch reshard the local service to the
+/// primary's new shard count immediately.
 ///
 /// `last_applied` persists across reconnects so a resumed stream cannot
 /// double-apply. Frames that fail to decode are counted and dropped —
@@ -350,7 +618,25 @@ pub fn apply_replication_stream<T: Transport>(
             break;
         };
         match decode_response(&payload) {
-            Ok(Response::Replicate { seq, ops }) => {
+            Ok(Response::Replicate { epoch, seq, ops }) => {
+                let local = svc.repl_epoch();
+                if epoch < local {
+                    // Stale primary: refuse the batch and let the ack's
+                    // higher epoch depose it.
+                    metrics.repl_fenced.fetch_add(1, Relaxed);
+                    out.fenced += 1;
+                    transport.send(&encode_request(&Request::ReplicateAck {
+                        epoch: local,
+                        seq: last_applied.load(Relaxed),
+                    }))?;
+                    continue;
+                }
+                if epoch > local {
+                    // A legitimately elected new primary: adopt its
+                    // fence before applying anything from it.
+                    svc.fence_epoch(epoch);
+                }
+                svc.note_stream_seq(seq);
                 if seq > last_applied.load(Relaxed) {
                     if !svc.ingest_batch(ops) {
                         // The local service is shutting down and refused
@@ -358,6 +644,7 @@ pub fn apply_replication_stream<T: Transport>(
                         break;
                     }
                     last_applied.store(seq, Relaxed);
+                    svc.note_applied_seq(seq);
                     metrics.repl_applied.fetch_add(1, Relaxed);
                     out.applied += 1;
                 } else {
@@ -365,8 +652,24 @@ pub fn apply_replication_stream<T: Transport>(
                     out.skipped += 1;
                 }
                 transport.send(&encode_request(&Request::ReplicateAck {
+                    epoch: svc.repl_epoch(),
                     seq: last_applied.load(Relaxed),
                 }))?;
+            }
+            Ok(Response::GenerationChange {
+                epoch,
+                generation: _,
+                shards,
+            }) => {
+                // A stale primary's reshard is not ours to follow. A
+                // failed local reshard is retried by the repair loop's
+                // per-round generation adoption.
+                if epoch >= svc.repl_epoch()
+                    && svc.shards() != shards
+                    && svc.reshard(shards).is_ok()
+                {
+                    out.generation_changes += 1;
+                }
             }
             Ok(_) | Err(_) => {
                 // Torn or foreign frame: count it and move on. No ack is
@@ -394,6 +697,10 @@ mod tests {
             .collect()
     }
 
+    fn recv_seq(sub: &Subscription) -> Option<u64> {
+        sub.try_recv().and_then(|item| item.seq())
+    }
+
     #[test]
     fn publish_fans_out_in_order_with_sequence_numbers() {
         let hub = ReplicationHub::new(8);
@@ -403,8 +710,8 @@ mod tests {
         assert_eq!(hub.publish(&batch(1, 3)), 1);
         assert_eq!(hub.publish(&batch(2, 3)), 2);
         for sub in [&a, &b] {
-            assert_eq!(sub.try_recv().unwrap().0, 1);
-            assert_eq!(sub.try_recv().unwrap().0, 2);
+            assert_eq!(recv_seq(sub), Some(1));
+            assert_eq!(recv_seq(sub), Some(2));
             assert!(sub.try_recv().is_none());
         }
     }
@@ -417,8 +724,8 @@ mod tests {
             hub.publish(&batch(i, 1));
         }
         // Queue holds the newest two; three were evicted.
-        assert_eq!(sub.try_recv().unwrap().0, 4);
-        assert_eq!(sub.try_recv().unwrap().0, 5);
+        assert_eq!(recv_seq(&sub), Some(4));
+        assert_eq!(recv_seq(&sub), Some(5));
         assert!(sub.try_recv().is_none());
         assert_eq!(hub.stats().batches_dropped, 3);
     }
@@ -469,5 +776,63 @@ mod tests {
         }
         let _sub = hub.subscribe();
         assert_eq!(hub.stats().max_lag, 0);
+    }
+
+    #[test]
+    fn epoch_bump_fences_older_subscriptions() {
+        let hub = ReplicationHub::new(4);
+        let old = hub.subscribe();
+        assert_eq!(old.stream_epoch(), 0);
+        assert_eq!(hub.bump_epoch(3), 3);
+        // Monotone: a lower bump is a no-op.
+        assert_eq!(hub.bump_epoch(1), 3);
+        assert_eq!(hub.epoch(), 3);
+        assert!(old.is_closed(), "pre-bump subscription must be fenced");
+        assert!(old.recv().is_none());
+        // A fresh subscription is born at the new epoch and stays live.
+        let new = hub.subscribe();
+        assert_eq!(new.stream_epoch(), 3);
+        assert!(!new.is_closed());
+        hub.publish(&batch(1, 1));
+        assert_eq!(recv_seq(&new), Some(1));
+    }
+
+    #[test]
+    fn dropped_follower_leaves_a_dead_row() {
+        let hub = ReplicationHub::new(4);
+        let sub = hub.subscribe();
+        let id = sub.id();
+        hub.publish(&batch(1, 1));
+        hub.publish(&batch(2, 1));
+        sub.ack(1);
+        drop(sub);
+        let s = hub.stats();
+        assert_eq!(s.followers, 0, "dead rows don't count as followers");
+        let row = s.per_follower.iter().find(|f| f.id == id).unwrap();
+        assert!(!row.alive);
+        assert_eq!(row.acked, 1);
+        assert_eq!(row.lag, 1);
+        // Dead rows are bounded: old ones expire.
+        for _ in 0..(DEAD_ROWS_KEPT + 3) {
+            drop(hub.subscribe());
+        }
+        let s = hub.stats();
+        assert_eq!(s.per_follower.len(), DEAD_ROWS_KEPT);
+        assert!(s.per_follower.iter().all(|f| !f.alive));
+        assert!(!s.per_follower.iter().any(|f| f.id == id));
+    }
+
+    #[test]
+    fn generation_notice_reaches_followers() {
+        let hub = ReplicationHub::new(4);
+        let sub = hub.subscribe();
+        hub.publish_generation(2, 8);
+        match sub.try_recv() {
+            Some(StreamItem::Generation { generation, shards }) => {
+                assert_eq!(generation, 2);
+                assert_eq!(shards, 8);
+            }
+            other => panic!("expected a generation notice, got {other:?}"),
+        }
     }
 }

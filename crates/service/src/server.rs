@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use crate::sync::{AtomicBool, Condvar, Mutex as StdMutex};
 
 use crate::lock::{plock, pwait};
-use crate::replication::stream_to_follower;
+use crate::replication::{stream_to_follower, StreamConfig, StreamEnd};
 use crate::service::{PeelService, ServiceConfig};
 use crate::transport::FramedTcp;
 use crate::wire::{decode_request, encode_response, read_frame, write_frame, Request, Response};
@@ -241,7 +241,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             let sub = shared.service.replication().subscribe();
             let mut transport = FramedTcp::from_parts(reader, writer);
-            let _ = stream_to_follower(&mut transport, &sub, last_seq);
+            let cfg = StreamConfig {
+                window: shared.service.config().repl_window.max(1),
+                ..StreamConfig::default()
+            };
+            if let Ok(StreamEnd::Fenced(epoch)) =
+                stream_to_follower(&mut transport, &sub, last_seq, &cfg)
+            {
+                // A follower acked at a higher epoch: this node has been
+                // deposed. Adopt the fence and step down; the follower
+                // driver (when one is attached) re-parents from here.
+                shared.service.fence_epoch(epoch);
+                shared.service.set_leading(false);
+            }
             return;
         }
         // Per-request observability: a span carrying the frame type (and
@@ -340,6 +352,21 @@ pub fn handle_request(service: &PeelService, req: Request) -> (Response, bool) {
             Ok(status) => Response::Reshard(status),
             Err(e) => Response::Error(e.to_string()),
         },
+        Request::ReplicaStatus => Response::ReplicaStatus(service.replica_status()),
+        Request::ReadDigest { shard, max_lag } => {
+            let lag = service.replica_lag();
+            if lag > max_lag {
+                Response::ReadStale {
+                    lag,
+                    redirect: service.primary_hint(),
+                }
+            } else {
+                match service.snapshot_shard(shard) {
+                    Ok((epoch, iblt)) => Response::Digest { epoch, iblt },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+        }
         Request::Shutdown => return (Response::Ok { accepted: 0 }, true),
         // Subscribe is intercepted in `handle_connection`; a stray ack
         // outside a subscribed stream is a client bug.

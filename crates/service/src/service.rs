@@ -53,7 +53,7 @@ use std::fmt;
 // RwLock), whose release/acquire edge orders them; the bare-atomic
 // accesses add commutative counting on top, never publication. Stats
 // readers tolerate staleness by contract.
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -64,7 +64,7 @@ use crate::metrics::{Metrics, MetricsSnapshot, ReshardStats, ShardStats};
 use crate::queue::{Batch, BoundedQueue, Op};
 use crate::replication::ReplicationHub;
 use crate::router::{shard_iblt_config, GenerationRouter, ShardRouter};
-use crate::wire::{HelloInfo, ShardDiff, PROTOCOL_VERSION};
+use crate::wire::{HelloInfo, ReplicaStatus, ShardDiff, PROTOCOL_VERSION};
 
 /// Upper bound on a reshard target, so a hostile `ReshardBegin` frame
 /// cannot make the service allocate an unbounded number of shard tables.
@@ -93,6 +93,14 @@ pub struct ServiceConfig {
     /// instead of blocking ingest; evicted batches are healed by
     /// anti-entropy.
     pub repl_queue_depth: usize,
+    /// This node's identity in a replica mesh. Elections prefer the
+    /// lowest id among equally caught-up candidates, so ids should be
+    /// unique per node; a standalone service can leave the default.
+    pub node_id: u64,
+    /// Maximum unacknowledged `Replicate` frames in flight per follower
+    /// stream (≥ 1). One means classic ack pacing; larger windows keep a
+    /// WAN pipe full across the round trip.
+    pub repl_window: usize,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +113,8 @@ impl Default for ServiceConfig {
             workers: default_workers(),
             router_seed: 0x7007_1e55_0000_0001,
             repl_queue_depth: 256,
+            node_id: 0,
+            repl_window: 32,
         }
     }
 }
@@ -155,6 +165,7 @@ impl ServiceConfig {
             router_seed: self.router_seed,
             base_config: self.shard_iblt,
             batch_size: self.batch_size as u32,
+            epoch: 0,
         }
     }
 }
@@ -355,6 +366,26 @@ struct ReconcileScratch {
     ws: RecoveryWorkspace,
 }
 
+/// This node's role in a replica mesh: whether it currently believes it
+/// is the primary, how far the stream it follows has reached, and where
+/// converged reads should be redirected while it lags. The replication
+/// *epoch* itself lives in the hub ([`ReplicationHub::epoch`]), which is
+/// the fencing authority for both inbound and outbound streams.
+struct ReplicaState {
+    /// `true` while this node serves as primary (the boot default — a
+    /// standalone service is its own primary). A follower driver clears
+    /// it; winning an election sets it again.
+    leading: AtomicBool,
+    /// Highest replication sequence number *seen* on the inbound stream
+    /// (applied or skipped). The lag gauge's numerator.
+    source_seq: AtomicU64,
+    /// Highest replication sequence number *applied* locally.
+    last_applied: AtomicU64,
+    /// Where stale reads should be redirected (the current primary's
+    /// advertised address), empty when unknown.
+    primary_hint: Mutex<String>,
+}
+
 struct Inner {
     cfg: ServiceConfig,
     /// The serving generation and any in-flight migration. Read-held by
@@ -377,6 +408,8 @@ struct Inner {
     /// Scratch pool for [`PeelService::reconcile_shard`]; grows to the
     /// peak number of concurrent reconciles and is reused forever after.
     scratch: Mutex<Vec<ReconcileScratch>>,
+    /// Mesh role and stream progress gauges (the epoch lives in `hub`).
+    replica: ReplicaState,
     metrics: Metrics,
 }
 
@@ -452,6 +485,12 @@ impl PeelService {
             pending: Mutex::new(Vec::with_capacity(cfg.batch_size)),
             hub: ReplicationHub::new(cfg.repl_queue_depth.max(1)),
             scratch: Mutex::new(Vec::new()),
+            replica: ReplicaState {
+                leading: AtomicBool::new(true),
+                source_seq: AtomicU64::new(0),
+                last_applied: AtomicU64::new(0),
+                primary_hint: Mutex::new(String::new()),
+            },
             metrics: Metrics::default(),
             cfg,
         });
@@ -479,7 +518,93 @@ impl PeelService {
     pub fn hello(&self) -> HelloInfo {
         let mut hello = self.inner.cfg.hello();
         hello.shards = self.shards();
+        hello.epoch = self.repl_epoch();
         hello
+    }
+
+    /// This node's mesh identity (election tie-breaker).
+    pub fn node_id(&self) -> u64 {
+        self.inner.cfg.node_id
+    }
+
+    /// The replication epoch this node is fenced at (the hub's epoch —
+    /// one fence covers the inbound stream and every outbound one).
+    pub fn repl_epoch(&self) -> u64 {
+        self.inner.hub.epoch()
+    }
+
+    /// Raise the replication fence to `epoch` (monotone; a lower or
+    /// equal value is a no-op). Outbound subscriptions born under an
+    /// older epoch are closed, which is what deposes a stale primary
+    /// mid-stream. Returns the epoch now in force.
+    pub fn fence_epoch(&self, epoch: u64) -> u64 {
+        self.inner.hub.bump_epoch(epoch)
+    }
+
+    /// `true` while this node believes it is the primary of its mesh.
+    pub fn is_leading(&self) -> bool {
+        self.inner.replica.leading.load(Relaxed)
+    }
+
+    /// Record a role change: `true` after winning an election (or at
+    /// boot), `false` when following a primary.
+    pub fn set_leading(&self, leading: bool) {
+        self.inner.replica.leading.store(leading, Relaxed);
+    }
+
+    /// The address stale reads are redirected to (the current primary's
+    /// advertised endpoint), empty when unknown.
+    pub fn primary_hint(&self) -> String {
+        self.inner.replica.primary_hint.lock().clone()
+    }
+
+    /// Record where the mesh's primary is reachable, for
+    /// `ReadStale` redirects.
+    pub fn set_primary_hint(&self, addr: &str) {
+        let mut hint = self.inner.replica.primary_hint.lock();
+        hint.clear();
+        hint.push_str(addr);
+    }
+
+    /// Record the highest sequence number *seen* on the inbound
+    /// replication stream (monotone).
+    pub fn note_stream_seq(&self, seq: u64) {
+        self.inner.replica.source_seq.fetch_max(seq, Relaxed);
+    }
+
+    /// Record the highest sequence number *applied* from the inbound
+    /// replication stream (monotone).
+    pub fn note_applied_seq(&self, seq: u64) {
+        self.inner.replica.last_applied.fetch_max(seq, Relaxed);
+    }
+
+    /// How many replicated batches this node has seen but not yet
+    /// applied. A primary is never lagging; a replica at 0 is converged
+    /// with everything its stream has shown it.
+    pub fn replica_lag(&self) -> u64 {
+        if self.is_leading() {
+            return 0;
+        }
+        let r = &self.inner.replica;
+        r.source_seq
+            .load(Relaxed)
+            .saturating_sub(r.last_applied.load(Relaxed))
+    }
+
+    /// The mesh-facing status frame: identity, epoch, role, stream
+    /// progress, convergence. Election candidates are compared on
+    /// exactly these fields.
+    pub fn replica_status(&self) -> ReplicaStatus {
+        let r = &self.inner.replica;
+        ReplicaStatus {
+            node_id: self.node_id(),
+            epoch: self.repl_epoch(),
+            leading: self.is_leading(),
+            last_applied: r.last_applied.load(Relaxed),
+            converged: self.replica_lag() == 0,
+            shards: self.shards(),
+            primary: self.primary_hint(),
+        }
     }
 
     /// Number of shards in the serving generation.
@@ -683,6 +808,10 @@ impl PeelService {
         let mut only_remote = rec.negative.clone();
         only_local.sort_unstable();
         only_remote.sort_unstable();
+        // Sampled after the snapshot, so it is an upper bound on the
+        // replication sequence numbers the diff can reflect (batches are
+        // published to the hub before they enter the apply queue).
+        let as_of_seq = self.inner.hub.published_seq();
         let diff = ShardDiff {
             shard,
             epoch,
@@ -690,6 +819,7 @@ impl PeelService {
             subrounds: rec.subrounds,
             only_local,
             only_remote,
+            as_of_seq,
         };
         self.inner.put_scratch(ctx);
         Ok(diff)
@@ -832,6 +962,11 @@ impl PeelService {
         self.inner.last_reshard_keys.store(m.keys_moved, Relaxed);
         g.current = m.next;
         self.inner.metrics.reshards_completed.fetch_add(1, Relaxed);
+        // Publish the cutover in-stream so a whole follower chain adopts
+        // the new generation at the same point in the batch sequence.
+        self.inner
+            .hub
+            .publish_generation(g.current.generation, g.current.router.shards());
         if tracing::enabled() {
             tracing::event(
                 "reshard_commit",
@@ -1017,7 +1152,10 @@ impl PeelService {
                 .collect();
             (shards, self.reshard_status_locked(&g))
         };
-        inner.metrics.snapshot(shards, inner.hub.stats(), reshard)
+        let mut repl = inner.hub.stats();
+        repl.leading = self.is_leading();
+        repl.read_lag = self.replica_lag();
+        inner.metrics.snapshot(shards, repl, reshard)
     }
 
     /// Flush remaining ops, stop the workers, and join them. Idempotent.
@@ -1383,7 +1521,7 @@ mod tests {
         // plus the flush-sealed partial).
         let mut streamed = Vec::new();
         let mut seqs = Vec::new();
-        while let Some((seq, b)) = sub.try_recv() {
+        while let Some(crate::replication::StreamItem::Batch(seq, b)) = sub.try_recv() {
             seqs.push(seq);
             streamed.extend(b.iter().map(|op| op.key));
         }
@@ -1419,7 +1557,10 @@ mod tests {
         }
         assert_eq!(content, vec![9]);
         // The batch was re-published for chained followers, unaltered.
-        assert_eq!(*sub.try_recv().unwrap().1, batch);
+        match sub.try_recv().unwrap() {
+            crate::replication::StreamItem::Batch(_, b) => assert_eq!(*b, batch),
+            other => panic!("expected a batch, got {other:?}"),
+        }
         // After shutdown replicated batches are refused, not lost silently.
         svc.shutdown();
         assert!(!svc.ingest_batch(vec![Op { key: 1, dir: 1 }]));

@@ -16,6 +16,10 @@
 //!   audit) is modeled inline below; the checker finds the lost-close
 //!   interleaving, proving the model is sharp enough to have caught the
 //!   bug, and its replay schedule is recorded in CHANGES.md.
+//! * **Epoch bump ∥ subscribe**: a subscription racing an election's
+//!   `bump_epoch` is either stamped with the post-bump epoch or closed
+//!   — never left alive pinned to the fenced epoch, which would orphan
+//!   a follower on a stream no fence will ever cut again.
 //! * **Transport smoke**: `stream_to_follower` over a seeded
 //!   [`SimTransport`] ack script (clean and fault-mangled) never
 //!   panics, and everything it sends is a well-formed `Replicate` frame
@@ -25,7 +29,7 @@
 
 use loom::sync::Arc;
 use peel_service::queue::Op;
-use peel_service::replication::{stream_to_follower, ReplicationHub};
+use peel_service::replication::{stream_to_follower, ReplicationHub, StreamConfig, StreamItem};
 use peel_service::transport::{FaultPlan, SimTransport};
 use peel_service::wire::{decode_response, encode_request, Request, Response};
 
@@ -49,8 +53,10 @@ fn drop_oldest_keeps_sequence_order_and_accounts_for_every_batch() {
             })
         };
         let mut seqs = Vec::new();
-        while let Some((seq, _)) = sub.recv() {
-            seqs.push(seq);
+        while let Some(item) = sub.recv() {
+            if let StreamItem::Batch(seq, _) = item {
+                seqs.push(seq);
+            }
         }
         publisher.join().unwrap();
         assert!(
@@ -82,6 +88,33 @@ fn subscribe_racing_close_always_terminates() {
         let sub = hub.subscribe();
         assert!(sub.recv().is_none(), "a closed hub streams nothing");
         closer.join().unwrap();
+    });
+}
+
+/// Election fencing racing a late subscriber — the interleaving behind
+/// a failover while a follower chain is still attaching. `bump_epoch`
+/// stamps the new epoch and closes older-epoch subscriptions under the
+/// same lock `subscribe` stamps birth epochs under, so once the bump
+/// returns every subscription is either at the new epoch or closed.
+/// The broken alternative (stamping the birth epoch outside the lock)
+/// leaves a live subscription pinned to the fenced epoch: its follower
+/// keeps applying a stream the rest of the mesh has deposed.
+#[test]
+fn epoch_bump_racing_subscribe_never_orphans_a_subscription() {
+    loom::model(|| {
+        let hub = Arc::new(ReplicationHub::new(1));
+        let bumper = {
+            let hub = Arc::clone(&hub);
+            loom::thread::spawn(move || hub.bump_epoch(2))
+        };
+        let sub = hub.subscribe();
+        bumper.join().unwrap();
+        assert!(
+            sub.stream_epoch() == hub.epoch() || sub.is_closed(),
+            "subscription alive at fenced epoch {} while the hub is at {}",
+            sub.stream_epoch(),
+            hub.epoch()
+        );
     });
 }
 
@@ -175,10 +208,11 @@ fn sim_transport_stream_smoke() {
                 })
             };
             let acks: Vec<Vec<u8>> = (1..=2u64)
-                .map(|seq| encode_request(&Request::ReplicateAck { seq }))
+                .map(|seq| encode_request(&Request::ReplicateAck { epoch: 0, seq }))
                 .collect();
             let mut transport = SimTransport::new(plan.mangle(&acks));
-            stream_to_follower(&mut transport, &sub, 0).expect("SimTransport never errors");
+            stream_to_follower(&mut transport, &sub, 0, &StreamConfig::default())
+                .expect("SimTransport never errors");
             publisher.join().unwrap();
             let mut last = 0u64;
             for frame in &transport.sent {

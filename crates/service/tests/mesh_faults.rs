@@ -1,0 +1,243 @@
+//! Seeded multi-node mesh scenarios: partition, heal, primary kill,
+//! election, fence, converge.
+//!
+//! Each scenario builds an in-process mesh (one primary, N-1 followers,
+//! 3- and 5-node shapes) and drives the real replication machinery over
+//! scripted transports: sealed batches are recorded as v6 `Replicate`
+//! frames, a seeded [`FaultPlan`] mangles each follower's copy of the
+//! stream independently, odd seeds fully partition one follower, and
+//! anti-entropy repairs the rest. Then the primary "dies": the
+//! survivors run the deterministic election ([`elect`]), the winner
+//! bumps the epoch, the losers adopt the fence, and a stale-epoch frame
+//! from the deposed ex-primary must be refused outright. Every scenario
+//! must end with one epoch, one leader, and every survivor cell-identical
+//! to a from-scratch build of the surviving key set.
+
+use std::sync::atomic::{AtomicBool, AtomicU64};
+
+use peel_service::queue::Op;
+use peel_service::wire::{decode_request, encode_replicate, Request};
+use peel_service::{
+    apply_replication_stream, elect, Candidate, FaultPlan, PeelService, ServiceConfig,
+    SimTransport, StreamItem,
+};
+
+fn keys(n: u64, tag: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag)
+        .collect()
+}
+
+fn cfg(node_id: u64) -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 64,
+        queue_depth: 8,
+        workers: 2,
+        // Room for the whole workload: the only stream losses are the
+        // ones the fault plan (or the partition) injects.
+        repl_queue_depth: 4096,
+        node_id,
+        ..ServiceConfig::for_diff_budget(4, 2_048)
+    }
+}
+
+/// True iff every shard's frozen cell array is identical on both sides.
+fn digests_identical(a: &PeelService, b: &PeelService) -> bool {
+    (0..a.config().shards).all(|shard| {
+        let (_ea, da) = a.snapshot_shard(shard).unwrap();
+        let (_eb, db) = b.snapshot_shard(shard).unwrap();
+        da == db
+    })
+}
+
+/// One in-process anti-entropy round, exactly as the TCP repair driver
+/// runs it: reconcile every follower shard against the source and apply
+/// the decoded difference.
+fn anti_entropy(source: &PeelService, follower: &PeelService) {
+    for shard in 0..follower.config().shards {
+        let (_epoch, snap) = follower.snapshot_shard(shard).unwrap();
+        let diff = source.reconcile_shard(shard, &snap).unwrap();
+        if !diff.only_local.is_empty() {
+            follower.insert(&diff.only_local);
+        }
+        if !diff.only_remote.is_empty() {
+            follower.delete(&diff.only_remote);
+        }
+    }
+    follower.flush();
+}
+
+/// Repair `follower` from `source` until cell-identical, within the
+/// bounded round budget the convergence proof allows.
+fn heal(source: &PeelService, follower: &PeelService, what: &str) {
+    let mut rounds = 0;
+    while !digests_identical(source, follower) {
+        assert!(rounds < 16, "{what}: no convergence after {rounds} rounds");
+        anti_entropy(source, follower);
+        rounds += 1;
+    }
+}
+
+/// One full mesh scenario for a (seed, size) pair; see the module doc.
+fn run_mesh(seed: u64, n: usize) {
+    let tag = format!("seed {seed}, {n}-node mesh");
+    let nodes: Vec<PeelService> = (0..n).map(|i| PeelService::start(cfg(i as u64))).collect();
+    for follower in &nodes[1..] {
+        follower.set_leading(false);
+    }
+    let subs: Vec<_> = (1..n).map(|_| nodes[0].replication().subscribe()).collect();
+
+    // A per-seed workload with churn in both directions.
+    let ks = keys(1_200, 0xae5b_0000 | seed);
+    nodes[0].insert(&ks);
+    nodes[0].delete(&ks[..150]);
+    nodes[0].flush();
+
+    // Odd seeds fully partition follower 1: none of its stream arrives.
+    let partitioned = (seed % 2 == 1).then_some(1usize);
+    let lasts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    for (i, sub) in subs.iter().enumerate() {
+        let node = i + 1;
+        let mut frames = Vec::new();
+        while let Some(item) = sub.try_recv() {
+            if let StreamItem::Batch(seq, ops) = item {
+                frames.push(encode_replicate(sub.hub_epoch(), seq, &ops));
+            }
+        }
+        assert!(frames.len() >= 15, "{tag}: workload too small");
+        if partitioned == Some(node) {
+            continue;
+        }
+        // Each follower's link fails in its own seeded way.
+        let plan = FaultPlan::for_seed(seed.wrapping_mul(31).wrapping_add(node as u64));
+        let stop = AtomicBool::new(false);
+        let mut transport = SimTransport::new(plan.mangle(&frames));
+        apply_replication_stream(&mut transport, &nodes[node], &stop, &lasts[node])
+            .expect("scripted transport never errors");
+        nodes[node].flush();
+    }
+
+    // Anti-entropy heals every *connected* follower while the primary
+    // is still alive; the partitioned one stays dark and divergent.
+    for node in 1..n {
+        if partitioned != Some(node) {
+            heal(&nodes[0], &nodes[node], &tag);
+        }
+    }
+    if let Some(p) = partitioned {
+        assert!(
+            !digests_identical(&nodes[0], &nodes[p]),
+            "{tag}: the partition must actually have cost the follower data"
+        );
+    }
+
+    // The primary dies. Survivors probe each other and elect: the most
+    // caught-up candidate wins, lowest node id breaking ties.
+    let survivors: Vec<usize> = (1..n).collect();
+    let candidates: Vec<Candidate> = survivors
+        .iter()
+        .map(|&i| {
+            let st = nodes[i].replica_status();
+            Candidate {
+                node_id: st.node_id,
+                last_applied: st.last_applied,
+                epoch: st.epoch,
+                leading: st.leading,
+            }
+        })
+        .collect();
+    let winner = survivors[elect(&candidates).expect("non-empty candidate set")];
+    if let Some(p) = partitioned {
+        assert_ne!(winner, p, "{tag}: a partitioned laggard must not win");
+    }
+
+    // The winner fences the old regime out with an epoch bump; the
+    // losers adopt the fence (as they would from the winner's Hello).
+    let old_epoch = candidates.iter().map(|c| c.epoch).max().unwrap();
+    let new_epoch = nodes[winner].fence_epoch(old_epoch + 1);
+    nodes[winner].set_leading(true);
+    for &i in &survivors {
+        if i != winner {
+            nodes[i].fence_epoch(new_epoch);
+        }
+    }
+
+    // Fencing: a stale-epoch frame from the deposed ex-primary — with
+    // garbage keys that would corrupt the digests — is refused outright,
+    // and the ack tells the sender which epoch deposed it.
+    let garbage: Vec<Op> = (0..8)
+        .map(|i| Op {
+            key: 0xdead_beef + i,
+            dir: 1,
+        })
+        .collect();
+    let before: Vec<_> = (0..nodes[winner].config().shards)
+        .map(|s| nodes[winner].snapshot_shard(s).unwrap().1)
+        .collect();
+    let stop = AtomicBool::new(false);
+    let stale = AtomicU64::new(0);
+    let mut transport = SimTransport::new(vec![encode_replicate(0, u64::MAX, &garbage)]);
+    let out = apply_replication_stream(&mut transport, &nodes[winner], &stop, &stale).unwrap();
+    nodes[winner].flush();
+    assert_eq!(out.fenced, 1, "{tag}: stale frame must be counted fenced");
+    assert_eq!(out.applied, 0, "{tag}: stale frame must not apply");
+    match decode_request(&transport.sent[0]) {
+        Ok(Request::ReplicateAck { epoch, .. }) => {
+            assert_eq!(
+                epoch, new_epoch,
+                "{tag}: the deposing ack carries the fence"
+            )
+        }
+        other => panic!("{tag}: expected a deposing ack, got {other:?}"),
+    }
+    let after: Vec<_> = (0..nodes[winner].config().shards)
+        .map(|s| nodes[winner].snapshot_shard(s).unwrap().1)
+        .collect();
+    assert_eq!(
+        before, after,
+        "{tag}: fenced garbage must not touch the cells"
+    );
+
+    // Heal the mesh from its new primary — including the partitioned
+    // follower, whose first contact with the new regime this is.
+    for &i in &survivors {
+        if i != winner {
+            heal(&nodes[winner], &nodes[i], &tag);
+        }
+    }
+
+    // End state: one epoch, one leader, and every survivor
+    // cell-identical to a from-scratch build of the surviving keys.
+    for &i in &survivors {
+        assert_eq!(nodes[i].repl_epoch(), new_epoch, "{tag}: split epoch");
+    }
+    let leaders: Vec<usize> = survivors
+        .iter()
+        .copied()
+        .filter(|&i| nodes[i].is_leading())
+        .collect();
+    assert_eq!(leaders, vec![winner], "{tag}: exactly one leader");
+    let fresh = PeelService::start(cfg(u64::MAX));
+    fresh.insert(&ks[150..]);
+    fresh.flush();
+    for &i in &survivors {
+        assert!(
+            digests_identical(&fresh, &nodes[i]),
+            "{tag}: node {i} diverges from the from-scratch build"
+        );
+    }
+}
+
+#[test]
+fn three_node_meshes_converge_to_one_fenced_epoch() {
+    for seed in 0..8 {
+        run_mesh(seed, 3);
+    }
+}
+
+#[test]
+fn five_node_meshes_converge_to_one_fenced_epoch() {
+    for seed in 0..8 {
+        run_mesh(seed, 5);
+    }
+}

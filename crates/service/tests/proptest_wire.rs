@@ -69,14 +69,34 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::Shutdown),
         any::<u64>().prop_map(|last_seq| Request::Subscribe { last_seq }),
-        any::<u64>().prop_map(|seq| Request::ReplicateAck { seq }),
+        (any::<u64>(), any::<u64>()).prop_map(|(epoch, seq)| Request::ReplicateAck { epoch, seq }),
         any::<u32>().prop_map(|to_shards| Request::ReshardBegin { to_shards }),
         any::<u32>().prop_map(|shard| Request::ReshardDigest { shard }),
         Just(Request::ReshardCommit),
         Just(Request::ReshardAbort),
         Just(Request::MetricsText),
         Just(Request::DebugDump),
+        Just(Request::ReplicaStatus),
+        (0u32..64, any::<u64>())
+            .prop_map(|(shard, max_lag)| Request::ReadDigest { shard, max_lag }),
     ]
+}
+
+fn arb_replica_status() -> impl Strategy<Value = peel_service::ReplicaStatus> {
+    (
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+        (any::<u64>(), any::<bool>(), any::<u32>()),
+        proptest::collection::vec(any::<u8>(), 0..24),
+    )
+        .prop_map(|(a, b, primary)| peel_service::ReplicaStatus {
+            node_id: a.0,
+            epoch: a.1,
+            leading: a.2,
+            last_applied: b.0,
+            converged: b.1,
+            shards: b.2,
+            primary: String::from_utf8_lossy(&primary).into_owned(),
+        })
 }
 
 fn arb_reshard_stats() -> impl Strategy<Value = ReshardStats> {
@@ -98,23 +118,20 @@ fn arb_reshard_stats() -> impl Strategy<Value = ReshardStats> {
 
 fn arb_shard_diff() -> impl Strategy<Value = ShardDiff> {
     (
-        0u32..64,
+        (0u32..64, any::<u64>(), any::<bool>(), 0u32..1000),
+        arb_keys(),
+        arb_keys(),
         any::<u64>(),
-        any::<bool>(),
-        0u32..1000,
-        arb_keys(),
-        arb_keys(),
     )
-        .prop_map(
-            |(shard, epoch, complete, subrounds, only_local, only_remote)| ShardDiff {
-                shard,
-                epoch,
-                complete,
-                subrounds,
-                only_local,
-                only_remote,
-            },
-        )
+        .prop_map(|(a, only_local, only_remote, as_of_seq)| ShardDiff {
+            shard: a.0,
+            epoch: a.1,
+            complete: a.2,
+            subrounds: a.3,
+            only_local,
+            only_remote,
+            as_of_seq,
+        })
 }
 
 /// A wire-valid histogram snapshot: sparse buckets with strictly
@@ -135,14 +152,20 @@ fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
 
 fn arb_follower_rows() -> impl Strategy<Value = Vec<FollowerStats>> {
     proptest::collection::vec(
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-            |(id, published, acked, lag)| FollowerStats {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+        )
+            .prop_map(|(id, published, acked, lag, alive)| FollowerStats {
                 id,
                 published,
                 acked,
                 lag,
-            },
-        ),
+                alive,
+            }),
         0..8,
     )
 }
@@ -175,10 +198,11 @@ fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<u64>()),
         arb_follower_rows(),
         arb_histogram(),
     )
-        .prop_map(|(a, b, c, per_follower, lag)| ReplicationStats {
+        .prop_map(|(a, b, c, d, per_follower, lag)| ReplicationStats {
             followers: a.0,
             published_seq: a.1,
             acked_min: a.2,
@@ -190,6 +214,10 @@ fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
             decode_errors: c.0,
             anti_entropy_rounds: c.1,
             anti_entropy_keys: c.2,
+            epoch: d.0,
+            fenced: d.1,
+            leading: d.2,
+            read_lag: d.3,
             per_follower,
             lag,
         })
@@ -244,22 +272,46 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
-        (any::<u32>(), any::<u64>(), arb_config(), any::<u32>()).prop_map(
-            |(shards, router_seed, base_config, batch_size)| {
+        (
+            any::<u32>(),
+            any::<u64>(),
+            arb_config(),
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(|(shards, router_seed, base_config, batch_size, epoch)| {
                 Response::Hello(HelloInfo {
                     version: PROTOCOL_VERSION,
                     shards,
                     router_seed,
                     base_config,
                     batch_size,
+                    epoch,
                 })
-            }
-        ),
+            }),
         any::<u64>().prop_map(|accepted| Response::Ok { accepted }),
         (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::Digest { epoch, iblt }),
         arb_shard_diff().prop_map(Response::Diff),
         arb_stats().prop_map(|s| Response::Stats(Box::new(s))),
-        (any::<u64>(), arb_ops()).prop_map(|(seq, ops)| Response::Replicate { seq, ops }),
+        (any::<u64>(), any::<u64>(), arb_ops()).prop_map(|(epoch, seq, ops)| Response::Replicate {
+            epoch,
+            seq,
+            ops
+        }),
+        arb_replica_status().prop_map(Response::ReplicaStatus),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..24)).prop_map(
+            |(lag, redirect)| Response::ReadStale {
+                lag,
+                redirect: String::from_utf8_lossy(&redirect).into_owned(),
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(epoch, generation, shards)| {
+            Response::GenerationChange {
+                epoch,
+                generation,
+                shards,
+            }
+        }),
         arb_reshard_stats().prop_map(Response::Reshard),
         (any::<u64>(), arb_iblt()).prop_map(|(epoch, iblt)| Response::DigestSparse { epoch, iblt }),
         // The shim has no string strategies; synthesize UTF-8 (including
@@ -382,6 +434,41 @@ proptest! {
         let pos = (payload.len() as f64 * pos_frac) as usize % payload.len();
         payload[pos] ^= flip;
         let _ = decode_response(&payload); // must not panic
+    }
+
+    /// Version negotiation refuses cleanly both ways on the handshake
+    /// frame, for *every* v6 `Hello`: the v5 wire image (the v6 bytes
+    /// minus the appended epoch tail) is an UnexpectedEof to a v6
+    /// decoder, and a longer-than-v6 image (a hypothetical v7 tail) is a
+    /// TrailingBytes — so a mixed-version pair always gets a clean error
+    /// on the very first frame, never a mis-decoded handshake.
+    #[test]
+    fn hello_version_negotiation_refuses_both_ways(
+        shards in any::<u32>(),
+        router_seed in any::<u64>(),
+        base_config in arb_config(),
+        batch_size in any::<u32>(),
+        epoch in any::<u64>(),
+    ) {
+        let hello = Response::Hello(HelloInfo {
+            version: PROTOCOL_VERSION,
+            shards,
+            router_seed,
+            base_config,
+            batch_size,
+            epoch,
+        });
+        let v6 = encode_response(&hello);
+        prop_assert!(matches!(
+            decode_response(&v6[..v6.len() - 8]),
+            Err(WireError::UnexpectedEof)
+        ));
+        let mut v7ish = v6.clone();
+        v7ish.extend_from_slice(&[0u8; 8]);
+        prop_assert!(matches!(
+            decode_response(&v7ish),
+            Err(WireError::TrailingBytes(8))
+        ));
     }
 
     /// A truncated *frame* (length prefix promising more bytes than

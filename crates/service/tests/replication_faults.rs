@@ -12,7 +12,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64};
 
 use peel_service::wire::encode_replicate;
-use peel_service::{apply_replication_stream, FaultPlan, PeelService, ServiceConfig, SimTransport};
+use peel_service::{
+    apply_replication_stream, FaultPlan, PeelService, ServiceConfig, SimTransport, StreamItem,
+};
 
 fn keys(n: u64, tag: u64) -> Vec<u64> {
     (0..n)
@@ -74,8 +76,10 @@ fn anti_entropy_converges_under_every_fault_pattern() {
 
         // Record the replication stream as wire frames…
         let mut frames = Vec::new();
-        while let Some((seq, ops)) = sub.try_recv() {
-            frames.push(encode_replicate(seq, &ops));
+        while let Some(item) = sub.try_recv() {
+            if let StreamItem::Batch(seq, ops) = item {
+                frames.push(encode_replicate(sub.hub_epoch(), seq, &ops));
+            }
         }
         assert!(frames.len() >= 20, "workload too small to stress faults");
 
@@ -149,8 +153,10 @@ fn clean_stream_replicates_without_repair() {
     primary.flush();
 
     let mut frames = Vec::new();
-    while let Some((seq, ops)) = sub.try_recv() {
-        frames.push(encode_replicate(seq, &ops));
+    while let Some(item) = sub.try_recv() {
+        if let StreamItem::Batch(seq, ops) = item {
+            frames.push(encode_replicate(sub.hub_epoch(), seq, &ops));
+        }
     }
     let stop = AtomicBool::new(false);
     let last = AtomicU64::new(0);

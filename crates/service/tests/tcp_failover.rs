@@ -1,0 +1,183 @@
+//! End-to-end failover over real TCP: a 3-node mesh (primary + two
+//! follower replicas, each also serving reads) loses its primary
+//! mid-ingest. The survivors must detect the death, run the
+//! deterministic election, fence the old epoch, re-parent onto the
+//! winner, converge cell-identically, and serve reads — including
+//! accepting fresh writes at the new primary and replicating them to
+//! the remaining follower.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use peel_service::service::PeelService;
+use peel_service::{read_from_mesh, Client, Follower, FollowerConfig, Server, ServiceConfig};
+
+fn keys(range: std::ops::Range<u64>, tag: u64) -> Vec<u64> {
+    range
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag)
+        .collect()
+}
+
+fn cfg(node_id: u64) -> ServiceConfig {
+    ServiceConfig {
+        batch_size: 64,
+        queue_depth: 16,
+        workers: 2,
+        node_id,
+        ..ServiceConfig::for_diff_budget(4, 4_000)
+    }
+}
+
+/// A follower tuned for test-speed failure detection: two quick
+/// reconnect failures trigger an election over the mesh peers.
+fn mesh_follower(peers: Vec<SocketAddr>, advertise: SocketAddr) -> FollowerConfig {
+    FollowerConfig {
+        anti_entropy_interval: Duration::from_millis(50),
+        reconnect_backoff: Duration::from_millis(25),
+        max_reconnect_backoff: Duration::from_millis(200),
+        failover_threshold: 2,
+        peers,
+        advertise: advertise.to_string(),
+    }
+}
+
+/// True iff every shard's frozen cells are identical across both
+/// survivors.
+fn survivors_identical(a: &PeelService, b: &PeelService) -> bool {
+    (0..a.config().shards).all(|shard| {
+        let (_ea, da) = a.snapshot_shard(shard).unwrap();
+        let (_eb, db) = b.snapshot_shard(shard).unwrap();
+        da == db
+    })
+}
+
+fn await_true(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < end, "{what}: condition never held");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn primary_death_mid_ingest_elects_a_survivor_that_serves_reads() {
+    // Node 0: the doomed primary.
+    let mut primary = Server::bind("127.0.0.1:0", cfg(0)).unwrap();
+    let primary_addr = primary.local_addr();
+
+    // Nodes 1 and 2: replicas — each a service shared between a read
+    // server and a follower driver, meshed to probe each other.
+    let f1svc = Arc::new(PeelService::start(cfg(1)));
+    let f2svc = Arc::new(PeelService::start(cfg(2)));
+    let mut s1 = Server::bind_with("127.0.0.1:0", Arc::clone(&f1svc)).unwrap();
+    let mut s2 = Server::bind_with("127.0.0.1:0", Arc::clone(&f2svc)).unwrap();
+    let (a1, a2) = (s1.local_addr(), s2.local_addr());
+    let mut f1 = Follower::start(
+        Arc::clone(&f1svc),
+        primary_addr,
+        mesh_follower(vec![a2], a1),
+    );
+    let mut f2 = Follower::start(
+        Arc::clone(&f2svc),
+        primary_addr,
+        mesh_follower(vec![a1], a2),
+    );
+
+    // Phase 1: both replicas converge on an initial corpus.
+    let phase1 = keys(0..800, 0xf001_0000_0000_0000);
+    let mut c = Client::connect_retry(primary_addr, Duration::from_secs(5)).unwrap();
+    c.insert(&phase1).unwrap();
+    c.flush().unwrap();
+    await_true("phase 1 convergence", Duration::from_secs(60), || {
+        survivors_identical(&f1svc, &f2svc) && {
+            let (_e, p) = c.digest(0).unwrap();
+            let (_e2, f) = f1svc.snapshot_shard(0).unwrap();
+            p == f
+        }
+    });
+
+    // Phase 2: kill the primary mid-ingest. Writes race the shutdown;
+    // whatever the primary never replicated dies with it, and that is
+    // fine — the mesh converges on the surviving prefix.
+    let ingester = std::thread::spawn(move || {
+        let mut c2 = Client::connect(primary_addr).unwrap();
+        for chunk in keys(0..400, 0xf002_0000_0000_0000).chunks(20) {
+            if c2.insert(chunk).is_err() || c2.flush().is_err() {
+                break; // the primary died under us — expected
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    drop(c);
+    primary.shutdown();
+    ingester.join().unwrap();
+
+    // The survivors must elect exactly one leader, agree on a bumped
+    // epoch, and converge with each other.
+    await_true("election", Duration::from_secs(60), || {
+        let leaders = u32::from(f1svc.is_leading()) + u32::from(f2svc.is_leading());
+        leaders == 1
+            && f1svc.repl_epoch() == f2svc.repl_epoch()
+            && f1svc.repl_epoch() > 0
+            && survivors_identical(&f1svc, &f2svc)
+    });
+    let epoch = f1svc.repl_epoch();
+    let (leader_svc, leader_addr) = if f1svc.is_leading() {
+        (&f1svc, a1)
+    } else {
+        (&f2svc, a2)
+    };
+
+    // The new primary accepts writes and replicates them to the
+    // remaining follower.
+    let phase3 = keys(0..300, 0xf003_0000_0000_0000);
+    let mut cl = Client::connect_retry(leader_addr, Duration::from_secs(5)).unwrap();
+    cl.insert(&phase3).unwrap();
+    cl.flush().unwrap();
+    await_true("post-failover replication", Duration::from_secs(60), || {
+        survivors_identical(&f1svc, &f2svc)
+    });
+
+    // The epoch stayed put through the new regime's normal operation —
+    // one election, one fence.
+    assert_eq!(
+        f1svc.repl_epoch(),
+        epoch,
+        "epoch churned after the election"
+    );
+    assert_eq!(f2svc.repl_epoch(), epoch);
+
+    // Reads are served from the mesh: every shard digest read over the
+    // wire equals the leader's own snapshot, and the surviving content
+    // contains phase 1 and phase 3 in full.
+    for shard in 0..leader_svc.config().shards {
+        let (_e, iblt) =
+            read_from_mesh(&[a1, a2], shard, 0, Duration::from_secs(5)).expect("mesh read");
+        let (_le, want) = leader_svc.snapshot_shard(shard).unwrap();
+        assert_eq!(
+            iblt, want,
+            "mesh read of shard {shard} diverges from the leader"
+        );
+    }
+    let mut content = Vec::new();
+    for shard in 0..leader_svc.config().shards {
+        let (_e, snap) = leader_svc.snapshot_shard(shard).unwrap();
+        let rec = snap.recover();
+        assert!(rec.complete, "leader shard {shard} undecodable");
+        assert!(rec.negative.is_empty());
+        content.extend(rec.positive);
+    }
+    content.sort_unstable();
+    for k in phase1.iter().chain(phase3.iter()) {
+        assert!(
+            content.binary_search(k).is_ok(),
+            "surviving content lost a fully-acknowledged key"
+        );
+    }
+
+    f1.stop();
+    f2.stop();
+    s1.shutdown();
+    s2.shutdown();
+}

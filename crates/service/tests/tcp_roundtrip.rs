@@ -237,9 +237,9 @@ fn reshard_round_trips_over_tcp() {
 fn v3_client_against_v4_server_degrades_gracefully() {
     let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
     let mut c = Client::connect(server.local_addr()).unwrap();
-    // The server advertises v5; a v3 client ignores the higher number
+    // The server advertises v6; a v3 client ignores the higher number
     // and keeps to its own frame surface.
-    assert_eq!(c.hello().unwrap().version, 5);
+    assert_eq!(c.hello().unwrap().version, 6);
     let keys: Vec<u64> = (0..300u64).map(|i| i * 13).collect();
     assert_eq!(c.insert(&keys).unwrap(), 300);
     c.flush().unwrap();
@@ -266,6 +266,7 @@ fn v4_client_against_v3_server_degrades_gracefully() {
         router_seed: 7,
         base_config: peel_iblt::IbltConfig::for_load(4, 64, 0.5, 1),
         batch_size: 128,
+        epoch: 0,
     };
     let mock = std::thread::spawn(move || {
         let (stream, _) = listener.accept().unwrap();

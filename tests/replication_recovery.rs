@@ -26,6 +26,7 @@ fn fast_follower() -> FollowerConfig {
     FollowerConfig {
         anti_entropy_interval: Duration::from_millis(50),
         reconnect_backoff: Duration::from_millis(25),
+        ..FollowerConfig::default()
     }
 }
 

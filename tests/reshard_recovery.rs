@@ -131,6 +131,7 @@ fn follower_adopts_a_resharded_primary() {
         FollowerConfig {
             anti_entropy_interval: Duration::from_millis(50),
             reconnect_backoff: Duration::from_millis(25),
+            ..FollowerConfig::default()
         },
     );
     let mut c = Client::connect_retry(primary.local_addr(), Duration::from_secs(5)).unwrap();

@@ -43,6 +43,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod mesh_smoke;
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {

@@ -6,6 +6,10 @@
 //!   memory-orderings table.
 //! * `cargo xtask lint --write-orderings` — rewrite the table in
 //!   README.md between the `<!-- orderings:begin/end -->` markers.
+//! * `cargo xtask mesh-smoke` — build `peel-server` and run the
+//!   3-process replica-mesh failover smoke test (kill the primary
+//!   mid-ingest; survivors must elect, converge, and serve reads).
+//!   Child logs land in `target/mesh-smoke/` and are kept on failure.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,8 +51,30 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("mesh-smoke") => {
+            // Build the server binary with the ambient cargo (the same
+            // toolchain that is running this xtask).
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            let status = std::process::Command::new(&cargo)
+                .args(["build", "-p", "peel-service", "--bin", "peel-server"])
+                .current_dir(&root)
+                .status();
+            if !status.map(|s| s.success()).unwrap_or(false) {
+                eprintln!("xtask mesh-smoke: building peel-server failed");
+                return ExitCode::FAILURE;
+            }
+            let bin = root.join("target").join("debug").join("peel-server");
+            match xtask::mesh_smoke::run(&root, &bin) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("xtask mesh-smoke: child logs kept in target/mesh-smoke/");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--orderings | --write-orderings]");
+            eprintln!("usage: cargo xtask lint [--orderings | --write-orderings] | mesh-smoke");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,199 @@
+//! `cargo xtask mesh-smoke` — a 3-process replica-mesh smoke test.
+//!
+//! Spawns a real primary and two follower replicas as separate
+//! `peel-server` processes wired over TCP, ingests a corpus, kills the
+//! primary mid-ingest with a hard SIGKILL, and asserts the survivors
+//! elect exactly one new leader, agree on a bumped epoch, converge
+//! cell-identically, and serve mesh reads. Every child's stdout/stderr
+//! is captured under `target/mesh-smoke/`; on failure the logs stay
+//! behind as the CI artifact (mirroring the loom schedule uploads).
+
+use std::fs::File;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use peel_service::{read_from_mesh, Client};
+
+/// How long the whole scenario may take before we call it hung. CI
+/// machines are slow; the happy path finishes in a few seconds.
+const DEADLINE: Duration = Duration::from_secs(120);
+
+/// A child process that is killed (not waited politely) on drop, so an
+/// early `?` return cannot leak servers into the CI job.
+struct Node {
+    child: Child,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Reserve an ephemeral loopback port by binding and dropping. Racy in
+/// principle; in a CI job that owns the machine it is reliable, and a
+/// lost race fails loudly at spawn time.
+fn free_addr() -> Result<SocketAddr, String> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot probe a free port: {e}"))?;
+    listener
+        .local_addr()
+        .map_err(|e| format!("cannot read probed port: {e}"))
+}
+
+fn spawn_node(
+    bin: &Path,
+    logdir: &Path,
+    name: &'static str,
+    args: &[String],
+) -> Result<Node, String> {
+    let log = File::create(logdir.join(format!("{name}.log")))
+        .map_err(|e| format!("cannot create {name}.log: {e}"))?;
+    let elog = log
+        .try_clone()
+        .map_err(|e| format!("cannot clone {name}.log handle: {e}"))?;
+    let child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::from(log))
+        .stderr(Stdio::from(elog))
+        .spawn()
+        .map_err(|e| format!("cannot spawn {name}: {e}"))?;
+    Ok(Node { child })
+}
+
+fn await_cond(what: &str, mut cond: impl FnMut() -> bool) -> Result<(), String> {
+    let end = Instant::now() + DEADLINE;
+    while !cond() {
+        if Instant::now() >= end {
+            return Err(format!("mesh-smoke: {what} never held within {DEADLINE:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Ok(())
+}
+
+/// Deterministic distinct keys (multiplicative hash of the index).
+fn keys(range: std::ops::Range<u64>, tag: u64) -> Vec<u64> {
+    range
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag)
+        .collect()
+}
+
+/// Run the scenario. `bin` is the prebuilt `peel-server`;
+/// `root` locates `target/mesh-smoke/` for the logs.
+pub fn run(root: &Path, bin: &Path) -> Result<(), String> {
+    let logdir: PathBuf = root.join("target").join("mesh-smoke");
+    std::fs::create_dir_all(&logdir).map_err(|e| format!("cannot create {logdir:?}: {e}"))?;
+
+    let (pa, a1, a2) = (free_addr()?, free_addr()?, free_addr()?);
+    let mut primary = spawn_node(
+        bin,
+        &logdir,
+        "primary",
+        &[
+            "--addr".into(),
+            pa.to_string(),
+            "--node-id".into(),
+            "0".into(),
+            "--batch-size".into(),
+            "64".into(),
+        ],
+    )?;
+    let mut c = Client::connect_retry(pa, Duration::from_secs(30))
+        .map_err(|e| format!("primary never came up: {e}"))?;
+
+    let follower_args = |addr: SocketAddr, id: u64, peer: SocketAddr| -> Vec<String> {
+        vec![
+            "--addr".into(),
+            addr.to_string(),
+            "--follow".into(),
+            pa.to_string(),
+            "--node-id".into(),
+            id.to_string(),
+            "--mesh".into(),
+            peer.to_string(),
+            "--advertise".into(),
+            addr.to_string(),
+            "--anti-entropy-ms".into(),
+            "50".into(),
+        ]
+    };
+    let _f1 = spawn_node(bin, &logdir, "follower1", &follower_args(a1, 1, a2))?;
+    let _f2 = spawn_node(bin, &logdir, "follower2", &follower_args(a2, 2, a1))?;
+    let mut c1 = Client::connect_retry(a1, Duration::from_secs(30))
+        .map_err(|e| format!("follower1 never came up: {e}"))?;
+    let mut c2 = Client::connect_retry(a2, Duration::from_secs(30))
+        .map_err(|e| format!("follower2 never came up: {e}"))?;
+
+    // Phase 1: ingest and wait for both replicas to hold the primary's
+    // exact cells.
+    let phase1 = keys(0..2_000, 0x5e5e_0000_0000_0000);
+    for chunk in phase1.chunks(250) {
+        c.insert(chunk).map_err(|e| format!("ingest failed: {e}"))?;
+    }
+    c.flush().map_err(|e| format!("flush failed: {e}"))?;
+    let shards = c.hello().map_err(|e| format!("hello failed: {e}"))?.shards;
+    await_cond("phase-1 convergence", || {
+        (0..shards).all(|s| match (c.digest(s), c1.digest(s), c2.digest(s)) {
+            (Ok((_, p)), Ok((_, d1)), Ok((_, d2))) => p == d1 && p == d2,
+            _ => false,
+        })
+    })?;
+
+    // Phase 2: kill the primary mid-ingest — a hard kill, no goodbye.
+    let killer = std::thread::spawn(move || {
+        let mut cc = match Client::connect(pa) {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        for chunk in keys(0..1_000, 0x5e5f_0000_0000_0000).chunks(50) {
+            if cc.insert(chunk).is_err() || cc.flush().is_err() {
+                break; // died under us — that is the scenario
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    primary
+        .child
+        .kill()
+        .map_err(|e| format!("cannot kill primary: {e}"))?;
+    let _ = primary.child.wait();
+    killer
+        .join()
+        .map_err(|_| "killer thread panicked".to_string())?;
+    drop(c);
+
+    // Survivors: exactly one leader, one bumped epoch, identical cells.
+    await_cond("failover election", || {
+        match (c1.replica_status(), c2.replica_status()) {
+            (Ok(s1), Ok(s2)) => {
+                u32::from(s1.leading) + u32::from(s2.leading) == 1
+                    && s1.epoch == s2.epoch
+                    && s1.epoch > 0
+            }
+            _ => false,
+        }
+    })?;
+    await_cond("survivor convergence", || {
+        (0..shards).all(|s| match (c1.digest(s), c2.digest(s)) {
+            (Ok((_, d1)), Ok((_, d2))) => d1 == d2,
+            _ => false,
+        })
+    })?;
+
+    // Reads are served by the mesh for every shard.
+    for shard in 0..shards {
+        read_from_mesh(&[a1, a2], shard, 0, Duration::from_secs(5))
+            .map_err(|e| format!("mesh read of shard {shard} failed: {e}"))?;
+    }
+
+    // Quiet success: remove the logs so only failures leave artifacts.
+    for node in ["primary", "follower1", "follower2"] {
+        let _ = std::fs::remove_file(logdir.join(format!("{node}.log")));
+    }
+    println!("mesh-smoke: survivors elected, converged, and serving reads");
+    Ok(())
+}
