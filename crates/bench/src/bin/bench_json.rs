@@ -27,10 +27,11 @@ use peel_core::{peel_parallel_in, peel_rounds_serial, ParallelOpts, PeelWorkspac
 use peel_graph::models::Gnm;
 use peel_graph::rng::Xoshiro256StarStar;
 use peel_iblt::AtomicIblt;
+use peel_service::wire::{decode_response, encode_request, read_frame, write_frame, Request};
 use peel_service::{
     apply_replication_stream, build_shard_digests, read_from_mesh, sim_duplex, stream_to_follower,
-    Client, Follower, FollowerConfig, PeelService, ReplicationHub, Server, ServiceConfig,
-    StreamConfig,
+    BlockingServer, Client, Follower, FollowerConfig, PeelService, ReactorConfig, ReplicationHub,
+    Server, ServiceConfig, StreamConfig,
 };
 use rand::RngCore;
 
@@ -269,12 +270,20 @@ fn run_failover(n: usize) -> f64 {
         failover_threshold: 2,
         peers,
         advertise: advertise.to_string(),
+        ..FollowerConfig::default()
     };
     let mut f1 = Follower::start(Arc::clone(&f1svc), primary.local_addr(), mesh(vec![a2], a1));
     let mut f2 = Follower::start(Arc::clone(&f2svc), primary.local_addr(), mesh(vec![a1], a2));
 
     let mut client =
         Client::connect_retry(primary.local_addr(), Duration::from_secs(5)).expect("connect");
+    // Both replicas must be on the stream before ingest: batches
+    // published pre-subscribe only reach a follower via anti-entropy,
+    // and an n-key divergence is far over the diff budget — losing
+    // this race turns convergence into a coin flip.
+    while client.stats().expect("stats").replication.followers < 2 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
     client.insert(&keys(n, 7)).expect("insert");
     client.flush().expect("flush");
     let deadline = Instant::now() + Duration::from_secs(120);
@@ -733,6 +742,106 @@ fn json_entry(out: &mut String, label: &str, n: usize, diff: usize, shards: u32,
     );
 }
 
+/// Connection-scalability measurement for one server shape: how many
+/// concurrent clients it holds live at once (per its own gauge), how
+/// long opening and sweeping one request across the whole herd takes,
+/// and the pipelined single-connection request throughput (the framing
+/// hot path the reactor rewrite changed).
+struct ConnMeasurement {
+    held: u64,
+    open_ms: f64,
+    sweep_ms: f64,
+    pipelined_rps: f64,
+}
+
+enum ConnServer {
+    Reactor(Server),
+    Blocking(BlockingServer),
+}
+
+fn run_connections(target: usize, use_reactor: bool, pipeline: usize) -> ConnMeasurement {
+    use std::io::{BufWriter, Write as _};
+    use std::net::TcpStream;
+
+    let scfg = cfg(1, 256);
+    let mut server = if use_reactor {
+        let svc = Arc::new(PeelService::start(scfg));
+        let rcfg = ReactorConfig {
+            max_connections: target + 64,
+            ..ReactorConfig::default()
+        };
+        ConnServer::Reactor(Server::bind_with_cfg("127.0.0.1:0", svc, rcfg).expect("bind reactor"))
+    } else {
+        ConnServer::Blocking(BlockingServer::bind("127.0.0.1:0", scfg).expect("bind blocking"))
+    };
+    let addr = match &server {
+        ConnServer::Reactor(s) => s.local_addr(),
+        ConnServer::Blocking(s) => s.local_addr(),
+    };
+    let mut probe = Client::connect_retry(addr, Duration::from_secs(5)).expect("probe connect");
+    probe.hello().expect("probe hello");
+
+    // Open the herd, then verify every connection answers one request
+    // (all requests written before any response is read, so the server
+    // really serves the whole herd concurrently).
+    let hello = encode_request(&Request::Hello);
+    let t = Instant::now();
+    let mut herd: Vec<TcpStream> = Vec::with_capacity(target);
+    for i in 0..target {
+        let s = TcpStream::connect(addr).unwrap_or_else(|e| panic!("conn {i}/{target}: {e}"));
+        let _ = s.set_nodelay(true);
+        herd.push(s);
+    }
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    for s in &mut herd {
+        write_frame(s, &hello).expect("herd write");
+    }
+    for (i, s) in herd.iter_mut().enumerate() {
+        let payload = read_frame(s)
+            .expect("herd read")
+            .unwrap_or_else(|| panic!("conn {i} closed during the sweep"));
+        decode_response(&payload).expect("herd decode");
+    }
+    let sweep_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Live gauge with the whole herd (plus the probe) still attached.
+    let held = probe.stats().expect("stats").connections.live;
+
+    // Pipelined single-connection throughput, best of 3 rounds (the
+    // herd stays connected, as it would in production).
+    let mut best_rps = 0.0f64;
+    for _ in 0..3 {
+        let mut s = TcpStream::connect(addr).expect("pipeline conn");
+        let _ = s.set_nodelay(true);
+        let mut w = BufWriter::new(s.try_clone().expect("pipeline clone"));
+        let t = Instant::now();
+        for _ in 0..pipeline {
+            write_frame(&mut w, &hello).expect("pipeline write");
+        }
+        w.flush().expect("pipeline flush");
+        for k in 0..pipeline {
+            read_frame(&mut s)
+                .expect("pipeline read")
+                .unwrap_or_else(|| panic!("pipeline conn closed at response {k}"));
+        }
+        best_rps = best_rps.max(pipeline as f64 / t.elapsed().as_secs_f64());
+    }
+
+    drop(herd);
+    match &mut server {
+        ConnServer::Reactor(s) => s.shutdown(),
+        ConnServer::Blocking(s) => s.shutdown(),
+    }
+    ConnMeasurement {
+        held,
+        open_ms,
+        sweep_ms,
+        pipelined_rps: best_rps,
+    }
+}
+
 fn main() {
     let args = Args::parse();
     if args.flag("help") {
@@ -885,6 +994,49 @@ fn main() {
              \"kill_to_first_read_ms\": {elect_ms:.3}}}",
         );
         println!("failover 3-node n={fn_keys}: kill -> first served read {elect_ms:>8.1} ms");
+        // Connection scalability: the same herd-plus-pipeline scenario
+        // against the thread-per-connection server (contrast row) and
+        // the reactor. The reactor must hold the whole herd live at
+        // once and pipeline a single connection at least as fast as
+        // the blocking server — the two claims of this PR.
+        let herd = if smoke { 256 } else { 1024 };
+        let pipeline = if smoke { 1_000 } else { 4_000 };
+        let mut blocking_rps = 0.0;
+        for (label, use_reactor) in [("blocking", false), ("reactor", true)] {
+            let m = run_connections(herd, use_reactor, pipeline);
+            if use_reactor {
+                assert!(
+                    (m.held as usize) >= herd,
+                    "reactor held only {} of {herd} concurrent connections",
+                    m.held
+                );
+                if m.pipelined_rps < blocking_rps {
+                    let msg = format!(
+                        "reactor pipelined throughput ({:.0} req/s) below the blocking \
+                         server's ({blocking_rps:.0} req/s)",
+                        m.pipelined_rps
+                    );
+                    assert!(smoke, "{msg}");
+                    eprintln!("WARNING: {msg}");
+                }
+            } else {
+                blocking_rps = m.pipelined_rps;
+            }
+            body.push_str(",\n");
+            let _ = write!(
+                body,
+                "    {{\"path\": \"connections\", \"server\": \"{label}\", \
+                 \"concurrent\": {herd}, \"held_live\": {}, \"open_ms\": {:.3}, \
+                 \"sweep_ms\": {:.3}, \"pipelined_reqs\": {pipeline}, \
+                 \"pipelined_req_per_sec\": {:.0}}}",
+                m.held, m.open_ms, m.sweep_ms, m.pipelined_rps,
+            );
+            println!(
+                "conns {label:>8}: {herd} concurrent ({} live on gauge), open {:>7.1} ms, \
+                 sweep {:>7.1} ms, pipelined {:>9.0} req/s",
+                m.held, m.open_ms, m.sweep_ms, m.pipelined_rps,
+            );
+        }
     }
     body.push_str("\n  ],\n  \"peel\": {\n    \"engines\": [\n");
 

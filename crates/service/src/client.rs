@@ -94,10 +94,31 @@ impl Client {
 
     /// Connect with a bounded TCP connect timeout — the mesh building
     /// block: election probes and read routing must not hang on a dead
-    /// peer for the OS default.
+    /// peer for the OS default. The same bound is installed as the
+    /// socket read/write deadline, so a peer that *accepts* and then
+    /// wedges (half-dead process, black-holed network) cannot hang the
+    /// caller either; such calls fail with [`WireError::TimedOut`].
     pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client, WireError> {
         let stream = TcpStream::connect_timeout(addr, timeout).map_err(WireError::Io)?;
-        Self::from_stream(stream)
+        let mut client = Self::from_stream(stream)?;
+        client.set_io_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Bound every subsequent socket read and write on this connection
+    /// (`None` restores blocking-forever). An expired deadline surfaces
+    /// as [`WireError::TimedOut`]; the connection is not usable
+    /// afterwards (a frame may be half-sent or half-read).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), WireError> {
+        // Reader and writer are clones of one socket, so the options
+        // land on the shared descriptor; set both directions.
+        self.reader
+            .set_read_timeout(timeout)
+            .map_err(WireError::Io)?;
+        self.reader
+            .set_write_timeout(timeout)
+            .map_err(WireError::Io)?;
+        Ok(())
     }
 
     fn from_stream(stream: TcpStream) -> Result<Client, WireError> {

@@ -89,6 +89,13 @@ pub struct FollowerConfig {
     /// the redirect target in `ReadStale` responses if this node wins an
     /// election. Empty disables the hint.
     pub advertise: String,
+    /// Socket read/write deadline for anti-entropy and repair
+    /// connections to the primary, so a half-dead peer (accepts, never
+    /// answers) fails the round as [`ServiceError::PeerTimedOut`]
+    /// instead of hanging the repair loop forever. Does not apply to
+    /// the replication stream, which legitimately idles between
+    /// batches. `None` disables the deadline.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for FollowerConfig {
@@ -100,6 +107,7 @@ impl Default for FollowerConfig {
             peers: Vec::new(),
             failover_threshold: 3,
             advertise: String::new(),
+            io_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -474,7 +482,7 @@ fn repair_loop(
         }
         if conn.is_none() {
             match Client::connect(parent) {
-                Ok(mut c) => match c.hello() {
+                Ok(mut c) => match c.set_io_timeout(cfg.io_timeout).and_then(|()| c.hello()) {
                     // Same refusal as the stream loop: repairs computed
                     // against an incompatible sharding would insert
                     // garbage forever instead of converging.
@@ -520,7 +528,8 @@ fn repair_loop(
                 adopt_skip = 0;
                 svc.fence_epoch(h.epoch);
             }
-            Err(_) => {
+            Err(e) => {
+                log_peer_timeout("anti-entropy handshake", &e);
                 signal.register(SLOT_REPAIR, None);
                 continue;
             }
@@ -548,11 +557,24 @@ fn repair_loop(
                 }
                 conn = Some((addr, client));
             }
-            Err(_) => {
+            Err(e) => {
                 // Drop the connection; next tick reconnects.
+                log_peer_timeout("anti-entropy round", &e);
                 signal.register(SLOT_REPAIR, None);
             }
         }
+    }
+}
+
+/// Surface a socket-deadline expiry as its service-level meaning — a
+/// half-dead peer — rather than a generic transport error. Other
+/// errors stay quiet here; the repair loop retries them next tick.
+fn log_peer_timeout(what: &str, e: &WireError) {
+    if matches!(e, WireError::TimedOut) {
+        eprintln!(
+            "follower: {what}: {}",
+            crate::service::ServiceError::PeerTimedOut
+        );
     }
 }
 

@@ -101,6 +101,7 @@ mod lock;
 pub mod metrics;
 pub mod prom;
 pub mod queue;
+pub mod reactor;
 pub mod recorder;
 pub mod replication;
 pub mod router;
@@ -121,13 +122,14 @@ pub use metrics::{
     AtomicHistogram, FollowerStats, HistogramSnapshot, Metrics, MetricsSnapshot, ReplicationStats,
     ReshardStats, ShardStats,
 };
+pub use reactor::ReactorConfig;
 pub use recorder::{FlightRecord, FlightRecorder};
 pub use replication::{
     apply_replication_stream, stream_to_follower, ReplicationHub, StreamConfig, StreamEnd,
     StreamItem, Subscription,
 };
 pub use router::{build_shard_digests, shard_iblt_config, GenerationRouter, ShardRouter};
-pub use server::{handle_request, Server};
+pub use server::{handle_request, BlockingServer, Server};
 pub use service::{PeelService, ServiceConfig, ServiceError, MAX_RESHARD_SHARDS};
 pub use transport::{
     sim_duplex, FaultPlan, FramedTcp, RecvOutcome, SimDuplex, SimTransport, Transport,

@@ -265,6 +265,20 @@ pub struct Metrics {
     pub reshards_completed: AtomicU64,
     /// Reshards aborted (migration dropped, old generation kept).
     pub reshards_aborted: AtomicU64,
+    /// Currently open client connections (gauge; incremented at accept,
+    /// decremented at close).
+    pub conns_live: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub conns_accepted: AtomicU64,
+    /// Connections refused because the connection cap was reached (the
+    /// peer gets a protocol `Error` response, then a close).
+    pub conns_refused: AtomicU64,
+    /// Idle connections reaped by the server's idle-timeout sweep.
+    pub conns_idle_reaped: AtomicU64,
+    /// `accept(2)` failures (`EMFILE`/`ENFILE`, aborts, resets…). Each
+    /// failure backs the accept loop off with a bounded delay instead of
+    /// spinning hot.
+    pub accept_errors: AtomicU64,
     /// Request handling latency (ns), one histogram per frame class
     /// (indexed by `REQUEST_CLASSES`). Recorded around the server's
     /// dispatch, so it covers decode-to-encode, not socket time.
@@ -364,8 +378,30 @@ impl Metrics {
             queue_wait: self.queue_wait.snapshot(),
             batch_apply: self.batch_apply.snapshot(),
             recovery_latency: self.recovery_latency.snapshot(),
+            connections: ConnectionStats {
+                live: self.conns_live.load(Relaxed),
+                accepted: self.conns_accepted.load(Relaxed),
+                refused: self.conns_refused.load(Relaxed),
+                idle_reaped: self.conns_idle_reaped.load(Relaxed),
+                accept_errors: self.accept_errors.load(Relaxed),
+            },
         }
     }
+}
+
+/// Server front-door state at snapshot time (protocol v7 block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Currently open client connections.
+    pub live: u64,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections refused at the connection cap.
+    pub refused: u64,
+    /// Idle connections reaped by the timeout sweep.
+    pub idle_reaped: u64,
+    /// `accept(2)` failures, each absorbed by bounded backoff.
+    pub accept_errors: u64,
 }
 
 /// Reshard state at snapshot time: the live migration gauges (phase,
@@ -509,6 +545,8 @@ pub struct MetricsSnapshot {
     pub batch_apply: HistogramSnapshot,
     /// Per-recovery wall-time distribution (ns).
     pub recovery_latency: HistogramSnapshot,
+    /// Server connection counters (protocol v7).
+    pub connections: ConnectionStats,
 }
 
 impl MetricsSnapshot {

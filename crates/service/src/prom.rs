@@ -253,6 +253,31 @@ pub const REGISTRY: &[(&str, &str, &str)] = &[
         "gauge",
         "Recovery-latency quantile readout (labelled by q)",
     ),
+    (
+        "peel_connections_live",
+        "gauge",
+        "Client connections currently open on the server",
+    ),
+    (
+        "peel_connections_accepted_total",
+        "counter",
+        "Client connections accepted since start",
+    ),
+    (
+        "peel_connections_refused_total",
+        "counter",
+        "Connections refused at the connection cap",
+    ),
+    (
+        "peel_connections_idle_reaped_total",
+        "counter",
+        "Connections closed by the idle-timeout reaper",
+    ),
+    (
+        "peel_accept_errors_total",
+        "counter",
+        "Persistent accept() failures (EMFILE and friends) that triggered backoff",
+    ),
 ];
 
 /// The quantiles rendered for each histogram's `_quantile` companion.
@@ -319,6 +344,17 @@ pub fn render(s: &MetricsSnapshot) -> String {
         s.recovery_subrounds,
     );
     scalar(&mut out, "peel_recovery_ns_total", s.recovery_ns);
+
+    let c = &s.connections;
+    scalar(&mut out, "peel_connections_live", c.live);
+    scalar(&mut out, "peel_connections_accepted_total", c.accepted);
+    scalar(&mut out, "peel_connections_refused_total", c.refused);
+    scalar(
+        &mut out,
+        "peel_connections_idle_reaped_total",
+        c.idle_reaped,
+    );
+    scalar(&mut out, "peel_accept_errors_total", c.accept_errors);
 
     for (name, pick) in [
         ("peel_shard_epoch", 0usize),

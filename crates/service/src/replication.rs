@@ -51,7 +51,7 @@ use std::collections::VecDeque;
 // staleness. Checked by the loom models in tests/loom_replication.rs.
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::sync::{AtomicBool, AtomicU64, Condvar, Mutex};
 
@@ -136,6 +136,11 @@ struct HubShared {
     dead: Mutex<VecDeque<FollowerStats>>,
     closed: AtomicBool,
     capacity: usize,
+    /// Wake callbacks fired after items are offered, the hub closes, or
+    /// the epoch bumps — how a readiness loop hosting [`WindowedSender`]s
+    /// learns there is stream work without blocking in
+    /// [`Subscription::recv`]. Fired outside the subs lock.
+    notifiers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 /// The fan-out point between the ingest pipeline and follower
@@ -164,7 +169,23 @@ impl ReplicationHub {
                 dead: Mutex::new(VecDeque::new()),
                 closed: AtomicBool::new(false),
                 capacity,
+                notifiers: Mutex::new(Vec::new()),
             }),
+        }
+    }
+
+    /// Register a callback fired after stream items are offered, the hub
+    /// closes, or the epoch bumps. The reactor server installs its poller
+    /// waker here so `Replicate` frames flow without a blocked sender
+    /// thread per follower. Callbacks must be cheap and non-blocking;
+    /// they run on the publishing thread.
+    pub fn add_notifier(&self, f: Arc<dyn Fn() + Send + Sync>) {
+        plock(&self.shared.notifiers).push(f);
+    }
+
+    fn notify(&self) {
+        for f in plock(&self.shared.notifiers).iter() {
+            f();
         }
     }
 
@@ -202,6 +223,8 @@ impl ReplicationHub {
         for sub in subs.iter() {
             self.offer(sub, StreamItem::Batch(seq, Arc::clone(&shared_batch)));
         }
+        drop(subs);
+        self.notify();
         seq
     }
 
@@ -219,6 +242,8 @@ impl ReplicationHub {
         for sub in subs.iter() {
             self.offer(sub, StreamItem::Generation { generation, shards });
         }
+        drop(subs);
+        self.notify();
     }
 
     /// Attach a follower. The subscription sees batches published from
@@ -272,6 +297,8 @@ impl ReplicationHub {
                 sub.ready.notify_all();
             }
         }
+        drop(subs);
+        self.notify();
         new
     }
 
@@ -288,6 +315,7 @@ impl ReplicationHub {
             plock(&sub.state).closed = true;
             sub.ready.notify_all();
         }
+        self.notify();
     }
 
     /// Live follower subscriptions.
@@ -567,6 +595,155 @@ pub fn stream_to_follower<T: Transport>(
                 }
             }
         }
+    }
+}
+
+/// What feeding one incoming frame to a [`WindowedSender`] concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderFrame {
+    /// A valid cumulative ack; keep streaming.
+    Continue,
+    /// The ack carried an epoch above ours: this primary has been
+    /// deposed. The caller should adopt the fence and close the stream.
+    Fenced(u64),
+    /// The frame was not a `ReplicateAck` — a protocol violation; drop
+    /// the follower (it will reconnect).
+    Protocol,
+}
+
+/// The primary-side windowed sender as a poll-driven state machine — the
+/// exact semantics of [`stream_to_follower`] (cumulative acks, window
+/// retransmit on ack timeout, epoch fencing, generation pass-through)
+/// with the blocking waits factored out, so a single-threaded readiness
+/// loop can host one per subscribed connection:
+///
+/// - [`WindowedSender::pump`] drains whatever the subscription has
+///   queued (never blocks) and emits encoded frames;
+/// - [`WindowedSender::on_frame`] consumes an incoming ack;
+/// - [`WindowedSender::deadline`] exposes the retransmit timer for the
+///   loop's poll timeout, and [`WindowedSender::on_deadline`] fires it.
+///
+/// The loop learns about freshly published batches through
+/// [`ReplicationHub::add_notifier`] (typically a poller waker).
+pub struct WindowedSender {
+    sub: Subscription,
+    resume_after: u64,
+    cfg: StreamConfig,
+    inflight: VecDeque<(u64, Vec<u8>)>,
+    retries: u32,
+    deadline: Option<Instant>,
+}
+
+impl WindowedSender {
+    /// Wrap a subscription. Batches at or below `resume_after` are
+    /// skipped — the follower already has them.
+    pub fn new(sub: Subscription, resume_after: u64, cfg: StreamConfig) -> Self {
+        let cfg = StreamConfig {
+            window: cfg.window.max(1),
+            ..cfg
+        };
+        WindowedSender {
+            sub,
+            resume_after,
+            cfg,
+            inflight: VecDeque::new(),
+            retries: 0,
+            deadline: None,
+        }
+    }
+
+    /// The underlying subscription (stats/identity).
+    pub fn subscription(&self) -> &Subscription {
+        &self.sub
+    }
+
+    /// Drain queued stream items into encoded frames (up to the window),
+    /// without blocking. Returns `false` once the stream is finished —
+    /// the subscription is closed (hub shutdown or epoch fence), its
+    /// queue is drained, and nothing is left in flight — at which point
+    /// the caller should flush and close the connection.
+    pub fn pump(&mut self, now: Instant, emit: &mut dyn FnMut(&[u8])) -> bool {
+        let mut drained = false;
+        while self.inflight.len() < self.cfg.window {
+            match self.sub.try_recv() {
+                Some(StreamItem::Batch(seq, ops)) => {
+                    if seq <= self.resume_after {
+                        continue;
+                    }
+                    let frame = encode_replicate(self.sub.hub_epoch(), seq, &ops);
+                    emit(&frame);
+                    self.sub.hub.streamed.fetch_add(1, Relaxed);
+                    self.inflight.push_back((seq, frame));
+                    if self.deadline.is_none() {
+                        self.deadline = Some(now + self.cfg.ack_timeout);
+                    }
+                }
+                Some(StreamItem::Generation { generation, shards }) => {
+                    // Forwarded immediately, never retransmitted (lost
+                    // notices are healed by anti-entropy adoption).
+                    emit(&encode_response(&Response::GenerationChange {
+                        epoch: self.sub.hub_epoch(),
+                        generation,
+                        shards,
+                    }));
+                }
+                None => {
+                    drained = true;
+                    break;
+                }
+            }
+        }
+        !(drained && self.inflight.is_empty() && self.sub.is_closed())
+    }
+
+    /// Consume one frame read from the subscribed connection (must be a
+    /// cumulative `ReplicateAck`).
+    pub fn on_frame(&mut self, payload: &[u8], now: Instant) -> SenderFrame {
+        match decode_request(payload) {
+            Ok(Request::ReplicateAck { epoch, seq }) => {
+                if epoch > self.sub.hub_epoch() {
+                    return SenderFrame::Fenced(epoch);
+                }
+                self.sub.ack(seq);
+                while self.inflight.front().is_some_and(|&(s, _)| s <= seq) {
+                    self.inflight.pop_front();
+                }
+                self.retries = 0;
+                self.deadline = if self.inflight.is_empty() {
+                    None
+                } else {
+                    Some(now + self.cfg.ack_timeout)
+                };
+                SenderFrame::Continue
+            }
+            _ => SenderFrame::Protocol,
+        }
+    }
+
+    /// When the retransmit timer fires (None while nothing is in
+    /// flight). Feed into the readiness loop's poll timeout.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Fire the retransmit timer if it has expired: re-emit the whole
+    /// in-flight window in order (the follower's sequence dedup makes
+    /// duplicates harmless). Returns `false` once the consecutive-retry
+    /// budget is spent — the follower is presumed dead; drop it.
+    pub fn on_deadline(&mut self, now: Instant, emit: &mut dyn FnMut(&[u8])) -> bool {
+        let Some(at) = self.deadline else { return true };
+        if now < at {
+            return true;
+        }
+        self.retries += 1;
+        if self.retries > self.cfg.max_retries {
+            return false;
+        }
+        for (_, frame) in &self.inflight {
+            emit(frame);
+        }
+        self.deadline = Some(now + self.cfg.ack_timeout);
+        true
     }
 }
 

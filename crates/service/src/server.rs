@@ -1,14 +1,25 @@
-//! Blocking TCP server over `std::net` (no async runtime — crates.io is
+//! TCP servers over `std::net` (no async runtime — crates.io is
 //! unavailable; see ROADMAP for the tokio follow-on).
 //!
-//! One accept thread plus one handler thread per connection. Handlers
-//! translate wire [`Request`]s into [`PeelService`] calls; every
+//! Two implementations share one dispatch ([`handle_request`]):
+//!
+//! - [`Server`] — the default: a single-threaded readiness loop (see
+//!   [`crate::reactor`]) multiplexing every connection over the
+//!   vendored mio-style poller. Connections are capped, requests
+//!   pipeline, idle sockets are reaped, and `shutdown()` wakes the
+//!   loop through the poller's waker, so it returns promptly even when
+//!   no connection ever arrives.
+//! - [`BlockingServer`] — the original one-thread-per-connection
+//!   design, retained for A/B benchmarking (`peel-server --blocking`)
+//!   and as the simplest possible reference implementation. Its accept
+//!   loop backs off on persistent accept errors instead of spinning.
+//!
+//! Both translate wire [`Request`]s into [`PeelService`] calls; every
 //! service-level failure becomes a protocol `Error` response, never a
 //! dropped connection. A `Subscribe` request converts its connection
-//! into a replication stream: the handler thread becomes that
-//! follower's sender, pushing `Replicate` frames and reading acks until
-//! the follower disconnects or the server stops. A `Shutdown` request
-//! stops the accept loop, closes the open connections, and unblocks
+//! into a replication stream (reactor: a [`crate::replication::WindowedSender`]
+//! pumped by the loop; blocking: the handler thread becomes the
+//! sender). A `Shutdown` request stops the server and unblocks
 //! [`Server::wait`].
 //!
 //! Shutdown paths use poison-tolerant locking (`parking_lot` for plain
@@ -20,59 +31,82 @@ use std::io::BufWriter;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 // ordering: the stopping flag is Relaxed — it publishes no data of its own
 // (the stop_lock mutex write in signal_stop carries the wait()/shutdown
-// happens-before), and its only reader, the accept loop, re-checks on every
-// connection, so a stale read costs one extra accepted connection, not
+// happens-before), and its readers (the accept/reactor loops) re-check on
+// every wakeup, so a stale read costs one extra accepted connection, not
 // correctness. It was SeqCst before the PR-6 ordering audit; nothing needed
-// the total order.
+// the total order. Connection counters are Relaxed monotonic statistics.
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::sync::{AtomicBool, Condvar, Mutex as StdMutex};
 
 use crate::lock::{plock, pwait};
+use crate::reactor::{self, AcceptPacer, ReactorConfig};
 use crate::replication::{stream_to_follower, StreamConfig, StreamEnd};
 use crate::service::{PeelService, ServiceConfig};
 use crate::transport::FramedTcp;
 use crate::wire::{decode_request, encode_response, read_frame, write_frame, Request, Response};
 
-struct Shared {
-    service: Arc<PeelService>,
-    stopping: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) service: Arc<PeelService>,
+    pub(crate) stopping: AtomicBool,
     // The stop flag + condvar stay on std primitives (the parking_lot
     // shim has no condvar); waits recover from poisoning via
     // `crate::lock`.
-    stop_lock: StdMutex<bool>,
-    stop_cv: Condvar,
+    pub(crate) stop_lock: StdMutex<bool>,
+    pub(crate) stop_cv: Condvar,
     /// One stream clone per *live* connection (keyed by connection id;
     /// handlers remove their entry on exit so closed sockets don't leak
     /// fds), so shutdown can unblock handler threads parked in
-    /// `read_frame`.
-    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// `read_frame`. Used by [`BlockingServer`] only; the reactor owns
+    /// its connections directly.
+    pub(crate) conns: Mutex<HashMap<u64, TcpStream>>,
+    /// The reactor's waker, when this `Shared` fronts a reactor server:
+    /// `signal_stop` rings it so the loop observes `stopping` without
+    /// waiting for socket traffic — the fix for the shutdown stall.
+    pub(crate) waker: Mutex<Option<Arc<mio::Waker>>>,
 }
 
 impl Shared {
-    fn signal_stop(&self) {
+    fn new(service: Arc<PeelService>) -> Shared {
+        Shared {
+            service,
+            stopping: AtomicBool::new(false),
+            stop_lock: StdMutex::new(false),
+            stop_cv: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            waker: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn signal_stop(&self) {
         self.stopping.store(true, Relaxed);
         *plock(&self.stop_lock) = true;
         self.stop_cv.notify_all();
         // Wake replication senders parked on their subscriptions before
         // tearing the sockets down under them.
         self.service.replication().close();
+        // Ring the reactor so it sees `stopping` promptly even with no
+        // inbound traffic.
+        if let Some(w) = self.waker.lock().as_ref() {
+            let _ = w.wake();
+        }
         for (_, c) in self.conns.lock().drain() {
             let _ = c.shutdown(SockShutdown::Both);
         }
     }
 }
 
-/// A listening reconciliation server.
+/// A listening reconciliation server backed by the readiness loop in
+/// [`crate::reactor`]: every connection is served from one thread.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -89,26 +123,39 @@ impl Server {
         addr: A,
         service: Arc<PeelService>,
     ) -> std::io::Result<Server> {
+        Self::bind_with_cfg(addr, service, ReactorConfig::default())
+    }
+
+    /// [`Server::bind_with`] plus reactor tuning (connection cap, idle
+    /// timeout, accept backoff, write highwater).
+    pub fn bind_with_cfg<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<PeelService>,
+        rcfg: ReactorConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            service,
-            stopping: AtomicBool::new(false),
-            stop_lock: StdMutex::new(false),
-            stop_cv: Condvar::new(),
-            conns: Mutex::new(HashMap::new()),
-        });
-        let handlers = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
+        let poll = mio::Poll::new()?;
+        // Waker before thread spawn: a shutdown() issued before the
+        // loop is ever scheduled must still wake it.
+        let waker = Arc::new(mio::Waker::new(poll.registry(), reactor::WAKER)?);
+        let shared = Arc::new(Shared::new(service));
+        *shared.waker.lock() = Some(Arc::clone(&waker));
+        // New replication batches ring the same waker, so the loop
+        // pumps followers without a sender thread each.
+        let notify = Arc::clone(&waker);
+        shared.service.replication().add_notifier(Arc::new(move || {
+            let _ = notify.wake();
+        }));
+        let reactor_thread = {
             let shared = Arc::clone(&shared);
-            let handlers = Arc::clone(&handlers);
-            std::thread::spawn(move || accept_loop(&listener, &shared, &handlers))
+            std::thread::spawn(move || reactor::run(listener, shared, poll, rcfg))
         };
         Ok(Server {
             shared,
             addr,
-            accept_thread: Some(accept_thread),
-            handlers,
+            reactor_thread: Some(reactor_thread),
         })
     }
 
@@ -128,10 +175,14 @@ impl Server {
         Arc::clone(&self.shared.service)
     }
 
-    /// Number of currently live client connections (closed connections
-    /// are removed by their handler on exit).
+    /// Number of currently live client connections (the
+    /// `peel_connections_live` gauge).
     pub fn live_connections(&self) -> usize {
-        self.shared.conns.lock().len()
+        self.shared
+            .service
+            .metrics_handle()
+            .conns_live
+            .load(Relaxed) as usize
     }
 
     /// Block until a client sends `Shutdown` (or [`Server::shutdown`] is
@@ -143,12 +194,99 @@ impl Server {
         }
     }
 
-    /// Stop accepting, close open connections, join all threads, and shut
-    /// the service down (flushing pending batches). Idempotent, and
-    /// tolerant of locks poisoned by panicking handler threads.
+    /// Stop accepting, flush-and-close open connections, join the loop
+    /// thread, and shut the service down (flushing pending batches).
+    /// Idempotent, tolerant of poisoned locks, and prompt: the waker
+    /// interrupts the loop's poll, so no inbound connection is needed.
     pub fn shutdown(&mut self) {
         self.shared.signal_stop();
-        // Unblock the accept loop with a throwaway connection.
+        if let Some(t) = self.reactor_thread.take() {
+            let _ = t.join();
+        }
+        self.shared.service.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The original one-thread-per-connection server: one accept thread
+/// plus one handler thread per connection. Retained for A/B
+/// benchmarking against the reactor and as the reference
+/// implementation; new deployments should prefer [`Server`].
+pub struct BlockingServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl BlockingServer {
+    /// Bind `addr`, start the service worker pool, and begin accepting.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServiceConfig) -> std::io::Result<BlockingServer> {
+        Self::bind_with(addr, Arc::new(PeelService::start(cfg)))
+    }
+
+    /// Serve an existing service.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<PeelService>,
+    ) -> std::io::Result<BlockingServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::new(service));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &handlers))
+        };
+        Ok(BlockingServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &PeelService {
+        &self.shared.service
+    }
+
+    /// A shareable handle to the underlying service.
+    pub fn service_arc(&self) -> Arc<PeelService> {
+        Arc::clone(&self.shared.service)
+    }
+
+    /// Number of currently live client connections.
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
+    /// Block until a client sends `Shutdown` or [`BlockingServer::shutdown`]
+    /// runs.
+    pub fn wait(&self) {
+        let mut stopped = plock(&self.shared.stop_lock);
+        while !*stopped {
+            stopped = pwait(&self.shared.stop_cv, stopped);
+        }
+    }
+
+    /// Stop accepting, close open connections, join all threads, and
+    /// shut the service down. Idempotent and poison-tolerant.
+    pub fn shutdown(&mut self) {
+        self.shared.signal_stop();
+        // Unblock the accept loop with a throwaway connection (the
+        // blocking listener has no waker; the reactor server does).
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -161,7 +299,7 @@ impl Server {
     }
 }
 
-impl Drop for Server {
+impl Drop for BlockingServer {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -173,17 +311,61 @@ fn accept_loop(
     handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     let mut next_id = 0u64;
-    for stream in listener.incoming() {
+    let mut pacer = AcceptPacer::new(Duration::from_millis(10), Duration::from_secs(1));
+    loop {
+        let stream = listener.accept();
         if shared.stopping.load(Relaxed) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok((s, _peer)) => {
+                pacer.on_success();
+                s
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Transient, per-connection: not an accept-path
+                // failure.
+                continue;
+            }
+            Err(_) => {
+                // Persistent accept failure (EMFILE/ENFILE and
+                // friends): back off instead of spinning hot — the old
+                // silent `continue` here retried instantly, pinning a
+                // core exactly when the process was already in
+                // trouble. Sleep in stop-aware slices so shutdown
+                // stays prompt during the backoff.
+                shared
+                    .service
+                    .metrics_handle()
+                    .accept_errors
+                    .fetch_add(1, Relaxed);
+                let deadline = Instant::now() + pacer.on_error(Instant::now());
+                while !shared.stopping.load(Relaxed) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(Duration::from_millis(10)));
+                }
+                continue;
+            }
+        };
         // The replication stream is ack-paced frame-by-frame; without
         // nodelay, Nagle + delayed ACKs turn every batch into a ~40 ms
         // stall.
         let _ = stream.set_nodelay(true);
         let conn_id = next_id;
         next_id += 1;
+        let metrics = shared.service.metrics_handle();
+        metrics.conns_accepted.fetch_add(1, Relaxed);
+        metrics.conns_live.fetch_add(1, Relaxed);
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().insert(conn_id, clone);
         }
@@ -191,6 +373,11 @@ fn accept_loop(
         let handle = std::thread::spawn(move || {
             handle_connection(stream, &shared_for_handler);
             shared_for_handler.conns.lock().remove(&conn_id);
+            shared_for_handler
+                .service
+                .metrics_handle()
+                .conns_live
+                .fetch_sub(1, Relaxed);
         });
         // Reap finished handlers so a long-running server doesn't grow a
         // JoinHandle per past connection.

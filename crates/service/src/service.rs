@@ -220,6 +220,12 @@ pub enum ServiceError {
         /// The mismatched new-generation shard.
         shard: u32,
     },
+    /// A mesh peer accepted a connection but did not answer within the
+    /// configured socket deadline (election probe, anti-entropy repair,
+    /// or converged-read hop). Distinct from a refused/dead peer: the
+    /// peer is half-alive, and the caller should treat it as down
+    /// rather than wait. Mapped from [`crate::wire::WireError::TimedOut`].
+    PeerTimedOut,
 }
 
 impl fmt::Display for ServiceError {
@@ -250,6 +256,9 @@ impl fmt::Display for ServiceError {
                 f,
                 "new-generation shard {shard} is not yet cell-identical to its projection"
             ),
+            ServiceError::PeerTimedOut => {
+                write!(f, "peer did not answer within the socket deadline")
+            }
         }
     }
 }

@@ -20,7 +20,7 @@ use std::io::{BufWriter, Read};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use crate::wire::{write_frame, WireError, MAX_FRAME};
+use crate::wire::{write_frame, FrameDecoder, WireError};
 
 /// What a bounded-wait receive ([`Transport::recv_timeout`]) produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +62,7 @@ pub trait Transport {
 pub struct FramedTcp {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
-    rxbuf: Vec<u8>,
+    decoder: FrameDecoder,
 }
 
 impl FramedTcp {
@@ -72,7 +72,7 @@ impl FramedTcp {
         FramedTcp {
             reader,
             writer,
-            rxbuf: Vec::new(),
+            decoder: FrameDecoder::new(),
         }
     }
 
@@ -82,7 +82,7 @@ impl FramedTcp {
         Ok(FramedTcp {
             reader,
             writer: BufWriter::new(stream),
-            rxbuf: Vec::new(),
+            decoder: FrameDecoder::new(),
         })
     }
 
@@ -92,42 +92,24 @@ impl FramedTcp {
         self.reader.try_clone()
     }
 
-    /// Pop one complete frame from the reassembly buffer, if present.
-    fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
-        let Some(len_bytes) = self.rxbuf.get(..4) else {
-            return Ok(None);
-        };
-        let mut len_buf = [0u8; 4];
-        len_buf.copy_from_slice(len_bytes);
-        let len = u32::from_le_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(WireError::FrameTooLarge(len as u64));
-        }
-        if self.rxbuf.len() < 4 + len {
-            return Ok(None);
-        }
-        let payload = self.rxbuf.get(4..4 + len).unwrap_or(&[]).to_vec();
-        self.rxbuf.drain(..4 + len);
-        Ok(Some(payload))
-    }
-
     /// Read from the socket until a whole frame is buffered, the peer
     /// closes, or (when the socket has a read timeout set) the wait
-    /// expires.
+    /// expires. Reassembly lives in [`FrameDecoder`] — the same
+    /// incremental decoder the reactor server runs per connection.
     fn fill_until_frame(&mut self) -> Result<RecvOutcome, WireError> {
         loop {
-            if let Some(payload) = self.pop_frame()? {
+            if let Some(payload) = self.decoder.next_frame()? {
                 return Ok(RecvOutcome::Frame(payload));
             }
             let mut chunk = [0u8; 4096];
             match self.reader.read(&mut chunk) {
                 Ok(0) => {
-                    if self.rxbuf.is_empty() {
+                    if self.decoder.is_empty() {
                         return Ok(RecvOutcome::Closed);
                     }
                     return Err(WireError::UnexpectedEof);
                 }
-                Ok(n) => self.rxbuf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+                Ok(n) => self.decoder.push(chunk.get(..n).unwrap_or(&[])),
                 Err(e)
                     if matches!(
                         e.kind(),

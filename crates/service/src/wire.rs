@@ -18,8 +18,8 @@ use std::io::{self, Read, Write};
 use peel_iblt::{Cell, Iblt, IbltConfig};
 
 use crate::metrics::{
-    FollowerStats, HistogramSnapshot, MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats,
-    HISTOGRAM_BUCKETS, REQUEST_CLASSES,
+    ConnectionStats, FollowerStats, HistogramSnapshot, MetricsSnapshot, ReplicationStats,
+    ReshardStats, ShardStats, HISTOGRAM_BUCKETS, REQUEST_CLASSES,
 };
 use crate::queue::Op;
 use crate::recorder::FlightRecord;
@@ -46,8 +46,12 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// diffs, and the epoch + fencing block of `Stats`. v5 and v6 ends
 /// refuse each other cleanly at the `Hello` exchange: the epoch field
 /// sits at the tail of the `Hello` payload, so a v5 decoder sees
-/// trailing bytes and a v6 decoder sees a truncated message.
-pub const PROTOCOL_VERSION: u8 = 6;
+/// trailing bytes and a v6 decoder sees a truncated message. Revision 7
+/// added the connection block of `Stats` (live/accepted/refused/
+/// idle-reaped counts and accept-error totals from the reactor server);
+/// the `Hello` layout is unchanged, and a v6 peer refuses a v7 `Stats`
+/// frame at the trailing-bytes check rather than at the handshake.
+pub const PROTOCOL_VERSION: u8 = 7;
 
 /// Everything that can go wrong encoding, decoding, or transporting a
 /// message.
@@ -72,6 +76,10 @@ pub enum WireError {
     Remote(String),
     /// The peer answered with a response of the wrong kind.
     UnexpectedResponse(&'static str),
+    /// A read or write missed its socket deadline (the peer is up but
+    /// stalled). Distinct from [`WireError::Io`] so callers can retry or
+    /// fail over instead of treating the peer as dead.
+    TimedOut,
 }
 
 impl fmt::Display for WireError {
@@ -86,6 +94,7 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::Remote(m) => write!(f, "server error: {m}"),
             WireError::UnexpectedResponse(k) => write!(f, "unexpected response kind: {k}"),
+            WireError::TimedOut => write!(f, "socket deadline elapsed"),
         }
     }
 }
@@ -95,10 +104,12 @@ impl std::error::Error for WireError {}
 impl From<io::Error> for WireError {
     fn from(e: io::Error) -> Self {
         // A clean EOF mid-frame is a truncation, not a transport fault.
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            WireError::UnexpectedEof
-        } else {
-            WireError::Io(e)
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => WireError::UnexpectedEof,
+            // Both kinds surface from an elapsed SO_RCVTIMEO/SO_SNDTIMEO
+            // depending on platform.
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::TimedOut,
+            _ => WireError::Io(e),
         }
     }
 }
@@ -991,6 +1002,17 @@ fn put_stats(out: &mut Vec<u8>, s: &MetricsSnapshot) {
     put_u64(out, r.fenced);
     out.push(r.leading as u8);
     put_u64(out, r.read_lag);
+    // Protocol v7 tail: the connection block.
+    let c = &s.connections;
+    for v in [
+        c.live,
+        c.accepted,
+        c.refused,
+        c.idle_reaped,
+        c.accept_errors,
+    ] {
+        put_u64(out, v);
+    }
 }
 
 fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
@@ -1051,6 +1073,14 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
     replication.fenced = r.u64()?;
     replication.leading = r.bool()?;
     replication.read_lag = r.u64()?;
+    // Protocol v7 tail (see `put_stats`).
+    let connections = ConnectionStats {
+        live: r.u64()?,
+        accepted: r.u64()?,
+        refused: r.u64()?,
+        idle_reaped: r.u64()?,
+        accept_errors: r.u64()?,
+    };
     Ok(MetricsSnapshot {
         batches_applied,
         ops_applied,
@@ -1068,6 +1098,7 @@ fn read_stats(r: &mut Reader) -> Result<MetricsSnapshot, WireError> {
         queue_wait,
         batch_apply,
         recovery_latency,
+        connections,
     })
 }
 
@@ -1289,6 +1320,92 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Incremental, push-based counterpart of [`read_frame`] for nonblocking
+/// sockets: bytes arrive in whatever chunks the kernel delivers
+/// ([`FrameDecoder::push`]), complete frames come out
+/// ([`FrameDecoder::next_frame`]) — including several per push when the
+/// peer pipelines requests. Splitting the same byte stream at different
+/// boundaries never changes the decoded frames (enforced by the
+/// boundary-sweep property tests in `tests/proptest_wire.rs`), and like
+/// the rest of this module the decoder is total: corrupt input returns a
+/// [`WireError`], never panics.
+///
+/// A frame announcing more than [`MAX_FRAME`] bytes poisons the stream —
+/// the length prefix cannot be resynchronized — so the connection must be
+/// dropped after [`WireError::FrameTooLarge`].
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; reclaimed lazily so popping a frame is
+    /// amortized O(frame) rather than O(buffered).
+    start: usize,
+}
+
+/// Reclaim the consumed prefix once it reaches this size (or swallows the
+/// whole buffer).
+const DECODER_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// Empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames (partial frame tail
+    /// plus any pipelined frames not yet popped).
+    pub fn buffered(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// True when no partial or pending frame is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered() == 0
+    }
+
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= DECODER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Pop the next complete frame's payload; `Ok(None)` means more bytes
+    /// are needed. Call in a loop after each [`FrameDecoder::push`] — a
+    /// single push can complete several pipelined frames.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let Some(header) = self.buf.get(self.start..self.start.saturating_add(4)) else {
+            return Ok(None);
+        };
+        let Ok(len_bytes) = <[u8; 4]>::try_from(header) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::FrameTooLarge(len as u64));
+        }
+        let body_start = self.start.saturating_add(4);
+        let Some(payload) = self.buf.get(body_start..body_start.saturating_add(len)) else {
+            return Ok(None);
+        };
+        let payload = payload.to_vec();
+        self.start = body_start.saturating_add(len);
+        self.compact();
+        Ok(Some(payload))
+    }
 }
 
 /// Decode an IBLT from a standalone byte slice (helper for tests and

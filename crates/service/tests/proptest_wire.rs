@@ -6,15 +6,15 @@ use proptest::prelude::*;
 
 use peel_iblt::{Iblt, IbltConfig};
 use peel_service::metrics::{
-    FollowerStats, HistogramSnapshot, MetricsSnapshot, ReplicationStats, ReshardStats, ShardStats,
-    HISTOGRAM_BUCKETS, REQUEST_CLASSES,
+    ConnectionStats, FollowerStats, HistogramSnapshot, MetricsSnapshot, ReplicationStats,
+    ReshardStats, ShardStats, HISTOGRAM_BUCKETS, REQUEST_CLASSES,
 };
 use peel_service::queue::Op;
 use peel_service::recorder::FlightRecord;
 use peel_service::wire::{
     decode_request, decode_response, encode_request, encode_response, iblt_from_bytes,
     iblt_from_sparse_bytes, iblt_to_bytes, iblt_to_sparse_bytes, read_frame, write_frame,
-    HelloInfo, Request, Response, ShardDiff, WireError, PROTOCOL_VERSION,
+    FrameDecoder, HelloInfo, Request, Response, ShardDiff, WireError, PROTOCOL_VERSION,
 };
 
 // --- Strategies -------------------------------------------------------------
@@ -223,6 +223,25 @@ fn arb_replication() -> impl Strategy<Value = ReplicationStats> {
         })
 }
 
+fn arb_connection_stats() -> impl Strategy<Value = ConnectionStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(live, accepted, refused, idle_reaped, accept_errors)| ConnectionStats {
+                live,
+                accepted,
+                refused,
+                idle_reaped,
+                accept_errors,
+            },
+        )
+}
+
 fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>()),
@@ -236,10 +255,11 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
             arb_histogram(),
             arb_histogram(),
             arb_histogram(),
+            arb_connection_stats(),
         ),
     )
         .prop_map(
-            |(a, b, trace, trace_ns, shards, ((replication, reshard), hv, h1, h2, h3))| {
+            |(a, b, trace, trace_ns, shards, ((replication, reshard), hv, h1, h2, h3, conns))| {
                 let hists = (hv, h1, h2, h3);
                 MetricsSnapshot {
                     batches_applied: a.0,
@@ -265,6 +285,7 @@ fn arb_stats() -> impl Strategy<Value = MetricsSnapshot> {
                     queue_wait: hists.1,
                     batch_apply: hists.2,
                     recovery_latency: hists.3,
+                    connections: conns,
                 }
             },
         )
@@ -486,5 +507,175 @@ proptest! {
             read_frame(&mut cursor),
             Err(WireError::UnexpectedEof)
         ));
+    }
+}
+
+// --- Incremental frame decoder (the reactor's reassembly path) --------------
+
+/// Drain every currently-complete frame out of the decoder.
+fn drain(dec: &mut FrameDecoder) -> Result<Vec<Vec<u8>>, WireError> {
+    let mut out = Vec::new();
+    while let Some(frame) = dec.next_frame()? {
+        out.push(frame);
+    }
+    Ok(out)
+}
+
+/// Concatenate the wire encoding of a batch of requests, returning the
+/// byte stream and the expected frame payloads.
+fn framed_stream(reqs: &[Request]) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut stream = Vec::new();
+    let mut payloads = Vec::new();
+    for req in reqs {
+        let payload = encode_request(req);
+        write_frame(&mut stream, &payload).unwrap();
+        payloads.push(payload);
+    }
+    (stream, payloads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding the stream one byte at a time — every byte boundary is a
+    /// push boundary — decodes the identical frame sequence to the
+    /// one-shot `read_frame` path, pipelined frames included.
+    #[test]
+    fn decoder_byte_at_a_time_matches_one_shot(
+        reqs in proptest::collection::vec(arb_request(), 1..4),
+    ) {
+        let (stream, payloads) = framed_stream(&reqs);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            got.extend(drain(&mut dec).unwrap());
+        }
+        prop_assert_eq!(&got, &payloads);
+        prop_assert!(dec.is_empty());
+        // And the one-shot reference path agrees.
+        let mut cursor = std::io::Cursor::new(stream);
+        for payload in &payloads {
+            prop_assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(payload));
+        }
+    }
+
+    /// Any two-chunk split of a pipelined stream — including splits
+    /// inside a length prefix and inside a payload — decodes
+    /// identically to the unsplit stream.
+    #[test]
+    fn decoder_split_anywhere_matches(
+        first in arb_request(),
+        trailing in arb_request(),
+        cut in 0.0f64..1.0,
+    ) {
+        let (stream, payloads) = framed_stream(&[first, trailing]);
+        let cut = ((stream.len() as f64) * cut) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..cut]);
+        let mut got = drain(&mut dec).unwrap();
+        dec.push(&stream[cut..]);
+        got.extend(drain(&mut dec).unwrap());
+        prop_assert_eq!(got, payloads);
+        prop_assert!(dec.is_empty());
+    }
+
+    /// A truncated stream yields exactly the complete frames and then
+    /// waits (Ok(None)) — no error, no panic, no partial frame.
+    #[test]
+    fn decoder_truncation_yields_only_complete_frames(
+        reqs in proptest::collection::vec(arb_request(), 1..4),
+        keep in 0.0f64..1.0,
+    ) {
+        let (stream, payloads) = framed_stream(&reqs);
+        let keep = ((stream.len() as f64) * keep) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..keep]);
+        let got = drain(&mut dec).unwrap();
+        prop_assert_eq!(&got[..], &payloads[..got.len()]);
+        // Everything delivered was a complete frame; the remainder (if
+        // any) is still buffered, not fabricated.
+        prop_assert!(got.len() <= payloads.len());
+        prop_assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    /// Arbitrary garbage never panics the decoder: every outcome is a
+    /// frame, a wait, or a `FrameTooLarge` error.
+    #[test]
+    fn decoder_garbage_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..64,
+    ) {
+        let mut dec = FrameDecoder::new();
+        'feed: for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => {
+                        // Whatever came out must at least decode
+                        // *without panicking* (errors are fine).
+                        let _ = decode_request(&frame);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        prop_assert!(matches!(e, WireError::FrameTooLarge(_)));
+                        // The decoder poisons the stream after an
+                        // oversized prefix; stop feeding.
+                        break 'feed;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A corrupted length prefix either re-frames the stream (yielding
+    /// differently-sliced frames) or errors as `FrameTooLarge` — the
+    /// decoder never panics and never yields a frame longer than the
+    /// bytes it was given.
+    #[test]
+    fn decoder_corrupted_length_never_panics(
+        req in arb_request(),
+        flip_byte in 0usize..4,
+        xor in 1u8..=255,
+    ) {
+        let (mut stream, _) = framed_stream(&[req]);
+        stream[flip_byte] ^= xor;
+        let total = stream.len();
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => prop_assert!(frame.len() <= total),
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(matches!(e, WireError::FrameTooLarge(_)));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive split sweep: a representative pipelined stream split into
+/// two pushes at *every* byte boundary decodes identically to the
+/// one-shot path. (The proptest above samples arbitrary requests; this
+/// nails down every boundary for one fixed stream, cheaply.)
+#[test]
+fn decoder_every_split_boundary_exhaustive() {
+    let reqs = [
+        Request::Hello,
+        Request::Insert(vec![1, 2, 3, u64::MAX]),
+        Request::Digest { shard: 7 },
+        Request::Flush,
+    ];
+    let (stream, payloads) = framed_stream(&reqs);
+    for cut in 0..=stream.len() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..cut]);
+        let mut got = drain(&mut dec).unwrap();
+        dec.push(&stream[cut..]);
+        got.extend(drain(&mut dec).unwrap());
+        assert_eq!(got, payloads, "split at byte {cut} changed the decode");
+        assert!(dec.is_empty(), "split at byte {cut} left residue");
     }
 }

@@ -39,6 +39,7 @@ fn mesh_follower(peers: Vec<SocketAddr>, advertise: SocketAddr) -> FollowerConfi
         failover_threshold: 2,
         peers,
         advertise: advertise.to_string(),
+        ..FollowerConfig::default()
     }
 }
 

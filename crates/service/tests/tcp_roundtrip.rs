@@ -237,9 +237,9 @@ fn reshard_round_trips_over_tcp() {
 fn v3_client_against_v4_server_degrades_gracefully() {
     let server = Server::bind("127.0.0.1:0", test_cfg()).unwrap();
     let mut c = Client::connect(server.local_addr()).unwrap();
-    // The server advertises v6; a v3 client ignores the higher number
+    // The server advertises v7; a v3 client ignores the higher number
     // and keeps to its own frame surface.
-    assert_eq!(c.hello().unwrap().version, 6);
+    assert_eq!(c.hello().unwrap().version, 7);
     let keys: Vec<u64> = (0..300u64).map(|i| i * 13).collect();
     assert_eq!(c.insert(&keys).unwrap(), 300);
     c.flush().unwrap();

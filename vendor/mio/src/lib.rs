@@ -1,0 +1,1137 @@
+//! Vendored minimal stand-in for `mio`, backed by raw `epoll(7)` on Linux
+//! and portable `poll(2)` elsewhere.
+//!
+//! The build environment has no network access to crates.io. This crate
+//! reproduces the `mio` 0.8 API subset the workspace uses — [`Poll`],
+//! [`Registry`], [`Events`], [`Token`], [`Interest`], [`Waker`], and
+//! [`unix::SourceFd`] — so that swapping to the real crate is a one-line
+//! change in the workspace manifest, the same discipline as the vendored
+//! `rayon`/`parking_lot` shims. Server code registers raw fds through
+//! `SourceFd`, which is exactly the pattern real mio supports for std
+//! sockets, so no call sites change on swap.
+//!
+//! Semantics notes (documented divergences from real mio, none observable
+//! to a correctly written level- or edge-agnostic event loop):
+//!
+//! - Readiness is **level-triggered** (real mio is edge-triggered). The
+//!   service's event loop is written edge-safe — it drains reads and
+//!   writes to `WouldBlock` — so both disciplines work.
+//! - The [`Waker`] uses `eventfd(2)` registered edge-triggered on Linux
+//!   (same as real mio) and a non-blocking self-pipe on the portable
+//!   backend; wake-ups coalesce but are never lost.
+//! - Registrations made from another thread while `poll` is blocked take
+//!   effect on the next poll cycle on the portable backend ([`Waker`] is
+//!   the only cross-thread interruption primitive, as in real mio usage).
+//!
+//! No `libc` crate is available; the handful of syscalls used here are
+//! declared as local `extern "C"` bindings (the C library is already
+//! linked into every Rust binary on the supported targets).
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Public surface: Token / Interest / Event / Events
+// ---------------------------------------------------------------------------
+
+/// Associates readiness events with the registration they belong to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Interest in readable and/or writable readiness (API subset of
+/// `mio::Interest`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in readable readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in writable readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combine two interests.
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include readable readiness?
+    pub const fn is_readable(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// Does this interest include writable readiness?
+    pub const fn is_writable(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Readiness event types.
+pub mod event {
+    use super::{Interest, Registry, Token};
+    use std::io;
+
+    /// A single readiness event delivered by [`super::Poll::poll`].
+    #[derive(Copy, Clone, Debug)]
+    pub struct Event {
+        pub(crate) token: Token,
+        pub(crate) readable: bool,
+        pub(crate) writable: bool,
+        pub(crate) read_closed: bool,
+        pub(crate) write_closed: bool,
+        pub(crate) error: bool,
+    }
+
+    impl Event {
+        /// Token supplied at registration time.
+        pub fn token(&self) -> Token {
+            self.token
+        }
+        /// Readable readiness (includes hang-up/error so reads observe EOF).
+        pub fn is_readable(&self) -> bool {
+            self.readable
+        }
+        /// Writable readiness.
+        pub fn is_writable(&self) -> bool {
+            self.writable
+        }
+        /// Peer shut down the read half (RDHUP/HUP).
+        pub fn is_read_closed(&self) -> bool {
+            self.read_closed
+        }
+        /// Write half closed (HUP).
+        pub fn is_write_closed(&self) -> bool {
+            self.write_closed
+        }
+        /// Error condition on the fd.
+        pub fn is_error(&self) -> bool {
+            self.error
+        }
+    }
+
+    /// A type that can be registered with a [`Registry`].
+    pub trait Source {
+        /// Register with the poller.
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()>;
+        /// Change token/interest of an existing registration.
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()>;
+        /// Remove the registration.
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()>;
+    }
+}
+
+/// Unix-only helpers.
+pub mod unix {
+    use super::event::Source;
+    use super::{Interest, Registry, Token};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    /// Adapter registering an arbitrary raw fd — the same escape hatch real
+    /// mio provides for std sockets.
+    #[derive(Debug)]
+    pub struct SourceFd<'a>(pub &'a RawFd);
+
+    impl Source for SourceFd<'_> {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            registry.register_fd(*self.0, token, interests, false)
+        }
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            registry.reregister_fd(*self.0, token, interests)
+        }
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+            registry.deregister_fd(*self.0)
+        }
+    }
+}
+
+use event::Event;
+
+/// A buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Create a buffer able to hold up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.max(1);
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Iterate over the events from the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True when the last poll produced no events (timeout or spurious wake).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events")
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FFI: the few syscalls we need, declared locally (no libc crate offline).
+// ---------------------------------------------------------------------------
+
+mod ffi {
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::c_int;
+
+        // epoll_event carries a 32-bit mask plus 64-bit user data; the
+        // kernel ABI packs it on x86-64 only.
+        #[cfg(target_arch = "x86_64")]
+        #[repr(C, packed)]
+        #[derive(Copy, Clone)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        #[repr(C)]
+        #[derive(Copy, Clone)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLPRI: u32 = 0x002;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+        pub const EPOLLET: u32 = 1 << 31;
+
+        pub const EFD_CLOEXEC: c_int = 0o2000000;
+        pub const EFD_NONBLOCK: c_int = 0o4000;
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut epoll_event,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+        }
+    }
+
+    pub mod portable {
+        use super::c_int;
+
+        #[repr(C)]
+        #[derive(Copy, Clone)]
+        pub struct pollfd {
+            pub fd: c_int,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        #[cfg(target_os = "linux")]
+        pub type nfds_t = u64;
+        #[cfg(not(target_os = "linux"))]
+        pub type nfds_t = u32;
+
+        pub const POLLIN: i16 = 0x001;
+        pub const POLLPRI: i16 = 0x002;
+        pub const POLLOUT: i16 = 0x004;
+        pub const POLLERR: i16 = 0x008;
+        pub const POLLHUP: i16 = 0x010;
+        pub const POLLNVAL: i16 = 0x020;
+
+        pub const F_GETFL: c_int = 3;
+        pub const F_SETFL: c_int = 4;
+        pub const F_SETFD: c_int = 2;
+        pub const FD_CLOEXEC: c_int = 1;
+        #[cfg(target_os = "linux")]
+        pub const O_NONBLOCK: c_int = 0o4000;
+        #[cfg(not(target_os = "linux"))]
+        pub const O_NONBLOCK: c_int = 0x0004;
+
+        extern "C" {
+            pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+            pub fn pipe(fds: *mut c_int) -> c_int;
+            pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        }
+    }
+
+    extern "C" {
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    }
+}
+
+fn cvt(ret: ffi::c_int) -> io::Result<ffi::c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Milliseconds for the kernel timeout argument: `None` blocks forever,
+/// sub-millisecond non-zero durations round up so callers never busy-spin.
+fn timeout_ms(timeout: Option<Duration>) -> ffi::c_int {
+    match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => {
+            // as_millis truncates; round up so a positive wait never spins.
+            let mut ms = d.as_millis();
+            if d.as_nanos() % 1_000_000 != 0 {
+                ms = ms.saturating_add(1);
+            }
+            ms.clamp(1, i32::MAX as u128) as ffi::c_int
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend: epoll (Linux)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    use super::ffi::epoll::*;
+    use super::{cvt, event::Event, timeout_ms, Events, Interest, Token};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            // Safety: epoll_create1 has no memory arguments.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+            let mut ev = epoll_event {
+                events,
+                data: token.0 as u64,
+            };
+            // Safety: ev is a valid epoll_event for the duration of the call.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        fn bits(interests: Interest, edge: bool) -> u32 {
+            let mut events = 0;
+            if interests.is_readable() {
+                events |= EPOLLIN | EPOLLRDHUP;
+            }
+            if interests.is_writable() {
+                events |= EPOLLOUT;
+            }
+            if edge {
+                events |= EPOLLET;
+            }
+            events
+        }
+
+        pub fn register(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interests: Interest,
+            edge: bool,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::bits(interests, edge), token)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::bits(interests, false), token)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Token(0))
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let cap = events.capacity as i32;
+            let mut buf = vec![epoll_event { events: 0, data: 0 }; events.capacity];
+            // Safety: buf holds `cap` epoll_event slots valid for the call.
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), cap, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for raw in buf.iter().take(n as usize) {
+                let bits = raw.events;
+                let data = raw.data;
+                events.inner.push(Event {
+                    token: Token(data as usize),
+                    readable: bits & (EPOLLIN | EPOLLPRI | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    read_closed: bits & (EPOLLRDHUP | EPOLLHUP) != 0,
+                    write_closed: bits & EPOLLHUP != 0,
+                    error: bits & EPOLLERR != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // Safety: epfd is owned by this selector and closed exactly once.
+            unsafe { super::ffi::close(self.epfd) };
+        }
+    }
+
+    /// An eventfd-based waker, registered edge-triggered exactly like real
+    /// mio: each write re-arms the event, so wake-ups coalesce without a
+    /// drain in the poll loop.
+    #[derive(Debug)]
+    pub struct WakerFd {
+        fd: RawFd,
+    }
+
+    impl WakerFd {
+        pub fn new() -> io::Result<WakerFd> {
+            // Safety: eventfd has no memory arguments.
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            Ok(WakerFd { fd })
+        }
+
+        pub fn fd(&self) -> RawFd {
+            self.fd
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            // Safety: writes 8 bytes from a live stack value.
+            let n = unsafe { super::ffi::write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::WouldBlock {
+                    // Counter saturated: drain and re-fire.
+                    let mut buf = [0u8; 8];
+                    // Safety: reads at most 8 bytes into a live buffer.
+                    unsafe { super::ffi::read(self.fd, buf.as_mut_ptr(), 8) };
+                    // Safety: as above.
+                    unsafe { super::ffi::write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for WakerFd {
+        fn drop(&mut self) {
+            // Safety: fd is owned by this waker and closed exactly once.
+            unsafe { super::ffi::close(self.fd) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend: portable poll(2) — default off-Linux, always compiled so it
+// cannot rot; exercised by this crate's self-tests on every platform.
+// ---------------------------------------------------------------------------
+
+mod sys_poll {
+    use super::ffi::portable::*;
+    use super::{cvt, event::Event, timeout_ms, Events, Interest, Token};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[derive(Copy, Clone, Debug)]
+    struct Entry {
+        token: Token,
+        interests: Interest,
+        waker: bool,
+    }
+
+    #[derive(Debug, Default)]
+    pub struct Selector {
+        entries: Mutex<HashMap<RawFd, Entry>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector::default())
+        }
+
+        pub fn register(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interests: Interest,
+            waker: bool,
+        ) -> io::Result<()> {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if entries.contains_key(&fd) {
+                return Err(io::Error::from_raw_os_error(17 /* EEXIST */));
+            }
+            entries.insert(
+                fd,
+                Entry {
+                    token,
+                    interests,
+                    waker,
+                },
+            );
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            match entries.get_mut(&fd) {
+                Some(entry) => {
+                    entry.token = token;
+                    entry.interests = interests;
+                    Ok(())
+                }
+                None => Err(io::Error::from_raw_os_error(2 /* ENOENT */)),
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            match entries.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::from_raw_os_error(2 /* ENOENT */)),
+            }
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let snapshot: Vec<(RawFd, Entry)> = {
+                let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+                entries.iter().map(|(fd, e)| (*fd, *e)).collect()
+            };
+            let mut fds: Vec<pollfd> = snapshot
+                .iter()
+                .map(|(fd, e)| {
+                    let mut ev = 0i16;
+                    if e.interests.is_readable() {
+                        ev |= POLLIN;
+                    }
+                    if e.interests.is_writable() {
+                        ev |= POLLOUT;
+                    }
+                    pollfd {
+                        fd: *fd,
+                        events: ev,
+                        revents: 0,
+                    }
+                })
+                .collect();
+            // Safety: fds points at `len` pollfd slots valid for the call.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (slot, (fd, entry)) in fds.iter().zip(snapshot.iter()) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                if entry.waker && bits & (POLLIN | POLLHUP | POLLERR) != 0 {
+                    // Self-pipe waker: drain before delivering so the event
+                    // coalesces; a write racing the drain re-fires next poll.
+                    let mut buf = [0u8; 64];
+                    // Safety: reads into a live 64-byte buffer.
+                    while unsafe { super::ffi::read(*fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+                }
+                if events.inner.len() >= events.capacity {
+                    break;
+                }
+                events.inner.push(Event {
+                    token: entry.token,
+                    readable: bits & (POLLIN | POLLPRI | POLLHUP | POLLERR) != 0,
+                    writable: bits & (POLLOUT | POLLERR) != 0,
+                    read_closed: bits & POLLHUP != 0,
+                    write_closed: bits & POLLHUP != 0,
+                    error: bits & (POLLERR | POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    fn set_nonblocking_cloexec(fd: RawFd) -> io::Result<()> {
+        // Safety: fcntl on an owned fd with integer arguments only.
+        unsafe {
+            let flags = cvt(fcntl(fd, F_GETFL, 0))?;
+            cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+            cvt(fcntl(fd, F_SETFD, FD_CLOEXEC))?;
+        }
+        Ok(())
+    }
+
+    /// Self-pipe waker for the portable backend.
+    #[derive(Debug)]
+    pub struct WakerFd {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl WakerFd {
+        pub fn new() -> io::Result<WakerFd> {
+            let mut fds = [0i32; 2];
+            // Safety: pipe writes two fds into a live 2-slot array.
+            cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+            let (read_fd, write_fd) = (fds[0], fds[1]);
+            for fd in [read_fd, write_fd] {
+                if let Err(err) = set_nonblocking_cloexec(fd) {
+                    // Safety: both fds are owned here and not yet published.
+                    unsafe {
+                        super::ffi::close(read_fd);
+                        super::ffi::close(write_fd);
+                    }
+                    return Err(err);
+                }
+            }
+            Ok(WakerFd { read_fd, write_fd })
+        }
+
+        pub fn fd(&self) -> RawFd {
+            self.read_fd
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let buf = [1u8];
+            // Safety: writes one byte from a live buffer.
+            let n = unsafe { super::ffi::write(self.write_fd, buf.as_ptr(), 1) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                // A full pipe is still readable: the wake is already pending.
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for WakerFd {
+        fn drop(&mut self) {
+            // Safety: both fds are owned by this waker, closed exactly once.
+            unsafe {
+                super::ffi::close(self.read_fd);
+                super::ffi::close(self.write_fd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poll / Registry / Waker
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(sys_epoll::Selector),
+    Pollfd(sys_poll::Selector),
+}
+
+#[derive(Debug)]
+struct Inner {
+    backend: Backend,
+}
+
+impl Inner {
+    fn register_fd(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interests: Interest,
+        waker: bool,
+    ) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(s) => s.register(fd, token, interests, waker),
+            Backend::Pollfd(s) => s.register(fd, token, interests, waker),
+        }
+    }
+
+    fn reregister_fd(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(s) => s.reregister(fd, token, interests),
+            Backend::Pollfd(s) => s.reregister(fd, token, interests),
+        }
+    }
+
+    fn deregister_fd(&self, fd: RawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(s) => s.deregister(fd),
+            Backend::Pollfd(s) => s.deregister(fd),
+        }
+    }
+
+    fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(s) => s.poll(events, timeout),
+            Backend::Pollfd(s) => s.poll(events, timeout),
+        }
+    }
+}
+
+/// Handle through which sources are (de)registered; clone of the one owned
+/// by [`Poll`] (API subset of `mio::Registry`).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Register an event source.
+    pub fn register<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        source.register(self, token, interests)
+    }
+
+    /// Change an existing registration's token/interest.
+    pub fn reregister<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        source.reregister(self, token, interests)
+    }
+
+    /// Remove a registration.
+    pub fn deregister<S: event::Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        source.deregister(self)
+    }
+
+    /// Clone the registry handle (always succeeds in this shim).
+    pub fn try_clone(&self) -> io::Result<Registry> {
+        Ok(self.clone())
+    }
+
+    fn register_fd(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interests: Interest,
+        waker: bool,
+    ) -> io::Result<()> {
+        self.inner.register_fd(fd, token, interests, waker)
+    }
+
+    fn reregister_fd(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        self.inner.reregister_fd(fd, token, interests)
+    }
+
+    fn deregister_fd(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister_fd(fd)
+    }
+}
+
+/// The poller: wraps epoll on Linux, poll(2) elsewhere (API subset of
+/// `mio::Poll`).
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Create a poller using the platform's default backend.
+    pub fn new() -> io::Result<Poll> {
+        #[cfg(target_os = "linux")]
+        {
+            Ok(Poll {
+                registry: Registry {
+                    inner: Arc::new(Inner {
+                        backend: Backend::Epoll(sys_epoll::Selector::new()?),
+                    }),
+                },
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poll::new_portable()
+        }
+    }
+
+    /// Create a poller on the portable poll(2) backend regardless of
+    /// platform. Not part of the real mio API — exists so the fallback is
+    /// testable on Linux; production code must use [`Poll::new`].
+    #[doc(hidden)]
+    pub fn new_portable() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                inner: Arc::new(Inner {
+                    backend: Backend::Pollfd(sys_poll::Selector::new()?),
+                }),
+            },
+        })
+    }
+
+    /// The registry handle for this poller.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Block until readiness events arrive, the timeout expires, or a
+    /// [`Waker`] fires. `EINTR` returns `Ok` with an empty event set.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.registry.inner.poll(events, timeout)
+    }
+}
+
+enum WakerImpl {
+    #[cfg(target_os = "linux")]
+    Eventfd(sys_epoll::WakerFd),
+    Pipe(sys_poll::WakerFd),
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from any thread (API subset of
+/// `mio::Waker`).
+pub struct Waker {
+    imp: WakerImpl,
+    registry: Weak<Inner>,
+}
+
+impl Waker {
+    /// Create a waker delivering events on `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let imp = match &registry.inner.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => WakerImpl::Eventfd(sys_epoll::WakerFd::new()?),
+            Backend::Pollfd(_) => WakerImpl::Pipe(sys_poll::WakerFd::new()?),
+        };
+        let fd = match &imp {
+            #[cfg(target_os = "linux")]
+            WakerImpl::Eventfd(w) => w.fd(),
+            WakerImpl::Pipe(w) => w.fd(),
+        };
+        registry.register_fd(fd, token, Interest::READABLE, true)?;
+        Ok(Waker {
+            imp,
+            registry: Arc::downgrade(&registry.inner),
+        })
+    }
+
+    /// Wake the poller. Wake-ups coalesce; never blocks.
+    pub fn wake(&self) -> io::Result<()> {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            WakerImpl::Eventfd(w) => w.wake(),
+            WakerImpl::Pipe(w) => w.wake(),
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        if let Some(inner) = self.registry.upgrade() {
+            let fd = match &self.imp {
+                #[cfg(target_os = "linux")]
+                WakerImpl::Eventfd(w) => w.fd(),
+                WakerImpl::Pipe(w) => w.fd(),
+            };
+            let _ = inner.deregister_fd(fd);
+        }
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Waker")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests: run against every backend compiled on this platform.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::unix::SourceFd;
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+    const WAKER: Token = Token(2);
+
+    fn backends() -> Vec<(&'static str, Poll)> {
+        vec![
+            ("default", Poll::new().unwrap()),
+            ("portable", Poll::new_portable().unwrap()),
+        ]
+    }
+
+    fn wait_for(
+        poll: &mut Poll,
+        events: &mut Events,
+        token: Token,
+        what: impl Fn(&event::Event) -> bool,
+    ) -> event::Event {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(Instant::now() < deadline, "timed out waiting for {token:?}");
+            poll.poll(events, Some(Duration::from_millis(100))).unwrap();
+            if let Some(ev) = events.iter().find(|e| e.token() == token && what(e)) {
+                return *ev;
+            }
+        }
+    }
+
+    #[test]
+    fn accept_and_read_readiness() {
+        for (name, mut poll) in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let addr = listener.local_addr().unwrap();
+            poll.registry()
+                .register(
+                    &mut SourceFd(&listener.as_raw_fd()),
+                    LISTENER,
+                    Interest::READABLE,
+                )
+                .unwrap();
+
+            let mut client = TcpStream::connect(addr).unwrap();
+            let mut events = Events::with_capacity(16);
+            wait_for(&mut poll, &mut events, LISTENER, |e| e.is_readable());
+            let (mut server_side, _) = listener.accept().unwrap();
+            server_side.set_nonblocking(true).unwrap();
+            poll.registry()
+                .register(
+                    &mut SourceFd(&server_side.as_raw_fd()),
+                    CLIENT,
+                    Interest::READABLE | Interest::WRITABLE,
+                )
+                .unwrap();
+
+            // Fresh socket: writable.
+            wait_for(&mut poll, &mut events, CLIENT, |e| e.is_writable());
+
+            client.write_all(b"ping").unwrap();
+            wait_for(&mut poll, &mut events, CLIENT, |e| e.is_readable());
+            let mut buf = [0u8; 8];
+            let n = server_side.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"ping", "backend {name}");
+
+            // Peer close surfaces as readable (EOF) on the next poll.
+            drop(client);
+            let ev = wait_for(&mut poll, &mut events, CLIENT, |e| e.is_readable());
+            assert!(ev.is_readable());
+            poll.registry()
+                .deregister(&mut SourceFd(&server_side.as_raw_fd()))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn deregister_silences_events() {
+        for (name, mut poll) in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let addr = listener.local_addr().unwrap();
+            poll.registry()
+                .register(
+                    &mut SourceFd(&listener.as_raw_fd()),
+                    LISTENER,
+                    Interest::READABLE,
+                )
+                .unwrap();
+            let _client = TcpStream::connect(addr).unwrap();
+            let mut events = Events::with_capacity(16);
+            wait_for(&mut poll, &mut events, LISTENER, |e| e.is_readable());
+            poll.registry()
+                .deregister(&mut SourceFd(&listener.as_raw_fd()))
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != LISTENER),
+                "backend {name}: deregistered fd still reported"
+            );
+        }
+    }
+
+    #[test]
+    fn reregister_changes_interest() {
+        for (name, mut poll) in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let client = TcpStream::connect(addr).unwrap();
+            client.set_nonblocking(true).unwrap();
+            let fd = client.as_raw_fd();
+            poll.registry()
+                .register(&mut SourceFd(&fd), CLIENT, Interest::WRITABLE)
+                .unwrap();
+            let mut events = Events::with_capacity(16);
+            wait_for(&mut poll, &mut events, CLIENT, |e| e.is_writable());
+            // Drop write interest: an idle connected socket reports nothing.
+            poll.registry()
+                .reregister(&mut SourceFd(&fd), CLIENT, Interest::READABLE)
+                .unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != CLIENT),
+                "backend {name}: read-only socket reported while idle"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_expires() {
+        for (name, mut poll) in backends() {
+            let mut events = Events::with_capacity(4);
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert!(events.is_empty(), "backend {name}");
+            assert!(
+                start.elapsed() >= Duration::from_millis(25),
+                "backend {name}: poll returned early"
+            );
+        }
+    }
+
+    #[test]
+    fn waker_wakes_blocked_poll() {
+        for (name, mut poll) in backends() {
+            let waker = std::sync::Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+            let w2 = waker.clone();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                w2.wake().unwrap();
+            });
+            let mut events = Events::with_capacity(4);
+            let start = Instant::now();
+            poll.poll(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "backend {name}: waker did not interrupt poll"
+            );
+            assert!(
+                events.iter().any(|e| e.token() == WAKER && e.is_readable()),
+                "backend {name}: no waker event"
+            );
+            handle.join().unwrap();
+
+            // Wake-ups coalesce: repeated wakes deliver at least one event,
+            // and a quiet poller then times out instead of spinning.
+            waker.wake().unwrap();
+            waker.wake().unwrap();
+            poll.poll(&mut events, Some(Duration::from_millis(200)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.token() == WAKER), "backend {name}");
+            poll.poll(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token() != WAKER),
+                "backend {name}: waker event not coalesced/drained"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_ms_rounds_up() {
+        assert_eq!(super::timeout_ms(None), -1);
+        assert_eq!(super::timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(super::timeout_ms(Some(Duration::from_nanos(1))), 1);
+        assert_eq!(super::timeout_ms(Some(Duration::from_millis(7))), 7);
+        assert_eq!(
+            super::timeout_ms(Some(Duration::from_secs(1 << 40))),
+            i32::MAX
+        );
+    }
+}

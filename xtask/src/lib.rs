@@ -43,6 +43,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod conn_smoke;
 pub mod mesh_smoke;
 
 /// One lint finding.
@@ -67,10 +68,15 @@ impl fmt::Display for Violation {
 /// fixtures) are deliberately absent.
 const SCAN_ROOTS: &[&str] = &["crates", "tests", "src"];
 
-/// The panic-free zone: wire decoding and frame dispatch, where a
-/// malformed or hostile frame must surface as a `WireError`/`Response::
-/// Error`, never a panic.
-const PANIC_FREE_FILES: &[&str] = &["crates/service/src/wire.rs", "crates/service/src/server.rs"];
+/// The panic-free zone: wire decoding, frame dispatch, and the reactor
+/// event loop, where a malformed or hostile frame must surface as a
+/// `WireError`/`Response::Error`, never a panic — the reactor
+/// especially, since one thread owns every connection.
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/service/src/wire.rs",
+    "crates/service/src/server.rs",
+    "crates/service/src/reactor.rs",
+];
 
 /// Files allowed to name `std::sync::{Mutex, RwLock}`: the one module
 /// that recovers from poisoning, and the per-crate model-checking shims

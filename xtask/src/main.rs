@@ -10,6 +10,11 @@
 //!   3-process replica-mesh failover smoke test (kill the primary
 //!   mid-ingest; survivors must elect, converge, and serve reads).
 //!   Child logs land in `target/mesh-smoke/` and are kept on failure.
+//! * `cargo xtask conn-smoke` — build `peel-server` and drive 512
+//!   concurrent pipelined client connections against it, asserting
+//!   in-order pipelined responses, an honest live-connection gauge,
+//!   and a clean process exit on `Shutdown` with the herd attached.
+//!   The server log lands in `target/conn-smoke/`, kept on failure.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -51,6 +56,26 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("conn-smoke") => {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            let status = std::process::Command::new(&cargo)
+                .args(["build", "-p", "peel-service", "--bin", "peel-server"])
+                .current_dir(&root)
+                .status();
+            if !status.map(|s| s.success()).unwrap_or(false) {
+                eprintln!("xtask conn-smoke: building peel-server failed");
+                return ExitCode::FAILURE;
+            }
+            let bin = root.join("target").join("debug").join("peel-server");
+            match xtask::conn_smoke::run(&root, &bin) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("xtask conn-smoke: server log kept in target/conn-smoke/");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("mesh-smoke") => {
             // Build the server binary with the ambient cargo (the same
             // toolchain that is running this xtask).
@@ -74,7 +99,9 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--orderings | --write-orderings] | mesh-smoke");
+            eprintln!(
+                "usage: cargo xtask lint [--orderings | --write-orderings] | mesh-smoke | conn-smoke"
+            );
             ExitCode::FAILURE
         }
     }
